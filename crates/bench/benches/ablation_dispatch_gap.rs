@@ -1,0 +1,40 @@
+//! Ablation: sensitivity of the SRRS overhead to the host dispatch gap.
+//!
+//! The gap is what makes *short* kernels serialize naturally (paper
+//! Sec. IV-B): with a large gap the redundant copies never overlap and SRRS
+//! is free; with a zero gap SRRS pays full serialization. This bench sweeps
+//! the gap and prints the SRRS/default cycle ratio at each point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higpu_bench::fig4;
+use higpu_core::redundancy::RedundancyMode;
+use higpu_rodinia::nn::Nn;
+use higpu_sim::config::GpuConfig;
+
+fn bench_gap_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dispatch_gap");
+    group.sample_size(10);
+    let bench = Nn {
+        records: 2048,
+        ..Default::default()
+    };
+    for gap in [0u64, 1_750, 3_500, 7_000, 14_000] {
+        let mut cfg = GpuConfig::paper_6sm();
+        cfg.dispatch_gap_cycles = gap;
+        let (default_cycles, _) =
+            fig4::measure(&cfg, &bench, RedundancyMode::Uncontrolled).expect("default");
+        let (srrs_cycles, diverse) =
+            fig4::measure(&cfg, &bench, RedundancyMode::srrs_default(6)).expect("srrs");
+        eprintln!(
+            "gap {gap:>6}: SRRS/default = {:.2}x (diverse: {diverse})",
+            srrs_cycles as f64 / default_cycles as f64
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(gap), &cfg, |b, cfg| {
+            b.iter(|| fig4::measure(cfg, &bench, RedundancyMode::srrs_default(6)).expect("srrs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap_sweep);
+criterion_main!(benches);

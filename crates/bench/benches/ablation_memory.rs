@@ -1,0 +1,43 @@
+//! Ablation: shared-memory-system interference under HALF.
+//!
+//! HALF's replicas run concurrently and contend in the L2/DRAM (paper
+//! Sec. IV-B2 argues the contention can delay but never align them). This
+//! bench sweeps the DRAM service time (inverse bandwidth) and reports the
+//! HALF/default ratio for a memory-bound kernel — contention grows, the
+//! diversity guarantee never breaks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higpu_bench::fig4;
+use higpu_core::redundancy::RedundancyMode;
+use higpu_rodinia::pathfinder::Pathfinder;
+use higpu_sim::config::GpuConfig;
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_memory");
+    group.sample_size(10);
+    let bench = Pathfinder {
+        cols: 2048,
+        rows: 8,
+        threads_per_block: 128,
+    };
+    for service in [1u32, 2, 4, 8] {
+        let mut cfg = GpuConfig::paper_6sm();
+        cfg.timing.dram_service_cycles = service;
+        let (default_cycles, _) =
+            fig4::measure(&cfg, &bench, RedundancyMode::Uncontrolled).expect("default");
+        let (half_cycles, diverse) =
+            fig4::measure(&cfg, &bench, RedundancyMode::Half).expect("half");
+        eprintln!(
+            "dram service {service}: HALF/default = {:.2}x (diverse: {diverse})",
+            half_cycles as f64 / default_cycles as f64
+        );
+        assert!(diverse, "contention must not break diversity");
+        group.bench_with_input(BenchmarkId::from_parameter(service), &cfg, |b, cfg| {
+            b.iter(|| fig4::measure(cfg, &bench, RedundancyMode::Half).expect("half"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

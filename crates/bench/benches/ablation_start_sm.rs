@@ -1,0 +1,39 @@
+//! Ablation: SRRS start-SM separation.
+//!
+//! SRRS needs the two replicas' start SMs to differ (mod the SM count); the
+//! amount of separation does not change performance (placement is
+//! round-robin either way) but determines which SM pairs host redundant
+//! blocks. This bench sweeps the offset, verifies diversity holds for every
+//! choice, and times the runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higpu_bench::fig4;
+use higpu_core::redundancy::RedundancyMode;
+use higpu_rodinia::hotspot::Hotspot;
+use higpu_sim::config::GpuConfig;
+
+fn bench_start_sm(c: &mut Criterion) {
+    let cfg = GpuConfig::paper_6sm();
+    let mut group = c.benchmark_group("ablation_start_sm");
+    group.sample_size(10);
+    let bench = Hotspot {
+        size: 64,
+        steps: 2,
+        ..Default::default()
+    };
+    for offset in 1usize..6 {
+        let mode = RedundancyMode::Srrs {
+            start_sms: vec![0, offset],
+        };
+        let (cycles, diverse) = fig4::measure(&cfg, &bench, mode.clone()).expect("srrs");
+        eprintln!("offset {offset}: {cycles} cycles, diverse: {diverse}");
+        assert!(diverse, "every non-zero offset must preserve diversity");
+        group.bench_with_input(BenchmarkId::from_parameter(offset), &mode, |b, mode| {
+            b.iter(|| fig4::measure(&cfg, &bench, mode.clone()).expect("srrs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_start_sm);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench behind Figure 4: times the redundant-execution
+//! simulation of representative kernels (one per paper category) under each
+//! scheduling policy, and prints the cycle ratios the figure reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higpu_bench::fig4;
+use higpu_core::redundancy::RedundancyMode;
+use higpu_rodinia::harness::Benchmark;
+use higpu_rodinia::hotspot::Hotspot;
+use higpu_rodinia::myocyte::Myocyte;
+use higpu_rodinia::nn::Nn;
+use higpu_sim::config::GpuConfig;
+
+fn representatives() -> Vec<(&'static str, Box<dyn Benchmark>)> {
+    vec![
+        (
+            "short/nn",
+            Box::new(Nn {
+                records: 1024,
+                ..Default::default()
+            }) as Box<dyn Benchmark>,
+        ),
+        (
+            "friendly/hotspot",
+            Box::new(Hotspot {
+                size: 64,
+                steps: 2,
+                ..Default::default()
+            }),
+        ),
+        (
+            "friendly-long/myocyte",
+            Box::new(Myocyte {
+                cells: 64,
+                threads_per_block: 32,
+                steps: 400,
+                dt: 0.02,
+            }),
+        ),
+    ]
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let cfg = GpuConfig::paper_6sm();
+    let mut group = c.benchmark_group("fig4_policies");
+    group.sample_size(10);
+    for (label, bench) in representatives() {
+        // Print the figure's data point once per benchmark.
+        if let Ok(row) = fig4::run_benchmark(&cfg, bench.as_ref()) {
+            eprintln!(
+                "fig4[{label}]: HALF {:.2}x, SRRS {:.2}x (vs default)",
+                row.half_norm(),
+                row.srrs_norm()
+            );
+        }
+        for (policy, mode) in [
+            ("default", RedundancyMode::Uncontrolled),
+            ("half", RedundancyMode::Half),
+            ("srrs", RedundancyMode::srrs_default(cfg.num_sms)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(policy, label), &mode, |b, mode| {
+                b.iter(|| fig4::measure(&cfg, bench.as_ref(), mode.clone()).expect("measure"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

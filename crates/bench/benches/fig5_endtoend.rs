@@ -1,0 +1,57 @@
+//! Criterion bench behind Figure 5: times the end-to-end COTS model for a
+//! launch-dominated benchmark (nn) and a kernel-dominated one (cfd), and
+//! prints the baseline/redundant ratios the figure reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higpu_bench::fig5;
+use higpu_cots::{run_baseline, run_redundant, CotsPlatform};
+use higpu_rodinia::cfd::Cfd;
+use higpu_rodinia::harness::Benchmark;
+use higpu_rodinia::nn::Nn;
+
+fn representatives() -> Vec<(&'static str, Box<dyn Benchmark>)> {
+    vec![
+        (
+            "launch-dominated/nn",
+            Box::new(Nn {
+                records: 1024,
+                ..Default::default()
+            }) as Box<dyn Benchmark>,
+        ),
+        (
+            "kernel-dominated/cfd",
+            Box::new(Cfd {
+                cells: 1024,
+                steps: 20,
+                dtdx: 0.1,
+                threads_per_block: 64,
+            }),
+        ),
+    ]
+}
+
+fn bench_endtoend(c: &mut Criterion) {
+    let platform = CotsPlatform::gtx1050ti();
+    let mut group = c.benchmark_group("fig5_endtoend");
+    group.sample_size(10);
+    for (label, bench) in representatives() {
+        if let Ok(row) = fig5::run_benchmark(&platform, bench.as_ref()) {
+            eprintln!(
+                "fig5[{label}]: baseline {:.3} ms, redundant {:.3} ms ({:.2}x)",
+                row.baseline_ms,
+                row.redundant_ms,
+                row.ratio()
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("baseline", label), &(), |b, ()| {
+            b.iter(|| run_baseline(&platform, bench.as_ref()).expect("baseline"))
+        });
+        group.bench_with_input(BenchmarkId::new("redundant", label), &(), |b, ()| {
+            b.iter(|| run_redundant(&platform, bench.as_ref()).expect("redundant"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Figure 3's taxonomy as a measurement: classifies every
+//! kernel of every benchmark (short / heavy / friendly) from a solo
+//! profiling run and prints the per-kernel policy recommendation
+//! (paper Sec. IV-D).
+//!
+//! Usage: `cargo run --release -p higpu-bench --bin fig3_classify [--csv]`
+
+use higpu_bench::{fig3, table};
+use higpu_sim::config::GpuConfig;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let cfg = GpuConfig::paper_6sm();
+    eprintln!("Figure 3 — kernel categories and per-kernel policy selection\n");
+    let mut rows = Vec::new();
+    for bench in higpu_rodinia::all_benchmarks() {
+        match fig3::classify_benchmark(&cfg, bench.as_ref()) {
+            Ok(mut r) => rows.append(&mut r),
+            Err(e) => {
+                eprintln!("{}: classification failed: {e}", bench.name());
+                std::process::exit(1);
+            }
+        }
+    }
+    let t = fig3::to_table(&rows);
+    if csv {
+        println!("{}", table::render_csv(&t));
+    } else {
+        println!("{}", table::render(&t));
+    }
+}

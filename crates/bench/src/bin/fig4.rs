@@ -1,0 +1,41 @@
+//! Regenerates Figure 4: redundant-kernel simulation cycles (GPGPU-Sim-class
+//! simulator, 6 SMs) under Default / HALF / SRRS, normalized to Default.
+//!
+//! Usage: `cargo run --release -p higpu-bench --bin fig4 [--csv]`
+
+use higpu_bench::{fig4, table};
+use higpu_sim::config::GpuConfig;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let cfg = GpuConfig::paper_6sm();
+    eprintln!(
+        "Figure 4 — redundant kernel simulation cycles (normalized to the default scheduler)"
+    );
+    eprintln!(
+        "GPU: {} SMs, dispatch gap {} cycles\n",
+        cfg.num_sms, cfg.dispatch_gap_cycles
+    );
+    let rows = fig4::run_all(&cfg).unwrap_or_else(|e| {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    });
+    let t = fig4::to_table(&rows);
+    if csv {
+        println!("{}", table::render_csv(&t));
+    } else {
+        println!("{}", table::render(&t));
+        let max_srrs = rows
+            .iter()
+            .map(|r| r.srrs_norm())
+            .fold(0.0f64, f64::max);
+        let max_half = rows
+            .iter()
+            .map(|r| r.half_norm())
+            .fold(0.0f64, f64::max);
+        println!("worst-case SRRS overhead: {max_srrs:.2}x; worst-case HALF overhead: {max_half:.2}x");
+        println!(
+            "paper: HALF negligible for 9/11 (worst ~1.10x, lud); SRRS up to ~1.99x (myocyte)"
+        );
+    }
+}

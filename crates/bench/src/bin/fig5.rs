@@ -1,0 +1,38 @@
+//! Regenerates Figure 5: end-to-end execution time on the COTS platform
+//! model (GTX-1050-Ti-class, 6 SMs), Baseline vs Redundant-Serialized.
+//!
+//! Usage: `cargo run --release -p higpu-bench --bin fig5 [--csv]`
+
+use higpu_bench::{fig5, table};
+use higpu_cots::CotsPlatform;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let platform = CotsPlatform::gtx1050ti();
+    eprintln!("Figure 5 — end-to-end execution time, baseline vs redundant serialized");
+    eprintln!(
+        "platform: {} SMs @ {} GHz, PCIe {} GiB/s, {} us/API call\n",
+        platform.gpu.num_sms, platform.gpu.clock_ghz, platform.pcie_gibps, platform.api_call_us
+    );
+    let rows = fig5::run_all(&platform).unwrap_or_else(|e| {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    });
+    let t = fig5::to_table(&rows);
+    if csv {
+        println!("{}", table::render_csv(&t));
+    } else {
+        println!("{}", table::render(&t));
+        let worst = rows
+            .iter()
+            .max_by(|a, b| a.ratio().total_cmp(&b.ratio()))
+            .expect("rows");
+        println!(
+            "worst redundancy ratio: {} at {:.2}x (gpu fraction {:.2})",
+            worst.benchmark,
+            worst.ratio(),
+            worst.baseline_gpu_fraction
+        );
+        println!("paper: negligible for all but cfd and streamcluster (kernel-dominated)");
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal aligned-table / CSV rendering for the figure binaries.
+
+/// Renders rows as an aligned text table. The first row is the header.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting — cells must not contain commas).
+pub fn render_csv(rows: &[Vec<String>]) -> String {
+    rows.iter()
+        .map(|r| r.join(","))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<String>> {
+        vec![
+            vec!["name".into(), "value".into()],
+            vec!["alpha".into(), "1".into()],
+            vec!["b".into(), "22".into()],
+        ]
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render(&rows());
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        // Columns align: "value" starts at the same offset everywhere.
+        let col = lines[0].find("value").expect("header col");
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    fn csv_joins_with_commas() {
+        let c = render_csv(&rows());
+        assert_eq!(c.lines().next(), Some("name,value"));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(render(&[]), "");
+    }
+}

@@ -1,0 +1,239 @@
+//! Kernel categorization (paper Sec. IV-B, Fig. 3) and per-kernel policy
+//! selection (Sec. IV-D).
+//!
+//! Kernels fall in three categories with respect to redundant execution:
+//!
+//! * **Short** — finished before the second (redundant) copy even arrives at
+//!   the GPU (execution time below the serial host dispatch gap). No
+//!   overlap is possible; SRRS serialization costs nothing.
+//! * **Heavy** — its blocks monopolize whole SMs (occupancy of one block
+//!   per SM) while the grid demands more than half the GPU, so two copies
+//!   cannot make progress together anyway. SRRS costs little; HALF would
+//!   starve each copy.
+//! * **Friendly** — blocks are small enough that both copies' blocks
+//!   coexist. HALF gives each copy the half it would effectively use; SRRS
+//!   would serialize two kernels that could have overlapped, up to doubling
+//!   time.
+//!
+//! Classification is performed during the system analysis phase, from a solo
+//! profiling run, and the chosen policy is fixed before deployment.
+
+use crate::policy::PolicyKind;
+use higpu_sim::config::GpuConfig;
+use higpu_sim::kernel::BlockFootprint;
+
+/// The three kernel categories of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelCategory {
+    /// Too fast to overlap with its redundant copy.
+    Short,
+    /// Uses too many resources for copies to overlap.
+    Heavy,
+    /// Copies can progress concurrently.
+    Friendly,
+}
+
+impl KernelCategory {
+    /// The most convenient diversity policy for this category
+    /// (paper Sec. IV-D).
+    pub fn recommended_policy(self) -> PolicyKind {
+        match self {
+            KernelCategory::Short | KernelCategory::Heavy => PolicyKind::Srrs,
+            KernelCategory::Friendly => PolicyKind::Half,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelCategory::Short => write!(f, "short"),
+            KernelCategory::Heavy => write!(f, "heavy"),
+            KernelCategory::Friendly => write!(f, "friendly"),
+        }
+    }
+}
+
+/// Occupancy and timing profile of one kernel, measured on a solo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Cycles from first block dispatch to kernel completion, solo.
+    pub solo_cycles: u64,
+    /// Blocks in the grid.
+    pub grid_blocks: u32,
+    /// Maximum blocks of this kernel resident per SM (occupancy limit).
+    pub blocks_per_sm: u32,
+    /// Maximum blocks resident on the whole GPU.
+    pub gpu_capacity: u32,
+    /// Blocks the kernel would keep resident concurrently
+    /// (`min(grid_blocks, gpu_capacity)`).
+    pub concurrent_demand: u32,
+}
+
+impl KernelProfile {
+    /// Fraction of the GPU's block capacity this kernel demands (0..=1).
+    pub fn demand_fraction(&self) -> f64 {
+        if self.gpu_capacity == 0 {
+            return 1.0;
+        }
+        f64::from(self.concurrent_demand) / f64::from(self.gpu_capacity)
+    }
+}
+
+/// Maximum resident blocks per SM for a block footprint `fp` under `cfg`
+/// (the standard CUDA occupancy computation).
+pub fn max_blocks_per_sm(cfg: &GpuConfig, fp: &BlockFootprint) -> u32 {
+    let mut m = cfg.max_blocks_per_sm as u32;
+    if let Some(limit) = (cfg.max_threads_per_sm as u32).checked_div(fp.threads) {
+        m = m.min(limit);
+    }
+    if let Some(limit) = (cfg.max_warps_per_sm as u32).checked_div(fp.warps) {
+        m = m.min(limit);
+    }
+    if let Some(limit) = (cfg.registers_per_sm as u32).checked_div(fp.registers) {
+        m = m.min(limit);
+    }
+    if let Some(limit) = (cfg.shared_mem_per_sm as u32).checked_div(fp.shared_mem) {
+        m = m.min(limit);
+    }
+    m
+}
+
+/// Builds a [`KernelProfile`] from the solo execution time and the launch
+/// geometry.
+pub fn profile(
+    cfg: &GpuConfig,
+    fp: &BlockFootprint,
+    grid_blocks: u32,
+    solo_cycles: u64,
+) -> KernelProfile {
+    let blocks_per_sm = max_blocks_per_sm(cfg, fp);
+    let gpu_capacity = blocks_per_sm * cfg.num_sms as u32;
+    KernelProfile {
+        solo_cycles,
+        grid_blocks,
+        blocks_per_sm,
+        gpu_capacity,
+        concurrent_demand: grid_blocks.min(gpu_capacity),
+    }
+}
+
+/// Classifies a kernel per Fig. 3.
+///
+/// `dispatch_gap` is the serial host dispatch latency: a kernel whose solo
+/// execution finishes within it can never overlap its redundant copy
+/// (*short*). A kernel is *heavy* when a single thread block monopolizes an
+/// SM (occupancy limit of one block per SM) while the grid demands more
+/// than half the GPU — then no second kernel can make progress beside it,
+/// and halving the SM set starves it. Everything else is *friendly*: blocks
+/// are small enough that two kernels' blocks coexist on the same SMs.
+pub fn classify(profile: &KernelProfile, dispatch_gap: u64) -> KernelCategory {
+    if profile.solo_cycles < dispatch_gap {
+        KernelCategory::Short
+    } else if profile.blocks_per_sm <= 1 && profile.demand_fraction() > 0.5 {
+        KernelCategory::Heavy
+    } else {
+        KernelCategory::Friendly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::paper_6sm()
+    }
+
+    fn fp(threads: u32, regs_per_thread: u32, shared: u32) -> BlockFootprint {
+        BlockFootprint {
+            threads,
+            warps: threads.div_ceil(32),
+            registers: threads * regs_per_thread,
+            shared_mem: shared,
+        }
+    }
+
+    #[test]
+    fn occupancy_limited_by_block_slots() {
+        let m = max_blocks_per_sm(&cfg(), &fp(32, 8, 0));
+        assert_eq!(m, 8, "tiny blocks hit the block-slot limit");
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        let m = max_blocks_per_sm(&cfg(), &fp(512, 8, 0));
+        assert_eq!(m, 3, "1536 / 512");
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_mem() {
+        let m = max_blocks_per_sm(&cfg(), &fp(64, 8, 20 * 1024));
+        assert_eq!(m, 2, "48 KiB / 20 KiB");
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let m = max_blocks_per_sm(&cfg(), &fp(256, 64, 0));
+        // 32768 regs / (256*64) = 2
+        assert_eq!(m, 2);
+    }
+
+    #[test]
+    fn short_kernel_classified_by_duration() {
+        let p = profile(&cfg(), &fp(256, 16, 0), 48, 1000);
+        assert_eq!(classify(&p, 7000), KernelCategory::Short);
+        // Same kernel with a tiny dispatch gap would not be short.
+        assert_ne!(classify(&p, 500), KernelCategory::Short);
+    }
+
+    #[test]
+    fn heavy_kernel_monopolizes_sms() {
+        // 1024-thread blocks: 1/SM → capacity 6; grid of 6 demands 100%.
+        let p = profile(&cfg(), &fp(1024, 16, 0), 6, 1_000_000);
+        assert_eq!(p.blocks_per_sm, 1);
+        assert!(p.demand_fraction() > 0.5);
+        assert_eq!(classify(&p, 7000), KernelCategory::Heavy);
+    }
+
+    #[test]
+    fn large_grids_of_small_blocks_are_friendly_not_heavy() {
+        // Many small blocks saturate the GPU but interleave with a second
+        // kernel — the hotspot/srad case.
+        let p = profile(&cfg(), &fp(256, 16, 0), 1000, 1_000_000);
+        assert!(p.demand_fraction() > 0.99);
+        assert!(p.blocks_per_sm > 1);
+        assert_eq!(classify(&p, 7000), KernelCategory::Friendly);
+    }
+
+    #[test]
+    fn friendly_kernel_fits_in_half() {
+        // 256-thread blocks: 6/SM → capacity 36; grid of 12 demands 1/3.
+        let p = profile(&cfg(), &fp(256, 16, 0), 12, 1_000_000);
+        assert!(p.demand_fraction() <= 0.5);
+        assert_eq!(classify(&p, 7000), KernelCategory::Friendly);
+    }
+
+    #[test]
+    fn policy_recommendations_follow_paper() {
+        assert_eq!(
+            KernelCategory::Short.recommended_policy(),
+            PolicyKind::Srrs
+        );
+        assert_eq!(
+            KernelCategory::Heavy.recommended_policy(),
+            PolicyKind::Srrs
+        );
+        assert_eq!(
+            KernelCategory::Friendly.recommended_policy(),
+            PolicyKind::Half
+        );
+    }
+
+    #[test]
+    fn demand_fraction_bounds() {
+        let p = profile(&cfg(), &fp(32, 8, 0), 1_000_000, 10);
+        assert!(p.demand_fraction() <= 1.0);
+        assert_eq!(p.concurrent_demand, p.gpu_capacity);
+    }
+}

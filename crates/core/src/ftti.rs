@@ -1,0 +1,108 @@
+//! Fault-Tolerant Time Interval (FTTI) accounting.
+//!
+//! ISO 26262 requires that a fault is detected and the item brought back to
+//! a safe/operational state within the FTTI. With dual redundant execution
+//! the paper's recovery strategy is *re-execution upon mismatch*
+//! (Sec. IV-A, footnote 1): detection happens at the host-side compare, and
+//! recovery re-runs the redundant computation. This module checks that the
+//! worst-case fault handling path fits a given FTTI budget.
+
+/// An FTTI budget in GPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FttiBudget {
+    /// Budget in cycles.
+    pub cycles: u64,
+}
+
+impl FttiBudget {
+    /// Builds a budget from milliseconds at a given core clock.
+    pub fn from_ms(ms: f64, clock_ghz: f64) -> Self {
+        Self {
+            cycles: (ms * clock_ghz * 1.0e6) as u64,
+        }
+    }
+
+    /// The budget expressed in milliseconds at a given core clock.
+    pub fn to_ms(self, clock_ghz: f64) -> f64 {
+        self.cycles as f64 / (clock_ghz * 1.0e6)
+    }
+}
+
+/// Timing of one redundant execution round and its recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryAnalysis {
+    /// Cycles for one full redundant round (copies + both kernels + copy
+    /// back), i.e. the detection latency from offload to compare.
+    pub round_cycles: u64,
+    /// Cycles for the host-side output comparison.
+    pub compare_cycles: u64,
+    /// Re-execution rounds budgeted for recovery (1 for the paper's
+    /// single-fault assumption: one detected error, one re-execution).
+    pub recovery_rounds: u32,
+}
+
+impl RecoveryAnalysis {
+    /// Worst-case fault handling time: the faulty round runs to completion,
+    /// is detected at compare, and every budgeted recovery round re-executes
+    /// and re-compares.
+    pub fn worst_case_cycles(&self) -> u64 {
+        let one = self.round_cycles + self.compare_cycles;
+        one + u64::from(self.recovery_rounds) * one
+    }
+
+    /// True when the worst case fits the budget.
+    pub fn fits(&self, budget: FttiBudget) -> bool {
+        self.worst_case_cycles() <= budget.cycles
+    }
+
+    /// The largest budget slack (cycles left in the FTTI), if it fits.
+    pub fn slack(&self, budget: FttiBudget) -> Option<u64> {
+        budget.cycles.checked_sub(self.worst_case_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_conversion_roundtrips() {
+        let b = FttiBudget::from_ms(10.0, 1.4);
+        assert_eq!(b.cycles, 14_000_000);
+        assert!((b.to_ms(1.4) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_includes_detection_and_recovery() {
+        let r = RecoveryAnalysis {
+            round_cycles: 1000,
+            compare_cycles: 100,
+            recovery_rounds: 1,
+        };
+        assert_eq!(r.worst_case_cycles(), 2200);
+    }
+
+    #[test]
+    fn fits_and_slack() {
+        let r = RecoveryAnalysis {
+            round_cycles: 1000,
+            compare_cycles: 100,
+            recovery_rounds: 1,
+        };
+        assert!(r.fits(FttiBudget { cycles: 2200 }));
+        assert!(!r.fits(FttiBudget { cycles: 2199 }));
+        assert_eq!(r.slack(FttiBudget { cycles: 3000 }), Some(800));
+        assert_eq!(r.slack(FttiBudget { cycles: 2000 }), None);
+    }
+
+    #[test]
+    fn tmr_style_zero_recovery() {
+        // With forward recovery (e.g. TMR voting) no re-execution is needed.
+        let r = RecoveryAnalysis {
+            round_cycles: 1000,
+            compare_cycles: 100,
+            recovery_rounds: 0,
+        };
+        assert_eq!(r.worst_case_cycles(), 1100);
+    }
+}

@@ -1,0 +1,226 @@
+//! ISO 26262-5 hardware architectural metrics: the Single-Point Fault
+//! Metric (SPFM) and the Latent-Fault Metric (LFM).
+//!
+//! The paper's Sec. II notes that each ASIL prescribes diagnostic-coverage
+//! levels and acceptable residual failure rates; this module computes the
+//! two standard metrics from a fault-rate decomposition and checks them
+//! against the per-ASIL targets of ISO 26262-5 Table 4/5:
+//!
+//! | metric | ASIL B | ASIL C | ASIL D |
+//! |--------|--------|--------|--------|
+//! | SPFM   | ≥ 90%  | ≥ 97%  | ≥ 99%  |
+//! | LFM    | ≥ 60%  | ≥ 80%  | ≥ 90%  |
+//!
+//! Fault-injection campaigns ([`crate::safety_case::DetectionEvidence`])
+//! estimate the decomposition empirically: *detected* faults are covered by
+//! the DCLS comparison, *masked* faults are safe, and *undetected failures*
+//! are residual. Diversity-reducing scheduler faults caught by the periodic
+//! self-test ([`crate::bist`]) count against the latent-fault metric.
+
+use crate::asil::Asil;
+
+/// Decomposition of the safety-related fault rate λ (any consistent unit —
+/// FIT, or plain counts from a campaign).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultRates {
+    /// Safe faults: no effect on the safety goal (masked corruptions).
+    pub safe: f64,
+    /// Faults detected/controlled by a safety mechanism (the redundant
+    /// comparison, the scheduler self-test).
+    pub detected: f64,
+    /// Residual / single-point faults: violate the safety goal undetected.
+    pub residual: f64,
+    /// Multiple-point faults that would stay latent (not detected by any
+    /// mechanism nor perceived by the driver).
+    pub latent: f64,
+}
+
+impl FaultRates {
+    /// Total safety-related fault rate.
+    pub fn total(&self) -> f64 {
+        self.safe + self.detected + self.residual + self.latent
+    }
+
+    /// Builds rates from campaign evidence, treating undetected failures as
+    /// residual faults. `latent` counts diversity-reducing faults that
+    /// escaped the periodic self-test (0 when the BIST catches them all).
+    pub fn from_campaign(evidence: &crate::safety_case::DetectionEvidence, latent: u64) -> Self {
+        FaultRates {
+            safe: evidence.masked as f64,
+            detected: evidence.detected as f64,
+            residual: evidence.undetected_failures as f64,
+            latent: latent as f64,
+        }
+    }
+}
+
+/// The two ISO 26262-5 hardware architectural metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareMetrics {
+    /// Single-Point Fault Metric: `1 − λ_residual / λ_total`.
+    pub spfm: f64,
+    /// Latent-Fault Metric: `1 − λ_latent / (λ_total − λ_residual)`.
+    pub lfm: f64,
+}
+
+impl HardwareMetrics {
+    /// Computes both metrics; a zero denominator yields a metric of 1
+    /// (no faults in the class at all).
+    pub fn from_rates(r: &FaultRates) -> Self {
+        let total = r.total();
+        let spfm = if total > 0.0 {
+            1.0 - r.residual / total
+        } else {
+            1.0
+        };
+        let non_residual = total - r.residual;
+        let lfm = if non_residual > 0.0 {
+            1.0 - r.latent / non_residual
+        } else {
+            1.0
+        };
+        HardwareMetrics { spfm, lfm }
+    }
+
+    /// The SPFM target for `asil` (`None` below ASIL B — the standard sets
+    /// no quantitative target).
+    pub fn spfm_target(asil: Asil) -> Option<f64> {
+        match asil {
+            Asil::B => Some(0.90),
+            Asil::C => Some(0.97),
+            Asil::D => Some(0.99),
+            _ => None,
+        }
+    }
+
+    /// The LFM target for `asil`.
+    pub fn lfm_target(asil: Asil) -> Option<f64> {
+        match asil {
+            Asil::B => Some(0.60),
+            Asil::C => Some(0.80),
+            Asil::D => Some(0.90),
+            _ => None,
+        }
+    }
+
+    /// True when both metrics meet the targets for `asil` (trivially true
+    /// for QM/A, which have no quantitative targets).
+    pub fn meets(&self, asil: Asil) -> bool {
+        let spfm_ok = Self::spfm_target(asil).is_none_or(|t| self.spfm >= t);
+        let lfm_ok = Self::lfm_target(asil).is_none_or(|t| self.lfm >= t);
+        spfm_ok && lfm_ok
+    }
+
+    /// The highest ASIL whose quantitative targets these metrics satisfy.
+    pub fn highest_supported_asil(&self) -> Asil {
+        for asil in [Asil::D, Asil::C, Asil::B] {
+            if self.meets(asil) {
+                return asil;
+            }
+        }
+        Asil::A
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety_case::DetectionEvidence;
+
+    #[test]
+    fn perfect_coverage_meets_asil_d() {
+        let r = FaultRates {
+            safe: 10.0,
+            detected: 90.0,
+            residual: 0.0,
+            latent: 0.0,
+        };
+        let m = HardwareMetrics::from_rates(&r);
+        assert_eq!(m.spfm, 1.0);
+        assert_eq!(m.lfm, 1.0);
+        assert!(m.meets(Asil::D));
+        assert_eq!(m.highest_supported_asil(), Asil::D);
+    }
+
+    #[test]
+    fn residual_faults_degrade_spfm() {
+        // 2 residual out of 100 total → SPFM 98%: ASIL-C but not ASIL-D.
+        let r = FaultRates {
+            safe: 8.0,
+            detected: 90.0,
+            residual: 2.0,
+            latent: 0.0,
+        };
+        let m = HardwareMetrics::from_rates(&r);
+        assert!((m.spfm - 0.98).abs() < 1e-12);
+        assert!(!m.meets(Asil::D));
+        assert!(m.meets(Asil::C));
+        assert_eq!(m.highest_supported_asil(), Asil::C);
+    }
+
+    #[test]
+    fn latent_faults_degrade_lfm() {
+        // 15 latent out of 100 non-residual → LFM 85%: fails ASIL-D's 90%.
+        let r = FaultRates {
+            safe: 10.0,
+            detected: 75.0,
+            residual: 0.0,
+            latent: 15.0,
+        };
+        let m = HardwareMetrics::from_rates(&r);
+        assert_eq!(m.spfm, 1.0);
+        assert!((m.lfm - 0.85).abs() < 1e-12);
+        assert!(!m.meets(Asil::D));
+        assert!(m.meets(Asil::C));
+    }
+
+    #[test]
+    fn qm_and_a_have_no_quantitative_targets() {
+        let m = HardwareMetrics {
+            spfm: 0.5,
+            lfm: 0.5,
+        };
+        assert!(m.meets(Asil::QM));
+        assert!(m.meets(Asil::A));
+        assert!(!m.meets(Asil::B));
+        assert_eq!(m.highest_supported_asil(), Asil::A);
+    }
+
+    #[test]
+    fn no_faults_at_all_is_perfect() {
+        let m = HardwareMetrics::from_rates(&FaultRates::default());
+        assert_eq!(m.spfm, 1.0);
+        assert_eq!(m.lfm, 1.0);
+    }
+
+    #[test]
+    fn campaign_evidence_converts() {
+        // An SRRS campaign: everything effective was detected.
+        let e = DetectionEvidence {
+            activated: 100,
+            masked: 20,
+            detected: 80,
+            undetected_failures: 0,
+        };
+        let m = HardwareMetrics::from_rates(&FaultRates::from_campaign(&e, 0));
+        assert!(m.meets(Asil::D));
+
+        // An uncontrolled campaign with undetected failures.
+        let bad = DetectionEvidence {
+            activated: 100,
+            masked: 0,
+            detected: 67,
+            undetected_failures: 33,
+        };
+        let m = HardwareMetrics::from_rates(&FaultRates::from_campaign(&bad, 0));
+        assert!(m.spfm < 0.90, "33% residual cannot even reach ASIL B");
+        assert_eq!(m.highest_supported_asil(), Asil::A);
+    }
+
+    #[test]
+    fn targets_are_monotone_in_asil() {
+        assert!(HardwareMetrics::spfm_target(Asil::D) > HardwareMetrics::spfm_target(Asil::C));
+        assert!(HardwareMetrics::spfm_target(Asil::C) > HardwareMetrics::spfm_target(Asil::B));
+        assert!(HardwareMetrics::lfm_target(Asil::D) > HardwareMetrics::lfm_target(Asil::C));
+    }
+}

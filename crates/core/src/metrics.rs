@@ -1,0 +1,106 @@
+//! Trace metrics used by the evaluation harness.
+
+use higpu_sim::trace::ExecutionTrace;
+use std::collections::BTreeMap;
+
+/// The paper's Fig. 4 metric: simulated cycles attributable to redundant
+/// kernel execution.
+///
+/// For every redundancy group (one logical kernel executed as N replicas),
+/// the group's cost is `max(completion over replicas) − min(arrival over
+/// replicas)`; the benchmark's total is the sum over groups. Serialization
+/// (SRRS) lengthens the interval between first arrival and last completion;
+/// SM restriction (HALF) lengthens each replica — both are captured, while
+/// host-side time between dependent launches is not double-counted.
+///
+/// Returns `None` if any redundant kernel has not completed.
+pub fn redundant_kernel_cycles(trace: &ExecutionTrace) -> Option<u64> {
+    let mut groups: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for k in &trace.kernels {
+        let Some(tag) = k.attrs.redundant else {
+            continue;
+        };
+        let completion = k.completion?;
+        let entry = groups.entry(tag.group).or_insert((u64::MAX, 0));
+        entry.0 = entry.0.min(k.arrival);
+        entry.1 = entry.1.max(completion);
+    }
+    if groups.is_empty() {
+        return None;
+    }
+    Some(groups.values().map(|(a, c)| c - a).sum())
+}
+
+/// Like [`redundant_kernel_cycles`] but for non-redundant (solo) traces:
+/// sums `completion − arrival` over every kernel.
+pub fn solo_kernel_cycles(trace: &ExecutionTrace) -> Option<u64> {
+    if trace.kernels.is_empty() {
+        return None;
+    }
+    let mut total = 0;
+    for k in &trace.kernels {
+        total += k.completion? - k.arrival;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_sim::kernel::{BlockFootprint, KernelId, LaunchAttrs, RedundantTag};
+    use higpu_sim::trace::KernelRecord;
+
+    fn rec(id: u64, group: Option<(u32, u8)>, arrival: u64, completion: Option<u64>) -> KernelRecord {
+        KernelRecord {
+            id: KernelId(id),
+            program: "k".into(),
+            attrs: LaunchAttrs {
+                redundant: group.map(|(g, r)| RedundantTag {
+                    group: g,
+                    replica: r,
+                }),
+                ..Default::default()
+            },
+            launched: 0,
+            arrival,
+            first_dispatch: Some(arrival),
+            completion,
+            blocks: 1,
+            footprint: BlockFootprint::default(),
+        }
+    }
+
+    #[test]
+    fn groups_are_summed() {
+        let mut t = ExecutionTrace::new();
+        t.kernels.push(rec(0, Some((0, 0)), 100, Some(200)));
+        t.kernels.push(rec(1, Some((0, 1)), 150, Some(300)));
+        t.kernels.push(rec(2, Some((1, 0)), 400, Some(450)));
+        t.kernels.push(rec(3, Some((1, 1)), 420, Some(500)));
+        // group 0: 300-100 = 200 ; group 1: 500-400 = 100
+        assert_eq!(redundant_kernel_cycles(&t), Some(300));
+    }
+
+    #[test]
+    fn incomplete_kernels_yield_none() {
+        let mut t = ExecutionTrace::new();
+        t.kernels.push(rec(0, Some((0, 0)), 100, None));
+        assert_eq!(redundant_kernel_cycles(&t), None);
+    }
+
+    #[test]
+    fn non_redundant_traces_yield_none() {
+        let mut t = ExecutionTrace::new();
+        t.kernels.push(rec(0, None, 100, Some(300)));
+        assert_eq!(redundant_kernel_cycles(&t), None);
+        assert_eq!(solo_kernel_cycles(&t), Some(200));
+    }
+
+    #[test]
+    fn solo_metric_sums_all_kernels() {
+        let mut t = ExecutionTrace::new();
+        t.kernels.push(rec(0, None, 0, Some(100)));
+        t.kernels.push(rec(1, None, 200, Some(260)));
+        assert_eq!(solo_kernel_cycles(&t), Some(160));
+    }
+}

@@ -1,0 +1,226 @@
+//! The HALF kernel scheduling policy (paper Sec. IV-B2).
+//!
+//! HALF statically partitions the SMs in two halves and confines each
+//! redundant kernel to one half (the `partition` launch attribute):
+//!
+//! * **spatial diversity** is structural — the replicas can never share an
+//!   SM;
+//! * **temporal diversity** follows from the serial dispatch of kernels from
+//!   the CPU: any given computation starts earlier in the first replica, and
+//!   shared-resource contention can only preserve (never invert) that slack
+//!   (paper's argument in Sec. IV-B2).
+//!
+//! Unlike SRRS, HALF lets both replicas execute concurrently, which is why
+//! it suits *friendly* kernels that cannot profitably use more than half of
+//! the SMs anyway.
+
+use higpu_sim::kernel::SmPartition;
+use higpu_sim::scheduler::{KernelSchedulerPolicy, SchedulerView};
+
+/// The HALF policy.
+///
+/// Kernels carrying a [`SmPartition`] attribute are confined to that half;
+/// kernels without the attribute (non-redundant work) may use the whole GPU.
+#[derive(Debug, Clone, Default)]
+pub struct HalfScheduler {
+    _private: (),
+}
+
+impl HalfScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KernelSchedulerPolicy for HalfScheduler {
+    fn name(&self) -> &str {
+        "half"
+    }
+
+    fn assign(&mut self, view: &mut SchedulerView) {
+        let n = view.num_sms();
+        if n == 0 {
+            return;
+        }
+        // Kernels in arrival order; each fills its allowed SM range
+        // breadth-first.
+        let ids: Vec<_> = view.kernels().iter().map(|k| k.id).collect();
+        for id in ids {
+            let range = {
+                let Some(k) = view.kernels().iter().find(|k| k.id == id) else {
+                    continue;
+                };
+                match k.attrs.partition {
+                    Some(SmPartition::Lower) => SmPartition::Lower.range(n),
+                    Some(SmPartition::Upper) => SmPartition::Upper.range(n),
+                    None => 0..n,
+                }
+            };
+            loop {
+                let mut any = false;
+                for sm in range.clone() {
+                    any |= view.try_assign(sm, id);
+                }
+                if !any {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_sim::kernel::{BlockFootprint, KernelId, LaunchAttrs};
+    use higpu_sim::scheduler::{KernelSnapshot, SmSnapshot};
+    use higpu_sim::sm::ResourceUsage;
+
+    fn fp() -> BlockFootprint {
+        BlockFootprint {
+            threads: 64,
+            warps: 2,
+            registers: 64,
+            shared_mem: 0,
+        }
+    }
+
+    fn sm_free(block_slots: u32) -> SmSnapshot {
+        SmSnapshot {
+            free: ResourceUsage {
+                threads: 1536,
+                warps: 48,
+                registers: 32 * 1024,
+                shared_mem: 48 * 1024,
+                blocks: block_slots,
+            },
+            resident_blocks: 0,
+        }
+    }
+
+    fn kernel(id: u64, blocks: u32, partition: Option<SmPartition>) -> KernelSnapshot {
+        KernelSnapshot {
+            id: KernelId(id),
+            attrs: LaunchAttrs {
+                partition,
+                ..Default::default()
+            },
+            arrival: 0,
+            blocks_total: blocks,
+            blocks_issued: 0,
+            blocks_done: 0,
+            footprint: fp(),
+        }
+    }
+
+    #[test]
+    fn partitions_are_respected() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![
+                kernel(0, 6, Some(SmPartition::Lower)),
+                kernel(1, 6, Some(SmPartition::Upper)),
+            ],
+            (0..6).map(|_| sm_free(8)).collect(),
+        );
+        HalfScheduler::new().assign(&mut view);
+        for a in view.assignments() {
+            if a.kernel == KernelId(0) {
+                assert!(a.sm < 3, "lower replica on SMs 0..3");
+            } else {
+                assert!(a.sm >= 3, "upper replica on SMs 3..6");
+            }
+        }
+        assert_eq!(view.assignments().len(), 12, "both kernels fully placed");
+    }
+
+    #[test]
+    fn both_replicas_run_concurrently() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![
+                kernel(0, 3, Some(SmPartition::Lower)),
+                kernel(1, 3, Some(SmPartition::Upper)),
+            ],
+            (0..6).map(|_| sm_free(8)).collect(),
+        );
+        HalfScheduler::new().assign(&mut view);
+        let k0: Vec<_> = view
+            .assignments()
+            .iter()
+            .filter(|a| a.kernel == KernelId(0))
+            .collect();
+        let k1: Vec<_> = view
+            .assignments()
+            .iter()
+            .filter(|a| a.kernel == KernelId(1))
+            .collect();
+        assert_eq!(k0.len(), 3);
+        assert_eq!(k1.len(), 3, "no serialization under HALF");
+    }
+
+    #[test]
+    fn unpartitioned_kernels_use_whole_gpu() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 6, None)],
+            (0..6).map(|_| sm_free(1)).collect(),
+        );
+        HalfScheduler::new().assign(&mut view);
+        let mut sms: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        sms.sort_unstable();
+        assert_eq!(sms, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn half_capacity_limits_each_replica() {
+        // One block slot per SM: each replica gets at most 3 blocks resident.
+        let mut view = SchedulerView::new(
+            0,
+            vec![
+                kernel(0, 8, Some(SmPartition::Lower)),
+                kernel(1, 8, Some(SmPartition::Upper)),
+            ],
+            (0..6).map(|_| sm_free(1)).collect(),
+        );
+        HalfScheduler::new().assign(&mut view);
+        let k0 = view
+            .assignments()
+            .iter()
+            .filter(|a| a.kernel == KernelId(0))
+            .count();
+        let k1 = view
+            .assignments()
+            .iter()
+            .filter(|a| a.kernel == KernelId(1))
+            .count();
+        assert_eq!(k0, 3);
+        assert_eq!(k1, 3);
+    }
+
+    #[test]
+    fn odd_sm_count_gives_lower_partition_the_extra_sm() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![
+                kernel(0, 5, Some(SmPartition::Lower)),
+                kernel(1, 5, Some(SmPartition::Upper)),
+            ],
+            (0..5).map(|_| sm_free(1)).collect(),
+        );
+        HalfScheduler::new().assign(&mut view);
+        let k0 = view
+            .assignments()
+            .iter()
+            .filter(|a| a.kernel == KernelId(0))
+            .count();
+        let k1 = view
+            .assignments()
+            .iter()
+            .filter(|a| a.kernel == KernelId(1))
+            .count();
+        assert_eq!(k0, 3, "lower half is SMs 0..3 of 5");
+        assert_eq!(k1, 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's global kernel-scheduler policies and policy selection.
+//!
+//! Kernel classification (see [`crate::classify`]) happens at system analysis
+//! time; the most convenient policy is then selected per kernel before
+//! deployment (paper Sec. IV-D): SRRS for *short* and *heavy* kernels, HALF
+//! for *friendly* kernels.
+
+pub mod half;
+pub mod srrs;
+
+pub use half::HalfScheduler;
+pub use srrs::SrrsScheduler;
+
+use higpu_sim::scheduler::{DefaultScheduler, KernelSchedulerPolicy};
+
+/// The scheduling policies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Unconstrained COTS baseline (GPGPU-Sim default).
+    Default,
+    /// Start / Round-Robin / Serial.
+    Srrs,
+    /// Static SM halving.
+    Half,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn KernelSchedulerPolicy> {
+        match self {
+            PolicyKind::Default => Box::new(DefaultScheduler::new()),
+            PolicyKind::Srrs => Box::new(SrrsScheduler::new()),
+            PolicyKind::Half => Box::new(HalfScheduler::new()),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Default => "GPGPU-SIM",
+            PolicyKind::Srrs => "SRRS",
+            PolicyKind::Half => "HALF",
+        }
+    }
+
+    /// All three policies, in the order the paper plots them.
+    pub fn all() -> [PolicyKind; 3] {
+        [PolicyKind::Default, PolicyKind::Half, PolicyKind::Srrs]
+    }
+
+    /// True for the policies that guarantee diverse redundancy.
+    pub fn guarantees_diversity(self) -> bool {
+        matches!(self, PolicyKind::Srrs | PolicyKind::Half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_matching_names() {
+        assert_eq!(PolicyKind::Default.build().name(), "default");
+        assert_eq!(PolicyKind::Srrs.build().name(), "srrs");
+        assert_eq!(PolicyKind::Half.build().name(), "half");
+    }
+
+    #[test]
+    fn diversity_guarantees() {
+        assert!(!PolicyKind::Default.guarantees_diversity());
+        assert!(PolicyKind::Srrs.guarantees_diversity());
+        assert!(PolicyKind::Half.guarantees_diversity());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PolicyKind::Default.label(), "GPGPU-SIM");
+        assert_eq!(PolicyKind::Half.label(), "HALF");
+        assert_eq!(PolicyKind::Srrs.label(), "SRRS");
+    }
+}

@@ -1,0 +1,198 @@
+//! The SRRS (*Start, Round-Robin, Serial*) kernel scheduling policy
+//! (paper Sec. IV-B1).
+//!
+//! SRRS enforces, by construction:
+//!
+//! 1. a kernel starts only when the GPU is **idle**;
+//! 2. the SM receiving the **first** thread block is software-selected
+//!    (the `start_sm` launch attribute);
+//! 3. subsequent blocks are placed **round-robin** from the start SM —
+//!    block *i* executes on SM `(start + i) mod n`, strictly in order;
+//! 4. kernel execution is fully **serialized**: the next kernel (redundant
+//!    copy or any other) starts only after the current one completes.
+//!
+//! With different start SMs for the two replicas, every redundant block pair
+//! executes on different SMs at disjoint times, so neither a permanent SM
+//! fault nor a transient common-cause fault (e.g. a voltage droop) can
+//! corrupt both copies identically.
+
+use higpu_sim::scheduler::{KernelSchedulerPolicy, SchedulerView};
+
+/// The SRRS policy. Stateless across rounds apart from the serialization
+/// order, which it derives from kernel arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct SrrsScheduler {
+    /// Fallback start SM for kernels that do not carry a `start_sm` hint.
+    pub default_start_sm: usize,
+}
+
+impl SrrsScheduler {
+    /// Creates the policy with a default start SM of 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KernelSchedulerPolicy for SrrsScheduler {
+    fn name(&self) -> &str {
+        "srrs"
+    }
+
+    fn assign(&mut self, view: &mut SchedulerView) {
+        let n = view.num_sms();
+        if n == 0 {
+            return;
+        }
+        // Serialization: only the oldest unfinished kernel may execute.
+        let Some(head) = view.kernels().first() else {
+            return;
+        };
+        let head_id = head.id;
+        // Start condition: a kernel may only *begin* on an idle GPU. Once it
+        // has started it owns the GPU (no other kernel can have resident
+        // blocks, by induction).
+        if head.blocks_issued == 0 && !view.gpu_idle() {
+            return;
+        }
+        let start = head.attrs.start_sm.unwrap_or(self.default_start_sm) % n;
+        // Strict in-order round-robin placement: block i → SM (start+i) % n.
+        // If the designated SM is full we wait (head-of-line), preserving the
+        // deterministic block→SM mapping the diversity argument relies on.
+        loop {
+            let Some(k) = view.kernels().iter().find(|k| k.id == head_id) else {
+                return;
+            };
+            if k.pending() == 0 {
+                return;
+            }
+            let i = k.blocks_issued as usize;
+            let sm = (start + i) % n;
+            if !view.try_assign(sm, head_id) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_sim::kernel::{BlockFootprint, KernelId, LaunchAttrs};
+    use higpu_sim::scheduler::{KernelSnapshot, SmSnapshot};
+    use higpu_sim::sm::ResourceUsage;
+
+    fn fp() -> BlockFootprint {
+        BlockFootprint {
+            threads: 64,
+            warps: 2,
+            registers: 64,
+            shared_mem: 0,
+        }
+    }
+
+    fn sm_free() -> SmSnapshot {
+        SmSnapshot {
+            free: ResourceUsage {
+                threads: 1536,
+                warps: 48,
+                registers: 32 * 1024,
+                shared_mem: 48 * 1024,
+                blocks: 8,
+            },
+            resident_blocks: 0,
+        }
+    }
+
+    fn kernel(id: u64, blocks: u32, start_sm: Option<usize>) -> KernelSnapshot {
+        KernelSnapshot {
+            id: KernelId(id),
+            attrs: LaunchAttrs {
+                start_sm,
+                ..Default::default()
+            },
+            arrival: 0,
+            blocks_total: blocks,
+            blocks_issued: 0,
+            blocks_done: 0,
+            footprint: fp(),
+        }
+    }
+
+    #[test]
+    fn blocks_follow_round_robin_from_start_sm() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 8, Some(2))],
+            (0..6).map(|_| sm_free()).collect(),
+        );
+        SrrsScheduler::new().assign(&mut view);
+        let sms: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        assert_eq!(sms, vec![2, 3, 4, 5, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn second_kernel_waits_for_first() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 2, Some(0)), kernel(1, 2, Some(3))],
+            (0..6).map(|_| sm_free()).collect(),
+        );
+        SrrsScheduler::new().assign(&mut view);
+        assert!(
+            view.assignments().iter().all(|a| a.kernel == KernelId(0)),
+            "only the head kernel is dispatched"
+        );
+        assert_eq!(view.assignments().len(), 2);
+    }
+
+    #[test]
+    fn kernel_does_not_start_on_busy_gpu() {
+        let mut sms: Vec<SmSnapshot> = (0..6).map(|_| sm_free()).collect();
+        sms[4].resident_blocks = 1; // someone else's block still resident
+        let mut view = SchedulerView::new(0, vec![kernel(0, 2, Some(0))], sms);
+        SrrsScheduler::new().assign(&mut view);
+        assert!(view.assignments().is_empty(), "idle-start condition");
+    }
+
+    #[test]
+    fn started_kernel_keeps_dispatching_even_while_gpu_busy() {
+        let mut k = kernel(0, 4, Some(0));
+        k.blocks_issued = 2; // already started: blocks 0,1 are resident
+        let mut sms: Vec<SmSnapshot> = (0..6).map(|_| sm_free()).collect();
+        sms[0].resident_blocks = 1;
+        sms[1].resident_blocks = 1;
+        let mut view = SchedulerView::new(0, vec![k], sms);
+        SrrsScheduler::new().assign(&mut view);
+        let sms: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        assert_eq!(sms, vec![2, 3], "continues the round-robin sequence");
+    }
+
+    #[test]
+    fn head_of_line_blocks_when_target_sm_full() {
+        let mut sms: Vec<SmSnapshot> = (0..6).map(|_| sm_free()).collect();
+        sms[1].free.blocks = 0; // SM1 has no block slot
+        let mut view = SchedulerView::new(0, vec![kernel(0, 6, Some(0))], sms);
+        SrrsScheduler::new().assign(&mut view);
+        let sms: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        assert_eq!(
+            sms,
+            vec![0],
+            "block 1 must go to SM1; placement stalls rather than reorder"
+        );
+    }
+
+    #[test]
+    fn default_start_sm_applies_without_hint() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 3, None)],
+            (0..6).map(|_| sm_free()).collect(),
+        );
+        let mut pol = SrrsScheduler {
+            default_start_sm: 5,
+        };
+        pol.assign(&mut view);
+        let sms: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        assert_eq!(sms, vec![5, 0, 1]);
+    }
+}

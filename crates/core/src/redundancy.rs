@@ -1,0 +1,651 @@
+//! The DCLS redundant-execution protocol (paper Sec. IV-A).
+//!
+//! An ASIL-D capable lockstep host CPU offloads a computation to the GPU by
+//! (1) allocating device memory for **both** redundant kernels,
+//! (2) transferring the input data twice, (3) launching the two redundant
+//! kernels (under a diversity-enforcing scheduling policy),
+//! (4) collecting both results, and (5) comparing them on the DCLS core.
+//! A mismatch means a fault corrupted one copy; the computation is
+//! re-executed within the fault-tolerant time interval (see
+//! [`crate::ftti`]).
+//!
+//! [`RedundantExecutor`] drives this protocol over a [`higpu_sim::gpu::Gpu`].
+//! Multi-kernel host programs (iterative solvers, wavefront algorithms)
+//! naturally express as multiple `launch`/`sync` rounds; every launch is
+//! replicated and tagged so the diversity analyzer can match block pairs.
+
+use crate::policy::PolicyKind;
+use higpu_sim::gpu::{DevPtr, Gpu, SimError};
+use higpu_sim::kernel::{Dim3, KernelId, KernelLaunch, LaunchConfig, SmPartition};
+use higpu_sim::program::Program;
+use std::sync::Arc;
+
+/// How the redundant replicas are scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedundancyMode {
+    /// Launch replicas back-to-back under the unconstrained COTS scheduler —
+    /// redundancy without any diversity guarantee (the paper's baseline).
+    Uncontrolled,
+    /// SRRS: serialized execution, round-robin placement from per-replica
+    /// start SMs (must be distinct modulo the SM count).
+    Srrs {
+        /// Start SM per replica.
+        start_sms: Vec<usize>,
+    },
+    /// HALF: replica 0 on the lower SM half, replica 1 on the upper half.
+    /// Only defined for two replicas.
+    Half,
+}
+
+impl RedundancyMode {
+    /// The scheduler policy this mode requires on the GPU.
+    pub fn policy_kind(&self) -> PolicyKind {
+        match self {
+            RedundancyMode::Uncontrolled => PolicyKind::Default,
+            RedundancyMode::Srrs { .. } => PolicyKind::Srrs,
+            RedundancyMode::Half => PolicyKind::Half,
+        }
+    }
+
+    /// Number of replicas this mode executes.
+    pub fn replicas(&self) -> u8 {
+        match self {
+            RedundancyMode::Srrs { start_sms } => start_sms.len() as u8,
+            _ => 2,
+        }
+    }
+
+    /// Default SRRS mode for a GPU with `num_sms` SMs: two replicas with
+    /// maximally separated start SMs (0 and n/2).
+    pub fn srrs_default(num_sms: usize) -> Self {
+        RedundancyMode::Srrs {
+            start_sms: vec![0, num_sms / 2],
+        }
+    }
+}
+
+/// Errors of the redundant-execution protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedundancyError {
+    /// Underlying device error.
+    Sim(SimError),
+    /// The mode is mis-parameterized (e.g. SRRS replicas sharing a start SM,
+    /// HALF with ≠ 2 replicas).
+    InvalidMode(String),
+    /// A parameter referenced a logical buffer with the wrong replica count.
+    BufferArity {
+        /// Replicas the buffer was allocated for.
+        buffer: usize,
+        /// Replicas the executor runs.
+        executor: usize,
+    },
+}
+
+impl std::fmt::Display for RedundancyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RedundancyError::Sim(e) => write!(f, "device error: {e}"),
+            RedundancyError::InvalidMode(m) => write!(f, "invalid redundancy mode: {m}"),
+            RedundancyError::BufferArity { buffer, executor } => write!(
+                f,
+                "buffer allocated for {buffer} replicas used with {executor} replicas"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RedundancyError {}
+
+impl From<SimError> for RedundancyError {
+    fn from(e: SimError) -> Self {
+        RedundancyError::Sim(e)
+    }
+}
+
+/// A logical device buffer with one physical allocation per replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RBuf {
+    ptrs: Vec<DevPtr>,
+    words: u32,
+}
+
+impl RBuf {
+    /// The physical pointer for `replica`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn ptr(&self, replica: usize) -> DevPtr {
+        self.ptrs[replica]
+    }
+
+    /// Buffer length in 32-bit words.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.ptrs.len()
+    }
+}
+
+/// A kernel parameter in replica-generic form.
+#[derive(Debug, Clone, Copy)]
+pub enum RParam<'a> {
+    /// The replica-local address of a logical buffer.
+    Buf(&'a RBuf),
+    /// The replica-local address of a buffer plus a word offset.
+    BufOffset(&'a RBuf, u32),
+    /// A raw word, identical across replicas.
+    U32(u32),
+    /// A signed integer, identical across replicas.
+    I32(i32),
+    /// A float (raw bits), identical across replicas.
+    F32(f32),
+}
+
+/// Outcome of collecting and comparing redundant results on the DCLS host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Comparison<T> {
+    /// Replicas agree bitwise; the value is safe to consume.
+    Match(T),
+    /// Replicas disagree: a fault corrupted at least one copy. The
+    /// computation must be re-executed (fail-operational recovery).
+    Mismatch {
+        /// Word index of the first disagreement.
+        first_word: usize,
+        /// Number of disagreeing words.
+        diff_words: usize,
+        /// The replica outputs, for diagnosis.
+        outputs: Vec<T>,
+    },
+}
+
+impl<T> Comparison<T> {
+    /// True when all replicas agreed.
+    pub fn is_match(&self) -> bool {
+        matches!(self, Comparison::Match(_))
+    }
+
+    /// The agreed value, if any.
+    pub fn into_match(self) -> Option<T> {
+        match self {
+            Comparison::Match(v) => Some(v),
+            Comparison::Mismatch { .. } => None,
+        }
+    }
+}
+
+/// Drives the five-step DCLS redundant offload protocol on a GPU.
+///
+/// # Examples
+///
+/// ```
+/// use higpu_core::redundancy::{RedundancyMode, RedundantExecutor, RParam};
+/// use higpu_sim::builder::KernelBuilder;
+/// use higpu_sim::config::GpuConfig;
+/// use higpu_sim::gpu::Gpu;
+/// use higpu_sim::kernel::Dim3;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+/// let mode = RedundancyMode::srrs_default(6);
+/// let mut exec = RedundantExecutor::new(&mut gpu, mode)?;
+///
+/// // out[i] = i * 3
+/// let mut b = KernelBuilder::new("triple");
+/// let out = b.param(0);
+/// let i = b.global_tid_x();
+/// let addr = b.addr_w(out, i);
+/// let v = b.imul(i, 3u32);
+/// b.stg(addr, 0, v);
+/// let prog = b.build()?.into_shared();
+///
+/// let out_buf = exec.alloc_words(64)?;
+/// exec.launch(&prog, Dim3::x(2), Dim3::x(32), 0, &[RParam::Buf(&out_buf)])?;
+/// exec.sync()?;
+/// let result = exec.read_compare_u32(&out_buf, 64)?;
+/// assert!(result.is_match());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RedundantExecutor<'g> {
+    gpu: &'g mut Gpu,
+    mode: RedundancyMode,
+    replicas: u8,
+    next_group: u32,
+    launches: Vec<Vec<KernelId>>,
+}
+
+impl<'g> RedundantExecutor<'g> {
+    /// Creates an executor and installs the scheduling policy `mode`
+    /// requires on the GPU.
+    ///
+    /// # Errors
+    ///
+    /// * [`RedundancyError::InvalidMode`] for fewer than two replicas,
+    ///   duplicate SRRS start SMs (modulo the SM count), or HALF with ≠ 2
+    ///   replicas.
+    /// * [`RedundancyError::Sim`] if the GPU is not idle.
+    pub fn new(gpu: &'g mut Gpu, mode: RedundancyMode) -> Result<Self, RedundancyError> {
+        let replicas = mode.replicas();
+        if replicas < 2 {
+            return Err(RedundancyError::InvalidMode(
+                "at least two replicas required".into(),
+            ));
+        }
+        let n = gpu.config().num_sms;
+        if let RedundancyMode::Srrs { start_sms } = &mode {
+            for (i, a) in start_sms.iter().enumerate() {
+                for b in &start_sms[i + 1..] {
+                    if a % n == b % n {
+                        return Err(RedundancyError::InvalidMode(format!(
+                            "SRRS start SMs must differ modulo {n}: {a} vs {b}"
+                        )));
+                    }
+                }
+            }
+        }
+        if matches!(mode, RedundancyMode::Half) && replicas != 2 {
+            return Err(RedundancyError::InvalidMode(
+                "HALF partitions support exactly two replicas".into(),
+            ));
+        }
+        gpu.set_policy(mode.policy_kind().build())?;
+        // Group identifiers must stay unique across executors sharing one
+        // GPU (e.g. per-kernel policy phases), or the diversity analyzer
+        // would cross-match unrelated launches.
+        let next_group = gpu
+            .trace()
+            .kernels
+            .iter()
+            .filter_map(|k| k.attrs.redundant.map(|t| t.group + 1))
+            .max()
+            .unwrap_or(0);
+        Ok(Self {
+            gpu,
+            mode,
+            replicas,
+            next_group,
+            launches: Vec::new(),
+        })
+    }
+
+    /// The executing GPU (e.g. for trace inspection).
+    pub fn gpu(&self) -> &Gpu {
+        self.gpu
+    }
+
+    /// Number of replicas per logical computation.
+    pub fn replicas(&self) -> u8 {
+        self.replicas
+    }
+
+    /// The redundancy mode in use.
+    pub fn mode(&self) -> &RedundancyMode {
+        &self.mode
+    }
+
+    /// Kernel ids launched so far, one `Vec` (of all replicas) per logical
+    /// launch.
+    pub fn launch_groups(&self) -> &[Vec<KernelId>] {
+        &self.launches
+    }
+
+    /// Step (1): allocates a logical buffer — one physical allocation per
+    /// replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedundancyError::Sim`] when device memory is exhausted.
+    pub fn alloc_words(&mut self, words: u32) -> Result<RBuf, RedundancyError> {
+        let mut ptrs = Vec::with_capacity(self.replicas as usize);
+        for _ in 0..self.replicas {
+            ptrs.push(self.gpu.alloc_words(words)?);
+        }
+        Ok(RBuf { ptrs, words })
+    }
+
+    fn check_arity(&self, buf: &RBuf) -> Result<(), RedundancyError> {
+        if buf.replicas() != self.replicas as usize {
+            return Err(RedundancyError::BufferArity {
+                buffer: buf.replicas(),
+                executor: self.replicas as usize,
+            });
+        }
+        Ok(())
+    }
+
+    /// Step (2): transfers host data into every replica of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedundancyError::BufferArity`] on replica-count mismatch.
+    pub fn write_u32(&mut self, buf: &RBuf, data: &[u32]) -> Result<(), RedundancyError> {
+        self.check_arity(buf)?;
+        for r in 0..self.replicas as usize {
+            self.gpu.write_u32(buf.ptr(r), data);
+        }
+        Ok(())
+    }
+
+    /// Step (2): transfers host `f32` data into every replica of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedundancyError::BufferArity`] on replica-count mismatch.
+    pub fn write_f32(&mut self, buf: &RBuf, data: &[f32]) -> Result<(), RedundancyError> {
+        self.check_arity(buf)?;
+        for r in 0..self.replicas as usize {
+            self.gpu.write_f32(buf.ptr(r), data);
+        }
+        Ok(())
+    }
+
+    fn materialize_params(
+        &self,
+        replica: usize,
+        params: &[RParam<'_>],
+    ) -> Result<Vec<u32>, RedundancyError> {
+        let mut out = Vec::with_capacity(params.len());
+        for p in params {
+            match p {
+                RParam::Buf(b) => {
+                    self.check_arity(b)?;
+                    out.push(b.ptr(replica).0);
+                }
+                RParam::BufOffset(b, w) => {
+                    self.check_arity(b)?;
+                    out.push(b.ptr(replica).offset_words(*w).0);
+                }
+                RParam::U32(v) => out.push(*v),
+                RParam::I32(v) => out.push(*v as u32),
+                RParam::F32(v) => out.push(v.to_bits()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Step (3): launches all replicas of one logical kernel.
+    ///
+    /// Replica `r` receives the replica-local buffer addresses from
+    /// `params`, the diversity attributes of the executor's mode (start SM /
+    /// partition), and a fresh redundancy-group tag for trace matching.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch errors (unschedulable geometry, buffer arity).
+    pub fn launch(
+        &mut self,
+        program: &Arc<Program>,
+        grid: impl Into<Dim3>,
+        block: impl Into<Dim3>,
+        shared_mem_bytes: u32,
+        params: &[RParam<'_>],
+    ) -> Result<u32, RedundancyError> {
+        let grid = grid.into();
+        let block = block.into();
+        let group = self.next_group;
+        self.next_group += 1;
+        let mut ids = Vec::with_capacity(self.replicas as usize);
+        for r in 0..self.replicas as usize {
+            let words = self.materialize_params(r, params)?;
+            let mut cfg = LaunchConfig::new(grid, block).shared_mem(shared_mem_bytes);
+            cfg.params = words;
+            let mut launch = KernelLaunch::new(program.clone(), cfg)
+                .tag(format!("{}#g{}r{}", program.name(), group, r))
+                .redundant(group, r as u8)
+                .serialize_group(group);
+            match &self.mode {
+                RedundancyMode::Uncontrolled => {}
+                RedundancyMode::Srrs { start_sms } => {
+                    launch = launch.start_sm(start_sms[r]);
+                }
+                RedundancyMode::Half => {
+                    launch = launch.partition(if r == 0 {
+                        SmPartition::Lower
+                    } else {
+                        SmPartition::Upper
+                    });
+                }
+            }
+            ids.push(self.gpu.launch(launch)?);
+        }
+        self.launches.push(ids);
+        Ok(group)
+    }
+
+    /// Waits for all launched replicas to complete (the host-side
+    /// synchronization point between dependent kernels).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Stalled`] from the device.
+    pub fn sync(&mut self) -> Result<u64, RedundancyError> {
+        Ok(self.gpu.run_to_idle()?)
+    }
+
+    /// Steps (4)+(5): reads `words` words from every replica of `buf` and
+    /// compares them bitwise on the (assumed fault-free, DCLS-protected)
+    /// host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedundancyError::BufferArity`] on replica-count mismatch.
+    pub fn read_compare_u32(
+        &mut self,
+        buf: &RBuf,
+        words: usize,
+    ) -> Result<Comparison<Vec<u32>>, RedundancyError> {
+        self.check_arity(buf)?;
+        let outputs: Vec<Vec<u32>> = (0..self.replicas as usize)
+            .map(|r| self.gpu.read_u32(buf.ptr(r), words))
+            .collect();
+        let reference = &outputs[0];
+        let mut first = None;
+        let mut diffs = 0usize;
+        for w in 0..words {
+            if outputs.iter().any(|o| o[w] != reference[w]) {
+                diffs += 1;
+                if first.is_none() {
+                    first = Some(w);
+                }
+            }
+        }
+        Ok(match first {
+            None => Comparison::Match(outputs.into_iter().next().expect("replica 0")),
+            Some(first_word) => Comparison::Mismatch {
+                first_word,
+                diff_words: diffs,
+                outputs,
+            },
+        })
+    }
+
+    /// Like [`RedundantExecutor::read_compare_u32`] but reinterprets the
+    /// agreed words as `f32` (comparison itself stays bitwise, as the DCLS
+    /// host compares raw words).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedundancyError::BufferArity`] on replica-count mismatch.
+    pub fn read_compare_f32(
+        &mut self,
+        buf: &RBuf,
+        words: usize,
+    ) -> Result<Comparison<Vec<f32>>, RedundancyError> {
+        Ok(match self.read_compare_u32(buf, words)? {
+            Comparison::Match(v) => {
+                Comparison::Match(v.into_iter().map(f32::from_bits).collect())
+            }
+            Comparison::Mismatch {
+                first_word,
+                diff_words,
+                outputs,
+            } => Comparison::Mismatch {
+                first_word,
+                diff_words,
+                outputs: outputs
+                    .into_iter()
+                    .map(|o| o.into_iter().map(f32::from_bits).collect())
+                    .collect(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diversity::{analyze, DiversityRequirements};
+    use higpu_sim::builder::KernelBuilder;
+    use higpu_sim::config::GpuConfig;
+
+    fn triple_kernel() -> Arc<Program> {
+        let mut b = KernelBuilder::new("triple");
+        let out = b.param(0);
+        let i = b.global_tid_x();
+        let addr = b.addr_w(out, i);
+        let v = b.imul(i, 3u32);
+        b.stg(addr, 0, v);
+        b.build().expect("valid").into_shared()
+    }
+
+    #[test]
+    fn srrs_redundant_run_matches_and_is_diverse() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let prog = triple_kernel();
+        let out = exec.alloc_words(128).expect("alloc");
+        exec.launch(&prog, 4u32, 32u32, 0, &[RParam::Buf(&out)])
+            .expect("launch");
+        exec.sync().expect("run");
+        let cmp = exec.read_compare_u32(&out, 128).expect("compare");
+        let data = cmp.into_match().expect("replicas agree");
+        assert_eq!(data[5], 15);
+        let report = analyze(gpu.trace(), DiversityRequirements::default());
+        assert!(report.is_diverse(), "SRRS guarantees diversity: {report:?}");
+        assert_eq!(report.pairs_checked, 4);
+    }
+
+    #[test]
+    fn half_redundant_run_matches_and_is_diverse() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::Half).expect("mode");
+        let prog = triple_kernel();
+        let out = exec.alloc_words(128).expect("alloc");
+        exec.launch(&prog, 4u32, 32u32, 0, &[RParam::Buf(&out)])
+            .expect("launch");
+        exec.sync().expect("run");
+        assert!(exec.read_compare_u32(&out, 128).expect("cmp").is_match());
+        let report = analyze(gpu.trace(), DiversityRequirements::default());
+        assert!(report.is_diverse(), "HALF guarantees diversity: {report:?}");
+    }
+
+    #[test]
+    fn srrs_rejects_equal_start_sms() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let err = RedundantExecutor::new(
+            &mut gpu,
+            RedundancyMode::Srrs {
+                start_sms: vec![1, 7], // 7 % 6 == 1
+            },
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, RedundancyError::InvalidMode(_)));
+    }
+
+    #[test]
+    fn single_replica_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let err = RedundantExecutor::new(
+            &mut gpu,
+            RedundancyMode::Srrs {
+                start_sms: vec![0],
+            },
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, RedundancyError::InvalidMode(_)));
+    }
+
+    #[test]
+    fn triple_modular_redundancy_runs() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec = RedundantExecutor::new(
+            &mut gpu,
+            RedundancyMode::Srrs {
+                start_sms: vec![0, 2, 4],
+            },
+        )
+        .expect("TMR mode");
+        assert_eq!(exec.replicas(), 3);
+        let prog = triple_kernel();
+        let out = exec.alloc_words(64).expect("alloc");
+        exec.launch(&prog, 2u32, 32u32, 0, &[RParam::Buf(&out)])
+            .expect("launch");
+        exec.sync().expect("run");
+        assert!(exec.read_compare_u32(&out, 64).expect("cmp").is_match());
+        let report = analyze(gpu.trace(), DiversityRequirements::default());
+        assert!(report.is_diverse());
+        assert_eq!(report.pairs_checked, 2 * 3, "2 blocks x 3 pairs");
+    }
+
+    #[test]
+    fn mismatch_reports_first_difference() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let buf = exec.alloc_words(8).expect("alloc");
+        exec.write_u32(&buf, &[1, 2, 3, 4, 5, 6, 7, 8]).expect("write");
+        // Corrupt replica 1 behind the executor's back (simulating a fault).
+        let p1 = buf.ptr(1);
+        exec.gpu.write_u32(DevPtr(p1.0 + 8), &[99, 98]);
+        match exec.read_compare_u32(&buf, 8).expect("cmp") {
+            Comparison::Mismatch {
+                first_word,
+                diff_words,
+                outputs,
+            } => {
+                assert_eq!(first_word, 2);
+                assert_eq!(diff_words, 2);
+                assert_eq!(outputs.len(), 2);
+            }
+            Comparison::Match(_) => panic!("corruption must be detected"),
+        }
+    }
+
+    #[test]
+    fn buffer_arity_is_checked() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let foreign = RBuf {
+            ptrs: vec![DevPtr(0)],
+            words: 4,
+        };
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let err = exec.write_u32(&foreign, &[0; 4]).expect_err("arity");
+        assert!(matches!(err, RedundancyError::BufferArity { .. }));
+    }
+
+    #[test]
+    fn uncontrolled_mode_provides_no_diversity_evidence_for_short_gaps() {
+        // With the default scheduler both replicas spread over all SMs; for a
+        // multi-block kernel some redundant pair almost always shares an SM.
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::Uncontrolled).expect("mode");
+        let prog = triple_kernel();
+        let out = exec.alloc_words(512).expect("alloc");
+        exec.launch(&prog, 12u32, 32u32, 0, &[RParam::Buf(&out)])
+            .expect("launch");
+        exec.sync().expect("run");
+        let report = analyze(gpu.trace(), DiversityRequirements::default());
+        assert!(
+            report.spatial_violations > 0,
+            "uncontrolled placement reuses SMs across replicas: {report:?}"
+        );
+    }
+}

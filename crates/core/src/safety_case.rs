@@ -1,0 +1,211 @@
+//! Safety-case assembly: turns the artifacts produced elsewhere in this
+//! crate (diversity reports, scheduler self-tests, fault-injection
+//! summaries) into an ISO 26262 decomposition argument for the GPU item.
+
+use crate::asil::{Architecture, Asil, Element};
+use crate::bist::BistReport;
+use crate::diversity::DiversityReport;
+use std::fmt;
+
+/// Summary of a fault-injection campaign, in the shape produced by the
+/// `higpu-faults` crate (duplicated here to keep the dependency direction
+/// core ← faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionEvidence {
+    /// Trials in which a fault was activated (corrupted at least one value).
+    pub activated: u64,
+    /// Activated trials whose corruption was masked (outputs still correct).
+    pub masked: u64,
+    /// Activated trials detected by the redundant comparison.
+    pub detected: u64,
+    /// Activated trials that produced wrong outputs in *all* replicas
+    /// identically — undetected failures (must be 0 for the safety case).
+    pub undetected_failures: u64,
+}
+
+impl DetectionEvidence {
+    /// Detection coverage over the effective (non-masked) faults; `None`
+    /// when no effective fault was observed.
+    pub fn coverage(&self) -> Option<f64> {
+        let effective = self.detected + self.undetected_failures;
+        if effective == 0 {
+            None
+        } else {
+            Some(self.detected as f64 / effective as f64)
+        }
+    }
+}
+
+/// The assembled safety case for diverse redundant GPU execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetyCase {
+    /// Scheduling policy under which the evidence was produced.
+    pub policy: String,
+    /// ASIL capability of each individual GPU execution channel (the paper
+    /// assumes ASIL-B capable GPUs).
+    pub channel_asil: Asil,
+    /// Diversity evidence from trace analysis.
+    pub diversity: DiversityReport,
+    /// Scheduler self-test result, if run.
+    pub bist: Option<BistReport>,
+    /// Fault-injection evidence, if a campaign was run.
+    pub campaign: Option<DetectionEvidence>,
+}
+
+impl SafetyCase {
+    /// The integrity level the redundant GPU item achieves given the
+    /// collected evidence.
+    pub fn achieved_asil(&self) -> Asil {
+        let mut ok = self.diversity.is_diverse();
+        if let Some(b) = &self.bist {
+            ok &= b.passed();
+        }
+        if let Some(c) = &self.campaign {
+            ok &= c.undetected_failures == 0;
+        }
+        let independence = if ok {
+            self.diversity.independence()
+        } else {
+            crate::asil::Independence::None
+        };
+        Architecture::Redundant {
+            a: Box::new(Architecture::Single(Element::new(
+                "GPU channel A",
+                self.channel_asil,
+            ))),
+            b: Box::new(Architecture::Single(Element::new(
+                "GPU channel B",
+                self.channel_asil,
+            ))),
+            independence,
+        }
+        .achieved_asil()
+    }
+
+    /// True when the case supports the paper's ASIL-D claim.
+    pub fn supports_asil_d(&self) -> bool {
+        self.achieved_asil() == Asil::D
+    }
+}
+
+impl fmt::Display for SafetyCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Safety case — diverse redundant GPU execution")?;
+        writeln!(f, "  policy:          {}", self.policy)?;
+        writeln!(f, "  channel ASIL:    {}", self.channel_asil)?;
+        writeln!(
+            f,
+            "  diversity:       {} pairs checked, {} spatial / {} temporal violations, {} unmatched",
+            self.diversity.pairs_checked,
+            self.diversity.spatial_violations,
+            self.diversity.temporal_violations,
+            self.diversity.unmatched_blocks
+        )?;
+        if let Some(slack) = self.diversity.min_slack_observed {
+            writeln!(f, "  min slack:       {slack} cycles")?;
+        }
+        match &self.bist {
+            Some(b) => writeln!(
+                f,
+                "  scheduler BIST:  {} ({} placements checked)",
+                if b.passed() { "PASS" } else { "FAIL" },
+                b.checked
+            )?,
+            None => writeln!(f, "  scheduler BIST:  not run")?,
+        }
+        match &self.campaign {
+            Some(c) => writeln!(
+                f,
+                "  fault campaign:  {} activated, {} detected, {} masked, {} undetected failures",
+                c.activated, c.detected, c.masked, c.undetected_failures
+            )?,
+            None => writeln!(f, "  fault campaign:  not run")?,
+        }
+        writeln!(f, "  achieved ASIL:   {}", self.achieved_asil())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_diversity() -> DiversityReport {
+        DiversityReport {
+            groups: 1,
+            pairs_checked: 64,
+            min_slack_observed: Some(1200),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_evidence_reaches_asil_d() {
+        let case = SafetyCase {
+            policy: "srrs".into(),
+            channel_asil: Asil::B,
+            diversity: clean_diversity(),
+            bist: None,
+            campaign: None,
+        };
+        assert_eq!(case.achieved_asil(), Asil::D);
+        assert!(case.supports_asil_d());
+    }
+
+    #[test]
+    fn diversity_violation_caps_at_channel_level() {
+        let mut div = clean_diversity();
+        div.spatial_violations = 1;
+        let case = SafetyCase {
+            policy: "default".into(),
+            channel_asil: Asil::B,
+            diversity: div,
+            bist: None,
+            campaign: None,
+        };
+        assert_eq!(case.achieved_asil(), Asil::B);
+    }
+
+    #[test]
+    fn undetected_failure_voids_the_case() {
+        let case = SafetyCase {
+            policy: "default".into(),
+            channel_asil: Asil::B,
+            diversity: clean_diversity(),
+            bist: None,
+            campaign: Some(DetectionEvidence {
+                activated: 100,
+                masked: 10,
+                detected: 89,
+                undetected_failures: 1,
+            }),
+        };
+        assert_eq!(case.achieved_asil(), Asil::B);
+    }
+
+    #[test]
+    fn coverage_computation() {
+        let c = DetectionEvidence {
+            activated: 100,
+            masked: 20,
+            detected: 80,
+            undetected_failures: 0,
+        };
+        assert_eq!(c.coverage(), Some(1.0));
+        let none = DetectionEvidence::default();
+        assert_eq!(none.coverage(), None);
+    }
+
+    #[test]
+    fn renders_human_readable() {
+        let case = SafetyCase {
+            policy: "half".into(),
+            channel_asil: Asil::B,
+            diversity: clean_diversity(),
+            bist: None,
+            campaign: None,
+        };
+        let s = case.to_string();
+        assert!(s.contains("ASIL-D"));
+        assert!(s.contains("half"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # higpu-cots — end-to-end COTS GPU platform model
+//!
+//! Models the paper's real-hardware experiment (Fig. 5): end-to-end
+//! execution time of Rodinia benchmarks on a desktop CPU + GTX 1050 Ti
+//! system, comparing plain execution against redundant serialized execution
+//! (double copies, double serialized kernels, DCLS host comparison).
+//!
+//! Kernel durations come from the `higpu-sim` simulator (the COTS card has
+//! the same SM count as the simulated GPU, as in the paper); host API-call
+//! overheads, PCIe transfers and comparison throughput are analytic
+//! constants in [`platform::CotsPlatform`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod endtoend;
+pub mod meter;
+pub mod platform;
+
+pub use endtoend::{run_baseline, run_redundant, EndToEndResult, TimeBreakdown, Variant};
+pub use meter::{HostMeter, MeteredSession};
+pub use platform::CotsPlatform;

@@ -1,0 +1,348 @@
+//! Fault-injection campaigns: inject randomized faults over many trials and
+//! measure detection coverage per scheduling policy — the quantitative form
+//! of the paper's safety argument.
+
+use crate::injector::{FaultInjector, InjectionCounters};
+use crate::model::FaultModel;
+use crate::workload::RedundantWorkload;
+use higpu_core::bist::scheduler_bist;
+use higpu_core::diversity::{analyze, DiversityRequirements};
+use higpu_core::redundancy::{RedundancyError, RedundancyMode, RedundantExecutor};
+use higpu_core::safety_case::DetectionEvidence;
+use higpu_sim::config::GpuConfig;
+use higpu_sim::gpu::Gpu;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Family of faults a campaign injects; per-trial parameters (time, SM,
+/// bit) are drawn from the campaign RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Transient single-SM upsets with the given window length.
+    Transient {
+        /// Window length in cycles.
+        duration: u64,
+    },
+    /// Voltage droops (all SMs at once) with the given window length.
+    Droop {
+        /// Window length in cycles.
+        duration: u64,
+    },
+    /// Permanent single-SM stuck-at faults.
+    Permanent,
+    /// Scheduler misrouting (latent diversity loss).
+    Misroute,
+}
+
+impl FaultSpec {
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultSpec::Transient { .. } => "transient-sm",
+            FaultSpec::Droop { .. } => "voltage-droop",
+            FaultSpec::Permanent => "permanent-sm",
+            FaultSpec::Misroute => "scheduler-misroute",
+        }
+    }
+}
+
+/// Classification of one injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The fault never corrupted anything (window missed execution).
+    NotActivated,
+    /// Corruption happened but the outputs were still correct and agreed.
+    Masked,
+    /// The replicas disagreed — the DCLS compare caught the fault.
+    Detected,
+    /// The replicas agreed on a *wrong* result — a safety failure.
+    UndetectedFailure,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Injection trials.
+    pub trials: u32,
+    /// RNG seed (campaigns are fully reproducible).
+    pub seed: u64,
+    /// GPU configuration (memory is the dominant per-trial cost; campaigns
+    /// default to a small device image).
+    pub gpu: GpuConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        let mut gpu = GpuConfig::paper_6sm();
+        gpu.global_mem_bytes = 2 * 1024 * 1024;
+        Self {
+            trials: 100,
+            seed: 0xC0FFEE,
+            gpu,
+        }
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Workload name.
+    pub workload: String,
+    /// Scheduling policy label.
+    pub policy: String,
+    /// Fault family label.
+    pub fault: &'static str,
+    /// Trials run.
+    pub trials: u32,
+    /// Trials whose fault never activated.
+    pub not_activated: u32,
+    /// Activated but masked trials.
+    pub masked: u32,
+    /// Detected trials.
+    pub detected: u32,
+    /// Undetected failures (must be 0 for diversity-enforcing policies).
+    pub undetected: u32,
+}
+
+impl CampaignReport {
+    /// Detection coverage over effective faults (detected + undetected);
+    /// `None` when no fault was effective.
+    pub fn coverage(&self) -> Option<f64> {
+        let effective = self.detected + self.undetected;
+        if effective == 0 {
+            None
+        } else {
+            Some(f64::from(self.detected) / f64::from(effective))
+        }
+    }
+
+    /// Converts to the safety-case evidence form.
+    pub fn evidence(&self) -> DetectionEvidence {
+        DetectionEvidence {
+            activated: u64::from(self.trials - self.not_activated),
+            masked: u64::from(self.masked),
+            detected: u64::from(self.detected),
+            undetected_failures: u64::from(self.undetected),
+        }
+    }
+}
+
+fn draw_model(
+    rng: &mut StdRng,
+    spec: FaultSpec,
+    num_sms: usize,
+    window_end: u64,
+) -> FaultModel {
+    let bit = rng.gen_range(0..32u8);
+    match spec {
+        FaultSpec::Transient { duration } => FaultModel::TransientSm {
+            sm: rng.gen_range(0..num_sms),
+            start: rng.gen_range(0..window_end.max(1)),
+            duration,
+            bit,
+        },
+        FaultSpec::Droop { duration } => FaultModel::VoltageDroop {
+            start: rng.gen_range(0..window_end.max(1)),
+            duration,
+            bit,
+        },
+        FaultSpec::Permanent => FaultModel::PermanentSm {
+            sm: rng.gen_range(0..num_sms),
+            from_cycle: rng.gen_range(0..window_end.max(1)),
+            bit,
+        },
+        FaultSpec::Misroute => FaultModel::SchedulerMisroute {
+            shift: rng.gen_range(1..num_sms),
+            from_cycle: 0,
+        },
+    }
+}
+
+/// Measures the fault-free makespan of the workload under `mode` (used to
+/// sample fault times inside the execution window).
+///
+/// # Errors
+///
+/// Propagates workload/protocol errors.
+pub fn dry_run_makespan(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    workload: &dyn RedundantWorkload,
+) -> Result<u64, RedundancyError> {
+    let mut gpu = Gpu::new(cfg.gpu.clone());
+    let mut exec = RedundantExecutor::new(&mut gpu, mode.clone())?;
+    workload.run(&mut exec)?;
+    Ok(gpu.trace().makespan().unwrap_or(0))
+}
+
+/// Runs one injection trial; returns the outcome.
+///
+/// # Errors
+///
+/// Propagates workload/protocol errors ([`higpu_sim::gpu::SimError::Stalled`]
+/// cannot be caused by value corruption, only by policy bugs).
+pub fn run_trial(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    workload: &dyn RedundantWorkload,
+    model: FaultModel,
+) -> Result<TrialOutcome, RedundancyError> {
+    let mut gpu = Gpu::new(cfg.gpu.clone());
+    let counters = InjectionCounters::shared();
+    gpu.set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
+
+    let verdict = {
+        let mut exec = RedundantExecutor::new(&mut gpu, mode.clone())?;
+        workload.run(&mut exec)?
+    };
+
+    if let FaultModel::SchedulerMisroute { .. } = model {
+        // Misroutes are functionally silent; detection is the job of the
+        // diversity monitor + periodic scheduler self-test (Sec. IV-C).
+        if !counters.activated() {
+            return Ok(TrialOutcome::NotActivated);
+        }
+        let diversity_ok = analyze(gpu.trace(), DiversityRequirements::default()).is_diverse();
+        let bist = scheduler_bist(&mut gpu, mode.clone(), 2 * cfg.gpu.num_sms as u32)?;
+        return Ok(if !bist.passed() || !diversity_ok {
+            TrialOutcome::Detected
+        } else {
+            TrialOutcome::UndetectedFailure
+        });
+    }
+
+    Ok(if !counters.activated() {
+        TrialOutcome::NotActivated
+    } else if !verdict.matched {
+        TrialOutcome::Detected
+    } else if verdict.correct {
+        TrialOutcome::Masked
+    } else {
+        TrialOutcome::UndetectedFailure
+    })
+}
+
+/// Runs a full campaign: `cfg.trials` randomized injections of `spec` into
+/// `workload` under `mode`.
+///
+/// # Errors
+///
+/// Propagates workload/protocol errors from any trial.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    spec: FaultSpec,
+    workload: &dyn RedundantWorkload,
+) -> Result<CampaignReport, RedundancyError> {
+    let window_end = dry_run_makespan(cfg, mode, workload)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = CampaignReport {
+        workload: workload.name().to_string(),
+        policy: mode.policy_kind().label().to_string(),
+        fault: spec.label(),
+        trials: cfg.trials,
+        not_activated: 0,
+        masked: 0,
+        detected: 0,
+        undetected: 0,
+    };
+    for _ in 0..cfg.trials {
+        let model = draw_model(&mut rng, spec, cfg.gpu.num_sms, window_end);
+        match run_trial(cfg, mode, workload, model)? {
+            TrialOutcome::NotActivated => report.not_activated += 1,
+            TrialOutcome::Masked => report.masked += 1,
+            TrialOutcome::Detected => report.detected += 1,
+            TrialOutcome::UndetectedFailure => report.undetected += 1,
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::IteratedFma;
+
+    fn small_cfg(trials: u32) -> CampaignConfig {
+        CampaignConfig {
+            trials,
+            seed: 42,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn small_workload() -> IteratedFma {
+        IteratedFma {
+            n: 256,
+            threads_per_block: 64,
+            iters: 16,
+        }
+    }
+
+    #[test]
+    fn permanent_fault_never_defeats_srrs() {
+        let cfg = small_cfg(12);
+        let mode = RedundancyMode::srrs_default(6);
+        let r = run_campaign(&cfg, &mode, FaultSpec::Permanent, &small_workload())
+            .expect("campaign");
+        assert_eq!(r.undetected, 0, "spatial diversity defeats stuck-at: {r:?}");
+        assert!(r.detected > 0, "permanent faults must strike: {r:?}");
+    }
+
+    #[test]
+    fn permanent_fault_defeats_uncontrolled_redundancy() {
+        // Deterministic COTS placement puts both replicas of block i on the
+        // same SM → identical corruption → undetected failures.
+        let cfg = small_cfg(12);
+        let mode = RedundancyMode::Uncontrolled;
+        let r = run_campaign(&cfg, &mode, FaultSpec::Permanent, &small_workload())
+            .expect("campaign");
+        assert!(
+            r.undetected > 0,
+            "uncontrolled redundancy must show undetected failures: {r:?}"
+        );
+    }
+
+    #[test]
+    fn droop_never_defeats_srrs() {
+        let cfg = small_cfg(12);
+        let mode = RedundancyMode::srrs_default(6);
+        let r = run_campaign(
+            &cfg,
+            &mode,
+            FaultSpec::Droop { duration: 500 },
+            &small_workload(),
+        )
+        .expect("campaign");
+        assert_eq!(r.undetected, 0, "temporal diversity defeats droops: {r:?}");
+    }
+
+    #[test]
+    fn misroute_is_detected_by_bist_under_srrs() {
+        let cfg = small_cfg(3);
+        let mode = RedundancyMode::srrs_default(6);
+        let r = run_campaign(&cfg, &mode, FaultSpec::Misroute, &small_workload())
+            .expect("campaign");
+        assert_eq!(r.detected, 3, "every misroute caught: {r:?}");
+        assert_eq!(r.undetected, 0);
+    }
+
+    #[test]
+    fn coverage_and_evidence_shapes() {
+        let r = CampaignReport {
+            workload: "w".into(),
+            policy: "SRRS".into(),
+            fault: "permanent-sm",
+            trials: 10,
+            not_activated: 2,
+            masked: 3,
+            detected: 5,
+            undetected: 0,
+        };
+        assert_eq!(r.coverage(), Some(1.0));
+        let e = r.evidence();
+        assert_eq!(e.activated, 8);
+        assert_eq!(e.detected, 5);
+        assert_eq!(e.undetected_failures, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # higpu-faults — fault models and injection campaigns
+//!
+//! Quantifies the safety claims of *High-Integrity GPU Designs for Critical
+//! Real-Time Automotive Systems* (DATE 2019): under the SRRS/HALF diverse
+//! scheduling policies, no single fault — transient, permanent, common
+//! cause, or in the kernel scheduler itself — leads to an undetected
+//! failure of the redundant computation.
+//!
+//! * [`model`] — the fault universe: transient single-SM upsets, voltage
+//!   droops (common-cause faults striking all SMs at once), permanent SM
+//!   stuck-at faults, and kernel-scheduler misrouting;
+//! * [`injector`] — a [`higpu_sim::fault::FaultHook`] applying one model;
+//! * [`workload`] — verifiable redundant workloads for campaigns;
+//! * [`campaign`] — randomized multi-trial injection with per-policy
+//!   detection-coverage reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use higpu_core::redundancy::RedundancyMode;
+//! use higpu_faults::campaign::{run_campaign, CampaignConfig, FaultSpec};
+//! use higpu_faults::workload::IteratedFma;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = CampaignConfig {
+//!     trials: 4,
+//!     ..CampaignConfig::default()
+//! };
+//! let workload = IteratedFma {
+//!     n: 128,
+//!     threads_per_block: 64,
+//!     iters: 8,
+//! };
+//! let report = run_campaign(
+//!     &cfg,
+//!     &RedundancyMode::srrs_default(6),
+//!     FaultSpec::Permanent,
+//!     &workload,
+//! )?;
+//! assert_eq!(report.undetected, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod injector;
+pub mod model;
+pub mod workload;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::campaign::{
+        run_campaign, run_trial, CampaignConfig, CampaignReport, FaultSpec, TrialOutcome,
+    };
+    pub use crate::injector::{FaultInjector, InjectionCounters};
+    pub use crate::model::FaultModel;
+    pub use crate::workload::{IteratedFma, RedundantWorkload, WorkloadVerdict};
+}

@@ -1,0 +1,189 @@
+//! Built-in redundant workloads for fault-injection campaigns.
+//!
+//! A campaign workload runs a complete redundant computation and reports
+//! (a) whether the replicas agreed and (b) whether the agreed output was
+//! actually correct with respect to a host-computed golden reference — the
+//! distinction between *detected* faults and *undetected failures*.
+
+use higpu_core::redundancy::{Comparison, RedundancyError, RedundantExecutor, RParam};
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::program::Program;
+use std::sync::Arc;
+
+/// Outcome of one redundant workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadVerdict {
+    /// Replicas agreed bitwise.
+    pub matched: bool,
+    /// Replica 0's output equalled the golden reference.
+    pub correct: bool,
+}
+
+/// A workload that can be executed redundantly under fault injection.
+pub trait RedundantWorkload {
+    /// Workload name for reports.
+    fn name(&self) -> &str;
+
+    /// Runs the full redundant computation (allocate, copy, launch, sync,
+    /// compare) and classifies the outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RedundancyError`] from the protocol.
+    fn run(&self, exec: &mut RedundantExecutor<'_>) -> Result<WorkloadVerdict, RedundancyError>;
+}
+
+/// An iterated fused-multiply-add over a vector:
+/// `y[i] ← y[i]*0.5 + x[i]`, repeated `iters` times per element.
+///
+/// The iteration count stretches the kernel's execution window so transient
+/// fault windows have something to hit; the arithmetic is bitwise
+/// deterministic so the golden comparison is exact.
+#[derive(Debug, Clone)]
+pub struct IteratedFma {
+    /// Elements.
+    pub n: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// FMA iterations per element.
+    pub iters: u32,
+}
+
+impl Default for IteratedFma {
+    fn default() -> Self {
+        Self {
+            n: 1024,
+            threads_per_block: 128,
+            iters: 64,
+        }
+    }
+}
+
+impl IteratedFma {
+    /// Builds the kernel program.
+    pub fn program(&self) -> Arc<Program> {
+        let mut b = KernelBuilder::new("iterated_fma");
+        let x = b.param(0);
+        let y = b.param(1);
+        let n = b.param(2);
+        let i = b.global_tid_x();
+        let in_range = b.isetp(higpu_sim::isa::CmpOp::Lt, i, n);
+        b.if_(in_range, |b| {
+            let xa = b.addr_w(x, i);
+            let ya = b.addr_w(y, i);
+            let xv = b.ldg(xa, 0);
+            let acc = b.ldg(ya, 0);
+            b.for_range(0u32, self.iters, 1u32, |b, _k| {
+                b.ffma_to(acc, acc, 0.5f32, xv);
+            });
+            b.stg(ya, 0, acc);
+        });
+        b.build().expect("well-formed").into_shared()
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let x: Vec<f32> = (0..self.n).map(|i| (i % 97) as f32 * 0.125 + 1.0).collect();
+        let y: Vec<f32> = (0..self.n).map(|i| (i % 13) as f32 * 0.5).collect();
+        (x, y)
+    }
+
+    /// Host-side golden reference (bitwise identical arithmetic).
+    pub fn golden(&self) -> Vec<f32> {
+        let (x, mut y) = self.inputs();
+        for i in 0..self.n as usize {
+            for _ in 0..self.iters {
+                y[i] = y[i].mul_add(0.5, x[i]);
+            }
+        }
+        y
+    }
+
+    fn grid_blocks(&self) -> u32 {
+        self.n.div_ceil(self.threads_per_block)
+    }
+}
+
+impl RedundantWorkload for IteratedFma {
+    fn name(&self) -> &str {
+        "iterated_fma"
+    }
+
+    fn run(&self, exec: &mut RedundantExecutor<'_>) -> Result<WorkloadVerdict, RedundancyError> {
+        let prog = self.program();
+        let (x, y) = self.inputs();
+        let xb = exec.alloc_words(self.n)?;
+        let yb = exec.alloc_words(self.n)?;
+        exec.write_f32(&xb, &x)?;
+        exec.write_f32(&yb, &y)?;
+        exec.launch(
+            &prog,
+            self.grid_blocks(),
+            self.threads_per_block,
+            0,
+            &[
+                RParam::Buf(&xb),
+                RParam::Buf(&yb),
+                RParam::U32(self.n),
+            ],
+        )?;
+        exec.sync()?;
+        let golden = self.golden();
+        match exec.read_compare_f32(&yb, self.n as usize)? {
+            Comparison::Match(out) => Ok(WorkloadVerdict {
+                matched: true,
+                correct: out
+                    .iter()
+                    .zip(&golden)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            }),
+            Comparison::Mismatch { outputs, .. } => Ok(WorkloadVerdict {
+                matched: false,
+                correct: outputs[0]
+                    .iter()
+                    .zip(&golden)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_core::redundancy::RedundancyMode;
+    use higpu_sim::config::GpuConfig;
+    use higpu_sim::gpu::Gpu;
+
+    #[test]
+    fn fault_free_run_matches_and_is_correct() {
+        let wl = IteratedFma {
+            n: 256,
+            threads_per_block: 64,
+            iters: 8,
+        };
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let v = wl.run(&mut exec).expect("runs");
+        assert!(v.matched);
+        assert!(v.correct, "GPU FMA must equal host mul_add bitwise");
+    }
+
+    #[test]
+    fn golden_reference_is_deterministic() {
+        let wl = IteratedFma::default();
+        assert_eq!(wl.golden(), wl.golden());
+        assert_eq!(wl.golden().len(), wl.n as usize);
+    }
+
+    #[test]
+    fn grid_covers_all_elements() {
+        let wl = IteratedFma {
+            n: 100,
+            threads_per_block: 32,
+            iters: 1,
+        };
+        assert_eq!(wl.grid_blocks(), 4);
+    }
+}

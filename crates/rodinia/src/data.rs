@@ -1,0 +1,119 @@
+//! Seeded, deterministic input generators shared by the benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform `f32` values in `[lo, hi)`.
+pub fn f32_vec(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Uniform `u32` values in `[0, max)`.
+pub fn u32_vec(seed: u64, n: usize, max: u32) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+/// A connected random graph in CSR form: `(offsets, edges)` with
+/// `offsets.len() == nodes + 1`.
+///
+/// Node `i > 0` always has an edge to a random earlier node (connectivity),
+/// plus `extra_degree` random edges. Edges are directed.
+pub fn csr_graph(seed: u64, nodes: usize, extra_degree: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+    for i in 1..nodes {
+        let parent = rng.gen_range(0..i);
+        adj[parent].push(i as u32);
+    }
+    for _ in 0..nodes * extra_degree {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        adj[a].push(b as u32);
+    }
+    let mut offsets = Vec::with_capacity(nodes + 1);
+    let mut edges = Vec::new();
+    offsets.push(0u32);
+    for a in adj {
+        edges.extend_from_slice(&a);
+        offsets.push(edges.len() as u32);
+    }
+    (offsets, edges)
+}
+
+/// A diagonally dominant matrix (safe for unpivoted elimination), row-major.
+pub fn dominant_matrix(seed: u64, n: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    for i in 0..n {
+        m[i * n + i] = n as f32 + rng.gen_range(1.0f32..2.0);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(f32_vec(7, 16, 0.0, 1.0), f32_vec(7, 16, 0.0, 1.0));
+        assert_eq!(u32_vec(7, 16, 100), u32_vec(7, 16, 100));
+        assert_eq!(csr_graph(7, 64, 2), csr_graph(7, 64, 2));
+        assert_eq!(dominant_matrix(7, 8), dominant_matrix(7, 8));
+    }
+
+    #[test]
+    fn f32_vec_respects_bounds() {
+        for v in f32_vec(1, 1000, -2.0, 3.0) {
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn csr_graph_is_well_formed() {
+        let (offsets, edges) = csr_graph(3, 128, 3);
+        assert_eq!(offsets.len(), 129);
+        assert_eq!(*offsets.last().expect("non-empty") as usize, edges.len());
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1], "offsets monotone");
+        }
+        for &e in &edges {
+            assert!((e as usize) < 128, "edge targets in range");
+        }
+    }
+
+    #[test]
+    fn csr_graph_reaches_every_node_from_root() {
+        let (offsets, edges) = csr_graph(11, 256, 0);
+        // BFS from node 0 must reach everyone (spanning-tree edges).
+        let mut seen = vec![false; 256];
+        seen[0] = true;
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            for e in offsets[n]..offsets[n + 1] {
+                let t = edges[e as usize] as usize;
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dominant_matrix_has_large_diagonal() {
+        let n = 16;
+        let m = dominant_matrix(5, n);
+        for i in 0..n {
+            let diag = m[i * n + i].abs();
+            let off: f32 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| m[i * n + j].abs())
+                .sum();
+            assert!(diag > off, "row {i} dominant");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # higpu-rodinia — Rodinia-style benchmarks for the higpu simulator
+//!
+//! Re-implementations of the Rodinia heterogeneous-computing benchmarks used
+//! in the paper's evaluation, each with a deterministic input generator, a
+//! GPU host program written against [`harness::GpuSession`] (so the same
+//! code runs solo or redundantly), and a CPU reference implementation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backprop;
+pub mod bfs;
+pub mod cfd;
+pub mod data;
+pub mod dwt2d;
+pub mod gaussian;
+pub mod harness;
+pub mod hotspot;
+pub mod kmeans;
+pub mod leukocyte;
+pub mod hotspot3d;
+pub mod lud;
+pub mod myocyte;
+pub mod nn;
+pub mod nw;
+pub mod pathfinder;
+pub mod srad;
+pub mod streamcluster;
+
+pub use harness::{Benchmark, GpuSession, RedundantSession, SessionError, SoloSession};
+
+/// All implemented benchmarks at their default (paper-scaled) sizes.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(backprop::Backprop::default()),
+        Box::new(bfs::Bfs::default()),
+        Box::new(cfd::Cfd::default()),
+        Box::new(dwt2d::Dwt2d::default()),
+        Box::new(gaussian::Gaussian::default()),
+        Box::new(hotspot::Hotspot::default()),
+        Box::new(hotspot3d::Hotspot3d::default()),
+        Box::new(kmeans::Kmeans::default()),
+        Box::new(leukocyte::Leukocyte::default()),
+        Box::new(lud::Lud::default()),
+        Box::new(myocyte::Myocyte::default()),
+        Box::new(nn::Nn::default()),
+        Box::new(nw::Nw::default()),
+        Box::new(pathfinder::Pathfinder::default()),
+        Box::new(srad::Srad::default()),
+        Box::new(streamcluster::Streamcluster::default()),
+    ]
+}
+
+/// The Figure 4 subset of the paper (simulator experiment).
+pub fn fig4_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    const FIG4: [&str; 11] = [
+        "backprop",
+        "bfs",
+        "dwt2d",
+        "gaussian",
+        "hotspot",
+        "hotspot3D",
+        "leukocyte",
+        "lud",
+        "myocyte",
+        "nn",
+        "nw",
+    ];
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| FIG4.contains(&b.name()))
+        .collect()
+}
+
+/// Looks a benchmark up by its paper name.
+pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    all_benchmarks().into_iter().find(|b| b.name() == name)
+}

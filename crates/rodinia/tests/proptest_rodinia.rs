@@ -1,0 +1,106 @@
+//! Property-based tests: benchmark GPU implementations must match their CPU
+//! references for randomized problem sizes and inputs, not only the default
+//! configurations.
+
+use higpu_rodinia::bfs::Bfs;
+use higpu_rodinia::dwt2d::Dwt2d;
+use higpu_rodinia::harness::{Benchmark, SoloSession};
+use higpu_rodinia::kmeans::Kmeans;
+use higpu_rodinia::nw::Nw;
+use higpu_rodinia::pathfinder::Pathfinder;
+use higpu_sim::config::GpuConfig;
+use higpu_sim::gpu::Gpu;
+use proptest::prelude::*;
+
+fn run_solo(bench: &dyn Benchmark) -> Vec<u32> {
+    let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+    let mut s = SoloSession::new(&mut gpu);
+    bench.run(&mut s).expect("solo run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pathfinder_matches_reference_for_any_geometry(
+        cols in 16u32..512,
+        rows in 2u32..12,
+        tpb_pow in 5u32..8,
+    ) {
+        let p = Pathfinder {
+            cols,
+            rows,
+            threads_per_block: 1 << tpb_pow,
+        };
+        p.verify(&run_solo(&p)).expect("exact DP result");
+    }
+
+    #[test]
+    fn bfs_matches_reference_for_random_graphs(
+        nodes in 16u32..512,
+        degree in 0u32..4,
+        tpb_pow in 5u32..8,
+    ) {
+        let b = Bfs {
+            nodes,
+            extra_degree: degree,
+            threads_per_block: 1 << tpb_pow,
+            source: 0,
+        };
+        let out = run_solo(&b);
+        b.verify(&out).expect("exact BFS levels");
+        // The generator guarantees connectivity from node 0.
+        prop_assert!(out.iter().all(|&c| c != u32::MAX));
+    }
+
+    #[test]
+    fn nw_matches_reference_for_any_tile_count(
+        tiles in 1u32..6,
+        penalty in 1i32..20,
+    ) {
+        let n = Nw {
+            n: tiles * 16,
+            penalty,
+        };
+        n.verify(&run_solo(&n)).expect("exact alignment scores");
+    }
+
+    #[test]
+    fn kmeans_assignments_match_reference(
+        points_pow in 6u32..10,
+        features in 2u32..6,
+        k in 2u32..6,
+    ) {
+        let km = Kmeans {
+            points: 1 << points_pow,
+            features,
+            k,
+            iterations: 2,
+            threads_per_block: 64,
+        };
+        km.verify(&run_solo(&km)).expect("exact memberships");
+    }
+
+    #[test]
+    fn dwt2d_preserves_energy_for_any_size(
+        size_pow in 4u32..7,
+        levels in 1u32..4,
+    ) {
+        let d = Dwt2d {
+            size: 1 << size_pow,
+            levels,
+        };
+        let out = run_solo(&d);
+        d.verify(&out).expect("matches reference");
+        // Orthonormal transform: L2 norm preserved.
+        let sq = |v: &[f32]| v.iter().map(|x| f64::from(*x) * f64::from(*x)).sum::<f64>();
+        let input: Vec<f32> = d
+            .reference()
+            .iter()
+            .map(|w| f32::from_bits(*w))
+            .collect();
+        let output: Vec<f32> = out.iter().map(|w| f32::from_bits(*w)).collect();
+        let rel = (sq(&input) - sq(&output)).abs() / sq(&input).max(1e-9);
+        prop_assert!(rel < 1e-3, "energy drift {}", rel);
+    }
+}

@@ -1,0 +1,189 @@
+//! Resident thread-block state on an SM.
+
+use crate::kernel::{BlockFootprint, Dim3, KernelId};
+use crate::program::Program;
+use crate::warp::{Warp, WarpState};
+use std::sync::Arc;
+
+/// Geometry context visible to every thread of a block (CUDA built-ins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDims {
+    /// Block index within the grid.
+    pub ctaid: (u32, u32, u32),
+    /// Block dimensions.
+    pub ntid: Dim3,
+    /// Grid dimensions.
+    pub nctaid: Dim3,
+}
+
+impl BlockDims {
+    /// Decomposes `thread_linear` into `(tid.x, tid.y, tid.z)`.
+    pub fn tid(&self, thread_linear: u32) -> (u32, u32, u32) {
+        self.ntid.coords(thread_linear)
+    }
+}
+
+/// A thread block resident on an SM.
+#[derive(Debug)]
+pub struct BlockState {
+    /// Owning kernel launch.
+    pub kernel: KernelId,
+    /// Linear block index within the grid.
+    pub block_linear: u32,
+    /// Geometry visible to threads.
+    pub dims: BlockDims,
+    /// The program being executed.
+    pub program: Arc<Program>,
+    /// Kernel parameters.
+    pub params: Arc<[u32]>,
+    /// Per-block shared memory.
+    pub shared: Vec<u8>,
+    /// The block's warps.
+    pub warps: Vec<Warp>,
+    /// Warps currently waiting at the barrier.
+    pub barrier_arrived: usize,
+    /// Warps that have not finished.
+    pub warps_running: usize,
+    /// Cycle the block was dispatched to the SM.
+    pub start_cycle: u64,
+    /// Resources this block occupies (released on completion).
+    pub footprint: BlockFootprint,
+}
+
+impl BlockState {
+    /// Instantiates a block: builds its warps (with partial-warp masks) and
+    /// zeroed shared memory. The warps first become ready at `ready_at`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kernel: KernelId,
+        block_linear: u32,
+        dims: BlockDims,
+        program: Arc<Program>,
+        params: Arc<[u32]>,
+        footprint: BlockFootprint,
+        start_cycle: u64,
+        ready_at: u64,
+    ) -> Self {
+        let threads = footprint.threads;
+        let nwarps = footprint.warps as usize;
+        let nregs = program.regs_per_thread();
+        let warps: Vec<Warp> = (0..nwarps)
+            .map(|w| Warp::new(w, Warp::initial_mask(w, threads), nregs, ready_at))
+            .collect();
+        let shared = vec![0u8; footprint.shared_mem as usize];
+        Self {
+            kernel,
+            block_linear,
+            dims,
+            program,
+            params,
+            shared,
+            warps,
+            barrier_arrived: 0,
+            warps_running: nwarps,
+            start_cycle,
+            footprint,
+        }
+    }
+
+    /// True when every warp has finished.
+    pub fn is_done(&self) -> bool {
+        self.warps_running == 0
+    }
+
+    /// Releases all warps waiting at the barrier if every running warp has
+    /// arrived. Returns `true` if the barrier fired.
+    pub fn try_release_barrier(&mut self, now: u64, barrier_latency: u32) -> bool {
+        if self.warps_running == 0 || self.barrier_arrived < self.warps_running {
+            return false;
+        }
+        for w in &mut self.warps {
+            if w.state == WarpState::AtBarrier {
+                w.state = WarpState::Ready;
+                w.ready_at = now + u64::from(barrier_latency);
+            }
+        }
+        self.barrier_arrived = 0;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::kernel::Dim3;
+
+    fn mk_block(threads: u32) -> BlockState {
+        let mut b = KernelBuilder::new("t");
+        let _ = b.mov(0u32);
+        let program = b.build().expect("valid").into_shared();
+        let fp = BlockFootprint {
+            threads,
+            warps: threads.div_ceil(32),
+            registers: threads,
+            shared_mem: 64,
+        };
+        BlockState::new(
+            KernelId(0),
+            3,
+            BlockDims {
+                ctaid: (3, 0, 0),
+                ntid: Dim3::x(threads),
+                nctaid: Dim3::x(8),
+            },
+            program,
+            Arc::from(vec![].into_boxed_slice()),
+            fp,
+            100,
+            105,
+        )
+    }
+
+    #[test]
+    fn block_builds_partial_last_warp() {
+        let b = mk_block(70);
+        assert_eq!(b.warps.len(), 3);
+        assert_eq!(b.warps[0].live, u32::MAX);
+        assert_eq!(b.warps[2].live, 0b111111);
+        assert_eq!(b.warps_running, 3);
+        assert!(!b.is_done());
+        assert_eq!(b.shared.len(), 64);
+    }
+
+    #[test]
+    fn barrier_waits_for_all_running_warps() {
+        let mut b = mk_block(64);
+        b.warps[0].state = WarpState::AtBarrier;
+        b.barrier_arrived = 1;
+        assert!(!b.try_release_barrier(10, 2));
+        b.warps[1].state = WarpState::AtBarrier;
+        b.barrier_arrived = 2;
+        assert!(b.try_release_barrier(10, 2));
+        assert_eq!(b.warps[0].state, WarpState::Ready);
+        assert_eq!(b.warps[0].ready_at, 12);
+        assert_eq!(b.barrier_arrived, 0);
+    }
+
+    #[test]
+    fn barrier_ignores_finished_warps() {
+        let mut b = mk_block(64);
+        b.warps[1].state = WarpState::Finished;
+        b.warps_running = 1;
+        b.warps[0].state = WarpState::AtBarrier;
+        b.barrier_arrived = 1;
+        assert!(b.try_release_barrier(5, 2));
+    }
+
+    #[test]
+    fn tid_decomposition() {
+        let d = BlockDims {
+            ctaid: (0, 0, 0),
+            ntid: Dim3::xy(8, 4),
+            nctaid: Dim3::x(1),
+        };
+        assert_eq!(d.tid(0), (0, 0, 0));
+        assert_eq!(d.tid(9), (1, 1, 0));
+        assert_eq!(d.tid(31), (7, 3, 0));
+    }
+}

@@ -1,0 +1,796 @@
+//! Structured kernel assembler.
+//!
+//! [`KernelBuilder`] emits ISA instructions while guaranteeing that divergent
+//! control flow is well-formed: every conditional branch carries its
+//! reconvergence PC (the immediate post-dominator), which the SIMT divergence
+//! stack relies on. High-level constructs (`if_`, `if_else`, `while_`,
+//! `for_range`) mirror the CUDA source structure of the original kernels.
+//!
+//! # Examples
+//!
+//! A SAXPY kernel (`y[i] = a*x[i] + y[i]` for `i < n`):
+//!
+//! ```
+//! use higpu_sim::builder::KernelBuilder;
+//! use higpu_sim::isa::CmpOp;
+//!
+//! let mut b = KernelBuilder::new("saxpy");
+//! let x = b.param(0); // buffer address of x
+//! let y = b.param(1); // buffer address of y
+//! let n = b.param(2);
+//! let a = b.param(3); // f32 bits
+//! let i = b.global_tid_x();
+//! let in_range = b.isetp(CmpOp::Lt, i, n);
+//! b.if_(in_range, |b| {
+//!     let off = b.ishl(i, 2u32);
+//!     let xa = b.iadd(x, off);
+//!     let ya = b.iadd(y, off);
+//!     let xv = b.ldg(xa, 0);
+//!     let yv = b.ldg(ya, 0);
+//!     let r = b.ffma(xv, a, yv);
+//!     b.stg(ya, 0, r);
+//! });
+//! let prog = b.build().expect("valid program");
+//! assert!(prog.regs_per_thread() > 0);
+//! ```
+
+use crate::isa::{CmpOp, FloatOp, IntOp, Op, Pred, Reg, SfuOp, Space, SpecialReg, Src};
+use crate::program::{Program, ProgramError};
+
+/// Incremental, structured builder for kernel [`Program`]s.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Op>,
+    next_reg: u16,
+    next_pred: u8,
+    extra_regs: u16,
+}
+
+impl KernelBuilder {
+    /// Creates a builder for a kernel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            instrs: Vec::new(),
+            next_reg: 0,
+            next_pred: 0,
+            extra_regs: 0,
+        }
+    }
+
+    /// Allocates a fresh general-purpose register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 4096 registers are allocated (a builder bug, not a
+    /// hardware limit — hardware limits are enforced at launch time through
+    /// occupancy).
+    pub fn reg(&mut self) -> Reg {
+        assert!(self.next_reg < 4096, "register allocator exhausted");
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates a fresh predicate register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 8 predicates are live; reuse predicates across
+    /// disjoint regions instead.
+    pub fn pred(&mut self) -> Pred {
+        assert!(self.next_pred < 8, "predicate allocator exhausted");
+        let p = Pred(self.next_pred);
+        self.next_pred += 1;
+        p
+    }
+
+    /// Releases the most recently allocated predicate(s) back to the pool so
+    /// that deeply sequential code does not exhaust the 8 predicate slots.
+    pub fn release_preds(&mut self, count: u8) {
+        self.next_pred = self.next_pred.saturating_sub(count);
+    }
+
+    /// Declares additional (unused) registers to model the register pressure
+    /// of the original CUDA kernel, which affects SM occupancy.
+    pub fn extra_regs(&mut self, n: u16) -> &mut Self {
+        self.extra_regs = n;
+        self
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.instrs.push(op);
+        self.instrs.len() - 1
+    }
+
+    fn pc(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    // ---- moves, specials, params ------------------------------------------
+
+    /// `d = a`.
+    pub fn mov_to(&mut self, d: Reg, a: impl Into<Src>) {
+        let a = a.into();
+        self.emit(Op::Mov { d, a });
+    }
+
+    /// Fresh register holding the immediate/register `a`.
+    pub fn mov(&mut self, a: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.mov_to(d, a);
+        d
+    }
+
+    /// Fresh register holding the hardware value `s`.
+    pub fn special(&mut self, s: SpecialReg) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Special { d, s });
+        d
+    }
+
+    /// Fresh register holding kernel parameter word `idx`.
+    pub fn param(&mut self, idx: u8) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Param { d, idx });
+        d
+    }
+
+    /// Fresh register holding the global x thread index
+    /// `ctaid.x * ntid.x + tid.x`.
+    pub fn global_tid_x(&mut self) -> Reg {
+        let ctaid = self.special(SpecialReg::CtaidX);
+        let ntid = self.special(SpecialReg::NtidX);
+        let tid = self.special(SpecialReg::TidX);
+        let d = self.reg();
+        self.emit(Op::IMad {
+            d,
+            a: ctaid,
+            b: Src::Reg(ntid),
+            c: Src::Reg(tid),
+        });
+        d
+    }
+
+    /// Fresh register holding the global y thread index
+    /// `ctaid.y * ntid.y + tid.y`.
+    pub fn global_tid_y(&mut self) -> Reg {
+        let ctaid = self.special(SpecialReg::CtaidY);
+        let ntid = self.special(SpecialReg::NtidY);
+        let tid = self.special(SpecialReg::TidY);
+        let d = self.reg();
+        self.emit(Op::IMad {
+            d,
+            a: ctaid,
+            b: Src::Reg(ntid),
+            c: Src::Reg(tid),
+        });
+        d
+    }
+
+    // ---- integer ALU -------------------------------------------------------
+
+    fn ialu_to(&mut self, op: IntOp, d: Reg, a: Reg, b: impl Into<Src>) {
+        let b = b.into();
+        self.emit(Op::IAlu { op, d, a, b });
+    }
+
+    fn ialu(&mut self, op: IntOp, a: Reg, b: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.ialu_to(op, d, a, b);
+        d
+    }
+
+    /// `d = a + b` into a fresh register.
+    pub fn iadd(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Add, a, b)
+    }
+
+    /// `d = a + b` into `d`.
+    pub fn iadd_to(&mut self, d: Reg, a: Reg, b: impl Into<Src>) {
+        self.ialu_to(IntOp::Add, d, a, b);
+    }
+
+    /// `d = a - b` into a fresh register.
+    pub fn isub(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Sub, a, b)
+    }
+
+    /// `d = a - b` into `d`.
+    pub fn isub_to(&mut self, d: Reg, a: Reg, b: impl Into<Src>) {
+        self.ialu_to(IntOp::Sub, d, a, b);
+    }
+
+    /// `d = a * b` into a fresh register.
+    pub fn imul(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Mul, a, b)
+    }
+
+    /// `d = a * b` into `d`.
+    pub fn imul_to(&mut self, d: Reg, a: Reg, b: impl Into<Src>) {
+        self.ialu_to(IntOp::Mul, d, a, b);
+    }
+
+    /// `d = a / b` (signed) into a fresh register.
+    pub fn idiv(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Div, a, b)
+    }
+
+    /// `d = a % b` (signed) into a fresh register.
+    pub fn irem(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Rem, a, b)
+    }
+
+    /// `d = min(a, b)` (signed) into a fresh register.
+    pub fn imin(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Min, a, b)
+    }
+
+    /// `d = max(a, b)` (signed) into a fresh register.
+    pub fn imax(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Max, a, b)
+    }
+
+    /// `d = a & b` into a fresh register.
+    pub fn iand(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::And, a, b)
+    }
+
+    /// `d = a | b` into a fresh register.
+    pub fn ior(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Or, a, b)
+    }
+
+    /// `d = a ^ b` into a fresh register.
+    pub fn ixor(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Xor, a, b)
+    }
+
+    /// `d = a << b` into a fresh register.
+    pub fn ishl(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Shl, a, b)
+    }
+
+    /// `d = a >> b` (logical) into a fresh register.
+    pub fn ishr(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.ialu(IntOp::Shr, a, b)
+    }
+
+    /// `d = a * b + c` into a fresh register.
+    pub fn imad(&mut self, a: Reg, b: impl Into<Src>, c: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        let b = b.into();
+        let c = c.into();
+        self.emit(Op::IMad { d, a, b, c });
+        d
+    }
+
+    /// `d = a * b + c` into `d`.
+    pub fn imad_to(&mut self, d: Reg, a: Reg, b: impl Into<Src>, c: impl Into<Src>) {
+        let b = b.into();
+        let c = c.into();
+        self.emit(Op::IMad { d, a, b, c });
+    }
+
+    /// Byte address `base + index * 4` for word-indexed buffers, into a fresh
+    /// register.
+    pub fn addr_w(&mut self, base: Reg, index: Reg) -> Reg {
+        let d = self.reg();
+        self.emit(Op::IMad {
+            d,
+            a: index,
+            b: Src::Imm(4),
+            c: Src::Reg(base),
+        });
+        d
+    }
+
+    // ---- float ALU ---------------------------------------------------------
+
+    fn falu(&mut self, op: FloatOp, a: Reg, b: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        let b = b.into();
+        self.emit(Op::FAlu { op, d, a, b });
+        d
+    }
+
+    /// `d = a + b` (f32) into a fresh register.
+    pub fn fadd(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.falu(FloatOp::Add, a, b)
+    }
+
+    /// `d = a + b` (f32) into `d`.
+    pub fn fadd_to(&mut self, d: Reg, a: Reg, b: impl Into<Src>) {
+        let b = b.into();
+        self.emit(Op::FAlu {
+            op: FloatOp::Add,
+            d,
+            a,
+            b,
+        });
+    }
+
+    /// `d = a - b` (f32) into a fresh register.
+    pub fn fsub(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.falu(FloatOp::Sub, a, b)
+    }
+
+    /// `d = a * b` (f32) into a fresh register.
+    pub fn fmul(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.falu(FloatOp::Mul, a, b)
+    }
+
+    /// `d = a * b` (f32) into `d`.
+    pub fn fmul_to(&mut self, d: Reg, a: Reg, b: impl Into<Src>) {
+        let b = b.into();
+        self.emit(Op::FAlu {
+            op: FloatOp::Mul,
+            d,
+            a,
+            b,
+        });
+    }
+
+    /// `d = a / b` (f32) into a fresh register.
+    pub fn fdiv(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.falu(FloatOp::Div, a, b)
+    }
+
+    /// `d = min(a, b)` (f32) into a fresh register.
+    pub fn fmin(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.falu(FloatOp::Min, a, b)
+    }
+
+    /// `d = max(a, b)` (f32) into a fresh register.
+    pub fn fmax(&mut self, a: Reg, b: impl Into<Src>) -> Reg {
+        self.falu(FloatOp::Max, a, b)
+    }
+
+    /// `d = a * b + c` (fused, f32) into a fresh register.
+    pub fn ffma(&mut self, a: Reg, b: impl Into<Src>, c: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        let b = b.into();
+        let c = c.into();
+        self.emit(Op::FFma { d, a, b, c });
+        d
+    }
+
+    /// `d = a * b + c` (fused, f32) into `d`.
+    pub fn ffma_to(&mut self, d: Reg, a: Reg, b: impl Into<Src>, c: impl Into<Src>) {
+        let b = b.into();
+        let c = c.into();
+        self.emit(Op::FFma { d, a, b, c });
+    }
+
+    fn sfu(&mut self, op: SfuOp, a: Reg) -> Reg {
+        let d = self.reg();
+        self.emit(Op::FSfu { op, d, a });
+        d
+    }
+
+    /// `d = sqrt(a)` into a fresh register.
+    pub fn fsqrt(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Sqrt, a)
+    }
+
+    /// `d = exp(a)` into a fresh register.
+    pub fn fexp(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Exp, a)
+    }
+
+    /// `d = ln(a)` into a fresh register.
+    pub fn flog(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Log, a)
+    }
+
+    /// `d = 1/a` into a fresh register.
+    pub fn frcp(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Rcp, a)
+    }
+
+    /// `d = sin(a)` into a fresh register.
+    pub fn fsin(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Sin, a)
+    }
+
+    /// `d = cos(a)` into a fresh register.
+    pub fn fcos(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Cos, a)
+    }
+
+    /// `d = |a|` into a fresh register.
+    pub fn fabs(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Abs, a)
+    }
+
+    /// `d = -a` into a fresh register.
+    pub fn fneg(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Neg, a)
+    }
+
+    /// `d = floor(a)` into a fresh register.
+    pub fn ffloor(&mut self, a: Reg) -> Reg {
+        self.sfu(SfuOp::Floor, a)
+    }
+
+    /// `d = (f32)a` from a signed integer, into a fresh register.
+    pub fn i2f(&mut self, a: Reg) -> Reg {
+        let d = self.reg();
+        self.emit(Op::I2F { d, a });
+        d
+    }
+
+    /// `d = (i32)a` truncated from f32, into a fresh register.
+    pub fn f2i(&mut self, a: Reg) -> Reg {
+        let d = self.reg();
+        self.emit(Op::F2I { d, a });
+        d
+    }
+
+    // ---- predicates & select ----------------------------------------------
+
+    /// Fresh predicate `p = a <cmp> b` (signed integers).
+    pub fn isetp(&mut self, cmp: CmpOp, a: Reg, b: impl Into<Src>) -> Pred {
+        let p = self.pred();
+        let b = b.into();
+        self.emit(Op::ISetp {
+            p,
+            cmp,
+            a,
+            b,
+            unsigned: false,
+        });
+        p
+    }
+
+    /// Fresh predicate `p = a <cmp> b` (unsigned integers).
+    pub fn isetp_u(&mut self, cmp: CmpOp, a: Reg, b: impl Into<Src>) -> Pred {
+        let p = self.pred();
+        let b = b.into();
+        self.emit(Op::ISetp {
+            p,
+            cmp,
+            a,
+            b,
+            unsigned: true,
+        });
+        p
+    }
+
+    /// Fresh predicate `p = a <cmp> b` (f32).
+    pub fn fsetp(&mut self, cmp: CmpOp, a: Reg, b: impl Into<Src>) -> Pred {
+        let p = self.pred();
+        let b = b.into();
+        self.emit(Op::FSetp { p, cmp, a, b });
+        p
+    }
+
+    /// `d = p ? a : b` into a fresh register.
+    pub fn selp(&mut self, p: Pred, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        let a = a.into();
+        let b = b.into();
+        self.emit(Op::Selp { d, a, b, p });
+        d
+    }
+
+    // ---- memory ------------------------------------------------------------
+
+    /// Global load `d = mem[addr + offset]` into a fresh register.
+    pub fn ldg(&mut self, addr: Reg, offset: i32) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Ld {
+            space: Space::Global,
+            d,
+            addr,
+            offset,
+        });
+        d
+    }
+
+    /// Global load into an existing register.
+    pub fn ldg_to(&mut self, d: Reg, addr: Reg, offset: i32) {
+        self.emit(Op::Ld {
+            space: Space::Global,
+            d,
+            addr,
+            offset,
+        });
+    }
+
+    /// Global store `mem[addr + offset] = v`.
+    pub fn stg(&mut self, addr: Reg, offset: i32, v: Reg) {
+        self.emit(Op::St {
+            space: Space::Global,
+            addr,
+            offset,
+            v,
+        });
+    }
+
+    /// Shared-memory load `d = shared[addr + offset]` into a fresh register.
+    pub fn lds(&mut self, addr: Reg, offset: i32) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Ld {
+            space: Space::Shared,
+            d,
+            addr,
+            offset,
+        });
+        d
+    }
+
+    /// Shared-memory store `shared[addr + offset] = v`.
+    pub fn sts(&mut self, addr: Reg, offset: i32, v: Reg) {
+        self.emit(Op::St {
+            space: Space::Shared,
+            addr,
+            offset,
+            v,
+        });
+    }
+
+    /// Atomic integer add to global memory; returns the old value in a fresh
+    /// register.
+    pub fn atom_add(&mut self, addr: Reg, offset: i32, v: Reg) -> Reg {
+        let d = self.reg();
+        self.emit(Op::AtomAdd { d, addr, offset, v });
+        d
+    }
+
+    /// Atomic f32 add to global memory; returns the old value in a fresh
+    /// register.
+    pub fn atom_add_f(&mut self, addr: Reg, offset: i32, v: Reg) -> Reg {
+        let d = self.reg();
+        self.emit(Op::AtomAddF { d, addr, offset, v });
+        d
+    }
+
+    // ---- control flow -------------------------------------------------------
+
+    /// Block-wide barrier (`__syncthreads()`).
+    pub fn bar(&mut self) {
+        self.emit(Op::Bar);
+    }
+
+    /// Terminates the executing lanes.
+    pub fn exit(&mut self) {
+        self.emit(Op::Exit);
+    }
+
+    /// Structured `if (p) { then }`.
+    pub fn if_(&mut self, p: Pred, then: impl FnOnce(&mut Self)) {
+        let br = self.emit(Op::BraCond {
+            p,
+            negate: true,
+            target: 0,
+            reconv: 0,
+        });
+        then(self);
+        let end = self.pc();
+        if let Op::BraCond { target, reconv, .. } = &mut self.instrs[br] {
+            *target = end;
+            *reconv = end;
+        }
+    }
+
+    /// Structured `if (!p) { then }`.
+    pub fn if_not(&mut self, p: Pred, then: impl FnOnce(&mut Self)) {
+        let br = self.emit(Op::BraCond {
+            p,
+            negate: false,
+            target: 0,
+            reconv: 0,
+        });
+        then(self);
+        let end = self.pc();
+        if let Op::BraCond { target, reconv, .. } = &mut self.instrs[br] {
+            *target = end;
+            *reconv = end;
+        }
+    }
+
+    /// Structured `if (p) { then } else { els }`.
+    pub fn if_else(&mut self, p: Pred, then: impl FnOnce(&mut Self), els: impl FnOnce(&mut Self)) {
+        let br = self.emit(Op::BraCond {
+            p,
+            negate: true,
+            target: 0,
+            reconv: 0,
+        });
+        then(self);
+        let jmp = self.emit(Op::Bra { target: 0 });
+        let else_pc = self.pc();
+        els(self);
+        let end = self.pc();
+        if let Op::BraCond { target, reconv, .. } = &mut self.instrs[br] {
+            *target = else_pc;
+            *reconv = end;
+        }
+        if let Op::Bra { target } = &mut self.instrs[jmp] {
+            *target = end;
+        }
+    }
+
+    /// Structured `while (cond) { body }`.
+    ///
+    /// `cond` emits the condition evaluation (executed every iteration) and
+    /// returns the predicate that must hold for the loop to continue.
+    pub fn while_(&mut self, cond: impl FnOnce(&mut Self) -> Pred, body: impl FnOnce(&mut Self)) {
+        let top = self.pc();
+        let p = cond(self);
+        let br = self.emit(Op::BraCond {
+            p,
+            negate: true,
+            target: 0,
+            reconv: 0,
+        });
+        body(self);
+        self.emit(Op::Bra { target: top });
+        let end = self.pc();
+        if let Op::BraCond { target, reconv, .. } = &mut self.instrs[br] {
+            *target = end;
+            *reconv = end;
+        }
+    }
+
+    /// Counted loop `for (i = start; i < end; i += step) { body(i) }`.
+    ///
+    /// The loop variable is a fresh register passed to `body`. `end` and
+    /// `step` may be immediates or registers. The predicate used for the loop
+    /// condition is released when the loop closes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is an immediate zero.
+    pub fn for_range(
+        &mut self,
+        start: impl Into<Src>,
+        end: impl Into<Src>,
+        step: impl Into<Src>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let end = end.into();
+        let step = step.into();
+        if let Src::Imm(0) = step {
+            panic!("for_range step must be non-zero");
+        }
+        let i = self.mov(start);
+        let preds_before = self.next_pred;
+        self.while_(
+            |b| b.isetp(CmpOp::Lt, i, end),
+            |b| {
+                body(b, i);
+                b.iadd_to(i, i, step);
+            },
+        );
+        self.next_pred = preds_before;
+    }
+
+    /// Finalizes the kernel: appends a trailing [`Op::Exit`] and validates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProgramError`] from validation (only reachable through
+    /// builder misuse, e.g. zero instructions emitted).
+    pub fn build(mut self) -> Result<Program, ProgramError> {
+        self.emit(Op::Exit);
+        let regs = self.next_reg.saturating_add(self.extra_regs).max(1);
+        Program::new(self.name, self.instrs, regs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_appends_exit_and_counts_regs() {
+        let mut b = KernelBuilder::new("k");
+        let r = b.mov(7u32);
+        let _ = b.iadd(r, 1u32);
+        let p = b.build().expect("valid");
+        assert!(matches!(p.instrs().last(), Some(Op::Exit)));
+        assert_eq!(p.regs_per_thread(), 2);
+    }
+
+    #[test]
+    fn extra_regs_inflate_footprint() {
+        let mut b = KernelBuilder::new("k");
+        b.extra_regs(30);
+        let _ = b.mov(0u32);
+        let p = b.build().expect("valid");
+        assert_eq!(p.regs_per_thread(), 31);
+    }
+
+    #[test]
+    fn if_patches_target_and_reconv() {
+        let mut b = KernelBuilder::new("k");
+        let r = b.mov(1u32);
+        let p = b.isetp(CmpOp::Gt, r, 0u32);
+        b.if_(p, |b| {
+            let _ = b.iadd(r, 1u32);
+        });
+        let prog = b.build().expect("valid");
+        let br = prog
+            .instrs()
+            .iter()
+            .find_map(|op| match *op {
+                Op::BraCond { target, reconv, .. } => Some((target, reconv)),
+                _ => None,
+            })
+            .expect("has branch");
+        assert_eq!(br.0, br.1, "if_ reconverges at its own target");
+        assert_eq!(br.0 as usize, prog.len() - 1, "targets the trailing exit");
+    }
+
+    #[test]
+    fn if_else_reconverges_after_both_arms() {
+        let mut b = KernelBuilder::new("k");
+        let r = b.mov(1u32);
+        let p = b.isetp(CmpOp::Gt, r, 0u32);
+        b.if_else(
+            p,
+            |b| {
+                let _ = b.iadd(r, 1u32);
+            },
+            |b| {
+                let _ = b.iadd(r, 2u32);
+            },
+        );
+        let prog = b.build().expect("valid");
+        let (target, reconv) = prog
+            .instrs()
+            .iter()
+            .find_map(|op| match *op {
+                Op::BraCond { target, reconv, .. } => Some((target, reconv)),
+                _ => None,
+            })
+            .expect("has branch");
+        assert!(target < reconv, "else arm starts before the join point");
+    }
+
+    #[test]
+    fn while_branches_back_to_condition() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.mov(0u32);
+        b.while_(
+            |b| b.isetp(CmpOp::Lt, i, 4u32),
+            |b| {
+                b.iadd_to(i, i, 1u32);
+            },
+        );
+        let prog = b.build().expect("valid");
+        let back = prog
+            .instrs()
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Bra { target } => Some(target),
+                _ => None,
+            })
+            .next()
+            .expect("has back branch");
+        assert_eq!(back, 1, "loops back to the condition evaluation");
+    }
+
+    #[test]
+    fn for_range_releases_predicates() {
+        let mut b = KernelBuilder::new("k");
+        for _ in 0..20 {
+            b.for_range(0u32, 3u32, 1u32, |b, i| {
+                let _ = b.iadd(i, 1u32);
+            });
+        }
+        // 20 sequential loops but only 1 predicate slot ever live.
+        let prog = b.build().expect("valid");
+        assert!(prog.len() > 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be non-zero")]
+    fn for_range_rejects_zero_step() {
+        let mut b = KernelBuilder::new("k");
+        b.for_range(0u32, 3u32, 0u32, |_, _| {});
+    }
+}

@@ -1,0 +1,206 @@
+//! Disassembly: human-readable rendering of instructions and programs, for
+//! debugging kernels and inspecting builder output.
+
+use crate::isa::{FloatOp, IntOp, Op, SfuOp, Space, SpecialReg};
+use crate::program::Program;
+use std::fmt::Write;
+
+fn int_op_mnemonic(op: IntOp) -> &'static str {
+    match op {
+        IntOp::Add => "iadd",
+        IntOp::Sub => "isub",
+        IntOp::Mul => "imul",
+        IntOp::Div => "idiv",
+        IntOp::Rem => "irem",
+        IntOp::Min => "imin",
+        IntOp::Max => "imax",
+        IntOp::And => "and",
+        IntOp::Or => "or",
+        IntOp::Xor => "xor",
+        IntOp::Shl => "shl",
+        IntOp::Shr => "shr",
+        IntOp::Sra => "sra",
+    }
+}
+
+fn float_op_mnemonic(op: FloatOp) -> &'static str {
+    match op {
+        FloatOp::Add => "fadd",
+        FloatOp::Sub => "fsub",
+        FloatOp::Mul => "fmul",
+        FloatOp::Div => "fdiv",
+        FloatOp::Min => "fmin",
+        FloatOp::Max => "fmax",
+    }
+}
+
+fn sfu_op_mnemonic(op: SfuOp) -> &'static str {
+    match op {
+        SfuOp::Sqrt => "sqrt",
+        SfuOp::Exp => "exp",
+        SfuOp::Log => "log",
+        SfuOp::Rcp => "rcp",
+        SfuOp::Sin => "sin",
+        SfuOp::Cos => "cos",
+        SfuOp::Abs => "abs",
+        SfuOp::Neg => "neg",
+        SfuOp::Floor => "floor",
+    }
+}
+
+fn special_name(s: SpecialReg) -> &'static str {
+    match s {
+        SpecialReg::TidX => "tid.x",
+        SpecialReg::TidY => "tid.y",
+        SpecialReg::TidZ => "tid.z",
+        SpecialReg::CtaidX => "ctaid.x",
+        SpecialReg::CtaidY => "ctaid.y",
+        SpecialReg::CtaidZ => "ctaid.z",
+        SpecialReg::NtidX => "ntid.x",
+        SpecialReg::NtidY => "ntid.y",
+        SpecialReg::NtidZ => "ntid.z",
+        SpecialReg::NctaidX => "nctaid.x",
+        SpecialReg::NctaidY => "nctaid.y",
+        SpecialReg::NctaidZ => "nctaid.z",
+        SpecialReg::LaneId => "laneid",
+        SpecialReg::SmId => "smid",
+    }
+}
+
+fn space_suffix(s: Space) -> &'static str {
+    match s {
+        Space::Global => "global",
+        Space::Shared => "shared",
+    }
+}
+
+/// Renders one instruction as assembly-like text.
+pub fn disassemble_op(op: &Op) -> String {
+    match *op {
+        Op::Mov { d, a } => format!("mov {d}, {a}"),
+        Op::Special { d, s } => format!("mov {d}, %{}", special_name(s)),
+        Op::Param { d, idx } => format!("ld.param {d}, [{idx}]"),
+        Op::IAlu { op, d, a, b } => format!("{} {d}, {a}, {b}", int_op_mnemonic(op)),
+        Op::IMad { d, a, b, c } => format!("imad {d}, {a}, {b}, {c}"),
+        Op::FAlu { op, d, a, b } => format!("{} {d}, {a}, {b}", float_op_mnemonic(op)),
+        Op::FFma { d, a, b, c } => format!("ffma {d}, {a}, {b}, {c}"),
+        Op::FSfu { op, d, a } => format!("{} {d}, {a}", sfu_op_mnemonic(op)),
+        Op::I2F { d, a } => format!("i2f {d}, {a}"),
+        Op::F2I { d, a } => format!("f2i {d}, {a}"),
+        Op::ISetp {
+            p,
+            cmp,
+            a,
+            b,
+            unsigned,
+        } => format!(
+            "isetp.{cmp}{} {p}, {a}, {b}",
+            if unsigned { ".u32" } else { "" }
+        ),
+        Op::FSetp { p, cmp, a, b } => format!("fsetp.{cmp} {p}, {a}, {b}"),
+        Op::Selp { d, a, b, p } => format!("selp {d}, {a}, {b}, {p}"),
+        Op::Ld {
+            space,
+            d,
+            addr,
+            offset,
+        } => format!("ld.{} {d}, [{addr}{offset:+}]", space_suffix(space)),
+        Op::St {
+            space,
+            addr,
+            offset,
+            v,
+        } => format!("st.{} [{addr}{offset:+}], {v}", space_suffix(space)),
+        Op::AtomAdd { d, addr, offset, v } => {
+            format!("atom.add {d}, [{addr}{offset:+}], {v}")
+        }
+        Op::AtomAddF { d, addr, offset, v } => {
+            format!("atom.add.f32 {d}, [{addr}{offset:+}], {v}")
+        }
+        Op::Bra { target } => format!("bra L{target}"),
+        Op::BraCond {
+            p,
+            negate,
+            target,
+            reconv,
+        } => format!(
+            "@{}{p} bra L{target} (reconv L{reconv})",
+            if negate { "!" } else { "" }
+        ),
+        Op::Bar => "bar.sync".to_string(),
+        Op::Exit => "exit".to_string(),
+        Op::Nop => "nop".to_string(),
+    }
+}
+
+/// Renders a whole program as an assembly listing with PC labels.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// {} — {} instructions, {} registers/thread",
+        program.name(),
+        program.len(),
+        program.regs_per_thread()
+    );
+    for (pc, op) in program.instrs().iter().enumerate() {
+        let _ = writeln!(out, "L{pc:<4} {}", disassemble_op(op));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::isa::CmpOp;
+
+    #[test]
+    fn listing_covers_every_instruction() {
+        let mut b = KernelBuilder::new("demo");
+        let base = b.param(0);
+        let i = b.global_tid_x();
+        let a = b.addr_w(base, i);
+        let v = b.ldg(a, 0);
+        let f = b.i2f(v);
+        let s = b.fsqrt(f);
+        let p = b.fsetp(CmpOp::Gt, s, 1.0f32);
+        let sel = b.selp(p, 1u32, 0u32);
+        b.stg(a, 4, sel);
+        b.bar();
+        let prog = b.build().expect("valid");
+        let text = disassemble(&prog);
+        assert!(text.contains("// demo"));
+        assert!(text.contains("ld.param"));
+        assert!(text.contains("%tid.x"));
+        assert!(text.contains("ld.global"));
+        assert!(text.contains("sqrt"));
+        assert!(text.contains("fsetp.gt"));
+        assert!(text.contains("selp"));
+        assert!(text.contains("st.global"));
+        assert!(text.contains("bar.sync"));
+        assert!(text.contains("exit"));
+        assert_eq!(text.lines().count(), prog.len() + 1, "one line per op + header");
+    }
+
+    #[test]
+    fn branches_render_targets_and_reconvergence() {
+        let mut b = KernelBuilder::new("br");
+        let x = b.mov(1u32);
+        let p = b.isetp(CmpOp::Gt, x, 0u32);
+        b.if_else(p, |b| b.exit(), |b| b.bar());
+        let prog = b.build().expect("valid");
+        let text = disassemble(&prog);
+        assert!(text.contains("@!p0 bra"));
+        assert!(text.contains("reconv"));
+    }
+
+    #[test]
+    fn offsets_are_signed() {
+        let mut b = KernelBuilder::new("off");
+        let base = b.param(0);
+        let _ = b.ldg(base, -4);
+        let prog = b.build().expect("valid");
+        assert!(disassemble(&prog).contains("[r0-4]"));
+    }
+}

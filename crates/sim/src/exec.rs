@@ -1,0 +1,774 @@
+//! Functional + timing execution of one warp instruction.
+//!
+//! [`step_warp`] interprets the instruction at the warp's current PC for all
+//! active lanes, applies fault-injection hooks to every produced value, and
+//! reports a [`StepEffect`] that the SM turns into issue latency.
+
+use crate::block::BlockDims;
+use crate::fault::{FaultCtx, FaultHook};
+use crate::isa::{ExecUnit, FloatOp, IntOp, Op, SfuOp, Space, SpecialReg, Src};
+use crate::kernel::KernelId;
+use crate::mem::coalesce::{coalesce, Transaction};
+use crate::warp::{StackEntry, Warp, WarpState};
+
+/// What an issued instruction did, as seen by the SM timing model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEffect {
+    /// A compute instruction on the given unit.
+    Compute(ExecUnit),
+    /// A global-memory access; the SM forwards the transactions to the
+    /// memory system for latency.
+    GlobalMem {
+        /// Coalesced transactions.
+        txs: Vec<Transaction>,
+    },
+    /// A shared-memory access (fixed latency, possibly bank-conflicted —
+    /// conflicts are folded into the configured latency).
+    SharedMem,
+    /// A global atomic; one serialized transaction per active lane.
+    Atomic {
+        /// Per-lane target addresses (active lanes only).
+        addrs: Vec<u32>,
+    },
+    /// The warp arrived at a block-wide barrier.
+    Barrier,
+    /// The warp finished (all lanes exited).
+    Finished,
+}
+
+/// Mutable machine context a warp needs while executing.
+///
+/// Not `Debug`: it borrows the whole device memory image and a `dyn` fault
+/// hook, neither of which has a useful debug rendering.
+#[allow(missing_debug_implementations)]
+pub struct ExecCtx<'a> {
+    /// Device global memory image.
+    pub global_mem: &'a mut [u8],
+    /// The block's shared memory.
+    pub shared_mem: &'a mut [u8],
+    /// Kernel parameters.
+    pub params: &'a [u32],
+    /// Block geometry (CUDA built-ins).
+    pub dims: BlockDims,
+    /// SM executing the warp.
+    pub sm_id: usize,
+    /// Current cycle.
+    pub cycle: u64,
+    /// Kernel identifier (fault-context reporting).
+    pub kernel: KernelId,
+    /// Linear block index (fault-context reporting).
+    pub block: u32,
+    /// Fault-injection hook.
+    pub fault: &'a mut dyn FaultHook,
+    /// Count of out-of-bounds accesses observed (kernel bugs or
+    /// fault-corrupted addresses; reads return a poison value, writes are
+    /// dropped).
+    pub oob_accesses: &'a mut u64,
+}
+
+#[inline]
+fn f(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+#[inline]
+fn b(v: f32) -> u32 {
+    v.to_bits()
+}
+
+const OOB_POISON: u32 = 0xdead_beef;
+
+fn load_word(mem: &[u8], addr: u32, oob: &mut u64) -> u32 {
+    let a = addr as usize;
+    match mem.get(a..a + 4) {
+        Some(s) => u32::from_le_bytes([s[0], s[1], s[2], s[3]]),
+        None => {
+            *oob += 1;
+            OOB_POISON
+        }
+    }
+}
+
+fn store_word(mem: &mut [u8], addr: u32, v: u32, oob: &mut u64) {
+    let a = addr as usize;
+    match mem.get_mut(a..a + 4) {
+        Some(s) => s.copy_from_slice(&v.to_le_bytes()),
+        None => *oob += 1,
+    }
+}
+
+fn eval_int(op: IntOp, a: u32, bb: u32) -> u32 {
+    let (ia, ib) = (a as i32, bb as i32);
+    match op {
+        IntOp::Add => a.wrapping_add(bb),
+        IntOp::Sub => a.wrapping_sub(bb),
+        IntOp::Mul => a.wrapping_mul(bb),
+        IntOp::Div => {
+            if ib == 0 {
+                0
+            } else {
+                ia.wrapping_div(ib) as u32
+            }
+        }
+        IntOp::Rem => {
+            if ib == 0 {
+                0
+            } else {
+                ia.wrapping_rem(ib) as u32
+            }
+        }
+        IntOp::Min => ia.min(ib) as u32,
+        IntOp::Max => ia.max(ib) as u32,
+        IntOp::And => a & bb,
+        IntOp::Or => a | bb,
+        IntOp::Xor => a ^ bb,
+        IntOp::Shl => a.wrapping_shl(bb & 31),
+        IntOp::Shr => a.wrapping_shr(bb & 31),
+        IntOp::Sra => (ia.wrapping_shr(bb & 31)) as u32,
+    }
+}
+
+fn eval_float(op: FloatOp, a: u32, bb: u32) -> u32 {
+    let (fa, fb) = (f(a), f(bb));
+    b(match op {
+        FloatOp::Add => fa + fb,
+        FloatOp::Sub => fa - fb,
+        FloatOp::Mul => fa * fb,
+        FloatOp::Div => fa / fb,
+        FloatOp::Min => fa.min(fb),
+        FloatOp::Max => fa.max(fb),
+    })
+}
+
+fn eval_sfu(op: SfuOp, a: u32) -> u32 {
+    let fa = f(a);
+    b(match op {
+        SfuOp::Sqrt => fa.sqrt(),
+        SfuOp::Exp => fa.exp(),
+        SfuOp::Log => fa.ln(),
+        SfuOp::Rcp => 1.0 / fa,
+        SfuOp::Sin => fa.sin(),
+        SfuOp::Cos => fa.cos(),
+        SfuOp::Abs => fa.abs(),
+        SfuOp::Neg => -fa,
+        SfuOp::Floor => fa.floor(),
+    })
+}
+
+fn special_value(s: SpecialReg, dims: &BlockDims, sm_id: usize, thread_linear: u32) -> u32 {
+    let (tx, ty, tz) = dims.tid(thread_linear);
+    match s {
+        SpecialReg::TidX => tx,
+        SpecialReg::TidY => ty,
+        SpecialReg::TidZ => tz,
+        SpecialReg::CtaidX => dims.ctaid.0,
+        SpecialReg::CtaidY => dims.ctaid.1,
+        SpecialReg::CtaidZ => dims.ctaid.2,
+        SpecialReg::NtidX => dims.ntid.x,
+        SpecialReg::NtidY => dims.ntid.y,
+        SpecialReg::NtidZ => dims.ntid.z,
+        SpecialReg::NctaidX => dims.nctaid.x,
+        SpecialReg::NctaidY => dims.nctaid.y,
+        SpecialReg::NctaidZ => dims.nctaid.z,
+        SpecialReg::LaneId => thread_linear % 32,
+        SpecialReg::SmId => sm_id as u32,
+    }
+}
+
+/// Executes one instruction of `warp`. The warp must be settled (see
+/// [`Warp::settle`]) and have a non-empty active mask.
+///
+/// Returns the [`StepEffect`]; control-flow bookkeeping (PC update,
+/// divergence) is fully handled here. The SM is responsible for translating
+/// the effect into `ready_at` latency and barrier/finish bookkeeping.
+///
+/// # Panics
+///
+/// Panics (debug builds) if invoked on a warp with an empty active mask or
+/// when the PC escapes the program, both of which indicate simulator bugs.
+pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffect {
+    let top = *warp.stack.last().expect("running warp has a stack");
+    let active = top.mask & warp.live;
+    debug_assert!(active != 0, "step_warp on an inactive warp");
+    let pc = top.pc;
+    debug_assert!((pc as usize) < ops.len(), "pc {pc} out of program");
+    let op = ops[pc as usize];
+    warp.instrs += 1;
+
+    let fctx = FaultCtx {
+        sm: ctx.sm_id,
+        cycle: ctx.cycle,
+        kernel: ctx.kernel,
+        block: ctx.block,
+        warp: warp.warp_idx,
+        pc,
+        unit: op.unit(),
+    };
+
+    macro_rules! for_lanes {
+        (|$lane:ident| $body:expr) => {
+            for $lane in 0..32usize {
+                if active & (1 << $lane) != 0 {
+                    $body
+                }
+            }
+        };
+    }
+
+    let src = |warp: &Warp, s: Src, lane: usize| -> u32 {
+        match s {
+            Src::Reg(r) => warp.reg(r.0, lane),
+            Src::Imm(v) => v,
+        }
+    };
+
+    // Default PC advance; control flow overrides it.
+    let mut next_pc = pc + 1;
+    let mut effect = StepEffect::Compute(op.unit());
+
+    match op {
+        Op::Mov { d, a } => {
+            for_lanes!(|lane| {
+                let v = src(warp, a, lane);
+                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::Special { d, s } => {
+            for_lanes!(|lane| {
+                let tl = (warp.warp_idx * 32 + lane) as u32;
+                let v = special_value(s, &ctx.dims, ctx.sm_id, tl);
+                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::Param { d, idx } => {
+            let v0 = ctx.params.get(usize::from(idx)).copied().unwrap_or(0);
+            for_lanes!(|lane| {
+                let v = ctx.fault.corrupt_value(&fctx, lane, v0);
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::IAlu { op: iop, d, a, b } => {
+            for_lanes!(|lane| {
+                let va = warp.reg(a.0, lane);
+                let vb = src(warp, b, lane);
+                let v = ctx.fault.corrupt_value(&fctx, lane, eval_int(iop, va, vb));
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::IMad { d, a, b, c } => {
+            for_lanes!(|lane| {
+                let va = warp.reg(a.0, lane);
+                let vb = src(warp, b, lane);
+                let vc = src(warp, c, lane);
+                let v = va.wrapping_mul(vb).wrapping_add(vc);
+                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::FAlu { op: fop, d, a, b } => {
+            for_lanes!(|lane| {
+                let va = warp.reg(a.0, lane);
+                let vb = src(warp, b, lane);
+                let v = ctx.fault.corrupt_value(&fctx, lane, eval_float(fop, va, vb));
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::FFma { d, a, b: sb, c: sc } => {
+            for_lanes!(|lane| {
+                let va = f(warp.reg(a.0, lane));
+                let vb = f(src(warp, sb, lane));
+                let vc = f(src(warp, sc, lane));
+                let v = ctx.fault.corrupt_value(&fctx, lane, b(va.mul_add(vb, vc)));
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::FSfu { op: sop, d, a } => {
+            for_lanes!(|lane| {
+                let va = warp.reg(a.0, lane);
+                let v = ctx.fault.corrupt_value(&fctx, lane, eval_sfu(sop, va));
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::I2F { d, a } => {
+            for_lanes!(|lane| {
+                let v = b(warp.reg(a.0, lane) as i32 as f32);
+                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::F2I { d, a } => {
+            for_lanes!(|lane| {
+                let fa = f(warp.reg(a.0, lane));
+                let v = if fa.is_nan() { 0 } else { fa as i32 as u32 };
+                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::ISetp {
+            p,
+            cmp,
+            a,
+            b: sb,
+            unsigned,
+        } => {
+            for_lanes!(|lane| {
+                let va = warp.reg(a.0, lane);
+                let vb = src(warp, sb, lane);
+                let r = if unsigned {
+                    cmp.eval_u32(va, vb)
+                } else {
+                    cmp.eval_i32(va as i32, vb as i32)
+                };
+                warp.set_pred(p.0, lane, r);
+            });
+        }
+        Op::FSetp { p, cmp, a, b: sb } => {
+            for_lanes!(|lane| {
+                let va = f(warp.reg(a.0, lane));
+                let vb = f(src(warp, sb, lane));
+                warp.set_pred(p.0, lane, cmp.eval_f32(va, vb));
+            });
+        }
+        Op::Selp { d, a, b: sb, p } => {
+            for_lanes!(|lane| {
+                let v = if warp.pred(p.0, lane) {
+                    src(warp, a, lane)
+                } else {
+                    src(warp, sb, lane)
+                };
+                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                warp.set_reg(d.0, lane, v);
+            });
+        }
+        Op::Ld {
+            space,
+            d,
+            addr,
+            offset,
+        } => {
+            let mut addrs = [0u32; 32];
+            for_lanes!(|lane| {
+                addrs[lane] = warp.reg(addr.0, lane).wrapping_add(offset as u32);
+            });
+            match space {
+                Space::Global => {
+                    for_lanes!(|lane| {
+                        let v = load_word(ctx.global_mem, addrs[lane], ctx.oob_accesses);
+                        let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                        warp.set_reg(d.0, lane, v);
+                    });
+                    effect = StepEffect::GlobalMem {
+                        txs: coalesce(&addrs, active, false),
+                    };
+                }
+                Space::Shared => {
+                    for_lanes!(|lane| {
+                        let v = load_word(ctx.shared_mem, addrs[lane], ctx.oob_accesses);
+                        let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                        warp.set_reg(d.0, lane, v);
+                    });
+                    effect = StepEffect::SharedMem;
+                }
+            }
+        }
+        Op::St {
+            space,
+            addr,
+            offset,
+            v,
+        } => {
+            let mut addrs = [0u32; 32];
+            for_lanes!(|lane| {
+                addrs[lane] = warp.reg(addr.0, lane).wrapping_add(offset as u32);
+            });
+            match space {
+                Space::Global => {
+                    for_lanes!(|lane| {
+                        let val = warp.reg(v.0, lane);
+                        let val = ctx.fault.corrupt_value(&fctx, lane, val);
+                        store_word(ctx.global_mem, addrs[lane], val, ctx.oob_accesses);
+                    });
+                    effect = StepEffect::GlobalMem {
+                        txs: coalesce(&addrs, active, true),
+                    };
+                }
+                Space::Shared => {
+                    for_lanes!(|lane| {
+                        let val = warp.reg(v.0, lane);
+                        let val = ctx.fault.corrupt_value(&fctx, lane, val);
+                        store_word(ctx.shared_mem, addrs[lane], val, ctx.oob_accesses);
+                    });
+                    effect = StepEffect::SharedMem;
+                }
+            }
+        }
+        Op::AtomAdd { d, addr, offset, v } | Op::AtomAddF { d, addr, offset, v } => {
+            let float = matches!(op, Op::AtomAddF { .. });
+            let mut addrs = Vec::new();
+            for_lanes!(|lane| {
+                let a = warp.reg(addr.0, lane).wrapping_add(offset as u32);
+                addrs.push(a);
+                let old = load_word(ctx.global_mem, a, ctx.oob_accesses);
+                let add = warp.reg(v.0, lane);
+                let new = if float {
+                    b(f(old) + f(add))
+                } else {
+                    old.wrapping_add(add)
+                };
+                let new = ctx.fault.corrupt_value(&fctx, lane, new);
+                store_word(ctx.global_mem, a, new, ctx.oob_accesses);
+                let old = ctx.fault.corrupt_value(&fctx, lane, old);
+                warp.set_reg(d.0, lane, old);
+            });
+            effect = StepEffect::Atomic { addrs };
+        }
+        Op::Bra { target } => {
+            next_pc = target;
+        }
+        Op::BraCond {
+            p,
+            negate,
+            target,
+            reconv,
+        } => {
+            let taken = warp.pred_mask(p.0, negate, active);
+            if taken == active {
+                next_pc = target;
+            } else if taken == 0 {
+                // fall through
+            } else {
+                // Diverge: current entry resumes at the reconvergence point;
+                // execute the fall-through path, then the taken path.
+                let top_mut = warp.stack.last_mut().expect("stack");
+                top_mut.pc = reconv;
+                let fall = active & !taken;
+                warp.stack.push(StackEntry {
+                    mask: fall,
+                    pc: pc + 1,
+                    reconv,
+                });
+                warp.stack.push(StackEntry {
+                    mask: taken,
+                    pc: target,
+                    reconv,
+                });
+                // PC bookkeeping handled by the pushed entries.
+                if warp.settle() {
+                    return StepEffect::Compute(ExecUnit::Ctrl);
+                }
+                warp.state = WarpState::Finished;
+                return StepEffect::Finished;
+            }
+        }
+        Op::Bar => {
+            debug_assert_eq!(
+                active, warp.live,
+                "barrier executed under divergence (kernel bug)"
+            );
+            warp.stack.last_mut().expect("stack").pc = next_pc;
+            warp.state = WarpState::AtBarrier;
+            return StepEffect::Barrier;
+        }
+        Op::Exit => {
+            warp.retire_lanes(active);
+            if warp.settle() {
+                return StepEffect::Compute(ExecUnit::Ctrl);
+            }
+            warp.state = WarpState::Finished;
+            return StepEffect::Finished;
+        }
+        Op::Nop => {}
+    }
+
+    warp.stack.last_mut().expect("stack").pc = next_pc;
+    if !warp.settle() {
+        warp.state = WarpState::Finished;
+        return StepEffect::Finished;
+    }
+    effect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockDims;
+    use crate::builder::KernelBuilder;
+    use crate::fault::NoFaults;
+    use crate::isa::CmpOp;
+    use crate::kernel::Dim3;
+    use crate::program::Program;
+
+    fn dims() -> BlockDims {
+        BlockDims {
+            ctaid: (2, 0, 0),
+            ntid: Dim3::x(64),
+            nctaid: Dim3::x(4),
+        }
+    }
+
+    /// Runs `prog` for one fresh 32-lane warp to completion, returning the
+    /// warp (for register inspection).
+    fn run_to_completion(prog: &Program, global: &mut [u8], params: &[u32]) -> Warp {
+        let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
+        let mut shared = vec![0u8; 1024];
+        let mut oob = 0u64;
+        let mut hook = NoFaults;
+        let mut steps = 0;
+        while warp.state == WarpState::Ready {
+            let mut ctx = ExecCtx {
+                global_mem: global,
+                shared_mem: &mut shared,
+                params,
+                dims: dims(),
+                sm_id: 0,
+                cycle: steps,
+                kernel: KernelId(0),
+                block: 2,
+                fault: &mut hook,
+                oob_accesses: &mut oob,
+            };
+            let eff = step_warp(&mut warp, prog.instrs(), &mut ctx);
+            if eff == StepEffect::Finished {
+                break;
+            }
+            steps += 1;
+            assert!(steps < 100_000, "runaway program");
+        }
+        assert_eq!(oob, 0, "test programs must not go out of bounds");
+        warp
+    }
+
+    #[test]
+    fn arithmetic_and_specials() {
+        let mut b = KernelBuilder::new("t");
+        let tid = b.special(SpecialReg::TidX);
+        let ctaid = b.special(SpecialReg::CtaidX);
+        let five = b.mov(5u32);
+        let sum = b.iadd(tid, five); // tid + 5
+        let r = b.imad(ctaid, 100u32, sum); // ctaid*100 + tid + 5
+        let keep = b.reg();
+        b.mov_to(keep, r);
+        let prog = b.build().expect("valid");
+        let w = run_to_completion(&prog, &mut [], &[]);
+        for lane in 0..32 {
+            assert_eq!(w.reg(keep.0, lane), 200 + lane as u32 + 5);
+        }
+    }
+
+    #[test]
+    fn float_pipeline_matches_host_math() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.mov(2.0f32);
+        let y = b.fmul(x, 3.0f32);
+        let z = b.ffma(y, 2.0f32, 1.0f32); // 13
+        let s = b.fsqrt(z);
+        let keep = b.reg();
+        b.mov_to(keep, s);
+        let prog = b.build().expect("valid");
+        let w = run_to_completion(&prog, &mut [], &[]);
+        let expect = 13.0f32.sqrt();
+        assert_eq!(f32::from_bits(w.reg(keep.0, 0)), expect);
+    }
+
+    #[test]
+    fn global_load_store_roundtrip() {
+        let mut b = KernelBuilder::new("t");
+        let base = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let addr = b.addr_w(base, tid);
+        let v = b.ldg(addr, 0);
+        let v2 = b.iadd(v, 1u32);
+        b.stg(addr, 0, v2);
+        let prog = b.build().expect("valid");
+        let mut mem = vec![0u8; 256];
+        for i in 0..32u32 {
+            mem[(i * 4) as usize..(i * 4 + 4) as usize].copy_from_slice(&(i * 10).to_le_bytes());
+        }
+        let _ = run_to_completion(&prog, &mut mem, &[0]);
+        for i in 0..32u32 {
+            let got = u32::from_le_bytes(mem[(i * 4) as usize..(i * 4 + 4) as usize].try_into().unwrap());
+            assert_eq!(got, i * 10 + 1);
+        }
+    }
+
+    #[test]
+    fn divergent_if_else_updates_disjoint_lanes() {
+        let mut b = KernelBuilder::new("t");
+        let tid = b.special(SpecialReg::TidX);
+        let out = b.mov(0u32);
+        let p = b.isetp(CmpOp::Lt, tid, 16u32);
+        b.if_else(
+            p,
+            |b| b.mov_to(out, 111u32),
+            |b| b.mov_to(out, 222u32),
+        );
+        let keep = b.reg();
+        b.mov_to(keep, out);
+        let prog = b.build().expect("valid");
+        let w = run_to_completion(&prog, &mut [], &[]);
+        for lane in 0..32 {
+            let expect = if lane < 16 { 111 } else { 222 };
+            assert_eq!(w.reg(keep.0, lane), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn divergent_loop_trip_counts_differ_per_lane() {
+        // Each lane sums 0..tid.
+        let mut b = KernelBuilder::new("t");
+        let tid = b.special(SpecialReg::TidX);
+        let acc = b.mov(0u32);
+        b.for_range(0u32, tid, 1u32, |b, i| {
+            b.iadd_to(acc, acc, i);
+        });
+        let keep = b.reg();
+        b.mov_to(keep, acc);
+        let prog = b.build().expect("valid");
+        let w = run_to_completion(&prog, &mut [], &[]);
+        for lane in 0..32u32 {
+            let expect = lane * lane.saturating_sub(1) / 2;
+            assert_eq!(w.reg(keep.0, lane as usize), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn early_exit_guard_retires_lanes() {
+        let mut b = KernelBuilder::new("t");
+        let tid = b.special(SpecialReg::TidX);
+        let out = b.mov(7u32);
+        let p = b.isetp(CmpOp::Ge, tid, 8u32);
+        b.if_(p, |b| b.exit());
+        b.mov_to(out, 9u32);
+        let prog = b.build().expect("valid");
+        let w = run_to_completion(&prog, &mut [], &[]);
+        for lane in 0..8 {
+            assert_eq!(w.reg(out.0, lane), 9, "surviving lanes run the tail");
+        }
+        for lane in 8..32 {
+            // Exited lanes never executed the tail.
+            assert_eq!(w.reg(out.0, lane), 7, "exited lanes keep the old value");
+        }
+    }
+
+    #[test]
+    fn selp_and_setp_float() {
+        let mut b = KernelBuilder::new("t");
+        let tid = b.special(SpecialReg::TidX);
+        let ftid = b.i2f(tid);
+        let p = b.fsetp(CmpOp::Gt, ftid, 10.5f32);
+        let r = b.selp(p, 1u32, 2u32);
+        let keep = b.reg();
+        b.mov_to(keep, r);
+        let prog = b.build().expect("valid");
+        let w = run_to_completion(&prog, &mut [], &[]);
+        for lane in 0..32 {
+            let expect = if lane as f32 > 10.5 { 1 } else { 2 };
+            assert_eq!(w.reg(keep.0, lane), expect);
+        }
+    }
+
+    #[test]
+    fn shared_memory_roundtrip() {
+        let mut b = KernelBuilder::new("t");
+        let tid = b.special(SpecialReg::TidX);
+        let off = b.ishl(tid, 2u32);
+        let v = b.imul(tid, 3u32);
+        b.sts(off, 0, v);
+        let rd = b.lds(off, 0);
+        let keep = b.reg();
+        b.mov_to(keep, rd);
+        let prog = b.build().expect("valid");
+        let w = run_to_completion(&prog, &mut [], &[]);
+        for lane in 0..32u32 {
+            assert_eq!(w.reg(keep.0, lane as usize), lane * 3);
+        }
+    }
+
+    #[test]
+    fn atomics_accumulate_across_lanes() {
+        let mut b = KernelBuilder::new("t");
+        let base = b.param(0);
+        let one = b.mov(1u32);
+        let _old = b.atom_add(base, 0, one);
+        let prog = b.build().expect("valid");
+        let mut mem = vec![0u8; 16];
+        let _ = run_to_completion(&prog, &mut mem, &[0]);
+        let got = u32::from_le_bytes(mem[0..4].try_into().unwrap());
+        assert_eq!(got, 32, "all 32 lanes incremented");
+    }
+
+    #[test]
+    fn oob_reads_poison_and_are_counted() {
+        let mut b = KernelBuilder::new("t");
+        let addr = b.mov(0x1000u32); // beyond the 16-byte image below
+        let v = b.ldg(addr, 0);
+        let keep = b.reg();
+        b.mov_to(keep, v);
+        let prog = b.build().expect("valid");
+
+        let mut warp = Warp::new(0, 0b1, prog.regs_per_thread(), 0);
+        let mut shared = vec![0u8; 16];
+        let mut global = vec![0u8; 16];
+        let mut oob = 0u64;
+        let mut hook = NoFaults;
+        loop {
+            let mut ctx = ExecCtx {
+                global_mem: &mut global,
+                shared_mem: &mut shared,
+                params: &[],
+                dims: dims(),
+                sm_id: 0,
+                cycle: 0,
+                kernel: KernelId(0),
+                block: 0,
+                fault: &mut hook,
+                oob_accesses: &mut oob,
+            };
+            if step_warp(&mut warp, prog.instrs(), &mut ctx) == StepEffect::Finished {
+                break;
+            }
+        }
+        assert_eq!(oob, 1);
+        assert_eq!(warp.reg(keep.0, 0), 0xdead_beef);
+    }
+
+    #[test]
+    fn global_access_reports_coalesced_transactions() {
+        let mut b = KernelBuilder::new("t");
+        let base = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let addr = b.addr_w(base, tid);
+        let _ = b.ldg(addr, 0);
+        let prog = b.build().expect("valid");
+
+        let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
+        let mut shared = vec![0u8; 16];
+        let mut global = vec![0u8; 4096];
+        let mut oob = 0u64;
+        let mut hook = NoFaults;
+        let mut saw_mem = None;
+        loop {
+            let mut ctx = ExecCtx {
+                global_mem: &mut global,
+                shared_mem: &mut shared,
+                params: &[0],
+                dims: dims(),
+                sm_id: 0,
+                cycle: 0,
+                kernel: KernelId(0),
+                block: 0,
+                fault: &mut hook,
+                oob_accesses: &mut oob,
+            };
+            match step_warp(&mut warp, prog.instrs(), &mut ctx) {
+                StepEffect::Finished => break,
+                StepEffect::GlobalMem { txs } => saw_mem = Some(txs),
+                _ => {}
+            }
+        }
+        let txs = saw_mem.expect("load issued");
+        assert_eq!(txs.len(), 4, "32 lanes x 4B fully coalesced = 4 sectors");
+    }
+}

@@ -1,0 +1,756 @@
+//! The top-level GPU device: global memory, kernel launch queue, the cycle
+//! loop, and the scheduling round that consults the installed kernel
+//! scheduler policy.
+
+use crate::block::{BlockDims, BlockState};
+use crate::config::GpuConfig;
+use crate::fault::{FaultHook, NoFaults};
+use crate::kernel::{BlockFootprint, KernelId, KernelLaunch};
+use crate::mem::system::MemorySystem;
+use crate::scheduler::{
+    DefaultScheduler, KernelSchedulerPolicy, KernelSnapshot, SchedulerView, SmSnapshot,
+};
+use crate::sm::{BlockCompletion, Sm};
+use crate::stats::SimStats;
+use crate::trace::{BlockRecord, ExecutionTrace, KernelRecord};
+use std::fmt;
+use std::sync::Arc;
+
+/// Cycles between a block's dispatch decision and its warps becoming
+/// issuable (pipeline fill / context initialization).
+const BLOCK_DISPATCH_LATENCY: u64 = 10;
+
+/// Errors reported by the GPU device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulation cannot make progress (scheduler refuses to dispatch
+    /// pending work and no event is outstanding).
+    Stalled {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+        /// Blocks that remain undispatched.
+        pending_blocks: u32,
+    },
+    /// Device memory allocation failed.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u32,
+        /// Bytes available.
+        available: u32,
+    },
+    /// Operation requires an idle device (e.g. policy replacement).
+    NotIdle,
+    /// A launch exceeded per-SM resources (the block can never be placed).
+    Unschedulable {
+        /// Program name of the offending launch.
+        program: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled {
+                cycle,
+                pending_blocks,
+            } => write!(
+                f,
+                "simulation stalled at cycle {cycle} with {pending_blocks} pending blocks"
+            ),
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device allocation of {requested} bytes exceeds {available} free bytes"
+            ),
+            SimError::NotIdle => write!(f, "operation requires an idle device"),
+            SimError::Unschedulable { program } => {
+                write!(f, "kernel '{program}' can never fit on any SM")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A device memory address (byte offset into GPU global memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DevPtr(pub u32);
+
+impl DevPtr {
+    /// The address `words * 4` bytes past this pointer.
+    pub fn offset_words(self, words: u32) -> DevPtr {
+        DevPtr(self.0 + words * 4)
+    }
+}
+
+#[derive(Debug)]
+struct KernelRuntime {
+    id: KernelId,
+    launch: KernelLaunch,
+    params: Arc<[u32]>,
+    footprint: BlockFootprint,
+    arrival: u64,
+    blocks_issued: u32,
+    blocks_done: u32,
+    record: usize,
+}
+
+impl KernelRuntime {
+    fn blocks_total(&self) -> u32 {
+        self.launch.config.num_blocks()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.blocks_done == self.blocks_total()
+    }
+}
+
+/// The simulated GPU device.
+///
+/// # Examples
+///
+/// ```
+/// use higpu_sim::builder::KernelBuilder;
+/// use higpu_sim::config::GpuConfig;
+/// use higpu_sim::gpu::Gpu;
+/// use higpu_sim::kernel::{KernelLaunch, LaunchConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+/// let buf = gpu.alloc_words(32)?;
+/// gpu.write_u32(buf, &[5; 32]);
+///
+/// // y[i] += 1 for every thread.
+/// let mut b = KernelBuilder::new("inc");
+/// let base = b.param(0);
+/// let i = b.global_tid_x();
+/// let a = b.addr_w(base, i);
+/// let v = b.ldg(a, 0);
+/// let v1 = b.iadd(v, 1u32);
+/// b.stg(a, 0, v1);
+/// let prog = b.build()?.into_shared();
+///
+/// let cfg = LaunchConfig::new(1u32, 32u32).param_u32(buf.0);
+/// gpu.launch(KernelLaunch::new(prog, cfg));
+/// gpu.run_to_idle()?;
+/// assert_eq!(gpu.read_u32(buf, 32), vec![6; 32]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: Vec<u8>,
+    memsys: MemorySystem,
+    sms: Vec<Sm>,
+    kernels: Vec<KernelRuntime>,
+    policy: Box<dyn KernelSchedulerPolicy>,
+    fault: Box<dyn FaultHook>,
+    cycle: u64,
+    next_dispatch_slot: u64,
+    alloc_cursor: u32,
+    next_kernel_id: u64,
+    trace: ExecutionTrace,
+    sched_dirty: bool,
+    instructions: u64,
+    blocks_completed: u64,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("cycle", &self.cycle)
+            .field("num_sms", &self.sms.len())
+            .field("policy", &self.policy.name())
+            .field("kernels", &self.kernels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gpu {
+    /// Creates a GPU with the [`DefaultScheduler`] policy and no faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GpuConfig::validate`].
+    pub fn new(cfg: GpuConfig) -> Self {
+        Self::with_policy(cfg, Box::new(DefaultScheduler::new()))
+    }
+
+    /// Creates a GPU with a caller-provided kernel scheduler policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GpuConfig::validate`].
+    pub fn with_policy(cfg: GpuConfig, policy: Box<dyn KernelSchedulerPolicy>) -> Self {
+        cfg.validate().expect("invalid GPU configuration");
+        let sms = (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect();
+        let memsys = MemorySystem::new(&cfg);
+        let mem = vec![0u8; cfg.global_mem_bytes];
+        Self {
+            memsys,
+            sms,
+            mem,
+            kernels: Vec::new(),
+            policy,
+            fault: Box::new(NoFaults),
+            cycle: 0,
+            next_dispatch_slot: 0,
+            alloc_cursor: 0,
+            next_kernel_id: 0,
+            trace: ExecutionTrace::new(),
+            sched_dirty: false,
+            instructions: 0,
+            blocks_completed: 0,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Name of the installed scheduling policy.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Replaces the kernel scheduler policy. Mirrors the paper's operational
+    /// reconfiguration: only legal while the GPU is idle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotIdle`] if kernels are in flight.
+    pub fn set_policy(&mut self, policy: Box<dyn KernelSchedulerPolicy>) -> Result<(), SimError> {
+        if !self.is_idle() {
+            return Err(SimError::NotIdle);
+        }
+        self.policy = policy;
+        Ok(())
+    }
+
+    /// Installs a fault-injection hook (replaces any previous hook).
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.fault = hook;
+    }
+
+    /// Removes any installed fault hook.
+    pub fn clear_fault_hook(&mut self) {
+        self.fault = Box::new(NoFaults);
+    }
+
+    /// True when every launched kernel has finished.
+    pub fn is_idle(&self) -> bool {
+        self.kernels.iter().all(KernelRuntime::is_finished)
+    }
+
+    // ---- device memory ------------------------------------------------------
+
+    /// Allocates `bytes` of device memory (256-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] when the bump allocator is
+    /// exhausted.
+    pub fn alloc(&mut self, bytes: u32) -> Result<DevPtr, SimError> {
+        let aligned = self.alloc_cursor.div_ceil(256) * 256;
+        let end = aligned.checked_add(bytes).ok_or(SimError::OutOfMemory {
+            requested: bytes,
+            available: 0,
+        })?;
+        if end as usize > self.mem.len() {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                available: (self.mem.len() as u32).saturating_sub(aligned),
+            });
+        }
+        self.alloc_cursor = end;
+        Ok(DevPtr(aligned))
+    }
+
+    /// Allocates `words` 32-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] when the allocator is exhausted.
+    pub fn alloc_words(&mut self, words: u32) -> Result<DevPtr, SimError> {
+        self.alloc(words * 4)
+    }
+
+    /// Frees all allocations (bump allocator reset) and zeroes memory.
+    /// Launched kernels must have finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotIdle`] if kernels are in flight.
+    pub fn free_all(&mut self) -> Result<(), SimError> {
+        if !self.is_idle() {
+            return Err(SimError::NotIdle);
+        }
+        self.alloc_cursor = 0;
+        self.mem.fill(0);
+        Ok(())
+    }
+
+    /// Writes raw bytes to device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds device memory (host-side programming
+    /// error).
+    pub fn write_bytes(&mut self, ptr: DevPtr, data: &[u8]) {
+        let a = ptr.0 as usize;
+        self.mem[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads raw bytes from device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds device memory.
+    pub fn read_bytes(&self, ptr: DevPtr, len: usize) -> Vec<u8> {
+        let a = ptr.0 as usize;
+        self.mem[a..a + len].to_vec()
+    }
+
+    /// Writes a `u32` slice to device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds device memory.
+    pub fn write_u32(&mut self, ptr: DevPtr, data: &[u32]) {
+        let a = ptr.0 as usize;
+        for (i, v) in data.iter().enumerate() {
+            self.mem[a + i * 4..a + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads `len` `u32` words from device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds device memory.
+    pub fn read_u32(&self, ptr: DevPtr, len: usize) -> Vec<u32> {
+        let a = ptr.0 as usize;
+        (0..len)
+            .map(|i| {
+                u32::from_le_bytes(self.mem[a + i * 4..a + i * 4 + 4].try_into().expect("4 bytes"))
+            })
+            .collect()
+    }
+
+    /// Writes an `f32` slice to device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds device memory.
+    pub fn write_f32(&mut self, ptr: DevPtr, data: &[f32]) {
+        let a = ptr.0 as usize;
+        for (i, v) in data.iter().enumerate() {
+            self.mem[a + i * 4..a + i * 4 + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Reads `len` `f32` values from device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds device memory.
+    pub fn read_f32(&self, ptr: DevPtr, len: usize) -> Vec<f32> {
+        self.read_u32(ptr, len)
+            .into_iter()
+            .map(f32::from_bits)
+            .collect()
+    }
+
+    // ---- launching -----------------------------------------------------------
+
+    /// Submits a kernel launch. The kernel becomes visible to the GPU
+    /// front-end after the serial host dispatch gap (paper Sec. IV-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unschedulable`] if one block of the kernel exceeds
+    /// the capacity of an empty SM (it could never be dispatched).
+    pub fn launch(&mut self, launch: KernelLaunch) -> Result<KernelId, SimError> {
+        let fp = BlockFootprint::of(&launch, self.cfg.warp_size);
+        let empty_sm = Sm::new(usize::MAX, &self.cfg);
+        if !empty_sm.fits(&fp) {
+            return Err(SimError::Unschedulable {
+                program: launch.program.name().to_string(),
+            });
+        }
+        let id = KernelId(self.next_kernel_id);
+        self.next_kernel_id += 1;
+        let arrival = self.cycle.max(self.next_dispatch_slot) + self.cfg.dispatch_gap_cycles;
+        self.next_dispatch_slot = arrival;
+        let record = self.trace.kernels.len();
+        self.trace.kernels.push(KernelRecord {
+            id,
+            program: launch.program.name().to_string(),
+            attrs: launch.attrs.clone(),
+            launched: self.cycle,
+            arrival,
+            first_dispatch: None,
+            completion: None,
+            blocks: launch.config.num_blocks(),
+            footprint: fp,
+        });
+        let params: Arc<[u32]> = Arc::from(launch.config.params.clone().into_boxed_slice());
+        self.kernels.push(KernelRuntime {
+            id,
+            launch,
+            params,
+            footprint: fp,
+            arrival,
+            blocks_issued: 0,
+            blocks_done: 0,
+            record,
+        });
+        self.sched_dirty = true;
+        Ok(id)
+    }
+
+    fn pending_blocks(&self) -> u32 {
+        self.kernels
+            .iter()
+            .filter(|k| k.arrival <= self.cycle)
+            .map(|k| k.blocks_total() - k.blocks_issued)
+            .sum()
+    }
+
+    /// Runs one scheduling round: consults the policy and dispatches the
+    /// committed assignments (subject to fault-hook rerouting).
+    fn run_scheduler(&mut self) {
+        let kernels: Vec<KernelSnapshot> = self
+            .kernels
+            .iter()
+            .filter(|k| k.arrival <= self.cycle && !k.is_finished())
+            .map(|k| KernelSnapshot {
+                id: k.id,
+                attrs: k.launch.attrs.clone(),
+                arrival: k.arrival,
+                blocks_total: k.blocks_total(),
+                blocks_issued: k.blocks_issued,
+                blocks_done: k.blocks_done,
+                footprint: k.footprint,
+            })
+            .collect();
+        if kernels.is_empty() {
+            return;
+        }
+        let sms: Vec<SmSnapshot> = self
+            .sms
+            .iter()
+            .map(|s| SmSnapshot {
+                free: s.free(),
+                resident_blocks: s.resident_blocks() as u32,
+            })
+            .collect();
+        let mut view = SchedulerView::new(self.cycle, kernels, sms);
+        self.policy.assign(&mut view);
+        let assignments = view.into_assignments();
+
+        for a in assignments {
+            let Some(k) = self.kernels.iter().position(|k| k.id == a.kernel) else {
+                continue;
+            };
+            let fp = self.kernels[k].footprint;
+            let block_linear = self.kernels[k].blocks_issued;
+            if block_linear >= self.kernels[k].blocks_total() {
+                continue;
+            }
+            // Fault hook may misroute the assignment (scheduler fault model).
+            let fits: Vec<bool> = self.sms.iter().map(|s| s.fits(&fp)).collect();
+            let chosen = self.fault.reroute_block(
+                a.kernel,
+                block_linear,
+                a.sm,
+                self.sms.len(),
+                &|sm| fits.get(sm).copied().unwrap_or(false),
+            );
+            if !fits.get(chosen).copied().unwrap_or(false) {
+                continue; // retried at the next scheduling round
+            }
+            let kr = &mut self.kernels[k];
+            kr.blocks_issued += 1;
+            let rec = &mut self.trace.kernels[kr.record];
+            if rec.first_dispatch.is_none() {
+                rec.first_dispatch = Some(self.cycle);
+            }
+            let grid = kr.launch.config.grid;
+            let dims = BlockDims {
+                ctaid: grid.coords(block_linear),
+                ntid: kr.launch.config.block,
+                nctaid: grid,
+            };
+            let block = BlockState::new(
+                kr.id,
+                block_linear,
+                dims,
+                kr.launch.program.clone(),
+                kr.params.clone(),
+                fp,
+                self.cycle,
+                self.cycle + BLOCK_DISPATCH_LATENCY,
+            );
+            self.sms[chosen].admit(block);
+        }
+    }
+
+    fn process_completion(&mut self, c: BlockCompletion) {
+        self.trace.blocks.push(BlockRecord {
+            kernel: c.kernel,
+            block: c.block,
+            sm: c.sm,
+            start: c.start,
+            end: c.end,
+        });
+        self.instructions += c.instrs;
+        self.blocks_completed += 1;
+        if let Some(k) = self.kernels.iter_mut().find(|k| k.id == c.kernel) {
+            k.blocks_done += 1;
+            if k.is_finished() {
+                self.trace.kernels[k.record].completion = Some(c.end);
+            }
+        }
+        self.sched_dirty = true;
+    }
+
+    /// Advances the simulation until every launched kernel has completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if the installed policy stops
+    /// dispatching pending work while the device is otherwise quiescent
+    /// (policy bug or an unsatisfiable gating condition).
+    pub fn run_to_idle(&mut self) -> Result<u64, SimError> {
+        let mut completions: Vec<BlockCompletion> = Vec::new();
+        while !self.is_idle() {
+            // Scheduling round (cheap when nothing changed).
+            if self.sched_dirty {
+                self.sched_dirty = false;
+                self.run_scheduler();
+            }
+
+            // Issue on every SM at the current cycle.
+            completions.clear();
+            for sm in &mut self.sms {
+                sm.issue(
+                    self.cycle,
+                    &mut self.mem,
+                    &mut self.memsys,
+                    self.fault.as_mut(),
+                    &mut completions,
+                );
+            }
+            for c in completions.drain(..) {
+                self.process_completion(c);
+            }
+            if self.is_idle() {
+                break;
+            }
+
+            // Advance to the next event.
+            let mut next = u64::MAX;
+            for sm in &self.sms {
+                next = next.min(sm.next_ready_at());
+            }
+            for k in &self.kernels {
+                if !k.is_finished() && k.arrival > self.cycle {
+                    next = next.min(k.arrival);
+                    self.sched_dirty = true;
+                }
+            }
+            if self.sched_dirty && self.pending_blocks() > 0 {
+                next = next.min(self.cycle + 1);
+            }
+            if next == u64::MAX {
+                // Quiescent but unfinished: one last scheduling chance, then
+                // report a stall.
+                self.run_scheduler();
+                let still_stuck = self.sms.iter().all(|s| s.next_ready_at() == u64::MAX);
+                if still_stuck {
+                    return Err(SimError::Stalled {
+                        cycle: self.cycle,
+                        pending_blocks: self.pending_blocks(),
+                    });
+                }
+                continue;
+            }
+            self.cycle = next.max(self.cycle + 1);
+        }
+        Ok(self.cycle)
+    }
+
+    // ---- results -------------------------------------------------------------
+
+    /// The execution trace accumulated so far.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            cycles: self.cycle,
+            instructions: self.instructions,
+            per_sm: self.sms.iter().map(Sm::stats).collect(),
+            memory: self.memsys.stats(),
+            oob_accesses: self.sms.iter().map(|s| s.oob_accesses).sum(),
+            kernels_completed: self
+                .kernels
+                .iter()
+                .filter(|k| k.is_finished())
+                .count() as u64,
+            blocks_completed: self.blocks_completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::kernel::LaunchConfig;
+
+    fn inc_kernel() -> Arc<crate::program::Program> {
+        let mut b = KernelBuilder::new("inc");
+        let base = b.param(0);
+        let i = b.global_tid_x();
+        let a = b.addr_w(base, i);
+        let v = b.ldg(a, 0);
+        let v1 = b.iadd(v, 1u32);
+        b.stg(a, 0, v1);
+        b.build().expect("valid").into_shared()
+    }
+
+    #[test]
+    fn single_kernel_executes_functionally() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf = gpu.alloc_words(128).expect("alloc");
+        gpu.write_u32(buf, &vec![10u32; 128]);
+        let cfg = LaunchConfig::new(4u32, 32u32).param_u32(buf.0);
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg)).expect("launch");
+        gpu.run_to_idle().expect("run");
+        assert_eq!(gpu.read_u32(buf, 128), vec![11u32; 128]);
+        assert!(gpu.is_idle());
+        let st = gpu.stats();
+        assert_eq!(st.kernels_completed, 1);
+        assert_eq!(st.blocks_completed, 4);
+        assert_eq!(st.oob_accesses, 0);
+        assert!(st.instructions > 0);
+    }
+
+    #[test]
+    fn trace_records_block_placement() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf = gpu.alloc_words(128).expect("alloc");
+        let cfg = LaunchConfig::new(4u32, 32u32).param_u32(buf.0);
+        let id = gpu
+            .launch(KernelLaunch::new(inc_kernel(), cfg).tag("k"))
+            .expect("launch");
+        gpu.run_to_idle().expect("run");
+        let t = gpu.trace();
+        assert_eq!(t.blocks_of(id).count(), 4);
+        let k = t.kernel(id).expect("kernel record");
+        assert!(k.completion.is_some());
+        assert!(k.first_dispatch.expect("dispatched") >= k.arrival);
+        assert!(k.arrival >= gpu.config().dispatch_gap_cycles);
+        // Both SMs used (default scheduler is breadth-first).
+        assert_eq!(t.sms_used_by(id).len(), 2);
+    }
+
+    #[test]
+    fn two_kernels_arrive_serially() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        // Separate buffers: the kernels may overlap on the device, and
+        // concurrent increments of one buffer would race (as on real GPUs).
+        let buf_a = gpu.alloc_words(64).expect("alloc");
+        let buf_b = gpu.alloc_words(64).expect("alloc");
+        let a = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(2u32, 32u32).param_u32(buf_a.0),
+            ))
+            .expect("launch");
+        let b = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(2u32, 32u32).param_u32(buf_b.0),
+            ))
+            .expect("launch");
+        gpu.run_to_idle().expect("run");
+        let gap = gpu.config().dispatch_gap_cycles;
+        let ka = gpu.trace().kernel(a).expect("a");
+        let kb = gpu.trace().kernel(b).expect("b");
+        assert_eq!(kb.arrival - ka.arrival, gap, "serial dispatch gap");
+        assert_eq!(gpu.read_u32(buf_a, 64), vec![1u32; 64], "kernel a ran");
+        assert_eq!(gpu.read_u32(buf_b, 64), vec![1u32; 64], "kernel b ran");
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_bounded() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let a = gpu.alloc(10).expect("alloc");
+        let b = gpu.alloc(10).expect("alloc");
+        assert_eq!(a.0 % 256, 0);
+        assert_eq!(b.0 % 256, 0);
+        assert_ne!(a, b);
+        let err = gpu.alloc(u32::MAX).expect_err("too big");
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn unschedulable_kernel_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        // tiny_2sm allows 256 threads/SM; a 512-thread block can never fit.
+        let cfg = LaunchConfig::new(1u32, 512u32);
+        let err = gpu
+            .launch(KernelLaunch::new(inc_kernel(), cfg))
+            .expect_err("unschedulable");
+        assert!(matches!(err, SimError::Unschedulable { .. }));
+    }
+
+    #[test]
+    fn policy_swap_requires_idle() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf = gpu.alloc_words(32).expect("alloc");
+        let cfg = LaunchConfig::new(1u32, 32u32).param_u32(buf.0);
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg)).expect("launch");
+        let err = gpu.set_policy(Box::new(DefaultScheduler::new()));
+        assert_eq!(err, Err(SimError::NotIdle));
+        gpu.run_to_idle().expect("run");
+        gpu.set_policy(Box::new(DefaultScheduler::new()))
+            .expect("idle now");
+    }
+
+    #[test]
+    fn free_all_resets_allocator() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let a = gpu.alloc(1024).expect("alloc");
+        gpu.write_u32(a, &[42]);
+        gpu.free_all().expect("idle");
+        let b = gpu.alloc(1024).expect("alloc");
+        assert_eq!(a, b, "allocator reset");
+        assert_eq!(gpu.read_u32(b, 1), vec![0], "memory zeroed");
+    }
+
+    #[test]
+    fn makespan_reported_after_completion() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf = gpu.alloc_words(64).expect("alloc");
+        let cfg = LaunchConfig::new(2u32, 32u32).param_u32(buf.0);
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg)).expect("launch");
+        assert_eq!(gpu.trace().makespan(), None);
+        gpu.run_to_idle().expect("run");
+        assert!(gpu.trace().makespan().is_some());
+    }
+}

@@ -1,0 +1,694 @@
+//! The SASS-like instruction set executed by the simulator.
+//!
+//! Registers are 32 bits wide; floating point operations interpret register
+//! contents as IEEE-754 `f32` bit patterns, integer operations as `i32`/`u32`.
+//! Control flow uses explicit divergent branches that carry their
+//! reconvergence PC, produced by the structured [`crate::builder::KernelBuilder`].
+
+use std::fmt;
+
+/// A general-purpose 32-bit register identifier (`r0`..`r{N-1}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A 1-bit predicate register identifier (`p0`..`p7`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pred(pub u8);
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Second source operand: either a register or a 32-bit immediate.
+///
+/// Float immediates are encoded via [`Src::f32imm`] as raw bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand (raw 32-bit pattern).
+    Imm(u32),
+}
+
+impl Src {
+    /// Builds an immediate operand carrying the bit pattern of `v`.
+    pub fn f32imm(v: f32) -> Self {
+        Src::Imm(v.to_bits())
+    }
+
+    /// Builds an immediate operand from a signed integer.
+    pub fn i32imm(v: i32) -> Self {
+        Src::Imm(v as u32)
+    }
+}
+
+impl From<Reg> for Src {
+    fn from(r: Reg) -> Self {
+        Src::Reg(r)
+    }
+}
+
+impl From<u32> for Src {
+    fn from(v: u32) -> Self {
+        Src::Imm(v)
+    }
+}
+
+impl From<i32> for Src {
+    fn from(v: i32) -> Self {
+        Src::Imm(v as u32)
+    }
+}
+
+impl From<f32> for Src {
+    fn from(v: f32) -> Self {
+        Src::f32imm(v)
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg(r) => write!(f, "{r}"),
+            Src::Imm(v) => write!(f, "0x{v:x}"),
+        }
+    }
+}
+
+/// Hardware-provided per-thread values readable via [`Op::Special`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within the block, x component.
+    TidX,
+    /// Thread index within the block, y component.
+    TidY,
+    /// Thread index within the block, z component.
+    TidZ,
+    /// Block index within the grid, x component.
+    CtaidX,
+    /// Block index within the grid, y component.
+    CtaidY,
+    /// Block index within the grid, z component.
+    CtaidZ,
+    /// Block dimension, x component.
+    NtidX,
+    /// Block dimension, y component.
+    NtidY,
+    /// Block dimension, z component.
+    NtidZ,
+    /// Grid dimension, x component.
+    NctaidX,
+    /// Grid dimension, y component.
+    NctaidY,
+    /// Grid dimension, z component.
+    NctaidZ,
+    /// Lane index within the warp.
+    LaneId,
+    /// Identifier of the SM executing the block (diagnostic; used by the
+    /// scheduler built-in self-test).
+    SmId,
+}
+
+/// Comparison operator for `setp` instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison over signed 32-bit integers.
+    pub fn eval_i32(self, a: i32, b: i32) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Applies the comparison over unsigned 32-bit integers.
+    pub fn eval_u32(self, a: u32, b: u32) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Applies the comparison over `f32` (IEEE semantics; comparisons with
+    /// NaN are false except `Ne`).
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary integer ALU operations (`d = a <op> b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// Signed division (division by zero yields 0, like CUDA's undefined
+    /// result made deterministic).
+    Div,
+    /// Signed remainder (remainder by zero yields 0).
+    Rem,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 0..=31).
+    Shl,
+    /// Logical shift right (shift amount masked to 0..=31).
+    Shr,
+    /// Arithmetic shift right (shift amount masked to 0..=31).
+    Sra,
+}
+
+/// Binary floating-point ALU operations (`d = a <op> b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (SFU-class latency).
+    Div,
+    /// Minimum (NaN-propagating like `f32::min` of the reference CPU code).
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Unary floating-point operations executed on the special function unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfuOp {
+    /// Square root.
+    Sqrt,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Reciprocal.
+    Rcp,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Absolute value (cheap, but grouped here for encoding simplicity).
+    Abs,
+    /// Negation.
+    Neg,
+    /// Round toward negative infinity.
+    Floor,
+}
+
+/// Memory space addressed by a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Device global memory (byte addresses into the GPU memory).
+    Global,
+    /// Per-block shared memory (byte offsets into the block's allocation).
+    Shared,
+}
+
+/// One instruction of the kernel ISA.
+///
+/// `d` is always the destination, `a` the first source register, `b`/`c`
+/// further sources. All arithmetic is per active lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// `d = src`.
+    Mov {
+        /// Destination.
+        d: Reg,
+        /// Source operand.
+        a: Src,
+    },
+    /// `d = special`.
+    Special {
+        /// Destination.
+        d: Reg,
+        /// Which hardware value to read.
+        s: SpecialReg,
+    },
+    /// `d = params[idx]` (kernel parameter word).
+    Param {
+        /// Destination.
+        d: Reg,
+        /// Parameter index.
+        idx: u8,
+    },
+    /// Integer binary operation `d = a <op> b`.
+    IAlu {
+        /// Operation.
+        op: IntOp,
+        /// Destination.
+        d: Reg,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Src,
+    },
+    /// Integer multiply-add `d = a * b + c`.
+    IMad {
+        /// Destination.
+        d: Reg,
+        /// Multiplicand.
+        a: Reg,
+        /// Multiplier.
+        b: Src,
+        /// Addend.
+        c: Src,
+    },
+    /// Float binary operation `d = a <op> b`.
+    FAlu {
+        /// Operation.
+        op: FloatOp,
+        /// Destination.
+        d: Reg,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Src,
+    },
+    /// Fused multiply-add `d = a * b + c`.
+    FFma {
+        /// Destination.
+        d: Reg,
+        /// Multiplicand.
+        a: Reg,
+        /// Multiplier.
+        b: Src,
+        /// Addend.
+        c: Src,
+    },
+    /// Unary SFU operation `d = op(a)`.
+    FSfu {
+        /// Operation.
+        op: SfuOp,
+        /// Destination.
+        d: Reg,
+        /// Source.
+        a: Reg,
+    },
+    /// Integer-to-float conversion `d = (f32)(i32)a`.
+    I2F {
+        /// Destination.
+        d: Reg,
+        /// Source.
+        a: Reg,
+    },
+    /// Float-to-integer conversion `d = (i32)(f32)a` (truncating).
+    F2I {
+        /// Destination.
+        d: Reg,
+        /// Source.
+        a: Reg,
+    },
+    /// Integer compare and set predicate `p = a <cmp> b`.
+    ISetp {
+        /// Destination predicate.
+        p: Pred,
+        /// Comparison.
+        cmp: CmpOp,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Src,
+        /// Compare as unsigned instead of signed.
+        unsigned: bool,
+    },
+    /// Float compare and set predicate `p = a <cmp> b`.
+    FSetp {
+        /// Destination predicate.
+        p: Pred,
+        /// Comparison.
+        cmp: CmpOp,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Src,
+    },
+    /// Predicated select `d = p ? a : b`.
+    Selp {
+        /// Destination.
+        d: Reg,
+        /// Value when predicate is true.
+        a: Src,
+        /// Value when predicate is false.
+        b: Src,
+        /// Selector predicate.
+        p: Pred,
+    },
+    /// Load a 32-bit word: `d = mem[a + offset]`.
+    Ld {
+        /// Memory space.
+        space: Space,
+        /// Destination.
+        d: Reg,
+        /// Address register (byte address).
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i32,
+    },
+    /// Store a 32-bit word: `mem[addr + offset] = v`.
+    St {
+        /// Memory space.
+        space: Space,
+        /// Address register (byte address).
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i32,
+        /// Value register.
+        v: Reg,
+    },
+    /// Global-memory atomic add of a 32-bit integer; `d` receives the old
+    /// value.
+    AtomAdd {
+        /// Destination (old value).
+        d: Reg,
+        /// Address register (byte address, global space).
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i32,
+        /// Addend register.
+        v: Reg,
+    },
+    /// Global-memory atomic add of an `f32`; `d` receives the old value.
+    AtomAddF {
+        /// Destination (old value).
+        d: Reg,
+        /// Address register (byte address, global space).
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i32,
+        /// Addend register.
+        v: Reg,
+    },
+    /// Unconditional branch (uniform within the executing stack entry).
+    Bra {
+        /// Target PC.
+        target: u32,
+    },
+    /// Potentially divergent conditional branch.
+    ///
+    /// Lanes where the predicate (possibly negated) holds jump to `target`;
+    /// the rest fall through. `reconv` is the immediate post-dominator where
+    /// both paths reconverge, computed by the builder.
+    BraCond {
+        /// Branch predicate.
+        p: Pred,
+        /// Branch when predicate is *false* instead of true.
+        negate: bool,
+        /// Target PC.
+        target: u32,
+        /// Reconvergence PC.
+        reconv: u32,
+    },
+    /// Block-wide barrier (`__syncthreads()`); must be executed by all
+    /// non-exited threads of the block.
+    Bar,
+    /// Terminate the executing lanes.
+    Exit,
+    /// No operation.
+    Nop,
+}
+
+/// Functional unit classes used for issue/latency modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecUnit {
+    /// Integer / simple float pipelines.
+    Alu,
+    /// Special function unit.
+    Sfu,
+    /// Load/store unit (global).
+    Mem,
+    /// Load/store unit (shared memory).
+    SharedMem,
+    /// Control flow (branch, barrier, exit).
+    Ctrl,
+}
+
+impl Op {
+    /// The functional unit this instruction issues to.
+    pub fn unit(&self) -> ExecUnit {
+        match self {
+            Op::Ld { space, .. } | Op::St { space, .. } => match space {
+                Space::Global => ExecUnit::Mem,
+                Space::Shared => ExecUnit::SharedMem,
+            },
+            Op::AtomAdd { .. } | Op::AtomAddF { .. } => ExecUnit::Mem,
+            Op::FSfu { .. } => ExecUnit::Sfu,
+            Op::FAlu {
+                op: FloatOp::Div, ..
+            } => ExecUnit::Sfu,
+            Op::Bra { .. } | Op::BraCond { .. } | Op::Bar | Op::Exit | Op::Nop => ExecUnit::Ctrl,
+            _ => ExecUnit::Alu,
+        }
+    }
+
+    /// True for instructions that can change control flow or lane liveness.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Op::Bra { .. } | Op::BraCond { .. } | Op::Exit | Op::Bar
+        )
+    }
+
+    /// The destination register written by this instruction, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Op::Mov { d, .. }
+            | Op::Special { d, .. }
+            | Op::Param { d, .. }
+            | Op::IAlu { d, .. }
+            | Op::IMad { d, .. }
+            | Op::FAlu { d, .. }
+            | Op::FFma { d, .. }
+            | Op::FSfu { d, .. }
+            | Op::I2F { d, .. }
+            | Op::F2I { d, .. }
+            | Op::Selp { d, .. }
+            | Op::Ld { d, .. }
+            | Op::AtomAdd { d, .. }
+            | Op::AtomAddF { d, .. } => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Highest register index referenced by this instruction, if any.
+    pub fn max_reg(&self) -> Option<u16> {
+        fn bump(m: &mut Option<u16>, r: Reg) {
+            *m = Some(m.map_or(r.0, |cur| cur.max(r.0)));
+        }
+        fn bump_src(m: &mut Option<u16>, s: Src) {
+            if let Src::Reg(r) = s {
+                bump(m, r);
+            }
+        }
+        let mut m: Option<u16> = None;
+        match *self {
+            Op::Mov { d, a } => {
+                bump(&mut m, d);
+                bump_src(&mut m, a);
+            }
+            Op::Special { d, .. } | Op::Param { d, .. } => bump(&mut m, d),
+            Op::IAlu { d, a, b, .. } | Op::FAlu { d, a, b, .. } => {
+                bump(&mut m, d);
+                bump(&mut m, a);
+                bump_src(&mut m, b);
+            }
+            Op::IMad { d, a, b, c } | Op::FFma { d, a, b, c } => {
+                bump(&mut m, d);
+                bump(&mut m, a);
+                bump_src(&mut m, b);
+                bump_src(&mut m, c);
+            }
+            Op::FSfu { d, a, .. } | Op::I2F { d, a } | Op::F2I { d, a } => {
+                bump(&mut m, d);
+                bump(&mut m, a);
+            }
+            Op::ISetp { a, b, .. } | Op::FSetp { a, b, .. } => {
+                bump(&mut m, a);
+                bump_src(&mut m, b);
+            }
+            Op::Selp { d, a, b, .. } => {
+                bump(&mut m, d);
+                bump_src(&mut m, a);
+                bump_src(&mut m, b);
+            }
+            Op::Ld { d, addr, .. } => {
+                bump(&mut m, d);
+                bump(&mut m, addr);
+            }
+            Op::St { addr, v, .. } => {
+                bump(&mut m, addr);
+                bump(&mut m, v);
+            }
+            Op::AtomAdd { d, addr, v, .. } | Op::AtomAddF { d, addr, v, .. } => {
+                bump(&mut m, d);
+                bump(&mut m, addr);
+                bump(&mut m, v);
+            }
+            Op::Bra { .. } | Op::BraCond { .. } | Op::Bar | Op::Exit | Op::Nop => {}
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_cover_integer_orderings() {
+        assert!(CmpOp::Lt.eval_i32(-1, 0));
+        assert!(!CmpOp::Lt.eval_u32((-1i32) as u32, 0));
+        assert!(CmpOp::Ge.eval_i32(5, 5));
+        assert!(CmpOp::Ne.eval_f32(1.0, 2.0));
+        assert!(!CmpOp::Eq.eval_f32(f32::NAN, f32::NAN));
+        assert!(CmpOp::Ne.eval_f32(f32::NAN, f32::NAN));
+    }
+
+    #[test]
+    fn src_conversions() {
+        assert_eq!(Src::from(3u32), Src::Imm(3));
+        assert_eq!(Src::from(-1i32), Src::Imm(u32::MAX));
+        assert_eq!(Src::f32imm(1.0), Src::Imm(1.0f32.to_bits()));
+        assert_eq!(Src::from(Reg(4)), Src::Reg(Reg(4)));
+    }
+
+    #[test]
+    fn units_are_classified() {
+        let ld = Op::Ld {
+            space: Space::Global,
+            d: Reg(0),
+            addr: Reg(1),
+            offset: 0,
+        };
+        assert_eq!(ld.unit(), ExecUnit::Mem);
+        let lds = Op::Ld {
+            space: Space::Shared,
+            d: Reg(0),
+            addr: Reg(1),
+            offset: 0,
+        };
+        assert_eq!(lds.unit(), ExecUnit::SharedMem);
+        let div = Op::FAlu {
+            op: FloatOp::Div,
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Reg(Reg(2)),
+        };
+        assert_eq!(div.unit(), ExecUnit::Sfu);
+        assert_eq!(Op::Bar.unit(), ExecUnit::Ctrl);
+        assert_eq!(
+            Op::IAlu {
+                op: IntOp::Add,
+                d: Reg(0),
+                a: Reg(0),
+                b: Src::Imm(1)
+            }
+            .unit(),
+            ExecUnit::Alu
+        );
+    }
+
+    #[test]
+    fn max_reg_scans_all_operands() {
+        let op = Op::FFma {
+            d: Reg(3),
+            a: Reg(9),
+            b: Src::Reg(Reg(12)),
+            c: Src::Imm(0),
+        };
+        assert_eq!(op.max_reg(), Some(12));
+        assert_eq!(Op::Bar.max_reg(), None);
+        let st = Op::St {
+            space: Space::Global,
+            addr: Reg(7),
+            offset: 4,
+            v: Reg(2),
+        };
+        assert_eq!(st.max_reg(), Some(7));
+    }
+
+    #[test]
+    fn dest_identifies_writes() {
+        assert_eq!(
+            Op::Mov {
+                d: Reg(5),
+                a: Src::Imm(0)
+            }
+            .dest(),
+            Some(Reg(5))
+        );
+        assert_eq!(
+            Op::St {
+                space: Space::Shared,
+                addr: Reg(0),
+                offset: 0,
+                v: Reg(1)
+            }
+            .dest(),
+            None
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Kernel launch descriptors: grid/block geometry, parameters and the
+//! scheduling attributes consumed by global kernel-scheduler policies.
+
+use crate::program::Program;
+use std::sync::Arc;
+
+/// A three-component dimension (grid or block shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// x extent.
+    pub x: u32,
+    /// y extent.
+    pub y: u32,
+    /// z extent.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// One-dimensional shape `(x, 1, 1)`.
+    pub fn x(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// Two-dimensional shape `(x, y, 1)`.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Self { x, y, z: 1 }
+    }
+
+    /// Total element count `x * y * z`.
+    pub fn count(&self) -> u64 {
+        u64::from(self.x) * u64::from(self.y) * u64::from(self.z)
+    }
+
+    /// Decomposes a linear index into `(x, y, z)` coordinates.
+    pub fn coords(&self, linear: u32) -> (u32, u32, u32) {
+        let x = linear % self.x;
+        let y = (linear / self.x) % self.y;
+        let z = linear / (self.x * self.y);
+        (x, y, z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::x(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::xy(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3 { x, y, z }
+    }
+}
+
+/// Identifier of a kernel launch (unique per [`crate::gpu::Gpu`] instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelId(pub u64);
+
+/// Identifier of a redundant-execution group: all replicas of one logical
+/// computation share the `group`, distinguished by `replica`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RedundantTag {
+    /// Logical computation identifier.
+    pub group: u32,
+    /// Replica index (0 for the primary copy, 1 for the redundant copy, ...).
+    pub replica: u8,
+}
+
+/// Scheduling attributes attached to a launch, consumed by global
+/// kernel-scheduler policies. Policies ignore the hints they do not use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaunchAttrs {
+    /// Human-readable tag recorded in traces.
+    pub tag: String,
+    /// Redundant-execution group membership, if any.
+    pub redundant: Option<RedundantTag>,
+    /// SRRS hint: SM that receives the first thread block.
+    pub start_sm: Option<usize>,
+    /// HALF hint: which SM partition this kernel is confined to.
+    pub partition: Option<SmPartition>,
+    /// SRRS hint: kernels sharing a serialization group are executed one at
+    /// a time, on an otherwise idle GPU.
+    pub serialize_group: Option<u32>,
+}
+
+/// One of the two SM partitions used by the HALF policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmPartition {
+    /// SMs `[0, n/2)`.
+    Lower,
+    /// SMs `[n/2, n)`.
+    Upper,
+}
+
+impl SmPartition {
+    /// The SM-id range of this partition on a GPU with `num_sms` SMs.
+    ///
+    /// For odd SM counts the lower partition receives the extra SM.
+    pub fn range(self, num_sms: usize) -> std::ops::Range<usize> {
+        let half = num_sms.div_ceil(2);
+        match self {
+            SmPartition::Lower => 0..half,
+            SmPartition::Upper => half..num_sms,
+        }
+    }
+
+    /// True if `sm` belongs to this partition.
+    pub fn contains(self, sm: usize, num_sms: usize) -> bool {
+        self.range(num_sms).contains(&sm)
+    }
+
+    /// The opposite partition.
+    pub fn other(self) -> Self {
+        match self {
+            SmPartition::Lower => SmPartition::Upper,
+            SmPartition::Upper => SmPartition::Lower,
+        }
+    }
+}
+
+/// Everything needed to launch a kernel: program, geometry, parameters and
+/// per-block shared-memory footprint.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Grid shape in thread blocks.
+    pub grid: Dim3,
+    /// Block shape in threads.
+    pub block: Dim3,
+    /// Shared memory bytes per block.
+    pub shared_mem_bytes: u32,
+    /// Kernel parameter words (buffer addresses, scalars, f32 bit patterns).
+    pub params: Vec<u32>,
+}
+
+impl LaunchConfig {
+    /// Creates a launch configuration with the given grid/block geometry and
+    /// no parameters.
+    pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> Self {
+        Self {
+            grid: grid.into(),
+            block: block.into(),
+            shared_mem_bytes: 0,
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets the per-block shared memory footprint.
+    pub fn shared_mem(mut self, bytes: u32) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Appends a raw parameter word.
+    pub fn param_u32(mut self, v: u32) -> Self {
+        self.params.push(v);
+        self
+    }
+
+    /// Appends an `i32` parameter word.
+    pub fn param_i32(mut self, v: i32) -> Self {
+        self.params.push(v as u32);
+        self
+    }
+
+    /// Appends an `f32` parameter word (raw bits).
+    pub fn param_f32(mut self, v: f32) -> Self {
+        self.params.push(v.to_bits());
+        self
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        (self.block.count()).min(u64::from(u32::MAX)) as u32
+    }
+
+    /// Thread blocks in the grid.
+    pub fn num_blocks(&self) -> u32 {
+        (self.grid.count()).min(u64::from(u32::MAX)) as u32
+    }
+}
+
+/// A fully-specified kernel ready for [`crate::gpu::Gpu::launch`].
+#[derive(Debug, Clone)]
+pub struct KernelLaunch {
+    /// The program to execute.
+    pub program: Arc<Program>,
+    /// Geometry and parameters.
+    pub config: LaunchConfig,
+    /// Scheduling attributes.
+    pub attrs: LaunchAttrs,
+}
+
+impl KernelLaunch {
+    /// Convenience constructor with default attributes.
+    pub fn new(program: Arc<Program>, config: LaunchConfig) -> Self {
+        Self {
+            program,
+            config,
+            attrs: LaunchAttrs::default(),
+        }
+    }
+
+    /// Sets the trace tag.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.attrs.tag = tag.into();
+        self
+    }
+
+    /// Marks this launch as replica `replica` of redundant group `group`.
+    pub fn redundant(mut self, group: u32, replica: u8) -> Self {
+        self.attrs.redundant = Some(RedundantTag { group, replica });
+        self
+    }
+
+    /// SRRS hint: the SM receiving the first thread block.
+    pub fn start_sm(mut self, sm: usize) -> Self {
+        self.attrs.start_sm = Some(sm);
+        self
+    }
+
+    /// HALF hint: the SM partition for this kernel.
+    pub fn partition(mut self, p: SmPartition) -> Self {
+        self.attrs.partition = Some(p);
+        self
+    }
+
+    /// SRRS hint: serialization group.
+    pub fn serialize_group(mut self, g: u32) -> Self {
+        self.attrs.serialize_group = Some(g);
+        self
+    }
+}
+
+/// Per-block resource footprint, used for occupancy accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockFootprint {
+    /// Threads per block.
+    pub threads: u32,
+    /// Warps per block (threads rounded up to warp granularity).
+    pub warps: u32,
+    /// Registers per block (threads × regs-per-thread).
+    pub registers: u32,
+    /// Shared memory bytes per block.
+    pub shared_mem: u32,
+}
+
+impl BlockFootprint {
+    /// Computes the footprint of one block of `launch` on hardware with the
+    /// given warp size.
+    pub fn of(launch: &KernelLaunch, warp_size: usize) -> Self {
+        let threads = launch.config.threads_per_block();
+        let warps = threads.div_ceil(warp_size as u32);
+        let registers = threads * u32::from(launch.program.regs_per_thread());
+        BlockFootprint {
+            threads,
+            warps,
+            registers,
+            shared_mem: launch.config.shared_mem_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    fn prog() -> Arc<Program> {
+        let mut b = KernelBuilder::new("t");
+        let _ = b.mov(0u32);
+        b.build().expect("valid").into_shared()
+    }
+
+    #[test]
+    fn dim3_coords_roundtrip() {
+        let d = Dim3 { x: 4, y: 3, z: 2 };
+        assert_eq!(d.count(), 24);
+        assert_eq!(d.coords(0), (0, 0, 0));
+        assert_eq!(d.coords(5), (1, 1, 0));
+        assert_eq!(d.coords(23), (3, 2, 1));
+    }
+
+    #[test]
+    fn partition_ranges_cover_all_sms() {
+        for n in 1..=8 {
+            let lo = SmPartition::Lower.range(n);
+            let hi = SmPartition::Upper.range(n);
+            assert_eq!(lo.end, hi.start);
+            assert_eq!(hi.end, n);
+            for sm in 0..n {
+                assert_ne!(
+                    SmPartition::Lower.contains(sm, n),
+                    SmPartition::Upper.contains(sm, n),
+                    "partitions are disjoint and exhaustive"
+                );
+            }
+        }
+        assert_eq!(SmPartition::Lower.range(6), 0..3);
+        assert_eq!(SmPartition::Upper.range(6), 3..6);
+        assert_eq!(SmPartition::Lower.other(), SmPartition::Upper);
+    }
+
+    #[test]
+    fn launch_config_params() {
+        let c = LaunchConfig::new(4u32, 64u32)
+            .param_u32(10)
+            .param_f32(1.5)
+            .param_i32(-2);
+        assert_eq!(c.params.len(), 3);
+        assert_eq!(c.params[1], 1.5f32.to_bits());
+        assert_eq!(c.params[2] as i32, -2);
+        assert_eq!(c.num_blocks(), 4);
+        assert_eq!(c.threads_per_block(), 64);
+    }
+
+    #[test]
+    fn footprint_rounds_warps_up() {
+        let l = KernelLaunch::new(prog(), LaunchConfig::new(1u32, 33u32).shared_mem(256));
+        let fp = BlockFootprint::of(&l, 32);
+        assert_eq!(fp.warps, 2);
+        assert_eq!(fp.threads, 33);
+        assert_eq!(fp.shared_mem, 256);
+        assert_eq!(fp.registers, 33 * u32::from(l.program.regs_per_thread()));
+    }
+
+    #[test]
+    fn launch_builder_attrs() {
+        let l = KernelLaunch::new(prog(), LaunchConfig::new(1u32, 32u32))
+            .tag("k0")
+            .redundant(7, 1)
+            .start_sm(3)
+            .partition(SmPartition::Upper)
+            .serialize_group(9);
+        assert_eq!(l.attrs.tag, "k0");
+        assert_eq!(
+            l.attrs.redundant,
+            Some(RedundantTag {
+                group: 7,
+                replica: 1
+            })
+        );
+        assert_eq!(l.attrs.start_sm, Some(3));
+        assert_eq!(l.attrs.partition, Some(SmPartition::Upper));
+        assert_eq!(l.attrs.serialize_group, Some(9));
+    }
+}

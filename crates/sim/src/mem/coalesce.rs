@@ -1,0 +1,86 @@
+//! Memory access coalescing: collapses the per-lane addresses of a warp
+//! memory instruction into the minimal set of 32-byte sector transactions.
+
+/// Size of one memory transaction (sector) in bytes.
+pub const SECTOR_BYTES: u32 = 32;
+
+/// A single memory transaction produced by the coalescer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Sector-aligned byte address.
+    pub addr: u32,
+    /// True for stores.
+    pub write: bool,
+}
+
+/// Coalesces the active lanes' addresses into unique sector transactions.
+///
+/// `addrs` holds one byte address per lane; `mask` selects the active lanes.
+/// The result is sorted by address and de-duplicated, matching the behaviour
+/// of hardware coalescers for naturally aligned 4-byte accesses.
+pub fn coalesce(addrs: &[u32], mask: u32, write: bool) -> Vec<Transaction> {
+    let mut sectors: Vec<u32> = addrs
+        .iter()
+        .enumerate()
+        .filter(|(lane, _)| mask & (1u32 << lane) != 0)
+        .map(|(_, &a)| a / SECTOR_BYTES)
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors
+        .into_iter()
+        .map(|s| Transaction {
+            addr: s * SECTOR_BYTES,
+            write,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_warp_uses_four_sectors() {
+        // 32 lanes × 4 bytes = 128 bytes = 4 sectors.
+        let addrs: Vec<u32> = (0..32).map(|i| 0x1000 + i * 4).collect();
+        let txs = coalesce(&addrs, u32::MAX, false);
+        assert_eq!(txs.len(), 4);
+        assert_eq!(txs[0].addr, 0x1000);
+        assert_eq!(txs[3].addr, 0x1000 + 96);
+    }
+
+    #[test]
+    fn strided_access_explodes_transactions() {
+        // Stride of 128 bytes: every lane in its own sector.
+        let addrs: Vec<u32> = (0..32).map(|i| i * 128).collect();
+        let txs = coalesce(&addrs, u32::MAX, true);
+        assert_eq!(txs.len(), 32);
+        assert!(txs.iter().all(|t| t.write));
+    }
+
+    #[test]
+    fn same_address_broadcast_is_one_transaction() {
+        let addrs = [0x40u32; 32];
+        let txs = coalesce(&addrs, u32::MAX, false);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].addr, 0x40);
+    }
+
+    #[test]
+    fn inactive_lanes_are_ignored() {
+        let addrs: Vec<u32> = (0..32).map(|i| i * 128).collect();
+        let txs = coalesce(&addrs, 0b1, false);
+        assert_eq!(txs.len(), 1);
+        let txs = coalesce(&addrs, 0, false);
+        assert!(txs.is_empty());
+    }
+
+    #[test]
+    fn transactions_are_sector_aligned() {
+        let addrs: Vec<u32> = (0..32).map(|i| 13 + i * 4).collect();
+        for t in coalesce(&addrs, u32::MAX, false) {
+            assert_eq!(t.addr % SECTOR_BYTES, 0);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Memory hierarchy models: coalescing, caches, DRAM and the combined system.
+
+pub mod cache;
+pub mod coalesce;
+pub mod dram;
+pub mod system;
+
+pub use cache::{Cache, CacheOutcome, CacheStats};
+pub use coalesce::{coalesce, Transaction, SECTOR_BYTES};
+pub use dram::{Dram, DramStats};
+pub use system::{MemoryStats, MemorySystem};

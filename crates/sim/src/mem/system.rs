@@ -1,0 +1,241 @@
+//! The full memory hierarchy: per-SM L1 data caches, a shared L2 and DRAM.
+//!
+//! Only timing flows through here — functional values are read/written
+//! directly on the global-memory image by the execution engine. This split is
+//! sound for the workloads we run because cross-block communication happens
+//! across kernel launches (see DESIGN.md).
+
+use crate::config::GpuConfig;
+use crate::mem::cache::{Cache, CacheOutcome, CacheStats};
+use crate::mem::coalesce::Transaction;
+use crate::mem::dram::{Dram, DramStats};
+
+/// Aggregated memory-system statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryStats {
+    /// Sum of all SMs' L1 statistics.
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Total coalesced transactions processed.
+    pub transactions: u64,
+}
+
+/// The shared memory hierarchy of the GPU.
+#[derive(Debug)]
+pub struct MemorySystem {
+    l1: Vec<Cache>,
+    l2: Cache,
+    dram: Dram,
+    l1_hit_latency: u32,
+    l2_hit_latency: u32,
+    atomic_latency: u32,
+    transactions: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy described by `cfg`.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        Self {
+            l1: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1.clone())).collect(),
+            l2: Cache::new(cfg.l2.clone()),
+            dram: Dram::new(
+                cfg.dram.clone(),
+                cfg.timing.dram_latency,
+                cfg.timing.dram_service_cycles,
+            ),
+            l1_hit_latency: cfg.timing.l1_hit_latency,
+            l2_hit_latency: cfg.timing.l2_hit_latency,
+            atomic_latency: cfg.timing.atomic_latency,
+            transactions: 0,
+        }
+    }
+
+    /// Services one transaction beyond the L1 (shared L2 → DRAM). Returns the
+    /// completion cycle.
+    fn access_l2(&mut self, now: u64, tx: Transaction) -> u64 {
+        let l2_time = now + u64::from(self.l2_hit_latency);
+        match self.l2.access(now, tx.addr, tx.write) {
+            CacheOutcome::Hit => l2_time,
+            CacheOutcome::HitPending { ready_at } => ready_at.max(l2_time),
+            CacheOutcome::Miss { writeback } => {
+                if let Some(wb_addr) = writeback {
+                    // Dirty eviction consumes DRAM bandwidth but is off the
+                    // critical path of this request.
+                    let _ = self.dram.access(now, wb_addr, true);
+                }
+                let done = self.dram.access(l2_time, tx.addr, tx.write);
+                self.l2.fill(tx.addr, done);
+                done
+            }
+        }
+    }
+
+    /// Services a warp's coalesced transactions issued by SM `sm` at `now`.
+    ///
+    /// Returns the cycle at which the whole warp access completes (the max
+    /// over its transactions). Loads allocate in L1; stores are
+    /// write-through/no-allocate at L1 (the line is invalidated) and
+    /// write-back at L2, matching contemporary NVIDIA parts.
+    pub fn access(&mut self, sm: usize, now: u64, txs: &[Transaction]) -> u64 {
+        let mut done = now + u64::from(self.l1_hit_latency);
+        for &tx in txs {
+            self.transactions += 1;
+            let t = if tx.write {
+                self.l1[sm].invalidate(tx.addr);
+                self.access_l2(now, tx)
+            } else {
+                match self.l1[sm].access(now, tx.addr, false) {
+                    CacheOutcome::Hit => now + u64::from(self.l1_hit_latency),
+                    CacheOutcome::HitPending { ready_at } => {
+                        ready_at.max(now + u64::from(self.l1_hit_latency))
+                    }
+                    CacheOutcome::Miss { writeback } => {
+                        debug_assert!(writeback.is_none(), "L1 never holds dirty lines");
+                        let t = self.access_l2(now, tx);
+                        self.l1[sm].fill(tx.addr, t);
+                        t
+                    }
+                }
+            };
+            done = done.max(t);
+        }
+        done
+    }
+
+    /// Services an atomic read-modify-write (performed at the L2, as on real
+    /// hardware). Returns the completion cycle.
+    pub fn access_atomic(&mut self, now: u64, addr: u32) -> u64 {
+        self.transactions += 1;
+        let tx = Transaction { addr, write: true };
+        // Atomics bypass L1 on all SMs sharing the line; we conservatively
+        // invalidate the line in every L1.
+        for l1 in &mut self.l1 {
+            l1.invalidate(addr);
+        }
+        self.access_l2(now, tx) + u64::from(self.atomic_latency)
+    }
+
+    /// Flushes all caches and resets DRAM queues (between experiments).
+    pub fn reset(&mut self) {
+        for l1 in &mut self.l1 {
+            l1.flush();
+        }
+        self.l2.flush();
+        self.dram.reset();
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> MemoryStats {
+        let mut l1 = CacheStats::default();
+        for c in &self.l1 {
+            let s = c.stats();
+            l1.hits += s.hits;
+            l1.pending_hits += s.pending_hits;
+            l1.misses += s.misses;
+            l1.writebacks += s.writebacks;
+        }
+        MemoryStats {
+            l1,
+            l2: self.l2.stats(),
+            dram: self.dram.stats(),
+            transactions: self.transactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::mem::coalesce::Transaction;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(&GpuConfig::tiny_2sm())
+    }
+
+    fn tx(addr: u32) -> Transaction {
+        Transaction { addr, write: false }
+    }
+
+    #[test]
+    fn cold_load_reaches_dram() {
+        let cfg = GpuConfig::tiny_2sm();
+        let mut m = sys();
+        let done = m.access(0, 0, &[tx(0x1000)]);
+        let min = u64::from(cfg.timing.l2_hit_latency + cfg.timing.dram_latency);
+        assert!(done >= min, "cold miss must pay L2+DRAM: {done} >= {min}");
+        assert_eq!(m.stats().dram.reads, 1);
+    }
+
+    #[test]
+    fn warm_load_hits_l1() {
+        let cfg = GpuConfig::tiny_2sm();
+        let mut m = sys();
+        let t1 = m.access(0, 0, &[tx(0x1000)]);
+        let t2 = m.access(0, t1 + 1, &[tx(0x1000)]);
+        assert_eq!(t2, t1 + 1 + u64::from(cfg.timing.l1_hit_latency));
+        assert_eq!(m.stats().l1.hits, 1);
+    }
+
+    #[test]
+    fn l1s_are_private_per_sm() {
+        let mut m = sys();
+        let t1 = m.access(0, 0, &[tx(0x1000)]);
+        // Other SM misses its own L1 but hits the shared L2.
+        let t2 = m.access(1, t1 + 1, &[tx(0x1000)]);
+        let s = m.stats();
+        assert_eq!(s.l1.misses, 2);
+        assert_eq!(s.l2.misses, 1);
+        assert!(t2 < t1 + 1 + 200 + 220, "L2 hit, not DRAM");
+    }
+
+    #[test]
+    fn stores_invalidate_l1() {
+        let mut m = sys();
+        let t1 = m.access(0, 0, &[tx(0x40)]);
+        let _ = m.access(
+            0,
+            t1,
+            &[Transaction {
+                addr: 0x40,
+                write: true,
+            }],
+        );
+        // Reload misses L1 (invalidated) but hits L2.
+        let before = m.stats().l1.misses;
+        let _ = m.access(0, t1 + 500, &[tx(0x40)]);
+        assert_eq!(m.stats().l1.misses, before + 1);
+    }
+
+    #[test]
+    fn atomic_pays_atomic_latency() {
+        let cfg = GpuConfig::tiny_2sm();
+        let mut m = sys();
+        let done = m.access_atomic(0, 0x80);
+        assert!(done >= u64::from(cfg.timing.atomic_latency));
+        assert_eq!(m.stats().transactions, 1);
+    }
+
+    #[test]
+    fn multi_transaction_access_returns_max() {
+        let mut m = sys();
+        let one = m.access(0, 0, &[tx(0x0)]);
+        m.reset();
+        let many: Vec<Transaction> = (0..8).map(|i| tx(i * 0x1000)).collect();
+        let all = m.access(0, 0, &many);
+        assert!(all >= one, "more transactions cannot finish earlier");
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut m = sys();
+        let _ = m.access(0, 0, &[tx(0x1000)]);
+        m.reset();
+        let before = m.stats().l1.misses;
+        let _ = m.access(0, 0, &[tx(0x1000)]);
+        assert_eq!(m.stats().l1.misses, before + 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! A compiled kernel program: a flat instruction list with resolved branch
+//! targets and a declared register footprint.
+
+use crate::isa::Op;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A branch target or reconvergence point lies outside the program.
+    BranchOutOfRange {
+        /// PC of the offending instruction.
+        pc: usize,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// The program is empty.
+    Empty,
+    /// The program does not end in a control-flow-terminating instruction.
+    MissingExit,
+    /// More registers are referenced than declared.
+    RegisterOverflow {
+        /// Highest referenced register index.
+        used: u16,
+        /// Declared register count.
+        declared: u16,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::BranchOutOfRange { pc, target } => {
+                write!(f, "branch at pc {pc} targets out-of-range pc {target}")
+            }
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::MissingExit => write!(f, "program does not terminate with exit"),
+            ProgramError::RegisterOverflow { used, declared } => {
+                write!(f, "register r{used} referenced but only {declared} declared")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// An immutable, validated kernel program.
+///
+/// Programs are cheap to share across launches via [`Program::into_shared`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Op>,
+    regs_per_thread: u16,
+}
+
+impl Program {
+    /// Creates a program from raw instructions.
+    ///
+    /// `regs_per_thread` is the register footprint used for SM occupancy; it
+    /// must cover every register the instructions reference (real compilers
+    /// may allocate more than strictly needed, which callers can model by
+    /// passing a larger value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if validation fails; see [`Program::validate`].
+    pub fn new(
+        name: impl Into<String>,
+        instrs: Vec<Op>,
+        regs_per_thread: u16,
+    ) -> Result<Self, ProgramError> {
+        let p = Self {
+            name: name.into(),
+            instrs,
+            regs_per_thread,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Checks branch targets, termination and the register declaration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProgramError::Empty`] for an empty instruction list.
+    /// * [`ProgramError::BranchOutOfRange`] if any branch or reconvergence PC
+    ///   is ≥ the program length.
+    /// * [`ProgramError::MissingExit`] if no [`Op::Exit`] exists.
+    /// * [`ProgramError::RegisterOverflow`] if an instruction references a
+    ///   register ≥ `regs_per_thread`.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let len = self.instrs.len() as u32;
+        let mut has_exit = false;
+        for (pc, op) in self.instrs.iter().enumerate() {
+            match *op {
+                Op::Bra { target } if target >= len => {
+                    return Err(ProgramError::BranchOutOfRange { pc, target });
+                }
+                Op::BraCond { target, reconv, .. } => {
+                    if target >= len {
+                        return Err(ProgramError::BranchOutOfRange { pc, target });
+                    }
+                    if reconv > len {
+                        return Err(ProgramError::BranchOutOfRange { pc, target: reconv });
+                    }
+                }
+                Op::Exit => has_exit = true,
+                _ => {}
+            }
+            if let Some(used) = op.max_reg() {
+                if used >= self.regs_per_thread {
+                    return Err(ProgramError::RegisterOverflow {
+                        used,
+                        declared: self.regs_per_thread,
+                    });
+                }
+            }
+        }
+        if !has_exit {
+            return Err(ProgramError::MissingExit);
+        }
+        Ok(())
+    }
+
+    /// The program name (for traces and diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction stream.
+    pub fn instrs(&self) -> &[Op] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program holds no instructions (never true for validated
+    /// programs).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Per-thread register footprint used for occupancy computations.
+    pub fn regs_per_thread(&self) -> u16 {
+        self.regs_per_thread
+    }
+
+    /// Wraps the program in an [`Arc`] for sharing across launches.
+    pub fn into_shared(self) -> Arc<Program> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Pred, Reg, Src};
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Program::new("k", vec![], 1), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn rejects_missing_exit() {
+        let r = Program::new("k", vec![Op::Nop], 1);
+        assert_eq!(r, Err(ProgramError::MissingExit));
+    }
+
+    #[test]
+    fn rejects_out_of_range_branch() {
+        let r = Program::new("k", vec![Op::Bra { target: 9 }, Op::Exit], 1);
+        assert!(matches!(r, Err(ProgramError::BranchOutOfRange { .. })));
+        let r = Program::new(
+            "k",
+            vec![
+                Op::BraCond {
+                    p: Pred(0),
+                    negate: false,
+                    target: 1,
+                    reconv: 77,
+                },
+                Op::Exit,
+            ],
+            1,
+        );
+        assert!(matches!(r, Err(ProgramError::BranchOutOfRange { .. })));
+    }
+
+    #[test]
+    fn rejects_register_overflow() {
+        let r = Program::new(
+            "k",
+            vec![
+                Op::Mov {
+                    d: Reg(7),
+                    a: Src::Imm(0),
+                },
+                Op::Exit,
+            ],
+            4,
+        );
+        assert_eq!(
+            r,
+            Err(ProgramError::RegisterOverflow {
+                used: 7,
+                declared: 4
+            })
+        );
+    }
+
+    #[test]
+    fn accepts_minimal_program() {
+        let p = Program::new("k", vec![Op::Exit], 0).expect("valid");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.name(), "k");
+        assert!(!p.is_empty());
+    }
+}

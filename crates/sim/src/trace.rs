@@ -1,0 +1,193 @@
+//! Execution traces: which block ran where and when.
+//!
+//! The trace is the evidence base for the paper's safety argument — the
+//! diversity analyzer in `higpu-core` consumes it to prove that redundant
+//! thread blocks executed on different SMs at different times.
+
+use crate::kernel::{BlockFootprint, KernelId, LaunchAttrs};
+
+/// Spacetime record of one executed thread block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Owning kernel.
+    pub kernel: KernelId,
+    /// Linear block index within the grid.
+    pub block: u32,
+    /// SM that executed the block.
+    pub sm: usize,
+    /// Dispatch cycle.
+    pub start: u64,
+    /// Completion cycle.
+    pub end: u64,
+}
+
+impl BlockRecord {
+    /// True if this block's execution interval overlaps `other`'s.
+    pub fn overlaps(&self, other: &BlockRecord) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Lifecycle record of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Kernel identifier.
+    pub id: KernelId,
+    /// Program name.
+    pub program: String,
+    /// Scheduling attributes of the launch.
+    pub attrs: LaunchAttrs,
+    /// Cycle the launch was submitted by the host.
+    pub launched: u64,
+    /// Cycle the kernel became visible to the GPU front-end.
+    pub arrival: u64,
+    /// Cycle the first block was dispatched (`None` until then).
+    pub first_dispatch: Option<u64>,
+    /// Cycle the last block completed (`None` until finished).
+    pub completion: Option<u64>,
+    /// Total blocks in the grid.
+    pub blocks: u32,
+    /// Per-block resource footprint (for occupancy/classification analysis).
+    pub footprint: BlockFootprint,
+}
+
+impl KernelRecord {
+    /// Kernel residence time on the GPU (first dispatch → completion), if
+    /// finished.
+    pub fn execution_cycles(&self) -> Option<u64> {
+        match (self.first_dispatch, self.completion) {
+            (Some(s), Some(e)) => Some(e - s),
+            _ => None,
+        }
+    }
+
+    /// Latency from front-end arrival to completion, if finished.
+    pub fn turnaround_cycles(&self) -> Option<u64> {
+        self.completion.map(|e| e - self.arrival)
+    }
+}
+
+/// The complete execution trace of a simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    /// Per-block spacetime records, in completion order.
+    pub blocks: Vec<BlockRecord>,
+    /// Per-kernel lifecycle records, in launch order.
+    pub kernels: Vec<KernelRecord>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Block records belonging to `kernel`.
+    pub fn blocks_of(&self, kernel: KernelId) -> impl Iterator<Item = &BlockRecord> {
+        self.blocks.iter().filter(move |b| b.kernel == kernel)
+    }
+
+    /// The kernel record for `kernel`, if present.
+    pub fn kernel(&self, kernel: KernelId) -> Option<&KernelRecord> {
+        self.kernels.iter().find(|k| k.id == kernel)
+    }
+
+    /// Completion cycle of the last kernel to finish, if all have finished.
+    pub fn makespan(&self) -> Option<u64> {
+        let mut max = 0;
+        for k in &self.kernels {
+            max = max.max(k.completion?);
+        }
+        Some(max)
+    }
+
+    /// Set of SMs used by `kernel`.
+    pub fn sms_used_by(&self, kernel: KernelId) -> Vec<usize> {
+        let mut sms: Vec<usize> = self.blocks_of(kernel).map(|b| b.sm).collect();
+        sms.sort_unstable();
+        sms.dedup();
+        sms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kernel: u64, block: u32, sm: usize, start: u64, end: u64) -> BlockRecord {
+        BlockRecord {
+            kernel: KernelId(kernel),
+            block,
+            sm,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = rec(0, 0, 0, 10, 20);
+        assert!(a.overlaps(&rec(1, 0, 1, 15, 25)));
+        assert!(a.overlaps(&rec(1, 0, 1, 5, 11)));
+        assert!(!a.overlaps(&rec(1, 0, 1, 20, 30)), "touching is not overlap");
+        assert!(!a.overlaps(&rec(1, 0, 1, 0, 10)));
+        assert!(a.overlaps(&a.clone()));
+    }
+
+    #[test]
+    fn trace_queries() {
+        let mut t = ExecutionTrace::new();
+        t.blocks.push(rec(0, 0, 2, 0, 10));
+        t.blocks.push(rec(0, 1, 4, 5, 15));
+        t.blocks.push(rec(1, 0, 2, 20, 30));
+        assert_eq!(t.blocks_of(KernelId(0)).count(), 2);
+        assert_eq!(t.sms_used_by(KernelId(0)), vec![2, 4]);
+        assert_eq!(t.sms_used_by(KernelId(1)), vec![2]);
+    }
+
+    #[test]
+    fn makespan_requires_all_completions() {
+        let mut t = ExecutionTrace::new();
+        t.kernels.push(KernelRecord {
+            id: KernelId(0),
+            program: "a".into(),
+            attrs: Default::default(),
+            launched: 0,
+            arrival: 0,
+            first_dispatch: Some(1),
+            completion: Some(100),
+            blocks: 1,
+            footprint: BlockFootprint::default(),
+        });
+        assert_eq!(t.makespan(), Some(100));
+        t.kernels.push(KernelRecord {
+            id: KernelId(1),
+            program: "b".into(),
+            attrs: Default::default(),
+            launched: 0,
+            arrival: 5,
+            first_dispatch: None,
+            completion: None,
+            blocks: 1,
+            footprint: BlockFootprint::default(),
+        });
+        assert_eq!(t.makespan(), None);
+    }
+
+    #[test]
+    fn kernel_record_durations() {
+        let k = KernelRecord {
+            id: KernelId(0),
+            program: "a".into(),
+            attrs: Default::default(),
+            launched: 0,
+            arrival: 10,
+            first_dispatch: Some(12),
+            completion: Some(112),
+            blocks: 4,
+            footprint: BlockFootprint::default(),
+        };
+        assert_eq!(k.execution_cycles(), Some(100));
+        assert_eq!(k.turnaround_cycles(), Some(102));
+    }
+}

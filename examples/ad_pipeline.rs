@@ -1,0 +1,74 @@
+//! An autonomous-driving-style periodic pipeline: every frame, an object
+//! detection proxy (the leukocyte GICOV kernel stands in for the
+//! convolutional detection stage) is offloaded redundantly; the DCLS host
+//! compares outputs, and on an injected fault re-executes within the FTTI
+//! budget — the fail-operational pattern of paper Sec. IV-A.
+//!
+//! Run with: `cargo run --release --example ad_pipeline`
+
+use higpu::core::prelude::*;
+use higpu::faults::prelude::*;
+use higpu::rodinia::harness::RedundantSession;
+use higpu::rodinia::leukocyte::Leukocyte;
+use higpu::rodinia::Benchmark;
+use higpu::sim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frames = 5u64;
+    let detector = Leukocyte { size: 48 };
+    // 10 ms FTTI at 1.4 GHz.
+    let ftti = FttiBudget::from_ms(10.0, 1.4);
+
+    println!("frame  cycles    status      ftti_ok");
+    for frame in 0..frames {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        // Inject a transient fault into frame 2 to exercise recovery.
+        if frame == 2 {
+            let counters = InjectionCounters::shared();
+            gpu.set_fault_hook(Box::new(FaultInjector::new(
+                FaultModel::PermanentSm {
+                    sm: 1,
+                    from_cycle: 0,
+                    bit: 12,
+                },
+                counters,
+            )));
+        }
+
+        let (status, cycles) = {
+            let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6))?;
+            let mut session = RedundantSession::new(&mut exec);
+            match detector.run(&mut session) {
+                Ok(_) => ("ok", gpu.cycle()),
+                Err(higpu::rodinia::SessionError::ReplicaMismatch { .. }) => {
+                    ("detected", gpu.cycle())
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+
+        // Recovery: re-execute the frame fault-free (the transient passed).
+        let total_cycles = if status == "detected" {
+            let mut gpu2 = Gpu::new(GpuConfig::paper_6sm());
+            let mut exec = RedundantExecutor::new(&mut gpu2, RedundancyMode::srrs_default(6))?;
+            let mut session = RedundantSession::new(&mut exec);
+            detector.run(&mut session)?;
+            cycles + gpu2.cycle()
+        } else {
+            cycles
+        };
+
+        let analysis = RecoveryAnalysis {
+            round_cycles: total_cycles,
+            compare_cycles: 10_000,
+            recovery_rounds: u32::from(status == "detected"),
+        };
+        println!(
+            "{frame:<5}  {total_cycles:<8}  {status:<10}  {}",
+            analysis.fits(ftti)
+        );
+        assert!(analysis.fits(ftti), "frame must complete within the FTTI");
+    }
+    println!("\nall frames fail-operational within the {} ms FTTI", ftti.to_ms(1.4));
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # higpu — High-Integrity GPU designs for critical real-time automotive systems
+//!
+//! A from-scratch Rust reproduction of *High-Integrity GPU Designs for
+//! Critical Real-Time Automotive Systems* (Alcaide, Kosmidis, Hernandez,
+//! Abella — DATE 2019): lightweight GPU kernel-scheduler modifications
+//! (**SRRS** and **HALF**) that make diverse redundant execution — and with
+//! it ISO 26262 ASIL-D compliance via ASIL decomposition — achievable on
+//! COTS-class GPUs.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`sim`] — a cycle-level SIMT GPU simulator with a pluggable global
+//!   kernel scheduler (the GPGPU-Sim-class substrate);
+//! * [`core`] — the paper's contribution: the SRRS/HALF policies, the DCLS
+//!   redundant-offload protocol, diversity verification, ASIL decomposition,
+//!   FTTI accounting and the scheduler self-test;
+//! * [`faults`] — fault models and injection campaigns quantifying
+//!   detection coverage;
+//! * [`rodinia`] — the Rodinia-style benchmarks of the paper's evaluation;
+//! * [`cots`] — the end-to-end COTS platform model (Fig. 5).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use higpu::core::prelude::*;
+//! use higpu::sim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 6-SM GPU, as in the paper's evaluation.
+//! let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+//!
+//! // Offload a kernel redundantly under SRRS with start SMs 0 and 3.
+//! let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6))?;
+//! let mut b = KernelBuilder::new("axpy");
+//! let buf = b.param(0);
+//! let i = b.global_tid_x();
+//! let addr = b.addr_w(buf, i);
+//! let v = b.ldg(addr, 0);
+//! let r = b.ffma(v, 2.0f32, 1.0f32);
+//! b.stg(addr, 0, r);
+//! let prog = b.build()?.into_shared();
+//!
+//! let data = exec.alloc_words(128)?;
+//! exec.write_f32(&data, &vec![1.0; 128])?;
+//! exec.launch(&prog, 4u32, 32u32, 0, &[RParam::Buf(&data)])?;
+//! exec.sync()?;
+//!
+//! // The DCLS host compares both copies...
+//! assert!(exec.read_compare_f32(&data, 128)?.is_match());
+//! // ...and the trace proves spatial + temporal diversity.
+//! let report = analyze(gpu.trace(), DiversityRequirements::default());
+//! assert!(report.is_diverse());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use higpu_core as core;
+pub use higpu_cots as cots;
+pub use higpu_faults as faults;
+pub use higpu_rodinia as rodinia;
+pub use higpu_sim as sim;

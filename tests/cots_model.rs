@@ -1,0 +1,105 @@
+//! Integration: the end-to-end COTS model's mechanisms across the whole
+//! benchmark suite — redundancy always costs something, the cost
+//! concentrates where kernel time dominates, and the breakdown components
+//! scale the way the paper's three explanations require.
+
+mod common;
+
+use higpu::cots::{run_baseline, run_redundant, CotsPlatform};
+
+#[test]
+fn redundancy_is_never_free_but_fixed_costs_are_not_duplicated() {
+    let platform = CotsPlatform::gtx1050ti();
+    for bench in common::small_suite() {
+        let base = run_baseline(&platform, bench.as_ref()).expect("baseline");
+        let red = run_redundant(&platform, bench.as_ref()).expect("redundant");
+        assert!(
+            red.total_ms() > base.total_ms(),
+            "{}: redundant must cost more",
+            bench.name()
+        );
+        assert_eq!(
+            base.breakdown.fixed_ms, red.breakdown.fixed_ms,
+            "{}: fixed host cost is incurred once in both variants",
+            bench.name()
+        );
+        assert!(
+            red.total_ms() < 2.0 * base.total_ms() + 1.0,
+            "{}: with an undoubled fixed cost the ratio stays below 2x",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn transfers_and_compares_double_under_redundancy() {
+    let platform = CotsPlatform::gtx1050ti();
+    for bench in common::small_suite().into_iter().take(5) {
+        let base = run_baseline(&platform, bench.as_ref()).expect("baseline");
+        let red = run_redundant(&platform, bench.as_ref()).expect("redundant");
+        let rel = (red.breakdown.h2d_ms - 2.0 * base.breakdown.h2d_ms).abs();
+        assert!(
+            rel < 1e-9,
+            "{}: inputs are copied exactly twice",
+            bench.name()
+        );
+        assert_eq!(base.breakdown.compare_ms, 0.0);
+        assert!(red.breakdown.compare_ms > 0.0, "{}", bench.name());
+    }
+}
+
+#[test]
+fn serialized_kernels_take_longer_on_the_device() {
+    let platform = CotsPlatform::gtx1050ti();
+    for bench in common::small_suite().into_iter().take(5) {
+        let base = run_baseline(&platform, bench.as_ref()).expect("baseline");
+        let red = run_redundant(&platform, bench.as_ref()).expect("redundant");
+        assert!(
+            red.gpu_cycles > base.gpu_cycles,
+            "{}: two serialized copies occupy the GPU longer ({} vs {})",
+            bench.name(),
+            red.gpu_cycles,
+            base.gpu_cycles
+        );
+    }
+}
+
+#[test]
+fn overhead_correlates_with_gpu_fraction() {
+    // The paper's Fig. 5 explanation: benchmarks whose baseline is
+    // kernel-dominated feel redundancy the most. Verify the correlation on
+    // the scaled suite: the max-ratio benchmark also has the max gpu share.
+    let platform = CotsPlatform::gtx1050ti();
+    let mut rows = Vec::new();
+    for bench in common::small_suite() {
+        let base = run_baseline(&platform, bench.as_ref()).expect("baseline");
+        let red = run_redundant(&platform, bench.as_ref()).expect("redundant");
+        let ratio = red.total_ms() / base.total_ms();
+        let fraction = base.breakdown.gpu_ms / base.total_ms();
+        rows.push((bench.name().to_string(), ratio, fraction));
+    }
+    // Rank correlation, robust to small-size noise: the most
+    // kernel-dominated benchmark's overhead sits in the upper half of all
+    // overheads, and the least kernel-dominated one's in the lower half.
+    let mut ratios: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    let most = rows
+        .iter()
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("rows");
+    let least = rows
+        .iter()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("rows");
+    assert!(
+        most.1 >= median,
+        "most kernel-dominated ({}) must feel redundancy at least median: {rows:?}",
+        most.0
+    );
+    assert!(
+        least.1 <= median,
+        "least kernel-dominated ({}) must feel it at most median: {rows:?}",
+        least.0
+    );
+}

@@ -1,0 +1,120 @@
+//! Integration: the fault-detection guarantees across the policy × fault
+//! matrix, exercised through the public crate APIs.
+
+use higpu::core::redundancy::RedundancyMode;
+use higpu::faults::campaign::{run_campaign, run_trial, CampaignConfig, FaultSpec, TrialOutcome};
+use higpu::faults::model::FaultModel;
+use higpu::faults::workload::IteratedFma;
+
+fn cfg(trials: u32) -> CampaignConfig {
+    CampaignConfig {
+        trials,
+        seed: 1234,
+        ..CampaignConfig::default()
+    }
+}
+
+fn workload() -> IteratedFma {
+    IteratedFma {
+        n: 256,
+        threads_per_block: 64,
+        iters: 16,
+    }
+}
+
+#[test]
+fn diverse_policies_never_fail_undetected() {
+    for mode in [RedundancyMode::srrs_default(6), RedundancyMode::Half] {
+        for fault in [
+            FaultSpec::Permanent,
+            FaultSpec::Droop { duration: 500 },
+            FaultSpec::Transient { duration: 500 },
+        ] {
+            let r = run_campaign(&cfg(10), &mode, fault, &workload()).expect("campaign");
+            assert_eq!(
+                r.undetected, 0,
+                "{} under {:?} must never fail undetected: {r:?}",
+                r.policy, fault
+            );
+        }
+    }
+}
+
+#[test]
+fn uncontrolled_redundancy_fails_under_permanent_faults() {
+    let r = run_campaign(
+        &cfg(10),
+        &RedundancyMode::Uncontrolled,
+        FaultSpec::Permanent,
+        &workload(),
+    )
+    .expect("campaign");
+    assert!(
+        r.undetected > 0,
+        "identical placement must defeat plain redundancy: {r:?}"
+    );
+}
+
+#[test]
+fn specific_permanent_fault_is_detected_by_srrs_and_missed_by_default() {
+    // A deterministic stuck-at fault on SM 2 from cycle 0.
+    let fault = FaultModel::PermanentSm {
+        sm: 2,
+        from_cycle: 0,
+        bit: 9,
+    };
+    let srrs = run_trial(
+        &cfg(1),
+        &RedundancyMode::srrs_default(6),
+        &workload(),
+        fault,
+    )
+    .expect("trial");
+    assert_eq!(srrs, TrialOutcome::Detected, "SRRS: different SMs per copy");
+
+    let default = run_trial(&cfg(1), &RedundancyMode::Uncontrolled, &workload(), fault)
+        .expect("trial");
+    assert_eq!(
+        default,
+        TrialOutcome::UndetectedFailure,
+        "default: both copies of each block land on the same SM"
+    );
+}
+
+#[test]
+fn scheduler_misroute_is_caught_by_the_self_test() {
+    let fault = FaultModel::SchedulerMisroute {
+        shift: 2,
+        from_cycle: 0,
+    };
+    let outcome = run_trial(
+        &cfg(1),
+        &RedundancyMode::srrs_default(6),
+        &workload(),
+        fault,
+    )
+    .expect("trial");
+    assert_eq!(
+        outcome,
+        TrialOutcome::Detected,
+        "a functionally silent scheduler fault must not become latent"
+    );
+}
+
+#[test]
+fn fault_window_outside_execution_does_not_activate() {
+    let fault = FaultModel::TransientSm {
+        sm: 0,
+        start: u64::MAX / 2,
+        duration: 100,
+        bit: 0,
+    };
+    let outcome = run_trial(
+        &cfg(1),
+        &RedundancyMode::srrs_default(6),
+        &workload(),
+        fault,
+    )
+    .expect("trial");
+    assert_eq!(outcome, TrialOutcome::NotActivated);
+}

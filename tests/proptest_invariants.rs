@@ -1,0 +1,202 @@
+//! Property-based tests over the core data structures and invariants:
+//! the ASIL decomposition algebra, the coalescer, the SIMT execution model
+//! (against a scalar reference), the diversity analyzer and the scheduling
+//! policies' structural guarantees.
+
+use higpu::core::asil::Asil;
+use higpu::core::diversity::{analyze, DiversityRequirements};
+use higpu::core::redundancy::{RedundancyMode, RedundantExecutor, RParam};
+use higpu::sim::builder::KernelBuilder;
+use higpu::sim::config::GpuConfig;
+use higpu::sim::gpu::Gpu;
+use higpu::sim::isa::CmpOp;
+use higpu::sim::kernel::{KernelLaunch, LaunchConfig};
+use higpu::sim::mem::coalesce::{coalesce, SECTOR_BYTES};
+use proptest::prelude::*;
+
+fn asil_strategy() -> impl Strategy<Value = Asil> {
+    prop_oneof![
+        Just(Asil::QM),
+        Just(Asil::A),
+        Just(Asil::B),
+        Just(Asil::C),
+        Just(Asil::D),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn asil_composition_is_commutative_and_monotone(
+        a in asil_strategy(),
+        b in asil_strategy(),
+        c in asil_strategy(),
+    ) {
+        prop_assert_eq!(a.compose_independent(b), b.compose_independent(a));
+        // Adding redundancy never lowers integrity.
+        prop_assert!(a.compose_independent(b) >= a);
+        // Monotone in each argument.
+        if b >= c {
+            prop_assert!(a.compose_independent(b) >= a.compose_independent(c));
+        }
+    }
+
+    #[test]
+    fn asil_decompositions_recompose_to_their_target(target in asil_strategy()) {
+        for (l, r) in target.decompositions() {
+            prop_assert_eq!(
+                l.compose_independent(r),
+                target,
+                "decomposition {}+{} must reach {}", l, r, target
+            );
+            prop_assert!(l >= r, "pairs are ordered");
+        }
+    }
+
+    #[test]
+    fn coalescer_bounds_and_covers(addrs in prop::collection::vec(0u32..1_000_000, 32), mask in any::<u32>()) {
+        let txs = coalesce(&addrs, mask, false);
+        let active = mask.count_ones() as usize;
+        prop_assert!(txs.len() <= active, "at most one tx per active lane");
+        if active > 0 {
+            prop_assert!(!txs.is_empty(), "active lanes need at least one tx");
+        }
+        // Every active lane's sector is covered, every tx is aligned and unique.
+        for (lane, &a) in addrs.iter().enumerate() {
+            if mask & (1 << lane) != 0 {
+                prop_assert!(txs.iter().any(|t| t.addr == (a / SECTOR_BYTES) * SECTOR_BYTES));
+            }
+        }
+        let mut sorted: Vec<u32> = txs.iter().map(|t| t.addr).collect();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), txs.len(), "no duplicate transactions");
+        prop_assert!(txs.iter().all(|t| t.addr % SECTOR_BYTES == 0));
+    }
+
+    #[test]
+    fn simt_execution_matches_scalar_reference(
+        xs in prop::collection::vec(-100i32..100, 64),
+        threshold in -50i32..50,
+        scale in 1i32..8,
+    ) {
+        // GPU kernel: y[i] = x[i] > threshold ? x[i]*scale : x[i] - 1,
+        // with a divergent branch.
+        let mut b = KernelBuilder::new("prop");
+        let x = b.param(0);
+        let y = b.param(1);
+        let th = b.param(2);
+        let sc = b.param(3);
+        let i = b.global_tid_x();
+        let xa = b.addr_w(x, i);
+        let v = b.ldg(xa, 0);
+        let p = b.isetp(CmpOp::Gt, v, th);
+        let out = b.reg();
+        b.if_else(
+            p,
+            |b| {
+                let m = b.imul(v, sc);
+                b.mov_to(out, m);
+            },
+            |b| {
+                let m = b.isub(v, 1u32);
+                b.mov_to(out, m);
+            },
+        );
+        let ya = b.addr_w(y, i);
+        b.stg(ya, 0, out);
+        let prog = b.build().expect("valid").into_shared();
+
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let xb = gpu.alloc_words(64).expect("alloc");
+        let yb = gpu.alloc_words(64).expect("alloc");
+        let words: Vec<u32> = xs.iter().map(|&v| v as u32).collect();
+        gpu.write_u32(xb, &words);
+        gpu.launch(KernelLaunch::new(
+            prog,
+            LaunchConfig::new(2u32, 32u32)
+                .param_u32(xb.0)
+                .param_u32(yb.0)
+                .param_i32(threshold)
+                .param_i32(scale),
+        ))
+        .expect("launch");
+        gpu.run_to_idle().expect("run");
+        let got = gpu.read_u32(yb, 64);
+
+        for (i, &xv) in xs.iter().enumerate() {
+            let expect = if xv > threshold {
+                xv.wrapping_mul(scale)
+            } else {
+                xv.wrapping_sub(1)
+            } as u32;
+            prop_assert_eq!(got[i], expect, "lane {}", i);
+        }
+        prop_assert_eq!(gpu.stats().oob_accesses, 0u64);
+    }
+
+    #[test]
+    fn srrs_diversity_holds_for_arbitrary_geometry(
+        blocks in 1u32..24,
+        threads in 1u32..128,
+        start_a in 0usize..6,
+        offset in 1usize..6,
+    ) {
+        let start_b = (start_a + offset) % 6;
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec = RedundantExecutor::new(
+            &mut gpu,
+            RedundancyMode::Srrs { start_sms: vec![start_a, start_b] },
+        )
+        .expect("mode");
+        let mut b = KernelBuilder::new("geom");
+        let out = b.param(0);
+        let i = b.global_tid_x();
+        let a = b.addr_w(out, i);
+        let v = b.imul(i, 7u32);
+        b.stg(a, 0, v);
+        let prog = b.build().expect("valid").into_shared();
+        let buf = exec.alloc_words(blocks * threads).expect("alloc");
+        exec.launch(&prog, blocks, threads, 0, &[RParam::Buf(&buf)]).expect("launch");
+        exec.sync().expect("run");
+        prop_assert!(exec.read_compare_u32(&buf, (blocks * threads) as usize)
+            .expect("cmp")
+            .is_match());
+        let report = analyze(gpu.trace(), DiversityRequirements::default());
+        prop_assert!(report.is_diverse(), "{:?}", report);
+        prop_assert_eq!(report.pairs_checked as u32, blocks);
+        // SRRS block placement is fully deterministic: block i on (start+i)%6.
+        for rec in &gpu.trace().blocks {
+            let k = gpu.trace().kernel(rec.kernel).expect("kernel");
+            let start = k.attrs.start_sm.expect("srrs hint");
+            prop_assert_eq!(rec.sm, (start + rec.block as usize) % 6);
+        }
+    }
+
+    #[test]
+    fn half_partitions_are_never_crossed(
+        blocks in 1u32..24,
+        threads in 1u32..128,
+    ) {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::Half).expect("mode");
+        let mut b = KernelBuilder::new("geom");
+        let out = b.param(0);
+        let i = b.global_tid_x();
+        let a = b.addr_w(out, i);
+        let v = b.iadd(i, 3u32);
+        b.stg(a, 0, v);
+        let prog = b.build().expect("valid").into_shared();
+        let buf = exec.alloc_words(blocks * threads).expect("alloc");
+        exec.launch(&prog, blocks, threads, 0, &[RParam::Buf(&buf)]).expect("launch");
+        exec.sync().expect("run");
+        for rec in &gpu.trace().blocks {
+            let k = gpu.trace().kernel(rec.kernel).expect("kernel");
+            let replica = k.attrs.redundant.expect("tag").replica;
+            if replica == 0 {
+                prop_assert!(rec.sm < 3, "lower replica crossed the partition");
+            } else {
+                prop_assert!(rec.sm >= 3, "upper replica crossed the partition");
+            }
+        }
+    }
+}
