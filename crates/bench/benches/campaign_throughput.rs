@@ -1,0 +1,23 @@
+//! Quick campaign-engine throughput check (`cargo bench -p higpu_bench`).
+//!
+//! A trimmed version of the `bench_json` acceptance run: times the serial
+//! fresh-device reference engine against the pooled parallel engine and
+//! prints a comparison table. Use the `bench_json` binary for the full
+//! 1000-trial measurement recorded in `BENCH_campaign.json`.
+
+use higpu_bench::campaign_perf::{measure, ThroughputConfig};
+
+fn main() {
+    let cfg = ThroughputConfig {
+        trials: 200,
+        worker_counts: vec![1, 2, 4, 8],
+        ..ThroughputConfig::default()
+    };
+    match measure(&cfg) {
+        Ok(r) => print!("{}", r.to_table()),
+        Err(e) => {
+            eprintln!("campaign_throughput: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Records campaign-engine throughput in `BENCH_campaign.json`.
+//!
+//! Runs the acceptance measurement of the parallel fault-campaign engine —
+//! a 1000-trial transient campaign on `IteratedFma` — through the serial
+//! reference engine and the worker pool at several widths, then writes a
+//! JSON document so the perf trajectory is tracked PR over PR.
+//!
+//! ```text
+//! bench_json [--trials N] [--seed S] [--workers 1,2,4,8] [--out PATH]
+//! ```
+
+use higpu_bench::campaign_perf::{measure, ThroughputConfig};
+use std::process::ExitCode;
+
+fn parse_args(cfg: &mut ThroughputConfig, out: &mut String) -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--trials" => {
+                cfg.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--workers" => {
+                cfg.worker_counts = value("--workers")?
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--workers: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => *out = value("--out")?,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ThroughputConfig::default();
+    let mut out = "BENCH_campaign.json".to_string();
+    if let Err(e) = parse_args(&mut cfg, &mut out) {
+        eprintln!("bench_json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let result = match measure(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_json: campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", result.to_table());
+    let json = result.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_json: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -25,15 +25,11 @@ fn main() {
         println!("{}", table::render_csv(&t));
     } else {
         println!("{}", table::render(&t));
-        let max_srrs = rows
-            .iter()
-            .map(|r| r.srrs_norm())
-            .fold(0.0f64, f64::max);
-        let max_half = rows
-            .iter()
-            .map(|r| r.half_norm())
-            .fold(0.0f64, f64::max);
-        println!("worst-case SRRS overhead: {max_srrs:.2}x; worst-case HALF overhead: {max_half:.2}x");
+        let max_srrs = rows.iter().map(|r| r.srrs_norm()).fold(0.0f64, f64::max);
+        let max_half = rows.iter().map(|r| r.half_norm()).fold(0.0f64, f64::max);
+        println!(
+            "worst-case SRRS overhead: {max_srrs:.2}x; worst-case HALF overhead: {max_half:.2}x"
+        );
         println!(
             "paper: HALF negligible for 9/11 (worst ~1.10x, lud); SRRS up to ~1.99x (myocyte)"
         );

@@ -1,0 +1,244 @@
+//! Campaign-engine throughput measurement: serial reference vs. the
+//! parallel worker-pool engine, with the determinism contract enforced on
+//! every run (the parallel report must be bit-identical to the serial one).
+//!
+//! Shared by the `campaign_throughput` bench and the `bench_json` binary
+//! that records `BENCH_campaign.json` for longitudinal tracking.
+
+use higpu_core::redundancy::{RedundancyError, RedundancyMode};
+use higpu_faults::campaign::{
+    run_campaign_serial, run_campaign_with_perf, CampaignConfig, CampaignPerf, CampaignReport,
+    FaultSpec,
+};
+use higpu_faults::workload::{IteratedFma, RedundantWorkload};
+use std::time::Instant;
+
+/// Parameters of one throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Trials per engine run.
+    pub trials: u32,
+    /// Campaign seed (results are asserted identical across engines).
+    pub seed: u64,
+    /// Worker counts to sweep for the parallel engine.
+    pub worker_counts: Vec<usize>,
+    /// Fault family injected.
+    pub spec: FaultSpec,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        Self {
+            trials: 1000,
+            seed: 0xC0FFEE,
+            worker_counts: vec![1, 2, 4, 8],
+            spec: FaultSpec::Transient { duration: 400 },
+        }
+    }
+}
+
+/// The standard benchmark workload (matches the coverage experiments).
+pub fn bench_workload() -> IteratedFma {
+    IteratedFma {
+        n: 512,
+        threads_per_block: 64,
+        iters: 24,
+    }
+}
+
+/// One timed engine run.
+#[derive(Debug, Clone)]
+pub struct EngineSample {
+    /// Worker threads (0 marks the serial fresh-device reference engine).
+    pub workers: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Campaign trials per wall-clock second.
+    pub trials_per_sec: f64,
+    /// Simulated dynamic instructions per wall-clock microsecond (MIPS).
+    pub sim_mips: f64,
+    /// Speedup over the serial reference.
+    pub speedup_vs_serial: f64,
+}
+
+/// A full serial-vs-parallel sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Workload name.
+    pub workload: String,
+    /// Fault family label.
+    pub fault: &'static str,
+    /// Trials per engine run.
+    pub trials: u32,
+    /// Campaign seed.
+    pub seed: u64,
+    /// CPUs available to this process.
+    pub host_cpus: usize,
+    /// The serial fresh-device reference engine.
+    pub serial: EngineSample,
+    /// The pooled engine at each requested worker count.
+    pub parallel: Vec<EngineSample>,
+    /// The (identical) campaign report, for context.
+    pub report: CampaignReport,
+    /// Simulation cost per engine run (identical across engines).
+    pub perf: CampaignPerf,
+}
+
+impl ThroughputResult {
+    /// The best parallel sample by speedup.
+    pub fn best(&self) -> &EngineSample {
+        self.parallel
+            .iter()
+            .max_by(|a, b| {
+                a.speedup_vs_serial
+                    .partial_cmp(&b.speedup_vs_serial)
+                    .expect("finite speedups")
+            })
+            .unwrap_or(&self.serial)
+    }
+
+    /// Renders the result as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let sample = |s: &EngineSample| {
+            format!(
+                "{{\"workers\": {}, \"seconds\": {:.4}, \"trials_per_sec\": {:.2}, \
+                 \"sim_mips\": {:.2}, \"speedup_vs_serial\": {:.3}}}",
+                s.workers, s.seconds, s.trials_per_sec, s.sim_mips, s.speedup_vs_serial
+            )
+        };
+        let parallel: Vec<String> = self.parallel.iter().map(&sample).collect();
+        let best = self.best();
+        format!(
+            "{{\n  \"bench\": \"campaign_throughput\",\n  \"workload\": \"{}\",\n  \
+             \"fault\": \"{}\",\n  \"trials\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \
+             \"sim_instructions_per_run\": {},\n  \"sim_cycles_per_run\": {},\n  \
+             \"serial\": {},\n  \"parallel\": [\n    {}\n  ],\n  \
+             \"best\": {{\"workers\": {}, \"speedup_vs_serial\": {:.3}}},\n  \
+             \"report\": {{\"not_activated\": {}, \"masked\": {}, \"detected\": {}, \
+             \"undetected\": {}}}\n}}\n",
+            self.workload,
+            self.fault,
+            self.trials,
+            self.seed,
+            self.host_cpus,
+            self.perf.sim_instructions,
+            self.perf.sim_cycles,
+            sample(&self.serial),
+            parallel.join(",\n    "),
+            best.workers,
+            best.speedup_vs_serial,
+            self.report.not_activated,
+            self.report.masked,
+            self.report.detected,
+            self.report.undetected,
+        )
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign_throughput: {} trials of {} on {} ({} CPUs)\n",
+            self.trials, self.fault, self.workload, self.host_cpus
+        ));
+        out.push_str(&format!(
+            "  serial (fresh device/trial): {:8.2} trials/s  {:8.2} sim-MIPS\n",
+            self.serial.trials_per_sec, self.serial.sim_mips
+        ));
+        for s in &self.parallel {
+            out.push_str(&format!(
+                "  pooled  {:2} worker(s):        {:8.2} trials/s  {:8.2} sim-MIPS  {:5.2}x\n",
+                s.workers, s.trials_per_sec, s.sim_mips, s.speedup_vs_serial
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep: one serial reference run, then the pooled engine per
+/// worker count, asserting all reports bit-identical.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+///
+/// # Panics
+///
+/// Panics if any engine run produces a report differing from the serial
+/// reference — that would be a determinism bug, not a measurement.
+pub fn measure(cfg: &ThroughputConfig) -> Result<ThroughputResult, RedundancyError> {
+    let workload = bench_workload();
+    let mode = RedundancyMode::srrs_default(6);
+    let campaign = CampaignConfig {
+        trials: cfg.trials,
+        seed: cfg.seed,
+        ..CampaignConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let serial_report = run_campaign_serial(&campaign, &mode, cfg.spec, &workload)?;
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let mut perf = CampaignPerf::default();
+    let mut parallel = Vec::new();
+    for &workers in &cfg.worker_counts {
+        let mut c = campaign.clone();
+        c.workers = workers;
+        let t0 = Instant::now();
+        let (report, p) = run_campaign_with_perf(&c, &mode, cfg.spec, &workload)?;
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            report, serial_report,
+            "determinism violation at {workers} workers"
+        );
+        perf = p;
+        parallel.push(EngineSample {
+            workers,
+            seconds: secs,
+            trials_per_sec: f64::from(cfg.trials) / secs,
+            sim_mips: p.sim_instructions as f64 / secs / 1e6,
+            speedup_vs_serial: serial_secs / secs,
+        });
+    }
+
+    let serial = EngineSample {
+        workers: 0,
+        seconds: serial_secs,
+        trials_per_sec: f64::from(cfg.trials) / serial_secs,
+        sim_mips: perf.sim_instructions as f64 / serial_secs / 1e6,
+        speedup_vs_serial: 1.0,
+    };
+    Ok(ThroughputResult {
+        workload: workload.name().to_string(),
+        fault: cfg.spec.label(),
+        trials: cfg.trials,
+        seed: cfg.seed,
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serial,
+        parallel,
+        report: serial_report,
+        perf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_renders() {
+        let cfg = ThroughputConfig {
+            trials: 4,
+            worker_counts: vec![1, 2],
+            ..ThroughputConfig::default()
+        };
+        let r = measure(&cfg).expect("sweep");
+        assert_eq!(r.parallel.len(), 2);
+        assert!(r.serial.trials_per_sec > 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"campaign_throughput\""));
+        assert!(json.contains("\"trials\": 4"));
+        assert!(r.to_table().contains("trials/s"));
+        assert!(r.best().workers >= 1);
+    }
+}

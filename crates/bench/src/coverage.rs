@@ -104,7 +104,11 @@ mod tests {
     #[test]
     fn matrix_shape_and_headline_result() {
         let m = run_matrix(4, 7).expect("runs");
-        assert_eq!(m.reports.len(), 13, "3 policies x 4 faults + aligned-droop ablation");
+        assert_eq!(
+            m.reports.len(),
+            13,
+            "3 policies x 4 faults + aligned-droop ablation"
+        );
         for r in &m.reports {
             if !r.policy.starts_with("GPGPU-SIM") {
                 assert_eq!(

@@ -48,8 +48,7 @@ pub fn measure(
 ) -> Result<(u64, bool), SessionError> {
     let mut gpu = Gpu::new(cfg.clone());
     {
-        let mut exec =
-            RedundantExecutor::new(&mut gpu, mode).map_err(SessionError::Redundancy)?;
+        let mut exec = RedundantExecutor::new(&mut gpu, mode).map_err(SessionError::Redundancy)?;
         let mut session = RedundantSession::new(&mut exec);
         bench.run(&mut session)?;
     }

@@ -10,11 +10,14 @@
 //!   per-kernel policy recommendation;
 //! * [`coverage`] — fault-injection detection coverage per policy (the
 //!   quantified safety argument);
+//! * [`campaign_perf`] — campaign-engine throughput tracking (serial vs
+//!   parallel, recorded in `BENCH_campaign.json`);
 //! * [`table`] — plain-text/CSV rendering helpers shared by the binaries.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign_perf;
 pub mod coverage;
 pub mod fig3;
 pub mod fig4;

@@ -1,0 +1,242 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, and this project's only
+//! randomness needs are *seeded, reproducible* draws for fault-injection
+//! campaigns and benchmark input generation. This crate provides the small
+//! API subset the workspace uses — [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer and `f32` ranges, and [`rngs::StdRng`] —
+//! with a deterministic xoshiro256++ generator seeded via SplitMix64.
+//!
+//! **Streams are not bit-compatible with the real `rand` crate.** They are,
+//! however, stable across platforms and releases of this shim: campaign
+//! seeds recorded in experiment artifacts stay reproducible.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::Range;
+
+/// A seedable random number generator (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open `lo..hi` range.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Draws one value in `[lo, hi)` from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty (`lo >= hi`), as the real crate does.
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+}
+
+/// Object-safe core of a generator: a stream of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore + Sized {
+    /// Draws a value uniformly from the half-open range `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Draws a `bool` that is `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, exactly like rand's standard uniform.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Maps 64 uniform bits into `[0, n)` without modulo bias (Lemire's
+/// widening-multiply rejection method).
+fn bounded_u64(rng: &mut dyn RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(n);
+        let lo = m as u64;
+        if lo >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+        // Rejected sample: retry with fresh bits (rare for small n).
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                lo.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl UniformSample for f32 {
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        // Clamp: lo + (hi-lo)*u can round up to hi for u just below 1.
+        let v = lo + (hi - lo) * u;
+        if v >= hi {
+            hi - (hi - lo) * f32::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = lo + (hi - lo) * u;
+        if v >= hi {
+            hi - (hi - lo) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64. Fast, 256-bit state, passes BigCrush; **not** the
+    /// ChaCha12-based `StdRng` of the real `rand` crate.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding for xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..u64::MAX), b.gen_range(0..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17u8);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let u = rng.gen_range(0..1u64);
+            assert_eq!(u, 0, "single-element range");
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

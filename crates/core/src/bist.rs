@@ -14,7 +14,7 @@
 //! the canary. Any disagreement reveals a scheduler (or trace) fault before
 //! it can become latent.
 
-use crate::redundancy::{RedundancyError, RedundancyMode, RedundantExecutor, RParam};
+use crate::redundancy::{RParam, RedundancyError, RedundancyMode, RedundantExecutor};
 use higpu_sim::builder::KernelBuilder;
 use higpu_sim::gpu::Gpu;
 use higpu_sim::isa::SpecialReg;

@@ -216,14 +216,8 @@ mod tests {
 
     #[test]
     fn policy_recommendations_follow_paper() {
-        assert_eq!(
-            KernelCategory::Short.recommended_policy(),
-            PolicyKind::Srrs
-        );
-        assert_eq!(
-            KernelCategory::Heavy.recommended_policy(),
-            PolicyKind::Srrs
-        );
+        assert_eq!(KernelCategory::Short.recommended_policy(), PolicyKind::Srrs);
+        assert_eq!(KernelCategory::Heavy.recommended_policy(), PolicyKind::Srrs);
         assert_eq!(
             KernelCategory::Friendly.recommended_policy(),
             PolicyKind::Half

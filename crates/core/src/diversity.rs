@@ -136,7 +136,10 @@ pub fn analyze(trace: &ExecutionTrace, req: DiversityRequirements) -> DiversityR
     let mut groups: BTreeMap<u32, Vec<(u8, KernelId)>> = BTreeMap::new();
     for k in &trace.kernels {
         if let Some(tag) = k.attrs.redundant {
-            groups.entry(tag.group).or_default().push((tag.replica, k.id));
+            groups
+                .entry(tag.group)
+                .or_default()
+                .push((tag.replica, k.id));
         }
     }
 
@@ -187,11 +190,8 @@ pub fn analyze(trace: &ExecutionTrace, req: DiversityRequirements) -> DiversityR
                         report.temporal_violations += 1;
                     }
                     if spatial_ok && temporal_ok {
-                        report.min_slack_observed = Some(
-                            report
-                                .min_slack_observed
-                                .map_or(slack, |m| m.min(slack)),
-                        );
+                        report.min_slack_observed =
+                            Some(report.min_slack_observed.map_or(slack, |m| m.min(slack)));
                     } else {
                         let (ka, kb) = (pair_key(rec_a), pair_key(rec_b));
                         report.violations.push(PairDiversity {

@@ -50,7 +50,12 @@ mod tests {
     use higpu_sim::kernel::{BlockFootprint, KernelId, LaunchAttrs, RedundantTag};
     use higpu_sim::trace::KernelRecord;
 
-    fn rec(id: u64, group: Option<(u32, u8)>, arrival: u64, completion: Option<u64>) -> KernelRecord {
+    fn rec(
+        id: u64,
+        group: Option<(u32, u8)>,
+        arrival: u64,
+        completion: Option<u64>,
+    ) -> KernelRecord {
         KernelRecord {
             id: KernelId(id),
             program: "k".into(),

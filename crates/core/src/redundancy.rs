@@ -477,9 +477,7 @@ impl<'g> RedundantExecutor<'g> {
         words: usize,
     ) -> Result<Comparison<Vec<f32>>, RedundancyError> {
         Ok(match self.read_compare_u32(buf, words)? {
-            Comparison::Match(v) => {
-                Comparison::Match(v.into_iter().map(f32::from_bits).collect())
-            }
+            Comparison::Match(v) => Comparison::Match(v.into_iter().map(f32::from_bits).collect()),
             Comparison::Mismatch {
                 first_word,
                 diff_words,
@@ -561,13 +559,8 @@ mod tests {
     #[test]
     fn single_replica_rejected() {
         let mut gpu = Gpu::new(GpuConfig::paper_6sm());
-        let err = RedundantExecutor::new(
-            &mut gpu,
-            RedundancyMode::Srrs {
-                start_sms: vec![0],
-            },
-        )
-        .expect_err("must reject");
+        let err = RedundantExecutor::new(&mut gpu, RedundancyMode::Srrs { start_sms: vec![0] })
+            .expect_err("must reject");
         assert!(matches!(err, RedundancyError::InvalidMode(_)));
     }
 
@@ -599,7 +592,8 @@ mod tests {
         let mut exec =
             RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
         let buf = exec.alloc_words(8).expect("alloc");
-        exec.write_u32(&buf, &[1, 2, 3, 4, 5, 6, 7, 8]).expect("write");
+        exec.write_u32(&buf, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .expect("write");
         // Corrupt replica 1 behind the executor's back (simulating a fault).
         let p1 = buf.ptr(1);
         exec.gpu.write_u32(DevPtr(p1.0 + 8), &[99, 98]);

@@ -76,7 +76,8 @@ impl GpuSession for MeteredSession<'_> {
         params: &[SParam],
     ) -> Result<(), SessionError> {
         self.meter.launches += 1;
-        self.inner.launch(program, grid, block, shared_mem_bytes, params)
+        self.inner
+            .launch(program, grid, block, shared_mem_bytes, params)
     }
 
     fn sync(&mut self) -> Result<(), SessionError> {

@@ -1,6 +1,24 @@
 //! Fault-injection campaigns: inject randomized faults over many trials and
 //! measure detection coverage per scheduling policy — the quantitative form
 //! of the paper's safety argument.
+//!
+//! # Engine architecture
+//!
+//! Campaigns are the scalable outer loop every quantitative experiment runs
+//! inside, so trial throughput is engineered for:
+//!
+//! * **Pre-drawn fault models** — all per-trial randomness is drawn from the
+//!   seeded RNG *before* any trial runs ([`draw_models`]), making each trial
+//!   a pure function of its [`FaultModel`]. Trials can then execute in any
+//!   order on any worker without perturbing the campaign's statistics.
+//! * **Reusable devices** — each worker owns one [`CampaignRunner`] whose
+//!   GPU is rewound between trials with [`Gpu::reset`] (bump-allocator
+//!   rewind + dirty-prefix zeroing) instead of reconstructing a multi-MB
+//!   zeroed memory image per trial.
+//! * **Deterministic reduction** — per-trial outcomes are order-independent
+//!   counts, so the parallel [`run_campaign`] produces a [`CampaignReport`]
+//!   bit-identical to [`run_campaign_serial`] for the same seed, at every
+//!   worker count (enforced by tests).
 
 use crate::injector::{FaultInjector, InjectionCounters};
 use crate::model::FaultModel;
@@ -13,6 +31,7 @@ use higpu_sim::config::GpuConfig;
 use higpu_sim::gpu::Gpu;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Family of faults a campaign injects; per-trial parameters (time, SM,
 /// bit) are drawn from the campaign RNG.
@@ -64,11 +83,17 @@ pub enum TrialOutcome {
 pub struct CampaignConfig {
     /// Injection trials.
     pub trials: u32,
-    /// RNG seed (campaigns are fully reproducible).
+    /// RNG seed (campaigns are fully reproducible: the report is a pure
+    /// function of this configuration, independent of worker count).
     pub seed: u64,
     /// GPU configuration (memory is the dominant per-trial cost; campaigns
     /// default to a small device image).
     pub gpu: GpuConfig,
+    /// Worker threads for [`run_campaign`]. `0` (the default) resolves to
+    /// the `HIGPU_WORKERS` environment variable if set, else to the number
+    /// of available CPUs. Has no effect on the campaign's results — only on
+    /// its wall-clock time.
+    pub workers: usize,
 }
 
 impl Default for CampaignConfig {
@@ -79,7 +104,29 @@ impl Default for CampaignConfig {
             trials: 100,
             seed: 0xC0FFEE,
             gpu,
+            workers: 0,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// The effective worker count: an explicit `workers` wins, then a
+    /// positive `HIGPU_WORKERS` environment variable, then the machine's
+    /// available parallelism.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        if let Some(n) = std::env::var("HIGPU_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 }
 
@@ -127,12 +174,22 @@ impl CampaignReport {
     }
 }
 
-fn draw_model(
-    rng: &mut StdRng,
-    spec: FaultSpec,
-    num_sms: usize,
-    window_end: u64,
-) -> FaultModel {
+/// Pre-draws the fault model of every trial from the campaign RNG.
+///
+/// Drawing **all** randomness up front decouples trial execution from the
+/// RNG sequence: trial `i` is a pure function of `models[i]`, so trials can
+/// run on any worker in any order while the campaign stays bit-reproducible.
+/// The draw order matches the historical serial engine (one model per trial,
+/// in trial order), so seeds recorded in older experiment artifacts keep
+/// their meaning.
+pub fn draw_models(cfg: &CampaignConfig, spec: FaultSpec, window_end: u64) -> Vec<FaultModel> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.trials)
+        .map(|_| draw_model(&mut rng, spec, cfg.gpu.num_sms, window_end))
+        .collect()
+}
+
+fn draw_model(rng: &mut StdRng, spec: FaultSpec, num_sms: usize, window_end: u64) -> FaultModel {
     let bit = rng.gen_range(0..32u8);
     match spec {
         FaultSpec::Transient { duration } => FaultModel::TransientSm {
@@ -175,7 +232,148 @@ pub fn dry_run_makespan(
     Ok(gpu.trace().makespan().unwrap_or(0))
 }
 
-/// Runs one injection trial; returns the outcome.
+/// Order-independent accumulator of trial outcomes; summing per-worker
+/// accumulators is the campaign's deterministic reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct OutcomeCounts {
+    not_activated: u32,
+    masked: u32,
+    detected: u32,
+    undetected: u32,
+}
+
+impl OutcomeCounts {
+    fn add(&mut self, outcome: TrialOutcome) {
+        match outcome {
+            TrialOutcome::NotActivated => self.not_activated += 1,
+            TrialOutcome::Masked => self.masked += 1,
+            TrialOutcome::Detected => self.detected += 1,
+            TrialOutcome::UndetectedFailure => self.undetected += 1,
+        }
+    }
+
+    fn merge(&mut self, other: OutcomeCounts) {
+        self.not_activated += other.not_activated;
+        self.masked += other.masked;
+        self.detected += other.detected;
+        self.undetected += other.undetected;
+    }
+}
+
+/// Deterministic simulation-side cost of a campaign (wall-clock-free, so it
+/// is identical for serial and parallel runs; throughput benches divide it
+/// by their own timers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignPerf {
+    /// Dynamic warp instructions simulated across all trials.
+    pub sim_instructions: u64,
+    /// GPU cycles simulated across all trials.
+    pub sim_cycles: u64,
+}
+
+impl CampaignPerf {
+    fn merge(&mut self, other: CampaignPerf) {
+        self.sim_instructions += other.sim_instructions;
+        self.sim_cycles += other.sim_cycles;
+    }
+}
+
+/// A reusable trial executor: owns one GPU that is rewound with
+/// [`Gpu::reset`] between trials instead of being reconstructed (the seed
+/// engine re-zeroed a multi-MB memory image per trial).
+///
+/// Each campaign worker owns one runner; a runner is also useful on its own
+/// for bisecting a single interesting fault model.
+#[derive(Debug)]
+pub struct CampaignRunner {
+    cfg: CampaignConfig,
+    gpu: Gpu,
+    perf: CampaignPerf,
+}
+
+impl CampaignRunner {
+    /// Creates a runner with a fresh device per `cfg.gpu`.
+    pub fn new(cfg: &CampaignConfig) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            gpu: Gpu::new(cfg.gpu.clone()),
+            perf: CampaignPerf::default(),
+        }
+    }
+
+    /// Simulation cost accumulated over all trials run so far.
+    pub fn perf(&self) -> CampaignPerf {
+        self.perf
+    }
+
+    /// Runs one injection trial of `model`; returns the outcome.
+    ///
+    /// The trial result is a pure function of `(cfg.gpu, mode, workload,
+    /// model)` — independent of previous trials on this runner and of which
+    /// runner executes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/protocol errors
+    /// ([`higpu_sim::gpu::SimError::Stalled`] cannot be caused by value
+    /// corruption, only by policy bugs).
+    pub fn run_trial(
+        &mut self,
+        mode: &RedundancyMode,
+        workload: &dyn RedundantWorkload,
+        model: FaultModel,
+    ) -> Result<TrialOutcome, RedundancyError> {
+        // A trial that errored mid-flight leaves the device non-idle; fall
+        // back to reconstruction so one bad trial cannot poison the next.
+        if self.gpu.reset().is_err() {
+            self.gpu = Gpu::new(self.cfg.gpu.clone());
+        }
+        let gpu = &mut self.gpu;
+        let counters = InjectionCounters::shared();
+        gpu.set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
+
+        let outcome = (|| -> Result<TrialOutcome, RedundancyError> {
+            let verdict = {
+                let mut exec = RedundantExecutor::new(gpu, mode.clone())?;
+                workload.run(&mut exec)?
+            };
+
+            if let FaultModel::SchedulerMisroute { .. } = model {
+                // Misroutes are functionally silent; detection is the job of
+                // the diversity monitor + periodic scheduler self-test
+                // (Sec. IV-C).
+                if !counters.activated() {
+                    return Ok(TrialOutcome::NotActivated);
+                }
+                let diversity_ok =
+                    analyze(gpu.trace(), DiversityRequirements::default()).is_diverse();
+                let bist = scheduler_bist(gpu, mode.clone(), 2 * self.cfg.gpu.num_sms as u32)?;
+                return Ok(if !bist.passed() || !diversity_ok {
+                    TrialOutcome::Detected
+                } else {
+                    TrialOutcome::UndetectedFailure
+                });
+            }
+
+            Ok(if !counters.activated() {
+                TrialOutcome::NotActivated
+            } else if !verdict.matched {
+                TrialOutcome::Detected
+            } else if verdict.correct {
+                TrialOutcome::Masked
+            } else {
+                TrialOutcome::UndetectedFailure
+            })
+        })();
+        let stats = self.gpu.stats();
+        self.perf.sim_instructions += stats.instructions;
+        self.perf.sim_cycles += stats.cycles;
+        outcome
+    }
+}
+
+/// Runs one injection trial on a freshly constructed device; returns the
+/// outcome. Convenience wrapper over [`CampaignRunner::run_trial`].
 ///
 /// # Errors
 ///
@@ -187,43 +385,157 @@ pub fn run_trial(
     workload: &dyn RedundantWorkload,
     model: FaultModel,
 ) -> Result<TrialOutcome, RedundancyError> {
-    let mut gpu = Gpu::new(cfg.gpu.clone());
-    let counters = InjectionCounters::shared();
-    gpu.set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
+    CampaignRunner::new(cfg).run_trial(mode, workload, model)
+}
 
-    let verdict = {
-        let mut exec = RedundantExecutor::new(&mut gpu, mode.clone())?;
-        workload.run(&mut exec)?
-    };
+fn empty_report(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    spec: FaultSpec,
+    workload: &dyn RedundantWorkload,
+) -> CampaignReport {
+    CampaignReport {
+        workload: workload.name().to_string(),
+        policy: mode.policy_kind().label().to_string(),
+        fault: spec.label(),
+        trials: cfg.trials,
+        not_activated: 0,
+        masked: 0,
+        detected: 0,
+        undetected: 0,
+    }
+}
 
-    if let FaultModel::SchedulerMisroute { .. } = model {
-        // Misroutes are functionally silent; detection is the job of the
-        // diversity monitor + periodic scheduler self-test (Sec. IV-C).
-        if !counters.activated() {
-            return Ok(TrialOutcome::NotActivated);
+fn finish_report(mut report: CampaignReport, counts: OutcomeCounts) -> CampaignReport {
+    report.not_activated = counts.not_activated;
+    report.masked = counts.masked;
+    report.detected = counts.detected;
+    report.undetected = counts.undetected;
+    report
+}
+
+/// The reference serial engine: one freshly constructed device per trial,
+/// trials in draw order. Kept as the oracle the parallel engine is checked
+/// against (and as the baseline of the `campaign_throughput` bench).
+///
+/// # Errors
+///
+/// Propagates workload/protocol errors from any trial.
+pub fn run_campaign_serial(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    spec: FaultSpec,
+    workload: &dyn RedundantWorkload,
+) -> Result<CampaignReport, RedundancyError> {
+    let window_end = dry_run_makespan(cfg, mode, workload)?;
+    let models = draw_models(cfg, spec, window_end);
+    let mut counts = OutcomeCounts::default();
+    for model in models {
+        counts.add(run_trial(cfg, mode, workload, model)?);
+    }
+    Ok(finish_report(
+        empty_report(cfg, mode, spec, workload),
+        counts,
+    ))
+}
+
+/// Runs a full campaign — `cfg.trials` randomized injections of `spec` into
+/// `workload` under `mode` — on a pool of [`CampaignConfig::resolved_workers`]
+/// threads, returning the report together with the simulated cost.
+///
+/// The report is bit-identical to [`run_campaign_serial`] for the same
+/// configuration, at every worker count: all randomness is pre-drawn and the
+/// reduction is a sum of order-independent counts.
+///
+/// # Errors
+///
+/// Propagates workload/protocol errors; when several trials fail, the error
+/// of the lowest-numbered trial is returned (deterministic across worker
+/// interleavings).
+pub fn run_campaign_with_perf(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    spec: FaultSpec,
+    workload: &dyn RedundantWorkload,
+) -> Result<(CampaignReport, CampaignPerf), RedundancyError> {
+    let window_end = dry_run_makespan(cfg, mode, workload)?;
+    let models = draw_models(cfg, spec, window_end);
+    let report = empty_report(cfg, mode, spec, workload);
+    let workers = cfg.resolved_workers().min(models.len()).max(1);
+
+    if workers == 1 {
+        // In-thread fast path: still one reusable device for all trials.
+        let mut runner = CampaignRunner::new(cfg);
+        let mut counts = OutcomeCounts::default();
+        for model in models {
+            counts.add(runner.run_trial(mode, workload, model)?);
         }
-        let diversity_ok = analyze(gpu.trace(), DiversityRequirements::default()).is_diverse();
-        let bist = scheduler_bist(&mut gpu, mode.clone(), 2 * cfg.gpu.num_sms as u32)?;
-        return Ok(if !bist.passed() || !diversity_ok {
-            TrialOutcome::Detected
-        } else {
-            TrialOutcome::UndetectedFailure
-        });
+        return Ok((finish_report(report, counts), runner.perf()));
     }
 
-    Ok(if !counters.activated() {
-        TrialOutcome::NotActivated
-    } else if !verdict.matched {
-        TrialOutcome::Detected
-    } else if verdict.correct {
-        TrialOutcome::Masked
-    } else {
-        TrialOutcome::UndetectedFailure
-    })
+    // Worker pool over pre-drawn models: a shared atomic cursor hands out
+    // trial indices; each worker accumulates order-independent counts. The
+    // abort flag stops surviving workers promptly once any trial errors
+    // (the run is doomed either way, so skipped trials are unobservable).
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let results: Vec<Result<(OutcomeCounts, CampaignPerf), (usize, RedundancyError)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let models = &models;
+                    let next = &next;
+                    let abort = &abort;
+                    scope.spawn(move || {
+                        let mut runner = CampaignRunner::new(cfg);
+                        let mut counts = OutcomeCounts::default();
+                        while !abort.load(Ordering::Relaxed) {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&model) = models.get(i) else { break };
+                            match runner.run_trial(mode, workload, model) {
+                                Ok(outcome) => counts.add(outcome),
+                                Err(e) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    return Err((i, e));
+                                }
+                            }
+                        }
+                        Ok((counts, runner.perf()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+
+    let mut counts = OutcomeCounts::default();
+    let mut perf = CampaignPerf::default();
+    let mut first_error: Option<(usize, RedundancyError)> = None;
+    for r in results {
+        match r {
+            Ok((c, p)) => {
+                counts.merge(c);
+                perf.merge(p);
+            }
+            Err((i, e)) => {
+                if first_error.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                    first_error = Some((i, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    Ok((finish_report(report, counts), perf))
 }
 
 /// Runs a full campaign: `cfg.trials` randomized injections of `spec` into
-/// `workload` under `mode`.
+/// `workload` under `mode`, parallelized over
+/// [`CampaignConfig::resolved_workers`] threads. See
+/// [`run_campaign_with_perf`] for the engine's determinism contract.
 ///
 /// # Errors
 ///
@@ -234,28 +546,7 @@ pub fn run_campaign(
     spec: FaultSpec,
     workload: &dyn RedundantWorkload,
 ) -> Result<CampaignReport, RedundancyError> {
-    let window_end = dry_run_makespan(cfg, mode, workload)?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut report = CampaignReport {
-        workload: workload.name().to_string(),
-        policy: mode.policy_kind().label().to_string(),
-        fault: spec.label(),
-        trials: cfg.trials,
-        not_activated: 0,
-        masked: 0,
-        detected: 0,
-        undetected: 0,
-    };
-    for _ in 0..cfg.trials {
-        let model = draw_model(&mut rng, spec, cfg.gpu.num_sms, window_end);
-        match run_trial(cfg, mode, workload, model)? {
-            TrialOutcome::NotActivated => report.not_activated += 1,
-            TrialOutcome::Masked => report.masked += 1,
-            TrialOutcome::Detected => report.detected += 1,
-            TrialOutcome::UndetectedFailure => report.undetected += 1,
-        }
-    }
-    Ok(report)
+    run_campaign_with_perf(cfg, mode, spec, workload).map(|(report, _)| report)
 }
 
 #[cfg(test)]
@@ -283,8 +574,8 @@ mod tests {
     fn permanent_fault_never_defeats_srrs() {
         let cfg = small_cfg(12);
         let mode = RedundancyMode::srrs_default(6);
-        let r = run_campaign(&cfg, &mode, FaultSpec::Permanent, &small_workload())
-            .expect("campaign");
+        let r =
+            run_campaign(&cfg, &mode, FaultSpec::Permanent, &small_workload()).expect("campaign");
         assert_eq!(r.undetected, 0, "spatial diversity defeats stuck-at: {r:?}");
         assert!(r.detected > 0, "permanent faults must strike: {r:?}");
     }
@@ -295,8 +586,8 @@ mod tests {
         // same SM → identical corruption → undetected failures.
         let cfg = small_cfg(12);
         let mode = RedundancyMode::Uncontrolled;
-        let r = run_campaign(&cfg, &mode, FaultSpec::Permanent, &small_workload())
-            .expect("campaign");
+        let r =
+            run_campaign(&cfg, &mode, FaultSpec::Permanent, &small_workload()).expect("campaign");
         assert!(
             r.undetected > 0,
             "uncontrolled redundancy must show undetected failures: {r:?}"
@@ -321,10 +612,84 @@ mod tests {
     fn misroute_is_detected_by_bist_under_srrs() {
         let cfg = small_cfg(3);
         let mode = RedundancyMode::srrs_default(6);
-        let r = run_campaign(&cfg, &mode, FaultSpec::Misroute, &small_workload())
-            .expect("campaign");
+        let r =
+            run_campaign(&cfg, &mode, FaultSpec::Misroute, &small_workload()).expect("campaign");
         assert_eq!(r.detected, 3, "every misroute caught: {r:?}");
         assert_eq!(r.undetected, 0);
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical_to_serial_across_worker_counts() {
+        let mut cfg = small_cfg(10);
+        let mode = RedundancyMode::srrs_default(6);
+        let spec = FaultSpec::Transient { duration: 300 };
+        let serial = run_campaign_serial(&cfg, &mode, spec, &small_workload()).expect("serial");
+        assert_eq!(
+            serial.trials,
+            serial.not_activated + serial.masked + serial.detected + serial.undetected,
+            "every trial classified: {serial:?}"
+        );
+        for workers in [1usize, 2, 8] {
+            cfg.workers = workers;
+            let parallel = run_campaign(&cfg, &mode, spec, &small_workload())
+                .unwrap_or_else(|e| panic!("parallel at {workers} workers: {e}"));
+            assert_eq!(
+                parallel, serial,
+                "report must not depend on workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn predrawn_models_match_serial_draw_order() {
+        let cfg = small_cfg(32);
+        let spec = FaultSpec::Permanent;
+        let models = draw_models(&cfg, spec, 5000);
+        // Drawing again yields the same sequence (pure function of the seed).
+        assert_eq!(models, draw_models(&cfg, spec, 5000));
+        assert_eq!(models.len(), 32);
+        // And an incremental draw from the same seed agrees element-wise.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for (i, &m) in models.iter().enumerate() {
+            assert_eq!(
+                m,
+                draw_model(&mut rng, spec, cfg.gpu.num_sms, 5000),
+                "trial {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn runner_reuse_matches_fresh_device_trials() {
+        let cfg = small_cfg(6);
+        let mode = RedundancyMode::srrs_default(6);
+        let wl = small_workload();
+        let window = dry_run_makespan(&cfg, &mode, &wl).expect("dry run");
+        let models = draw_models(&cfg, FaultSpec::Transient { duration: 400 }, window);
+        let mut runner = CampaignRunner::new(&cfg);
+        for (i, &model) in models.iter().enumerate() {
+            let reused = runner.run_trial(&mode, &wl, model).expect("reused");
+            let fresh = run_trial(&cfg, &mode, &wl, model).expect("fresh");
+            assert_eq!(
+                reused,
+                fresh,
+                "trial {i} must not see residue from trial {}",
+                i.max(1) - 1
+            );
+        }
+        let perf = runner.perf();
+        assert!(perf.sim_instructions > 0 && perf.sim_cycles > 0);
+    }
+
+    #[test]
+    fn worker_resolution_precedence() {
+        let cfg = CampaignConfig {
+            workers: 3,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.resolved_workers(), 3, "explicit count wins");
+        let auto = CampaignConfig::default();
+        assert!(auto.resolved_workers() >= 1);
     }
 
     #[test]

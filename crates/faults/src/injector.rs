@@ -51,6 +51,12 @@ impl FaultInjector {
 }
 
 impl FaultHook for FaultInjector {
+    fn armed(&self, ctx: &FaultCtx) -> bool {
+        // Exactly the predicate corrupt_value tests per lane: while the
+        // fault window is closed the engine skips all 32 virtual calls.
+        self.model.corrupts(ctx)
+    }
+
     fn corrupt_value(&mut self, ctx: &FaultCtx, _lane: usize, value: u32) -> u32 {
         if self.model.corrupts(ctx) {
             self.counters
@@ -76,7 +82,9 @@ impl FaultHook for FaultInjector {
             let _ = from_cycle;
             let target = (chosen_sm + shift) % num_sms;
             if fits(target) {
-                self.counters.rerouted_blocks.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .rerouted_blocks
+                    .fetch_add(1, Ordering::Relaxed);
                 return target;
             }
         }
@@ -136,6 +144,22 @@ mod tests {
         let sm = inj.reroute_block(KernelId(0), 1, 1, 6, &|s| s == 1);
         assert_eq!(sm, 1);
         assert_eq!(counters.rerouted_blocks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn armed_agrees_with_corruption_window() {
+        let inj = FaultInjector::new(
+            FaultModel::TransientSm {
+                sm: 0,
+                start: 10,
+                duration: 10,
+                bit: 4,
+            },
+            InjectionCounters::shared(),
+        );
+        assert!(inj.armed(&ctx(0, 15)));
+        assert!(!inj.armed(&ctx(0, 25)), "window closed");
+        assert!(!inj.armed(&ctx(1, 15)), "other SM");
     }
 
     #[test]

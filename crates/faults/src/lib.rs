@@ -53,7 +53,8 @@ pub mod workload;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::campaign::{
-        run_campaign, run_trial, CampaignConfig, CampaignReport, FaultSpec, TrialOutcome,
+        draw_models, run_campaign, run_campaign_serial, run_campaign_with_perf, run_trial,
+        CampaignConfig, CampaignPerf, CampaignReport, CampaignRunner, FaultSpec, TrialOutcome,
     };
     pub use crate::injector::{FaultInjector, InjectionCounters};
     pub use crate::model::FaultModel;

@@ -5,7 +5,7 @@
 //! actually correct with respect to a host-computed golden reference — the
 //! distinction between *detected* faults and *undetected failures*.
 
-use higpu_core::redundancy::{Comparison, RedundancyError, RedundantExecutor, RParam};
+use higpu_core::redundancy::{Comparison, RParam, RedundancyError, RedundantExecutor};
 use higpu_sim::builder::KernelBuilder;
 use higpu_sim::program::Program;
 use std::sync::Arc;
@@ -20,7 +20,11 @@ pub struct WorkloadVerdict {
 }
 
 /// A workload that can be executed redundantly under fault injection.
-pub trait RedundantWorkload {
+///
+/// `Sync` because campaign workers share one workload description across
+/// threads (each worker drives its own private GPU; the workload itself is
+/// immutable configuration).
+pub trait RedundantWorkload: Sync {
     /// Workload name for reports.
     fn name(&self) -> &str;
 
@@ -121,11 +125,7 @@ impl RedundantWorkload for IteratedFma {
             self.grid_blocks(),
             self.threads_per_block,
             0,
-            &[
-                RParam::Buf(&xb),
-                RParam::Buf(&yb),
-                RParam::U32(self.n),
-            ],
+            &[RParam::Buf(&xb), RParam::Buf(&yb), RParam::U32(self.n)],
         )?;
         exec.sync()?;
         let golden = self.golden();

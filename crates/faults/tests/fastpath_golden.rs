@@ -1,0 +1,157 @@
+//! Golden-value tests for the fault-hook fast path.
+//!
+//! The execution engine asks [`FaultHook::armed`] once per instruction and
+//! skips the per-lane `corrupt_value` calls while disarmed. These tests pin
+//! down that the optimization is *observationally invisible*: a run with the
+//! real [`FaultInjector`] (which gates on `armed`) is bit-identical — output
+//! words and execution trace — to a run with a wrapper hook that reports
+//! `armed == true` unconditionally, i.e. the pre-optimization behaviour of
+//! calling `corrupt_value` on every lane of every instruction.
+
+use higpu_core::redundancy::{Comparison, RParam, RedundancyMode, RedundantExecutor};
+use higpu_faults::campaign::{dry_run_makespan, CampaignConfig};
+use higpu_faults::injector::{FaultInjector, InjectionCounters};
+use higpu_faults::model::FaultModel;
+use higpu_faults::workload::IteratedFma;
+use higpu_sim::fault::{FaultCtx, FaultHook};
+use higpu_sim::gpu::Gpu;
+use higpu_sim::kernel::KernelId;
+use higpu_sim::trace::ExecutionTrace;
+
+/// The pre-optimization reference: always armed, so `corrupt_value` runs on
+/// every lane of every instruction exactly as before the fast path existed.
+struct AlwaysArmed(FaultInjector);
+
+impl FaultHook for AlwaysArmed {
+    fn armed(&self, _ctx: &FaultCtx) -> bool {
+        true
+    }
+
+    fn corrupt_value(&mut self, ctx: &FaultCtx, lane: usize, value: u32) -> u32 {
+        self.0.corrupt_value(ctx, lane, value)
+    }
+
+    fn reroute_block(
+        &mut self,
+        kernel: KernelId,
+        block: u32,
+        chosen_sm: usize,
+        num_sms: usize,
+        fits: &dyn Fn(usize) -> bool,
+    ) -> usize {
+        self.0
+            .reroute_block(kernel, block, chosen_sm, num_sms, fits)
+    }
+}
+
+fn workload() -> IteratedFma {
+    IteratedFma {
+        n: 256,
+        threads_per_block: 64,
+        iters: 12,
+    }
+}
+
+/// Runs the workload redundantly under `hook`; returns the raw output words
+/// of every replica plus the execution trace.
+fn run_with_hook(hook: Box<dyn FaultHook>) -> (Vec<Vec<u32>>, ExecutionTrace) {
+    let cfg = CampaignConfig::default();
+    let wl = workload();
+    let mut gpu = Gpu::new(cfg.gpu.clone());
+    gpu.set_fault_hook(hook);
+    let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+    let prog = wl.program();
+    let (x, y) = wl.inputs();
+    let xb = exec.alloc_words(wl.n).expect("alloc");
+    let yb = exec.alloc_words(wl.n).expect("alloc");
+    exec.write_f32(&xb, &x).expect("write");
+    exec.write_f32(&yb, &y).expect("write");
+    exec.launch(
+        &prog,
+        wl.n.div_ceil(wl.threads_per_block),
+        wl.threads_per_block,
+        0,
+        &[RParam::Buf(&xb), RParam::Buf(&yb), RParam::U32(wl.n)],
+    )
+    .expect("launch");
+    exec.sync().expect("run");
+    let outputs = match exec.read_compare_u32(&yb, wl.n as usize).expect("compare") {
+        Comparison::Match(v) => vec![v.clone(), v],
+        Comparison::Mismatch { outputs, .. } => outputs,
+    };
+    (outputs, gpu.trace().clone())
+}
+
+fn window() -> u64 {
+    let cfg = CampaignConfig::default();
+    dry_run_makespan(&cfg, &RedundancyMode::srrs_default(6), &workload()).expect("dry run")
+}
+
+fn assert_gated_matches_always_armed(model: FaultModel) {
+    let gated = run_with_hook(Box::new(FaultInjector::new(
+        model,
+        InjectionCounters::shared(),
+    )));
+    let reference = run_with_hook(Box::new(AlwaysArmed(FaultInjector::new(
+        model,
+        InjectionCounters::shared(),
+    ))));
+    assert_eq!(
+        gated.0, reference.0,
+        "output words must be bit-identical for {model:?}"
+    );
+    assert_eq!(
+        gated.1, reference.1,
+        "execution traces must be identical for {model:?}"
+    );
+}
+
+#[test]
+fn transient_mid_window_is_bit_identical() {
+    let w = window();
+    assert_gated_matches_always_armed(FaultModel::TransientSm {
+        sm: 0,
+        start: w / 4,
+        duration: w / 2,
+        bit: 12,
+    });
+}
+
+#[test]
+fn permanent_fault_is_bit_identical() {
+    assert_gated_matches_always_armed(FaultModel::PermanentSm {
+        sm: 3,
+        from_cycle: window() / 3,
+        bit: 0,
+    });
+}
+
+#[test]
+fn droop_is_bit_identical() {
+    let w = window();
+    assert_gated_matches_always_armed(FaultModel::VoltageDroop {
+        start: w / 2,
+        duration: 500,
+        bit: 31,
+    });
+}
+
+#[test]
+fn never_opening_window_is_bit_identical_to_fault_free() {
+    // A window entirely after the run: the gated hook never arms; results
+    // must equal both the always-armed wrapper and a clean machine.
+    let w = window();
+    let model = FaultModel::TransientSm {
+        sm: 0,
+        start: w * 10,
+        duration: 100,
+        bit: 7,
+    };
+    assert_gated_matches_always_armed(model);
+    let gated = run_with_hook(Box::new(FaultInjector::new(
+        model,
+        InjectionCounters::shared(),
+    )));
+    let clean = run_with_hook(Box::new(higpu_sim::fault::NoFaults));
+    assert_eq!(gated.0, clean.0, "closed window == fault-free run");
+}

@@ -43,12 +43,7 @@ impl Backprop {
     }
 
     fn weight_data(&self) -> Vec<f32> {
-        data::f32_vec(
-            0xb9c1,
-            (self.inputs * self.hidden) as usize,
-            -0.5,
-            0.5,
-        )
+        data::f32_vec(0xb9c1, (self.inputs * self.hidden) as usize, -0.5, 0.5)
     }
 
     fn delta_data(&self) -> Vec<f32> {

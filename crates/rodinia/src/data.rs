@@ -109,10 +109,7 @@ mod tests {
         let m = dominant_matrix(5, n);
         for i in 0..n {
             let diag = m[i * n + i].abs();
-            let off: f32 = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| m[i * n + j].abs())
-                .sum();
+            let off: f32 = (0..n).filter(|&j| j != i).map(|j| m[i * n + j].abs()).sum();
             assert!(diag > off, "row {i} dominant");
         }
     }

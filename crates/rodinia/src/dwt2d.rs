@@ -236,10 +236,13 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::paper_6sm());
         let mut s = SoloSession::new(&mut gpu);
         let out = d.run(&mut s).expect("runs");
-        let output: f32 = out.iter().map(|w| {
-            let v = f32::from_bits(*w);
-            v * v
-        }).sum();
+        let output: f32 = out
+            .iter()
+            .map(|w| {
+                let v = f32::from_bits(*w);
+                v * v
+            })
+            .sum();
         let rel = (input - output).abs() / input;
         assert!(rel < 1e-3, "energy drift {rel}");
     }

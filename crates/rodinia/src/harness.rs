@@ -3,9 +3,7 @@
 //! redundant (DCLS protocol), or any future backend — plus verification
 //! against CPU references.
 
-use higpu_core::redundancy::{
-    Comparison, RBuf, RParam, RedundancyError, RedundantExecutor,
-};
+use higpu_core::redundancy::{Comparison, RBuf, RParam, RedundancyError, RedundantExecutor};
 use higpu_sim::gpu::{DevPtr, Gpu, SimError};
 use higpu_sim::kernel::{Dim3, KernelLaunch, LaunchConfig};
 use higpu_sim::program::Program;

@@ -41,12 +41,7 @@ impl Default for Kmeans {
 
 impl Kmeans {
     fn point_data(&self) -> Vec<f32> {
-        data::f32_vec(
-            0x6b3a,
-            (self.points * self.features) as usize,
-            0.0,
-            10.0,
-        )
+        data::f32_vec(0x6b3a, (self.points * self.features) as usize, 0.0, 10.0)
     }
 
     fn initial_centroids(&self) -> Vec<f32> {
@@ -232,10 +227,7 @@ mod tests {
         let km = small();
         let out = km.reference();
         for c in 0..km.k {
-            assert!(
-                out.contains(&c),
-                "cluster {c} empty with well-spread data"
-            );
+            assert!(out.contains(&c), "cluster {c} empty with well-spread data");
         }
     }
 }

@@ -280,11 +280,7 @@ mod tests {
     fn dilation_dominates_raw_scores() {
         let l = small();
         let raw = l.cpu_gicov();
-        let dilated: Vec<f32> = l
-            .reference()
-            .iter()
-            .map(|w| f32::from_bits(*w))
-            .collect();
+        let dilated: Vec<f32> = l.reference().iter().map(|w| f32::from_bits(*w)).collect();
         for (d, r) in dilated.iter().zip(&raw) {
             assert!(d >= r, "max-filter output below input");
         }

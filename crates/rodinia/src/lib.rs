@@ -16,9 +16,9 @@ pub mod dwt2d;
 pub mod gaussian;
 pub mod harness;
 pub mod hotspot;
+pub mod hotspot3d;
 pub mod kmeans;
 pub mod leukocyte;
-pub mod hotspot3d;
 pub mod lud;
 pub mod myocyte;
 pub mod nn;

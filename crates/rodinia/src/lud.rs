@@ -231,13 +231,7 @@ impl Benchmark for Lud {
             s.launch(&rowk, Dim3::x(rest), Dim3::x(BS), 0, &params)?;
             s.launch(&colk, Dim3::x(rest), Dim3::x(BS), 0, &params)?;
             s.sync()?;
-            s.launch(
-                &intern,
-                Dim3::xy(rest, rest),
-                Dim3::xy(BS, BS),
-                0,
-                &params,
-            )?;
+            s.launch(&intern, Dim3::xy(rest, rest), Dim3::xy(BS, BS), 0, &params)?;
             s.sync()?;
         }
         s.read_u32(a, (n * n) as usize)
@@ -253,8 +247,7 @@ impl Benchmark for Lud {
             // diagonal tile
             for k in 0..bs - 1 {
                 let gk = base + k;
-                for r in k + 1..bs
-                {
+                for r in k + 1..bs {
                     let gr = base + r;
                     let l = a[gr * n + gk] / a[gk * n + gk];
                     a[gr * n + gk] = l;

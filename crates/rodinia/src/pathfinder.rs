@@ -167,10 +167,7 @@ mod tests {
 
     #[test]
     fn path_costs_grow_monotonically_with_rows() {
-        let short = Pathfinder {
-            rows: 4,
-            ..small()
-        };
+        let short = Pathfinder { rows: 4, ..small() };
         let long = Pathfinder {
             rows: 12,
             ..small()

@@ -207,10 +207,7 @@ impl Srad {
                 ds[idx] = js - jc;
                 de[idx] = je - jc;
                 dw[idx] = jw - jc;
-                let g2 = dn[idx].mul_add(
-                    dn[idx],
-                    0.0,
-                );
+                let g2 = dn[idx].mul_add(dn[idx], 0.0);
                 let g2 = ds[idx].mul_add(ds[idx], g2);
                 let g2 = de[idx].mul_add(de[idx], g2);
                 let g2 = dw[idx].mul_add(dw[idx], g2);

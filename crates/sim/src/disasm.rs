@@ -180,7 +180,11 @@ mod tests {
         assert!(text.contains("st.global"));
         assert!(text.contains("bar.sync"));
         assert!(text.contains("exit"));
-        assert_eq!(text.lines().count(), prog.len() + 1, "one line per op + header");
+        assert_eq!(
+            text.lines().count(),
+            prog.len() + 1,
+            "one line per op + header"
+        );
     }
 
     #[test]

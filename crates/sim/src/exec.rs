@@ -8,10 +8,19 @@ use crate::block::BlockDims;
 use crate::fault::{FaultCtx, FaultHook};
 use crate::isa::{ExecUnit, FloatOp, IntOp, Op, SfuOp, Space, SpecialReg, Src};
 use crate::kernel::KernelId;
-use crate::mem::coalesce::{coalesce, Transaction};
+use crate::mem::coalesce::{coalesce_into, TxBuf};
 use crate::warp::{StackEntry, Warp, WarpState};
 
+/// Per-lane target addresses of an atomic instruction (active lanes only),
+/// stored inline so the hot path never touches the heap.
+pub type LaneAddrs = crate::inline_vec::InlineVec<u32>;
+
 /// What an issued instruction did, as seen by the SM timing model.
+///
+/// Memory effects carry fixed-capacity inline buffers ([`TxBuf`],
+/// [`LaneAddrs`]): a warp is 32 lanes wide, so no instruction ever needs
+/// more than 32 transactions, and the common compute path performs no heap
+/// allocation at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepEffect {
     /// A compute instruction on the given unit.
@@ -20,7 +29,7 @@ pub enum StepEffect {
     /// memory system for latency.
     GlobalMem {
         /// Coalesced transactions.
-        txs: Vec<Transaction>,
+        txs: TxBuf,
     },
     /// A shared-memory access (fixed latency, possibly bank-conflicted —
     /// conflicts are folded into the configured latency).
@@ -28,7 +37,7 @@ pub enum StepEffect {
     /// A global atomic; one serialized transaction per active lane.
     Atomic {
         /// Per-lane target addresses (active lanes only).
-        addrs: Vec<u32>,
+        addrs: LaneAddrs,
     },
     /// The warp arrived at a block-wide barrier.
     Barrier,
@@ -60,10 +69,18 @@ pub struct ExecCtx<'a> {
     pub block: u32,
     /// Fault-injection hook.
     pub fault: &'a mut dyn FaultHook,
+    /// False when the installed hook is the fault-free default: the engine
+    /// then skips fault-context construction and every virtual hook call —
+    /// the no-fault fast path.
+    pub fault_enabled: bool,
     /// Count of out-of-bounds accesses observed (kernel bugs or
     /// fault-corrupted addresses; reads return a poison value, writes are
     /// dropped).
     pub oob_accesses: &'a mut u64,
+    /// High-water mark of global-memory bytes dirtied by stores/atomics,
+    /// maintained so [`crate::gpu::Gpu::reset`] can zero only the touched
+    /// prefix instead of the whole image.
+    pub global_dirty: &'a mut u32,
 }
 
 #[inline]
@@ -89,11 +106,20 @@ fn load_word(mem: &[u8], addr: u32, oob: &mut u64) -> u32 {
     }
 }
 
-fn store_word(mem: &mut [u8], addr: u32, v: u32, oob: &mut u64) {
+/// Returns `true` when the word was actually written (dropped out-of-bounds
+/// stores must not raise the dirty high-water mark — a fault-corrupted
+/// address register would otherwise force full-image zeroing on reset).
+fn store_word(mem: &mut [u8], addr: u32, v: u32, oob: &mut u64) -> bool {
     let a = addr as usize;
     match mem.get_mut(a..a + 4) {
-        Some(s) => s.copy_from_slice(&v.to_le_bytes()),
-        None => *oob += 1,
+        Some(s) => {
+            s.copy_from_slice(&v.to_le_bytes());
+            true
+        }
+        None => {
+            *oob += 1;
+            false
+        }
     }
 }
 
@@ -195,15 +221,39 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
     let op = ops[pc as usize];
     warp.instrs += 1;
 
-    let fctx = FaultCtx {
-        sm: ctx.sm_id,
-        cycle: ctx.cycle,
-        kernel: ctx.kernel,
-        block: ctx.block,
-        warp: warp.warp_idx,
-        pc,
-        unit: op.unit(),
+    // Fault hoisting: the fault-free machine builds no context and pays no
+    // virtual call; an installed hook is asked once per instruction whether
+    // it is armed, and only then are the per-lane corruption calls made.
+    let fctx = if ctx.fault_enabled {
+        Some(FaultCtx {
+            sm: ctx.sm_id,
+            cycle: ctx.cycle,
+            kernel: ctx.kernel,
+            block: ctx.block,
+            warp: warp.warp_idx,
+            pc,
+            unit: op.unit(),
+        })
+    } else {
+        None
     };
+    let armed = match &fctx {
+        Some(c) => ctx.fault.armed(c),
+        None => false,
+    };
+
+    /// Applies the fault hook to a produced value only while armed.
+    macro_rules! corrupt {
+        ($lane:expr, $v:expr) => {{
+            let v = $v;
+            if armed {
+                ctx.fault
+                    .corrupt_value(fctx.as_ref().expect("armed implies ctx"), $lane, v)
+            } else {
+                v
+            }
+        }};
+    }
 
     macro_rules! for_lanes {
         (|$lane:ident| $body:expr) => {
@@ -230,7 +280,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
         Op::Mov { d, a } => {
             for_lanes!(|lane| {
                 let v = src(warp, a, lane);
-                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                let v = corrupt!(lane, v);
                 warp.set_reg(d.0, lane, v);
             });
         }
@@ -238,14 +288,14 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             for_lanes!(|lane| {
                 let tl = (warp.warp_idx * 32 + lane) as u32;
                 let v = special_value(s, &ctx.dims, ctx.sm_id, tl);
-                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                let v = corrupt!(lane, v);
                 warp.set_reg(d.0, lane, v);
             });
         }
         Op::Param { d, idx } => {
             let v0 = ctx.params.get(usize::from(idx)).copied().unwrap_or(0);
             for_lanes!(|lane| {
-                let v = ctx.fault.corrupt_value(&fctx, lane, v0);
+                let v = corrupt!(lane, v0);
                 warp.set_reg(d.0, lane, v);
             });
         }
@@ -253,7 +303,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             for_lanes!(|lane| {
                 let va = warp.reg(a.0, lane);
                 let vb = src(warp, b, lane);
-                let v = ctx.fault.corrupt_value(&fctx, lane, eval_int(iop, va, vb));
+                let v = corrupt!(lane, eval_int(iop, va, vb));
                 warp.set_reg(d.0, lane, v);
             });
         }
@@ -263,7 +313,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                 let vb = src(warp, b, lane);
                 let vc = src(warp, c, lane);
                 let v = va.wrapping_mul(vb).wrapping_add(vc);
-                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                let v = corrupt!(lane, v);
                 warp.set_reg(d.0, lane, v);
             });
         }
@@ -271,7 +321,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             for_lanes!(|lane| {
                 let va = warp.reg(a.0, lane);
                 let vb = src(warp, b, lane);
-                let v = ctx.fault.corrupt_value(&fctx, lane, eval_float(fop, va, vb));
+                let v = corrupt!(lane, eval_float(fop, va, vb));
                 warp.set_reg(d.0, lane, v);
             });
         }
@@ -280,21 +330,21 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                 let va = f(warp.reg(a.0, lane));
                 let vb = f(src(warp, sb, lane));
                 let vc = f(src(warp, sc, lane));
-                let v = ctx.fault.corrupt_value(&fctx, lane, b(va.mul_add(vb, vc)));
+                let v = corrupt!(lane, b(va.mul_add(vb, vc)));
                 warp.set_reg(d.0, lane, v);
             });
         }
         Op::FSfu { op: sop, d, a } => {
             for_lanes!(|lane| {
                 let va = warp.reg(a.0, lane);
-                let v = ctx.fault.corrupt_value(&fctx, lane, eval_sfu(sop, va));
+                let v = corrupt!(lane, eval_sfu(sop, va));
                 warp.set_reg(d.0, lane, v);
             });
         }
         Op::I2F { d, a } => {
             for_lanes!(|lane| {
                 let v = b(warp.reg(a.0, lane) as i32 as f32);
-                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                let v = corrupt!(lane, v);
                 warp.set_reg(d.0, lane, v);
             });
         }
@@ -302,7 +352,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             for_lanes!(|lane| {
                 let fa = f(warp.reg(a.0, lane));
                 let v = if fa.is_nan() { 0 } else { fa as i32 as u32 };
-                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                let v = corrupt!(lane, v);
                 warp.set_reg(d.0, lane, v);
             });
         }
@@ -338,7 +388,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                 } else {
                     src(warp, sb, lane)
                 };
-                let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                let v = corrupt!(lane, v);
                 warp.set_reg(d.0, lane, v);
             });
         }
@@ -356,17 +406,17 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                 Space::Global => {
                     for_lanes!(|lane| {
                         let v = load_word(ctx.global_mem, addrs[lane], ctx.oob_accesses);
-                        let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                        let v = corrupt!(lane, v);
                         warp.set_reg(d.0, lane, v);
                     });
-                    effect = StepEffect::GlobalMem {
-                        txs: coalesce(&addrs, active, false),
-                    };
+                    let mut txs = TxBuf::new();
+                    coalesce_into(&addrs, active, false, &mut txs);
+                    effect = StepEffect::GlobalMem { txs };
                 }
                 Space::Shared => {
                     for_lanes!(|lane| {
                         let v = load_word(ctx.shared_mem, addrs[lane], ctx.oob_accesses);
-                        let v = ctx.fault.corrupt_value(&fctx, lane, v);
+                        let v = corrupt!(lane, v);
                         warp.set_reg(d.0, lane, v);
                     });
                     effect = StepEffect::SharedMem;
@@ -385,19 +435,27 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             });
             match space {
                 Space::Global => {
+                    let mut hi = 0u32;
+                    let mut wrote = false;
                     for_lanes!(|lane| {
                         let val = warp.reg(v.0, lane);
-                        let val = ctx.fault.corrupt_value(&fctx, lane, val);
-                        store_word(ctx.global_mem, addrs[lane], val, ctx.oob_accesses);
+                        let val = corrupt!(lane, val);
+                        if store_word(ctx.global_mem, addrs[lane], val, ctx.oob_accesses) {
+                            hi = hi.max(addrs[lane]);
+                            wrote = true;
+                        }
                     });
-                    effect = StepEffect::GlobalMem {
-                        txs: coalesce(&addrs, active, true),
-                    };
+                    if wrote {
+                        *ctx.global_dirty = (*ctx.global_dirty).max(hi + 4);
+                    }
+                    let mut txs = TxBuf::new();
+                    coalesce_into(&addrs, active, true, &mut txs);
+                    effect = StepEffect::GlobalMem { txs };
                 }
                 Space::Shared => {
                     for_lanes!(|lane| {
                         let val = warp.reg(v.0, lane);
-                        let val = ctx.fault.corrupt_value(&fctx, lane, val);
+                        let val = corrupt!(lane, val);
                         store_word(ctx.shared_mem, addrs[lane], val, ctx.oob_accesses);
                     });
                     effect = StepEffect::SharedMem;
@@ -406,7 +464,9 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
         }
         Op::AtomAdd { d, addr, offset, v } | Op::AtomAddF { d, addr, offset, v } => {
             let float = matches!(op, Op::AtomAddF { .. });
-            let mut addrs = Vec::new();
+            let mut addrs = LaneAddrs::new();
+            let mut hi = 0u32;
+            let mut wrote = false;
             for_lanes!(|lane| {
                 let a = warp.reg(addr.0, lane).wrapping_add(offset as u32);
                 addrs.push(a);
@@ -417,11 +477,17 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                 } else {
                     old.wrapping_add(add)
                 };
-                let new = ctx.fault.corrupt_value(&fctx, lane, new);
-                store_word(ctx.global_mem, a, new, ctx.oob_accesses);
-                let old = ctx.fault.corrupt_value(&fctx, lane, old);
+                let new = corrupt!(lane, new);
+                if store_word(ctx.global_mem, a, new, ctx.oob_accesses) {
+                    hi = hi.max(a);
+                    wrote = true;
+                }
+                let old = corrupt!(lane, old);
                 warp.set_reg(d.0, lane, old);
             });
+            if wrote {
+                *ctx.global_dirty = (*ctx.global_dirty).max(hi + 4);
+            }
             effect = StepEffect::Atomic { addrs };
         }
         Op::Bra { target } => {
@@ -514,6 +580,7 @@ mod tests {
         let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
         let mut shared = vec![0u8; 1024];
         let mut oob = 0u64;
+        let mut dirty = 0u32;
         let mut hook = NoFaults;
         let mut steps = 0;
         while warp.state == WarpState::Ready {
@@ -527,7 +594,9 @@ mod tests {
                 kernel: KernelId(0),
                 block: 2,
                 fault: &mut hook,
+                fault_enabled: true,
                 oob_accesses: &mut oob,
+                global_dirty: &mut dirty,
             };
             let eff = step_warp(&mut warp, prog.instrs(), &mut ctx);
             if eff == StepEffect::Finished {
@@ -588,7 +657,11 @@ mod tests {
         }
         let _ = run_to_completion(&prog, &mut mem, &[0]);
         for i in 0..32u32 {
-            let got = u32::from_le_bytes(mem[(i * 4) as usize..(i * 4 + 4) as usize].try_into().unwrap());
+            let got = u32::from_le_bytes(
+                mem[(i * 4) as usize..(i * 4 + 4) as usize]
+                    .try_into()
+                    .unwrap(),
+            );
             assert_eq!(got, i * 10 + 1);
         }
     }
@@ -599,11 +672,7 @@ mod tests {
         let tid = b.special(SpecialReg::TidX);
         let out = b.mov(0u32);
         let p = b.isetp(CmpOp::Lt, tid, 16u32);
-        b.if_else(
-            p,
-            |b| b.mov_to(out, 111u32),
-            |b| b.mov_to(out, 222u32),
-        );
+        b.if_else(p, |b| b.mov_to(out, 111u32), |b| b.mov_to(out, 222u32));
         let keep = b.reg();
         b.mov_to(keep, out);
         let prog = b.build().expect("valid");
@@ -712,6 +781,7 @@ mod tests {
         let mut shared = vec![0u8; 16];
         let mut global = vec![0u8; 16];
         let mut oob = 0u64;
+        let mut dirty = 0u32;
         let mut hook = NoFaults;
         loop {
             let mut ctx = ExecCtx {
@@ -724,7 +794,9 @@ mod tests {
                 kernel: KernelId(0),
                 block: 0,
                 fault: &mut hook,
+                fault_enabled: true,
                 oob_accesses: &mut oob,
+                global_dirty: &mut dirty,
             };
             if step_warp(&mut warp, prog.instrs(), &mut ctx) == StepEffect::Finished {
                 break;
@@ -747,6 +819,7 @@ mod tests {
         let mut shared = vec![0u8; 16];
         let mut global = vec![0u8; 4096];
         let mut oob = 0u64;
+        let mut dirty = 0u32;
         let mut hook = NoFaults;
         let mut saw_mem = None;
         loop {
@@ -760,7 +833,9 @@ mod tests {
                 kernel: KernelId(0),
                 block: 0,
                 fault: &mut hook,
+                fault_enabled: true,
                 oob_accesses: &mut oob,
+                global_dirty: &mut dirty,
             };
             match step_warp(&mut warp, prog.instrs(), &mut ctx) {
                 StepEffect::Finished => break,

@@ -38,6 +38,20 @@ pub struct FaultCtx {
 /// Injection interface; the default implementation of every method is a
 /// no-op, so hooks override only the corruption points they model.
 pub trait FaultHook {
+    /// Cheap per-instruction arming test: returns `true` if this hook *may*
+    /// corrupt values produced in context `ctx`. When `false`, the execution
+    /// engine skips the per-lane [`FaultHook::corrupt_value`] calls for the
+    /// whole instruction — the hot-path fast exit for trials whose fault
+    /// window is closed.
+    ///
+    /// The default is conservatively `true` so hooks that only override
+    /// `corrupt_value` keep their pre-fast-path behaviour. Overriding
+    /// implementations must guarantee that `corrupt_value` is the identity
+    /// whenever `armed` returns `false`.
+    fn armed(&self, _ctx: &FaultCtx) -> bool {
+        true
+    }
+
     /// May corrupt a value produced for `lane`. Called for every destination
     /// register write and every stored word.
     fn corrupt_value(&mut self, _ctx: &FaultCtx, _lane: usize, value: u32) -> u32 {
@@ -65,7 +79,11 @@ pub trait FaultHook {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoFaults;
 
-impl FaultHook for NoFaults {}
+impl FaultHook for NoFaults {
+    fn armed(&self, _ctx: &FaultCtx) -> bool {
+        false
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -83,7 +101,29 @@ mod tests {
             unit: ExecUnit::Alu,
         };
         let mut h = NoFaults;
+        assert!(!h.armed(&ctx), "the fault-free machine is never armed");
         assert_eq!(h.corrupt_value(&ctx, 3, 0xabcd), 0xabcd);
         assert_eq!(h.reroute_block(KernelId(0), 0, 2, 6, &|_| true), 2);
+    }
+
+    #[test]
+    fn default_armed_is_conservative() {
+        struct OnlyCorrupt;
+        impl FaultHook for OnlyCorrupt {
+            fn corrupt_value(&mut self, _ctx: &FaultCtx, _lane: usize, v: u32) -> u32 {
+                v ^ 1
+            }
+        }
+        let ctx = FaultCtx {
+            sm: 0,
+            cycle: 0,
+            kernel: KernelId(0),
+            block: 0,
+            warp: 0,
+            pc: 0,
+            unit: ExecUnit::Alu,
+        };
+        // A hook that overrides only corrupt_value must still be consulted.
+        assert!(OnlyCorrupt.armed(&ctx));
     }
 }

@@ -147,9 +147,15 @@ pub struct Gpu {
     kernels: Vec<KernelRuntime>,
     policy: Box<dyn KernelSchedulerPolicy>,
     fault: Box<dyn FaultHook>,
+    /// False while `fault` is the [`NoFaults`] default; lets the execution
+    /// hot path skip all virtual hook calls.
+    fault_enabled: bool,
     cycle: u64,
     next_dispatch_slot: u64,
     alloc_cursor: u32,
+    /// High-water mark of bytes ever written (host transfers and device
+    /// stores); [`Gpu::reset`] zeroes only this prefix.
+    dirty_hi: u32,
     next_kernel_id: u64,
     trace: ExecutionTrace,
     sched_dirty: bool,
@@ -195,9 +201,11 @@ impl Gpu {
             kernels: Vec::new(),
             policy,
             fault: Box::new(NoFaults),
+            fault_enabled: false,
             cycle: 0,
             next_dispatch_slot: 0,
             alloc_cursor: 0,
+            dirty_hi: 0,
             next_kernel_id: 0,
             trace: ExecutionTrace::new(),
             sched_dirty: false,
@@ -239,11 +247,13 @@ impl Gpu {
     /// Installs a fault-injection hook (replaces any previous hook).
     pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
         self.fault = hook;
+        self.fault_enabled = true;
     }
 
     /// Removes any installed fault hook.
     pub fn clear_fault_hook(&mut self) {
         self.fault = Box::new(NoFaults);
+        self.fault_enabled = false;
     }
 
     /// True when every launched kernel has finished.
@@ -284,7 +294,8 @@ impl Gpu {
         self.alloc(words * 4)
     }
 
-    /// Frees all allocations (bump allocator reset) and zeroes memory.
+    /// Frees all allocations (bump allocator reset) and zeroes the written
+    /// prefix of memory (untouched bytes are still zero from construction).
     /// Launched kernels must have finished.
     ///
     /// # Errors
@@ -295,7 +306,46 @@ impl Gpu {
             return Err(SimError::NotIdle);
         }
         self.alloc_cursor = 0;
-        self.mem.fill(0);
+        let hi = (self.dirty_hi as usize).min(self.mem.len());
+        self.mem[..hi].fill(0);
+        self.dirty_hi = 0;
+        Ok(())
+    }
+
+    /// Rewinds the device to its post-construction state **without
+    /// reallocating** the (multi-MB) memory image: bump allocator reset,
+    /// dirty memory prefix zeroed, caches flushed, counters and trace
+    /// cleared, fault hook removed, cycle back to 0.
+    ///
+    /// This is the fast path fault-injection campaigns use to reuse one
+    /// device across thousands of trials; a reset device is observationally
+    /// identical to a freshly constructed one, except that the installed
+    /// scheduling policy is kept (with its internal state cleared via
+    /// [`KernelSchedulerPolicy::reset`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotIdle`] if kernels are in flight.
+    pub fn reset(&mut self) -> Result<(), SimError> {
+        if !self.is_idle() {
+            return Err(SimError::NotIdle);
+        }
+        self.free_all()?;
+        self.memsys.reset();
+        self.memsys.clear_stats();
+        for sm in &mut self.sms {
+            sm.reset();
+        }
+        self.kernels.clear();
+        self.policy.reset();
+        self.clear_fault_hook();
+        self.cycle = 0;
+        self.next_dispatch_slot = 0;
+        self.next_kernel_id = 0;
+        self.trace.clear();
+        self.sched_dirty = false;
+        self.instructions = 0;
+        self.blocks_completed = 0;
         Ok(())
     }
 
@@ -308,6 +358,7 @@ impl Gpu {
     pub fn write_bytes(&mut self, ptr: DevPtr, data: &[u8]) {
         let a = ptr.0 as usize;
         self.mem[a..a + data.len()].copy_from_slice(data);
+        self.dirty_hi = self.dirty_hi.max((a + data.len()) as u32);
     }
 
     /// Reads raw bytes from device memory.
@@ -330,6 +381,7 @@ impl Gpu {
         for (i, v) in data.iter().enumerate() {
             self.mem[a + i * 4..a + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
+        self.dirty_hi = self.dirty_hi.max((a + data.len() * 4) as u32);
     }
 
     /// Reads `len` `u32` words from device memory.
@@ -341,7 +393,11 @@ impl Gpu {
         let a = ptr.0 as usize;
         (0..len)
             .map(|i| {
-                u32::from_le_bytes(self.mem[a + i * 4..a + i * 4 + 4].try_into().expect("4 bytes"))
+                u32::from_le_bytes(
+                    self.mem[a + i * 4..a + i * 4 + 4]
+                        .try_into()
+                        .expect("4 bytes"),
+                )
             })
             .collect()
     }
@@ -356,6 +412,7 @@ impl Gpu {
         for (i, v) in data.iter().enumerate() {
             self.mem[a + i * 4..a + i * 4 + 4].copy_from_slice(&v.to_bits().to_le_bytes());
         }
+        self.dirty_hi = self.dirty_hi.max((a + data.len() * 4) as u32);
     }
 
     /// Reads `len` `f32` values from device memory.
@@ -469,13 +526,11 @@ impl Gpu {
             }
             // Fault hook may misroute the assignment (scheduler fault model).
             let fits: Vec<bool> = self.sms.iter().map(|s| s.fits(&fp)).collect();
-            let chosen = self.fault.reroute_block(
-                a.kernel,
-                block_linear,
-                a.sm,
-                self.sms.len(),
-                &|sm| fits.get(sm).copied().unwrap_or(false),
-            );
+            let chosen =
+                self.fault
+                    .reroute_block(a.kernel, block_linear, a.sm, self.sms.len(), &|sm| {
+                        fits.get(sm).copied().unwrap_or(false)
+                    });
             if !fits.get(chosen).copied().unwrap_or(false) {
                 continue; // retried at the next scheduling round
             }
@@ -546,8 +601,10 @@ impl Gpu {
                 sm.issue(
                     self.cycle,
                     &mut self.mem,
+                    &mut self.dirty_hi,
                     &mut self.memsys,
                     self.fault.as_mut(),
+                    self.fault_enabled,
                     &mut completions,
                 );
             }
@@ -574,15 +631,27 @@ impl Gpu {
             }
             if next == u64::MAX {
                 // Quiescent but unfinished: one last scheduling chance, then
-                // report a stall.
+                // report a stall. If the retry admitted work, jump straight
+                // to its issue cycle — re-entering the loop at the *same*
+                // cycle could re-run the scheduler forever without advancing
+                // time under a pathological policy that keeps the device
+                // quiescent (e.g. admits work some other hook immediately
+                // revokes), so every pass through this branch must strictly
+                // advance the clock or terminate.
                 self.run_scheduler();
-                let still_stuck = self.sms.iter().all(|s| s.next_ready_at() == u64::MAX);
-                if still_stuck {
+                let ready = self
+                    .sms
+                    .iter()
+                    .map(Sm::next_ready_at)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if ready == u64::MAX {
                     return Err(SimError::Stalled {
                         cycle: self.cycle,
                         pending_blocks: self.pending_blocks(),
                     });
                 }
+                self.cycle = ready.max(self.cycle + 1);
                 continue;
             }
             self.cycle = next.max(self.cycle + 1);
@@ -605,11 +674,7 @@ impl Gpu {
             per_sm: self.sms.iter().map(Sm::stats).collect(),
             memory: self.memsys.stats(),
             oob_accesses: self.sms.iter().map(|s| s.oob_accesses).sum(),
-            kernels_completed: self
-                .kernels
-                .iter()
-                .filter(|k| k.is_finished())
-                .count() as u64,
+            kernels_completed: self.kernels.iter().filter(|k| k.is_finished()).count() as u64,
             blocks_completed: self.blocks_completed,
         }
     }
@@ -638,7 +703,8 @@ mod tests {
         let buf = gpu.alloc_words(128).expect("alloc");
         gpu.write_u32(buf, &vec![10u32; 128]);
         let cfg = LaunchConfig::new(4u32, 32u32).param_u32(buf.0);
-        gpu.launch(KernelLaunch::new(inc_kernel(), cfg)).expect("launch");
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg))
+            .expect("launch");
         gpu.run_to_idle().expect("run");
         assert_eq!(gpu.read_u32(buf, 128), vec![11u32; 128]);
         assert!(gpu.is_idle());
@@ -724,7 +790,8 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
         let buf = gpu.alloc_words(32).expect("alloc");
         let cfg = LaunchConfig::new(1u32, 32u32).param_u32(buf.0);
-        gpu.launch(KernelLaunch::new(inc_kernel(), cfg)).expect("launch");
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg))
+            .expect("launch");
         let err = gpu.set_policy(Box::new(DefaultScheduler::new()));
         assert_eq!(err, Err(SimError::NotIdle));
         gpu.run_to_idle().expect("run");
@@ -744,11 +811,111 @@ mod tests {
     }
 
     #[test]
+    fn reset_device_is_observationally_fresh() {
+        let run = |gpu: &mut Gpu| {
+            let buf = gpu.alloc_words(128).expect("alloc");
+            gpu.write_u32(buf, &vec![10u32; 128]);
+            let cfg = LaunchConfig::new(4u32, 32u32).param_u32(buf.0);
+            gpu.launch(KernelLaunch::new(inc_kernel(), cfg))
+                .expect("launch");
+            gpu.run_to_idle().expect("run");
+            (gpu.read_u32(buf, 128), gpu.trace().clone(), gpu.stats())
+        };
+        let mut fresh = Gpu::new(GpuConfig::tiny_2sm());
+        let expected = run(&mut fresh);
+
+        let mut reused = Gpu::new(GpuConfig::tiny_2sm());
+        // Pollute the device: another workload, a fault hook, and stray data.
+        let junk = reused.alloc_words(512).expect("alloc");
+        reused.write_u32(junk, &vec![0xdeadbeef; 512]);
+        reused
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(2u32, 32u32).param_u32(junk.0),
+            ))
+            .expect("launch");
+        reused.run_to_idle().expect("run");
+        struct Noisy;
+        impl crate::fault::FaultHook for Noisy {}
+        reused.set_fault_hook(Box::new(Noisy));
+
+        reused.reset().expect("idle");
+        assert_eq!(run(&mut reused), expected, "reset == fresh construction");
+    }
+
+    #[test]
+    fn reset_requires_idle() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf = gpu.alloc_words(32).expect("alloc");
+        let cfg = LaunchConfig::new(1u32, 32u32).param_u32(buf.0);
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg))
+            .expect("launch");
+        assert_eq!(gpu.reset(), Err(SimError::NotIdle));
+    }
+
+    /// Regression test for the quiescent-retry path: a policy that never
+    /// dispatches anything must yield a prompt `Stalled` error — not an
+    /// unbounded scheduler loop at a frozen cycle.
+    #[test]
+    fn stubborn_policy_stalls_instead_of_spinning() {
+        struct Stubborn;
+        impl KernelSchedulerPolicy for Stubborn {
+            fn name(&self) -> &str {
+                "stubborn"
+            }
+            fn assign(&mut self, _view: &mut crate::scheduler::SchedulerView) {}
+        }
+        let mut gpu = Gpu::with_policy(GpuConfig::tiny_2sm(), Box::new(Stubborn));
+        let buf = gpu.alloc_words(32).expect("alloc");
+        let cfg = LaunchConfig::new(1u32, 32u32).param_u32(buf.0);
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg))
+            .expect("launch");
+        let err = gpu.run_to_idle().expect_err("must stall, not hang");
+        assert!(matches!(
+            err,
+            SimError::Stalled {
+                pending_blocks: 1,
+                ..
+            }
+        ));
+    }
+
+    /// A policy that withholds work for a while must not trip the stall
+    /// detector: the quiescent retry re-runs it and the simulation finishes.
+    #[test]
+    fn reluctant_policy_eventually_completes() {
+        struct Reluctant {
+            refusals: u32,
+        }
+        impl KernelSchedulerPolicy for Reluctant {
+            fn name(&self) -> &str {
+                "reluctant"
+            }
+            fn assign(&mut self, view: &mut crate::scheduler::SchedulerView) {
+                if self.refusals > 0 {
+                    self.refusals -= 1;
+                    return;
+                }
+                DefaultScheduler::new().assign(view);
+            }
+        }
+        let mut gpu = Gpu::with_policy(GpuConfig::tiny_2sm(), Box::new(Reluctant { refusals: 1 }));
+        let buf = gpu.alloc_words(64).expect("alloc");
+        gpu.write_u32(buf, &vec![1u32; 64]);
+        let cfg = LaunchConfig::new(2u32, 32u32).param_u32(buf.0);
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg))
+            .expect("launch");
+        gpu.run_to_idle().expect("completes after the refusal");
+        assert_eq!(gpu.read_u32(buf, 64), vec![2u32; 64]);
+    }
+
+    #[test]
     fn makespan_reported_after_completion() {
         let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
         let buf = gpu.alloc_words(64).expect("alloc");
         let cfg = LaunchConfig::new(2u32, 32u32).param_u32(buf.0);
-        gpu.launch(KernelLaunch::new(inc_kernel(), cfg)).expect("launch");
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg))
+            .expect("launch");
         assert_eq!(gpu.trace().makespan(), None);
         gpu.run_to_idle().expect("run");
         assert!(gpu.trace().makespan().is_some());

@@ -1,0 +1,113 @@
+//! A fixed-capacity inline vector for the execution hot path.
+//!
+//! A warp is 32 lanes wide, so no per-instruction collection (coalesced
+//! transactions, atomic lane addresses) ever needs more than 32 elements;
+//! storing them inline keeps [`crate::exec::step_warp`] free of heap
+//! allocation.
+
+/// Up to 32 `T`s stored inline. Equality compares only the initialized
+/// prefix, never the unused capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineVec<T> {
+    items: [T; 32],
+    len: u8,
+}
+
+impl<T: Copy + Default> Default for InlineVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default> InlineVec<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self {
+            items: [T::default(); 32],
+            len: 0,
+        }
+    }
+
+    /// Appends one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics past 32 entries — more than one element per lane indicates a
+    /// simulator bug.
+    pub fn push(&mut self, item: T) {
+        self.items[usize::from(self.len)] = item;
+        self.len += 1;
+    }
+}
+
+impl<T> InlineVec<T> {
+    /// The initialized elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..usize::from(self.len)]
+    }
+
+    /// Number of initialized elements.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True when no element has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: PartialEq> PartialEq for InlineVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for InlineVec<T> {}
+
+impl<'a, T> IntoIterator for &'a InlineVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_compares_by_content() {
+        let mut a = InlineVec::<u32>::new();
+        assert!(a.is_empty());
+        a.push(7);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.as_slice(), &[7]);
+        let mut b = InlineVec::<u32>::new();
+        b.push(7);
+        assert_eq!(a, b, "equality ignores unused capacity");
+        b.push(9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fills_to_capacity() {
+        let mut v = InlineVec::<u32>::new();
+        for i in 0..32 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 32);
+        assert_eq!(v.as_slice()[31], 31);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut v = InlineVec::<u32>::new();
+        for i in 0..33 {
+            v.push(i);
+        }
+    }
+}

@@ -60,6 +60,7 @@ pub mod disasm;
 pub mod exec;
 pub mod fault;
 pub mod gpu;
+pub mod inline_vec;
 pub mod isa;
 pub mod kernel;
 pub mod mem;

@@ -202,6 +202,11 @@ impl Cache {
         self.lines.fill(INVALID);
     }
 
+    /// Zeroes the accumulated statistics.
+    pub fn clear_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats

@@ -5,7 +5,7 @@
 pub const SECTOR_BYTES: u32 = 32;
 
 /// A single memory transaction produced by the coalescer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Transaction {
     /// Sector-aligned byte address.
     pub addr: u32,
@@ -13,27 +13,58 @@ pub struct Transaction {
     pub write: bool,
 }
 
-/// Coalesces the active lanes' addresses into unique sector transactions.
+/// A fixed-capacity buffer of coalesced transactions — one warp memory
+/// instruction produces at most 32 (one sector per lane), so the buffer
+/// lives inline and the hot path never touches the heap.
+pub type TxBuf = crate::inline_vec::InlineVec<Transaction>;
+
+/// Coalesces the active lanes' addresses into unique sector transactions,
+/// writing them into `out` (cleared first). Allocation-free: sorting and
+/// de-duplication happen in a stack scratch array.
 ///
 /// `addrs` holds one byte address per lane; `mask` selects the active lanes.
 /// The result is sorted by address and de-duplicated, matching the behaviour
 /// of hardware coalescers for naturally aligned 4-byte accesses.
+pub fn coalesce_into(addrs: &[u32; 32], mask: u32, write: bool, out: &mut TxBuf) {
+    *out = TxBuf::new();
+    let mut sectors = [0u32; 32];
+    let mut n = 0usize;
+    for (lane, &a) in addrs.iter().enumerate() {
+        if mask & (1u32 << lane) != 0 {
+            sectors[n] = a / SECTOR_BYTES;
+            n += 1;
+        }
+    }
+    sectors[..n].sort_unstable();
+    let mut prev = None;
+    for &s in &sectors[..n] {
+        if prev != Some(s) {
+            out.push(Transaction {
+                addr: s * SECTOR_BYTES,
+                write,
+            });
+            prev = Some(s);
+        }
+    }
+}
+
+/// Heap-allocating convenience wrapper around [`coalesce_into`] for tests
+/// and offline analysis. The execution hot path uses [`coalesce_into`].
 pub fn coalesce(addrs: &[u32], mask: u32, write: bool) -> Vec<Transaction> {
-    let mut sectors: Vec<u32> = addrs
-        .iter()
-        .enumerate()
-        .filter(|(lane, _)| mask & (1u32 << lane) != 0)
-        .map(|(_, &a)| a / SECTOR_BYTES)
-        .collect();
-    sectors.sort_unstable();
-    sectors.dedup();
-    sectors
-        .into_iter()
-        .map(|s| Transaction {
-            addr: s * SECTOR_BYTES,
-            write,
-        })
-        .collect()
+    let mut padded = [0u32; 32];
+    for (lane, &a) in addrs.iter().take(32).enumerate() {
+        padded[lane] = a;
+    }
+    // Lanes beyond the provided slice stay inactive.
+    let provided = addrs.len().min(32) as u32;
+    let mask = if provided == 32 {
+        mask
+    } else {
+        mask & ((1u32 << provided) - 1)
+    };
+    let mut buf = TxBuf::new();
+    coalesce_into(&padded, mask, write, &mut buf);
+    buf.as_slice().to_vec()
 }
 
 #[cfg(test)]
@@ -74,6 +105,47 @@ mod tests {
         assert_eq!(txs.len(), 1);
         let txs = coalesce(&addrs, 0, false);
         assert!(txs.is_empty());
+    }
+
+    #[test]
+    fn coalesce_into_matches_vec_path() {
+        let addrs: [u32; 32] = std::array::from_fn(|i| (i as u32 % 7) * 40 + 13);
+        for mask in [u32::MAX, 0b1010, 0, 0xffff_0000] {
+            let mut buf = TxBuf::new();
+            coalesce_into(&addrs, mask, true, &mut buf);
+            assert_eq!(buf.as_slice(), coalesce(&addrs, mask, true).as_slice());
+        }
+    }
+
+    #[test]
+    fn txbuf_accumulates_and_compares_by_content() {
+        let mut a = TxBuf::new();
+        assert!(a.is_empty());
+        a.push(Transaction {
+            addr: 32,
+            write: false,
+        });
+        assert_eq!(a.len(), 1);
+        let mut b = TxBuf::new();
+        b.push(Transaction {
+            addr: 32,
+            write: false,
+        });
+        assert_eq!(a, b, "equality ignores unused capacity");
+        b.push(Transaction {
+            addr: 64,
+            write: true,
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_warp_fills_txbuf_to_capacity() {
+        // 32 lanes, each in its own sector: the worst case exactly fits.
+        let addrs: [u32; 32] = std::array::from_fn(|i| i as u32 * 128);
+        let mut buf = TxBuf::new();
+        coalesce_into(&addrs, u32::MAX, false, &mut buf);
+        assert_eq!(buf.len(), 32);
     }
 
     #[test]

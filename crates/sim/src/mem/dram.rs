@@ -67,6 +67,11 @@ impl Dram {
         self.stats = DramStats::default();
     }
 
+    /// Zeroes the accumulated statistics, leaving queue state untouched.
+    pub fn clear_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> DramStats {
         self.stats

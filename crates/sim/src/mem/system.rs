@@ -39,7 +39,9 @@ impl MemorySystem {
     /// Builds the hierarchy described by `cfg`.
     pub fn new(cfg: &GpuConfig) -> Self {
         Self {
-            l1: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1.clone())).collect(),
+            l1: (0..cfg.num_sms)
+                .map(|_| Cache::new(cfg.l1.clone()))
+                .collect(),
             l2: Cache::new(cfg.l2.clone()),
             dram: Dram::new(
                 cfg.dram.clone(),
@@ -119,12 +121,26 @@ impl MemorySystem {
     }
 
     /// Flushes all caches and resets DRAM queues (between experiments).
+    /// Cache statistics keep accumulating; DRAM statistics are zeroed along
+    /// with its queues (see [`Dram::reset`]). Pair with
+    /// [`MemorySystem::clear_stats`] for a fully fresh hierarchy.
     pub fn reset(&mut self) {
         for l1 in &mut self.l1 {
             l1.flush();
         }
         self.l2.flush();
         self.dram.reset();
+    }
+
+    /// Zeroes all accumulated statistics; cache content and DRAM queue
+    /// state are untouched.
+    pub fn clear_stats(&mut self) {
+        for l1 in &mut self.l1 {
+            l1.clear_stats();
+        }
+        self.l2.clear_stats();
+        self.dram.clear_stats();
+        self.transactions = 0;
     }
 
     /// Aggregated statistics.

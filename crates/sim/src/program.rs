@@ -37,7 +37,10 @@ impl fmt::Display for ProgramError {
             ProgramError::Empty => write!(f, "program has no instructions"),
             ProgramError::MissingExit => write!(f, "program does not terminate with exit"),
             ProgramError::RegisterOverflow { used, declared } => {
-                write!(f, "register r{used} referenced but only {declared} declared")
+                write!(
+                    f,
+                    "register r{used} referenced but only {declared} declared"
+                )
             }
         }
     }

@@ -116,7 +116,10 @@ impl Sm {
     ///
     /// Panics if the block does not fit (the GPU checks [`Sm::fits`] first).
     pub fn admit(&mut self, block: BlockState) {
-        assert!(self.fits(&block.footprint), "block admitted beyond capacity");
+        assert!(
+            self.fits(&block.footprint),
+            "block admitted beyond capacity"
+        );
         self.used.threads += block.footprint.threads;
         self.used.warps += block.footprint.warps;
         self.used.registers += block.footprint.registers;
@@ -165,16 +168,38 @@ impl Sm {
         next
     }
 
+    /// Resets the SM to its post-construction state: counters cleared,
+    /// scheduling bookmark dropped. The SM must be idle (no resident
+    /// blocks); resource pools are already released at that point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks are still resident (callers check [`Sm::is_idle`]).
+    pub fn reset(&mut self) {
+        assert!(self.blocks.is_empty(), "reset on a busy SM");
+        self.used = ResourceUsage::default();
+        self.greedy = None;
+        self.stats = SmStats::default();
+        self.oob_accesses = 0;
+    }
+
     /// Issues up to `schedulers_per_sm` instructions at cycle `now`.
+    ///
+    /// `global_dirty` is the device-wide store high-water mark (see
+    /// [`crate::exec::ExecCtx::global_dirty`]); `fault_enabled` is false when
+    /// `fault` is the fault-free default, enabling the no-fault fast path.
     ///
     /// Completed blocks are removed, their resources released, and a
     /// [`BlockCompletion`] pushed to `completions`.
+    #[allow(clippy::too_many_arguments)] // device-shared state, one call site in Gpu
     pub fn issue(
         &mut self,
         now: u64,
         global_mem: &mut [u8],
+        global_dirty: &mut u32,
         memsys: &mut MemorySystem,
         fault: &mut dyn FaultHook,
+        fault_enabled: bool,
         completions: &mut Vec<BlockCompletion>,
     ) {
         let mut issued = 0usize;
@@ -266,7 +291,9 @@ impl Sm {
                     kernel,
                     block: block_linear,
                     fault,
+                    fault_enabled,
                     oob_accesses: &mut oob,
+                    global_dirty,
                 };
                 step_warp(warp, program.instrs(), &mut ctx)
             };
@@ -290,13 +317,13 @@ impl Sm {
                     w.ready_at = now + u64::from(shared_latency);
                 }
                 StepEffect::GlobalMem { txs } => {
-                    let done = memsys.access(sm_id, now, &txs);
+                    let done = memsys.access(sm_id, now, txs.as_slice());
                     let w = &mut block.warps[wi];
                     w.ready_at = done.max(now + 1);
                 }
                 StepEffect::Atomic { addrs } => {
                     let mut done = now + 1;
-                    for a in addrs {
+                    for &a in addrs.as_slice() {
                         done = done.max(memsys.access_atomic(now, a));
                     }
                     let w = &mut block.warps[wi];
@@ -418,9 +445,18 @@ mod tests {
         sm.admit(mk_block(7, 3, 64, 256));
         let mut done = Vec::new();
         let mut hook = NoFaults;
+        let mut dirty = 0u32;
         let mut now = 0u64;
         while done.is_empty() {
-            sm.issue(now, &mut mem, &mut memsys, &mut hook, &mut done);
+            sm.issue(
+                now,
+                &mut mem,
+                &mut dirty,
+                &mut memsys,
+                &mut hook,
+                false,
+                &mut done,
+            );
             if !done.is_empty() {
                 break;
             }
@@ -446,7 +482,16 @@ mod tests {
         sm.admit(mk_block(0, 0, 32, 0));
         let mut done = Vec::new();
         let mut hook = NoFaults;
-        sm.issue(0, &mut mem, &mut memsys, &mut hook, &mut done);
+        let mut dirty = 0u32;
+        sm.issue(
+            0,
+            &mut mem,
+            &mut dirty,
+            &mut memsys,
+            &mut hook,
+            false,
+            &mut done,
+        );
         let next = sm.next_ready_at();
         assert!(next > 0, "issued warp has pending latency");
         assert_ne!(next, u64::MAX);
@@ -490,9 +535,18 @@ mod tests {
         sm.admit(block);
         let mut done = Vec::new();
         let mut hook = NoFaults;
+        let mut dirty = 0u32;
         let mut now = 0u64;
         while done.is_empty() {
-            sm.issue(now, &mut mem, &mut memsys, &mut hook, &mut done);
+            sm.issue(
+                now,
+                &mut mem,
+                &mut dirty,
+                &mut memsys,
+                &mut hook,
+                false,
+                &mut done,
+            );
             if !done.is_empty() {
                 break;
             }
@@ -556,11 +610,20 @@ mod warp_sched_tests {
         let mut mem = vec![0u8; 1024];
         let mut done = Vec::new();
         let mut hook = NoFaults;
+        let mut dirty = 0u32;
         sm.admit(mk_block(4));
         let mut picks = Vec::new();
         let mut now = 0u64;
         for _ in 0..steps {
-            sm.issue(now, &mut mem, &mut memsys, &mut hook, &mut done);
+            sm.issue(
+                now,
+                &mut mem,
+                &mut dirty,
+                &mut memsys,
+                &mut hook,
+                false,
+                &mut done,
+            );
             if let Some(g) = sm.greedy {
                 picks.push(g);
             }

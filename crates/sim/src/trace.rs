@@ -82,6 +82,14 @@ impl ExecutionTrace {
         Self::default()
     }
 
+    /// Empties the trace in place, keeping the allocated capacity (used by
+    /// [`higpu_sim::gpu::Gpu::reset`](crate::gpu::Gpu::reset) between
+    /// campaign trials).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.kernels.clear();
+    }
+
     /// Block records belonging to `kernel`.
     pub fn blocks_of(&self, kernel: KernelId) -> impl Iterator<Item = &BlockRecord> {
         self.blocks.iter().filter(move |b| b.kernel == kernel)
@@ -129,7 +137,10 @@ mod tests {
         let a = rec(0, 0, 0, 10, 20);
         assert!(a.overlaps(&rec(1, 0, 1, 15, 25)));
         assert!(a.overlaps(&rec(1, 0, 1, 5, 11)));
-        assert!(!a.overlaps(&rec(1, 0, 1, 20, 30)), "touching is not overlap");
+        assert!(
+            !a.overlaps(&rec(1, 0, 1, 20, 30)),
+            "touching is not overlap"
+        );
         assert!(!a.overlaps(&rec(1, 0, 1, 0, 10)));
         assert!(a.overlaps(&a.clone()));
     }

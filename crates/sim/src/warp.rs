@@ -55,11 +55,18 @@ impl Warp {
             warp_idx,
             regs: vec![0u32; usize::from(nregs) * 32],
             preds: [0; 8],
-            stack: vec![StackEntry {
-                mask: active,
-                pc: 0,
-                reconv: u32::MAX,
-            }],
+            stack: {
+                // Preallocate typical divergence depth so the interpreter
+                // hot path never grows the stack (each divergence pushes two
+                // entries); deeper nesting still works, it just reallocates.
+                let mut stack = Vec::with_capacity(16);
+                stack.push(StackEntry {
+                    mask: active,
+                    pc: 0,
+                    reconv: u32::MAX,
+                });
+                stack
+            },
             live: active,
             ready_at,
             state: WarpState::Ready,

@@ -1,0 +1,136 @@
+//! Proves the no-fault execution hot path performs **zero heap
+//! allocations** per instruction: a counting global allocator observes the
+//! `step_warp` interpreter loop over compute, global-memory and atomic
+//! instructions.
+//!
+//! This is the regression fence for the inline-buffer rework ([`StepEffect`]
+//! carrying `TxBuf`/`LaneAddrs` instead of `Vec`s) — any reintroduction of a
+//! per-instruction allocation fails this test loudly.
+
+use higpu_sim::block::BlockDims;
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::exec::{step_warp, ExecCtx, StepEffect};
+use higpu_sim::fault::NoFaults;
+use higpu_sim::kernel::{Dim3, KernelId};
+use higpu_sim::warp::{Warp, WarpState};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocations.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A kernel exercising every hot instruction family: ALU, FMA, SFU,
+/// divergent control flow, global loads/stores and a global atomic.
+fn hot_kernel() -> std::sync::Arc<higpu_sim::program::Program> {
+    let mut b = KernelBuilder::new("hot");
+    let base = b.param(0);
+    let tid = b.special(higpu_sim::isa::SpecialReg::TidX);
+    let addr = b.addr_w(base, tid);
+    let v = b.ldg(addr, 0);
+    let fv = b.i2f(v);
+    let mut acc = b.fmul(fv, 1.5f32);
+    for _ in 0..4 {
+        acc = b.ffma(acc, 0.5f32, 2.25f32);
+    }
+    let s = b.fsqrt(acc);
+    let p = b.isetp(higpu_sim::isa::CmpOp::Lt, tid, 16u32);
+    b.if_else(
+        p,
+        |b| {
+            b.stg(addr, 0, tid);
+        },
+        |b| {
+            let one = b.mov(1u32);
+            let _ = b.atom_add(base, 0, one);
+        },
+    );
+    let back = b.f2i(s);
+    b.stg(addr, 128, back);
+    b.build().expect("valid").into_shared()
+}
+
+#[test]
+fn no_fault_hot_path_is_allocation_free() {
+    let prog = hot_kernel();
+    let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
+    let mut global = vec![0u8; 64 * 1024];
+    let mut shared = vec![0u8; 1024];
+    let mut oob = 0u64;
+    let mut dirty = 0u32;
+    let mut hook = NoFaults;
+    let dims = BlockDims {
+        ctaid: (0, 0, 0),
+        ntid: Dim3::x(32),
+        nctaid: Dim3::x(1),
+    };
+
+    // Warm up nothing — count every allocation across the whole interpreter
+    // loop, including the effects the SM would consume.
+    let mut instrs = 0u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    while warp.state == WarpState::Ready {
+        let mut ctx = ExecCtx {
+            global_mem: &mut global,
+            shared_mem: &mut shared,
+            params: &[0],
+            dims,
+            sm_id: 0,
+            cycle: instrs,
+            kernel: KernelId(0),
+            block: 0,
+            fault: &mut hook,
+            fault_enabled: false,
+            oob_accesses: &mut oob,
+            global_dirty: &mut dirty,
+        };
+        let effect = step_warp(&mut warp, prog.instrs(), &mut ctx);
+        // Consume memory effects the way the SM does (slice views only).
+        match &effect {
+            StepEffect::GlobalMem { txs } => {
+                assert!(!txs.as_slice().is_empty());
+            }
+            StepEffect::Atomic { addrs } => {
+                assert!(!addrs.as_slice().is_empty());
+            }
+            _ => {}
+        }
+        if effect == StepEffect::Finished {
+            break;
+        }
+        instrs += 1;
+        assert!(instrs < 10_000, "runaway program");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(instrs > 10, "kernel must actually execute: {instrs}");
+    assert_eq!(oob, 0, "test kernel stays in bounds");
+    assert_eq!(
+        after - before,
+        0,
+        "no-fault interpreter loop must not allocate ({} allocations over {} instructions)",
+        after - before,
+        instrs
+    );
+    assert!(dirty > 0, "stores must raise the dirty high-water mark");
+}

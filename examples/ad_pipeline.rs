@@ -69,6 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(analysis.fits(ftti), "frame must complete within the FTTI");
     }
-    println!("\nall frames fail-operational within the {} ms FTTI", ftti.to_ms(1.4));
+    println!(
+        "\nall frames fail-operational within the {} ms FTTI",
+        ftti.to_ms(1.4)
+    );
     Ok(())
 }

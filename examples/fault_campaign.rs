@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("policy        fault          detected  masked  UNDETECTED");
     let mut srrs_evidence = None;
-    for mode in [RedundancyMode::Uncontrolled, RedundancyMode::srrs_default(6)] {
+    for mode in [
+        RedundancyMode::Uncontrolled,
+        RedundancyMode::srrs_default(6),
+    ] {
         for fault in [FaultSpec::Permanent, FaultSpec::Droop { duration: 400 }] {
             let r = run_campaign(&cfg, &mode, fault, &workload)?;
             println!(

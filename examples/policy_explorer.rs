@@ -18,8 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (default_cycles, _) =
             fig4::measure(&cfg, bench.as_ref(), RedundancyMode::Uncontrolled)?;
         let (half_cycles, _) = fig4::measure(&cfg, bench.as_ref(), RedundancyMode::Half)?;
-        let (srrs_cycles, _) =
-            fig4::measure(&cfg, bench.as_ref(), RedundancyMode::srrs_default(cfg.num_sms))?;
+        let (srrs_cycles, _) = fig4::measure(
+            &cfg,
+            bench.as_ref(),
+            RedundancyMode::srrs_default(cfg.num_sms),
+        )?;
         let half = half_cycles as f64 / default_cycles as f64;
         let srrs = srrs_cycles as f64 / default_cycles as f64;
         let chosen = match policy {

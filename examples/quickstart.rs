@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match exec.read_compare_f32(&out_buf, n as usize)? {
         Comparison::Match(out) => {
-            println!("replicas agree; out[10] = {} (expected {})", out[10], 2.0 * 5.0 + 1.0);
+            println!(
+                "replicas agree; out[10] = {} (expected {})",
+                out[10],
+                2.0 * 5.0 + 1.0
+            );
         }
         Comparison::Mismatch { first_word, .. } => {
             println!("FAULT DETECTED at word {first_word} — re-execution required");

@@ -3,8 +3,8 @@
 
 use higpu::rodinia::{
     backprop::Backprop, bfs::Bfs, cfd::Cfd, dwt2d::Dwt2d, gaussian::Gaussian, hotspot::Hotspot,
-    hotspot3d::Hotspot3d, kmeans::Kmeans, leukocyte::Leukocyte, lud::Lud, myocyte::Myocyte,
-    nn::Nn, nw::Nw, pathfinder::Pathfinder, srad::Srad, streamcluster::Streamcluster, Benchmark,
+    hotspot3d::Hotspot3d, kmeans::Kmeans, leukocyte::Leukocyte, lud::Lud, myocyte::Myocyte, nn::Nn,
+    nw::Nw, pathfinder::Pathfinder, srad::Srad, streamcluster::Streamcluster, Benchmark,
 };
 
 /// Every benchmark at a size that completes in well under a second.

@@ -19,7 +19,8 @@ fn redundancy_is_never_free_but_fixed_costs_are_not_duplicated() {
             bench.name()
         );
         assert_eq!(
-            base.breakdown.fixed_ms, red.breakdown.fixed_ms,
+            base.breakdown.fixed_ms,
+            red.breakdown.fixed_ms,
             "{}: fixed host cost is incurred once in both variants",
             bench.name()
         );

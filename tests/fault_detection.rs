@@ -72,8 +72,8 @@ fn specific_permanent_fault_is_detected_by_srrs_and_missed_by_default() {
     .expect("trial");
     assert_eq!(srrs, TrialOutcome::Detected, "SRRS: different SMs per copy");
 
-    let default = run_trial(&cfg(1), &RedundancyMode::Uncontrolled, &workload(), fault)
-        .expect("trial");
+    let default =
+        run_trial(&cfg(1), &RedundancyMode::Uncontrolled, &workload(), fault).expect("trial");
     assert_eq!(
         default,
         TrialOutcome::UndetectedFailure,
