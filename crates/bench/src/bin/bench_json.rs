@@ -2,17 +2,26 @@
 //!
 //! Runs the acceptance measurement of the parallel fault-campaign engine —
 //! a 1000-trial transient campaign on `IteratedFma` — through the serial
-//! reference engine and the worker pool at several widths, then writes a
-//! JSON document so the perf trajectory is tracked PR over PR.
+//! reference engine and the worker pool at several widths, plus a campaign
+//! matrix sweep over the unified workload registry (workload × policy ×
+//! fault), then writes one JSON document so both the perf trajectory and
+//! the coverage matrix are tracked PR over PR.
 //!
 //! ```text
-//! bench_json [--trials N] [--seed S] [--workers 1,2,4,8] [--out PATH]
+//! bench_json [--trials N] [--seed S] [--workers 1,2,4,8]
+//!            [--matrix-trials N] [--no-matrix] [--out PATH]
 //! ```
 
 use higpu_bench::campaign_perf::{measure, ThroughputConfig};
+use higpu_bench::matrix::{bench_document, full_registry, run_matrix, MatrixConfig};
 use std::process::ExitCode;
 
-fn parse_args(cfg: &mut ThroughputConfig, out: &mut String) -> Result<(), String> {
+fn parse_args(
+    cfg: &mut ThroughputConfig,
+    matrix_trials: &mut Option<u32>,
+    no_matrix: &mut bool,
+    out: &mut String,
+) -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -40,6 +49,14 @@ fn parse_args(cfg: &mut ThroughputConfig, out: &mut String) -> Result<(), String
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--matrix-trials" => {
+                *matrix_trials = Some(
+                    value("--matrix-trials")?
+                        .parse()
+                        .map_err(|e| format!("--matrix-trials: {e}"))?,
+                );
+            }
+            "--no-matrix" => *no_matrix = true,
             "--out" => *out = value("--out")?,
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -49,11 +66,24 @@ fn parse_args(cfg: &mut ThroughputConfig, out: &mut String) -> Result<(), String
 
 fn main() -> ExitCode {
     let mut cfg = ThroughputConfig::default();
+    let mut matrix_trials: Option<u32> = None;
+    let mut no_matrix = false;
     let mut out = "BENCH_campaign.json".to_string();
-    if let Err(e) = parse_args(&mut cfg, &mut out) {
+    if let Err(e) = parse_args(&mut cfg, &mut matrix_trials, &mut no_matrix, &mut out) {
         eprintln!("bench_json: {e}");
         return ExitCode::FAILURE;
     }
+    if no_matrix && matrix_trials.is_some() {
+        eprintln!("bench_json: --no-matrix contradicts --matrix-trials");
+        return ExitCode::FAILURE;
+    }
+    let matrix_cfg = (!no_matrix).then(|| {
+        let mut mc = MatrixConfig::default();
+        if let Some(trials) = matrix_trials {
+            mc.trials = trials;
+        }
+        mc
+    });
     let result = match measure(&cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -62,7 +92,27 @@ fn main() -> ExitCode {
         }
     };
     print!("{}", result.to_table());
-    let json = result.to_json();
+    let matrix = match matrix_cfg {
+        Some(mc) => match run_matrix(&full_registry(), &mc) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("bench_json: matrix sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if let Some(m) = &matrix {
+        println!(
+            "campaign matrix: {} cells, undetected under SRRS/HALF: {}",
+            m.reports.len(),
+            m.undetected_under_diverse_policies()
+        );
+    }
+    let json = match &matrix {
+        Some(m) => bench_document(&result, m),
+        None => result.to_json(),
+    };
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_json: cannot write {out}: {e}");
         return ExitCode::FAILURE;

@@ -99,6 +99,13 @@ impl ThroughputResult {
 
     /// Renders the result as a self-contained JSON document.
     pub fn to_json(&self) -> String {
+        self.to_json_with_extra(&[])
+    }
+
+    /// Renders the JSON document with extra top-level `(key, json-value)`
+    /// sections appended — e.g. the campaign matrix
+    /// (`higpu_bench::matrix::bench_document`).
+    pub fn to_json_with_extra(&self, extra: &[(&str, &str)]) -> String {
         let sample = |s: &EngineSample| {
             format!(
                 "{{\"workers\": {}, \"seconds\": {:.4}, \"trials_per_sec\": {:.2}, \
@@ -108,6 +115,10 @@ impl ThroughputResult {
         };
         let parallel: Vec<String> = self.parallel.iter().map(&sample).collect();
         let best = self.best();
+        let extra: String = extra
+            .iter()
+            .map(|(key, value)| format!(",\n  \"{key}\": {value}"))
+            .collect();
         format!(
             "{{\n  \"bench\": \"campaign_throughput\",\n  \"workload\": \"{}\",\n  \
              \"fault\": \"{}\",\n  \"trials\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \
@@ -115,7 +126,7 @@ impl ThroughputResult {
              \"serial\": {},\n  \"parallel\": [\n    {}\n  ],\n  \
              \"best\": {{\"workers\": {}, \"speedup_vs_serial\": {:.3}}},\n  \
              \"report\": {{\"not_activated\": {}, \"masked\": {}, \"detected\": {}, \
-             \"undetected\": {}}}\n}}\n",
+             \"undetected\": {}}}{}\n}}\n",
             self.workload,
             self.fault,
             self.trials,
@@ -131,6 +142,7 @@ impl ThroughputResult {
             self.report.masked,
             self.report.detected,
             self.report.undetected,
+            extra,
         )
     }
 

@@ -10,8 +10,11 @@
 //!   per-kernel policy recommendation;
 //! * [`coverage`] — fault-injection detection coverage per policy (the
 //!   quantified safety argument);
+//! * [`matrix`] — the campaign matrix: coverage campaigns swept over
+//!   {workload × fault model × scheduler policy} through the unified
+//!   workload registry (full Rodinia suite included);
 //! * [`campaign_perf`] — campaign-engine throughput tracking (serial vs
-//!   parallel, recorded in `BENCH_campaign.json`);
+//!   parallel, recorded in `BENCH_campaign.json` together with the matrix);
 //! * [`table`] — plain-text/CSV rendering helpers shared by the binaries.
 
 #![warn(missing_docs)]
@@ -22,4 +25,5 @@ pub mod coverage;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod matrix;
 pub mod table;

@@ -1,0 +1,262 @@
+//! The campaign matrix: fault-injection campaigns swept over
+//! {workload × fault model × scheduler policy}, resolved through the
+//! unified workload registry — the paper's coverage argument (Fig. 3/4
+//! territory) extended from one synthetic workload to the full Rodinia
+//! suite.
+
+use crate::campaign_perf::ThroughputResult;
+use higpu_core::policy::PolicyKind;
+use higpu_faults::campaign::{
+    run_campaign_selected, run_campaign_selected_serial, CampaignConfig, CampaignError,
+    CampaignReport, CampaignSpec, FaultSpec,
+};
+use higpu_workloads::{Scale, WorkloadRegistry};
+
+/// The registry every sweep resolves workloads from: the synthetic
+/// workloads plus all Rodinia benchmarks.
+pub fn full_registry() -> WorkloadRegistry {
+    let mut reg = WorkloadRegistry::new();
+    higpu_workloads::synthetic::register(&mut reg);
+    higpu_rodinia::register_all(&mut reg);
+    reg
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Injection trials per (workload, policy, fault) cell.
+    pub trials: u32,
+    /// Campaign seed (each cell is fully reproducible).
+    pub seed: u64,
+    /// Workload names to sweep; empty = every registered workload.
+    pub workloads: Vec<String>,
+    /// Scheduler policies to sweep.
+    pub policies: Vec<PolicyKind>,
+    /// Fault families to sweep.
+    pub faults: Vec<FaultSpec>,
+    /// Input scale built per workload.
+    pub scale: Scale,
+    /// Worker threads per campaign (0 = auto; see
+    /// [`CampaignConfig::resolved_workers`]).
+    pub workers: usize,
+    /// Also run the serial reference engine per cell and assert the
+    /// parallel report bit-identical (slower; the determinism fence).
+    pub check_serial: bool,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        Self {
+            trials: 6,
+            seed: 0x0DD5EED,
+            workloads: Vec::new(),
+            policies: PolicyKind::all().to_vec(),
+            faults: vec![FaultSpec::Transient { duration: 400 }, FaultSpec::Permanent],
+            scale: Scale::Campaign,
+            workers: 0,
+            check_serial: false,
+        }
+    }
+}
+
+/// Results of one sweep.
+#[derive(Debug, Clone)]
+pub struct MatrixResult {
+    /// Trials per cell.
+    pub trials: u32,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Scale label (`campaign` / `full`).
+    pub scale: &'static str,
+    /// One report per (workload, policy, fault) cell, in sweep order.
+    pub reports: Vec<CampaignReport>,
+}
+
+impl MatrixResult {
+    /// Total undetected failures across cells whose policy guarantees
+    /// diversity (the paper's ASIL-D claim requires this to be 0).
+    pub fn undetected_under_diverse_policies(&self) -> u32 {
+        let diverse_labels: Vec<&str> = PolicyKind::all()
+            .into_iter()
+            .filter(|p| p.guarantees_diversity())
+            .map(PolicyKind::label)
+            .collect();
+        self.reports
+            .iter()
+            .filter(|r| diverse_labels.contains(&r.policy.as_str()))
+            .map(|r| r.undetected)
+            .sum()
+    }
+
+    /// Renders the matrix as rows for [`crate::table`].
+    pub fn to_table(&self) -> Vec<Vec<String>> {
+        let mut out = vec![vec![
+            "workload".to_string(),
+            "policy".to_string(),
+            "fault".to_string(),
+            "trials".to_string(),
+            "inactive".to_string(),
+            "masked".to_string(),
+            "detected".to_string(),
+            "UNDETECTED".to_string(),
+            "coverage".to_string(),
+        ]];
+        for r in &self.reports {
+            out.push(vec![
+                r.workload.clone(),
+                r.policy.clone(),
+                r.fault.to_string(),
+                r.trials.to_string(),
+                r.not_activated.to_string(),
+                r.masked.to_string(),
+                r.detected.to_string(),
+                r.undetected.to_string(),
+                r.coverage()
+                    .map_or("n/a".to_string(), |c| format!("{:.0}%", c * 100.0)),
+            ]);
+        }
+        out
+    }
+
+    /// Renders the matrix as a JSON value (an object with sweep metadata
+    /// and one entry per cell).
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"workload\": \"{}\", \"policy\": \"{}\", \"fault\": \"{}\", \
+                     \"trials\": {}, \"not_activated\": {}, \"masked\": {}, \
+                     \"detected\": {}, \"undetected\": {}, \"coverage\": {}}}",
+                    r.workload,
+                    r.policy,
+                    r.fault,
+                    r.trials,
+                    r.not_activated,
+                    r.masked,
+                    r.detected,
+                    r.undetected,
+                    r.coverage()
+                        .map_or("null".to_string(), |c| format!("{c:.4}")),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n    \"trials_per_cell\": {},\n    \"seed\": {},\n    \"scale\": \"{}\",\n    \
+             \"undetected_under_diverse_policies\": {},\n    \"cells\": [\n      {}\n    ]\n  }}",
+            self.trials,
+            self.seed,
+            self.scale,
+            self.undetected_under_diverse_policies(),
+            cells.join(",\n      "),
+        )
+    }
+}
+
+/// Runs the sweep: one parallel campaign per (workload, policy, fault)
+/// cell, all resolved through `reg`.
+///
+/// # Errors
+///
+/// [`CampaignError::UnknownWorkload`] when `cfg.workloads` names an
+/// unregistered workload; otherwise propagates campaign errors.
+///
+/// # Panics
+///
+/// With `cfg.check_serial`, panics if any parallel report differs from the
+/// serial reference — a determinism bug, not a measurement.
+pub fn run_matrix(
+    reg: &WorkloadRegistry,
+    cfg: &MatrixConfig,
+) -> Result<MatrixResult, CampaignError> {
+    let names: Vec<String> = if cfg.workloads.is_empty() {
+        reg.names().iter().map(|n| n.to_string()).collect()
+    } else {
+        cfg.workloads.clone()
+    };
+    let campaign = CampaignConfig {
+        trials: cfg.trials,
+        seed: cfg.seed,
+        workers: cfg.workers,
+        ..CampaignConfig::default()
+    };
+    let mut reports = Vec::with_capacity(names.len() * cfg.policies.len() * cfg.faults.len());
+    for name in &names {
+        for &policy in &cfg.policies {
+            for &fault in &cfg.faults {
+                let spec = CampaignSpec {
+                    workload: name.clone(),
+                    scale: cfg.scale,
+                    policy,
+                    fault,
+                };
+                let report = run_campaign_selected(&campaign, reg, &spec)?;
+                if cfg.check_serial {
+                    let serial = run_campaign_selected_serial(&campaign, reg, &spec)?;
+                    assert_eq!(
+                        report, serial,
+                        "parallel report must be bit-identical to the serial reference \
+                         for {name} under {policy:?}/{fault:?}"
+                    );
+                }
+                reports.push(report);
+            }
+        }
+    }
+    Ok(MatrixResult {
+        trials: cfg.trials,
+        seed: cfg.seed,
+        scale: cfg.scale.label(),
+        reports,
+    })
+}
+
+/// Renders the combined `BENCH_campaign.json` document: engine throughput
+/// plus the campaign matrix.
+pub fn bench_document(throughput: &ThroughputResult, matrix: &MatrixResult) -> String {
+    throughput.to_json_with_extra(&[("matrix", &matrix.to_json())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matrix_sweeps_and_renders() {
+        let reg = full_registry();
+        assert!(reg.len() >= 17, "synthetic + 16 Rodinia");
+        let cfg = MatrixConfig {
+            trials: 2,
+            workloads: vec!["iterated_fma".into(), "nn".into()],
+            policies: vec![PolicyKind::Srrs, PolicyKind::Half],
+            faults: vec![FaultSpec::Permanent],
+            check_serial: true,
+            ..MatrixConfig::default()
+        };
+        let m = run_matrix(&reg, &cfg).expect("sweep");
+        assert_eq!(m.reports.len(), 4, "2 workloads x 2 policies x 1 fault");
+        assert_eq!(m.undetected_under_diverse_policies(), 0);
+        let table = m.to_table();
+        assert_eq!(table.len(), 5, "header + 4 rows");
+        let json = m.to_json();
+        assert!(json.contains("\"workload\": \"nn\""));
+        assert!(json.contains("\"cells\""));
+    }
+
+    #[test]
+    fn unknown_workload_is_reported() {
+        let reg = full_registry();
+        let cfg = MatrixConfig {
+            trials: 1,
+            workloads: vec!["nope".into()],
+            policies: vec![PolicyKind::Srrs],
+            faults: vec![FaultSpec::Permanent],
+            ..MatrixConfig::default()
+        };
+        assert!(matches!(
+            run_matrix(&reg, &cfg),
+            Err(CampaignError::UnknownWorkload(_))
+        ));
+    }
+}

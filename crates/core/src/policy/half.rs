@@ -102,10 +102,10 @@ mod tests {
     fn kernel(id: u64, blocks: u32, partition: Option<SmPartition>) -> KernelSnapshot {
         KernelSnapshot {
             id: KernelId(id),
-            attrs: LaunchAttrs {
+            attrs: std::sync::Arc::new(LaunchAttrs {
                 partition,
                 ..Default::default()
-            },
+            }),
             arrival: 0,
             blocks_total: blocks,
             blocks_issued: 0,

@@ -106,10 +106,10 @@ mod tests {
     fn kernel(id: u64, blocks: u32, start_sm: Option<usize>) -> KernelSnapshot {
         KernelSnapshot {
             id: KernelId(id),
-            attrs: LaunchAttrs {
+            attrs: std::sync::Arc::new(LaunchAttrs {
                 start_sm,
                 ..Default::default()
-            },
+            }),
             arrival: 0,
             blocks_total: blocks,
             blocks_issued: 0,

@@ -278,6 +278,13 @@ impl<'g> RedundantExecutor<'g> {
         self.gpu
     }
 
+    /// Mutable access to the executing GPU — for fault injection and
+    /// diagnosis. Writes that bypass the replication protocol void the
+    /// executor's comparison guarantees; production code never needs this.
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        self.gpu
+    }
+
     /// Number of replicas per logical computation.
     pub fn replicas(&self) -> u8 {
         self.replicas

@@ -10,8 +10,10 @@
 use crate::meter::{HostMeter, MeteredSession};
 use crate::platform::CotsPlatform;
 use higpu_core::redundancy::{RedundancyMode, RedundantExecutor};
-use higpu_rodinia::harness::{Benchmark, RedundantSession, SessionError, SoloSession};
 use higpu_sim::gpu::Gpu;
+use higpu_workloads::{
+    RedundantSession, Scale, SessionError, SoloSession, Workload as Benchmark, WorkloadRegistry,
+};
 
 /// Decomposition of one end-to-end run into cost sources (milliseconds).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -158,6 +160,26 @@ pub fn run_redundant(
     })
 }
 
+/// Both Fig. 5 series for a registry workload: baseline and
+/// redundant-serialized end-to-end models of the named workload at `scale`.
+/// `None` when the name is not registered.
+///
+/// # Errors
+///
+/// Propagates [`SessionError`] from either run.
+pub fn run_pair_by_name(
+    platform: &CotsPlatform,
+    reg: &WorkloadRegistry,
+    name: &str,
+    scale: Scale,
+) -> Option<Result<(EndToEndResult, EndToEndResult), SessionError>> {
+    let workload = reg.build(name, scale)?;
+    Some(
+        run_baseline(platform, &*workload)
+            .and_then(|base| run_redundant(platform, &*workload).map(|red| (base, red))),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +236,18 @@ mod tests {
         assert_eq!(base.breakdown.compare_ms, 0.0);
         let red = run_redundant(&platform, &nn()).expect("redundant");
         assert!(red.breakdown.compare_ms > 0.0);
+    }
+
+    #[test]
+    fn registry_workload_runs_end_to_end_by_name() {
+        let platform = CotsPlatform::gtx1050ti();
+        let reg = higpu_rodinia::registry();
+        let (base, red) = run_pair_by_name(&platform, &reg, "nn", Scale::Campaign)
+            .expect("registered")
+            .expect("runs");
+        assert_eq!(base.benchmark, "nn");
+        assert_eq!(red.variant, Variant::RedundantSerialized);
+        assert!(red.total_ms() > base.total_ms());
+        assert!(run_pair_by_name(&platform, &reg, "no_such", Scale::Full).is_none());
     }
 }

@@ -2,9 +2,9 @@
 //! copies, API calls) a benchmark generates, independent of the backend it
 //! runs on.
 
-use higpu_rodinia::harness::{BufId, GpuSession, SParam, SessionError};
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{BufId, GpuSession, SParam, SessionError};
 use std::sync::Arc;
 
 /// Host-side activity counters for one benchmark run (logical — i.e. per

@@ -19,18 +19,28 @@
 //!   counts, so the parallel [`run_campaign`] produces a [`CampaignReport`]
 //!   bit-identical to [`run_campaign_serial`] for the same seed, at every
 //!   worker count (enforced by tests).
+//! * **Watchdog-bounded trials** — corruption can send a kernel into a
+//!   runaway loop (e.g. a loop counter's sign bit flipped turns a 16-pass
+//!   loop into a 2³¹-iteration one). Each trial carries a cycle budget
+//!   derived from the workload's fault-free makespan
+//!   ([`watchdog_deadline`]); blowing it is classified as
+//!   [`TrialOutcome::Detected`] — exactly how the DCLS host's deadline
+//!   monitor catches a hung replica within the FTTI (paper Sec. IV).
 
 use crate::injector::{FaultInjector, InjectionCounters};
 use crate::model::FaultModel;
-use crate::workload::RedundantWorkload;
+use crate::workload::{CampaignWorkload, RedundantWorkload};
 use higpu_core::bist::scheduler_bist;
 use higpu_core::diversity::{analyze, DiversityRequirements};
+use higpu_core::policy::PolicyKind;
 use higpu_core::redundancy::{RedundancyError, RedundancyMode, RedundantExecutor};
 use higpu_core::safety_case::DetectionEvidence;
 use higpu_sim::config::GpuConfig;
-use higpu_sim::gpu::Gpu;
+use higpu_sim::gpu::{Gpu, SimError};
+use higpu_workloads::{Scale, WorkloadRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Family of faults a campaign injects; per-trial parameters (time, SM,
@@ -127,6 +137,86 @@ impl CampaignConfig {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
+    }
+}
+
+/// One cell of a campaign sweep: which workload, under which scheduling
+/// policy, hit by which fault family — resolved against a
+/// [`WorkloadRegistry`] instead of a hard-coded workload type, so any
+/// registered benchmark can run in any mode under any policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Registry name of the workload under test.
+    pub workload: String,
+    /// Input scale the factory builds (campaigns default to the small
+    /// fixed grids).
+    pub scale: Scale,
+    /// Scheduling policy of the redundant execution.
+    pub policy: PolicyKind,
+    /// Fault family injected.
+    pub fault: FaultSpec,
+}
+
+impl CampaignSpec {
+    /// Campaign-scale spec for `workload` under `policy`.
+    pub fn new(workload: impl Into<String>, policy: PolicyKind, fault: FaultSpec) -> Self {
+        Self {
+            workload: workload.into(),
+            scale: Scale::Campaign,
+            policy,
+            fault,
+        }
+    }
+
+    /// The redundancy mode this spec's policy requires on a GPU with
+    /// `num_sms` SMs (two replicas; SRRS start SMs maximally separated).
+    pub fn mode(&self, num_sms: usize) -> RedundancyMode {
+        match self.policy {
+            PolicyKind::Default => RedundancyMode::Uncontrolled,
+            PolicyKind::Srrs => RedundancyMode::srrs_default(num_sms),
+            PolicyKind::Half => RedundancyMode::Half,
+        }
+    }
+
+    /// Builds the workload from `reg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::UnknownWorkload`] when the name is not registered.
+    pub fn build_workload(
+        &self,
+        reg: &WorkloadRegistry,
+    ) -> Result<CampaignWorkload, CampaignError> {
+        CampaignWorkload::from_registry(reg, &self.workload, self.scale)
+            .ok_or_else(|| CampaignError::UnknownWorkload(self.workload.clone()))
+    }
+}
+
+/// Errors of registry-driven campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// A trial failed in the redundancy protocol or the device.
+    Redundancy(RedundancyError),
+    /// The spec named a workload absent from the registry.
+    UnknownWorkload(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Redundancy(e) => write!(f, "{e}"),
+            CampaignError::UnknownWorkload(name) => {
+                write!(f, "workload '{name}' is not in the registry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<RedundancyError> for CampaignError {
+    fn from(e: RedundancyError) -> Self {
+        CampaignError::Redundancy(e)
     }
 }
 
@@ -232,6 +322,16 @@ pub fn dry_run_makespan(
     Ok(gpu.trace().makespan().unwrap_or(0))
 }
 
+/// The watchdog budget of one trial: a generous multiple of the workload's
+/// fault-free makespan plus fixed slack. Legitimate corrupted-but-
+/// terminating runs (extra divergence, a few perturbed loop trips) stay far
+/// below it; a runaway loop (counter sign-flip → ~2³¹ iterations) blows it
+/// promptly and is classified as detected by the deadline monitor. Pure
+/// function of the makespan, so serial and parallel engines agree.
+pub fn watchdog_deadline(fault_free_makespan: u64) -> u64 {
+    fault_free_makespan.saturating_mul(8).saturating_add(10_000)
+}
+
 /// Order-independent accumulator of trial outcomes; summing per-worker
 /// accumulators is the campaign's deterministic reduction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -323,12 +423,36 @@ impl CampaignRunner {
         workload: &dyn RedundantWorkload,
         model: FaultModel,
     ) -> Result<TrialOutcome, RedundancyError> {
-        // A trial that errored mid-flight leaves the device non-idle; fall
-        // back to reconstruction so one bad trial cannot poison the next.
+        self.run_trial_with_deadline(mode, workload, model, None)
+    }
+
+    /// Like [`CampaignRunner::run_trial`], with a watchdog cycle budget: if
+    /// the corrupted run has not completed by `deadline` cycles, the trial
+    /// is classified as [`TrialOutcome::Detected`] (the DCLS host's
+    /// deadline monitor catches the hung replica — a timing violation is a
+    /// detection, not an error). Campaign engines pass
+    /// [`watchdog_deadline`] of the fault-free makespan here so no trial
+    /// can stall a campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/protocol errors other than the watchdog cutoff.
+    pub fn run_trial_with_deadline(
+        &mut self,
+        mode: &RedundancyMode,
+        workload: &dyn RedundantWorkload,
+        model: FaultModel,
+        deadline: Option<u64>,
+    ) -> Result<TrialOutcome, RedundancyError> {
+        // A trial that errored mid-flight (e.g. a watchdog cutoff) leaves
+        // the device non-idle; discard the dead in-flight work and rewind
+        // in place — reconstructing the multi-MB image would reintroduce
+        // the very cost the reusable runner exists to avoid.
         if self.gpu.reset().is_err() {
-            self.gpu = Gpu::new(self.cfg.gpu.clone());
+            self.gpu.force_reset();
         }
         let gpu = &mut self.gpu;
+        gpu.set_cycle_limit(deadline);
         let counters = InjectionCounters::shared();
         gpu.set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
 
@@ -365,6 +489,14 @@ impl CampaignRunner {
                 TrialOutcome::UndetectedFailure
             })
         })();
+        // Watchdog cutoff is a *classification*, not a failure: the DCLS
+        // deadline monitor detected a hung replica.
+        let outcome = match outcome {
+            Err(RedundancyError::Sim(SimError::DeadlineExceeded { .. })) => {
+                Ok(TrialOutcome::Detected)
+            }
+            other => other,
+        };
         let stats = self.gpu.stats();
         self.perf.sim_instructions += stats.instructions;
         self.perf.sim_cycles += stats.cycles;
@@ -386,6 +518,37 @@ pub fn run_trial(
     model: FaultModel,
 ) -> Result<TrialOutcome, RedundancyError> {
     CampaignRunner::new(cfg).run_trial(mode, workload, model)
+}
+
+/// Largest chunk one claim may take — bounds the tail imbalance when one
+/// worker's trials happen to run long.
+const MAX_CLAIM: usize = 64;
+
+/// Claims the next chunk of trial indices from the shared cursor.
+///
+/// Guided self-scheduling: each claim takes `remaining / (2 * workers)`
+/// trials (clamped to `1..=MAX_CLAIM`), so claims are large while plenty of
+/// work remains — a handful of atomic operations instead of one per trial —
+/// and shrink toward single trials near the end for a balanced finish.
+/// Chunking only changes *which worker* runs a trial, never the result:
+/// per-trial outcomes are order-independent counts, so the campaign report
+/// stays bit-identical at every worker count.
+fn claim_chunk(next: &AtomicUsize, total: usize, workers: usize) -> Option<std::ops::Range<usize>> {
+    loop {
+        let cur = next.load(Ordering::Relaxed);
+        if cur >= total {
+            return None;
+        }
+        let remaining = total - cur;
+        let chunk = (remaining / (2 * workers.max(1))).clamp(1, MAX_CLAIM);
+        if next
+            .compare_exchange_weak(cur, cur + chunk, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return Some(cur..cur + chunk);
+        }
+        // Lost the race; re-read the cursor and retry.
+    }
 }
 
 fn empty_report(
@@ -428,10 +591,13 @@ pub fn run_campaign_serial(
     workload: &dyn RedundantWorkload,
 ) -> Result<CampaignReport, RedundancyError> {
     let window_end = dry_run_makespan(cfg, mode, workload)?;
+    let deadline = Some(watchdog_deadline(window_end));
     let models = draw_models(cfg, spec, window_end);
     let mut counts = OutcomeCounts::default();
     for model in models {
-        counts.add(run_trial(cfg, mode, workload, model)?);
+        counts.add(
+            CampaignRunner::new(cfg).run_trial_with_deadline(mode, workload, model, deadline)?,
+        );
     }
     Ok(finish_report(
         empty_report(cfg, mode, spec, workload),
@@ -459,6 +625,7 @@ pub fn run_campaign_with_perf(
     workload: &dyn RedundantWorkload,
 ) -> Result<(CampaignReport, CampaignPerf), RedundancyError> {
     let window_end = dry_run_makespan(cfg, mode, workload)?;
+    let deadline = Some(watchdog_deadline(window_end));
     let models = draw_models(cfg, spec, window_end);
     let report = empty_report(cfg, mode, spec, workload);
     let workers = cfg.resolved_workers().min(models.len()).max(1);
@@ -468,15 +635,17 @@ pub fn run_campaign_with_perf(
         let mut runner = CampaignRunner::new(cfg);
         let mut counts = OutcomeCounts::default();
         for model in models {
-            counts.add(runner.run_trial(mode, workload, model)?);
+            counts.add(runner.run_trial_with_deadline(mode, workload, model, deadline)?);
         }
         return Ok((finish_report(report, counts), runner.perf()));
     }
 
-    // Worker pool over pre-drawn models: a shared atomic cursor hands out
-    // trial indices; each worker accumulates order-independent counts. The
-    // abort flag stops surviving workers promptly once any trial errors
-    // (the run is doomed either way, so skipped trials are unobservable).
+    // Worker pool over pre-drawn models: a shared cursor hands out *chunks*
+    // of trial indices (guided self-scheduling, see [`claim_chunk`]) so
+    // sub-millisecond trials do not serialize on one atomic operation per
+    // trial; each worker accumulates order-independent counts. The abort
+    // flag stops surviving workers promptly once any trial errors (the run
+    // is doomed either way, so skipped trials are unobservable).
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let results: Vec<Result<(OutcomeCounts, CampaignPerf), (usize, RedundancyError)>> =
@@ -489,14 +658,22 @@ pub fn run_campaign_with_perf(
                     scope.spawn(move || {
                         let mut runner = CampaignRunner::new(cfg);
                         let mut counts = OutcomeCounts::default();
-                        while !abort.load(Ordering::Relaxed) {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&model) = models.get(i) else { break };
-                            match runner.run_trial(mode, workload, model) {
-                                Ok(outcome) => counts.add(outcome),
-                                Err(e) => {
-                                    abort.store(true, Ordering::Relaxed);
-                                    return Err((i, e));
+                        'claims: while !abort.load(Ordering::Relaxed) {
+                            let Some(range) = claim_chunk(next, models.len(), workers) else {
+                                break;
+                            };
+                            for i in range {
+                                if abort.load(Ordering::Relaxed) {
+                                    break 'claims;
+                                }
+                                match runner
+                                    .run_trial_with_deadline(mode, workload, models[i], deadline)
+                                {
+                                    Ok(outcome) => counts.add(outcome),
+                                    Err(e) => {
+                                        abort.store(true, Ordering::Relaxed);
+                                        return Err((i, e));
+                                    }
                                 }
                             }
                         }
@@ -547,6 +724,43 @@ pub fn run_campaign(
     workload: &dyn RedundantWorkload,
 ) -> Result<CampaignReport, RedundancyError> {
     run_campaign_with_perf(cfg, mode, spec, workload).map(|(report, _)| report)
+}
+
+/// Runs a campaign described by a [`CampaignSpec`], resolving the workload
+/// from `reg`: any registered workload, in redundant mode, under any
+/// scheduler policy. Parallelized (see [`run_campaign_with_perf`] for the
+/// determinism contract).
+///
+/// # Errors
+///
+/// [`CampaignError::UnknownWorkload`] for unregistered names; otherwise
+/// propagates workload/protocol errors from any trial.
+pub fn run_campaign_selected(
+    cfg: &CampaignConfig,
+    reg: &WorkloadRegistry,
+    spec: &CampaignSpec,
+) -> Result<CampaignReport, CampaignError> {
+    let workload = spec.build_workload(reg)?;
+    let mode = spec.mode(cfg.gpu.num_sms);
+    Ok(run_campaign(cfg, &mode, spec.fault, &workload)?)
+}
+
+/// Serial reference form of [`run_campaign_selected`] (one fresh device per
+/// trial, trials in draw order) — the oracle the parallel engine is checked
+/// against.
+///
+/// # Errors
+///
+/// [`CampaignError::UnknownWorkload`] for unregistered names; otherwise
+/// propagates workload/protocol errors from any trial.
+pub fn run_campaign_selected_serial(
+    cfg: &CampaignConfig,
+    reg: &WorkloadRegistry,
+    spec: &CampaignSpec,
+) -> Result<CampaignReport, CampaignError> {
+    let workload = spec.build_workload(reg)?;
+    let mode = spec.mode(cfg.gpu.num_sms);
+    Ok(run_campaign_serial(cfg, &mode, spec.fault, &workload)?)
 }
 
 #[cfg(test)]
@@ -679,6 +893,95 @@ mod tests {
         }
         let perf = runner.perf();
         assert!(perf.sim_instructions > 0 && perf.sim_cycles > 0);
+    }
+
+    #[test]
+    fn blown_watchdog_deadline_classifies_as_detected() {
+        let cfg = small_cfg(1);
+        let mode = RedundancyMode::srrs_default(6);
+        let wl = small_workload();
+        // A fault that never fires: any outcome difference is purely the
+        // watchdog's.
+        let dormant = FaultModel::TransientSm {
+            sm: 0,
+            start: u64::MAX,
+            duration: 1,
+            bit: 0,
+        };
+        let mut runner = CampaignRunner::new(&cfg);
+        let cut = runner
+            .run_trial_with_deadline(&mode, &wl, dormant, Some(1))
+            .expect("cutoff is a classification, not an error");
+        assert_eq!(cut, TrialOutcome::Detected, "deadline monitor detects");
+        let free = runner.run_trial(&mode, &wl, dormant).expect("runs");
+        assert_eq!(free, TrialOutcome::NotActivated, "no watchdog, no fault");
+    }
+
+    #[test]
+    fn watchdog_deadline_scales_with_makespan() {
+        assert_eq!(watchdog_deadline(0), 10_000);
+        assert_eq!(watchdog_deadline(1_000), 18_000);
+        assert_eq!(watchdog_deadline(u64::MAX), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn claim_chunks_cover_every_trial_exactly_once_and_shrink() {
+        let next = AtomicUsize::new(0);
+        let total = 500;
+        let workers = 4;
+        let mut covered = vec![0u32; total];
+        let mut sizes = Vec::new();
+        while let Some(range) = claim_chunk(&next, total, workers) {
+            sizes.push(range.len());
+            for i in range {
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "exact cover, no overlap");
+        assert_eq!(sizes.first(), Some(&62), "500 / (2*4) = 62 up front");
+        assert_eq!(sizes.last(), Some(&1), "single trials at the tail");
+        assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "guided chunks never grow: {sizes:?}"
+        );
+        // A huge backlog is capped so no worker hoards the queue.
+        let next = AtomicUsize::new(0);
+        let first = claim_chunk(&next, 1_000_000, 1).expect("work");
+        assert_eq!(first.len(), MAX_CLAIM);
+    }
+
+    #[test]
+    fn selected_campaign_resolves_workload_and_policy_from_registry() {
+        let mut reg = WorkloadRegistry::new();
+        higpu_workloads::synthetic::register(&mut reg);
+        let cfg = small_cfg(6);
+        let spec = CampaignSpec::new("iterated_fma", PolicyKind::Srrs, FaultSpec::Permanent);
+        let serial = run_campaign_selected_serial(&cfg, &reg, &spec).expect("serial");
+        let parallel = run_campaign_selected(&cfg, &reg, &spec).expect("parallel");
+        assert_eq!(parallel, serial, "selected engines agree bit-for-bit");
+        assert_eq!(parallel.workload, "iterated_fma");
+        assert_eq!(parallel.policy, "SRRS");
+        assert_eq!(parallel.undetected, 0);
+
+        let unknown = CampaignSpec::new("no_such", PolicyKind::Half, FaultSpec::Permanent);
+        assert_eq!(
+            run_campaign_selected(&cfg, &reg, &unknown).expect_err("unknown"),
+            CampaignError::UnknownWorkload("no_such".into())
+        );
+    }
+
+    #[test]
+    fn spec_policy_maps_to_matching_mode() {
+        let spec = |p| CampaignSpec::new("w", p, FaultSpec::Permanent);
+        assert_eq!(
+            spec(PolicyKind::Default).mode(6),
+            RedundancyMode::Uncontrolled
+        );
+        assert_eq!(
+            spec(PolicyKind::Srrs).mode(6),
+            RedundancyMode::srrs_default(6)
+        );
+        assert_eq!(spec(PolicyKind::Half).mode(6), RedundancyMode::Half);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //!   droops (common-cause faults striking all SMs at once), permanent SM
 //!   stuck-at faults, and kernel-scheduler misrouting;
 //! * [`injector`] — a [`higpu_sim::fault::FaultHook`] applying one model;
-//! * [`workload`] — verifiable redundant workloads for campaigns;
+//! * [`workload`] — adapters running any `higpu_workloads::Workload` (every
+//!   Rodinia benchmark included) redundantly under injection;
 //! * [`campaign`] — randomized multi-trial injection with per-policy
-//!   detection-coverage reports.
+//!   detection-coverage reports; [`campaign::run_campaign_selected`]
+//!   resolves {workload × policy × fault} from the workload registry.
 //!
 //! # Examples
 //!
@@ -53,10 +55,11 @@ pub mod workload;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::campaign::{
-        draw_models, run_campaign, run_campaign_serial, run_campaign_with_perf, run_trial,
-        CampaignConfig, CampaignPerf, CampaignReport, CampaignRunner, FaultSpec, TrialOutcome,
+        draw_models, run_campaign, run_campaign_selected, run_campaign_selected_serial,
+        run_campaign_serial, run_campaign_with_perf, run_trial, CampaignConfig, CampaignError,
+        CampaignPerf, CampaignReport, CampaignRunner, CampaignSpec, FaultSpec, TrialOutcome,
     };
     pub use crate::injector::{FaultInjector, InjectionCounters};
     pub use crate::model::FaultModel;
-    pub use crate::workload::{IteratedFma, RedundantWorkload, WorkloadVerdict};
+    pub use crate::workload::{CampaignWorkload, IteratedFma, RedundantWorkload, WorkloadVerdict};
 }

@@ -1,21 +1,38 @@
-//! Built-in redundant workloads for fault-injection campaigns.
+//! Campaign workloads: adapters classifying any [`Workload`] run under
+//! fault injection.
 //!
 //! A campaign workload runs a complete redundant computation and reports
 //! (a) whether the replicas agreed and (b) whether the agreed output was
-//! actually correct with respect to a host-computed golden reference — the
+//! actually correct with respect to the workload's reference — the
 //! distinction between *detected* faults and *undetected failures*.
+//!
+//! This module used to carry its own workload implementations driving a
+//! [`RedundantExecutor`] by hand; it is now an adapter over the unified
+//! workload layer (`higpu_workloads`), so **any** registered workload —
+//! every Rodinia benchmark included — can run inside a fault campaign.
 
-use higpu_core::redundancy::{Comparison, RParam, RedundancyError, RedundantExecutor};
-use higpu_sim::builder::KernelBuilder;
-use higpu_sim::program::Program;
-use std::sync::Arc;
+use higpu_core::redundancy::{RedundancyError, RedundantExecutor};
+use higpu_workloads::runner::run_redundant;
+use higpu_workloads::{Scale, SessionError, Workload, WorkloadRegistry};
+
+pub use higpu_workloads::synthetic::IteratedFma;
 
 /// Outcome of one redundant workload run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadVerdict {
-    /// Replicas agreed bitwise.
+    /// Replicas agreed bitwise (the DCLS safety mechanism is always an
+    /// exact word-for-word compare).
     pub matched: bool,
-    /// Replica 0's output equalled the golden reference.
+    /// Replica 0's output verified against the workload's reference,
+    /// **under the workload's own tolerance**. This is deliberate: for
+    /// float benchmarks verified with [`higpu_workloads::Tolerance::approx`],
+    /// corruption that stays inside the benchmark's accepted numerical
+    /// envelope is functionally indistinguishable from legitimate rounding
+    /// variation and classifies as *masked*, not as a silent failure.
+    /// Bitwise-deterministic workloads (e.g.
+    /// [`IteratedFma`], integer benchmarks) use
+    /// [`higpu_workloads::Tolerance::Exact`], where any agreed-upon
+    /// corruption is an undetected failure.
     pub correct: bool,
 }
 
@@ -37,114 +54,75 @@ pub trait RedundantWorkload: Sync {
     fn run(&self, exec: &mut RedundantExecutor<'_>) -> Result<WorkloadVerdict, RedundancyError>;
 }
 
-/// An iterated fused-multiply-add over a vector:
-/// `y[i] ← y[i]*0.5 + x[i]`, repeated `iters` times per element.
+/// Runs any session-level [`Workload`] redundantly (mismatch-tolerant, so
+/// the host program completes even when a fault desynchronized the
+/// replicas) and classifies the outcome.
 ///
-/// The iteration count stretches the kernel's execution window so transient
-/// fault windows have something to hit; the arithmetic is bitwise
-/// deterministic so the golden comparison is exact.
-#[derive(Debug, Clone)]
-pub struct IteratedFma {
-    /// Elements.
-    pub n: u32,
-    /// Threads per block.
-    pub threads_per_block: u32,
-    /// FMA iterations per element.
-    pub iters: u32,
-}
-
-impl Default for IteratedFma {
-    fn default() -> Self {
-        Self {
-            n: 1024,
-            threads_per_block: 128,
-            iters: 64,
-        }
-    }
-}
-
-impl IteratedFma {
-    /// Builds the kernel program.
-    pub fn program(&self) -> Arc<Program> {
-        let mut b = KernelBuilder::new("iterated_fma");
-        let x = b.param(0);
-        let y = b.param(1);
-        let n = b.param(2);
-        let i = b.global_tid_x();
-        let in_range = b.isetp(higpu_sim::isa::CmpOp::Lt, i, n);
-        b.if_(in_range, |b| {
-            let xa = b.addr_w(x, i);
-            let ya = b.addr_w(y, i);
-            let xv = b.ldg(xa, 0);
-            let acc = b.ldg(ya, 0);
-            b.for_range(0u32, self.iters, 1u32, |b, _k| {
-                b.ffma_to(acc, acc, 0.5f32, xv);
-            });
-            b.stg(ya, 0, acc);
-        });
-        b.build().expect("well-formed").into_shared()
-    }
-
-    /// Deterministic inputs.
-    pub fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
-        let x: Vec<f32> = (0..self.n).map(|i| (i % 97) as f32 * 0.125 + 1.0).collect();
-        let y: Vec<f32> = (0..self.n).map(|i| (i % 13) as f32 * 0.5).collect();
-        (x, y)
-    }
-
-    /// Host-side golden reference (bitwise identical arithmetic).
-    pub fn golden(&self) -> Vec<f32> {
-        let (x, mut y) = self.inputs();
-        for i in 0..self.n as usize {
-            for _ in 0..self.iters {
-                y[i] = y[i].mul_add(0.5, x[i]);
-            }
-        }
-        y
-    }
-
-    fn grid_blocks(&self) -> u32 {
-        self.n.div_ceil(self.threads_per_block)
+/// # Errors
+///
+/// Propagates device/protocol errors from the workload.
+pub fn classify_redundant_run(
+    workload: &dyn Workload,
+    exec: &mut RedundantExecutor<'_>,
+) -> Result<WorkloadVerdict, RedundancyError> {
+    match run_redundant(exec, workload) {
+        Ok(run) => Ok(WorkloadVerdict {
+            matched: run.matched(),
+            correct: workload.verify(&run.output).is_ok(),
+        }),
+        Err(SessionError::Sim(e)) => Err(RedundancyError::Sim(e)),
+        Err(SessionError::Redundancy(e)) => Err(e),
+        // Tolerant sessions never surface this; treat it as detected-and-
+        // wrong if a custom workload raises it anyway.
+        Err(SessionError::ReplicaMismatch { .. }) => Ok(WorkloadVerdict {
+            matched: false,
+            correct: false,
+        }),
     }
 }
 
 impl RedundantWorkload for IteratedFma {
     fn name(&self) -> &str {
-        "iterated_fma"
+        Workload::name(self)
     }
 
     fn run(&self, exec: &mut RedundantExecutor<'_>) -> Result<WorkloadVerdict, RedundancyError> {
-        let prog = self.program();
-        let (x, y) = self.inputs();
-        let xb = exec.alloc_words(self.n)?;
-        let yb = exec.alloc_words(self.n)?;
-        exec.write_f32(&xb, &x)?;
-        exec.write_f32(&yb, &y)?;
-        exec.launch(
-            &prog,
-            self.grid_blocks(),
-            self.threads_per_block,
-            0,
-            &[RParam::Buf(&xb), RParam::Buf(&yb), RParam::U32(self.n)],
-        )?;
-        exec.sync()?;
-        let golden = self.golden();
-        match exec.read_compare_f32(&yb, self.n as usize)? {
-            Comparison::Match(out) => Ok(WorkloadVerdict {
-                matched: true,
-                correct: out
-                    .iter()
-                    .zip(&golden)
-                    .all(|(a, b)| a.to_bits() == b.to_bits()),
-            }),
-            Comparison::Mismatch { outputs, .. } => Ok(WorkloadVerdict {
-                matched: false,
-                correct: outputs[0]
-                    .iter()
-                    .zip(&golden)
-                    .all(|(a, b)| a.to_bits() == b.to_bits()),
-            }),
-        }
+        classify_redundant_run(self, exec)
+    }
+}
+
+/// Adapter running any boxed [`Workload`] (typically built from a
+/// [`WorkloadRegistry`]) as a campaign workload.
+#[derive(Debug)]
+pub struct CampaignWorkload {
+    inner: Box<dyn Workload>,
+}
+
+impl CampaignWorkload {
+    /// Wraps a workload.
+    pub fn new(inner: Box<dyn Workload>) -> Self {
+        Self { inner }
+    }
+
+    /// Builds the named workload from `reg` at `scale`; `None` for unknown
+    /// names.
+    pub fn from_registry(reg: &WorkloadRegistry, name: &str, scale: Scale) -> Option<Self> {
+        reg.build(name, scale).map(Self::new)
+    }
+
+    /// The wrapped workload.
+    pub fn inner(&self) -> &dyn Workload {
+        &*self.inner
+    }
+}
+
+impl RedundantWorkload for CampaignWorkload {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn run(&self, exec: &mut RedundantExecutor<'_>) -> Result<WorkloadVerdict, RedundancyError> {
+        classify_redundant_run(&*self.inner, exec)
     }
 }
 
@@ -165,25 +143,52 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::paper_6sm());
         let mut exec =
             RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
-        let v = wl.run(&mut exec).expect("runs");
+        let v = RedundantWorkload::run(&wl, &mut exec).expect("runs");
         assert!(v.matched);
         assert!(v.correct, "GPU FMA must equal host mul_add bitwise");
     }
 
     #[test]
-    fn golden_reference_is_deterministic() {
-        let wl = IteratedFma::default();
-        assert_eq!(wl.golden(), wl.golden());
-        assert_eq!(wl.golden().len(), wl.n as usize);
+    fn registry_built_workload_runs_redundantly() {
+        let mut reg = WorkloadRegistry::new();
+        higpu_workloads::synthetic::register(&mut reg);
+        let wl = CampaignWorkload::from_registry(&reg, "iterated_fma", Scale::Campaign)
+            .expect("registered");
+        assert_eq!(RedundantWorkload::name(&wl), "iterated_fma");
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let v = wl.run(&mut exec).expect("runs");
+        assert!(v.matched && v.correct);
     }
 
     #[test]
-    fn grid_covers_all_elements() {
+    fn corrupted_replica_is_classified_as_mismatch() {
+        use crate::injector::{FaultInjector, InjectionCounters};
+        use crate::model::FaultModel;
+        // A permanent stuck-at on SM 0 corrupts different blocks in each
+        // replica (SRRS places the same block on different SMs), so the
+        // replicas must disagree and replica 0's output must be wrong.
         let wl = IteratedFma {
-            n: 100,
-            threads_per_block: 32,
-            iters: 1,
+            n: 256,
+            threads_per_block: 64,
+            iters: 8,
         };
-        assert_eq!(wl.grid_blocks(), 4);
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let counters = InjectionCounters::shared();
+        gpu.set_fault_hook(Box::new(FaultInjector::new(
+            FaultModel::PermanentSm {
+                sm: 0,
+                from_cycle: 0,
+                bit: 30,
+            },
+            counters.clone(),
+        )));
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let v = classify_redundant_run(&wl, &mut exec).expect("runs to completion");
+        assert!(counters.activated(), "the stuck-at must strike");
+        assert!(!v.matched, "replicas diverge under asymmetric corruption");
+        assert!(!v.correct, "replica 0 ran through the faulty SM");
     }
 }

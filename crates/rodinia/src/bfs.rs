@@ -11,6 +11,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// BFS benchmark.
@@ -215,6 +216,28 @@ impl Benchmark for Bfs {
     fn tolerance(&self) -> Tolerance {
         Tolerance::Exact
     }
+}
+
+impl Bfs {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            nodes: 256,
+            extra_degree: 2,
+            threads_per_block: 64,
+            source: 0,
+        }
+    }
+}
+
+/// Registers `bfs` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "bfs", Bfs);
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 const GAMMA: f32 = 1.4;
@@ -260,6 +261,28 @@ impl Benchmark for Cfd {
             abs: 1e-4,
         }
     }
+}
+
+impl Cfd {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            cells: 256,
+            steps: 3,
+            dtdx: 0.1,
+            threads_per_block: 64,
+        }
+    }
+}
+
+/// Registers `cfd` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "cfd", Cfd);
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 const INV_SQRT2: f32 = std::f32::consts::FRAC_1_SQRT_2;
@@ -203,6 +204,26 @@ impl Benchmark for Dwt2d {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+}
+
+impl Dwt2d {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            size: 32,
+            levels: 2,
+        }
+    }
+}
+
+/// Registers `dwt2d` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "dwt2d", Dwt2d);
 }
 
 #[cfg(test)]

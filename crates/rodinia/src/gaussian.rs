@@ -11,6 +11,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// Gaussian elimination benchmark.
@@ -168,6 +169,26 @@ impl Benchmark for Gaussian {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+}
+
+impl Gaussian {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            n: 16,
+            threads_per_block: 32,
+        }
+    }
+}
+
+/// Registers `gaussian` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "gaussian", Gaussian);
 }
 
 #[cfg(test)]

@@ -1,515 +1,17 @@
-//! The benchmark harness: a session abstraction that lets each benchmark's
-//! host program run unchanged in three environments — solo (plain GPU),
-//! redundant (DCLS protocol), or any future backend — plus verification
-//! against CPU references.
+//! The benchmark harness — now a thin façade over the unified workload
+//! layer in `higpu_workloads`.
+//!
+//! Historically this module owned the session abstraction
+//! (`GpuSession`/`SoloSession`/`RedundantSession`) and the `Benchmark`
+//! trait. That machinery was extracted into the `higpu_workloads` crate so
+//! the fault-campaign engine, the COTS end-to-end model and the benches can
+//! all drive the same workload layer; the names are re-exported here
+//! unchanged for existing callers. `Benchmark` is the
+//! [`higpu_workloads::Workload`] trait under its historical name.
 
-use higpu_core::redundancy::{Comparison, RBuf, RParam, RedundancyError, RedundantExecutor};
-use higpu_sim::gpu::{DevPtr, Gpu, SimError};
-use higpu_sim::kernel::{Dim3, KernelLaunch, LaunchConfig};
-use higpu_sim::program::Program;
-use std::fmt;
-use std::sync::Arc;
-
-/// Handle to a logical device buffer owned by a session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BufId(usize);
-
-/// A kernel parameter referencing session buffers.
-#[derive(Debug, Clone, Copy)]
-pub enum SParam {
-    /// Address of a buffer.
-    Buf(BufId),
-    /// Address of a buffer plus a word offset.
-    BufOffset(BufId, u32),
-    /// Raw word.
-    U32(u32),
-    /// Signed integer.
-    I32(i32),
-    /// Float (raw bits).
-    F32(f32),
-}
-
-/// Errors surfaced while running a benchmark.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SessionError {
-    /// Device error.
-    Sim(SimError),
-    /// Redundancy-protocol error.
-    Redundancy(RedundancyError),
-    /// Redundant replicas disagreed on a host-read value (fault detected).
-    ReplicaMismatch {
-        /// Word index of the first disagreement.
-        first_word: usize,
-    },
-}
-
-impl fmt::Display for SessionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SessionError::Sim(e) => write!(f, "device error: {e}"),
-            SessionError::Redundancy(e) => write!(f, "redundancy error: {e}"),
-            SessionError::ReplicaMismatch { first_word } => {
-                write!(f, "replica mismatch at word {first_word}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SessionError {}
-
-impl From<SimError> for SessionError {
-    fn from(e: SimError) -> Self {
-        SessionError::Sim(e)
-    }
-}
-
-impl From<RedundancyError> for SessionError {
-    fn from(e: RedundancyError) -> Self {
-        SessionError::Redundancy(e)
-    }
-}
-
-/// The environment a benchmark's host program runs in.
-///
-/// Benchmarks allocate buffers, upload data, launch kernels (synchronizing
-/// between dependent launches) and read results back — the same five-step
-/// shape as a CUDA host program.
-pub trait GpuSession {
-    /// Allocates a logical buffer of `words` 32-bit words.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SessionError::Sim`] when device memory is exhausted.
-    fn alloc_words(&mut self, words: u32) -> Result<BufId, SessionError>;
-
-    /// Uploads words into a buffer.
-    ///
-    /// # Errors
-    ///
-    /// Propagates backend errors.
-    fn write_u32(&mut self, buf: BufId, data: &[u32]) -> Result<(), SessionError>;
-
-    /// Uploads floats into a buffer.
-    ///
-    /// # Errors
-    ///
-    /// Propagates backend errors.
-    fn write_f32(&mut self, buf: BufId, data: &[f32]) -> Result<(), SessionError>;
-
-    /// Launches a kernel (asynchronously; see [`GpuSession::sync`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates launch errors (e.g. unschedulable geometry).
-    fn launch(
-        &mut self,
-        program: &Arc<Program>,
-        grid: Dim3,
-        block: Dim3,
-        shared_mem_bytes: u32,
-        params: &[SParam],
-    ) -> Result<(), SessionError>;
-
-    /// Waits for all launched kernels to complete.
-    ///
-    /// # Errors
-    ///
-    /// Propagates device stalls.
-    fn sync(&mut self) -> Result<(), SessionError>;
-
-    /// Reads `words` words back (synchronizes first). In redundant sessions
-    /// the replicas are compared; a disagreement is reported as
-    /// [`SessionError::ReplicaMismatch`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates backend errors and replica mismatches.
-    fn read_u32(&mut self, buf: BufId, words: usize) -> Result<Vec<u32>, SessionError>;
-
-    /// Reads `words` floats back (bitwise-compared in redundant sessions).
-    ///
-    /// # Errors
-    ///
-    /// Propagates backend errors and replica mismatches.
-    fn read_f32(&mut self, buf: BufId, words: usize) -> Result<Vec<f32>, SessionError> {
-        Ok(self
-            .read_u32(buf, words)?
-            .into_iter()
-            .map(f32::from_bits)
-            .collect())
-    }
-}
-
-/// Non-redundant session over a plain GPU (baselines, profiling).
-#[derive(Debug)]
-pub struct SoloSession<'g> {
-    gpu: &'g mut Gpu,
-    buffers: Vec<DevPtr>,
-    pending: bool,
-}
-
-impl<'g> SoloSession<'g> {
-    /// Wraps a GPU.
-    pub fn new(gpu: &'g mut Gpu) -> Self {
-        Self {
-            gpu,
-            buffers: Vec::new(),
-            pending: false,
-        }
-    }
-
-    /// The underlying GPU.
-    pub fn gpu(&self) -> &Gpu {
-        self.gpu
-    }
-}
-
-impl GpuSession for SoloSession<'_> {
-    fn alloc_words(&mut self, words: u32) -> Result<BufId, SessionError> {
-        let ptr = self.gpu.alloc_words(words)?;
-        self.buffers.push(ptr);
-        Ok(BufId(self.buffers.len() - 1))
-    }
-
-    fn write_u32(&mut self, buf: BufId, data: &[u32]) -> Result<(), SessionError> {
-        self.gpu.write_u32(self.buffers[buf.0], data);
-        Ok(())
-    }
-
-    fn write_f32(&mut self, buf: BufId, data: &[f32]) -> Result<(), SessionError> {
-        self.gpu.write_f32(self.buffers[buf.0], data);
-        Ok(())
-    }
-
-    fn launch(
-        &mut self,
-        program: &Arc<Program>,
-        grid: Dim3,
-        block: Dim3,
-        shared_mem_bytes: u32,
-        params: &[SParam],
-    ) -> Result<(), SessionError> {
-        let mut cfg = LaunchConfig::new(grid, block).shared_mem(shared_mem_bytes);
-        for p in params {
-            cfg = match *p {
-                SParam::Buf(b) => cfg.param_u32(self.buffers[b.0].0),
-                SParam::BufOffset(b, w) => cfg.param_u32(self.buffers[b.0].offset_words(w).0),
-                SParam::U32(v) => cfg.param_u32(v),
-                SParam::I32(v) => cfg.param_i32(v),
-                SParam::F32(v) => cfg.param_f32(v),
-            };
-        }
-        self.gpu
-            .launch(KernelLaunch::new(program.clone(), cfg).tag(program.name().to_string()))?;
-        self.pending = true;
-        Ok(())
-    }
-
-    fn sync(&mut self) -> Result<(), SessionError> {
-        if self.pending {
-            self.gpu.run_to_idle()?;
-            self.pending = false;
-        }
-        Ok(())
-    }
-
-    fn read_u32(&mut self, buf: BufId, words: usize) -> Result<Vec<u32>, SessionError> {
-        self.sync()?;
-        Ok(self.gpu.read_u32(self.buffers[buf.0], words))
-    }
-}
-
-/// Redundant session: every operation follows the DCLS protocol
-/// (dual allocation, dual copies, dual launches, compare on read-back).
-#[derive(Debug)]
-pub struct RedundantSession<'g, 'e> {
-    exec: &'e mut RedundantExecutor<'g>,
-    buffers: Vec<RBuf>,
-    pending: bool,
-}
-
-impl<'g, 'e> RedundantSession<'g, 'e> {
-    /// Wraps a redundant executor.
-    pub fn new(exec: &'e mut RedundantExecutor<'g>) -> Self {
-        Self {
-            exec,
-            buffers: Vec::new(),
-            pending: false,
-        }
-    }
-}
-
-impl GpuSession for RedundantSession<'_, '_> {
-    fn alloc_words(&mut self, words: u32) -> Result<BufId, SessionError> {
-        let b = self.exec.alloc_words(words)?;
-        self.buffers.push(b);
-        Ok(BufId(self.buffers.len() - 1))
-    }
-
-    fn write_u32(&mut self, buf: BufId, data: &[u32]) -> Result<(), SessionError> {
-        let b = self.buffers[buf.0].clone();
-        self.exec.write_u32(&b, data)?;
-        Ok(())
-    }
-
-    fn write_f32(&mut self, buf: BufId, data: &[f32]) -> Result<(), SessionError> {
-        let b = self.buffers[buf.0].clone();
-        self.exec.write_f32(&b, data)?;
-        Ok(())
-    }
-
-    fn launch(
-        &mut self,
-        program: &Arc<Program>,
-        grid: Dim3,
-        block: Dim3,
-        shared_mem_bytes: u32,
-        params: &[SParam],
-    ) -> Result<(), SessionError> {
-        let owned: Vec<RBuf> = self.buffers.clone();
-        let rparams: Vec<RParam<'_>> = params
-            .iter()
-            .map(|p| match *p {
-                SParam::Buf(b) => RParam::Buf(&owned[b.0]),
-                SParam::BufOffset(b, w) => RParam::BufOffset(&owned[b.0], w),
-                SParam::U32(v) => RParam::U32(v),
-                SParam::I32(v) => RParam::I32(v),
-                SParam::F32(v) => RParam::F32(v),
-            })
-            .collect();
-        self.exec
-            .launch(program, grid, block, shared_mem_bytes, &rparams)?;
-        self.pending = true;
-        Ok(())
-    }
-
-    fn sync(&mut self) -> Result<(), SessionError> {
-        if self.pending {
-            self.exec.sync()?;
-            self.pending = false;
-        }
-        Ok(())
-    }
-
-    fn read_u32(&mut self, buf: BufId, words: usize) -> Result<Vec<u32>, SessionError> {
-        self.sync()?;
-        let b = self.buffers[buf.0].clone();
-        match self.exec.read_compare_u32(&b, words)? {
-            Comparison::Match(v) => Ok(v),
-            Comparison::Mismatch { first_word, .. } => {
-                Err(SessionError::ReplicaMismatch { first_word })
-            }
-        }
-    }
-}
-
-/// Output comparison tolerance for verification against the CPU reference.
-///
-/// Replica-vs-replica comparison is always bitwise (that is the DCLS safety
-/// mechanism); tolerances only apply to GPU-vs-CPU-reference verification,
-/// where accumulation order may legitimately differ (as between CUDA and
-/// C++ in the original Rodinia).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Tolerance {
-    /// Outputs are integers/exact words.
-    Exact,
-    /// Outputs are `f32` values compared with relative/absolute tolerance.
-    Approx {
-        /// Relative tolerance.
-        rel: f32,
-        /// Absolute tolerance.
-        abs: f32,
-    },
-}
-
-impl Tolerance {
-    /// Default float tolerance.
-    pub fn approx() -> Self {
-        Tolerance::Approx {
-            rel: 1e-4,
-            abs: 1e-5,
-        }
-    }
-}
-
-/// A verification failure.
-#[derive(Debug, Clone, PartialEq)]
-pub struct VerifyError {
-    /// First failing word index.
-    pub index: usize,
-    /// Produced word.
-    pub got: u32,
-    /// Expected word.
-    pub expected: u32,
-    /// Total failing words.
-    pub mismatches: usize,
-}
-
-impl fmt::Display for VerifyError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "output differs from reference at word {} (got 0x{:08x}, expected 0x{:08x}; {} total mismatches)",
-            self.index, self.got, self.expected, self.mismatches
-        )
-    }
-}
-
-impl std::error::Error for VerifyError {}
-
-/// Verifies `got` against `expected` under `tol`.
-///
-/// # Errors
-///
-/// Returns the first mismatch (and the mismatch count) on failure.
-pub fn verify_words(got: &[u32], expected: &[u32], tol: Tolerance) -> Result<(), VerifyError> {
-    let mut first: Option<(usize, u32, u32)> = None;
-    let mut mismatches = 0usize;
-    for (i, (&g, &e)) in got.iter().zip(expected.iter()).enumerate() {
-        let ok = match tol {
-            Tolerance::Exact => g == e,
-            Tolerance::Approx { rel, abs } => {
-                let (fg, fe) = (f32::from_bits(g), f32::from_bits(e));
-                if fg.is_nan() && fe.is_nan() {
-                    true
-                } else {
-                    let diff = (fg - fe).abs();
-                    diff <= abs || diff <= rel * fe.abs().max(fg.abs())
-                }
-            }
-        };
-        if !ok {
-            mismatches += 1;
-            if first.is_none() {
-                first = Some((i, g, e));
-            }
-        }
-    }
-    if got.len() != expected.len() {
-        mismatches += got.len().abs_diff(expected.len());
-        if first.is_none() {
-            first = Some((got.len().min(expected.len()), 0, 0));
-        }
-    }
-    match first {
-        None => Ok(()),
-        Some((index, got, expected)) => Err(VerifyError {
-            index,
-            got,
-            expected,
-            mismatches,
-        }),
-    }
-}
-
-/// A Rodinia-style benchmark: deterministic inputs, a GPU host program and a
-/// CPU reference.
-pub trait Benchmark: fmt::Debug + Sync {
-    /// Benchmark name (matches the paper's figures).
-    fn name(&self) -> &'static str;
-
-    /// Runs the host program in `session`; returns the output words.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`SessionError`] from the backend.
-    fn run(&self, session: &mut dyn GpuSession) -> Result<Vec<u32>, SessionError>;
-
-    /// CPU reference output (words).
-    fn reference(&self) -> Vec<u32>;
-
-    /// GPU-vs-reference comparison tolerance.
-    fn tolerance(&self) -> Tolerance;
-
-    /// Verifies a GPU output against the CPU reference.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first mismatch on failure.
-    fn verify(&self, out: &[u32]) -> Result<(), VerifyError> {
-        verify_words(out, &self.reference(), self.tolerance())
-    }
-}
-
-/// Wraps `f32` outputs into words for [`Benchmark::reference`].
-pub fn f32s_to_words(v: &[f32]) -> Vec<u32> {
-    v.iter().map(|x| x.to_bits()).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use higpu_core::redundancy::RedundancyMode;
-    use higpu_sim::builder::KernelBuilder;
-    use higpu_sim::config::GpuConfig;
-
-    fn double_kernel() -> Arc<Program> {
-        let mut b = KernelBuilder::new("double");
-        let buf = b.param(0);
-        let i = b.global_tid_x();
-        let a = b.addr_w(buf, i);
-        let v = b.ldg(a, 0);
-        let d = b.iadd(v, v);
-        b.stg(a, 0, d);
-        b.build().expect("valid").into_shared()
-    }
-
-    #[test]
-    fn solo_and_redundant_sessions_agree() {
-        let prog = double_kernel();
-        let data: Vec<u32> = (0..64).collect();
-
-        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
-        let mut solo = SoloSession::new(&mut gpu);
-        let b = solo.alloc_words(64).expect("alloc");
-        solo.write_u32(b, &data).expect("write");
-        solo.launch(&prog, Dim3::x(2), Dim3::x(32), 0, &[SParam::Buf(b)])
-            .expect("launch");
-        let solo_out = solo.read_u32(b, 64).expect("read");
-
-        let mut gpu2 = Gpu::new(GpuConfig::paper_6sm());
-        let mut exec =
-            RedundantExecutor::new(&mut gpu2, RedundancyMode::srrs_default(6)).expect("mode");
-        let mut red = RedundantSession::new(&mut exec);
-        let b = red.alloc_words(64).expect("alloc");
-        red.write_u32(b, &data).expect("write");
-        red.launch(&prog, Dim3::x(2), Dim3::x(32), 0, &[SParam::Buf(b)])
-            .expect("launch");
-        let red_out = red.read_u32(b, 64).expect("read");
-
-        assert_eq!(solo_out, red_out);
-        assert_eq!(solo_out[5], 10);
-    }
-
-    #[test]
-    fn verify_exact_catches_mismatch() {
-        let got = [1u32, 2, 3];
-        let expected = [1u32, 9, 3];
-        let err = verify_words(&got, &expected, Tolerance::Exact).expect_err("mismatch");
-        assert_eq!(err.index, 1);
-        assert_eq!(err.mismatches, 1);
-    }
-
-    #[test]
-    fn verify_approx_allows_small_drift() {
-        let got = f32s_to_words(&[1.0, 2.00001]);
-        let expected = f32s_to_words(&[1.0, 2.0]);
-        verify_words(&got, &expected, Tolerance::approx()).expect("within tolerance");
-        let far = f32s_to_words(&[1.0, 2.1]);
-        assert!(verify_words(&far, &expected, Tolerance::approx()).is_err());
-    }
-
-    #[test]
-    fn verify_length_mismatch_fails() {
-        let got = [1u32, 2];
-        let expected = [1u32, 2, 3];
-        assert!(verify_words(&got, &expected, Tolerance::Exact).is_err());
-    }
-
-    #[test]
-    fn nan_matches_nan_in_approx_mode() {
-        let got = f32s_to_words(&[f32::NAN]);
-        let expected = f32s_to_words(&[f32::NAN]);
-        verify_words(&got, &expected, Tolerance::approx()).expect("NaN == NaN for verification");
-    }
-}
+pub use higpu_workloads::session::{
+    BufId, GpuSession, RedundantSession, SParam, SessionError, SoloSession,
+};
+pub use higpu_workloads::workload::{
+    f32s_to_words, verify_words, Tolerance, VerifyError, Workload as Benchmark,
+};

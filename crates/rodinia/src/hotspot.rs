@@ -10,6 +10,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// Hotspot benchmark.
@@ -201,6 +202,27 @@ impl Benchmark for Hotspot {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+}
+
+impl Hotspot {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            size: 32,
+            steps: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// Registers `hotspot` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "hotspot", Hotspot);
 }
 
 #[cfg(test)]

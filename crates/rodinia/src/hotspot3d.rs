@@ -10,6 +10,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// Hotspot3D benchmark.
@@ -207,6 +208,28 @@ impl Benchmark for Hotspot3d {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+}
+
+impl Hotspot3d {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            nx: 32,
+            nz: 4,
+            steps: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// Registers `hotspot3D` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "hotspot3D", Hotspot3d);
 }
 
 #[cfg(test)]

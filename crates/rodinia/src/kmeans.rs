@@ -10,6 +10,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// K-means benchmark.
@@ -185,6 +186,29 @@ impl Benchmark for Kmeans {
     fn tolerance(&self) -> Tolerance {
         Tolerance::Exact
     }
+}
+
+impl Kmeans {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            points: 256,
+            features: 4,
+            k: 3,
+            iterations: 2,
+            threads_per_block: 64,
+        }
+    }
+}
+
+/// Registers `kmeans` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "kmeans", Kmeans);
 }
 
 #[cfg(test)]

@@ -29,6 +29,38 @@ pub mod streamcluster;
 
 pub use harness::{Benchmark, GpuSession, RedundantSession, SessionError, SoloSession};
 
+use higpu_workloads::WorkloadRegistry;
+
+/// Registers every Rodinia benchmark in `reg` (name → factory, with
+/// [`higpu_workloads::Scale`] selecting paper-sized or campaign-sized
+/// inputs). The fault-campaign engine, the COTS model and the benches all
+/// select workloads from this one registry.
+pub fn register_all(reg: &mut WorkloadRegistry) {
+    backprop::register(reg);
+    bfs::register(reg);
+    cfd::register(reg);
+    dwt2d::register(reg);
+    gaussian::register(reg);
+    hotspot::register(reg);
+    hotspot3d::register(reg);
+    kmeans::register(reg);
+    leukocyte::register(reg);
+    lud::register(reg);
+    myocyte::register(reg);
+    nn::register(reg);
+    nw::register(reg);
+    pathfinder::register(reg);
+    srad::register(reg);
+    streamcluster::register(reg);
+}
+
+/// A registry holding every Rodinia benchmark.
+pub fn registry() -> WorkloadRegistry {
+    let mut reg = WorkloadRegistry::new();
+    register_all(&mut reg);
+    reg
+}
+
 /// All implemented benchmarks at their default (paper-scaled) sizes.
 pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
     vec![
@@ -75,4 +107,37 @@ pub fn fig4_benchmarks() -> Vec<Box<dyn Benchmark>> {
 /// Looks a benchmark up by its paper name.
 pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
     all_benchmarks().into_iter().find(|b| b.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_workloads::Scale;
+
+    #[test]
+    fn registry_names_match_workload_names_at_both_scales() {
+        let reg = registry();
+        assert_eq!(reg.len(), 16, "every Rodinia benchmark is registered");
+        for e in reg.entries() {
+            for scale in [Scale::Full, Scale::Campaign] {
+                assert_eq!(
+                    e.build(scale).name(),
+                    e.name(),
+                    "registry name must match the workload's own name"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_benchmarks() {
+        let reg = registry();
+        for b in all_benchmarks() {
+            assert!(
+                reg.names().contains(&b.name()),
+                "benchmark {} missing from registry",
+                b.name()
+            );
+        }
+    }
 }

@@ -10,6 +10,7 @@ use crate::harness::{f32s_to_words, Benchmark, GpuSession, SParam, SessionError,
 use higpu_sim::builder::KernelBuilder;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// Myocyte benchmark.
@@ -138,6 +139,28 @@ impl Benchmark for Myocyte {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+}
+
+impl Myocyte {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            cells: 16,
+            threads_per_block: 16,
+            steps: 200,
+            ..Self::default()
+        }
+    }
+}
+
+/// Registers `myocyte` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "myocyte", Myocyte);
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// Pathfinder benchmark.
@@ -130,6 +131,27 @@ impl Benchmark for Pathfinder {
     fn tolerance(&self) -> Tolerance {
         Tolerance::Exact
     }
+}
+
+impl Pathfinder {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            cols: 256,
+            rows: 8,
+            threads_per_block: 64,
+        }
+    }
+}
+
+/// Registers `pathfinder` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "pathfinder", Pathfinder);
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// SRAD benchmark.
@@ -313,6 +314,27 @@ impl Benchmark for Srad {
             abs: 1e-4,
         }
     }
+}
+
+impl Srad {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            size: 32,
+            iterations: 2,
+            lambda: 0.5,
+        }
+    }
+}
+
+/// Registers `srad` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "srad", Srad);
 }
 
 #[cfg(test)]

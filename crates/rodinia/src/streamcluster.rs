@@ -12,6 +12,7 @@ use higpu_sim::builder::KernelBuilder;
 use higpu_sim::isa::CmpOp;
 use higpu_sim::kernel::Dim3;
 use higpu_sim::program::Program;
+use higpu_workloads::{register_scaled, WorkloadRegistry};
 use std::sync::Arc;
 
 /// Streamcluster benchmark.
@@ -152,6 +153,29 @@ impl Benchmark for Streamcluster {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+}
+
+impl Streamcluster {
+    /// Campaign-scale instance: a small fixed grid that keeps per-trial
+    /// makespan and memory tiny (thousands of fault-injection trials must
+    /// fit the campaign's small device image) while still exercising every
+    /// kernel of the benchmark.
+    pub fn campaign() -> Self {
+        Self {
+            points: 256,
+            dims: 4,
+            candidates: 6,
+            rounds: 4,
+            threads_per_block: 64,
+        }
+    }
+}
+
+/// Registers `streamcluster` in the unified workload registry
+/// ([`higpu_workloads::Scale::Full`] = paper size, [`higpu_workloads::Scale::Campaign`] = the small fixed
+/// grid above).
+pub fn register(reg: &mut WorkloadRegistry) {
+    register_scaled!(reg, "streamcluster", Streamcluster);
 }
 
 #[cfg(test)]

@@ -5,10 +5,10 @@
 use crate::block::{BlockDims, BlockState};
 use crate::config::GpuConfig;
 use crate::fault::{FaultHook, NoFaults};
-use crate::kernel::{BlockFootprint, KernelId, KernelLaunch};
+use crate::kernel::{BlockFootprint, KernelId, KernelLaunch, LaunchAttrs};
 use crate::mem::system::MemorySystem;
 use crate::scheduler::{
-    DefaultScheduler, KernelSchedulerPolicy, KernelSnapshot, SchedulerView, SmSnapshot,
+    Assignment, DefaultScheduler, KernelSchedulerPolicy, KernelSnapshot, SchedulerView, SmSnapshot,
 };
 use crate::sm::{BlockCompletion, Sm};
 use crate::stats::SimStats;
@@ -45,6 +45,16 @@ pub enum SimError {
         /// Program name of the offending launch.
         program: String,
     },
+    /// The watchdog cycle limit ([`Gpu::set_cycle_limit`]) elapsed before
+    /// the launched kernels completed. Models the DCLS host's deadline
+    /// monitor: a fault that sends a kernel into a runaway loop is caught
+    /// as a timing violation within the fault-tolerant time interval.
+    DeadlineExceeded {
+        /// Cycle at which the simulation was cut off.
+        cycle: u64,
+        /// The configured limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -68,6 +78,12 @@ impl fmt::Display for SimError {
             SimError::Unschedulable { program } => {
                 write!(f, "kernel '{program}' can never fit on any SM")
             }
+            SimError::DeadlineExceeded { cycle, limit } => {
+                write!(
+                    f,
+                    "watchdog deadline of {limit} cycles exceeded at cycle {cycle}"
+                )
+            }
         }
     }
 }
@@ -89,6 +105,10 @@ impl DevPtr {
 struct KernelRuntime {
     id: KernelId,
     launch: KernelLaunch,
+    /// Launch attributes shared with per-round scheduler snapshots (an
+    /// `Arc` clone instead of a deep `LaunchAttrs` clone keeps the
+    /// scheduling round allocation-free).
+    attrs: Arc<LaunchAttrs>,
     params: Arc<[u32]>,
     footprint: BlockFootprint,
     arrival: u64,
@@ -105,6 +125,19 @@ impl KernelRuntime {
     fn is_finished(&self) -> bool {
         self.blocks_done == self.blocks_total()
     }
+}
+
+/// Reusable buffers of the scheduling round and the cycle loop. Scheduling
+/// rounds are rare next to instructions, but campaigns run millions of them;
+/// keeping the snapshot/assignment vectors warm makes a steady-state round
+/// perform **zero** heap allocations (test-enforced).
+#[derive(Debug, Default)]
+struct SchedScratch {
+    kernels: Vec<KernelSnapshot>,
+    sms: Vec<SmSnapshot>,
+    assignments: Vec<Assignment>,
+    fits: Vec<bool>,
+    completions: Vec<BlockCompletion>,
 }
 
 /// The simulated GPU device.
@@ -151,6 +184,9 @@ pub struct Gpu {
     /// hot path skip all virtual hook calls.
     fault_enabled: bool,
     cycle: u64,
+    /// Watchdog: abort `run_to_idle` past this cycle (see
+    /// [`Gpu::set_cycle_limit`]).
+    cycle_limit: Option<u64>,
     next_dispatch_slot: u64,
     alloc_cursor: u32,
     /// High-water mark of bytes ever written (host transfers and device
@@ -159,6 +195,7 @@ pub struct Gpu {
     next_kernel_id: u64,
     trace: ExecutionTrace,
     sched_dirty: bool,
+    sched: SchedScratch,
     instructions: u64,
     blocks_completed: u64,
 }
@@ -203,12 +240,14 @@ impl Gpu {
             fault: Box::new(NoFaults),
             fault_enabled: false,
             cycle: 0,
+            cycle_limit: None,
             next_dispatch_slot: 0,
             alloc_cursor: 0,
             dirty_hi: 0,
             next_kernel_id: 0,
             trace: ExecutionTrace::new(),
             sched_dirty: false,
+            sched: SchedScratch::default(),
             instructions: 0,
             blocks_completed: 0,
             cfg,
@@ -242,6 +281,19 @@ impl Gpu {
         }
         self.policy = policy;
         Ok(())
+    }
+
+    /// Arms (or with `None` disarms) the watchdog: [`Gpu::run_to_idle`]
+    /// aborts with [`SimError::DeadlineExceeded`] once the clock passes
+    /// `limit` cycles with kernels still in flight.
+    ///
+    /// This is the simulator's form of the DCLS host's deadline monitor
+    /// (paper Sec. IV / FTTI): fault injection can corrupt a loop counter
+    /// into a multi-billion-iteration runaway; the watchdog converts that
+    /// into a promptly *detected* timing violation instead of an unbounded
+    /// simulation. Cleared by [`Gpu::reset`].
+    pub fn set_cycle_limit(&mut self, limit: Option<u64>) {
+        self.cycle_limit = limit;
     }
 
     /// Installs a fault-injection hook (replaces any previous hook).
@@ -315,13 +367,20 @@ impl Gpu {
     /// Rewinds the device to its post-construction state **without
     /// reallocating** the (multi-MB) memory image: bump allocator reset,
     /// dirty memory prefix zeroed, caches flushed, counters and trace
-    /// cleared, fault hook removed, cycle back to 0.
+    /// cleared, fault hook removed, watchdog disarmed, cycle back to 0.
     ///
     /// This is the fast path fault-injection campaigns use to reuse one
     /// device across thousands of trials; a reset device is observationally
-    /// identical to a freshly constructed one, except that the installed
-    /// scheduling policy is kept (with its internal state cleared via
-    /// [`KernelSchedulerPolicy::reset`]).
+    /// identical to a freshly constructed one, with one **explicit
+    /// exception**: the installed scheduling policy object is *retained* —
+    /// its internal state (round-robin cursors, serialization gates) is
+    /// cleared via [`KernelSchedulerPolicy::reset`], but the policy itself
+    /// is not replaced by the default. Campaigns that select a policy per
+    /// trial therefore install it once per trial (e.g. through
+    /// `RedundantExecutor::new`) and can never observe a stale *kind* of
+    /// policy, while stale policy *state* is impossible by construction.
+    /// Asserted by the `reset_retains_installed_policy_and_resets_its_state`
+    /// test.
     ///
     /// # Errors
     ///
@@ -340,6 +399,7 @@ impl Gpu {
         self.policy.reset();
         self.clear_fault_hook();
         self.cycle = 0;
+        self.cycle_limit = None;
         self.next_dispatch_slot = 0;
         self.next_kernel_id = 0;
         self.trace.clear();
@@ -347,6 +407,24 @@ impl Gpu {
         self.instructions = 0;
         self.blocks_completed = 0;
         Ok(())
+    }
+
+    /// Like [`Gpu::reset`], but legal on a non-idle device: in-flight
+    /// kernels and resident blocks are discarded (not completed) first.
+    ///
+    /// This is the watchdog-abort path: when a fault-injection trial is cut
+    /// off by [`SimError::DeadlineExceeded`] its verdict is already final
+    /// and the remaining device state is garbage, so campaigns discard it
+    /// and keep the reusable device instead of reconstructing a fresh
+    /// multi-MB image. A force-reset device is observationally identical to
+    /// a freshly constructed one (the installed policy is retained, exactly
+    /// as with [`Gpu::reset`]).
+    pub fn force_reset(&mut self) {
+        for sm in &mut self.sms {
+            sm.discard_blocks();
+        }
+        self.kernels.clear();
+        self.reset().expect("all in-flight work was discarded");
     }
 
     /// Writes raw bytes to device memory.
@@ -461,9 +539,11 @@ impl Gpu {
             footprint: fp,
         });
         let params: Arc<[u32]> = Arc::from(launch.config.params.clone().into_boxed_slice());
+        let attrs = Arc::new(launch.attrs.clone());
         self.kernels.push(KernelRuntime {
             id,
             launch,
+            attrs,
             params,
             footprint: fp,
             arrival,
@@ -485,37 +565,45 @@ impl Gpu {
 
     /// Runs one scheduling round: consults the policy and dispatches the
     /// committed assignments (subject to fault-hook rerouting).
+    ///
+    /// Snapshot, assignment and fit buffers are scratch reused across
+    /// rounds ([`SchedScratch`]): after warm-up a round performs no heap
+    /// allocations (the kernel attributes are shared via `Arc`, not
+    /// cloned). Enforced by the `scheduler_rounds_are_allocation_free`
+    /// test.
     fn run_scheduler(&mut self) {
-        let kernels: Vec<KernelSnapshot> = self
-            .kernels
-            .iter()
-            .filter(|k| k.arrival <= self.cycle && !k.is_finished())
-            .map(|k| KernelSnapshot {
-                id: k.id,
-                attrs: k.launch.attrs.clone(),
-                arrival: k.arrival,
-                blocks_total: k.blocks_total(),
-                blocks_issued: k.blocks_issued,
-                blocks_done: k.blocks_done,
-                footprint: k.footprint,
-            })
-            .collect();
+        let mut kernels = std::mem::take(&mut self.sched.kernels);
+        kernels.clear();
+        kernels.extend(
+            self.kernels
+                .iter()
+                .filter(|k| k.arrival <= self.cycle && !k.is_finished())
+                .map(|k| KernelSnapshot {
+                    id: k.id,
+                    attrs: k.attrs.clone(),
+                    arrival: k.arrival,
+                    blocks_total: k.blocks_total(),
+                    blocks_issued: k.blocks_issued,
+                    blocks_done: k.blocks_done,
+                    footprint: k.footprint,
+                }),
+        );
         if kernels.is_empty() {
+            self.sched.kernels = kernels;
             return;
         }
-        let sms: Vec<SmSnapshot> = self
-            .sms
-            .iter()
-            .map(|s| SmSnapshot {
-                free: s.free(),
-                resident_blocks: s.resident_blocks() as u32,
-            })
-            .collect();
-        let mut view = SchedulerView::new(self.cycle, kernels, sms);
+        let mut sms = std::mem::take(&mut self.sched.sms);
+        sms.clear();
+        sms.extend(self.sms.iter().map(|s| SmSnapshot {
+            free: s.free(),
+            resident_blocks: s.resident_blocks() as u32,
+        }));
+        let assignments = std::mem::take(&mut self.sched.assignments);
+        let mut view = SchedulerView::from_parts(self.cycle, kernels, sms, assignments);
         self.policy.assign(&mut view);
-        let assignments = view.into_assignments();
+        let (kernels, sms, assignments) = view.into_parts();
 
-        for a in assignments {
+        for a in &assignments {
             let Some(k) = self.kernels.iter().position(|k| k.id == a.kernel) else {
                 continue;
             };
@@ -525,7 +613,9 @@ impl Gpu {
                 continue;
             }
             // Fault hook may misroute the assignment (scheduler fault model).
-            let fits: Vec<bool> = self.sms.iter().map(|s| s.fits(&fp)).collect();
+            let fits = &mut self.sched.fits;
+            fits.clear();
+            fits.extend(self.sms.iter().map(|s| s.fits(&fp)));
             let chosen =
                 self.fault
                     .reroute_block(a.kernel, block_linear, a.sm, self.sms.len(), &|sm| {
@@ -558,6 +648,23 @@ impl Gpu {
             );
             self.sms[chosen].admit(block);
         }
+        self.sched.kernels = kernels;
+        self.sched.sms = sms;
+        self.sched.assignments = assignments;
+    }
+
+    /// Advances the clock to the latest kernel arrival and runs exactly one
+    /// scheduling round, returning the still-pending block count.
+    ///
+    /// Hidden test hook: the scheduler allocation fence
+    /// (`tests/alloc_free_scheduler.rs`) drives rounds directly without the
+    /// full cycle loop. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn debug_scheduler_round(&mut self) -> u32 {
+        let latest_arrival = self.kernels.iter().map(|k| k.arrival).max().unwrap_or(0);
+        self.cycle = self.cycle.max(latest_arrival);
+        self.run_scheduler();
+        self.pending_blocks()
     }
 
     fn process_completion(&mut self, c: BlockCompletion) {
@@ -587,8 +694,20 @@ impl Gpu {
     /// dispatching pending work while the device is otherwise quiescent
     /// (policy bug or an unsatisfiable gating condition).
     pub fn run_to_idle(&mut self) -> Result<u64, SimError> {
-        let mut completions: Vec<BlockCompletion> = Vec::new();
+        let mut completions = std::mem::take(&mut self.sched.completions);
         while !self.is_idle() {
+            // Watchdog: the clock strictly advances every iteration, so a
+            // runaway kernel (e.g. a fault-corrupted loop counter) is cut
+            // off deterministically at the configured limit.
+            if let Some(limit) = self.cycle_limit {
+                if self.cycle > limit {
+                    self.sched.completions = completions;
+                    return Err(SimError::DeadlineExceeded {
+                        cycle: self.cycle,
+                        limit,
+                    });
+                }
+            }
             // Scheduling round (cheap when nothing changed).
             if self.sched_dirty {
                 self.sched_dirty = false;
@@ -646,6 +765,7 @@ impl Gpu {
                     .min()
                     .unwrap_or(u64::MAX);
                 if ready == u64::MAX {
+                    self.sched.completions = completions;
                     return Err(SimError::Stalled {
                         cycle: self.cycle,
                         pending_blocks: self.pending_blocks(),
@@ -656,6 +776,7 @@ impl Gpu {
             }
             self.cycle = next.max(self.cycle + 1);
         }
+        self.sched.completions = completions;
         Ok(self.cycle)
     }
 
@@ -844,6 +965,95 @@ mod tests {
     }
 
     #[test]
+    fn reset_retains_installed_policy_and_resets_its_state() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct Probe {
+            resets: Arc<AtomicU32>,
+        }
+        impl KernelSchedulerPolicy for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn assign(&mut self, view: &mut crate::scheduler::SchedulerView) {
+                DefaultScheduler::new().assign(view);
+            }
+            fn reset(&mut self) {
+                self.resets.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let resets = Arc::new(AtomicU32::new(0));
+        let mut gpu = Gpu::with_policy(
+            GpuConfig::tiny_2sm(),
+            Box::new(Probe {
+                resets: resets.clone(),
+            }),
+        );
+        let buf = gpu.alloc_words(32).expect("alloc");
+        gpu.launch(KernelLaunch::new(
+            inc_kernel(),
+            LaunchConfig::new(1u32, 32u32).param_u32(buf.0),
+        ))
+        .expect("launch");
+        gpu.run_to_idle().expect("run");
+
+        gpu.reset().expect("idle");
+        assert_eq!(
+            gpu.policy_name(),
+            "probe",
+            "reset must retain the installed policy, not fall back to default"
+        );
+        assert_eq!(
+            resets.load(Ordering::Relaxed),
+            1,
+            "reset must clear policy state via KernelSchedulerPolicy::reset"
+        );
+
+        // The retained policy still schedules on the reset device.
+        let buf = gpu.alloc_words(32).expect("alloc");
+        gpu.write_u32(buf, &[7; 32]);
+        gpu.launch(KernelLaunch::new(
+            inc_kernel(),
+            LaunchConfig::new(1u32, 32u32).param_u32(buf.0),
+        ))
+        .expect("launch");
+        gpu.run_to_idle().expect("run");
+        assert_eq!(gpu.read_u32(buf, 32), vec![8u32; 32]);
+    }
+
+    #[test]
+    fn force_reset_after_watchdog_cutoff_is_observationally_fresh() {
+        let run = |gpu: &mut Gpu| {
+            let buf = gpu.alloc_words(128).expect("alloc");
+            gpu.write_u32(buf, &vec![10u32; 128]);
+            let cfg = LaunchConfig::new(4u32, 32u32).param_u32(buf.0);
+            gpu.launch(KernelLaunch::new(inc_kernel(), cfg))
+                .expect("launch");
+            gpu.run_to_idle().expect("run");
+            (gpu.read_u32(buf, 128), gpu.stats())
+        };
+        let mut fresh = Gpu::new(GpuConfig::tiny_2sm());
+        let expected = run(&mut fresh);
+
+        // Cut a run off mid-flight, then rewind in place.
+        let mut reused = Gpu::new(GpuConfig::tiny_2sm());
+        let buf = reused.alloc_words(128).expect("alloc");
+        reused.write_u32(buf, &vec![0xdeadbeef; 128]);
+        reused
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(4u32, 32u32).param_u32(buf.0),
+            ))
+            .expect("launch");
+        reused.set_cycle_limit(Some(1));
+        reused.run_to_idle().expect_err("deadline fires");
+        assert_eq!(reused.reset(), Err(SimError::NotIdle), "device is busy");
+
+        reused.force_reset();
+        assert!(reused.is_idle());
+        assert_eq!(run(&mut reused), expected, "force_reset == fresh device");
+    }
+
+    #[test]
     fn reset_requires_idle() {
         let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
         let buf = gpu.alloc_words(32).expect("alloc");
@@ -907,6 +1117,44 @@ mod tests {
             .expect("launch");
         gpu.run_to_idle().expect("completes after the refusal");
         assert_eq!(gpu.read_u32(buf, 64), vec![2u32; 64]);
+    }
+
+    #[test]
+    fn watchdog_cuts_off_long_runs_and_reset_disarms_it() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf = gpu.alloc_words(128).expect("alloc");
+        let cfg = LaunchConfig::new(4u32, 32u32).param_u32(buf.0);
+        gpu.launch(KernelLaunch::new(inc_kernel(), cfg.clone()))
+            .expect("launch");
+        gpu.set_cycle_limit(Some(1));
+        let err = gpu.run_to_idle().expect_err("deadline must fire");
+        assert!(matches!(err, SimError::DeadlineExceeded { limit: 1, .. }));
+
+        // Reset disarms the watchdog; the same workload then completes.
+        gpu.reset().expect_err("kernels in flight");
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        gpu.set_cycle_limit(Some(1));
+        gpu.reset().expect("idle");
+        let buf = gpu.alloc_words(128).expect("alloc");
+        gpu.launch(KernelLaunch::new(
+            inc_kernel(),
+            LaunchConfig::new(4u32, 32u32).param_u32(buf.0),
+        ))
+        .expect("launch");
+        gpu.run_to_idle().expect("watchdog disarmed by reset");
+
+        // A generous limit does not perturb a normal run.
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        gpu.set_cycle_limit(Some(1_000_000));
+        let buf = gpu.alloc_words(128).expect("alloc");
+        gpu.write_u32(buf, &vec![1u32; 128]);
+        gpu.launch(KernelLaunch::new(
+            inc_kernel(),
+            LaunchConfig::new(4u32, 32u32).param_u32(buf.0),
+        ))
+        .expect("launch");
+        gpu.run_to_idle().expect("finishes well under the limit");
+        assert_eq!(gpu.read_u32(buf, 128), vec![2u32; 128]);
     }
 
     #[test]

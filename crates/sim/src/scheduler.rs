@@ -13,14 +13,16 @@
 
 use crate::kernel::{BlockFootprint, KernelId, LaunchAttrs};
 use crate::sm::ResourceUsage;
+use std::sync::Arc;
 
 /// Immutable facts about one launched-and-unfinished kernel.
 #[derive(Debug, Clone)]
 pub struct KernelSnapshot {
     /// Kernel identifier (monotonic in launch order).
     pub id: KernelId,
-    /// Scheduling attributes from the launch.
-    pub attrs: LaunchAttrs,
+    /// Scheduling attributes from the launch (shared, so building a
+    /// snapshot every scheduling round stays allocation-free).
+    pub attrs: Arc<LaunchAttrs>,
     /// Cycle the kernel became visible to the GPU front-end.
     pub arrival: u64,
     /// Total thread blocks in the grid.
@@ -93,12 +95,35 @@ pub struct SchedulerView {
 impl SchedulerView {
     /// Builds a view (called by the GPU each scheduling round).
     pub fn new(cycle: u64, kernels: Vec<KernelSnapshot>, sms: Vec<SmSnapshot>) -> Self {
+        Self::from_parts(cycle, kernels, sms, Vec::new())
+    }
+
+    /// Builds a view over caller-provided buffers. `kernels` and `sms` are
+    /// consumed as the view's *contents* (the caller fills them with this
+    /// round's snapshots); `assignments` is an *output* buffer whose stale
+    /// contents are cleared here and whose capacity is reused. The GPU's
+    /// scheduling round passes warm scratch vectors (recovered with
+    /// [`SchedulerView::into_parts`]) so steady-state rounds perform zero
+    /// heap allocations.
+    pub fn from_parts(
+        cycle: u64,
+        kernels: Vec<KernelSnapshot>,
+        sms: Vec<SmSnapshot>,
+        mut assignments: Vec<Assignment>,
+    ) -> Self {
+        assignments.clear();
         Self {
             cycle,
             kernels,
             sms,
-            assignments: Vec::new(),
+            assignments,
         }
+    }
+
+    /// Consumes the view, yielding all three buffers (snapshots and the
+    /// committed assignments) so their capacity can be reused next round.
+    pub fn into_parts(self) -> (Vec<KernelSnapshot>, Vec<SmSnapshot>, Vec<Assignment>) {
+        (self.kernels, self.sms, self.assignments)
     }
 
     /// Current cycle.
@@ -273,7 +298,7 @@ mod tests {
     fn kernel(id: u64, blocks: u32, threads: u32) -> KernelSnapshot {
         KernelSnapshot {
             id: KernelId(id),
-            attrs: LaunchAttrs::default(),
+            attrs: Arc::new(LaunchAttrs::default()),
             arrival: 0,
             blocks_total: blocks,
             blocks_issued: 0,

@@ -168,6 +168,15 @@ impl Sm {
         next
     }
 
+    /// Discards all resident blocks without completing them and releases
+    /// their resources — the watchdog-abort path ([`crate::gpu::Gpu`]'s
+    /// `force_reset`). Execution state of the discarded blocks is dropped.
+    pub fn discard_blocks(&mut self) {
+        self.blocks.clear();
+        self.used = ResourceUsage::default();
+        self.greedy = None;
+    }
+
     /// Resets the SM to its post-construction state: counters cleared,
     /// scheduling bookmark dropped. The SM must be idle (no resident
     /// blocks); resource pools are already released at that point.

@@ -1,0 +1,83 @@
+//! Proves steady-state scheduling rounds perform **zero heap allocations**:
+//! the snapshot/assignment/fit buffers are scratch reused across rounds and
+//! the launch attributes are shared by `Arc`, not deep-cloned.
+//!
+//! This is the regression fence for the `SchedScratch` rework in
+//! `Gpu::run_scheduler`. It lives in its own single-test integration binary
+//! (like `alloc_free.rs` for the per-instruction claim) because the
+//! counting allocator is process-global: sharing a binary with concurrently
+//! running tests would make the count racy.
+
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::config::GpuConfig;
+use higpu_sim::gpu::Gpu;
+use higpu_sim::kernel::{KernelLaunch, LaunchConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocations.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn inc_kernel() -> std::sync::Arc<higpu_sim::program::Program> {
+    let mut b = KernelBuilder::new("inc");
+    let base = b.param(0);
+    let i = b.global_tid_x();
+    let a = b.addr_w(base, i);
+    let v = b.ldg(a, 0);
+    let v1 = b.iadd(v, 1u32);
+    b.stg(a, 0, v1);
+    b.build().expect("valid").into_shared()
+}
+
+#[test]
+fn scheduler_rounds_are_allocation_free_after_warmup() {
+    let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+    let buf = gpu.alloc_words(64).expect("alloc");
+    // More blocks than the device can host at once, across two kernels, so
+    // every round still sees pending work to snapshot and consider.
+    for _ in 0..2 {
+        gpu.launch(
+            KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(64u32, 32u32).param_u32(buf.0),
+            )
+            .tag("pressure"),
+        )
+        .expect("launch");
+    }
+    // Warm-up round: fills the SMs and sizes the scratch buffers.
+    let pending = gpu.debug_scheduler_round();
+    assert!(pending > 0, "rounds must have work left to weigh");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..64 {
+        gpu.debug_scheduler_round();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "64 steady-state scheduling rounds must not allocate"
+    );
+}

@@ -1,0 +1,172 @@
+//! The workload registry: name → factory, with a scale knob.
+//!
+//! Registration is explicit (no global state, no link-time magic): each
+//! benchmark module exposes a `register` function, and aggregators
+//! (`higpu_rodinia::register_all`, [`crate::synthetic::register`]) populate
+//! a registry the caller owns. The fault-campaign engine, the COTS model
+//! and the benches all select workloads by name from the same registry.
+
+use crate::workload::Workload;
+use std::fmt;
+
+/// The input scale a factory builds a workload at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Paper-sized inputs (figures, end-to-end experiments).
+    Full,
+    /// Small fixed grids for fault-injection campaigns: thousands of trials
+    /// must fit in the campaign's small device image and finish fast, while
+    /// still exercising every kernel of the benchmark.
+    Campaign,
+}
+
+impl Scale {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Campaign => "campaign",
+        }
+    }
+}
+
+/// Builds one workload instance at the requested scale.
+pub type WorkloadFactory = fn(Scale) -> Box<dyn Workload>;
+
+/// Registers a workload type that follows the standard two-scale
+/// convention: `Default` builds the paper-sized instance, `campaign()` the
+/// small fixed grid. One definition of the scale dispatch instead of a
+/// copy per benchmark module:
+///
+/// ```
+/// use higpu_workloads::{register_scaled, synthetic::IteratedFma, WorkloadRegistry};
+///
+/// let mut reg = WorkloadRegistry::new();
+/// register_scaled!(reg, "iterated_fma", IteratedFma);
+/// assert!(reg.build("iterated_fma", higpu_workloads::Scale::Campaign).is_some());
+/// ```
+#[macro_export]
+macro_rules! register_scaled {
+    ($reg:expr, $name:literal, $ty:ty) => {
+        $reg.register($name, |scale| match scale {
+            $crate::Scale::Full => Box::new(<$ty>::default()),
+            $crate::Scale::Campaign => Box::new(<$ty>::campaign()),
+        })
+    };
+}
+
+/// One named entry of a [`WorkloadRegistry`].
+#[derive(Clone, Copy)]
+pub struct WorkloadEntry {
+    name: &'static str,
+    factory: WorkloadFactory,
+}
+
+impl WorkloadEntry {
+    /// Registered workload name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Builds the workload at `scale`.
+    pub fn build(&self, scale: Scale) -> Box<dyn Workload> {
+        (self.factory)(scale)
+    }
+}
+
+impl fmt::Debug for WorkloadEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadEntry")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A name → factory map of workloads, in registration order (so sweep
+/// reports keep a stable, deterministic row order).
+#[derive(Debug, Default)]
+pub struct WorkloadRegistry {
+    entries: Vec<WorkloadEntry>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `factory` under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names — two workloads claiming one name is a
+    /// wiring bug, not a runtime condition.
+    pub fn register(&mut self, name: &'static str, factory: WorkloadFactory) {
+        assert!(
+            !self.entries.iter().any(|e| e.name == name),
+            "workload '{name}' registered twice"
+        );
+        self.entries.push(WorkloadEntry { name, factory });
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// The entries, in registration order.
+    pub fn entries(&self) -> &[WorkloadEntry] {
+        &self.entries
+    }
+
+    /// Builds the named workload at `scale`; `None` for unknown names.
+    pub fn build(&self, name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.build(scale))
+    }
+
+    /// Number of registered workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::IteratedFma;
+
+    fn fma_factory(scale: Scale) -> Box<dyn Workload> {
+        Box::new(match scale {
+            Scale::Full => IteratedFma::default(),
+            Scale::Campaign => IteratedFma::campaign(),
+        })
+    }
+
+    #[test]
+    fn register_and_build_round_trip() {
+        let mut reg = WorkloadRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("iterated_fma", fma_factory);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.names(), vec!["iterated_fma"]);
+        let w = reg.build("iterated_fma", Scale::Campaign).expect("known");
+        assert_eq!(w.name(), "iterated_fma");
+        assert!(reg.build("nope", Scale::Full).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = WorkloadRegistry::new();
+        reg.register("iterated_fma", fma_factory);
+        reg.register("iterated_fma", fma_factory);
+    }
+}

@@ -1,0 +1,82 @@
+//! Convenience drivers shared by the fault-campaign engine, the COTS model
+//! and the benches: run a [`Workload`] solo or redundantly without writing
+//! the session boilerplate.
+
+use crate::session::{RedundantSession, SessionError, SoloSession};
+use crate::workload::Workload;
+use higpu_core::redundancy::RedundantExecutor;
+use higpu_sim::gpu::Gpu;
+
+/// Runs `workload` non-redundantly on `gpu`; returns the output words.
+///
+/// # Errors
+///
+/// Propagates [`SessionError`] from the workload.
+pub fn run_solo(gpu: &mut Gpu, workload: &dyn Workload) -> Result<Vec<u32>, SessionError> {
+    let mut session = SoloSession::new(gpu);
+    workload.run(&mut session)
+}
+
+/// Outcome of one mismatch-tolerant redundant run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedundantRun {
+    /// Replica 0's output words.
+    pub output: Vec<u32>,
+    /// Reads on which the replicas disagreed (0 on a fault-free run).
+    pub mismatched_reads: usize,
+    /// Word index of the first disagreement, if any.
+    pub first_mismatch: Option<usize>,
+}
+
+impl RedundantRun {
+    /// True when every read-back compared bitwise equal across replicas.
+    pub fn matched(&self) -> bool {
+        self.mismatched_reads == 0
+    }
+}
+
+/// Runs `workload` redundantly under `exec` in mismatch-tolerant mode: the
+/// host program always runs to completion, and replica disagreements are
+/// reported in the result instead of aborting — the form fault-injection
+/// campaigns need to classify detected faults vs. silent corruption.
+///
+/// # Errors
+///
+/// Propagates [`SessionError`] from the workload (device errors, protocol
+/// errors — but never `ReplicaMismatch`, which is recorded instead).
+pub fn run_redundant(
+    exec: &mut RedundantExecutor<'_>,
+    workload: &dyn Workload,
+) -> Result<RedundantRun, SessionError> {
+    let mut session = RedundantSession::tolerant(exec);
+    let output = workload.run(&mut session)?;
+    Ok(RedundantRun {
+        output,
+        mismatched_reads: session.mismatched_reads(),
+        first_mismatch: session.first_mismatch(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::IteratedFma;
+    use higpu_core::redundancy::RedundancyMode;
+    use higpu_sim::config::GpuConfig;
+
+    #[test]
+    fn solo_and_redundant_drivers_agree_with_reference() {
+        let wl = IteratedFma::campaign();
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let solo = run_solo(&mut gpu, &wl).expect("solo");
+        wl.verify(&solo).expect("solo matches reference");
+
+        let mut gpu2 = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu2, RedundancyMode::srrs_default(6)).expect("mode");
+        let red = run_redundant(&mut exec, &wl).expect("redundant");
+        assert!(red.matched());
+        assert_eq!(red.first_mismatch, None);
+        assert_eq!(red.output, solo, "same computation, same bits");
+    }
+}

@@ -1,0 +1,436 @@
+//! The session abstraction: lets a workload's host program run unchanged in
+//! any environment — solo (plain GPU), redundant (DCLS protocol), or any
+//! future backend.
+//!
+//! Extracted from the Rodinia benchmark harness so the fault-campaign
+//! engine, the COTS end-to-end model and the benches all drive the same
+//! five-step host-program shape (allocate, upload, launch, sync, read).
+
+use higpu_core::redundancy::{Comparison, RBuf, RParam, RedundancyError, RedundantExecutor};
+use higpu_sim::gpu::{DevPtr, Gpu, SimError};
+use higpu_sim::kernel::{Dim3, KernelLaunch, LaunchConfig};
+use higpu_sim::program::Program;
+use std::fmt;
+use std::sync::Arc;
+
+/// Handle to a logical device buffer owned by a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufId(pub(crate) usize);
+
+/// A kernel parameter referencing session buffers.
+#[derive(Debug, Clone, Copy)]
+pub enum SParam {
+    /// Address of a buffer.
+    Buf(BufId),
+    /// Address of a buffer plus a word offset.
+    BufOffset(BufId, u32),
+    /// Raw word.
+    U32(u32),
+    /// Signed integer.
+    I32(i32),
+    /// Float (raw bits).
+    F32(f32),
+}
+
+/// Errors surfaced while running a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// Device error.
+    Sim(SimError),
+    /// Redundancy-protocol error.
+    Redundancy(RedundancyError),
+    /// Redundant replicas disagreed on a host-read value (fault detected).
+    ReplicaMismatch {
+        /// Word index of the first disagreement.
+        first_word: usize,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Sim(e) => write!(f, "device error: {e}"),
+            SessionError::Redundancy(e) => write!(f, "redundancy error: {e}"),
+            SessionError::ReplicaMismatch { first_word } => {
+                write!(f, "replica mismatch at word {first_word}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<SimError> for SessionError {
+    fn from(e: SimError) -> Self {
+        SessionError::Sim(e)
+    }
+}
+
+impl From<RedundancyError> for SessionError {
+    fn from(e: RedundancyError) -> Self {
+        SessionError::Redundancy(e)
+    }
+}
+
+/// The environment a workload's host program runs in.
+///
+/// Workloads allocate buffers, upload data, launch kernels (synchronizing
+/// between dependent launches) and read results back — the same five-step
+/// shape as a CUDA host program.
+pub trait GpuSession {
+    /// Allocates a logical buffer of `words` 32-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Sim`] when device memory is exhausted.
+    fn alloc_words(&mut self, words: u32) -> Result<BufId, SessionError>;
+
+    /// Uploads words into a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    fn write_u32(&mut self, buf: BufId, data: &[u32]) -> Result<(), SessionError>;
+
+    /// Uploads floats into a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    fn write_f32(&mut self, buf: BufId, data: &[f32]) -> Result<(), SessionError>;
+
+    /// Launches a kernel (asynchronously; see [`GpuSession::sync`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch errors (e.g. unschedulable geometry).
+    fn launch(
+        &mut self,
+        program: &Arc<Program>,
+        grid: Dim3,
+        block: Dim3,
+        shared_mem_bytes: u32,
+        params: &[SParam],
+    ) -> Result<(), SessionError>;
+
+    /// Waits for all launched kernels to complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device stalls.
+    fn sync(&mut self) -> Result<(), SessionError>;
+
+    /// Reads `words` words back (synchronizes first). In redundant sessions
+    /// the replicas are compared; a disagreement is reported as
+    /// [`SessionError::ReplicaMismatch`] (or recorded, for sessions built
+    /// with [`RedundantSession::tolerant`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors and replica mismatches.
+    fn read_u32(&mut self, buf: BufId, words: usize) -> Result<Vec<u32>, SessionError>;
+
+    /// Reads `words` floats back (bitwise-compared in redundant sessions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors and replica mismatches.
+    fn read_f32(&mut self, buf: BufId, words: usize) -> Result<Vec<f32>, SessionError> {
+        Ok(self
+            .read_u32(buf, words)?
+            .into_iter()
+            .map(f32::from_bits)
+            .collect())
+    }
+}
+
+/// Non-redundant session over a plain GPU (baselines, profiling).
+#[derive(Debug)]
+pub struct SoloSession<'g> {
+    gpu: &'g mut Gpu,
+    buffers: Vec<DevPtr>,
+    pending: bool,
+}
+
+impl<'g> SoloSession<'g> {
+    /// Wraps a GPU.
+    pub fn new(gpu: &'g mut Gpu) -> Self {
+        Self {
+            gpu,
+            buffers: Vec::new(),
+            pending: false,
+        }
+    }
+
+    /// The underlying GPU.
+    pub fn gpu(&self) -> &Gpu {
+        self.gpu
+    }
+}
+
+impl GpuSession for SoloSession<'_> {
+    fn alloc_words(&mut self, words: u32) -> Result<BufId, SessionError> {
+        let ptr = self.gpu.alloc_words(words)?;
+        self.buffers.push(ptr);
+        Ok(BufId(self.buffers.len() - 1))
+    }
+
+    fn write_u32(&mut self, buf: BufId, data: &[u32]) -> Result<(), SessionError> {
+        self.gpu.write_u32(self.buffers[buf.0], data);
+        Ok(())
+    }
+
+    fn write_f32(&mut self, buf: BufId, data: &[f32]) -> Result<(), SessionError> {
+        self.gpu.write_f32(self.buffers[buf.0], data);
+        Ok(())
+    }
+
+    fn launch(
+        &mut self,
+        program: &Arc<Program>,
+        grid: Dim3,
+        block: Dim3,
+        shared_mem_bytes: u32,
+        params: &[SParam],
+    ) -> Result<(), SessionError> {
+        let mut cfg = LaunchConfig::new(grid, block).shared_mem(shared_mem_bytes);
+        for p in params {
+            cfg = match *p {
+                SParam::Buf(b) => cfg.param_u32(self.buffers[b.0].0),
+                SParam::BufOffset(b, w) => cfg.param_u32(self.buffers[b.0].offset_words(w).0),
+                SParam::U32(v) => cfg.param_u32(v),
+                SParam::I32(v) => cfg.param_i32(v),
+                SParam::F32(v) => cfg.param_f32(v),
+            };
+        }
+        self.gpu
+            .launch(KernelLaunch::new(program.clone(), cfg).tag(program.name().to_string()))?;
+        self.pending = true;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), SessionError> {
+        if self.pending {
+            self.gpu.run_to_idle()?;
+            self.pending = false;
+        }
+        Ok(())
+    }
+
+    fn read_u32(&mut self, buf: BufId, words: usize) -> Result<Vec<u32>, SessionError> {
+        self.sync()?;
+        Ok(self.gpu.read_u32(self.buffers[buf.0], words))
+    }
+}
+
+/// What a redundant session does when replicas disagree on a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MismatchPolicy {
+    /// Surface [`SessionError::ReplicaMismatch`] (the DCLS recovery path:
+    /// the computation is aborted and re-executed).
+    Fail,
+    /// Record the disagreement and hand back replica 0's data so the host
+    /// program runs to completion — the form fault-injection campaigns need
+    /// to classify a trial as detected vs. silently corrupted.
+    Record,
+}
+
+/// Redundant session: every operation follows the DCLS protocol
+/// (dual allocation, dual copies, dual launches, compare on read-back).
+#[derive(Debug)]
+pub struct RedundantSession<'g, 'e> {
+    exec: &'e mut RedundantExecutor<'g>,
+    buffers: Vec<RBuf>,
+    pending: bool,
+    on_mismatch: MismatchPolicy,
+    mismatched_reads: usize,
+    first_mismatch: Option<usize>,
+}
+
+impl<'g, 'e> RedundantSession<'g, 'e> {
+    /// Wraps a redundant executor. Replica disagreements abort the host
+    /// program with [`SessionError::ReplicaMismatch`].
+    pub fn new(exec: &'e mut RedundantExecutor<'g>) -> Self {
+        Self::with_policy(exec, MismatchPolicy::Fail)
+    }
+
+    /// Wraps a redundant executor in mismatch-tolerant mode: replica
+    /// disagreements are recorded (see
+    /// [`RedundantSession::mismatched_reads`]) and replica 0's data is
+    /// returned, so the host program runs to completion. Fault-injection
+    /// campaigns use this to classify complete trials.
+    pub fn tolerant(exec: &'e mut RedundantExecutor<'g>) -> Self {
+        Self::with_policy(exec, MismatchPolicy::Record)
+    }
+
+    fn with_policy(exec: &'e mut RedundantExecutor<'g>, on_mismatch: MismatchPolicy) -> Self {
+        Self {
+            exec,
+            buffers: Vec::new(),
+            pending: false,
+            on_mismatch,
+            mismatched_reads: 0,
+            first_mismatch: None,
+        }
+    }
+
+    /// Number of reads on which the replicas disagreed (only ever non-zero
+    /// for sessions built with [`RedundantSession::tolerant`]).
+    pub fn mismatched_reads(&self) -> usize {
+        self.mismatched_reads
+    }
+
+    /// Word index of the first disagreement observed, if any.
+    pub fn first_mismatch(&self) -> Option<usize> {
+        self.first_mismatch
+    }
+}
+
+impl GpuSession for RedundantSession<'_, '_> {
+    fn alloc_words(&mut self, words: u32) -> Result<BufId, SessionError> {
+        let b = self.exec.alloc_words(words)?;
+        self.buffers.push(b);
+        Ok(BufId(self.buffers.len() - 1))
+    }
+
+    fn write_u32(&mut self, buf: BufId, data: &[u32]) -> Result<(), SessionError> {
+        let b = self.buffers[buf.0].clone();
+        self.exec.write_u32(&b, data)?;
+        Ok(())
+    }
+
+    fn write_f32(&mut self, buf: BufId, data: &[f32]) -> Result<(), SessionError> {
+        let b = self.buffers[buf.0].clone();
+        self.exec.write_f32(&b, data)?;
+        Ok(())
+    }
+
+    fn launch(
+        &mut self,
+        program: &Arc<Program>,
+        grid: Dim3,
+        block: Dim3,
+        shared_mem_bytes: u32,
+        params: &[SParam],
+    ) -> Result<(), SessionError> {
+        let owned: Vec<RBuf> = self.buffers.clone();
+        let rparams: Vec<RParam<'_>> = params
+            .iter()
+            .map(|p| match *p {
+                SParam::Buf(b) => RParam::Buf(&owned[b.0]),
+                SParam::BufOffset(b, w) => RParam::BufOffset(&owned[b.0], w),
+                SParam::U32(v) => RParam::U32(v),
+                SParam::I32(v) => RParam::I32(v),
+                SParam::F32(v) => RParam::F32(v),
+            })
+            .collect();
+        self.exec
+            .launch(program, grid, block, shared_mem_bytes, &rparams)?;
+        self.pending = true;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), SessionError> {
+        if self.pending {
+            self.exec.sync()?;
+            self.pending = false;
+        }
+        Ok(())
+    }
+
+    fn read_u32(&mut self, buf: BufId, words: usize) -> Result<Vec<u32>, SessionError> {
+        self.sync()?;
+        let b = self.buffers[buf.0].clone();
+        match self.exec.read_compare_u32(&b, words)? {
+            Comparison::Match(v) => Ok(v),
+            Comparison::Mismatch {
+                first_word,
+                mut outputs,
+                ..
+            } => match self.on_mismatch {
+                MismatchPolicy::Fail => Err(SessionError::ReplicaMismatch { first_word }),
+                MismatchPolicy::Record => {
+                    self.mismatched_reads += 1;
+                    if self.first_mismatch.is_none() {
+                        self.first_mismatch = Some(first_word);
+                    }
+                    Ok(outputs.swap_remove(0))
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_core::redundancy::RedundancyMode;
+    use higpu_sim::builder::KernelBuilder;
+    use higpu_sim::config::GpuConfig;
+
+    fn double_kernel() -> Arc<Program> {
+        let mut b = KernelBuilder::new("double");
+        let buf = b.param(0);
+        let i = b.global_tid_x();
+        let a = b.addr_w(buf, i);
+        let v = b.ldg(a, 0);
+        let d = b.iadd(v, v);
+        b.stg(a, 0, d);
+        b.build().expect("valid").into_shared()
+    }
+
+    #[test]
+    fn solo_and_redundant_sessions_agree() {
+        let prog = double_kernel();
+        let data: Vec<u32> = (0..64).collect();
+
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut solo = SoloSession::new(&mut gpu);
+        let b = solo.alloc_words(64).expect("alloc");
+        solo.write_u32(b, &data).expect("write");
+        solo.launch(&prog, Dim3::x(2), Dim3::x(32), 0, &[SParam::Buf(b)])
+            .expect("launch");
+        let solo_out = solo.read_u32(b, 64).expect("read");
+
+        let mut gpu2 = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu2, RedundancyMode::srrs_default(6)).expect("mode");
+        let mut red = RedundantSession::new(&mut exec);
+        let b = red.alloc_words(64).expect("alloc");
+        red.write_u32(b, &data).expect("write");
+        red.launch(&prog, Dim3::x(2), Dim3::x(32), 0, &[SParam::Buf(b)])
+            .expect("launch");
+        let red_out = red.read_u32(b, 64).expect("read");
+
+        assert_eq!(solo_out, red_out);
+        assert_eq!(solo_out[5], 10);
+    }
+
+    #[test]
+    fn strict_session_fails_on_mismatch_but_tolerant_records_it() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let mut s = RedundantSession::new(&mut exec);
+        let b = s.alloc_words(8).expect("alloc");
+        s.write_u32(b, &[1, 2, 3, 4, 5, 6, 7, 8]).expect("write");
+        // Corrupt replica 1 behind the session's back (simulating a fault).
+        let p1 = s.buffers[0].ptr(1);
+        s.exec.gpu_mut().write_u32(p1, &[9]);
+        let err = s.read_u32(b, 8).expect_err("strict must fail");
+        assert_eq!(err, SessionError::ReplicaMismatch { first_word: 0 });
+
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let mut s = RedundantSession::tolerant(&mut exec);
+        let b = s.alloc_words(8).expect("alloc");
+        s.write_u32(b, &[1, 2, 3, 4, 5, 6, 7, 8]).expect("write");
+        let p1 = s.buffers[0].ptr(1);
+        s.exec.gpu_mut().write_u32(p1, &[9]);
+        let out = s.read_u32(b, 8).expect("tolerant continues");
+        assert_eq!(out[0], 1, "replica 0's data is handed back");
+        assert_eq!(s.mismatched_reads(), 1);
+        assert_eq!(s.first_mismatch(), Some(0));
+    }
+}

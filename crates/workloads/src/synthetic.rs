@@ -1,0 +1,169 @@
+//! Built-in synthetic workloads.
+//!
+//! [`IteratedFma`] is the campaign-throughput stress kernel: long enough
+//! per-element work that transient fault windows have something to hit,
+//! bitwise-deterministic arithmetic so golden comparison is exact.
+
+use crate::registry::WorkloadRegistry;
+use crate::session::{GpuSession, SParam, SessionError};
+use crate::workload::{f32s_to_words, Tolerance, Workload};
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::kernel::Dim3;
+use higpu_sim::program::Program;
+use std::sync::Arc;
+
+/// An iterated fused-multiply-add over a vector:
+/// `y[i] ← y[i]*0.5 + x[i]`, repeated `iters` times per element.
+///
+/// The iteration count stretches the kernel's execution window so transient
+/// fault windows have something to hit; the arithmetic is bitwise
+/// deterministic so the golden comparison is exact.
+#[derive(Debug, Clone)]
+pub struct IteratedFma {
+    /// Elements.
+    pub n: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// FMA iterations per element.
+    pub iters: u32,
+}
+
+impl Default for IteratedFma {
+    fn default() -> Self {
+        Self {
+            n: 1024,
+            threads_per_block: 128,
+            iters: 64,
+        }
+    }
+}
+
+impl IteratedFma {
+    /// Campaign-scale instance: small fixed grid, short makespan.
+    pub fn campaign() -> Self {
+        Self {
+            n: 256,
+            threads_per_block: 64,
+            iters: 16,
+        }
+    }
+
+    /// Builds the kernel program.
+    pub fn program(&self) -> Arc<Program> {
+        let mut b = KernelBuilder::new("iterated_fma");
+        let x = b.param(0);
+        let y = b.param(1);
+        let n = b.param(2);
+        let i = b.global_tid_x();
+        let in_range = b.isetp(higpu_sim::isa::CmpOp::Lt, i, n);
+        b.if_(in_range, |b| {
+            let xa = b.addr_w(x, i);
+            let ya = b.addr_w(y, i);
+            let xv = b.ldg(xa, 0);
+            let acc = b.ldg(ya, 0);
+            b.for_range(0u32, self.iters, 1u32, |b, _k| {
+                b.ffma_to(acc, acc, 0.5f32, xv);
+            });
+            b.stg(ya, 0, acc);
+        });
+        b.build().expect("well-formed").into_shared()
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let x: Vec<f32> = (0..self.n).map(|i| (i % 97) as f32 * 0.125 + 1.0).collect();
+        let y: Vec<f32> = (0..self.n).map(|i| (i % 13) as f32 * 0.5).collect();
+        (x, y)
+    }
+
+    /// Host-side golden reference (bitwise identical arithmetic).
+    pub fn golden(&self) -> Vec<f32> {
+        let (x, mut y) = self.inputs();
+        for i in 0..self.n as usize {
+            for _ in 0..self.iters {
+                y[i] = y[i].mul_add(0.5, x[i]);
+            }
+        }
+        y
+    }
+
+    fn grid_blocks(&self) -> u32 {
+        self.n.div_ceil(self.threads_per_block)
+    }
+}
+
+impl Workload for IteratedFma {
+    fn name(&self) -> &'static str {
+        "iterated_fma"
+    }
+
+    fn run(&self, s: &mut dyn GpuSession) -> Result<Vec<u32>, SessionError> {
+        let (x, y) = self.inputs();
+        let xb = s.alloc_words(self.n)?;
+        let yb = s.alloc_words(self.n)?;
+        s.write_f32(xb, &x)?;
+        s.write_f32(yb, &y)?;
+        s.launch(
+            &self.program(),
+            Dim3::x(self.grid_blocks()),
+            Dim3::x(self.threads_per_block),
+            0,
+            &[SParam::Buf(xb), SParam::Buf(yb), SParam::U32(self.n)],
+        )?;
+        s.sync()?;
+        s.read_u32(yb, self.n as usize)
+    }
+
+    fn reference(&self) -> Vec<u32> {
+        f32s_to_words(&self.golden())
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        // The GPU FMA equals the host `mul_add` bitwise, so verification is
+        // exact — any deviation is corruption, not rounding.
+        Tolerance::Exact
+    }
+}
+
+/// Registers the synthetic workloads.
+pub fn register(reg: &mut WorkloadRegistry) {
+    crate::register_scaled!(reg, "iterated_fma", IteratedFma);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_solo;
+    use higpu_sim::config::GpuConfig;
+    use higpu_sim::gpu::Gpu;
+
+    #[test]
+    fn fault_free_run_is_bitwise_correct() {
+        let wl = IteratedFma {
+            n: 256,
+            threads_per_block: 64,
+            iters: 8,
+        };
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let out = run_solo(&mut gpu, &wl).expect("runs");
+        wl.verify(&out)
+            .expect("GPU FMA must equal host mul_add bitwise");
+    }
+
+    #[test]
+    fn golden_reference_is_deterministic() {
+        let wl = IteratedFma::default();
+        assert_eq!(wl.golden(), wl.golden());
+        assert_eq!(wl.golden().len(), wl.n as usize);
+    }
+
+    #[test]
+    fn grid_covers_all_elements() {
+        let wl = IteratedFma {
+            n: 100,
+            threads_per_block: 32,
+            iters: 1,
+        };
+        assert_eq!(wl.grid_blocks(), 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! The [`Workload`] trait: a deterministic GPU computation with a CPU
+//! reference, runnable in any [`crate::session::GpuSession`].
+
+use crate::session::{GpuSession, SessionError};
+use std::fmt;
+
+/// Output comparison tolerance for verification against the CPU reference.
+///
+/// Replica-vs-replica comparison is always bitwise (that is the DCLS safety
+/// mechanism); tolerances only apply to GPU-vs-CPU-reference verification,
+/// where accumulation order may legitimately differ (as between CUDA and
+/// C++ in the original Rodinia).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Outputs are integers/exact words.
+    Exact,
+    /// Outputs are `f32` values compared with relative/absolute tolerance.
+    Approx {
+        /// Relative tolerance.
+        rel: f32,
+        /// Absolute tolerance.
+        abs: f32,
+    },
+}
+
+impl Tolerance {
+    /// Default float tolerance.
+    pub fn approx() -> Self {
+        Tolerance::Approx {
+            rel: 1e-4,
+            abs: 1e-5,
+        }
+    }
+}
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// First failing word index.
+    pub index: usize,
+    /// Produced word.
+    pub got: u32,
+    /// Expected word.
+    pub expected: u32,
+    /// Total failing words.
+    pub mismatches: usize,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output differs from reference at word {} (got 0x{:08x}, expected 0x{:08x}; {} total mismatches)",
+            self.index, self.got, self.expected, self.mismatches
+        )
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies `got` against `expected` under `tol`.
+///
+/// # Errors
+///
+/// Returns the first mismatch (and the mismatch count) on failure.
+pub fn verify_words(got: &[u32], expected: &[u32], tol: Tolerance) -> Result<(), VerifyError> {
+    let mut first: Option<(usize, u32, u32)> = None;
+    let mut mismatches = 0usize;
+    for (i, (&g, &e)) in got.iter().zip(expected.iter()).enumerate() {
+        let ok = match tol {
+            Tolerance::Exact => g == e,
+            Tolerance::Approx { rel, abs } => {
+                let (fg, fe) = (f32::from_bits(g), f32::from_bits(e));
+                if fg.is_nan() && fe.is_nan() {
+                    true
+                } else {
+                    let diff = (fg - fe).abs();
+                    diff <= abs || diff <= rel * fe.abs().max(fg.abs())
+                }
+            }
+        };
+        if !ok {
+            mismatches += 1;
+            if first.is_none() {
+                first = Some((i, g, e));
+            }
+        }
+    }
+    if got.len() != expected.len() {
+        mismatches += got.len().abs_diff(expected.len());
+        if first.is_none() {
+            first = Some((got.len().min(expected.len()), 0, 0));
+        }
+    }
+    match first {
+        None => Ok(()),
+        Some((index, got, expected)) => Err(VerifyError {
+            index,
+            got,
+            expected,
+            mismatches,
+        }),
+    }
+}
+
+/// A workload: deterministic inputs, a GPU host program and a CPU reference.
+///
+/// `Sync` because campaign workers share one workload description across
+/// threads (each worker drives its own private GPU; the workload itself is
+/// immutable configuration). Rodinia benchmarks, synthetic stress kernels
+/// and campaign workloads all implement this one trait — the same host
+/// program runs solo, redundantly, and inside fault campaigns.
+pub trait Workload: fmt::Debug + Sync {
+    /// Workload name (matches the paper's figures for Rodinia benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// Runs the host program in `session`; returns the output words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SessionError`] from the backend.
+    fn run(&self, session: &mut dyn GpuSession) -> Result<Vec<u32>, SessionError>;
+
+    /// CPU reference output (words).
+    fn reference(&self) -> Vec<u32>;
+
+    /// GPU-vs-reference comparison tolerance.
+    fn tolerance(&self) -> Tolerance;
+
+    /// Verifies a GPU output against the CPU reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch on failure.
+    fn verify(&self, out: &[u32]) -> Result<(), VerifyError> {
+        verify_words(out, &self.reference(), self.tolerance())
+    }
+}
+
+/// Wraps `f32` outputs into words for [`Workload::reference`].
+pub fn f32s_to_words(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_exact_catches_mismatch() {
+        let got = [1u32, 2, 3];
+        let expected = [1u32, 9, 3];
+        let err = verify_words(&got, &expected, Tolerance::Exact).expect_err("mismatch");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.mismatches, 1);
+    }
+
+    #[test]
+    fn verify_approx_allows_small_drift() {
+        let got = f32s_to_words(&[1.0, 2.00001]);
+        let expected = f32s_to_words(&[1.0, 2.0]);
+        verify_words(&got, &expected, Tolerance::approx()).expect("within tolerance");
+        let far = f32s_to_words(&[1.0, 2.1]);
+        assert!(verify_words(&far, &expected, Tolerance::approx()).is_err());
+    }
+
+    #[test]
+    fn verify_length_mismatch_fails() {
+        let got = [1u32, 2];
+        let expected = [1u32, 2, 3];
+        assert!(verify_words(&got, &expected, Tolerance::Exact).is_err());
+    }
+
+    #[test]
+    fn nan_matches_nan_in_approx_mode() {
+        let got = f32s_to_words(&[f32::NAN]);
+        let expected = f32s_to_words(&[f32::NAN]);
+        verify_words(&got, &expected, Tolerance::approx()).expect("NaN == NaN for verification");
+    }
+}

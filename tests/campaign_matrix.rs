@@ -1,0 +1,133 @@
+//! The campaign-matrix acceptance fence: fault campaigns over 10+ Rodinia
+//! workloads under 2+ scheduler policies via the unified registry, with
+//! every parallel report bit-identical to the serial reference engine, and
+//! per-trial golden determinism under device reset/reuse.
+
+use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
+use higpu_core::policy::PolicyKind;
+use higpu_core::redundancy::RedundancyMode;
+use higpu_faults::campaign::{
+    draw_models, dry_run_makespan, run_trial, CampaignConfig, CampaignRunner, FaultSpec,
+};
+use higpu_faults::workload::CampaignWorkload;
+use higpu_sim::gpu::Gpu;
+use higpu_workloads::runner::run_solo;
+use higpu_workloads::Scale;
+
+/// The Rodinia subset swept in tier-1 (kept to the fastest campaign-scale
+/// benchmarks so the bit-identity check — which runs every campaign twice —
+/// stays quick; the `campaign_matrix` binary sweeps all of them).
+const TIER1_WORKLOADS: [&str; 11] = [
+    "backprop",
+    "bfs",
+    "dwt2d",
+    "gaussian",
+    "hotspot",
+    "hotspot3D",
+    "kmeans",
+    "nn",
+    "nw",
+    "pathfinder",
+    "srad",
+];
+
+#[test]
+fn matrix_over_rodinia_suite_is_bit_identical_to_serial_reference() {
+    let reg = full_registry();
+    let cfg = MatrixConfig {
+        trials: 2,
+        workloads: TIER1_WORKLOADS.iter().map(|s| s.to_string()).collect(),
+        policies: vec![PolicyKind::Srrs, PolicyKind::Half],
+        faults: vec![FaultSpec::Permanent],
+        check_serial: true, // asserts parallel == serial for every cell
+        ..MatrixConfig::default()
+    };
+    let m = run_matrix(&reg, &cfg).expect("sweep");
+    assert_eq!(
+        m.reports.len(),
+        TIER1_WORKLOADS.len() * 2,
+        "11 workloads x 2 policies x 1 fault"
+    );
+    assert_eq!(
+        m.undetected_under_diverse_policies(),
+        0,
+        "diverse policies must not fail silently on any Rodinia workload: {:?}",
+        m.reports
+    );
+    for r in &m.reports {
+        assert_eq!(
+            r.trials,
+            r.not_activated + r.masked + r.detected + r.undetected,
+            "every trial classified: {r:?}"
+        );
+    }
+}
+
+/// Regression fence for the campaign watchdog: this exact configuration
+/// (leukocyte × voltage-droop × SRRS at the default matrix seed) used to
+/// livelock — a droop flipping the sign bit of a loop counter turned a
+/// fixed 3×… pass loop into a ~2³¹-iteration runaway. The watchdog deadline
+/// now classifies such trials as detected (the DCLS host's deadline
+/// monitor), so the campaign completes promptly and stays bit-identical to
+/// the serial reference.
+#[test]
+fn runaway_corrupted_loops_are_detected_by_the_watchdog_not_simulated() {
+    let reg = full_registry();
+    let cfg = MatrixConfig {
+        trials: 3,
+        workloads: vec!["leukocyte".into()],
+        policies: vec![PolicyKind::Srrs],
+        faults: vec![FaultSpec::Droop { duration: 400 }],
+        check_serial: true,
+        ..MatrixConfig::default()
+    };
+    let m = run_matrix(&reg, &cfg).expect("sweep completes");
+    let r = &m.reports[0];
+    assert_eq!(r.trials, 3);
+    assert_eq!(
+        r.undetected, 0,
+        "temporal diversity + deadline monitor leave nothing silent: {r:?}"
+    );
+}
+
+/// Golden determinism under campaign reset/reuse for three ported Rodinia
+/// workloads: a trial on a reused (reset) device must classify exactly as
+/// on a fresh device, and fault-free solo outputs must be bitwise stable
+/// across reset.
+#[test]
+fn rodinia_trials_are_deterministic_under_device_reuse() {
+    let reg = full_registry();
+    let cfg = CampaignConfig {
+        trials: 4,
+        seed: 0x60D1DE7,
+        ..CampaignConfig::default()
+    };
+    let mode = RedundancyMode::srrs_default(cfg.gpu.num_sms);
+    for name in ["bfs", "hotspot", "nn"] {
+        let wl = CampaignWorkload::from_registry(&reg, name, Scale::Campaign).expect("registered");
+        let window = dry_run_makespan(&cfg, &mode, &wl)
+            .unwrap_or_else(|e| panic!("{name}: dry run failed: {e}"));
+        let models = draw_models(&cfg, FaultSpec::Transient { duration: 400 }, window);
+        let mut runner = CampaignRunner::new(&cfg);
+        for (i, &model) in models.iter().enumerate() {
+            let reused = runner
+                .run_trial(&mode, &wl, model)
+                .unwrap_or_else(|e| panic!("{name}: reused trial {i} failed: {e}"));
+            let fresh = run_trial(&cfg, &mode, &wl, model)
+                .unwrap_or_else(|e| panic!("{name}: fresh trial {i} failed: {e}"));
+            assert_eq!(
+                reused, fresh,
+                "{name}: trial {i} must not see residue from earlier trials"
+            );
+        }
+
+        // Fault-free golden stability across reset on one shared device.
+        let workload = reg.build(name, Scale::Campaign).expect("registered");
+        let mut gpu = Gpu::new(cfg.gpu.clone());
+        let first = run_solo(&mut gpu, &*workload).expect("first solo run");
+        gpu.reset().expect("idle");
+        let second = run_solo(&mut gpu, &*workload).expect("second solo run");
+        assert_eq!(first, second, "{name}: reset device must reproduce bits");
+        workload.verify(&first).expect("matches CPU reference");
+    }
+}
