@@ -1,12 +1,19 @@
-//! Sweeps fault campaigns over {workload × fault model × scheduler policy}
-//! through the unified workload registry and prints the coverage/detection
-//! matrix (the paper's safety argument over the full Rodinia suite).
+//! Sweeps fault campaigns over {workload × fault model × scheduler policy ×
+//! replica count} through the unified workload registry and prints the
+//! coverage/detection matrix (the paper's safety argument over the full
+//! Rodinia suite, extended along the NMR replica axis).
 //!
 //! ```text
 //! campaign_matrix [--trials N] [--seed S] [--workloads a,b,c]
-//!                 [--policies srrs,half,default] [--faults transient,droop,permanent,misroute]
+//!                 [--policies srrs,half,slice,default]
+//!                 [--faults transient,droop,permanent,misroute]
+//!                 [--replicas 2,3] [--assert-srrs-clean]
 //!                 [--full-scale] [--check-serial] [--csv] [--json PATH]
 //! ```
+//!
+//! `--assert-srrs-clean` exits non-zero unless every SRRS cell — at every
+//! swept replica count — reports zero undetected failures (the CI fence for
+//! the paper's ASIL-D claim).
 
 use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
 use higpu_bench::table;
@@ -20,7 +27,10 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
         "default" | "gpgpu-sim" => Ok(PolicyKind::Default),
         "srrs" => Ok(PolicyKind::Srrs),
         "half" => Ok(PolicyKind::Half),
-        other => Err(format!("unknown policy '{other}' (default|srrs|half)")),
+        "slice" => Ok(PolicyKind::Slice),
+        other => Err(format!(
+            "unknown policy '{other}' (default|srrs|half|slice)"
+        )),
     }
 }
 
@@ -40,6 +50,7 @@ struct Options {
     cfg: MatrixConfig,
     csv: bool,
     json: Option<String>,
+    assert_srrs_clean: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
         cfg: MatrixConfig::default(),
         csv: false,
         json: None,
+        assert_srrs_clean: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -83,6 +95,17 @@ fn parse_args() -> Result<Options, String> {
                     .map(parse_fault)
                     .collect::<Result<_, _>>()?;
             }
+            "--replicas" => {
+                opts.cfg.replica_counts = value("--replicas")?
+                    .split(',')
+                    .map(|r| {
+                        r.trim()
+                            .parse::<u8>()
+                            .map_err(|e| format!("--replicas: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--assert-srrs-clean" => opts.assert_srrs_clean = true,
             "--full-scale" => opts.cfg.scale = Scale::Full,
             "--check-serial" => opts.cfg.check_serial = true,
             "--csv" => opts.csv = true,
@@ -103,7 +126,7 @@ fn main() -> ExitCode {
     };
     let reg = full_registry();
     eprintln!(
-        "Campaign matrix — {} workload(s) x {} policies x {} faults, {} trials/cell\n",
+        "Campaign matrix — {} workload(s) x {} policies x {} faults x replicas {:?}, {} trials/cell\n",
         if opts.cfg.workloads.is_empty() {
             reg.len()
         } else {
@@ -111,6 +134,7 @@ fn main() -> ExitCode {
         },
         opts.cfg.policies.len(),
         opts.cfg.faults.len(),
+        opts.cfg.replica_counts,
         opts.cfg.trials
     );
     let m = match run_matrix(&reg, &opts.cfg) {
@@ -126,9 +150,23 @@ fn main() -> ExitCode {
     } else {
         println!("{}", table::render(&t));
         println!(
-            "undetected failures under SRRS/HALF: {} (the paper's ASIL-D claim requires 0)",
-            m.undetected_under_diverse_policies()
+            "undetected failures under SRRS/HALF/SLICE: {} (the paper's ASIL-D claim requires 0); \
+             corrected by N>=3 majority voting: {}",
+            m.undetected_under_diverse_policies(),
+            m.total_corrected()
         );
+        for p in m.frontier() {
+            println!(
+                "frontier: {:9} N={}  detected={:3}  corrected={:3}  undetected={:3}  \
+                 mean makespan overhead {:.2}x",
+                p.policy,
+                p.replicas,
+                p.detected,
+                p.corrected,
+                p.undetected,
+                p.mean_makespan_overhead
+            );
+        }
     }
     if let Some(path) = opts.json {
         if let Err(e) = std::fs::write(&path, m.to_json() + "\n") {
@@ -136,6 +174,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
+    }
+    if opts.assert_srrs_clean {
+        for replicas in &m.replica_counts {
+            let srrs: Vec<_> = m
+                .reports
+                .iter()
+                .filter(|r| r.policy == "SRRS" && r.replicas == *replicas)
+                .collect();
+            if srrs.is_empty() {
+                // A fence that measured nothing must not report success.
+                eprintln!(
+                    "campaign_matrix: --assert-srrs-clean but no SRRS cell was swept at \
+                     {replicas} replicas (check --policies/--replicas) — fence vacuous"
+                );
+                return ExitCode::FAILURE;
+            }
+            let undetected: u32 = srrs.iter().map(|r| r.undetected).sum();
+            if undetected != 0 {
+                eprintln!(
+                    "campaign_matrix: SRRS at {replicas} replicas shows {undetected} \
+                     undetected failure(s) — ASIL-D fence violated"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "campaign_matrix: SRRS clean at {replicas} replicas ({} cells, undetected == 0)",
+                srrs.len()
+            );
+        }
     }
     ExitCode::SUCCESS
 }

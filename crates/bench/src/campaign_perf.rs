@@ -126,7 +126,7 @@ impl ThroughputResult {
              \"serial\": {},\n  \"parallel\": [\n    {}\n  ],\n  \
              \"best\": {{\"workers\": {}, \"speedup_vs_serial\": {:.3}}},\n  \
              \"report\": {{\"not_activated\": {}, \"masked\": {}, \"detected\": {}, \
-             \"undetected\": {}}}{}\n}}\n",
+             \"corrected\": {}, \"undetected\": {}}}{}\n}}\n",
             self.workload,
             self.fault,
             self.trials,
@@ -141,6 +141,7 @@ impl ThroughputResult {
             self.report.not_activated,
             self.report.masked,
             self.report.detected,
+            self.report.corrected,
             self.report.undetected,
             extra,
         )

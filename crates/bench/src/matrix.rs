@@ -1,8 +1,10 @@
 //! The campaign matrix: fault-injection campaigns swept over
-//! {workload × fault model × scheduler policy}, resolved through the
-//! unified workload registry — the paper's coverage argument (Fig. 3/4
-//! territory) extended from one synthetic workload to the full Rodinia
-//! suite.
+//! {workload × fault model × scheduler policy × replica count}, resolved
+//! through the unified workload registry — the paper's coverage argument
+//! (Fig. 3/4 territory) extended from one synthetic two-replica workload to
+//! the full Rodinia suite at N ∈ {2, 3, …} replicas, with the
+//! coverage-vs-cost *frontier* (detected/corrected/undetected vs makespan
+//! overhead) summarized per (policy, replicas).
 
 use crate::campaign_perf::ThroughputResult;
 use higpu_core::policy::PolicyKind;
@@ -10,6 +12,8 @@ use higpu_faults::campaign::{
     run_campaign_selected, run_campaign_selected_serial, CampaignConfig, CampaignError,
     CampaignReport, CampaignSpec, FaultSpec,
 };
+use higpu_sim::gpu::Gpu;
+use higpu_workloads::runner::run_solo;
 use higpu_workloads::{Scale, WorkloadRegistry};
 
 /// The registry every sweep resolves workloads from: the synthetic
@@ -24,16 +28,21 @@ pub fn full_registry() -> WorkloadRegistry {
 /// Sweep parameters.
 #[derive(Debug, Clone)]
 pub struct MatrixConfig {
-    /// Injection trials per (workload, policy, fault) cell.
+    /// Injection trials per (workload, policy, fault, replicas) cell.
     pub trials: u32,
     /// Campaign seed (each cell is fully reproducible).
     pub seed: u64,
     /// Workload names to sweep; empty = every registered workload.
     pub workloads: Vec<String>,
-    /// Scheduler policies to sweep.
+    /// Scheduler policies to sweep. At each replica count a policy is
+    /// realized through [`PolicyKind::for_replicas`]: HALF generalizes to
+    /// SLICE above two replicas, the uncontrolled baseline (two-replica
+    /// only) is skipped, duplicates are deduplicated.
     pub policies: Vec<PolicyKind>,
     /// Fault families to sweep.
     pub faults: Vec<FaultSpec>,
+    /// Replica counts to sweep (the NMR axis; 2 = the paper's DCLS).
+    pub replica_counts: Vec<u8>,
     /// Input scale built per workload.
     pub scale: Scale,
     /// Worker threads per campaign (0 = auto; see
@@ -52,11 +61,33 @@ impl Default for MatrixConfig {
             workloads: Vec::new(),
             policies: PolicyKind::all().to_vec(),
             faults: vec![FaultSpec::Transient { duration: 400 }, FaultSpec::Permanent],
+            replica_counts: vec![2, 3],
             scale: Scale::Campaign,
             workers: 0,
             check_serial: false,
         }
     }
+}
+
+/// One (policy, replicas) aggregate of the coverage-vs-cost frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// Policy label.
+    pub policy: String,
+    /// Replica count.
+    pub replicas: u8,
+    /// Cells aggregated.
+    pub cells: u32,
+    /// Summed detected trials.
+    pub detected: u32,
+    /// Summed corrected trials.
+    pub corrected: u32,
+    /// Summed undetected failures.
+    pub undetected: u32,
+    /// Mean redundant fault-free makespan over the workloads' solo
+    /// makespans (the cost of the redundancy level; ≥ replicas for
+    /// serializing policies, < replicas for concurrent ones).
+    pub mean_makespan_overhead: f64,
 }
 
 /// Results of one sweep.
@@ -68,15 +99,22 @@ pub struct MatrixResult {
     pub seed: u64,
     /// Scale label (`campaign` / `full`).
     pub scale: &'static str,
-    /// One report per (workload, policy, fault) cell, in sweep order.
+    /// Replica counts swept.
+    pub replica_counts: Vec<u8>,
+    /// Fault-free **solo** (non-redundant) makespan per swept workload —
+    /// the denominator of every cell's makespan overhead.
+    pub solo_makespans: Vec<(String, u64)>,
+    /// One report per (workload, replicas, policy, fault) cell, in sweep
+    /// order.
     pub reports: Vec<CampaignReport>,
 }
 
 impl MatrixResult {
     /// Total undetected failures across cells whose policy guarantees
-    /// diversity (the paper's ASIL-D claim requires this to be 0).
+    /// diversity (the paper's ASIL-D claim requires this to be 0 — at
+    /// every replica count).
     pub fn undetected_under_diverse_policies(&self) -> u32 {
-        let diverse_labels: Vec<&str> = PolicyKind::all()
+        let diverse_labels: Vec<&str> = PolicyKind::all_extended()
             .into_iter()
             .filter(|p| p.guarantees_diversity())
             .map(PolicyKind::label)
@@ -88,74 +126,172 @@ impl MatrixResult {
             .sum()
     }
 
+    /// Total corrected trials across all cells (non-zero only when the
+    /// sweep includes N ≥ 3 replica counts).
+    pub fn total_corrected(&self) -> u32 {
+        self.reports.iter().map(|r| r.corrected).sum()
+    }
+
+    /// The solo makespan of `workload`, if it was swept.
+    fn solo_makespan(&self, workload: &str) -> Option<u64> {
+        self.solo_makespans
+            .iter()
+            .find(|(n, _)| n == workload)
+            .map(|&(_, m)| m)
+    }
+
+    /// A cell's makespan overhead: redundant fault-free makespan over the
+    /// workload's solo makespan.
+    pub fn makespan_overhead(&self, r: &CampaignReport) -> Option<f64> {
+        let solo = self.solo_makespan(&r.workload)?;
+        (solo > 0).then(|| r.fault_free_makespan as f64 / solo as f64)
+    }
+
+    /// The coverage-vs-cost frontier: per (policy, replicas), summed
+    /// outcome counts and the mean makespan overhead — the quantitative
+    /// form of the ASIL-decomposition trade (more replicas buy correction,
+    /// at redundant-makespan cost).
+    pub fn frontier(&self) -> Vec<FrontierPoint> {
+        let mut points: Vec<FrontierPoint> = Vec::new();
+        for r in &self.reports {
+            let overhead = self.makespan_overhead(r).unwrap_or(0.0);
+            match points
+                .iter_mut()
+                .find(|p| p.policy == r.policy && p.replicas == r.replicas)
+            {
+                Some(p) => {
+                    p.cells += 1;
+                    p.detected += r.detected;
+                    p.corrected += r.corrected;
+                    p.undetected += r.undetected;
+                    p.mean_makespan_overhead += overhead;
+                }
+                None => points.push(FrontierPoint {
+                    policy: r.policy.clone(),
+                    replicas: r.replicas,
+                    cells: 1,
+                    detected: r.detected,
+                    corrected: r.corrected,
+                    undetected: r.undetected,
+                    mean_makespan_overhead: overhead,
+                }),
+            }
+        }
+        for p in &mut points {
+            p.mean_makespan_overhead /= f64::from(p.cells.max(1));
+        }
+        points
+    }
+
     /// Renders the matrix as rows for [`crate::table`].
     pub fn to_table(&self) -> Vec<Vec<String>> {
         let mut out = vec![vec![
             "workload".to_string(),
             "policy".to_string(),
+            "N".to_string(),
             "fault".to_string(),
             "trials".to_string(),
             "inactive".to_string(),
             "masked".to_string(),
             "detected".to_string(),
+            "corrected".to_string(),
             "UNDETECTED".to_string(),
             "coverage".to_string(),
+            "overhead".to_string(),
         ]];
         for r in &self.reports {
             out.push(vec![
                 r.workload.clone(),
                 r.policy.clone(),
+                r.replicas.to_string(),
                 r.fault.to_string(),
                 r.trials.to_string(),
                 r.not_activated.to_string(),
                 r.masked.to_string(),
                 r.detected.to_string(),
+                r.corrected.to_string(),
                 r.undetected.to_string(),
                 r.coverage()
                     .map_or("n/a".to_string(), |c| format!("{:.0}%", c * 100.0)),
+                self.makespan_overhead(r)
+                    .map_or("n/a".to_string(), |o| format!("{o:.2}x")),
             ]);
         }
         out
     }
 
-    /// Renders the matrix as a JSON value (an object with sweep metadata
-    /// and one entry per cell).
+    /// Renders the matrix as a JSON value: sweep metadata, one entry per
+    /// cell, and the per-(policy, replicas) coverage-vs-cost frontier.
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self
             .reports
             .iter()
             .map(|r| {
                 format!(
-                    "{{\"workload\": \"{}\", \"policy\": \"{}\", \"fault\": \"{}\", \
-                     \"trials\": {}, \"not_activated\": {}, \"masked\": {}, \
-                     \"detected\": {}, \"undetected\": {}, \"coverage\": {}}}",
+                    "{{\"workload\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
+                     \"fault\": \"{}\", \"trials\": {}, \"not_activated\": {}, \
+                     \"masked\": {}, \"detected\": {}, \"corrected\": {}, \
+                     \"undetected\": {}, \"coverage\": {}, \
+                     \"fault_free_makespan\": {}, \"makespan_overhead\": {}}}",
                     r.workload,
                     r.policy,
+                    r.replicas,
                     r.fault,
                     r.trials,
                     r.not_activated,
                     r.masked,
                     r.detected,
+                    r.corrected,
                     r.undetected,
                     r.coverage()
                         .map_or("null".to_string(), |c| format!("{c:.4}")),
+                    r.fault_free_makespan,
+                    self.makespan_overhead(r)
+                        .map_or("null".to_string(), |o| format!("{o:.3}")),
                 )
             })
             .collect();
+        let frontier: Vec<String> = self
+            .frontier()
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"policy\": \"{}\", \"replicas\": {}, \"cells\": {}, \
+                     \"detected\": {}, \"corrected\": {}, \"undetected\": {}, \
+                     \"mean_makespan_overhead\": {:.3}}}",
+                    p.policy,
+                    p.replicas,
+                    p.cells,
+                    p.detected,
+                    p.corrected,
+                    p.undetected,
+                    p.mean_makespan_overhead,
+                )
+            })
+            .collect();
+        let replica_counts: Vec<String> = self.replica_counts.iter().map(u8::to_string).collect();
         format!(
             "{{\n    \"trials_per_cell\": {},\n    \"seed\": {},\n    \"scale\": \"{}\",\n    \
-             \"undetected_under_diverse_policies\": {},\n    \"cells\": [\n      {}\n    ]\n  }}",
+             \"replica_counts\": [{}],\n    \
+             \"undetected_under_diverse_policies\": {},\n    \
+             \"total_corrected\": {},\n    \"cells\": [\n      {}\n    ],\n    \
+             \"frontier\": [\n      {}\n    ]\n  }}",
             self.trials,
             self.seed,
             self.scale,
+            replica_counts.join(", "),
             self.undetected_under_diverse_policies(),
+            self.total_corrected(),
             cells.join(",\n      "),
+            frontier.join(",\n      "),
         )
     }
 }
 
-/// Runs the sweep: one parallel campaign per (workload, policy, fault)
-/// cell, all resolved through `reg`.
+/// Runs the sweep: one parallel campaign per (workload, replicas, policy,
+/// fault) cell, all resolved through `reg`. Policies are realized per
+/// replica count via [`PolicyKind::for_replicas`] (HALF → SLICE above two
+/// replicas; the uncontrolled baseline only at two), then deduplicated.
 ///
 /// # Errors
 ///
@@ -181,26 +317,62 @@ pub fn run_matrix(
         workers: cfg.workers,
         ..CampaignConfig::default()
     };
-    let mut reports = Vec::with_capacity(names.len() * cfg.policies.len() * cfg.faults.len());
+    // Solo (non-redundant) fault-free makespan per workload: the cost
+    // baseline every redundant cell's overhead is measured against.
+    let mut solo_makespans = Vec::with_capacity(names.len());
     for name in &names {
-        for &policy in &cfg.policies {
-            for &fault in &cfg.faults {
-                let spec = CampaignSpec {
-                    workload: name.clone(),
-                    scale: cfg.scale,
-                    policy,
-                    fault,
-                };
-                let report = run_campaign_selected(&campaign, reg, &spec)?;
-                if cfg.check_serial {
-                    let serial = run_campaign_selected_serial(&campaign, reg, &spec)?;
-                    assert_eq!(
-                        report, serial,
-                        "parallel report must be bit-identical to the serial reference \
-                         for {name} under {policy:?}/{fault:?}"
-                    );
+        let workload = reg
+            .build(name, cfg.scale)
+            .ok_or_else(|| CampaignError::UnknownWorkload(name.clone()))?;
+        let mut gpu = Gpu::new(campaign.gpu.clone());
+        run_solo(&mut gpu, &*workload).map_err(|e| {
+            CampaignError::Redundancy(match e {
+                higpu_workloads::SessionError::Sim(err) => {
+                    higpu_core::redundancy::RedundancyError::Sim(err)
                 }
-                reports.push(report);
+                higpu_workloads::SessionError::Redundancy(err) => err,
+                // Solo sessions have one replica; mismatches cannot occur.
+                higpu_workloads::SessionError::ReplicaMismatch { .. } => {
+                    unreachable!("solo runs cannot mismatch")
+                }
+            })
+        })?;
+        solo_makespans.push((name.clone(), gpu.trace().makespan().unwrap_or(0)));
+    }
+    let mut reports = Vec::with_capacity(
+        names.len() * cfg.replica_counts.len() * cfg.policies.len() * cfg.faults.len(),
+    );
+    for name in &names {
+        for &replicas in &cfg.replica_counts {
+            let mut realized: Vec<PolicyKind> = Vec::new();
+            for policy in &cfg.policies {
+                let Some(p) = policy.for_replicas(replicas) else {
+                    continue; // e.g. the uncontrolled baseline above N=2
+                };
+                if !realized.contains(&p) {
+                    realized.push(p); // HALF and SLICE may coincide at N>2
+                }
+            }
+            for &policy in &realized {
+                for &fault in &cfg.faults {
+                    let spec = CampaignSpec {
+                        workload: name.clone(),
+                        scale: cfg.scale,
+                        policy,
+                        fault,
+                        replicas,
+                    };
+                    let report = run_campaign_selected(&campaign, reg, &spec)?;
+                    if cfg.check_serial {
+                        let serial = run_campaign_selected_serial(&campaign, reg, &spec)?;
+                        assert_eq!(
+                            report, serial,
+                            "parallel report must be bit-identical to the serial reference \
+                             for {name} under {policy:?}/{fault:?} at {replicas} replicas"
+                        );
+                    }
+                    reports.push(report);
+                }
             }
         }
     }
@@ -208,12 +380,14 @@ pub fn run_matrix(
         trials: cfg.trials,
         seed: cfg.seed,
         scale: cfg.scale.label(),
+        replica_counts: cfg.replica_counts.clone(),
+        solo_makespans,
         reports,
     })
 }
 
 /// Renders the combined `BENCH_campaign.json` document: engine throughput
-/// plus the campaign matrix.
+/// plus the campaign matrix (cells and coverage-vs-cost frontier).
 pub fn bench_document(throughput: &ThroughputResult, matrix: &MatrixResult) -> String {
     throughput.to_json_with_extra(&[("matrix", &matrix.to_json())])
 }
@@ -223,7 +397,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn small_matrix_sweeps_and_renders() {
+    fn small_matrix_sweeps_replicas_and_renders() {
         let reg = full_registry();
         assert!(reg.len() >= 17, "synthetic + 16 Rodinia");
         let cfg = MatrixConfig {
@@ -235,13 +409,67 @@ mod tests {
             ..MatrixConfig::default()
         };
         let m = run_matrix(&reg, &cfg).expect("sweep");
-        assert_eq!(m.reports.len(), 4, "2 workloads x 2 policies x 1 fault");
+        assert_eq!(
+            m.reports.len(),
+            8,
+            "2 workloads x (2 policies @ N=2 + {{SRRS, SLICE}} @ N=3) x 1 fault"
+        );
         assert_eq!(m.undetected_under_diverse_policies(), 0);
+        assert!(
+            m.total_corrected() > 0,
+            "TMR cells must outvote some faults: {:?}",
+            m.reports
+        );
+        // Two-replica cells never correct.
+        for r in m.reports.iter().filter(|r| r.replicas == 2) {
+            assert_eq!(r.corrected, 0, "{r:?}");
+        }
         let table = m.to_table();
-        assert_eq!(table.len(), 5, "header + 4 rows");
+        assert_eq!(table.len(), 9, "header + 8 rows");
         let json = m.to_json();
         assert!(json.contains("\"workload\": \"nn\""));
-        assert!(json.contains("\"cells\""));
+        assert!(json.contains("\"replicas\": 3"));
+        assert!(json.contains("\"frontier\""));
+        assert!(json.contains("\"policy\": \"SLICE\""));
+        // Frontier points exist for every realized (policy, replicas).
+        let frontier = m.frontier();
+        assert!(frontier
+            .iter()
+            .any(|p| p.policy == "SRRS" && p.replicas == 3 && p.mean_makespan_overhead > 2.0));
+        // Costs rise with the replica count under the serializing policy.
+        let srrs2 = frontier
+            .iter()
+            .find(|p| p.policy == "SRRS" && p.replicas == 2)
+            .expect("srrs@2");
+        let srrs3 = frontier
+            .iter()
+            .find(|p| p.policy == "SRRS" && p.replicas == 3)
+            .expect("srrs@3");
+        assert!(
+            srrs3.mean_makespan_overhead > srrs2.mean_makespan_overhead,
+            "a third serialized replica must cost makespan: {srrs2:?} vs {srrs3:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_realized_policies_are_swept_once() {
+        let reg = full_registry();
+        let cfg = MatrixConfig {
+            trials: 1,
+            workloads: vec!["iterated_fma".into()],
+            policies: vec![PolicyKind::Half, PolicyKind::Slice],
+            faults: vec![FaultSpec::Permanent],
+            replica_counts: vec![3],
+            ..MatrixConfig::default()
+        };
+        let m = run_matrix(&reg, &cfg).expect("sweep");
+        assert_eq!(
+            m.reports.len(),
+            1,
+            "HALF and SLICE both realize as SLICE at N=3: {:?}",
+            m.reports
+        );
+        assert_eq!(m.reports[0].policy, "SLICE");
     }
 
     #[test]

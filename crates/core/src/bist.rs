@@ -131,6 +131,17 @@ pub fn scheduler_bist(
                         Some(part.range(num_sms).start) // any SM in range; report
                     }
                 }
+                RedundancyMode::Slice { replicas } => {
+                    let slice = higpu_sim::kernel::SmSlice {
+                        index: tag.replica,
+                        of: *replicas,
+                    };
+                    if slice.contains(b.sm, num_sms) {
+                        None // constrained to a set; containment holds
+                    } else {
+                        Some(slice.range(num_sms).start) // any SM in range; report
+                    }
+                }
                 RedundancyMode::Uncontrolled => None,
             };
             let observed_sm = observed[r][b.block as usize] as usize;
@@ -169,6 +180,15 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::paper_6sm());
         let report = scheduler_bist(&mut gpu, RedundancyMode::Half, 12).expect("bist runs");
         assert!(report.passed(), "healthy scheduler: {report:?}");
+    }
+
+    #[test]
+    fn bist_passes_on_healthy_slice_scheduler_at_three_replicas() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let report =
+            scheduler_bist(&mut gpu, RedundancyMode::Slice { replicas: 3 }, 6).expect("bist runs");
+        assert!(report.passed(), "healthy scheduler: {report:?}");
+        assert_eq!(report.checked, 18, "6 blocks x 3 replicas");
     }
 
     #[test]

@@ -42,12 +42,14 @@ impl FaultRates {
     }
 
     /// Builds rates from campaign evidence, treating undetected failures as
-    /// residual faults. `latent` counts diversity-reducing faults that
-    /// escaped the periodic self-test (0 when the BIST catches them all).
+    /// residual faults. Corrected trials (N ≥ 3 majority votes) count as
+    /// detected: the safety mechanism observed and handled them. `latent`
+    /// counts diversity-reducing faults that escaped the periodic self-test
+    /// (0 when the BIST catches them all).
     pub fn from_campaign(evidence: &crate::safety_case::DetectionEvidence, latent: u64) -> Self {
         FaultRates {
             safe: evidence.masked as f64,
-            detected: evidence.detected as f64,
+            detected: (evidence.detected + evidence.corrected) as f64,
             residual: evidence.undetected_failures as f64,
             latent: latent as f64,
         }
@@ -199,17 +201,19 @@ mod tests {
         let e = DetectionEvidence {
             activated: 100,
             masked: 20,
-            detected: 80,
+            detected: 75,
+            corrected: 5,
             undetected_failures: 0,
         };
         let m = HardwareMetrics::from_rates(&FaultRates::from_campaign(&e, 0));
-        assert!(m.meets(Asil::D));
+        assert!(m.meets(Asil::D), "corrected trials count as detected");
 
         // An uncontrolled campaign with undetected failures.
         let bad = DetectionEvidence {
             activated: 100,
             masked: 0,
             detected: 67,
+            corrected: 0,
             undetected_failures: 33,
         };
         let m = HardwareMetrics::from_rates(&FaultRates::from_campaign(&bad, 0));

@@ -9,8 +9,12 @@
 //!   halving), which guarantee that redundant thread blocks execute on
 //!   different SMs at different times — defeating both permanent SM faults
 //!   and transient common-cause faults (voltage droops, crosstalk);
-//! * [`redundancy`] — the five-step DCLS host protocol (allocate ×2,
-//!   copy ×2, launch ×2, collect ×2, compare);
+//! * [`redundancy`] — the five-step DCLS host protocol (allocate ×N,
+//!   copy ×N, launch ×N, collect ×N, compare/vote) generalized to
+//!   N-modular redundancy: SRRS start-SM vectors and SLICE SM slicing for
+//!   N ≥ 2 replicas;
+//! * [`vote`] — the bitwise per-word majority voter that turns N ≥ 3
+//!   replicas into forward recovery (corrected, not merely detected);
 //! * [`diversity`] — the trace analyzer that turns executions into
 //!   independence *evidence*;
 //! * [`classify`] — the short / heavy / friendly kernel taxonomy (Fig. 3)
@@ -74,6 +78,7 @@ pub mod metrics;
 pub mod policy;
 pub mod redundancy;
 pub mod safety_case;
+pub mod vote;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -84,9 +89,10 @@ pub mod prelude {
     pub use crate::ftti::{FttiBudget, RecoveryAnalysis};
     pub use crate::hw_metrics::{FaultRates, HardwareMetrics};
     pub use crate::metrics::{redundant_kernel_cycles, solo_kernel_cycles};
-    pub use crate::policy::{HalfScheduler, PolicyKind, SrrsScheduler};
+    pub use crate::policy::{HalfScheduler, PolicyKind, SliceScheduler, SrrsScheduler};
     pub use crate::redundancy::{
         Comparison, RBuf, RParam, RedundancyError, RedundancyMode, RedundantExecutor,
     };
     pub use crate::safety_case::{DetectionEvidence, SafetyCase};
+    pub use crate::vote::{majority_vote, VoteOutcome, VotedWords};
 }

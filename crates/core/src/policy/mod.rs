@@ -6,14 +6,17 @@
 //! for *friendly* kernels.
 
 pub mod half;
+pub mod slice;
 pub mod srrs;
 
 pub use half::HalfScheduler;
+pub use slice::SliceScheduler;
 pub use srrs::SrrsScheduler;
 
 use higpu_sim::scheduler::{DefaultScheduler, KernelSchedulerPolicy};
 
-/// The scheduling policies evaluated in the paper.
+/// The scheduling policies evaluated in the paper, plus the SLICE
+/// N-replica generalization of HALF used for N-modular redundancy sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Unconstrained COTS baseline (GPGPU-Sim default).
@@ -22,6 +25,8 @@ pub enum PolicyKind {
     Srrs,
     /// Static SM halving.
     Half,
+    /// Static N-way SM slicing (HALF generalized to N replicas).
+    Slice,
 }
 
 impl PolicyKind {
@@ -31,6 +36,7 @@ impl PolicyKind {
             PolicyKind::Default => Box::new(DefaultScheduler::new()),
             PolicyKind::Srrs => Box::new(SrrsScheduler::new()),
             PolicyKind::Half => Box::new(HalfScheduler::new()),
+            PolicyKind::Slice => Box::new(SliceScheduler::new()),
         }
     }
 
@@ -40,17 +46,57 @@ impl PolicyKind {
             PolicyKind::Default => "GPGPU-SIM",
             PolicyKind::Srrs => "SRRS",
             PolicyKind::Half => "HALF",
+            PolicyKind::Slice => "SLICE",
         }
     }
 
-    /// All three policies, in the order the paper plots them.
+    /// The paper's three policies, in the order the paper plots them
+    /// (SLICE, being a post-paper NMR generalization, is not included —
+    /// see [`PolicyKind::all_extended`]).
     pub fn all() -> [PolicyKind; 3] {
         [PolicyKind::Default, PolicyKind::Half, PolicyKind::Srrs]
     }
 
+    /// Every policy, the paper's three plus SLICE.
+    pub fn all_extended() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Default,
+            PolicyKind::Half,
+            PolicyKind::Srrs,
+            PolicyKind::Slice,
+        ]
+    }
+
     /// True for the policies that guarantee diverse redundancy.
     pub fn guarantees_diversity(self) -> bool {
-        matches!(self, PolicyKind::Srrs | PolicyKind::Half)
+        matches!(
+            self,
+            PolicyKind::Srrs | PolicyKind::Half | PolicyKind::Slice
+        )
+    }
+
+    /// The policy that realizes this one at `replicas` replicas, or `None`
+    /// when no generalization exists:
+    ///
+    /// * `Default` — the unconstrained baseline is only modelled
+    ///   two-replica;
+    /// * `Half` — exactly two replicas by construction; at N > 2 it
+    ///   generalizes to `Slice`;
+    /// * `Srrs` / `Slice` — N-replica-capable as-is.
+    ///
+    /// Replica sweeps (`higpu_bench::matrix`) use this to map the paper's
+    /// policy axis onto each replica count.
+    pub fn for_replicas(self, replicas: u8) -> Option<PolicyKind> {
+        match self {
+            PolicyKind::Default => (replicas == 2).then_some(PolicyKind::Default),
+            PolicyKind::Half => Some(if replicas == 2 {
+                PolicyKind::Half
+            } else {
+                PolicyKind::Slice
+            }),
+            PolicyKind::Srrs => Some(PolicyKind::Srrs),
+            PolicyKind::Slice => Some(PolicyKind::Slice),
+        }
     }
 }
 
@@ -63,6 +109,7 @@ mod tests {
         assert_eq!(PolicyKind::Default.build().name(), "default");
         assert_eq!(PolicyKind::Srrs.build().name(), "srrs");
         assert_eq!(PolicyKind::Half.build().name(), "half");
+        assert_eq!(PolicyKind::Slice.build().name(), "slice");
     }
 
     #[test]
@@ -70,6 +117,7 @@ mod tests {
         assert!(!PolicyKind::Default.guarantees_diversity());
         assert!(PolicyKind::Srrs.guarantees_diversity());
         assert!(PolicyKind::Half.guarantees_diversity());
+        assert!(PolicyKind::Slice.guarantees_diversity());
     }
 
     #[test]
@@ -77,5 +125,18 @@ mod tests {
         assert_eq!(PolicyKind::Default.label(), "GPGPU-SIM");
         assert_eq!(PolicyKind::Half.label(), "HALF");
         assert_eq!(PolicyKind::Srrs.label(), "SRRS");
+        assert_eq!(PolicyKind::Slice.label(), "SLICE");
+    }
+
+    #[test]
+    fn replica_mapping_keeps_paper_policies_at_two_and_generalizes_above() {
+        for p in PolicyKind::all() {
+            assert_eq!(p.for_replicas(2), Some(p), "{p:?} unchanged at N=2");
+        }
+        assert_eq!(PolicyKind::Default.for_replicas(3), None);
+        assert_eq!(PolicyKind::Half.for_replicas(3), Some(PolicyKind::Slice));
+        assert_eq!(PolicyKind::Srrs.for_replicas(3), Some(PolicyKind::Srrs));
+        assert_eq!(PolicyKind::Slice.for_replicas(5), Some(PolicyKind::Slice));
+        assert!(PolicyKind::all_extended().contains(&PolicyKind::Slice));
     }
 }

@@ -1,0 +1,218 @@
+//! The SLICE kernel scheduling policy — the N-replica generalization of
+//! HALF (paper Sec. IV-B2).
+//!
+//! SLICE statically partitions the SMs into N balanced contiguous slices
+//! and confines replica *r* to slice *r* (the `slice` launch attribute):
+//!
+//! * **spatial diversity** is structural — slices are disjoint, so no two
+//!   replicas can ever share an SM;
+//! * **temporal diversity** follows from the serial dispatch of kernels
+//!   from the CPU, exactly as HALF's argument: replica *r* always starts
+//!   at least one dispatch gap before replica *r+1*, and shared-resource
+//!   contention preserves (never inverts) that slack.
+//!
+//! Like HALF — and unlike SRRS — all N replicas execute **concurrently**,
+//! each on `num_sms / N` SMs. HALF is exactly SLICE with N = 2 (up to the
+//! odd-SM-count convention, see [`higpu_sim::kernel::SmSlice`]); the
+//! separate [`crate::policy::HalfScheduler`] is retained so the paper's
+//! two-replica experiments stay bit-identical.
+
+use higpu_sim::scheduler::{KernelSchedulerPolicy, SchedulerView};
+
+/// The SLICE policy.
+///
+/// Kernels carrying an [`higpu_sim::kernel::SmSlice`] attribute are
+/// confined to that slice; kernels without the attribute (non-redundant
+/// work) may use the whole GPU.
+#[derive(Debug, Clone, Default)]
+pub struct SliceScheduler {
+    _private: (),
+}
+
+impl SliceScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KernelSchedulerPolicy for SliceScheduler {
+    fn name(&self) -> &str {
+        "slice"
+    }
+
+    fn assign(&mut self, view: &mut SchedulerView) {
+        let n = view.num_sms();
+        if n == 0 {
+            return;
+        }
+        // Kernels in arrival order; each fills its allowed SM range
+        // breadth-first (same dispatch shape as HALF).
+        let ids: Vec<_> = view.kernels().iter().map(|k| k.id).collect();
+        for id in ids {
+            let range = {
+                let Some(k) = view.kernels().iter().find(|k| k.id == id) else {
+                    continue;
+                };
+                match k.attrs.slice {
+                    Some(slice) => slice.range(n),
+                    None => 0..n,
+                }
+            };
+            if range.is_empty() {
+                continue; // more slices than SMs: unplaceable, never spin
+            }
+            loop {
+                let mut any = false;
+                for sm in range.clone() {
+                    any |= view.try_assign(sm, id);
+                }
+                if !any {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_sim::kernel::{BlockFootprint, KernelId, LaunchAttrs, SmSlice};
+    use higpu_sim::scheduler::{KernelSnapshot, SmSnapshot};
+    use higpu_sim::sm::ResourceUsage;
+
+    fn fp() -> BlockFootprint {
+        BlockFootprint {
+            threads: 64,
+            warps: 2,
+            registers: 64,
+            shared_mem: 0,
+        }
+    }
+
+    fn sm_free(block_slots: u32) -> SmSnapshot {
+        SmSnapshot {
+            free: ResourceUsage {
+                threads: 1536,
+                warps: 48,
+                registers: 32 * 1024,
+                shared_mem: 48 * 1024,
+                blocks: block_slots,
+            },
+            resident_blocks: 0,
+        }
+    }
+
+    fn kernel(id: u64, blocks: u32, slice: Option<SmSlice>) -> KernelSnapshot {
+        KernelSnapshot {
+            id: KernelId(id),
+            attrs: std::sync::Arc::new(LaunchAttrs {
+                slice,
+                ..Default::default()
+            }),
+            arrival: 0,
+            blocks_total: blocks,
+            blocks_issued: 0,
+            blocks_done: 0,
+            footprint: fp(),
+        }
+    }
+
+    fn slice(index: u8, of: u8) -> Option<SmSlice> {
+        Some(SmSlice { index, of })
+    }
+
+    #[test]
+    fn three_slices_are_respected_and_concurrent() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![
+                kernel(0, 4, slice(0, 3)),
+                kernel(1, 4, slice(1, 3)),
+                kernel(2, 4, slice(2, 3)),
+            ],
+            (0..6).map(|_| sm_free(8)).collect(),
+        );
+        SliceScheduler::new().assign(&mut view);
+        for a in view.assignments() {
+            let expected = SmSlice {
+                index: a.kernel.0 as u8,
+                of: 3,
+            };
+            assert!(
+                expected.contains(a.sm, 6),
+                "kernel {:?} escaped its slice onto SM {}",
+                a.kernel,
+                a.sm
+            );
+        }
+        assert_eq!(view.assignments().len(), 12, "all replicas fully placed");
+    }
+
+    #[test]
+    fn unsliced_kernels_use_whole_gpu() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 6, None)],
+            (0..6).map(|_| sm_free(1)).collect(),
+        );
+        SliceScheduler::new().assign(&mut view);
+        let mut sms: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        sms.sort_unstable();
+        assert_eq!(sms, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn slice_capacity_limits_each_replica() {
+        // One block slot per SM, 3 slices of 2 SMs: each replica gets at
+        // most 2 blocks resident.
+        let mut view = SchedulerView::new(
+            0,
+            vec![
+                kernel(0, 8, slice(0, 3)),
+                kernel(1, 8, slice(1, 3)),
+                kernel(2, 8, slice(2, 3)),
+            ],
+            (0..6).map(|_| sm_free(1)).collect(),
+        );
+        SliceScheduler::new().assign(&mut view);
+        for id in 0..3u64 {
+            let placed = view
+                .assignments()
+                .iter()
+                .filter(|a| a.kernel == KernelId(id))
+                .count();
+            assert_eq!(placed, 2, "kernel {id}");
+        }
+    }
+
+    #[test]
+    fn empty_slice_never_spins() {
+        // 7 slices on 6 SMs: slice 0 of 7 owns no SM (0*6/7..1*6/7 = 0..0).
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 2, slice(0, 7))],
+            (0..6).map(|_| sm_free(8)).collect(),
+        );
+        SliceScheduler::new().assign(&mut view);
+        assert!(view.assignments().is_empty(), "nothing placeable");
+    }
+
+    #[test]
+    fn two_slices_match_half_on_even_sm_counts() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 6, slice(0, 2)), kernel(1, 6, slice(1, 2))],
+            (0..6).map(|_| sm_free(8)).collect(),
+        );
+        SliceScheduler::new().assign(&mut view);
+        for a in view.assignments() {
+            if a.kernel == KernelId(0) {
+                assert!(a.sm < 3, "slice 0 of 2 on SMs 0..3");
+            } else {
+                assert!(a.sm >= 3, "slice 1 of 2 on SMs 3..6");
+            }
+        }
+    }
+}

@@ -1,13 +1,16 @@
-//! The DCLS redundant-execution protocol (paper Sec. IV-A).
+//! The N-modular redundant-execution protocol (paper Sec. IV-A,
+//! generalized from the paper's two-replica DCLS scheme).
 //!
 //! An ASIL-D capable lockstep host CPU offloads a computation to the GPU by
-//! (1) allocating device memory for **both** redundant kernels,
-//! (2) transferring the input data twice, (3) launching the two redundant
+//! (1) allocating device memory for **every** redundant kernel,
+//! (2) transferring the input data N times, (3) launching the N redundant
 //! kernels (under a diversity-enforcing scheduling policy),
-//! (4) collecting both results, and (5) comparing them on the DCLS core.
-//! A mismatch means a fault corrupted one copy; the computation is
-//! re-executed within the fault-tolerant time interval (see
-//! [`crate::ftti`]).
+//! (4) collecting all results, and (5) comparing — or, for N ≥ 3,
+//! **majority-voting** ([`crate::vote`]) — them on the DCLS core.
+//! With two replicas a mismatch means a fault corrupted one copy and the
+//! computation is re-executed within the fault-tolerant time interval (see
+//! [`crate::ftti`]); with three or more, a minority corruption is outvoted
+//! and execution continues — detection becomes *correction*.
 //!
 //! [`RedundantExecutor`] drives this protocol over a [`higpu_sim::gpu::Gpu`].
 //! Multi-kernel host programs (iterative solvers, wavefront algorithms)
@@ -15,6 +18,12 @@
 //! replicated and tagged so the diversity analyzer can match block pairs.
 
 use crate::policy::PolicyKind;
+use crate::vote::{majority_vote, VotedWords};
+
+/// Per-replica parameter materializer used by
+/// [`RedundantExecutor::launch_with`]: writes replica `r`'s raw parameter
+/// words into the executor's reusable scratch vector.
+pub type ParamFill<'a> = dyn FnMut(usize, &mut Vec<u32>) -> Result<(), RedundancyError> + 'a;
 use higpu_sim::gpu::{DevPtr, Gpu, SimError};
 use higpu_sim::kernel::{Dim3, KernelId, KernelLaunch, LaunchConfig, SmPartition};
 use higpu_sim::program::Program;
@@ -24,17 +33,28 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq)]
 pub enum RedundancyMode {
     /// Launch replicas back-to-back under the unconstrained COTS scheduler —
-    /// redundancy without any diversity guarantee (the paper's baseline).
+    /// redundancy without any diversity guarantee (the paper's two-replica
+    /// baseline).
     Uncontrolled,
     /// SRRS: serialized execution, round-robin placement from per-replica
-    /// start SMs (must be distinct modulo the SM count).
+    /// start SMs (must be distinct modulo the SM count). N-replica-capable:
+    /// one start SM per replica.
     Srrs {
         /// Start SM per replica.
         start_sms: Vec<usize>,
     },
     /// HALF: replica 0 on the lower SM half, replica 1 on the upper half.
-    /// Only defined for two replicas.
+    /// Only defined for two replicas; see [`RedundancyMode::Slice`] for the
+    /// N-replica generalization.
     Half,
+    /// SLICE: the N-replica generalization of HALF — replica *r* confined
+    /// to the *r*-th of `replicas` balanced SM slices, all replicas
+    /// concurrent. Requires `2 ≤ replicas ≤ num_sms` so every slice owns at
+    /// least one SM.
+    Slice {
+        /// Number of replicas (= SM slices).
+        replicas: u8,
+    },
 }
 
 impl RedundancyMode {
@@ -44,6 +64,7 @@ impl RedundancyMode {
             RedundancyMode::Uncontrolled => PolicyKind::Default,
             RedundancyMode::Srrs { .. } => PolicyKind::Srrs,
             RedundancyMode::Half => PolicyKind::Half,
+            RedundancyMode::Slice { .. } => PolicyKind::Slice,
         }
     }
 
@@ -51,15 +72,29 @@ impl RedundancyMode {
     pub fn replicas(&self) -> u8 {
         match self {
             RedundancyMode::Srrs { start_sms } => start_sms.len() as u8,
+            RedundancyMode::Slice { replicas } => *replicas,
             _ => 2,
         }
     }
 
     /// Default SRRS mode for a GPU with `num_sms` SMs: two replicas with
-    /// maximally separated start SMs (0 and n/2).
+    /// maximally separated start SMs (0 and n/2). Equal to
+    /// [`RedundancyMode::srrs_spread`] at 2 replicas.
     pub fn srrs_default(num_sms: usize) -> Self {
         RedundancyMode::Srrs {
             start_sms: vec![0, num_sms / 2],
+        }
+    }
+
+    /// SRRS mode with `replicas` evenly spread start SMs on a GPU with
+    /// `num_sms` SMs: replica *r* starts at SM `r·num_sms/replicas`. For
+    /// 6 SMs this yields `[0, 3]` at N = 2 (the paper's configuration) and
+    /// `[0, 2, 4]` at N = 3 (TMR).
+    pub fn srrs_spread(num_sms: usize, replicas: u8) -> Self {
+        RedundancyMode::Srrs {
+            start_sms: (0..usize::from(replicas))
+                .map(|r| r * num_sms / usize::from(replicas).max(1))
+                .collect(),
         }
     }
 }
@@ -217,6 +252,10 @@ pub struct RedundantExecutor<'g> {
     replicas: u8,
     next_group: u32,
     launches: Vec<Vec<KernelId>>,
+    /// Reusable parameter-word scratch for [`RedundantExecutor::launch_with`]
+    /// (steady-state launches materialize replica parameters in place
+    /// instead of allocating a fresh vector per replica).
+    param_scratch: Vec<u32>,
 }
 
 impl<'g> RedundantExecutor<'g> {
@@ -253,6 +292,11 @@ impl<'g> RedundantExecutor<'g> {
                 "HALF partitions support exactly two replicas".into(),
             ));
         }
+        if matches!(mode, RedundancyMode::Slice { .. }) && usize::from(replicas) > n {
+            return Err(RedundancyError::InvalidMode(format!(
+                "SLICE needs at least one SM per replica: {replicas} replicas on {n} SMs"
+            )));
+        }
         gpu.set_policy(mode.policy_kind().build())?;
         // Group identifiers must stay unique across executors sharing one
         // GPU (e.g. per-kernel policy phases), or the diversity analyzer
@@ -270,6 +314,7 @@ impl<'g> RedundantExecutor<'g> {
             replicas,
             next_group,
             launches: Vec::new(),
+            param_scratch: Vec::new(),
         })
     }
 
@@ -351,35 +396,12 @@ impl<'g> RedundantExecutor<'g> {
         Ok(())
     }
 
-    fn materialize_params(
-        &self,
-        replica: usize,
-        params: &[RParam<'_>],
-    ) -> Result<Vec<u32>, RedundancyError> {
-        let mut out = Vec::with_capacity(params.len());
-        for p in params {
-            match p {
-                RParam::Buf(b) => {
-                    self.check_arity(b)?;
-                    out.push(b.ptr(replica).0);
-                }
-                RParam::BufOffset(b, w) => {
-                    self.check_arity(b)?;
-                    out.push(b.ptr(replica).offset_words(*w).0);
-                }
-                RParam::U32(v) => out.push(*v),
-                RParam::I32(v) => out.push(*v as u32),
-                RParam::F32(v) => out.push(v.to_bits()),
-            }
-        }
-        Ok(out)
-    }
-
     /// Step (3): launches all replicas of one logical kernel.
     ///
     /// Replica `r` receives the replica-local buffer addresses from
     /// `params`, the diversity attributes of the executor's mode (start SM /
-    /// partition), and a fresh redundancy-group tag for trace matching.
+    /// partition / slice), and a fresh redundancy-group tag for trace
+    /// matching.
     ///
     /// # Errors
     ///
@@ -392,15 +414,73 @@ impl<'g> RedundantExecutor<'g> {
         shared_mem_bytes: u32,
         params: &[RParam<'_>],
     ) -> Result<u32, RedundancyError> {
+        for p in params {
+            if let RParam::Buf(b) | RParam::BufOffset(b, _) = p {
+                self.check_arity(b)?;
+            }
+        }
+        self.launch_with(
+            program,
+            grid,
+            block,
+            shared_mem_bytes,
+            &mut |replica, out| {
+                for p in params {
+                    match p {
+                        RParam::Buf(b) => out.push(b.ptr(replica).0),
+                        RParam::BufOffset(b, w) => out.push(b.ptr(replica).offset_words(*w).0),
+                        RParam::U32(v) => out.push(*v),
+                        RParam::I32(v) => out.push(*v as u32),
+                        RParam::F32(v) => out.push(v.to_bits()),
+                    }
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// Allocation-light form of [`RedundantExecutor::launch`]: instead of a
+    /// replica-generic parameter slice, `fill` writes replica `r`'s raw
+    /// parameter words into a scratch vector the executor reuses across
+    /// launches. [`higpu_workloads`]' redundant sessions use this to keep
+    /// steady-state launches free of per-launch buffer-table clones.
+    ///
+    /// One exact-size parameter vector per replica is still allocated —
+    /// that is the [`higpu_sim::gpu::Gpu::launch`] interface (the launch
+    /// consumes its `LaunchConfig::params`). The scratch buys exactly two
+    /// things: `fill` never grows a cold vector (so no per-call growth
+    /// reallocations), and the caller needs no allocation of its own to
+    /// assemble parameters. The per-launch allocation count is therefore
+    /// small and independent of caller state (test-enforced in
+    /// `higpu_workloads`' counting-allocator fence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `fill` (e.g. buffer arity) and launch errors
+    /// (unschedulable geometry).
+    pub fn launch_with(
+        &mut self,
+        program: &Arc<Program>,
+        grid: impl Into<Dim3>,
+        block: impl Into<Dim3>,
+        shared_mem_bytes: u32,
+        fill: &mut ParamFill<'_>,
+    ) -> Result<u32, RedundancyError> {
         let grid = grid.into();
         let block = block.into();
         let group = self.next_group;
         self.next_group += 1;
         let mut ids = Vec::with_capacity(self.replicas as usize);
         for r in 0..self.replicas as usize {
-            let words = self.materialize_params(r, params)?;
+            let mut scratch = std::mem::take(&mut self.param_scratch);
+            scratch.clear();
+            if let Err(e) = fill(r, &mut scratch) {
+                self.param_scratch = scratch;
+                return Err(e);
+            }
             let mut cfg = LaunchConfig::new(grid, block).shared_mem(shared_mem_bytes);
-            cfg.params = words;
+            cfg.params.clone_from(&scratch);
+            self.param_scratch = scratch;
             let mut launch = KernelLaunch::new(program.clone(), cfg)
                 .tag(format!("{}#g{}r{}", program.name(), group, r))
                 .redundant(group, r as u8)
@@ -416,6 +496,9 @@ impl<'g> RedundantExecutor<'g> {
                     } else {
                         SmPartition::Upper
                     });
+                }
+                RedundancyMode::Slice { replicas } => {
+                    launch = launch.slice(r as u8, *replicas);
                 }
             }
             ids.push(self.gpu.launch(launch)?);
@@ -498,6 +581,32 @@ impl<'g> RedundantExecutor<'g> {
                     .collect(),
             },
         })
+    }
+
+    /// Steps (4)+(5), NMR form: reads `words` words from every replica of
+    /// `buf` and **majority-votes** them bitwise per word on the (assumed
+    /// fault-free, DCLS-protected) host — see [`crate::vote`].
+    ///
+    /// With two replicas this is equivalent to
+    /// [`RedundantExecutor::read_compare_u32`]: any disagreement is a
+    /// [`crate::vote::VoteOutcome::Tied`] and the surviving value is
+    /// replica 0's. With three or more, a minority corruption yields
+    /// [`crate::vote::VoteOutcome::Corrected`] and the voted value masks it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedundancyError::BufferArity`] on replica-count mismatch.
+    pub fn read_vote_u32(
+        &mut self,
+        buf: &RBuf,
+        words: usize,
+    ) -> Result<VotedWords, RedundancyError> {
+        self.check_arity(buf)?;
+        let outputs: Vec<Vec<u32>> = (0..self.replicas as usize)
+            .map(|r| self.gpu.read_u32(buf.ptr(r), words))
+            .collect();
+        let refs: Vec<&[u32]> = outputs.iter().map(Vec::as_slice).collect();
+        Ok(majority_vote(&refs, words))
     }
 }
 
@@ -591,6 +700,129 @@ mod tests {
         let report = analyze(gpu.trace(), DiversityRequirements::default());
         assert!(report.is_diverse());
         assert_eq!(report.pairs_checked, 2 * 3, "2 blocks x 3 pairs");
+    }
+
+    #[test]
+    fn slice_tmr_runs_diverse_and_unanimous() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::Slice { replicas: 3 }).expect("mode");
+        assert_eq!(exec.replicas(), 3);
+        let prog = triple_kernel();
+        let out = exec.alloc_words(64).expect("alloc");
+        exec.launch(&prog, 2u32, 32u32, 0, &[RParam::Buf(&out)])
+            .expect("launch");
+        exec.sync().expect("run");
+        let vote = exec.read_vote_u32(&out, 64).expect("vote");
+        assert!(vote.outcome.is_unanimous());
+        assert_eq!(vote.value[5], 15);
+        let report = analyze(gpu.trace(), DiversityRequirements::default());
+        assert!(
+            report.is_diverse(),
+            "SLICE guarantees diversity: {report:?}"
+        );
+        // Every block ran in its replica's slice.
+        for rec in &gpu.trace().blocks {
+            let k = gpu.trace().kernel(rec.kernel).expect("kernel");
+            let replica = k.attrs.redundant.expect("tag").replica;
+            let slice = k.attrs.slice.expect("slice hint");
+            assert_eq!(slice.index, replica);
+            assert!(slice.contains(rec.sm, 6), "replica escaped its slice");
+        }
+    }
+
+    #[test]
+    fn slice_rejects_more_replicas_than_sms() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let err = RedundantExecutor::new(&mut gpu, RedundancyMode::Slice { replicas: 7 })
+            .expect_err("must reject");
+        assert!(matches!(err, RedundancyError::InvalidMode(_)));
+    }
+
+    #[test]
+    fn srrs_spread_matches_default_at_two_and_roadmap_tmr_at_three() {
+        assert_eq!(
+            RedundancyMode::srrs_spread(6, 2),
+            RedundancyMode::srrs_default(6)
+        );
+        assert_eq!(
+            RedundancyMode::srrs_spread(6, 3),
+            RedundancyMode::Srrs {
+                start_sms: vec![0, 2, 4]
+            }
+        );
+        assert_eq!(RedundancyMode::srrs_spread(6, 3).replicas(), 3);
+        // Spread start SMs stay pairwise distinct modulo n up to n replicas.
+        for n in [2usize, 5, 6, 8] {
+            for replicas in 2..=n as u8 {
+                let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+                if n == 6 {
+                    RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_spread(n, replicas))
+                        .expect("valid spread");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tmr_vote_corrects_a_single_corrupted_replica() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec = RedundantExecutor::new(
+            &mut gpu,
+            RedundancyMode::Srrs {
+                start_sms: vec![0, 2, 4],
+            },
+        )
+        .expect("mode");
+        let buf = exec.alloc_words(8).expect("alloc");
+        exec.write_u32(&buf, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .expect("write");
+        // Corrupt replica 1 behind the executor's back (simulating a fault).
+        let p1 = buf.ptr(1);
+        exec.gpu.write_u32(DevPtr(p1.0 + 8), &[99, 98]);
+        let vote = exec.read_vote_u32(&buf, 8).expect("vote");
+        assert_eq!(
+            vote.outcome,
+            crate::vote::VoteOutcome::Corrected {
+                first_word: 2,
+                corrected_words: 2
+            }
+        );
+        assert_eq!(
+            vote.value,
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            "2-of-3 majority restores the clean data"
+        );
+        // The pairwise compare still reports the same corruption as a
+        // mismatch (detection without correction).
+        assert!(!exec.read_compare_u32(&buf, 8).expect("cmp").is_match());
+    }
+
+    #[test]
+    fn two_replica_vote_equals_pairwise_compare() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+        let buf = exec.alloc_words(8).expect("alloc");
+        exec.write_u32(&buf, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .expect("write");
+        let p1 = buf.ptr(1);
+        exec.gpu.write_u32(DevPtr(p1.0 + 8), &[99, 98]);
+        let vote = exec.read_vote_u32(&buf, 8).expect("vote");
+        assert_eq!(
+            vote.outcome,
+            crate::vote::VoteOutcome::Tied {
+                first_word: 2,
+                tied_words: 2,
+                corrected_words: 0
+            },
+            "a 2-replica disagreement can never be outvoted"
+        );
+        assert_eq!(
+            vote.value,
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            "replica 0 survives, exactly as the DCLS compare hands back"
+        );
     }
 
     #[test]

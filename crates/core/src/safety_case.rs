@@ -18,20 +18,25 @@ pub struct DetectionEvidence {
     pub masked: u64,
     /// Activated trials detected by the redundant comparison.
     pub detected: u64,
+    /// Activated trials in which an N ≥ 3 replica majority vote outvoted the
+    /// corruption and delivered a verified-correct result — forward
+    /// recovery, no re-execution (always 0 for two-replica DCLS).
+    pub corrected: u64,
     /// Activated trials that produced wrong outputs in *all* replicas
     /// identically — undetected failures (must be 0 for the safety case).
     pub undetected_failures: u64,
 }
 
 impl DetectionEvidence {
-    /// Detection coverage over the effective (non-masked) faults; `None`
-    /// when no effective fault was observed.
+    /// Detection coverage over the effective (non-masked) faults — a
+    /// corrected trial counts as detected (the voter observed the dissent
+    /// *and* recovered); `None` when no effective fault was observed.
     pub fn coverage(&self) -> Option<f64> {
-        let effective = self.detected + self.undetected_failures;
+        let effective = self.detected + self.corrected + self.undetected_failures;
         if effective == 0 {
             None
         } else {
-            Some(self.detected as f64 / effective as f64)
+            Some((self.detected + self.corrected) as f64 / effective as f64)
         }
     }
 }
@@ -116,8 +121,8 @@ impl fmt::Display for SafetyCase {
         match &self.campaign {
             Some(c) => writeln!(
                 f,
-                "  fault campaign:  {} activated, {} detected, {} masked, {} undetected failures",
-                c.activated, c.detected, c.masked, c.undetected_failures
+                "  fault campaign:  {} activated, {} detected, {} corrected, {} masked, {} undetected failures",
+                c.activated, c.detected, c.corrected, c.masked, c.undetected_failures
             )?,
             None => writeln!(f, "  fault campaign:  not run")?,
         }
@@ -176,6 +181,7 @@ mod tests {
                 activated: 100,
                 masked: 10,
                 detected: 89,
+                corrected: 0,
                 undetected_failures: 1,
             }),
         };
@@ -188,11 +194,21 @@ mod tests {
             activated: 100,
             masked: 20,
             detected: 80,
+            corrected: 0,
             undetected_failures: 0,
         };
         assert_eq!(c.coverage(), Some(1.0));
         let none = DetectionEvidence::default();
         assert_eq!(none.coverage(), None);
+        // Corrected trials count toward coverage (detected and recovered).
+        let tmr = DetectionEvidence {
+            activated: 10,
+            masked: 2,
+            detected: 3,
+            corrected: 5,
+            undetected_failures: 2,
+        };
+        assert_eq!(tmr.coverage(), Some(0.8));
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Majority voting over N redundant replica outputs — the read-back side of
+//! N-modular redundancy (NMR).
+//!
+//! The paper's DCLS scheme *detects* faults by comparing two replicas; it
+//! cannot tell which copy is wrong, so recovery is re-execution within the
+//! FTTI. Generalizing to N ≥ 3 replicas lets the (assumed fault-free,
+//! lockstep-protected) host **vote**: a word corrupted in fewer than
+//! ⌈N/2⌉ replicas is outvoted and the computation continues with the
+//! correct value — forward recovery with zero re-execution rounds (see
+//! [`crate::ftti::RecoveryAnalysis`] with `recovery_rounds: 0`).
+//!
+//! The vote is bitwise per 32-bit word, exactly like the DCLS compare: a
+//! value wins a word only with a **strict majority** (> N/2 replicas agree
+//! bitwise). Words where no value reaches a strict majority are *tied*
+//! (always the case when two replicas disagree), which is a fail-stop
+//! detection: the voted value cannot be trusted and the computation must be
+//! re-executed. With N = 2 the voter therefore degenerates to the pairwise
+//! DCLS compare — same detections, same surviving value (replica 0's, the
+//! tie-break) — which is what keeps two-replica campaign results
+//! bit-identical across the NMR generalization.
+
+use std::fmt;
+
+/// Outcome of a majority vote across N replica outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// Every word agreed bitwise across all replicas; the value is safe to
+    /// consume (identical to a DCLS match).
+    Unanimous,
+    /// At least one word disagreed, and **every** disagreeing word was
+    /// settled by a strict majority: the voted value masks the corruption
+    /// and the computation may continue without re-execution.
+    Corrected {
+        /// Word index of the first disagreement.
+        first_word: usize,
+        /// Number of disagreeing words (all outvoted).
+        corrected_words: usize,
+    },
+    /// At least one word had no strict majority (always the case for a
+    /// two-replica disagreement, or an N-way split): the voted value is
+    /// untrusted — fail-stop and re-execute within the FTTI.
+    Tied {
+        /// Word index of the first disagreement (tied or corrected).
+        first_word: usize,
+        /// Words with no strict majority.
+        tied_words: usize,
+        /// Disagreeing words that *were* settled by a strict majority
+        /// (0 when every disagreement tied).
+        corrected_words: usize,
+    },
+}
+
+impl VoteOutcome {
+    /// True when all replicas agreed on every word.
+    pub fn is_unanimous(&self) -> bool {
+        matches!(self, VoteOutcome::Unanimous)
+    }
+
+    /// True when every disagreement was outvoted by a strict majority (the
+    /// forward-recovery case).
+    pub fn is_corrected(&self) -> bool {
+        matches!(self, VoteOutcome::Corrected { .. })
+    }
+
+    /// Word index of the first disagreement, if any.
+    pub fn first_disagreement(&self) -> Option<usize> {
+        match *self {
+            VoteOutcome::Unanimous => None,
+            VoteOutcome::Corrected { first_word, .. } | VoteOutcome::Tied { first_word, .. } => {
+                Some(first_word)
+            }
+        }
+    }
+
+    /// Total disagreeing words (corrected + tied).
+    pub fn disagreeing_words(&self) -> usize {
+        match *self {
+            VoteOutcome::Unanimous => 0,
+            VoteOutcome::Corrected {
+                corrected_words, ..
+            } => corrected_words,
+            VoteOutcome::Tied {
+                tied_words,
+                corrected_words,
+                ..
+            } => tied_words + corrected_words,
+        }
+    }
+}
+
+impl fmt::Display for VoteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VoteOutcome::Unanimous => write!(f, "unanimous"),
+            VoteOutcome::Corrected {
+                first_word,
+                corrected_words,
+            } => write!(
+                f,
+                "corrected ({corrected_words} word(s) outvoted, first at {first_word})"
+            ),
+            VoteOutcome::Tied {
+                first_word,
+                tied_words,
+                ..
+            } => write!(
+                f,
+                "tied ({tied_words} word(s), first disagreement at {first_word})"
+            ),
+        }
+    }
+}
+
+/// A voted read: the per-word majority value plus the vote verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VotedWords {
+    /// The voted value: per word, the strict-majority value where one
+    /// exists, replica 0's word otherwise (the tie-break — only consumed
+    /// when the caller accepts [`VoteOutcome::Tied`] data, e.g.
+    /// mismatch-tolerant campaign sessions).
+    pub value: Vec<u32>,
+    /// The verdict.
+    pub outcome: VoteOutcome,
+}
+
+/// The strict-majority value of one word across replicas, if any.
+///
+/// Boyer–Moore majority vote with a verification pass: O(replicas) time,
+/// O(1) space per word, no allocation.
+fn word_majority(replicas: &[&[u32]], w: usize) -> Option<u32> {
+    let mut candidate = 0u32;
+    let mut count = 0usize;
+    for r in replicas {
+        let v = r[w];
+        if count == 0 {
+            candidate = v;
+            count = 1;
+        } else if v == candidate {
+            count += 1;
+        } else {
+            count -= 1;
+        }
+    }
+    let votes = replicas.iter().filter(|r| r[w] == candidate).count();
+    (votes * 2 > replicas.len()).then_some(candidate)
+}
+
+/// Votes word-by-word across `replicas` (each of length ≥ `words`).
+///
+/// # Panics
+///
+/// Panics when `replicas` is empty or any replica is shorter than `words`
+/// (host-side programming errors, like the device reads they mirror).
+pub fn majority_vote(replicas: &[&[u32]], words: usize) -> VotedWords {
+    assert!(!replicas.is_empty(), "voting requires at least one replica");
+    let mut value = Vec::with_capacity(words);
+    let mut first: Option<usize> = None;
+    let mut corrected_words = 0usize;
+    let mut tied_words = 0usize;
+    for w in 0..words {
+        let reference = replicas[0][w];
+        let unanimous = replicas.iter().all(|r| r[w] == reference);
+        if unanimous {
+            value.push(reference);
+            continue;
+        }
+        if first.is_none() {
+            first = Some(w);
+        }
+        match word_majority(replicas, w) {
+            Some(v) => {
+                corrected_words += 1;
+                value.push(v);
+            }
+            None => {
+                tied_words += 1;
+                value.push(reference);
+            }
+        }
+    }
+    let outcome = match (first, tied_words) {
+        (None, _) => VoteOutcome::Unanimous,
+        (Some(first_word), 0) => VoteOutcome::Corrected {
+            first_word,
+            corrected_words,
+        },
+        (Some(first_word), _) => VoteOutcome::Tied {
+            first_word,
+            tied_words,
+            corrected_words,
+        },
+    };
+    VotedWords { value, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vote(replicas: &[&[u32]]) -> VotedWords {
+        majority_vote(replicas, replicas[0].len())
+    }
+
+    #[test]
+    fn three_replica_unanimous() {
+        let v = vote(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3]]);
+        assert_eq!(v.outcome, VoteOutcome::Unanimous);
+        assert_eq!(v.value, vec![1, 2, 3]);
+        assert!(v.outcome.is_unanimous());
+        assert_eq!(v.outcome.first_disagreement(), None);
+        assert_eq!(v.outcome.disagreeing_words(), 0);
+    }
+
+    #[test]
+    fn three_replica_single_corrupt_is_corrected() {
+        // Each replica corrupt in a different word: every word still has a
+        // 2-of-3 strict majority on the clean value.
+        let v = vote(&[&[9, 2, 3], &[1, 9, 3], &[1, 2, 9]]);
+        assert_eq!(
+            v.outcome,
+            VoteOutcome::Corrected {
+                first_word: 0,
+                corrected_words: 3
+            }
+        );
+        assert_eq!(v.value, vec![1, 2, 3], "clean value outvotes each upset");
+        assert!(v.outcome.is_corrected());
+        assert_eq!(v.outcome.disagreeing_words(), 3);
+    }
+
+    #[test]
+    fn three_replica_three_way_tie_fails_stop() {
+        let v = vote(&[&[1, 7], &[1, 8], &[1, 9]]);
+        assert_eq!(
+            v.outcome,
+            VoteOutcome::Tied {
+                first_word: 1,
+                tied_words: 1,
+                corrected_words: 0
+            }
+        );
+        assert_eq!(v.value, vec![1, 7], "tie-break hands back replica 0");
+        assert!(!v.outcome.is_corrected());
+        assert_eq!(v.outcome.first_disagreement(), Some(1));
+    }
+
+    #[test]
+    fn three_replica_majority_on_wrong_value_still_wins_the_word() {
+        // Two replicas identically corrupted outvote the clean one — the
+        // voter cannot know better; campaign classification decides whether
+        // that counts as corrected (it verifies against the reference).
+        let v = vote(&[&[5], &[5], &[1]]);
+        assert_eq!(v.value, vec![5]);
+        assert!(v.outcome.is_corrected());
+    }
+
+    #[test]
+    fn mixed_corrected_and_tied_words_report_both() {
+        let v = vote(&[&[1, 7, 4], &[2, 7, 5], &[1, 9, 6]]);
+        assert_eq!(
+            v.outcome,
+            VoteOutcome::Tied {
+                first_word: 0,
+                tied_words: 1,
+                corrected_words: 2
+            }
+        );
+        // word 0: 2-of-3 majority on 1; word 1: majority on 7; word 2: tie.
+        assert_eq!(v.value, vec![1, 7, 4]);
+    }
+
+    #[test]
+    fn two_replica_disagreement_always_ties() {
+        let v = vote(&[&[1, 2, 3, 4], &[1, 9, 3, 8]]);
+        assert_eq!(
+            v.outcome,
+            VoteOutcome::Tied {
+                first_word: 1,
+                tied_words: 2,
+                corrected_words: 0
+            }
+        );
+        assert_eq!(v.value, vec![1, 2, 3, 4], "replica 0 survives, as in DCLS");
+    }
+
+    #[test]
+    fn five_replica_two_corrupt_is_corrected() {
+        let v = vote(&[&[3], &[9], &[3], &[8], &[3]]);
+        assert_eq!(v.value, vec![3]);
+        assert!(v.outcome.is_corrected());
+    }
+
+    #[test]
+    fn voting_respects_word_prefix_length() {
+        let v = majority_vote(&[&[1, 9], &[1, 8]], 1);
+        assert_eq!(v.outcome, VoteOutcome::Unanimous);
+        assert_eq!(v.value, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_replica_set_panics() {
+        majority_vote(&[], 1);
+    }
+}

@@ -69,13 +69,21 @@ impl EndToEndResult {
     }
 }
 
-/// The two series of Fig. 5.
+/// The measured series: the paper's Fig. 5 pair plus the NMR extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
     /// Single, non-redundant execution.
     Baseline,
-    /// Redundant execution with serialized kernels (the SRRS mimic).
+    /// Redundant execution with serialized kernels (the SRRS mimic,
+    /// two replicas).
     RedundantSerialized,
+    /// N-modular redundant execution with serialized kernels: N transfers,
+    /// N kernels, and an N-way majority vote on the DCLS host — the cost
+    /// side of the coverage-vs-cost frontier.
+    RedundantNmr {
+        /// Replica count (≥ 2).
+        replicas: u8,
+    },
 }
 
 fn breakdown(
@@ -140,11 +148,33 @@ pub fn run_redundant(
     platform: &CotsPlatform,
     bench: &dyn Benchmark,
 ) -> Result<EndToEndResult, SessionError> {
+    run_redundant_nmr(platform, bench, 2).map(|mut r| {
+        r.variant = Variant::RedundantSerialized;
+        r
+    })
+}
+
+/// Runs `bench` N-modular-redundantly (serialized replicas under SRRS with
+/// evenly spread start SMs) and models its end-to-end time including N-fold
+/// transfers and the host-side N-way majority vote — the cost curve of the
+/// replica-count sweep. At `replicas = 2` this is exactly the paper's
+/// redundant-serialized experiment.
+///
+/// # Errors
+///
+/// Propagates [`SessionError`]; a replica mismatch (impossible without
+/// fault injection) is also surfaced as an error.
+pub fn run_redundant_nmr(
+    platform: &CotsPlatform,
+    bench: &dyn Benchmark,
+    replicas: u8,
+) -> Result<EndToEndResult, SessionError> {
     let mut gpu = Gpu::new(platform.gpu.clone());
     let num_sms = platform.gpu.num_sms;
     let meter = {
-        let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(num_sms))
-            .map_err(SessionError::Redundancy)?;
+        let mut exec =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_spread(num_sms, replicas))
+                .map_err(SessionError::Redundancy)?;
         let mut session = RedundantSession::new(&mut exec);
         let mut metered = MeteredSession::new(&mut session);
         bench.run(&mut metered)?;
@@ -153,8 +183,8 @@ pub fn run_redundant(
     let cycles = gpu.cycle();
     Ok(EndToEndResult {
         benchmark: bench.name().to_string(),
-        variant: Variant::RedundantSerialized,
-        breakdown: breakdown(platform, meter, cycles, 2, true),
+        variant: Variant::RedundantNmr { replicas },
+        breakdown: breakdown(platform, meter, cycles, u64::from(replicas), true),
         meter,
         gpu_cycles: cycles,
     })
@@ -213,6 +243,22 @@ mod tests {
         let red = run_redundant(&platform, &nn()).expect("redundant");
         let ratio = red.total_ms() / base.total_ms();
         assert!(ratio < 2.4, "nn end-to-end ratio {ratio} unexpectedly high");
+    }
+
+    #[test]
+    fn nmr_cost_grows_monotonically_with_replicas() {
+        let platform = CotsPlatform::gtx1050ti();
+        let two = run_redundant_nmr(&platform, &nn(), 2).expect("dcls");
+        let three = run_redundant_nmr(&platform, &nn(), 3).expect("tmr");
+        let four = run_redundant_nmr(&platform, &nn(), 4).expect("4mr");
+        assert!(three.total_ms() > two.total_ms());
+        assert!(four.total_ms() > three.total_ms());
+        assert_eq!(three.variant, Variant::RedundantNmr { replicas: 3 });
+        // Two-replica NMR is the paper's redundant-serialized experiment.
+        let legacy = run_redundant(&platform, &nn()).expect("redundant");
+        assert_eq!(legacy.variant, Variant::RedundantSerialized);
+        assert_eq!(legacy.breakdown, two.breakdown, "same cost model at N=2");
+        assert_eq!(legacy.gpu_cycles, two.gpu_cycles);
     }
 
     #[test]

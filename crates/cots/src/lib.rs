@@ -17,6 +17,8 @@ pub mod endtoend;
 pub mod meter;
 pub mod platform;
 
-pub use endtoend::{run_baseline, run_redundant, EndToEndResult, TimeBreakdown, Variant};
+pub use endtoend::{
+    run_baseline, run_redundant, run_redundant_nmr, EndToEndResult, TimeBreakdown, Variant,
+};
 pub use meter::{HostMeter, MeteredSession};
 pub use platform::CotsPlatform;

@@ -19,13 +19,19 @@
 //!   counts, so the parallel [`run_campaign`] produces a [`CampaignReport`]
 //!   bit-identical to [`run_campaign_serial`] for the same seed, at every
 //!   worker count (enforced by tests).
-//! * **Watchdog-bounded trials** — corruption can send a kernel into a
+//! * **FTTI-bounded trials** — corruption can send a kernel into a
 //!   runaway loop (e.g. a loop counter's sign bit flipped turns a 16-pass
 //!   loop into a 2³¹-iteration one). Each trial carries a cycle budget
-//!   derived from the workload's fault-free makespan
-//!   ([`watchdog_deadline`]); blowing it is classified as
-//!   [`TrialOutcome::Detected`] — exactly how the DCLS host's deadline
-//!   monitor catches a hung replica within the FTTI (paper Sec. IV).
+//!   derived from the workload's fault-free makespan and its *declared*
+//!   FTTI multiplier ([`ftti_deadline`],
+//!   [`higpu_workloads::Workload::ftti_multiplier`]); blowing it is
+//!   classified as [`TrialOutcome::Detected`] — exactly how the DCLS
+//!   host's deadline monitor catches a hung replica within the FTTI
+//!   (paper Sec. IV).
+//! * **Replica-count axis** — [`CampaignSpec::replicas`] runs any
+//!   registered workload at N ≥ 2 replicas; at N ≥ 3 the majority voter
+//!   turns minority corruptions into [`TrialOutcome::Corrected`] trials,
+//!   quantifying the coverage-vs-cost frontier of ASIL decomposition.
 
 use crate::injector::{FaultInjector, InjectionCounters};
 use crate::model::FaultModel;
@@ -82,9 +88,21 @@ pub enum TrialOutcome {
     NotActivated,
     /// Corruption happened but the outputs were still correct and agreed.
     Masked,
-    /// The replicas disagreed — the DCLS compare caught the fault.
+    /// The replicas disagreed with no strict majority on some word (always
+    /// the case for two replicas) — an *observable* fail-stop: the NMR
+    /// monitor caught the fault within the FTTI and re-execution is
+    /// triggered. A blown FTTI deadline also lands here.
     Detected,
-    /// The replicas agreed on a *wrong* result — a safety failure.
+    /// N ≥ 3 replicas disagreed, every disagreement was settled by a
+    /// strict majority, and the voted output verified correct — the fault
+    /// was *corrected* in place (forward recovery, zero re-execution
+    /// rounds). Never produced by two-replica DCLS campaigns.
+    Corrected,
+    /// A wrong result the deployed safety mechanism would accept: either
+    /// the replicas *agreed* on a wrong value, or (N ≥ 3) every
+    /// disagreement was settled by a strict majority whose value was
+    /// itself wrong — indistinguishable, at the voter, from a genuine
+    /// correction, so execution silently continues with corrupted data.
     UndetectedFailure,
 }
 
@@ -155,26 +173,67 @@ pub struct CampaignSpec {
     pub policy: PolicyKind,
     /// Fault family injected.
     pub fault: FaultSpec,
+    /// Replica count of the redundant execution (2 = the paper's DCLS, 3 =
+    /// TMR with majority voting, …). SRRS spreads that many start SMs
+    /// evenly; SLICE cuts that many SM slices; `Default` and `Half` are
+    /// two-replica-only (see [`higpu_core::policy::PolicyKind::for_replicas`]).
+    pub replicas: u8,
 }
 
 impl CampaignSpec {
-    /// Campaign-scale spec for `workload` under `policy`.
+    /// Campaign-scale, two-replica spec for `workload` under `policy` (the
+    /// paper's configuration; use [`CampaignSpec::with_replicas`] for NMR).
     pub fn new(workload: impl Into<String>, policy: PolicyKind, fault: FaultSpec) -> Self {
         Self {
             workload: workload.into(),
             scale: Scale::Campaign,
             policy,
             fault,
+            replicas: 2,
         }
     }
 
-    /// The redundancy mode this spec's policy requires on a GPU with
-    /// `num_sms` SMs (two replicas; SRRS start SMs maximally separated).
-    pub fn mode(&self, num_sms: usize) -> RedundancyMode {
+    /// The same spec at `replicas` replicas.
+    pub fn with_replicas(mut self, replicas: u8) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// The redundancy mode this spec requires on a GPU with `num_sms` SMs
+    /// (SRRS start SMs evenly spread over the replica count).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::UnsupportedReplicas`] when the policy cannot run at
+    /// the requested replica count (fewer than 2 replicas, `Default`/`Half`
+    /// at N ≠ 2).
+    pub fn mode(&self, num_sms: usize) -> Result<RedundancyMode, CampaignError> {
+        let unsupported = || CampaignError::UnsupportedReplicas {
+            policy: self.policy,
+            replicas: self.replicas,
+        };
+        if self.replicas < 2 {
+            return Err(unsupported());
+        }
         match self.policy {
-            PolicyKind::Default => RedundancyMode::Uncontrolled,
-            PolicyKind::Srrs => RedundancyMode::srrs_default(num_sms),
-            PolicyKind::Half => RedundancyMode::Half,
+            PolicyKind::Default => {
+                if self.replicas == 2 {
+                    Ok(RedundancyMode::Uncontrolled)
+                } else {
+                    Err(unsupported())
+                }
+            }
+            PolicyKind::Srrs => Ok(RedundancyMode::srrs_spread(num_sms, self.replicas)),
+            PolicyKind::Half => {
+                if self.replicas == 2 {
+                    Ok(RedundancyMode::Half)
+                } else {
+                    Err(unsupported())
+                }
+            }
+            PolicyKind::Slice => Ok(RedundancyMode::Slice {
+                replicas: self.replicas,
+            }),
         }
     }
 
@@ -199,6 +258,14 @@ pub enum CampaignError {
     Redundancy(RedundancyError),
     /// The spec named a workload absent from the registry.
     UnknownWorkload(String),
+    /// The spec's policy cannot run at the requested replica count (e.g.
+    /// HALF at N ≠ 2 — use SLICE; the uncontrolled baseline at N ≠ 2).
+    UnsupportedReplicas {
+        /// The requested policy.
+        policy: PolicyKind,
+        /// The requested replica count.
+        replicas: u8,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -207,6 +274,13 @@ impl fmt::Display for CampaignError {
             CampaignError::Redundancy(e) => write!(f, "{e}"),
             CampaignError::UnknownWorkload(name) => {
                 write!(f, "workload '{name}' is not in the registry")
+            }
+            CampaignError::UnsupportedReplicas { policy, replicas } => {
+                write!(
+                    f,
+                    "policy {} does not support {replicas} replicas",
+                    policy.label()
+                )
             }
         }
     }
@@ -229,27 +303,37 @@ pub struct CampaignReport {
     pub policy: String,
     /// Fault family label.
     pub fault: &'static str,
+    /// Replica count of the redundant execution.
+    pub replicas: u8,
+    /// Fault-free redundant makespan (cycles) measured by the dry run —
+    /// the cost side of the coverage-vs-cost frontier, and the base of the
+    /// per-trial FTTI deadline.
+    pub fault_free_makespan: u64,
     /// Trials run.
     pub trials: u32,
     /// Trials whose fault never activated.
     pub not_activated: u32,
     /// Activated but masked trials.
     pub masked: u32,
-    /// Detected trials.
+    /// Detected trials (re-execution required).
     pub detected: u32,
+    /// Corrected trials: an N ≥ 3 majority outvoted the corruption and the
+    /// voted output verified correct (always 0 for two replicas).
+    pub corrected: u32,
     /// Undetected failures (must be 0 for diversity-enforcing policies).
     pub undetected: u32,
 }
 
 impl CampaignReport {
-    /// Detection coverage over effective faults (detected + undetected);
-    /// `None` when no fault was effective.
+    /// Detection coverage over effective faults
+    /// (detected + corrected + undetected) — a corrected trial counts as
+    /// covered; `None` when no fault was effective.
     pub fn coverage(&self) -> Option<f64> {
-        let effective = self.detected + self.undetected;
+        let effective = self.detected + self.corrected + self.undetected;
         if effective == 0 {
             None
         } else {
-            Some(f64::from(self.detected) / f64::from(effective))
+            Some(f64::from(self.detected + self.corrected) / f64::from(effective))
         }
     }
 
@@ -259,6 +343,7 @@ impl CampaignReport {
             activated: u64::from(self.trials - self.not_activated),
             masked: u64::from(self.masked),
             detected: u64::from(self.detected),
+            corrected: u64::from(self.corrected),
             undetected_failures: u64::from(self.undetected),
         }
     }
@@ -322,14 +407,26 @@ pub fn dry_run_makespan(
     Ok(gpu.trace().makespan().unwrap_or(0))
 }
 
-/// The watchdog budget of one trial: a generous multiple of the workload's
-/// fault-free makespan plus fixed slack. Legitimate corrupted-but-
-/// terminating runs (extra divergence, a few perturbed loop trips) stay far
-/// below it; a runaway loop (counter sign-flip → ~2³¹ iterations) blows it
-/// promptly and is classified as detected by the deadline monitor. Pure
-/// function of the makespan, so serial and parallel engines agree.
+/// The per-trial FTTI deadline: the workload's declared budget multiplier
+/// ([`higpu_workloads::Workload::ftti_multiplier`]) times its fault-free
+/// makespan, plus fixed slack. Legitimate corrupted-but-terminating runs
+/// (extra divergence, a few perturbed loop trips) stay below it; a runaway
+/// loop (counter sign-flip → ~2³¹ iterations) blows it promptly and is
+/// classified as detected by the deadline monitor. Pure function of the
+/// makespan and multiplier, so serial and parallel engines agree.
+pub fn ftti_deadline(fault_free_makespan: u64, ftti_multiplier: u64) -> u64 {
+    fault_free_makespan
+        .saturating_mul(ftti_multiplier)
+        .saturating_add(10_000)
+}
+
+/// The historical flat watchdog budget: [`ftti_deadline`] at the default
+/// FTTI multiplier. Campaign engines now use the per-workload form.
 pub fn watchdog_deadline(fault_free_makespan: u64) -> u64 {
-    fault_free_makespan.saturating_mul(8).saturating_add(10_000)
+    ftti_deadline(
+        fault_free_makespan,
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER,
+    )
 }
 
 /// Order-independent accumulator of trial outcomes; summing per-worker
@@ -339,6 +436,7 @@ struct OutcomeCounts {
     not_activated: u32,
     masked: u32,
     detected: u32,
+    corrected: u32,
     undetected: u32,
 }
 
@@ -348,6 +446,7 @@ impl OutcomeCounts {
             TrialOutcome::NotActivated => self.not_activated += 1,
             TrialOutcome::Masked => self.masked += 1,
             TrialOutcome::Detected => self.detected += 1,
+            TrialOutcome::Corrected => self.corrected += 1,
             TrialOutcome::UndetectedFailure => self.undetected += 1,
         }
     }
@@ -356,6 +455,7 @@ impl OutcomeCounts {
         self.not_activated += other.not_activated;
         self.masked += other.masked;
         self.detected += other.detected;
+        self.corrected += other.corrected;
         self.undetected += other.undetected;
     }
 }
@@ -482,7 +582,18 @@ impl CampaignRunner {
             Ok(if !counters.activated() {
                 TrialOutcome::NotActivated
             } else if !verdict.matched {
-                TrialOutcome::Detected
+                if verdict.corrected {
+                    TrialOutcome::Corrected
+                } else if verdict.fully_voted {
+                    // Clean strict majority on every word, wrong voted
+                    // value: the deployed voter cannot tell this from a
+                    // genuine correction — it continues with corrupted
+                    // data and never triggers recovery. Classifying by the
+                    // voter's observables, not the campaign's oracle.
+                    TrialOutcome::UndetectedFailure
+                } else {
+                    TrialOutcome::Detected
+                }
             } else if verdict.correct {
                 TrialOutcome::Masked
             } else {
@@ -556,15 +667,19 @@ fn empty_report(
     mode: &RedundancyMode,
     spec: FaultSpec,
     workload: &dyn RedundantWorkload,
+    fault_free_makespan: u64,
 ) -> CampaignReport {
     CampaignReport {
         workload: workload.name().to_string(),
         policy: mode.policy_kind().label().to_string(),
         fault: spec.label(),
+        replicas: mode.replicas(),
+        fault_free_makespan,
         trials: cfg.trials,
         not_activated: 0,
         masked: 0,
         detected: 0,
+        corrected: 0,
         undetected: 0,
     }
 }
@@ -573,6 +688,7 @@ fn finish_report(mut report: CampaignReport, counts: OutcomeCounts) -> CampaignR
     report.not_activated = counts.not_activated;
     report.masked = counts.masked;
     report.detected = counts.detected;
+    report.corrected = counts.corrected;
     report.undetected = counts.undetected;
     report
 }
@@ -591,7 +707,7 @@ pub fn run_campaign_serial(
     workload: &dyn RedundantWorkload,
 ) -> Result<CampaignReport, RedundancyError> {
     let window_end = dry_run_makespan(cfg, mode, workload)?;
-    let deadline = Some(watchdog_deadline(window_end));
+    let deadline = Some(ftti_deadline(window_end, workload.ftti_multiplier()));
     let models = draw_models(cfg, spec, window_end);
     let mut counts = OutcomeCounts::default();
     for model in models {
@@ -600,7 +716,7 @@ pub fn run_campaign_serial(
         );
     }
     Ok(finish_report(
-        empty_report(cfg, mode, spec, workload),
+        empty_report(cfg, mode, spec, workload, window_end),
         counts,
     ))
 }
@@ -625,9 +741,9 @@ pub fn run_campaign_with_perf(
     workload: &dyn RedundantWorkload,
 ) -> Result<(CampaignReport, CampaignPerf), RedundancyError> {
     let window_end = dry_run_makespan(cfg, mode, workload)?;
-    let deadline = Some(watchdog_deadline(window_end));
+    let deadline = Some(ftti_deadline(window_end, workload.ftti_multiplier()));
     let models = draw_models(cfg, spec, window_end);
-    let report = empty_report(cfg, mode, spec, workload);
+    let report = empty_report(cfg, mode, spec, workload, window_end);
     let workers = cfg.resolved_workers().min(models.len()).max(1);
 
     if workers == 1 {
@@ -741,7 +857,7 @@ pub fn run_campaign_selected(
     spec: &CampaignSpec,
 ) -> Result<CampaignReport, CampaignError> {
     let workload = spec.build_workload(reg)?;
-    let mode = spec.mode(cfg.gpu.num_sms);
+    let mode = spec.mode(cfg.gpu.num_sms)?;
     Ok(run_campaign(cfg, &mode, spec.fault, &workload)?)
 }
 
@@ -759,7 +875,7 @@ pub fn run_campaign_selected_serial(
     spec: &CampaignSpec,
 ) -> Result<CampaignReport, CampaignError> {
     let workload = spec.build_workload(reg)?;
-    let mode = spec.mode(cfg.gpu.num_sms);
+    let mode = spec.mode(cfg.gpu.num_sms)?;
     Ok(run_campaign_serial(cfg, &mode, spec.fault, &workload)?)
 }
 
@@ -840,7 +956,11 @@ mod tests {
         let serial = run_campaign_serial(&cfg, &mode, spec, &small_workload()).expect("serial");
         assert_eq!(
             serial.trials,
-            serial.not_activated + serial.masked + serial.detected + serial.undetected,
+            serial.not_activated
+                + serial.masked
+                + serial.detected
+                + serial.corrected
+                + serial.undetected,
             "every trial classified: {serial:?}"
         );
         for workers in [1usize, 2, 8] {
@@ -922,6 +1042,81 @@ mod tests {
         assert_eq!(watchdog_deadline(0), 10_000);
         assert_eq!(watchdog_deadline(1_000), 18_000);
         assert_eq!(watchdog_deadline(u64::MAX), u64::MAX, "saturates");
+        // The per-workload form honors the declared multiplier and matches
+        // the historical flat budget at the default.
+        assert_eq!(ftti_deadline(1_000, 8), watchdog_deadline(1_000));
+        assert_eq!(ftti_deadline(1_000, 2), 12_000);
+        assert_eq!(ftti_deadline(u64::MAX, 3), u64::MAX, "saturates");
+    }
+
+    /// A workload whose declared FTTI multiplier is so tight that the
+    /// deadline fires on a *fault-free* corrupted run — proving the
+    /// campaign engine takes the budget from the workload, not a flat
+    /// constant.
+    #[derive(Debug)]
+    struct TightFtti(IteratedFma);
+
+    impl higpu_workloads::Workload for TightFtti {
+        fn name(&self) -> &'static str {
+            "tight_ftti"
+        }
+        fn run(
+            &self,
+            s: &mut dyn higpu_workloads::GpuSession,
+        ) -> Result<Vec<u32>, higpu_workloads::SessionError> {
+            higpu_workloads::Workload::run(&self.0, s)
+        }
+        fn reference(&self) -> Vec<u32> {
+            higpu_workloads::Workload::reference(&self.0)
+        }
+        fn tolerance(&self) -> higpu_workloads::Tolerance {
+            higpu_workloads::Workload::tolerance(&self.0)
+        }
+        fn ftti_multiplier(&self) -> u64 {
+            0 // deadline = fixed slack only
+        }
+    }
+
+    #[test]
+    fn campaign_enforces_the_workload_declared_ftti_budget() {
+        let cfg = small_cfg(4);
+        let mode = RedundancyMode::srrs_default(6);
+        // Long enough that the redundant makespan exceeds the 10k-cycle
+        // fixed slack left by a zero multiplier.
+        let inner = IteratedFma {
+            n: 512,
+            threads_per_block: 64,
+            iters: 48,
+        };
+        let makespan = dry_run_makespan(
+            &cfg,
+            &mode,
+            &crate::workload::CampaignWorkload::new(Box::new(TightFtti(inner.clone()))),
+        )
+        .expect("dry run");
+        assert!(
+            makespan > 10_000,
+            "workload must outlive the tight budget ({makespan} cycles)"
+        );
+
+        let tight = crate::workload::CampaignWorkload::new(Box::new(TightFtti(inner.clone())));
+        assert_eq!(RedundantWorkload::ftti_multiplier(&tight), 0);
+        let r = run_campaign(&cfg, &mode, FaultSpec::Transient { duration: 1 }, &tight)
+            .expect("campaign");
+        assert_eq!(
+            r.detected, r.trials,
+            "every trial blows the tight FTTI deadline: {r:?}"
+        );
+        assert_eq!(r.fault_free_makespan, makespan);
+
+        // The same workload under the default budget completes normally.
+        let relaxed = crate::workload::CampaignWorkload::new(Box::new(inner));
+        let r = run_campaign(&cfg, &mode, FaultSpec::Transient { duration: 1 }, &relaxed)
+            .expect("campaign");
+        assert!(
+            r.detected < r.trials,
+            "default budget leaves fault-free-window trials unharmed: {r:?}"
+        );
     }
 
     #[test]
@@ -975,13 +1170,73 @@ mod tests {
         let spec = |p| CampaignSpec::new("w", p, FaultSpec::Permanent);
         assert_eq!(
             spec(PolicyKind::Default).mode(6),
-            RedundancyMode::Uncontrolled
+            Ok(RedundancyMode::Uncontrolled)
         );
         assert_eq!(
             spec(PolicyKind::Srrs).mode(6),
-            RedundancyMode::srrs_default(6)
+            Ok(RedundancyMode::srrs_default(6))
         );
-        assert_eq!(spec(PolicyKind::Half).mode(6), RedundancyMode::Half);
+        assert_eq!(spec(PolicyKind::Half).mode(6), Ok(RedundancyMode::Half));
+        assert_eq!(
+            spec(PolicyKind::Slice).mode(6),
+            Ok(RedundancyMode::Slice { replicas: 2 })
+        );
+        // The replicas axis.
+        assert_eq!(
+            spec(PolicyKind::Srrs).with_replicas(3).mode(6),
+            Ok(RedundancyMode::Srrs {
+                start_sms: vec![0, 2, 4]
+            })
+        );
+        assert_eq!(
+            spec(PolicyKind::Slice).with_replicas(3).mode(6),
+            Ok(RedundancyMode::Slice { replicas: 3 })
+        );
+        assert_eq!(
+            spec(PolicyKind::Half).with_replicas(3).mode(6),
+            Err(CampaignError::UnsupportedReplicas {
+                policy: PolicyKind::Half,
+                replicas: 3
+            }),
+            "HALF is two-replica by construction; SLICE is its N-form"
+        );
+        assert_eq!(
+            spec(PolicyKind::Default).with_replicas(3).mode(6),
+            Err(CampaignError::UnsupportedReplicas {
+                policy: PolicyKind::Default,
+                replicas: 3
+            })
+        );
+        assert_eq!(
+            spec(PolicyKind::Srrs).with_replicas(1).mode(6),
+            Err(CampaignError::UnsupportedReplicas {
+                policy: PolicyKind::Srrs,
+                replicas: 1
+            })
+        );
+    }
+
+    #[test]
+    fn tmr_campaign_corrects_what_dcls_merely_detects() {
+        let cfg = small_cfg(12);
+        let wl = small_workload();
+        let spec = FaultSpec::Permanent;
+        let dcls = run_campaign(&cfg, &RedundancyMode::srrs_default(6), spec, &wl).expect("dcls");
+        let tmr = run_campaign(&cfg, &RedundancyMode::srrs_spread(6, 3), spec, &wl).expect("tmr");
+        assert_eq!(dcls.corrected, 0, "2 replicas can never outvote: {dcls:?}");
+        assert_eq!(dcls.replicas, 2);
+        assert_eq!(tmr.replicas, 3);
+        assert!(
+            tmr.corrected > 0,
+            "TMR must outvote single-SM stuck-ats: {tmr:?}"
+        );
+        assert_eq!(tmr.undetected, 0, "spatial diversity holds at N=3: {tmr:?}");
+        assert!(
+            tmr.fault_free_makespan > dcls.fault_free_makespan,
+            "a third serialized replica costs makespan: {} vs {}",
+            tmr.fault_free_makespan,
+            dcls.fault_free_makespan
+        );
     }
 
     #[test]
@@ -1001,16 +1256,21 @@ mod tests {
             workload: "w".into(),
             policy: "SRRS".into(),
             fault: "permanent-sm",
+            replicas: 3,
+            fault_free_makespan: 12_345,
             trials: 10,
             not_activated: 2,
-            masked: 3,
-            detected: 5,
+            masked: 1,
+            detected: 3,
+            corrected: 4,
             undetected: 0,
         };
-        assert_eq!(r.coverage(), Some(1.0));
+        assert_eq!(r.coverage(), Some(1.0), "corrected trials are covered");
         let e = r.evidence();
         assert_eq!(e.activated, 8);
-        assert_eq!(e.detected, 5);
+        assert_eq!(e.detected, 3);
+        assert_eq!(e.corrected, 4);
         assert_eq!(e.undetected_failures, 0);
+        assert_eq!(e.coverage(), Some(1.0));
     }
 }

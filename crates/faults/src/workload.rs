@@ -20,10 +20,10 @@ pub use higpu_workloads::synthetic::IteratedFma;
 /// Outcome of one redundant workload run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadVerdict {
-    /// Replicas agreed bitwise (the DCLS safety mechanism is always an
-    /// exact word-for-word compare).
+    /// Replicas agreed bitwise (the NMR safety mechanism is always an
+    /// exact word-for-word compare/vote).
     pub matched: bool,
-    /// Replica 0's output verified against the workload's reference,
+    /// The (voted) output verified against the workload's reference,
     /// **under the workload's own tolerance**. This is deliberate: for
     /// float benchmarks verified with [`higpu_workloads::Tolerance::approx`],
     /// corruption that stays inside the benchmark's accepted numerical
@@ -34,6 +34,20 @@ pub struct WorkloadVerdict {
     /// [`higpu_workloads::Tolerance::Exact`], where any agreed-upon
     /// corruption is an undetected failure.
     pub correct: bool,
+    /// The replicas disagreed but every disagreement was settled by a
+    /// strict majority — the *observable* the deployed NMR voter has
+    /// (it cannot see whether the majority value is right). Always
+    /// `false` for two replicas (a 2-replica disagreement can never reach
+    /// a strict majority).
+    pub fully_voted: bool,
+    /// `fully_voted` **and** the voted output verified correct: NMR
+    /// forward recovery that was actually safe — the computation could
+    /// continue without re-execution. A fully-voted-but-wrong run
+    /// (`fully_voted && !corrected`) is the dangerous case: the deployed
+    /// voter sees a clean majority, continues with corrupted data, and
+    /// never triggers recovery — campaigns classify it as an *undetected
+    /// failure*, exactly like an all-replica agreement on a wrong value.
+    pub corrected: bool,
 }
 
 /// A workload that can be executed redundantly under fault injection.
@@ -46,12 +60,19 @@ pub trait RedundantWorkload: Sync {
     fn name(&self) -> &str;
 
     /// Runs the full redundant computation (allocate, copy, launch, sync,
-    /// compare) and classifies the outputs.
+    /// compare/vote) and classifies the outputs.
     ///
     /// # Errors
     ///
     /// Propagates [`RedundancyError`] from the protocol.
     fn run(&self, exec: &mut RedundantExecutor<'_>) -> Result<WorkloadVerdict, RedundancyError>;
+
+    /// The workload's FTTI budget multiplier (see
+    /// [`higpu_workloads::Workload::ftti_multiplier`]); campaign engines
+    /// derive each trial's watchdog deadline from it.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 /// Runs any session-level [`Workload`] redundantly (mismatch-tolerant, so
@@ -66,10 +87,15 @@ pub fn classify_redundant_run(
     exec: &mut RedundantExecutor<'_>,
 ) -> Result<WorkloadVerdict, RedundancyError> {
     match run_redundant(exec, workload) {
-        Ok(run) => Ok(WorkloadVerdict {
-            matched: run.matched(),
-            correct: workload.verify(&run.output).is_ok(),
-        }),
+        Ok(run) => {
+            let correct = workload.verify(&run.output).is_ok();
+            Ok(WorkloadVerdict {
+                matched: run.matched(),
+                correct,
+                fully_voted: run.fully_corrected(),
+                corrected: run.fully_corrected() && correct,
+            })
+        }
         Err(SessionError::Sim(e)) => Err(RedundancyError::Sim(e)),
         Err(SessionError::Redundancy(e)) => Err(e),
         // Tolerant sessions never surface this; treat it as detected-and-
@@ -77,6 +103,8 @@ pub fn classify_redundant_run(
         Err(SessionError::ReplicaMismatch { .. }) => Ok(WorkloadVerdict {
             matched: false,
             correct: false,
+            fully_voted: false,
+            corrected: false,
         }),
     }
 }
@@ -88,6 +116,10 @@ impl RedundantWorkload for IteratedFma {
 
     fn run(&self, exec: &mut RedundantExecutor<'_>) -> Result<WorkloadVerdict, RedundancyError> {
         classify_redundant_run(self, exec)
+    }
+
+    fn ftti_multiplier(&self) -> u64 {
+        Workload::ftti_multiplier(self)
     }
 }
 
@@ -123,6 +155,10 @@ impl RedundantWorkload for CampaignWorkload {
 
     fn run(&self, exec: &mut RedundantExecutor<'_>) -> Result<WorkloadVerdict, RedundancyError> {
         classify_redundant_run(&*self.inner, exec)
+    }
+
+    fn ftti_multiplier(&self) -> u64 {
+        self.inner.ftti_multiplier()
     }
 }
 

@@ -197,6 +197,12 @@ impl Benchmark for Backprop {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// Fixed two-layer pass: corrupted runs either finish near the
+    /// fault-free makespan or run away on a flipped loop bound.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Backprop {

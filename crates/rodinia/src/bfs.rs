@@ -216,6 +216,12 @@ impl Benchmark for Bfs {
     fn tolerance(&self) -> Tolerance {
         Tolerance::Exact
     }
+
+    /// Frontier expansion is data-dependent: a corrupted frontier can
+    /// add extra whole-graph passes, comfortably inside the default budget.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Bfs {

@@ -261,6 +261,11 @@ impl Benchmark for Cfd {
             abs: 1e-4,
         }
     }
+
+    /// Fixed-step explicit solver; per-step cost is data-independent.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Cfd {

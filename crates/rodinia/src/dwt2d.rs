@@ -204,6 +204,12 @@ impl Benchmark for Dwt2d {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// The level count is fixed; corrupted coefficients cannot
+    /// lengthen a pass.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Dwt2d {

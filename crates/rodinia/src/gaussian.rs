@@ -169,6 +169,11 @@ impl Benchmark for Gaussian {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// Elimination rounds are fixed by the matrix size.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Gaussian {

@@ -202,6 +202,12 @@ impl Benchmark for Hotspot {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// Fixed stencil iterations; corrupted temperatures cannot
+    /// extend them.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Hotspot {

@@ -208,6 +208,12 @@ impl Benchmark for Hotspot3d {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// Fixed 3D stencil iterations; corrupted temperatures cannot
+    /// extend them.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Hotspot3d {

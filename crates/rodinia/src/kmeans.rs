@@ -186,6 +186,11 @@ impl Benchmark for Kmeans {
     fn tolerance(&self) -> Tolerance {
         Tolerance::Exact
     }
+
+    /// Assignment/update rounds are fixed, not convergence-driven.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Kmeans {

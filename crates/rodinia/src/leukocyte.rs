@@ -244,6 +244,14 @@ impl Benchmark for Leukocyte {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// The droop-runaway workload: a sign-flipped loop counter once
+    /// livelocked whole campaigns here. The default budget cuts the
+    /// ~2³¹-iteration runaway promptly while clearing every legitimate
+    /// perturbed run (regression-fenced in tests/campaign_matrix.rs).
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Leukocyte {

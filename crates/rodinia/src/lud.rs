@@ -315,6 +315,11 @@ impl Benchmark for Lud {
             abs: 1e-4,
         }
     }
+
+    /// The factorization sweep count is fixed by the matrix size.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Lud {

@@ -139,6 +139,12 @@ impl Benchmark for Myocyte {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// Long serial per-thread ODE integration, but over a fixed
+    /// number of solver steps.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Myocyte {

@@ -122,6 +122,12 @@ impl Benchmark for Nn {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// One short, launch-latency-dominated kernel; the deadline's fixed
+    /// slack dominates the budget.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Nn {

@@ -175,6 +175,11 @@ impl Benchmark for Nw {
     fn tolerance(&self) -> Tolerance {
         Tolerance::Exact
     }
+
+    /// Anti-diagonal wavefront with a fixed number of diagonals.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Nw {

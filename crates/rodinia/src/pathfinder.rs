@@ -131,6 +131,11 @@ impl Benchmark for Pathfinder {
     fn tolerance(&self) -> Tolerance {
         Tolerance::Exact
     }
+
+    /// Fixed per-row sweeps.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Pathfinder {

@@ -314,6 +314,11 @@ impl Benchmark for Srad {
             abs: 1e-4,
         }
     }
+
+    /// Fixed diffusion iterations.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Srad {

@@ -153,6 +153,11 @@ impl Benchmark for Streamcluster {
     fn tolerance(&self) -> Tolerance {
         Tolerance::approx()
     }
+
+    /// Fixed candidate-evaluation passes.
+    fn ftti_multiplier(&self) -> u64 {
+        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 impl Streamcluster {

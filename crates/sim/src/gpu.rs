@@ -104,7 +104,15 @@ impl DevPtr {
 #[derive(Debug)]
 struct KernelRuntime {
     id: KernelId,
-    launch: KernelLaunch,
+    /// The program the blocks execute (shared with every dispatched block).
+    program: Arc<crate::program::Program>,
+    /// Grid geometry (the rest of the original [`LaunchConfig`] — shared
+    /// memory, parameter words — lives in `footprint` / `params`; the
+    /// launch descriptor itself is not retained, so its `LaunchAttrs` copy
+    /// is gone and only the snapshot-shared `Arc` below remains).
+    grid: crate::kernel::Dim3,
+    /// Block geometry.
+    block: crate::kernel::Dim3,
     /// Launch attributes shared with per-round scheduler snapshots (an
     /// `Arc` clone instead of a deep `LaunchAttrs` clone keeps the
     /// scheduling round allocation-free).
@@ -119,7 +127,7 @@ struct KernelRuntime {
 
 impl KernelRuntime {
     fn blocks_total(&self) -> u32 {
-        self.launch.config.num_blocks()
+        self.grid.count().min(u64::from(u32::MAX)) as u32
     }
 
     fn is_finished(&self) -> bool {
@@ -538,11 +546,13 @@ impl Gpu {
             blocks: launch.config.num_blocks(),
             footprint: fp,
         });
-        let params: Arc<[u32]> = Arc::from(launch.config.params.clone().into_boxed_slice());
-        let attrs = Arc::new(launch.attrs.clone());
+        let params: Arc<[u32]> = Arc::from(launch.config.params.into_boxed_slice());
+        let attrs = Arc::new(launch.attrs);
         self.kernels.push(KernelRuntime {
             id,
-            launch,
+            program: launch.program,
+            grid: launch.config.grid,
+            block: launch.config.block,
             attrs,
             params,
             footprint: fp,
@@ -630,17 +640,17 @@ impl Gpu {
             if rec.first_dispatch.is_none() {
                 rec.first_dispatch = Some(self.cycle);
             }
-            let grid = kr.launch.config.grid;
+            let grid = kr.grid;
             let dims = BlockDims {
                 ctaid: grid.coords(block_linear),
-                ntid: kr.launch.config.block,
+                ntid: kr.block,
                 nctaid: grid,
             };
             let block = BlockState::new(
                 kr.id,
                 block_linear,
                 dims,
-                kr.launch.program.clone(),
+                kr.program.clone(),
                 kr.params.clone(),
                 fp,
                 self.cycle,

@@ -84,9 +84,43 @@ pub struct LaunchAttrs {
     pub start_sm: Option<usize>,
     /// HALF hint: which SM partition this kernel is confined to.
     pub partition: Option<SmPartition>,
+    /// SLICE hint: which of N balanced SM slices this kernel is confined to
+    /// (the N-replica generalization of `partition`).
+    pub slice: Option<SmSlice>,
     /// SRRS hint: kernels sharing a serialization group are executed one at
     /// a time, on an otherwise idle GPU.
     pub serialize_group: Option<u32>,
+}
+
+/// One of N equal SM slices used by the SLICE policy (the N-replica
+/// generalization of [`SmPartition`]): slice `index` of `of` owns the SM
+/// range `[index·n/of, (index+1)·n/of)`.
+///
+/// [`SmPartition`] is kept as a distinct two-way type because HALF's
+/// odd-SM-count convention differs (the *lower* half receives the extra SM,
+/// whereas balanced slicing gives later slices the larger share) and the
+/// paper's HALF evaluation depends on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SmSlice {
+    /// Slice index, `0..of`.
+    pub index: u8,
+    /// Total number of slices.
+    pub of: u8,
+}
+
+impl SmSlice {
+    /// The SM-id range of this slice on a GPU with `num_sms` SMs
+    /// (balanced partition: `[index·n/of, (index+1)·n/of)`).
+    pub fn range(self, num_sms: usize) -> std::ops::Range<usize> {
+        let of = usize::from(self.of).max(1);
+        let i = usize::from(self.index);
+        (i * num_sms / of)..((i + 1) * num_sms / of)
+    }
+
+    /// True if `sm` belongs to this slice.
+    pub fn contains(self, sm: usize, num_sms: usize) -> bool {
+        self.range(num_sms).contains(&sm)
+    }
 }
 
 /// One of the two SM partitions used by the HALF policy.
@@ -230,6 +264,13 @@ impl KernelLaunch {
         self
     }
 
+    /// SLICE hint: confines this kernel to slice `index` of `of` balanced
+    /// SM slices.
+    pub fn slice(mut self, index: u8, of: u8) -> Self {
+        self.attrs.slice = Some(SmSlice { index, of });
+        self
+    }
+
     /// SRRS hint: serialization group.
     pub fn serialize_group(mut self, g: u32) -> Self {
         self.attrs.serialize_group = Some(g);
@@ -307,6 +348,35 @@ mod tests {
     }
 
     #[test]
+    fn slice_ranges_cover_all_sms_disjointly() {
+        for n in 1..=12usize {
+            for of in 1..=n.min(6) as u8 {
+                let mut covered = vec![0u32; n];
+                let mut prev_end = 0;
+                for index in 0..of {
+                    let r = SmSlice { index, of }.range(n);
+                    assert_eq!(r.start, prev_end, "slices are contiguous");
+                    prev_end = r.end;
+                    for sm in r {
+                        covered[sm] += 1;
+                    }
+                }
+                assert_eq!(prev_end, n, "last slice ends at n");
+                assert!(
+                    covered.iter().all(|&c| c == 1),
+                    "n={n} of={of}: every SM in exactly one slice: {covered:?}"
+                );
+            }
+        }
+        // 6 SMs in 3 slices: 2 SMs each.
+        assert_eq!(SmSlice { index: 0, of: 3 }.range(6), 0..2);
+        assert_eq!(SmSlice { index: 1, of: 3 }.range(6), 2..4);
+        assert_eq!(SmSlice { index: 2, of: 3 }.range(6), 4..6);
+        assert!(SmSlice { index: 2, of: 3 }.contains(5, 6));
+        assert!(!SmSlice { index: 2, of: 3 }.contains(3, 6));
+    }
+
+    #[test]
     fn launch_config_params() {
         let c = LaunchConfig::new(4u32, 64u32)
             .param_u32(10)
@@ -336,6 +406,7 @@ mod tests {
             .redundant(7, 1)
             .start_sm(3)
             .partition(SmPartition::Upper)
+            .slice(1, 3)
             .serialize_group(9);
         assert_eq!(l.attrs.tag, "k0");
         assert_eq!(
@@ -347,6 +418,7 @@ mod tests {
         );
         assert_eq!(l.attrs.start_sm, Some(3));
         assert_eq!(l.attrs.partition, Some(SmPartition::Upper));
+        assert_eq!(l.attrs.slice, Some(SmSlice { index: 1, of: 3 }));
         assert_eq!(l.attrs.serialize_group, Some(9));
     }
 }

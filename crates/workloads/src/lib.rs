@@ -38,4 +38,6 @@ pub mod workload;
 
 pub use registry::{Scale, WorkloadFactory, WorkloadRegistry};
 pub use session::{BufId, GpuSession, RedundantSession, SParam, SessionError, SoloSession};
-pub use workload::{f32s_to_words, verify_words, Tolerance, VerifyError, Workload};
+pub use workload::{
+    f32s_to_words, verify_words, Tolerance, VerifyError, Workload, DEFAULT_FTTI_MULTIPLIER,
+};

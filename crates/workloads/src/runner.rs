@@ -20,10 +20,16 @@ pub fn run_solo(gpu: &mut Gpu, workload: &dyn Workload) -> Result<Vec<u32>, Sess
 /// Outcome of one mismatch-tolerant redundant run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RedundantRun {
-    /// Replica 0's output words.
+    /// The voted output words (replica 0's words where a disagreement had
+    /// no strict majority — identical to replica 0's output for N = 2).
     pub output: Vec<u32>,
     /// Reads on which the replicas disagreed (0 on a fault-free run).
     pub mismatched_reads: usize,
+    /// Disagreeing reads fully settled by a strict replica majority (NMR
+    /// forward recovery; always 0 for two replicas).
+    pub corrected_reads: usize,
+    /// Disagreeing reads where at least one word tied (fail-stop).
+    pub tied_reads: usize,
     /// Word index of the first disagreement, if any.
     pub first_mismatch: Option<usize>,
 }
@@ -32,6 +38,13 @@ impl RedundantRun {
     /// True when every read-back compared bitwise equal across replicas.
     pub fn matched(&self) -> bool {
         self.mismatched_reads == 0
+    }
+
+    /// True when the replicas disagreed but **every** disagreement was
+    /// outvoted by a strict majority — the output is the voted value and
+    /// execution could continue without re-execution.
+    pub fn fully_corrected(&self) -> bool {
+        self.mismatched_reads > 0 && self.tied_reads == 0
     }
 }
 
@@ -53,6 +66,8 @@ pub fn run_redundant(
     Ok(RedundantRun {
         output,
         mismatched_reads: session.mismatched_reads(),
+        corrected_reads: session.corrected_reads(),
+        tied_reads: session.tied_reads(),
         first_mismatch: session.first_mismatch(),
     })
 }

@@ -6,7 +6,8 @@
 //! engine, the COTS end-to-end model and the benches all drive the same
 //! five-step host-program shape (allocate, upload, launch, sync, read).
 
-use higpu_core::redundancy::{Comparison, RBuf, RParam, RedundancyError, RedundantExecutor};
+use higpu_core::redundancy::{RBuf, RedundancyError, RedundantExecutor};
+use higpu_core::vote::VoteOutcome;
 use higpu_sim::gpu::{DevPtr, Gpu, SimError};
 use higpu_sim::kernel::{Dim3, KernelLaunch, LaunchConfig};
 use higpu_sim::program::Program;
@@ -226,24 +227,30 @@ impl GpuSession for SoloSession<'_> {
 /// What a redundant session does when replicas disagree on a read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MismatchPolicy {
-    /// Surface [`SessionError::ReplicaMismatch`] (the DCLS recovery path:
-    /// the computation is aborted and re-executed).
+    /// Surface [`SessionError::ReplicaMismatch`] on any disagreement (the
+    /// conservative DCLS recovery path: the computation is aborted and
+    /// re-executed, regardless of whether an N ≥ 3 majority could have
+    /// outvoted the corruption).
     Fail,
-    /// Record the disagreement and hand back replica 0's data so the host
-    /// program runs to completion — the form fault-injection campaigns need
-    /// to classify a trial as detected vs. silently corrupted.
+    /// Record the disagreement and hand back the **voted** data so the
+    /// host program runs to completion — the form fault-injection campaigns
+    /// need to classify a trial as corrected vs. detected vs. silently
+    /// corrupted. For two replicas the voted data on a (necessarily tied)
+    /// disagreement is replica 0's, exactly as classic DCLS hands back.
     Record,
 }
 
-/// Redundant session: every operation follows the DCLS protocol
-/// (dual allocation, dual copies, dual launches, compare on read-back).
+/// Redundant session: every operation follows the N-modular redundancy
+/// protocol (per-replica allocation, copies and launches; majority vote on
+/// read-back — the two-replica vote degenerates to the DCLS compare).
 #[derive(Debug)]
 pub struct RedundantSession<'g, 'e> {
     exec: &'e mut RedundantExecutor<'g>,
     buffers: Vec<RBuf>,
     pending: bool,
     on_mismatch: MismatchPolicy,
-    mismatched_reads: usize,
+    corrected_reads: usize,
+    tied_reads: usize,
     first_mismatch: Option<usize>,
 }
 
@@ -256,9 +263,11 @@ impl<'g, 'e> RedundantSession<'g, 'e> {
 
     /// Wraps a redundant executor in mismatch-tolerant mode: replica
     /// disagreements are recorded (see
-    /// [`RedundantSession::mismatched_reads`]) and replica 0's data is
-    /// returned, so the host program runs to completion. Fault-injection
-    /// campaigns use this to classify complete trials.
+    /// [`RedundantSession::mismatched_reads`],
+    /// [`RedundantSession::corrected_reads`],
+    /// [`RedundantSession::tied_reads`]) and the voted data is returned, so
+    /// the host program runs to completion. Fault-injection campaigns use
+    /// this to classify complete trials.
     pub fn tolerant(exec: &'e mut RedundantExecutor<'g>) -> Self {
         Self::with_policy(exec, MismatchPolicy::Record)
     }
@@ -269,15 +278,29 @@ impl<'g, 'e> RedundantSession<'g, 'e> {
             buffers: Vec::new(),
             pending: false,
             on_mismatch,
-            mismatched_reads: 0,
+            corrected_reads: 0,
+            tied_reads: 0,
             first_mismatch: None,
         }
     }
 
-    /// Number of reads on which the replicas disagreed (only ever non-zero
-    /// for sessions built with [`RedundantSession::tolerant`]).
+    /// Number of reads on which the replicas disagreed, whether outvoted or
+    /// tied (only ever non-zero for sessions built with
+    /// [`RedundantSession::tolerant`]).
     pub fn mismatched_reads(&self) -> usize {
-        self.mismatched_reads
+        self.corrected_reads + self.tied_reads
+    }
+
+    /// Disagreeing reads fully settled by a strict replica majority (the
+    /// NMR forward-recovery case; always 0 for two replicas).
+    pub fn corrected_reads(&self) -> usize {
+        self.corrected_reads
+    }
+
+    /// Disagreeing reads with at least one word no strict majority settled
+    /// (fail-stop detections; every two-replica disagreement lands here).
+    pub fn tied_reads(&self) -> usize {
+        self.tied_reads
     }
 
     /// Word index of the first disagreement observed, if any.
@@ -313,19 +336,36 @@ impl GpuSession for RedundantSession<'_, '_> {
         shared_mem_bytes: u32,
         params: &[SParam],
     ) -> Result<(), SessionError> {
-        let owned: Vec<RBuf> = self.buffers.clone();
-        let rparams: Vec<RParam<'_>> = params
-            .iter()
-            .map(|p| match *p {
-                SParam::Buf(b) => RParam::Buf(&owned[b.0]),
-                SParam::BufOffset(b, w) => RParam::BufOffset(&owned[b.0], w),
-                SParam::U32(v) => RParam::U32(v),
-                SParam::I32(v) => RParam::I32(v),
-                SParam::F32(v) => RParam::F32(v),
-            })
-            .collect();
-        self.exec
-            .launch(program, grid, block, shared_mem_bytes, &rparams)?;
+        // Disjoint field borrows: the executor materializes each replica's
+        // parameter words into its reusable scratch while reading the
+        // session's buffer table in place — no per-launch clone of the
+        // (potentially large) table, no per-replica parameter vector.
+        let Self { exec, buffers, .. } = self;
+        let replicas = exec.replicas() as usize;
+        exec.launch_with(program, grid, block, shared_mem_bytes, &mut |r, out| {
+            for p in params {
+                match *p {
+                    SParam::Buf(b) | SParam::BufOffset(b, _) => {
+                        let rb = &buffers[b.0];
+                        if rb.replicas() != replicas {
+                            return Err(RedundancyError::BufferArity {
+                                buffer: rb.replicas(),
+                                executor: replicas,
+                            });
+                        }
+                        let offset = match *p {
+                            SParam::BufOffset(_, w) => w,
+                            _ => 0,
+                        };
+                        out.push(rb.ptr(r).offset_words(offset).0);
+                    }
+                    SParam::U32(v) => out.push(v),
+                    SParam::I32(v) => out.push(v as u32),
+                    SParam::F32(v) => out.push(v.to_bits()),
+                }
+            }
+            Ok(())
+        })?;
         self.pending = true;
         Ok(())
     }
@@ -340,21 +380,24 @@ impl GpuSession for RedundantSession<'_, '_> {
 
     fn read_u32(&mut self, buf: BufId, words: usize) -> Result<Vec<u32>, SessionError> {
         self.sync()?;
-        let b = self.buffers[buf.0].clone();
-        match self.exec.read_compare_u32(&b, words)? {
-            Comparison::Match(v) => Ok(v),
-            Comparison::Mismatch {
-                first_word,
-                mut outputs,
-                ..
-            } => match self.on_mismatch {
-                MismatchPolicy::Fail => Err(SessionError::ReplicaMismatch { first_word }),
+        let Self { exec, buffers, .. } = self;
+        let vote = exec.read_vote_u32(&buffers[buf.0], words)?;
+        match vote.outcome {
+            VoteOutcome::Unanimous => Ok(vote.value),
+            outcome => match self.on_mismatch {
+                MismatchPolicy::Fail => Err(SessionError::ReplicaMismatch {
+                    first_word: outcome.first_disagreement().expect("not unanimous"),
+                }),
                 MismatchPolicy::Record => {
-                    self.mismatched_reads += 1;
-                    if self.first_mismatch.is_none() {
-                        self.first_mismatch = Some(first_word);
+                    if outcome.is_corrected() {
+                        self.corrected_reads += 1;
+                    } else {
+                        self.tied_reads += 1;
                     }
-                    Ok(outputs.swap_remove(0))
+                    if self.first_mismatch.is_none() {
+                        self.first_mismatch = outcome.first_disagreement();
+                    }
+                    Ok(vote.value)
                 }
             },
         }
@@ -431,6 +474,50 @@ mod tests {
         let out = s.read_u32(b, 8).expect("tolerant continues");
         assert_eq!(out[0], 1, "replica 0's data is handed back");
         assert_eq!(s.mismatched_reads(), 1);
+        assert_eq!(s.tied_reads(), 1, "a 2-replica disagreement always ties");
+        assert_eq!(s.corrected_reads(), 0);
         assert_eq!(s.first_mismatch(), Some(0));
+    }
+
+    #[test]
+    fn tolerant_tmr_session_returns_the_voted_value() {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec = RedundantExecutor::new(
+            &mut gpu,
+            RedundancyMode::Srrs {
+                start_sms: vec![0, 2, 4],
+            },
+        )
+        .expect("mode");
+        let mut s = RedundantSession::tolerant(&mut exec);
+        let b = s.alloc_words(8).expect("alloc");
+        s.write_u32(b, &[1, 2, 3, 4, 5, 6, 7, 8]).expect("write");
+        // Corrupt replica 0 — the classic DCLS session would hand back the
+        // *corrupted* copy; the voter must restore the clean data.
+        let p0 = s.buffers[0].ptr(0);
+        s.exec.gpu_mut().write_u32(p0, &[99]);
+        let out = s.read_u32(b, 8).expect("tolerant continues");
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8], "2-of-3 vote corrects");
+        assert_eq!(s.corrected_reads(), 1);
+        assert_eq!(s.tied_reads(), 0);
+        assert_eq!(s.mismatched_reads(), 1);
+        assert_eq!(s.first_mismatch(), Some(0));
+
+        // A strict TMR session still fail-stops on any dissent.
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut exec = RedundantExecutor::new(
+            &mut gpu,
+            RedundancyMode::Srrs {
+                start_sms: vec![0, 2, 4],
+            },
+        )
+        .expect("mode");
+        let mut s = RedundantSession::new(&mut exec);
+        let b = s.alloc_words(8).expect("alloc");
+        s.write_u32(b, &[1, 2, 3, 4, 5, 6, 7, 8]).expect("write");
+        let p0 = s.buffers[0].ptr(0);
+        s.exec.gpu_mut().write_u32(p0, &[99]);
+        let err = s.read_u32(b, 8).expect_err("strict fails on dissent");
+        assert_eq!(err, SessionError::ReplicaMismatch { first_word: 0 });
     }
 }

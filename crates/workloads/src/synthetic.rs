@@ -123,6 +123,13 @@ impl Workload for IteratedFma {
         // exact — any deviation is corruption, not rounding.
         Tolerance::Exact
     }
+
+    fn ftti_multiplier(&self) -> u64 {
+        // Fixed trip counts, no data-dependent control flow: corrupted runs
+        // either terminate near the fault-free makespan or run away on a
+        // flipped loop counter — the default budget separates the two.
+        crate::workload::DEFAULT_FTTI_MULTIPLIER
+    }
 }
 
 /// Registers the synthetic workloads.

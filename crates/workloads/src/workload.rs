@@ -103,6 +103,13 @@ pub fn verify_words(got: &[u32], expected: &[u32], tol: Tolerance) -> Result<(),
     }
 }
 
+/// Default [`Workload::ftti_multiplier`]: the watchdog budget every
+/// workload gets unless it declares its own. Eight fault-free makespans is
+/// generous for legitimate corrupted-but-terminating runs (extra
+/// divergence, a few perturbed loop trips) while a runaway loop (counter
+/// sign-flip → ~2³¹ iterations) blows it promptly.
+pub const DEFAULT_FTTI_MULTIPLIER: u64 = 8;
+
 /// A workload: deterministic inputs, a GPU host program and a CPU reference.
 ///
 /// `Sync` because campaign workers share one workload description across
@@ -134,6 +141,21 @@ pub trait Workload: fmt::Debug + Sync {
     /// Returns the first mismatch on failure.
     fn verify(&self, out: &[u32]) -> Result<(), VerifyError> {
         verify_words(out, &self.reference(), self.tolerance())
+    }
+
+    /// The workload's fault-tolerant-time-interval budget, expressed as a
+    /// multiple of its fault-free redundant makespan: the DCLS host's
+    /// deadline monitor declares a trial *detected* (hung replica / timing
+    /// violation) once `ftti_multiplier() × fault-free makespan` cycles
+    /// (plus fixed slack) elapse without completion. Campaign engines
+    /// enforce this per trial (`higpu_faults::campaign::ftti_deadline`).
+    ///
+    /// Workloads with long-tailed corrupted-but-legitimate runtimes may
+    /// declare a larger budget; hard-real-time kernels with tight FTTIs a
+    /// smaller one. The default, [`DEFAULT_FTTI_MULTIPLIER`], is the
+    /// validated campaign-wide setting.
+    fn ftti_multiplier(&self) -> u64 {
+        DEFAULT_FTTI_MULTIPLIER
     }
 }
 

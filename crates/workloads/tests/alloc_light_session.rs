@@ -1,0 +1,106 @@
+//! Proves `RedundantSession::launch` is allocation-light: a counting
+//! global allocator observes steady-state launches and asserts that the
+//! per-launch allocation count is (a) small and (b) **independent of the
+//! session's buffer-table size** — the regression fence for the
+//! scratch-based rework (the session used to clone its whole `RBuf` table
+//! and materialize a fresh `RParam` vector per launch, so launches
+//! allocated O(buffers) each).
+
+use higpu_core::redundancy::{RedundancyMode, RedundantExecutor};
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::config::GpuConfig;
+use higpu_sim::gpu::Gpu;
+use higpu_sim::kernel::Dim3;
+use higpu_sim::program::Program;
+use higpu_workloads::{GpuSession, RedundantSession, SParam};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// System allocator wrapper that counts allocations.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn touch_kernel() -> Arc<Program> {
+    let mut b = KernelBuilder::new("touch");
+    let out = b.param(0);
+    let i = b.global_tid_x();
+    let a = b.addr_w(out, i);
+    let v = b.imul(i, 3u32);
+    b.stg(a, 0, v);
+    b.build().expect("valid").into_shared()
+}
+
+/// Allocations across `launches` steady-state launches of a session
+/// holding `buffers` logical buffers, with `params` buffer parameters per
+/// launch.
+fn allocations_per_launch(buffers: usize, launches: u64) -> f64 {
+    let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+    let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6)).expect("mode");
+    let prog = touch_kernel();
+    let mut session = RedundantSession::tolerant(&mut exec);
+    let mut ids = Vec::new();
+    for _ in 0..buffers {
+        ids.push(session.alloc_words(64).expect("alloc"));
+    }
+    let params = [SParam::Buf(ids[0]), SParam::Buf(ids[buffers - 1])];
+    // Warm up: first launch grows the executor's parameter scratch and the
+    // launch bookkeeping vectors.
+    session
+        .launch(&prog, Dim3::x(1), Dim3::x(32), 0, &params)
+        .expect("warm-up launch");
+    session.sync().expect("warm-up sync");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..launches {
+        session
+            .launch(&prog, Dim3::x(1), Dim3::x(32), 0, &params)
+            .expect("steady-state launch");
+        session.sync().expect("sync");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (after - before) as f64 / launches as f64
+}
+
+#[test]
+fn steady_state_launches_are_allocation_light_and_buffer_count_independent() {
+    let small = allocations_per_launch(2, 16);
+    let large = allocations_per_launch(64, 16);
+    // (a) Independent of the buffer-table size: the pre-rework session
+    // cloned all RBufs (one Vec + one DevPtr Vec each) per launch, which
+    // would show up here as ~2 x 62 extra allocations per launch.
+    assert!(
+        (large - small).abs() < 2.0,
+        "per-launch allocations must not scale with session buffers: \
+         {small:.1} with 2 buffers vs {large:.1} with 64"
+    );
+    // (b) Small in absolute terms. The remaining per-launch allocations are
+    // inherent to the device interface: per replica a params Vec + Arc'd
+    // params/attrs, the trace tag string, and trace/block records. Bound
+    // them loosely so legitimate simulator changes don't trip the fence,
+    // while an O(buffers) or O(params²) regression still does.
+    assert!(
+        small < 40.0,
+        "steady-state redundant launch allocates too much: {small:.1}/launch"
+    );
+}

@@ -39,7 +39,8 @@ fn matrix_over_rodinia_suite_is_bit_identical_to_serial_reference() {
         workloads: TIER1_WORKLOADS.iter().map(|s| s.to_string()).collect(),
         policies: vec![PolicyKind::Srrs, PolicyKind::Half],
         faults: vec![FaultSpec::Permanent],
-        check_serial: true, // asserts parallel == serial for every cell
+        replica_counts: vec![2], // the NMR axis has its own fence below
+        check_serial: true,      // asserts parallel == serial for every cell
         ..MatrixConfig::default()
     };
     let m = run_matrix(&reg, &cfg).expect("sweep");
@@ -55,12 +56,161 @@ fn matrix_over_rodinia_suite_is_bit_identical_to_serial_reference() {
         m.reports
     );
     for r in &m.reports {
+        assert_eq!(r.replicas, 2);
+        assert_eq!(r.corrected, 0, "2 replicas can never outvote: {r:?}");
         assert_eq!(
             r.trials,
-            r.not_activated + r.masked + r.detected + r.undetected,
+            r.not_activated + r.masked + r.detected + r.corrected + r.undetected,
             "every trial classified: {r:?}"
         );
     }
+}
+
+/// The NMR bit-identity fence: campaigns at three replicas, across six
+/// Rodinia workloads under both N-capable diverse policies (SRRS and
+/// SLICE), must produce parallel reports bit-identical to the serial
+/// reference engine at 1, 2 and 8 workers — and TMR must correct at least
+/// one permanent fault somewhere in the sweep.
+#[test]
+fn tmr_campaigns_are_bit_identical_to_serial_across_worker_counts() {
+    use higpu_faults::campaign::{
+        run_campaign_selected, run_campaign_selected_serial, CampaignSpec,
+    };
+
+    let reg = full_registry();
+    let workloads = ["backprop", "bfs", "hotspot", "kmeans", "nn", "pathfinder"];
+    let mut corrected_total = 0;
+    for name in workloads {
+        for policy in [PolicyKind::Srrs, PolicyKind::Slice] {
+            let spec = CampaignSpec::new(name, policy, FaultSpec::Permanent).with_replicas(3);
+            let mut cfg = CampaignConfig {
+                trials: 2,
+                seed: 0x0DD5EED,
+                ..CampaignConfig::default()
+            };
+            let serial = run_campaign_selected_serial(&cfg, &reg, &spec)
+                .unwrap_or_else(|e| panic!("{name}/{policy:?}: serial: {e}"));
+            assert_eq!(serial.replicas, 3);
+            for workers in [1usize, 2, 8] {
+                cfg.workers = workers;
+                let parallel = run_campaign_selected(&cfg, &reg, &spec)
+                    .unwrap_or_else(|e| panic!("{name}/{policy:?}@{workers}: {e}"));
+                assert_eq!(
+                    parallel, serial,
+                    "{name}/{policy:?}: report must not depend on workers={workers}"
+                );
+            }
+            assert_eq!(
+                serial.undetected, 0,
+                "{name}/{policy:?}: diversity must hold at 3 replicas: {serial:?}"
+            );
+            corrected_total += serial.corrected;
+        }
+    }
+    assert!(
+        corrected_total > 0,
+        "TMR must outvote at least one permanent fault across the sweep"
+    );
+}
+
+/// The NMR classification distinction, end to end through the registry: a
+/// deterministic permanent fault confined to one SM strikes exactly one
+/// replica per block under SRRS. Two replicas can only *detect* the dissent
+/// (re-execute); three replicas outvote it and classify *corrected*.
+#[test]
+fn single_replica_fault_is_corrected_under_tmr_but_detected_under_dcls() {
+    use higpu::faults::model::FaultModel;
+    use higpu_faults::campaign::TrialOutcome;
+
+    let reg = full_registry();
+    let cfg = CampaignConfig {
+        trials: 1,
+        seed: 7,
+        ..CampaignConfig::default()
+    };
+    let wl =
+        CampaignWorkload::from_registry(&reg, "iterated_fma", Scale::Campaign).expect("registered");
+    let fault = FaultModel::PermanentSm {
+        sm: 2,
+        from_cycle: 0,
+        bit: 9,
+    };
+
+    let dcls = CampaignRunner::new(&cfg)
+        .run_trial(&RedundancyMode::srrs_default(6), &wl, fault)
+        .expect("dcls trial");
+    assert_eq!(
+        dcls,
+        TrialOutcome::Detected,
+        "2 replicas see the dissent but cannot outvote it"
+    );
+
+    let tmr = CampaignRunner::new(&cfg)
+        .run_trial(&RedundancyMode::srrs_spread(6, 3), &wl, fault)
+        .expect("tmr trial");
+    assert_eq!(
+        tmr,
+        TrialOutcome::Corrected,
+        "under SRRS each block passes the faulty SM in exactly one replica; \
+         the 2-of-3 vote restores the clean words"
+    );
+
+    // The same holds for the concurrent SLICE policy: the faulty SM lies in
+    // exactly one of the three slices.
+    let slice = CampaignRunner::new(&cfg)
+        .run_trial(&RedundancyMode::Slice { replicas: 3 }, &wl, fault)
+        .expect("slice trial");
+    assert_eq!(slice, TrialOutcome::Corrected);
+}
+
+/// A *finding* of the honest (voter-observables-only) classifier, pinned
+/// as documentation: a voltage droop lasting longer than the inter-replica
+/// start skew can corrupt the same computation **identically in two of
+/// three concurrent SLICE replicas** — the corrupted pair forms a clean
+/// strict majority, outvotes the clean replica, and the deployed voter
+/// continues silently with wrong data (an undetected failure). The
+/// serialized SRRS mode at the same replica count disjoints the replicas
+/// in time, so the identical same-draw campaign stays fully covered —
+/// the paper's Sec. IV-B2 temporal-diversity argument, quantified at N=3.
+/// (The pre-NMR oracle classification would have hidden this as
+/// "detected"; see `TrialOutcome::UndetectedFailure`.)
+#[test]
+fn long_droops_can_defeat_concurrent_slice_tmr_but_not_serialized_srrs() {
+    use higpu_faults::campaign::{run_campaign_selected, CampaignSpec};
+
+    let reg = full_registry();
+    let cfg = CampaignConfig {
+        trials: 4,
+        seed: 0x0DD5EED,
+        ..CampaignConfig::default()
+    };
+    let droop = FaultSpec::Droop { duration: 400 };
+
+    let slice = run_campaign_selected(
+        &cfg,
+        &reg,
+        &CampaignSpec::new("nw", PolicyKind::Slice, droop).with_replicas(3),
+    )
+    .expect("slice campaign");
+    assert!(
+        slice.undetected > 0,
+        "this droop is known to align two concurrent slice replicas: {slice:?}"
+    );
+
+    let srrs = run_campaign_selected(
+        &cfg,
+        &reg,
+        &CampaignSpec::new("nw", PolicyKind::Srrs, droop).with_replicas(3),
+    )
+    .expect("srrs campaign");
+    assert_eq!(
+        srrs.undetected, 0,
+        "serialized replicas are disjoint in time; the same draws stay covered: {srrs:?}"
+    );
+    assert!(
+        srrs.corrected > 0,
+        "and a minority-replica droop is outvoted, not just detected: {srrs:?}"
+    );
 }
 
 /// Regression fence for the campaign watchdog: this exact configuration
@@ -78,6 +228,7 @@ fn runaway_corrupted_loops_are_detected_by_the_watchdog_not_simulated() {
         workloads: vec!["leukocyte".into()],
         policies: vec![PolicyKind::Srrs],
         faults: vec![FaultSpec::Droop { duration: 400 }],
+        replica_counts: vec![2],
         check_serial: true,
         ..MatrixConfig::default()
     };

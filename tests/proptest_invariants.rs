@@ -6,6 +6,7 @@
 use higpu::core::asil::Asil;
 use higpu::core::diversity::{analyze, DiversityRequirements};
 use higpu::core::redundancy::{RedundancyMode, RedundantExecutor, RParam};
+use higpu::core::vote::{majority_vote, VoteOutcome};
 use higpu::sim::builder::KernelBuilder;
 use higpu::sim::config::GpuConfig;
 use higpu::sim::gpu::Gpu;
@@ -169,6 +170,65 @@ proptest! {
             let start = k.attrs.start_sm.expect("srrs hint");
             prop_assert_eq!(rec.sm, (start + rec.block as usize) % 6);
         }
+    }
+
+    #[test]
+    fn minority_corruption_never_defeats_the_majority_voter(
+        clean in prop::collection::vec(any::<u32>(), 1..24),
+        replicas in 3usize..8,
+        corrupt_words in prop::collection::vec((0usize..24, 0u32..32), 1..6),
+    ) {
+        // Corrupt a strict minority of replicas at arbitrary words/bits.
+        let words = clean.len();
+        let mut copies = vec![clean.clone(); replicas];
+        let minority = (replicas - 1) / 2;
+        for (i, &(w, bit)) in corrupt_words.iter().enumerate() {
+            copies[i % minority.max(1)][w % words] ^= 1 << bit;
+        }
+        let refs: Vec<&[u32]> = copies.iter().map(Vec::as_slice).collect();
+        let v = majority_vote(&refs, words);
+        prop_assert_eq!(&v.value, &clean, "minority corruption must be outvoted");
+        prop_assert!(!matches!(v.outcome, VoteOutcome::Tied { .. }));
+    }
+
+    #[test]
+    fn two_replica_vote_degenerates_to_pairwise_compare(
+        a in prop::collection::vec(0u32..8, 1..32),
+        b in prop::collection::vec(0u32..8, 1..32),
+    ) {
+        let words = a.len().min(b.len());
+        let v = majority_vote(&[&a[..words], &b[..words]], words);
+        prop_assert_eq!(&v.value[..], &a[..words], "replica 0 survives at N=2");
+        let diffs: Vec<usize> = (0..words).filter(|&w| a[w] != b[w]).collect();
+        match v.outcome {
+            VoteOutcome::Unanimous => prop_assert!(diffs.is_empty()),
+            VoteOutcome::Tied { first_word, tied_words, corrected_words } => {
+                prop_assert_eq!(Some(first_word), diffs.first().copied());
+                prop_assert_eq!(tied_words, diffs.len());
+                prop_assert_eq!(corrected_words, 0);
+            }
+            VoteOutcome::Corrected { .. } =>
+                prop_assert!(false, "two replicas can never reach a strict majority"),
+        }
+    }
+
+    #[test]
+    fn voted_value_always_exists_in_some_replica(
+        copies in prop::collection::vec(prop::collection::vec(0u32..4, 8), 2..7),
+    ) {
+        let words = 8usize;
+        let refs: Vec<&[u32]> = copies.iter().map(Vec::as_slice).collect();
+        let v = majority_vote(&refs, words);
+        for w in 0..words {
+            prop_assert!(
+                copies.iter().any(|c| c[w] == v.value[w]),
+                "voter invented a value at word {}", w
+            );
+        }
+        prop_assert_eq!(
+            v.outcome.disagreeing_words(),
+            (0..words).filter(|&w| copies.iter().any(|c| c[w] != copies[0][w])).count()
+        );
     }
 
     #[test]

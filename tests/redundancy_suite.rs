@@ -83,6 +83,30 @@ fn redundant_outputs_equal_solo_outputs() {
 }
 
 #[test]
+fn subset_suite_is_diverse_and_correct_at_three_replicas() {
+    // The NMR generalization: the same benchmarks, unchanged, at three
+    // replicas under both N-capable diverse modes — serialized round-robin
+    // (SRRS with spread start SMs) and concurrent SM slicing (SLICE).
+    for bench in common::small_suite().into_iter().take(4) {
+        for mode in [
+            RedundancyMode::srrs_spread(6, 3),
+            RedundancyMode::Slice { replicas: 3 },
+        ] {
+            let label = format!("{mode:?}");
+            let (out, report) = run_redundant(bench.as_ref(), mode);
+            bench
+                .verify(&out)
+                .unwrap_or_else(|e| panic!("{} under {label}: {e}", bench.name()));
+            assert!(
+                report.is_diverse(),
+                "{} under {label}: diversity violated: {report:?}",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn suite_runs_are_deterministic() {
     for bench in common::small_suite().into_iter().take(4) {
         let (a, _) = run_redundant(bench.as_ref(), RedundancyMode::srrs_default(6));
