@@ -22,7 +22,7 @@ fn bench_gap_sweep(c: &mut Criterion) {
         let mut cfg = GpuConfig::paper_6sm();
         cfg.dispatch_gap_cycles = gap;
         let (default_cycles, _) =
-            fig4::measure(&cfg, &bench, RedundancyMode::Uncontrolled).expect("default");
+            fig4::measure(&cfg, &bench, RedundancyMode::uncontrolled()).expect("default");
         let (srrs_cycles, diverse) =
             fig4::measure(&cfg, &bench, RedundancyMode::srrs_default(6)).expect("srrs");
         eprintln!(

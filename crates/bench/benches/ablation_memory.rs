@@ -24,7 +24,7 @@ fn bench_memory(c: &mut Criterion) {
         let mut cfg = GpuConfig::paper_6sm();
         cfg.timing.dram_service_cycles = service;
         let (default_cycles, _) =
-            fig4::measure(&cfg, &bench, RedundancyMode::Uncontrolled).expect("default");
+            fig4::measure(&cfg, &bench, RedundancyMode::uncontrolled()).expect("default");
         let (half_cycles, diverse) =
             fig4::measure(&cfg, &bench, RedundancyMode::Half).expect("half");
         eprintln!(

@@ -54,7 +54,7 @@ fn bench_policies(c: &mut Criterion) {
             );
         }
         for (policy, mode) in [
-            ("default", RedundancyMode::Uncontrolled),
+            ("default", RedundancyMode::uncontrolled()),
             ("half", RedundancyMode::Half),
             ("srrs", RedundancyMode::srrs_default(cfg.num_sms)),
         ] {

@@ -7,6 +7,12 @@
 //! fault), then writes one JSON document so both the perf trajectory and
 //! the coverage matrix are tracked PR over PR.
 //!
+//! The matrix section sweeps every registered workload **and** every
+//! registered pipeline (`ad_pipeline`, `sensor_fusion`), so
+//! `BENCH_campaign.json` carries the per-(pipeline, policy, replicas)
+//! fail-operational frontier — end-to-end deadline misses and in-FTTI
+//! recovery rates — next to the workload coverage frontier.
+//!
 //! ```text
 //! bench_json [--trials N] [--seed S] [--workers 1,2,4,8]
 //!            [--matrix-trials N] [--no-matrix] [--out PATH]
@@ -14,6 +20,7 @@
 
 use higpu_bench::campaign_perf::{measure, ThroughputConfig};
 use higpu_bench::matrix::{bench_document, full_registry, run_matrix, MatrixConfig};
+use higpu_pipeline::full_pipeline_registry;
 use std::process::ExitCode;
 
 fn parse_args(
@@ -82,6 +89,14 @@ fn main() -> ExitCode {
         if let Some(trials) = matrix_trials {
             mc.trials = trials;
         }
+        mc.pipelines = full_pipeline_registry()
+            .names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        // Enough frames per pipeline cell that transient activations (and
+        // with them the Recovered demonstration) land in the artifact.
+        mc.pipeline_trials = Some(mc.trials.max(6));
         mc
     });
     let result = match measure(&cfg) {
@@ -104,9 +119,13 @@ fn main() -> ExitCode {
     };
     if let Some(m) = &matrix {
         println!(
-            "campaign matrix: {} cells, undetected under SRRS/HALF: {}",
+            "campaign matrix: {} workload cells + {} pipeline cells, undetected under \
+             diverse policies: {} + {}, frames recovered in-FTTI: {}",
             m.reports.len(),
-            m.undetected_under_diverse_policies()
+            m.pipeline_reports.len(),
+            m.undetected_under_diverse_policies(),
+            m.pipeline_undetected_under_diverse_policies(),
+            m.total_recovered()
         );
     }
     let json = match &matrix {

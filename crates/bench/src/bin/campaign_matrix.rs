@@ -5,15 +5,20 @@
 //!
 //! ```text
 //! campaign_matrix [--trials N] [--seed S] [--workloads a,b,c]
-//!                 [--policies srrs,half,slice,default]
+//!                 [--policies srrs,half,slice,slice-skewed,default]
 //!                 [--faults transient,droop,permanent,misroute]
-//!                 [--replicas 2,3] [--assert-srrs-clean]
+//!                 [--replicas 2,3] [--pipelines ad_pipeline,sensor_fusion]
+//!                 [--pipeline-trials N] [--assert-srrs-clean]
 //!                 [--full-scale] [--check-serial] [--csv] [--json PATH]
 //! ```
 //!
 //! `--assert-srrs-clean` exits non-zero unless every SRRS cell — at every
 //! swept replica count — reports zero undetected failures (the CI fence for
-//! the paper's ASIL-D claim).
+//! the paper's ASIL-D claim). When `--pipelines` names any pipeline the
+//! fence extends to the pipeline cells: any undetected failure under a
+//! diverse policy, or any *unrecovered in-slack retry* on a transient-class
+//! fault (a re-execution that was funded by the FTTI but still failed),
+//! fails the run.
 
 use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
 use higpu_bench::table;
@@ -28,8 +33,9 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
         "srrs" => Ok(PolicyKind::Srrs),
         "half" => Ok(PolicyKind::Half),
         "slice" => Ok(PolicyKind::Slice),
+        "slice-skewed" | "sliceskew" => Ok(PolicyKind::SliceSkewed),
         other => Err(format!(
-            "unknown policy '{other}' (default|srrs|half|slice)"
+            "unknown policy '{other}' (default|srrs|half|slice|slice-skewed)"
         )),
     }
 }
@@ -105,6 +111,19 @@ fn parse_args() -> Result<Options, String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--pipelines" => {
+                opts.cfg.pipelines = value("--pipelines")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--pipeline-trials" => {
+                opts.cfg.pipeline_trials = Some(
+                    value("--pipeline-trials")?
+                        .parse()
+                        .map_err(|e| format!("--pipeline-trials: {e}"))?,
+                );
+            }
             "--assert-srrs-clean" => opts.assert_srrs_clean = true,
             "--full-scale" => opts.cfg.scale = Scale::Full,
             "--check-serial" => opts.cfg.check_serial = true,
@@ -126,12 +145,13 @@ fn main() -> ExitCode {
     };
     let reg = full_registry();
     eprintln!(
-        "Campaign matrix — {} workload(s) x {} policies x {} faults x replicas {:?}, {} trials/cell\n",
+        "Campaign matrix — {} workload(s) + {} pipeline(s) x {} policies x {} faults x replicas {:?}, {} trials/cell\n",
         if opts.cfg.workloads.is_empty() {
             reg.len()
         } else {
             opts.cfg.workloads.len()
         },
+        opts.cfg.pipelines.len(),
         opts.cfg.policies.len(),
         opts.cfg.faults.len(),
         opts.cfg.replica_counts,
@@ -167,6 +187,32 @@ fn main() -> ExitCode {
                 p.mean_makespan_overhead
             );
         }
+        if !m.pipeline_reports.is_empty() {
+            println!("\npipeline cells (fail-operational vs fail-stop):");
+            println!("{}", table::render(&m.pipeline_table()));
+            println!(
+                "pipeline frames recovered by in-FTTI re-execution: {}; \
+                 undetected under diverse policies: {}",
+                m.total_recovered(),
+                m.pipeline_undetected_under_diverse_policies()
+            );
+            for p in m.pipeline_frontier() {
+                println!(
+                    "pipeline frontier: {:13} {:9} N={}  corrected={:3}  recovered={:3}  \
+                     detected={:3}  undetected={:3}  deadline-miss={:3}  recovery {}",
+                    p.pipeline,
+                    p.policy,
+                    p.replicas,
+                    p.corrected,
+                    p.recovered,
+                    p.detected,
+                    p.undetected,
+                    p.deadline_miss,
+                    p.recovery_rate()
+                        .map_or("n/a".to_string(), |r| format!("{:.0}%", r * 100.0)),
+                );
+            }
+        }
     }
     if let Some(path) = opts.json {
         if let Err(e) = std::fs::write(&path, m.to_json() + "\n") {
@@ -201,6 +247,55 @@ fn main() -> ExitCode {
             eprintln!(
                 "campaign_matrix: SRRS clean at {replicas} replicas ({} cells, undetected == 0)",
                 srrs.len()
+            );
+        }
+        // Pipeline fence: no undetected failure under any diverse policy,
+        // and no unrecovered in-slack retry on transient-class faults (a
+        // funded re-execution of a non-persistent fault must succeed).
+        if m.pipeline_undetected_under_diverse_policies() != 0 {
+            eprintln!(
+                "campaign_matrix: pipeline cells show {} undetected failure(s) under \
+                 diverse policies — fail-operational fence violated",
+                m.pipeline_undetected_under_diverse_policies()
+            );
+            return ExitCode::FAILURE;
+        }
+        let diverse: Vec<&str> = PolicyKind::all_extended()
+            .into_iter()
+            .filter(|p| p.guarantees_diversity())
+            .map(PolicyKind::label)
+            .collect();
+        // Persistence is a property of the swept FaultSpec, not of a label
+        // literal — derive the exempt set from the spec so new or renamed
+        // persistent families stay exempt.
+        let persistent: Vec<&str> = opts
+            .cfg
+            .faults
+            .iter()
+            .filter(|f| f.is_persistent())
+            .map(|f| f.label())
+            .collect();
+        for r in &m.pipeline_reports {
+            let transient_class = !persistent.contains(&r.fault);
+            if transient_class && diverse.contains(&r.policy.as_str()) && r.retries_failed > 0 {
+                eprintln!(
+                    "campaign_matrix: {}/{}/N={} x {}: {} in-slack retr{} failed on a \
+                     transient-class fault — recovery fence violated",
+                    r.pipeline,
+                    r.policy,
+                    r.replicas,
+                    r.fault,
+                    r.retries_failed,
+                    if r.retries_failed == 1 { "y" } else { "ies" }
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if !m.pipeline_reports.is_empty() {
+            eprintln!(
+                "campaign_matrix: pipeline fence clean ({} cells, {} frames recovered)",
+                m.pipeline_reports.len(),
+                m.total_recovered()
             );
         }
     }

@@ -36,7 +36,7 @@ pub fn run_matrix(trials: u32, seed: u64) -> Result<CoverageMatrix, RedundancyEr
     };
     let workload = default_workload();
     let modes = [
-        RedundancyMode::Uncontrolled,
+        RedundancyMode::uncontrolled(),
         RedundancyMode::Half,
         RedundancyMode::srrs_default(cfg.gpu.num_sms),
     ];
@@ -60,7 +60,7 @@ pub fn run_matrix(trials: u32, seed: u64) -> Result<CoverageMatrix, RedundancyEr
     aligned.gpu.dispatch_gap_cycles = 0;
     let mut r = run_campaign(
         &aligned,
-        &RedundancyMode::Uncontrolled,
+        &RedundancyMode::uncontrolled(),
         FaultSpec::Droop { duration: 400 },
         &workload,
     )?;

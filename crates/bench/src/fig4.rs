@@ -65,7 +65,7 @@ pub fn measure(
 /// Propagates [`SessionError`] from any run.
 pub fn run_benchmark(cfg: &GpuConfig, bench: &dyn Benchmark) -> Result<Fig4Row, SessionError> {
     let n = cfg.num_sms;
-    let (default_cycles, d0) = measure(cfg, bench, RedundancyMode::Uncontrolled)?;
+    let (default_cycles, d0) = measure(cfg, bench, RedundancyMode::uncontrolled())?;
     let (half_cycles, d1) = measure(cfg, bench, RedundancyMode::Half)?;
     let (srrs_cycles, d2) = measure(cfg, bench, RedundancyMode::srrs_default(n))?;
     Ok(Fig4Row {

@@ -12,6 +12,11 @@ use higpu_faults::campaign::{
     run_campaign_selected, run_campaign_selected_serial, CampaignConfig, CampaignError,
     CampaignReport, CampaignSpec, FaultSpec,
 };
+use higpu_pipeline::campaign::{
+    run_pipeline_campaign, run_pipeline_campaign_serial, PipelineCampaignError,
+    PipelineCampaignReport, PipelineCampaignSpec,
+};
+use higpu_pipeline::full_pipeline_registry;
 use higpu_sim::gpu::Gpu;
 use higpu_workloads::runner::run_solo;
 use higpu_workloads::{Scale, WorkloadRegistry};
@@ -41,6 +46,16 @@ pub struct MatrixConfig {
     pub policies: Vec<PolicyKind>,
     /// Fault families to sweep.
     pub faults: Vec<FaultSpec>,
+    /// Pipeline names to sweep over the same {fault × policy × replicas}
+    /// axes ([`higpu_pipeline::full_pipeline_registry`] names; empty = no
+    /// pipeline cells). Scheduler-misroute faults are skipped for
+    /// pipelines (a workload-level experiment).
+    pub pipelines: Vec<String>,
+    /// Trials per pipeline cell (`None` = [`MatrixConfig::trials`]).
+    /// Transient faults activate in only a fraction of frames (the window
+    /// is small against a whole frame), so demonstrating in-FTTI recovery
+    /// in the artifact wants a few more trials than the workload cells.
+    pub pipeline_trials: Option<u32>,
     /// Replica counts to sweep (the NMR axis; 2 = the paper's DCLS).
     pub replica_counts: Vec<u8>,
     /// Input scale built per workload.
@@ -61,6 +76,8 @@ impl Default for MatrixConfig {
             workloads: Vec::new(),
             policies: PolicyKind::all().to_vec(),
             faults: vec![FaultSpec::Transient { duration: 400 }, FaultSpec::Permanent],
+            pipelines: Vec::new(),
+            pipeline_trials: None,
             replica_counts: vec![2, 3],
             scale: Scale::Campaign,
             workers: 0,
@@ -90,6 +107,44 @@ pub struct FrontierPoint {
     pub mean_makespan_overhead: f64,
 }
 
+/// One (pipeline, policy, replicas) aggregate of the fail-operational
+/// frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineFrontierPoint {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Policy label.
+    pub policy: String,
+    /// Replica count.
+    pub replicas: u8,
+    /// Cells aggregated.
+    pub cells: u32,
+    /// Summed trials.
+    pub trials: u32,
+    /// Summed vote-corrected frames.
+    pub corrected: u32,
+    /// Summed re-execution-recovered frames (fail-operational).
+    pub recovered: u32,
+    /// Summed fail-stop frames.
+    pub detected: u32,
+    /// Summed undetected failures.
+    pub undetected: u32,
+    /// Summed end-to-end deadline misses.
+    pub deadline_miss: u32,
+}
+
+impl PipelineFrontierPoint {
+    /// Recovered frames over all frames the mechanism acted on.
+    pub fn recovery_rate(&self) -> Option<f64> {
+        let acted = self.recovered + self.detected;
+        if acted == 0 {
+            None
+        } else {
+            Some(f64::from(self.recovered) / f64::from(acted))
+        }
+    }
+}
+
 /// Results of one sweep.
 #[derive(Debug, Clone)]
 pub struct MatrixResult {
@@ -107,6 +162,9 @@ pub struct MatrixResult {
     /// One report per (workload, replicas, policy, fault) cell, in sweep
     /// order.
     pub reports: Vec<CampaignReport>,
+    /// One report per (pipeline, replicas, policy, fault) cell, in sweep
+    /// order (empty unless [`MatrixConfig::pipelines`] named any).
+    pub pipeline_reports: Vec<PipelineCampaignReport>,
 }
 
 impl MatrixResult {
@@ -130,6 +188,26 @@ impl MatrixResult {
     /// sweep includes N ≥ 3 replica counts).
     pub fn total_corrected(&self) -> u32 {
         self.reports.iter().map(|r| r.corrected).sum()
+    }
+
+    /// Total pipeline frames recovered by in-FTTI re-execution.
+    pub fn total_recovered(&self) -> u32 {
+        self.pipeline_reports.iter().map(|r| r.recovered).sum()
+    }
+
+    /// Undetected failures across pipeline cells under diverse policies
+    /// (the fail-operational claim also requires 0 here).
+    pub fn pipeline_undetected_under_diverse_policies(&self) -> u32 {
+        let diverse_labels: Vec<&str> = PolicyKind::all_extended()
+            .into_iter()
+            .filter(|p| p.guarantees_diversity())
+            .map(PolicyKind::label)
+            .collect();
+        self.pipeline_reports
+            .iter()
+            .filter(|r| diverse_labels.contains(&r.policy.as_str()))
+            .map(|r| r.undetected)
+            .sum()
     }
 
     /// The solo makespan of `workload`, if it was swept.
@@ -181,6 +259,80 @@ impl MatrixResult {
             p.mean_makespan_overhead /= f64::from(p.cells.max(1));
         }
         points
+    }
+
+    /// The fail-operational frontier: per (pipeline, policy, replicas),
+    /// summed frame outcomes with the recovery rate and end-to-end
+    /// deadline-miss rate — the pipeline-axis counterpart of
+    /// [`MatrixResult::frontier`].
+    pub fn pipeline_frontier(&self) -> Vec<PipelineFrontierPoint> {
+        let mut points: Vec<PipelineFrontierPoint> = Vec::new();
+        for r in &self.pipeline_reports {
+            match points.iter_mut().find(|p| {
+                p.pipeline == r.pipeline && p.policy == r.policy && p.replicas == r.replicas
+            }) {
+                Some(p) => {
+                    p.cells += 1;
+                    p.trials += r.trials;
+                    p.corrected += r.corrected;
+                    p.recovered += r.recovered;
+                    p.detected += r.detected;
+                    p.undetected += r.undetected;
+                    p.deadline_miss += r.deadline_miss;
+                }
+                None => points.push(PipelineFrontierPoint {
+                    pipeline: r.pipeline.clone(),
+                    policy: r.policy.clone(),
+                    replicas: r.replicas,
+                    cells: 1,
+                    trials: r.trials,
+                    corrected: r.corrected,
+                    recovered: r.recovered,
+                    detected: r.detected,
+                    undetected: r.undetected,
+                    deadline_miss: r.deadline_miss,
+                }),
+            }
+        }
+        points
+    }
+
+    /// Renders the pipeline cells as rows for [`crate::table`].
+    pub fn pipeline_table(&self) -> Vec<Vec<String>> {
+        let mut out = vec![vec![
+            "pipeline".to_string(),
+            "policy".to_string(),
+            "N".to_string(),
+            "fault".to_string(),
+            "trials".to_string(),
+            "inactive".to_string(),
+            "masked".to_string(),
+            "corrected".to_string(),
+            "RECOVERED".to_string(),
+            "detected".to_string(),
+            "UNDETECTED".to_string(),
+            "ddl-miss".to_string(),
+            "recovery".to_string(),
+        ]];
+        for r in &self.pipeline_reports {
+            out.push(vec![
+                r.pipeline.clone(),
+                r.policy.clone(),
+                r.replicas.to_string(),
+                r.fault.to_string(),
+                r.trials.to_string(),
+                r.not_activated.to_string(),
+                r.masked.to_string(),
+                r.corrected.to_string(),
+                r.recovered.to_string(),
+                r.detected.to_string(),
+                r.undetected.to_string(),
+                r.deadline_miss.to_string(),
+                r.recovery_rate()
+                    .map_or("n/a".to_string(), |c| format!("{:.0}%", c * 100.0)),
+            ]);
+        }
+        out
     }
 
     /// Renders the matrix as rows for [`crate::table`].
@@ -269,13 +421,79 @@ impl MatrixResult {
                 )
             })
             .collect();
+        let pipeline_cells: Vec<String> = self
+            .pipeline_reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"pipeline\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
+                     \"fault\": \"{}\", \"stages\": {}, \"trials\": {}, \
+                     \"not_activated\": {}, \"masked\": {}, \"corrected\": {}, \
+                     \"recovered\": {}, \"detected\": {}, \"undetected\": {}, \
+                     \"deadline_miss\": {}, \"retries_attempted\": {}, \
+                     \"retries_failed\": {}, \"no_slack\": {}, \
+                     \"recovery_rate\": {}, \"deadline_miss_rate\": {:.4}, \
+                     \"fault_free_makespan\": {}, \"e2e_deadline\": {}}}",
+                    r.pipeline,
+                    r.policy,
+                    r.replicas,
+                    r.fault,
+                    r.stages,
+                    r.trials,
+                    r.not_activated,
+                    r.masked,
+                    r.corrected,
+                    r.recovered,
+                    r.detected,
+                    r.undetected,
+                    r.deadline_miss,
+                    r.retries_attempted,
+                    r.retries_failed,
+                    r.no_slack,
+                    r.recovery_rate()
+                        .map_or("null".to_string(), |c| format!("{c:.4}")),
+                    r.deadline_miss_rate(),
+                    r.fault_free_makespan,
+                    r.e2e_deadline,
+                )
+            })
+            .collect();
+        let pipeline_frontier: Vec<String> = self
+            .pipeline_frontier()
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"pipeline\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
+                     \"cells\": {}, \"trials\": {}, \"corrected\": {}, \"recovered\": {}, \
+                     \"detected\": {}, \"undetected\": {}, \"deadline_miss\": {}, \
+                     \"recovery_rate\": {}}}",
+                    p.pipeline,
+                    p.policy,
+                    p.replicas,
+                    p.cells,
+                    p.trials,
+                    p.corrected,
+                    p.recovered,
+                    p.detected,
+                    p.undetected,
+                    p.deadline_miss,
+                    p.recovery_rate()
+                        .map_or("null".to_string(), |c| format!("{c:.4}")),
+                )
+            })
+            .collect();
         let replica_counts: Vec<String> = self.replica_counts.iter().map(u8::to_string).collect();
         format!(
             "{{\n    \"trials_per_cell\": {},\n    \"seed\": {},\n    \"scale\": \"{}\",\n    \
              \"replica_counts\": [{}],\n    \
              \"undetected_under_diverse_policies\": {},\n    \
              \"total_corrected\": {},\n    \"cells\": [\n      {}\n    ],\n    \
-             \"frontier\": [\n      {}\n    ]\n  }}",
+             \"frontier\": [\n      {}\n    ],\n    \
+             \"pipelines\": {{\n      \
+             \"total_recovered\": {},\n      \
+             \"undetected_under_diverse_policies\": {},\n      \
+             \"cells\": [\n        {}\n      ],\n      \
+             \"frontier\": [\n        {}\n      ]\n    }}\n  }}",
             self.trials,
             self.seed,
             self.scale,
@@ -284,6 +502,10 @@ impl MatrixResult {
             self.total_corrected(),
             cells.join(",\n      "),
             frontier.join(",\n      "),
+            self.total_recovered(),
+            self.pipeline_undetected_under_diverse_policies(),
+            pipeline_cells.join(",\n        "),
+            pipeline_frontier.join(",\n        "),
         )
     }
 }
@@ -376,6 +598,55 @@ pub fn run_matrix(
             }
         }
     }
+    let mut pipeline_reports = Vec::new();
+    if !cfg.pipelines.is_empty() {
+        let preg = full_pipeline_registry();
+        let campaign = CampaignConfig {
+            trials: cfg.pipeline_trials.unwrap_or(cfg.trials),
+            ..campaign
+        };
+        for name in &cfg.pipelines {
+            for &replicas in &cfg.replica_counts {
+                let mut realized: Vec<PolicyKind> = Vec::new();
+                for policy in &cfg.policies {
+                    let Some(p) = policy.for_replicas(replicas) else {
+                        continue;
+                    };
+                    if !realized.contains(&p) {
+                        realized.push(p);
+                    }
+                }
+                for &policy in &realized {
+                    for &fault in &cfg.faults {
+                        if matches!(fault, FaultSpec::Misroute) {
+                            continue; // workload-level experiment (BIST path)
+                        }
+                        let spec = PipelineCampaignSpec {
+                            pipeline: name.clone(),
+                            scale: cfg.scale,
+                            policy,
+                            fault,
+                            replicas,
+                            recovery: higpu_pipeline::RecoveryPolicy::default(),
+                        };
+                        let report = run_pipeline_campaign(&campaign, &preg, &spec)
+                            .map_err(pipeline_error_to_campaign)?;
+                        if cfg.check_serial {
+                            let serial = run_pipeline_campaign_serial(&campaign, &preg, &spec)
+                                .map_err(pipeline_error_to_campaign)?;
+                            assert_eq!(
+                                report, serial,
+                                "parallel pipeline report must be bit-identical to the serial \
+                                 reference for {name} under {policy:?}/{fault:?} at {replicas} \
+                                 replicas"
+                            );
+                        }
+                        pipeline_reports.push(report);
+                    }
+                }
+            }
+        }
+    }
     Ok(MatrixResult {
         trials: cfg.trials,
         seed: cfg.seed,
@@ -383,7 +654,31 @@ pub fn run_matrix(
         replica_counts: cfg.replica_counts.clone(),
         solo_makespans,
         reports,
+        pipeline_reports,
     })
+}
+
+/// Surfaces a pipeline-campaign error through the matrix's error type
+/// (unknown pipelines map onto the unknown-workload variant; device and
+/// protocol errors pass through).
+fn pipeline_error_to_campaign(e: PipelineCampaignError) -> CampaignError {
+    match e {
+        PipelineCampaignError::UnknownPipeline(name) => CampaignError::UnknownWorkload(name),
+        PipelineCampaignError::UnsupportedFault(spec) => {
+            // Filtered above; reaching this is a sweep bug.
+            unreachable!("misroute cells are skipped for pipelines: {spec:?}")
+        }
+        PipelineCampaignError::Campaign(e) => e,
+        PipelineCampaignError::Pipeline(p) => match p {
+            higpu_pipeline::exec::PipelineError::Session(higpu_workloads::SessionError::Sim(
+                err,
+            )) => CampaignError::Redundancy(higpu_core::redundancy::RedundancyError::Sim(err)),
+            higpu_pipeline::exec::PipelineError::Session(
+                higpu_workloads::SessionError::Redundancy(err),
+            ) => CampaignError::Redundancy(err),
+            other => CampaignError::Execution(format!("pipeline: {other}")),
+        },
+    }
 }
 
 /// Renders the combined `BENCH_campaign.json` document: engine throughput
@@ -449,6 +744,51 @@ mod tests {
             srrs3.mean_makespan_overhead > srrs2.mean_makespan_overhead,
             "a third serialized replica must cost makespan: {srrs2:?} vs {srrs3:?}"
         );
+    }
+
+    #[test]
+    fn pipeline_axis_sweeps_and_renders() {
+        let reg = full_registry();
+        let cfg = MatrixConfig {
+            trials: 3,
+            workloads: vec!["iterated_fma".into()],
+            policies: vec![PolicyKind::Srrs],
+            faults: vec![
+                FaultSpec::Transient { duration: 400 },
+                FaultSpec::Misroute, // skipped for pipelines, kept for workloads
+            ],
+            pipelines: vec!["ad_pipeline".into()],
+            replica_counts: vec![2],
+            check_serial: true,
+            ..MatrixConfig::default()
+        };
+        let m = run_matrix(&reg, &cfg).expect("sweep");
+        assert_eq!(m.reports.len(), 2, "workload cells keep misroute");
+        assert_eq!(
+            m.pipeline_reports.len(),
+            1,
+            "1 pipeline x 1 policy x 1 replica count x 1 non-misroute fault"
+        );
+        let r = &m.pipeline_reports[0];
+        assert_eq!(r.pipeline, "ad_pipeline");
+        assert_eq!(r.policy, "SRRS");
+        assert_eq!(r.stages, 3);
+        assert_eq!(
+            r.trials,
+            r.not_activated + r.masked + r.corrected + r.recovered + r.detected + r.undetected
+        );
+        assert_eq!(m.pipeline_undetected_under_diverse_policies(), 0);
+        let table = m.pipeline_table();
+        assert_eq!(table.len(), 2, "header + 1 row");
+        let json = m.to_json();
+        assert!(json.contains("\"pipelines\""));
+        assert!(json.contains("\"pipeline\": \"ad_pipeline\""));
+        assert!(json.contains("\"recovery_rate\""));
+        assert!(json.contains("\"deadline_miss_rate\""));
+        assert!(json.contains("\"e2e_deadline\""));
+        let frontier = m.pipeline_frontier();
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].trials, 3);
     }
 
     #[test]

@@ -131,7 +131,7 @@ pub fn scheduler_bist(
                         Some(part.range(num_sms).start) // any SM in range; report
                     }
                 }
-                RedundancyMode::Slice { replicas } => {
+                RedundancyMode::Slice { replicas, .. } => {
                     let slice = higpu_sim::kernel::SmSlice {
                         index: tag.replica,
                         of: *replicas,
@@ -142,7 +142,7 @@ pub fn scheduler_bist(
                         Some(slice.range(num_sms).start) // any SM in range; report
                     }
                 }
-                RedundancyMode::Uncontrolled => None,
+                RedundancyMode::Uncontrolled { .. } => None,
             };
             let observed_sm = observed[r][b.block as usize] as usize;
             let placement_ok = expected.is_none_or(|e| e == b.sm);
@@ -185,8 +185,7 @@ mod tests {
     #[test]
     fn bist_passes_on_healthy_slice_scheduler_at_three_replicas() {
         let mut gpu = Gpu::new(GpuConfig::paper_6sm());
-        let report =
-            scheduler_bist(&mut gpu, RedundancyMode::Slice { replicas: 3 }, 6).expect("bist runs");
+        let report = scheduler_bist(&mut gpu, RedundancyMode::slice(3), 6).expect("bist runs");
         assert!(report.passed(), "healthy scheduler: {report:?}");
         assert_eq!(report.checked, 18, "6 blocks x 3 replicas");
     }

@@ -28,6 +28,83 @@ impl FttiBudget {
     }
 }
 
+/// Fixed per-computation slack added to every derived deadline, covering
+/// the host-side compare/vote and dispatch latencies regardless of how
+/// short the offloaded kernel is.
+pub const DEADLINE_FIXED_SLACK: u64 = 10_000;
+
+/// The watchdog deadline of one offloaded computation: its declared FTTI
+/// budget multiplier times its fault-free makespan, plus
+/// [`DEADLINE_FIXED_SLACK`]. Legitimate corrupted-but-terminating runs
+/// (extra divergence, a few perturbed loop trips) stay below it; a runaway
+/// loop (counter sign-flip → ~2³¹ iterations) blows it promptly and is
+/// classified as *detected* by the deadline monitor. Saturating, so a
+/// degenerate multiplier can never wrap.
+pub fn deadline(fault_free_makespan: u64, ftti_multiplier: u64) -> u64 {
+    fault_free_makespan
+        .saturating_mul(ftti_multiplier)
+        .saturating_add(DEADLINE_FIXED_SLACK)
+}
+
+/// The deadline budget of a multi-stage real-time pipeline: one watchdog
+/// budget per stage ([`deadline`] of the stage's fault-free makespan and
+/// declared multiplier), and an end-to-end FTTI that is their sum — stages
+/// execute serially on one GPU, so the end-to-end worst case is the sum of
+/// the per-stage worst cases.
+///
+/// The end-to-end slack this derivation leaves above the fault-free
+/// makespan is exactly what funds **in-FTTI re-execution recovery**: a
+/// detected stage may be retried as long as the remaining slack still
+/// covers the retry ([`PipelineFtti::allows_retry`]) — fail-operational
+/// behaviour instead of fail-stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineFtti {
+    /// Per-stage watchdog budgets, in cycles, in stage order.
+    pub stage_budgets: Vec<u64>,
+}
+
+impl PipelineFtti {
+    /// Derives the budget set from per-stage `(fault_free_makespan,
+    /// ftti_multiplier)` pairs.
+    pub fn from_stage_makespans(stages: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        Self {
+            stage_budgets: stages
+                .into_iter()
+                .map(|(makespan, mult)| deadline(makespan, mult))
+                .collect(),
+        }
+    }
+
+    /// The end-to-end FTTI: the sum of the stage budgets.
+    pub fn end_to_end(&self) -> u64 {
+        self.stage_budgets
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// The absolute watchdog limit for an attempt of stage `stage`
+    /// starting at cycle `start`, in a frame whose clock-zero is
+    /// `frame_zero`: the stage budget, capped by the frame's absolute
+    /// end-to-end FTTI (a stage may never spend cycles the pipeline no
+    /// longer has). Frames may begin at any device cycle — a periodic
+    /// host re-enters with the clock running — so the cap is
+    /// `frame_zero + end_to_end()`, not the bare FTTI.
+    pub fn stage_limit(&self, stage: usize, frame_zero: u64, start: u64) -> u64 {
+        start
+            .saturating_add(self.stage_budgets[stage])
+            .min(frame_zero.saturating_add(self.end_to_end()))
+    }
+
+    /// True when, `elapsed` cycles into the frame, the remaining
+    /// end-to-end slack still covers a retry costing `retry_cycles` (plus
+    /// the fixed compare slack) — the gate of in-FTTI re-execution
+    /// recovery.
+    pub fn allows_retry(&self, elapsed: u64, retry_cycles: u64) -> bool {
+        self.end_to_end().saturating_sub(elapsed)
+            >= retry_cycles.saturating_add(DEADLINE_FIXED_SLACK)
+    }
+}
+
 /// Timing of one redundant execution round and its recovery policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryAnalysis {
@@ -93,6 +170,41 @@ mod tests {
         assert!(!r.fits(FttiBudget { cycles: 2199 }));
         assert_eq!(r.slack(FttiBudget { cycles: 3000 }), Some(800));
         assert_eq!(r.slack(FttiBudget { cycles: 2000 }), None);
+    }
+
+    #[test]
+    fn deadline_scales_and_saturates() {
+        assert_eq!(deadline(0, 8), DEADLINE_FIXED_SLACK);
+        assert_eq!(deadline(1_000, 8), 18_000);
+        assert_eq!(deadline(1_000, 2), 12_000);
+        assert_eq!(deadline(u64::MAX, 3), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn pipeline_ftti_sums_stage_budgets_and_gates_retries() {
+        let p = PipelineFtti::from_stage_makespans([(1_000, 8), (2_000, 4), (500, 8)]);
+        assert_eq!(p.stage_budgets, vec![18_000, 18_000, 14_000]);
+        assert_eq!(p.end_to_end(), 50_000);
+        // Stage limits are absolute cycles, capped by the frame's
+        // absolute end-to-end FTTI.
+        assert_eq!(p.stage_limit(0, 0, 0), 18_000);
+        assert_eq!(p.stage_limit(1, 0, 3_000), 21_000);
+        assert_eq!(p.stage_limit(2, 0, 45_000), 50_000, "capped at end-to-end");
+        // A frame starting mid-clock caps at frame_zero + FTTI, never at
+        // the bare (relative) FTTI.
+        assert_eq!(p.stage_limit(0, 100_000, 100_000), 118_000);
+        assert_eq!(
+            p.stage_limit(2, 100_000, 145_000),
+            150_000,
+            "capped at the frame's absolute deadline"
+        );
+        // Retry gate: early in the pipeline there is slack for a full
+        // stage re-execution; at the very end there is not.
+        assert!(p.allows_retry(5_000, 2_000));
+        assert!(!p.allows_retry(49_000, 2_000));
+        // Exactly-fitting retry is allowed.
+        assert!(p.allows_retry(50_000 - 2_000 - DEADLINE_FIXED_SLACK, 2_000));
+        assert!(!p.allows_retry(50_000 - 2_000 - DEADLINE_FIXED_SLACK + 1, 2_000));
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl FaultRates {
     pub fn from_campaign(evidence: &crate::safety_case::DetectionEvidence, latent: u64) -> Self {
         FaultRates {
             safe: evidence.masked as f64,
-            detected: (evidence.detected + evidence.corrected) as f64,
+            detected: (evidence.detected + evidence.corrected + evidence.recovered) as f64,
             residual: evidence.undetected_failures as f64,
             latent: latent as f64,
         }
@@ -203,6 +203,7 @@ mod tests {
             masked: 20,
             detected: 75,
             corrected: 5,
+            recovered: 0,
             undetected_failures: 0,
         };
         let m = HardwareMetrics::from_rates(&FaultRates::from_campaign(&e, 0));
@@ -214,6 +215,7 @@ mod tests {
             masked: 0,
             detected: 67,
             corrected: 0,
+            recovered: 0,
             undetected_failures: 33,
         };
         let m = HardwareMetrics::from_rates(&FaultRates::from_campaign(&bad, 0));

@@ -27,6 +27,15 @@ pub enum PolicyKind {
     Half,
     /// Static N-way SM slicing (HALF generalized to N replicas).
     Slice,
+    /// SLICE with a droop-aware per-replica start skew: the same static
+    /// N-way slicing, but replica *r*'s launch is held back `r × skew`
+    /// cycles (skew > the worst-case common-cause-fault duration), so a
+    /// voltage droop can never strike the same computation point in two
+    /// concurrent replicas — the fix for the `nw × droop` vulnerability of
+    /// plain SLICE. The skew is applied at launch time (see
+    /// [`crate::redundancy::RedundancyMode::slice_skewed_default`]);
+    /// the scheduler itself is the SLICE scheduler.
+    SliceSkewed,
 }
 
 impl PolicyKind {
@@ -36,7 +45,7 @@ impl PolicyKind {
             PolicyKind::Default => Box::new(DefaultScheduler::new()),
             PolicyKind::Srrs => Box::new(SrrsScheduler::new()),
             PolicyKind::Half => Box::new(HalfScheduler::new()),
-            PolicyKind::Slice => Box::new(SliceScheduler::new()),
+            PolicyKind::Slice | PolicyKind::SliceSkewed => Box::new(SliceScheduler::new()),
         }
     }
 
@@ -47,6 +56,7 @@ impl PolicyKind {
             PolicyKind::Srrs => "SRRS",
             PolicyKind::Half => "HALF",
             PolicyKind::Slice => "SLICE",
+            PolicyKind::SliceSkewed => "SLICE+SKEW",
         }
     }
 
@@ -57,13 +67,15 @@ impl PolicyKind {
         [PolicyKind::Default, PolicyKind::Half, PolicyKind::Srrs]
     }
 
-    /// Every policy, the paper's three plus SLICE.
-    pub fn all_extended() -> [PolicyKind; 4] {
+    /// Every policy: the paper's three plus SLICE and its droop-aware
+    /// skewed variant.
+    pub fn all_extended() -> [PolicyKind; 5] {
         [
             PolicyKind::Default,
             PolicyKind::Half,
             PolicyKind::Srrs,
             PolicyKind::Slice,
+            PolicyKind::SliceSkewed,
         ]
     }
 
@@ -71,24 +83,24 @@ impl PolicyKind {
     pub fn guarantees_diversity(self) -> bool {
         matches!(
             self,
-            PolicyKind::Srrs | PolicyKind::Half | PolicyKind::Slice
+            PolicyKind::Srrs | PolicyKind::Half | PolicyKind::Slice | PolicyKind::SliceSkewed
         )
     }
 
     /// The policy that realizes this one at `replicas` replicas, or `None`
     /// when no generalization exists:
     ///
-    /// * `Default` — the unconstrained baseline is only modelled
-    ///   two-replica;
+    /// * `Default` — the unconstrained GPGPU-SIM baseline, modelled at any
+    ///   replica count (the frontier's baseline column);
     /// * `Half` — exactly two replicas by construction; at N > 2 it
     ///   generalizes to `Slice`;
-    /// * `Srrs` / `Slice` — N-replica-capable as-is.
+    /// * `Srrs` / `Slice` / `SliceSkewed` — N-replica-capable as-is.
     ///
     /// Replica sweeps (`higpu_bench::matrix`) use this to map the paper's
     /// policy axis onto each replica count.
     pub fn for_replicas(self, replicas: u8) -> Option<PolicyKind> {
         match self {
-            PolicyKind::Default => (replicas == 2).then_some(PolicyKind::Default),
+            PolicyKind::Default => Some(PolicyKind::Default),
             PolicyKind::Half => Some(if replicas == 2 {
                 PolicyKind::Half
             } else {
@@ -96,6 +108,7 @@ impl PolicyKind {
             }),
             PolicyKind::Srrs => Some(PolicyKind::Srrs),
             PolicyKind::Slice => Some(PolicyKind::Slice),
+            PolicyKind::SliceSkewed => Some(PolicyKind::SliceSkewed),
         }
     }
 }
@@ -118,6 +131,7 @@ mod tests {
         assert!(PolicyKind::Srrs.guarantees_diversity());
         assert!(PolicyKind::Half.guarantees_diversity());
         assert!(PolicyKind::Slice.guarantees_diversity());
+        assert!(PolicyKind::SliceSkewed.guarantees_diversity());
     }
 
     #[test]
@@ -126,6 +140,7 @@ mod tests {
         assert_eq!(PolicyKind::Half.label(), "HALF");
         assert_eq!(PolicyKind::Srrs.label(), "SRRS");
         assert_eq!(PolicyKind::Slice.label(), "SLICE");
+        assert_eq!(PolicyKind::SliceSkewed.label(), "SLICE+SKEW");
     }
 
     #[test]
@@ -133,10 +148,19 @@ mod tests {
         for p in PolicyKind::all() {
             assert_eq!(p.for_replicas(2), Some(p), "{p:?} unchanged at N=2");
         }
-        assert_eq!(PolicyKind::Default.for_replicas(3), None);
+        assert_eq!(
+            PolicyKind::Default.for_replicas(3),
+            Some(PolicyKind::Default),
+            "the uncontrolled baseline column exists at every N"
+        );
         assert_eq!(PolicyKind::Half.for_replicas(3), Some(PolicyKind::Slice));
         assert_eq!(PolicyKind::Srrs.for_replicas(3), Some(PolicyKind::Srrs));
         assert_eq!(PolicyKind::Slice.for_replicas(5), Some(PolicyKind::Slice));
+        assert_eq!(
+            PolicyKind::SliceSkewed.for_replicas(3),
+            Some(PolicyKind::SliceSkewed)
+        );
         assert!(PolicyKind::all_extended().contains(&PolicyKind::Slice));
+        assert!(PolicyKind::all_extended().contains(&PolicyKind::SliceSkewed));
     }
 }

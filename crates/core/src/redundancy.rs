@@ -29,13 +29,25 @@ use higpu_sim::kernel::{Dim3, KernelId, KernelLaunch, LaunchConfig, SmPartition}
 use higpu_sim::program::Program;
 use std::sync::Arc;
 
+/// Worst-case duration, in cycles, of a transient common-cause fault (a
+/// voltage droop striking every SM at once) assumed by the droop-aware
+/// start skew. The campaign fault families inject droops up to this long;
+/// a skew sized by [`crate::diversity::DiversityRequirements::for_droop_duration`]
+/// of this constant guarantees no droop can hit the same computation point
+/// in two concurrently executing replicas.
+pub const WORST_CASE_CCF_CYCLES: u64 = 500;
+
 /// How the redundant replicas are scheduled.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RedundancyMode {
     /// Launch replicas back-to-back under the unconstrained COTS scheduler —
-    /// redundancy without any diversity guarantee (the paper's two-replica
-    /// baseline).
-    Uncontrolled,
+    /// redundancy without any diversity guarantee (the paper's baseline,
+    /// generalized to N replicas so the frontier's baseline column exists
+    /// at every replica count).
+    Uncontrolled {
+        /// Number of replicas (2 = the paper's configuration).
+        replicas: u8,
+    },
     /// SRRS: serialized execution, round-robin placement from per-replica
     /// start SMs (must be distinct modulo the SM count). N-replica-capable:
     /// one start SM per replica.
@@ -51,9 +63,20 @@ pub enum RedundancyMode {
     /// to the *r*-th of `replicas` balanced SM slices, all replicas
     /// concurrent. Requires `2 ≤ replicas ≤ num_sms` so every slice owns at
     /// least one SM.
+    ///
+    /// `start_skew` is the droop-aware dispatch stagger: replica *r* is
+    /// held back `r × start_skew` cycles before becoming schedulable. With
+    /// `start_skew = 0` (the paper's plain SLICE) concurrent replicas start
+    /// one dispatch gap apart, which a long droop can bridge — corrupting
+    /// two replicas identically and outvoting the clean one (the `nw ×
+    /// droop` finding of the NMR campaigns). A skew larger than the
+    /// worst-case CCF duration closes that window; see
+    /// [`RedundancyMode::slice_skewed`].
     Slice {
         /// Number of replicas (= SM slices).
         replicas: u8,
+        /// Per-replica dispatch stagger in cycles (0 = plain SLICE).
+        start_skew: u64,
     },
 }
 
@@ -61,20 +84,59 @@ impl RedundancyMode {
     /// The scheduler policy this mode requires on the GPU.
     pub fn policy_kind(&self) -> PolicyKind {
         match self {
-            RedundancyMode::Uncontrolled => PolicyKind::Default,
+            RedundancyMode::Uncontrolled { .. } => PolicyKind::Default,
             RedundancyMode::Srrs { .. } => PolicyKind::Srrs,
             RedundancyMode::Half => PolicyKind::Half,
-            RedundancyMode::Slice { .. } => PolicyKind::Slice,
+            RedundancyMode::Slice { start_skew: 0, .. } => PolicyKind::Slice,
+            RedundancyMode::Slice { .. } => PolicyKind::SliceSkewed,
         }
     }
 
     /// Number of replicas this mode executes.
     pub fn replicas(&self) -> u8 {
         match self {
+            RedundancyMode::Uncontrolled { replicas } => *replicas,
             RedundancyMode::Srrs { start_sms } => start_sms.len() as u8,
-            RedundancyMode::Slice { replicas } => *replicas,
-            _ => 2,
+            RedundancyMode::Slice { replicas, .. } => *replicas,
+            RedundancyMode::Half => 2,
         }
+    }
+
+    /// The paper's two-replica uncontrolled COTS baseline.
+    pub fn uncontrolled() -> Self {
+        RedundancyMode::Uncontrolled { replicas: 2 }
+    }
+
+    /// Plain (unskewed) SLICE at `replicas` replicas — the paper-era
+    /// configuration whose behaviour is frozen by the golden tests.
+    pub fn slice(replicas: u8) -> Self {
+        RedundancyMode::Slice {
+            replicas,
+            start_skew: 0,
+        }
+    }
+
+    /// Droop-aware SLICE: concurrent slices with replica *r* held back
+    /// `r × skew` cycles. Use [`RedundancyMode::slice_skewed_default`] for a
+    /// skew sized to the campaign's worst-case CCF.
+    pub fn slice_skewed(replicas: u8, start_skew: u64) -> Self {
+        RedundancyMode::Slice {
+            replicas,
+            start_skew,
+        }
+    }
+
+    /// Droop-aware SLICE with the default skew: one cycle more than
+    /// [`WORST_CASE_CCF_CYCLES`] (cf.
+    /// [`crate::diversity::DiversityRequirements::for_droop_duration`]), so
+    /// no modelled droop can overlap the same computation point in two
+    /// replicas.
+    pub fn slice_skewed_default(replicas: u8) -> Self {
+        Self::slice_skewed(
+            replicas,
+            crate::diversity::DiversityRequirements::for_droop_duration(WORST_CASE_CCF_CYCLES)
+                .min_start_skew,
+        )
     }
 
     /// Default SRRS mode for a GPU with `num_sms` SMs: two replicas with
@@ -486,7 +548,7 @@ impl<'g> RedundantExecutor<'g> {
                 .redundant(group, r as u8)
                 .serialize_group(group);
             match &self.mode {
-                RedundancyMode::Uncontrolled => {}
+                RedundancyMode::Uncontrolled { .. } => {}
                 RedundancyMode::Srrs { start_sms } => {
                     launch = launch.start_sm(start_sms[r]);
                 }
@@ -497,8 +559,13 @@ impl<'g> RedundantExecutor<'g> {
                         SmPartition::Upper
                     });
                 }
-                RedundancyMode::Slice { replicas } => {
-                    launch = launch.slice(r as u8, *replicas);
+                RedundancyMode::Slice {
+                    replicas,
+                    start_skew,
+                } => {
+                    launch = launch
+                        .slice(r as u8, *replicas)
+                        .dispatch_delay(r as u64 * start_skew);
                 }
             }
             ids.push(self.gpu.launch(launch)?);
@@ -705,8 +772,7 @@ mod tests {
     #[test]
     fn slice_tmr_runs_diverse_and_unanimous() {
         let mut gpu = Gpu::new(GpuConfig::paper_6sm());
-        let mut exec =
-            RedundantExecutor::new(&mut gpu, RedundancyMode::Slice { replicas: 3 }).expect("mode");
+        let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::slice(3)).expect("mode");
         assert_eq!(exec.replicas(), 3);
         let prog = triple_kernel();
         let out = exec.alloc_words(64).expect("alloc");
@@ -734,8 +800,8 @@ mod tests {
     #[test]
     fn slice_rejects_more_replicas_than_sms() {
         let mut gpu = Gpu::new(GpuConfig::paper_6sm());
-        let err = RedundantExecutor::new(&mut gpu, RedundancyMode::Slice { replicas: 7 })
-            .expect_err("must reject");
+        let err =
+            RedundantExecutor::new(&mut gpu, RedundancyMode::slice(7)).expect_err("must reject");
         assert!(matches!(err, RedundancyError::InvalidMode(_)));
     }
 
@@ -869,7 +935,7 @@ mod tests {
         // multi-block kernel some redundant pair almost always shares an SM.
         let mut gpu = Gpu::new(GpuConfig::paper_6sm());
         let mut exec =
-            RedundantExecutor::new(&mut gpu, RedundancyMode::Uncontrolled).expect("mode");
+            RedundantExecutor::new(&mut gpu, RedundancyMode::uncontrolled()).expect("mode");
         let prog = triple_kernel();
         let out = exec.alloc_words(512).expect("alloc");
         exec.launch(&prog, 12u32, 32u32, 0, &[RParam::Buf(&out)])

@@ -22,6 +22,13 @@ pub struct DetectionEvidence {
     /// corruption and delivered a verified-correct result — forward
     /// recovery, no re-execution (always 0 for two-replica DCLS).
     pub corrected: u64,
+    /// Activated trials in which a *detected* fault was repaired by
+    /// **in-FTTI re-execution**: the computation (e.g. a pipeline stage)
+    /// was retried within the remaining deadline slack and the retry
+    /// verified correct — fail-operational backward recovery, as opposed
+    /// to the fail-stop `detected` count. Only produced by executors with
+    /// a re-execution budget (pipeline campaigns); 0 for plain trials.
+    pub recovered: u64,
     /// Activated trials that produced wrong outputs in *all* replicas
     /// identically — undetected failures (must be 0 for the safety case).
     pub undetected_failures: u64,
@@ -32,11 +39,25 @@ impl DetectionEvidence {
     /// corrected trial counts as detected (the voter observed the dissent
     /// *and* recovered); `None` when no effective fault was observed.
     pub fn coverage(&self) -> Option<f64> {
-        let effective = self.detected + self.corrected + self.undetected_failures;
+        let effective = self.detected + self.corrected + self.recovered + self.undetected_failures;
         if effective == 0 {
             None
         } else {
-            Some((self.detected + self.corrected) as f64 / effective as f64)
+            Some((self.detected + self.corrected + self.recovered) as f64 / effective as f64)
+        }
+    }
+
+    /// The fail-operational rate among covered faults: recovered (by
+    /// re-execution) and corrected (by majority vote) trials over all
+    /// covered trials — how often the mechanism kept the item *operating*
+    /// instead of merely stopping it safely. `None` when nothing was
+    /// covered.
+    pub fn fail_operational_rate(&self) -> Option<f64> {
+        let covered = self.detected + self.corrected + self.recovered;
+        if covered == 0 {
+            None
+        } else {
+            Some((self.corrected + self.recovered) as f64 / covered as f64)
         }
     }
 }
@@ -121,8 +142,8 @@ impl fmt::Display for SafetyCase {
         match &self.campaign {
             Some(c) => writeln!(
                 f,
-                "  fault campaign:  {} activated, {} detected, {} corrected, {} masked, {} undetected failures",
-                c.activated, c.detected, c.corrected, c.masked, c.undetected_failures
+                "  fault campaign:  {} activated, {} detected, {} corrected, {} recovered, {} masked, {} undetected failures",
+                c.activated, c.detected, c.corrected, c.recovered, c.masked, c.undetected_failures
             )?,
             None => writeln!(f, "  fault campaign:  not run")?,
         }
@@ -182,6 +203,7 @@ mod tests {
                 masked: 10,
                 detected: 89,
                 corrected: 0,
+                recovered: 0,
                 undetected_failures: 1,
             }),
         };
@@ -195,9 +217,11 @@ mod tests {
             masked: 20,
             detected: 80,
             corrected: 0,
+            recovered: 0,
             undetected_failures: 0,
         };
         assert_eq!(c.coverage(), Some(1.0));
+        assert_eq!(c.fail_operational_rate(), Some(0.0), "fail-stop only");
         let none = DetectionEvidence::default();
         assert_eq!(none.coverage(), None);
         // Corrected trials count toward coverage (detected and recovered).
@@ -206,9 +230,21 @@ mod tests {
             masked: 2,
             detected: 3,
             corrected: 5,
+            recovered: 0,
             undetected_failures: 2,
         };
         assert_eq!(tmr.coverage(), Some(0.8));
+        // Recovered trials count as covered and as fail-operational.
+        let pipe = DetectionEvidence {
+            activated: 10,
+            masked: 0,
+            detected: 2,
+            corrected: 1,
+            recovered: 7,
+            undetected_failures: 0,
+        };
+        assert_eq!(pipe.coverage(), Some(1.0));
+        assert_eq!(pipe.fail_operational_rate(), Some(0.8));
     }
 
     #[test]

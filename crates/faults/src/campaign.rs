@@ -70,6 +70,14 @@ pub enum FaultSpec {
 }
 
 impl FaultSpec {
+    /// True for fault families that persist across re-execution — a retry
+    /// re-encounters the same fault, so backward recovery can never repair
+    /// them (only N ≥ 3 voting can). Transient-class families (upsets,
+    /// droops) expire with their window and a funded retry must succeed.
+    pub fn is_persistent(&self) -> bool {
+        matches!(self, FaultSpec::Permanent)
+    }
+
     /// Report label.
     pub fn label(&self) -> &'static str {
         match self {
@@ -205,36 +213,10 @@ impl CampaignSpec {
     /// # Errors
     ///
     /// [`CampaignError::UnsupportedReplicas`] when the policy cannot run at
-    /// the requested replica count (fewer than 2 replicas, `Default`/`Half`
-    /// at N ≠ 2).
+    /// the requested replica count (fewer than 2 replicas, `Half` at
+    /// N ≠ 2).
     pub fn mode(&self, num_sms: usize) -> Result<RedundancyMode, CampaignError> {
-        let unsupported = || CampaignError::UnsupportedReplicas {
-            policy: self.policy,
-            replicas: self.replicas,
-        };
-        if self.replicas < 2 {
-            return Err(unsupported());
-        }
-        match self.policy {
-            PolicyKind::Default => {
-                if self.replicas == 2 {
-                    Ok(RedundancyMode::Uncontrolled)
-                } else {
-                    Err(unsupported())
-                }
-            }
-            PolicyKind::Srrs => Ok(RedundancyMode::srrs_spread(num_sms, self.replicas)),
-            PolicyKind::Half => {
-                if self.replicas == 2 {
-                    Ok(RedundancyMode::Half)
-                } else {
-                    Err(unsupported())
-                }
-            }
-            PolicyKind::Slice => Ok(RedundancyMode::Slice {
-                replicas: self.replicas,
-            }),
-        }
+        policy_mode(self.policy, self.replicas, num_sms)
     }
 
     /// Builds the workload from `reg`.
@@ -251,6 +233,47 @@ impl CampaignSpec {
     }
 }
 
+/// Maps a scheduler policy at a replica count onto the
+/// [`RedundancyMode`] that realizes it on a GPU with `num_sms` SMs — the
+/// single mode-resolution rule shared by workload campaigns
+/// ([`CampaignSpec::mode`]) and pipeline campaigns
+/// (`higpu_pipeline::campaign`):
+///
+/// * `Default` — the uncontrolled COTS baseline at any N ≥ 2;
+/// * `Srrs` — start SMs evenly spread over the replicas;
+/// * `Half` — exactly two replicas (use SLICE above);
+/// * `Slice` — plain concurrent slices;
+/// * `SliceSkewed` — concurrent slices with the droop-aware default start
+///   skew ([`RedundancyMode::slice_skewed_default`]).
+///
+/// # Errors
+///
+/// [`CampaignError::UnsupportedReplicas`] for fewer than two replicas or
+/// `Half` at N ≠ 2.
+pub fn policy_mode(
+    policy: PolicyKind,
+    replicas: u8,
+    num_sms: usize,
+) -> Result<RedundancyMode, CampaignError> {
+    let unsupported = || CampaignError::UnsupportedReplicas { policy, replicas };
+    if replicas < 2 {
+        return Err(unsupported());
+    }
+    match policy {
+        PolicyKind::Default => Ok(RedundancyMode::Uncontrolled { replicas }),
+        PolicyKind::Srrs => Ok(RedundancyMode::srrs_spread(num_sms, replicas)),
+        PolicyKind::Half => {
+            if replicas == 2 {
+                Ok(RedundancyMode::Half)
+            } else {
+                Err(unsupported())
+            }
+        }
+        PolicyKind::Slice => Ok(RedundancyMode::slice(replicas)),
+        PolicyKind::SliceSkewed => Ok(RedundancyMode::slice_skewed_default(replicas)),
+    }
+}
+
 /// Errors of registry-driven campaigns.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignError {
@@ -258,8 +281,13 @@ pub enum CampaignError {
     Redundancy(RedundancyError),
     /// The spec named a workload absent from the registry.
     UnknownWorkload(String),
-    /// The spec's policy cannot run at the requested replica count (e.g.
-    /// HALF at N ≠ 2 — use SLICE; the uncontrolled baseline at N ≠ 2).
+    /// An execution layer above the plain campaign (e.g. the pipeline
+    /// subsystem's frame calibration) failed in a way that has no
+    /// campaign-level equivalent; the message carries the original error.
+    Execution(String),
+    /// The spec's policy cannot run at the requested replica count
+    /// (HALF at N ≠ 2 — use SLICE, its N-replica form; every other
+    /// policy, the uncontrolled baseline included, runs at any N ≥ 2).
     UnsupportedReplicas {
         /// The requested policy.
         policy: PolicyKind,
@@ -275,6 +303,7 @@ impl fmt::Display for CampaignError {
             CampaignError::UnknownWorkload(name) => {
                 write!(f, "workload '{name}' is not in the registry")
             }
+            CampaignError::Execution(what) => write!(f, "execution failed: {what}"),
             CampaignError::UnsupportedReplicas { policy, replicas } => {
                 write!(
                     f,
@@ -344,6 +373,9 @@ impl CampaignReport {
             masked: u64::from(self.masked),
             detected: u64::from(self.detected),
             corrected: u64::from(self.corrected),
+            // Plain (single-computation) campaigns have no re-execution
+            // budget; recovery is a pipeline-campaign observable.
+            recovered: 0,
             undetected_failures: u64::from(self.undetected),
         }
     }
@@ -415,9 +447,7 @@ pub fn dry_run_makespan(
 /// classified as detected by the deadline monitor. Pure function of the
 /// makespan and multiplier, so serial and parallel engines agree.
 pub fn ftti_deadline(fault_free_makespan: u64, ftti_multiplier: u64) -> u64 {
-    fault_free_makespan
-        .saturating_mul(ftti_multiplier)
-        .saturating_add(10_000)
+    higpu_core::ftti::deadline(fault_free_makespan, ftti_multiplier)
 }
 
 /// The historical flat watchdog budget: [`ftti_deadline`] at the default
@@ -635,7 +665,9 @@ pub fn run_trial(
 /// worker's trials happen to run long.
 const MAX_CLAIM: usize = 64;
 
-/// Claims the next chunk of trial indices from the shared cursor.
+/// Claims the next chunk of trial indices from the shared cursor (also
+/// used by the pipeline campaign engine in `higpu_pipeline`, which mirrors
+/// this worker pool).
 ///
 /// Guided self-scheduling: each claim takes `remaining / (2 * workers)`
 /// trials (clamped to `1..=MAX_CLAIM`), so claims are large while plenty of
@@ -644,7 +676,11 @@ const MAX_CLAIM: usize = 64;
 /// Chunking only changes *which worker* runs a trial, never the result:
 /// per-trial outcomes are order-independent counts, so the campaign report
 /// stays bit-identical at every worker count.
-fn claim_chunk(next: &AtomicUsize, total: usize, workers: usize) -> Option<std::ops::Range<usize>> {
+pub fn claim_chunk(
+    next: &AtomicUsize,
+    total: usize,
+    workers: usize,
+) -> Option<std::ops::Range<usize>> {
     loop {
         let cur = next.load(Ordering::Relaxed);
         if cur >= total {
@@ -915,7 +951,7 @@ mod tests {
         // Deterministic COTS placement puts both replicas of block i on the
         // same SM → identical corruption → undetected failures.
         let cfg = small_cfg(12);
-        let mode = RedundancyMode::Uncontrolled;
+        let mode = RedundancyMode::uncontrolled();
         let r =
             run_campaign(&cfg, &mode, FaultSpec::Permanent, &small_workload()).expect("campaign");
         assert!(
@@ -1170,7 +1206,7 @@ mod tests {
         let spec = |p| CampaignSpec::new("w", p, FaultSpec::Permanent);
         assert_eq!(
             spec(PolicyKind::Default).mode(6),
-            Ok(RedundancyMode::Uncontrolled)
+            Ok(RedundancyMode::uncontrolled())
         );
         assert_eq!(
             spec(PolicyKind::Srrs).mode(6),
@@ -1179,7 +1215,11 @@ mod tests {
         assert_eq!(spec(PolicyKind::Half).mode(6), Ok(RedundancyMode::Half));
         assert_eq!(
             spec(PolicyKind::Slice).mode(6),
-            Ok(RedundancyMode::Slice { replicas: 2 })
+            Ok(RedundancyMode::slice(2))
+        );
+        assert_eq!(
+            spec(PolicyKind::SliceSkewed).mode(6),
+            Ok(RedundancyMode::slice_skewed_default(2))
         );
         // The replicas axis.
         assert_eq!(
@@ -1190,7 +1230,7 @@ mod tests {
         );
         assert_eq!(
             spec(PolicyKind::Slice).with_replicas(3).mode(6),
-            Ok(RedundancyMode::Slice { replicas: 3 })
+            Ok(RedundancyMode::slice(3))
         );
         assert_eq!(
             spec(PolicyKind::Half).with_replicas(3).mode(6),
@@ -1202,10 +1242,8 @@ mod tests {
         );
         assert_eq!(
             spec(PolicyKind::Default).with_replicas(3).mode(6),
-            Err(CampaignError::UnsupportedReplicas {
-                policy: PolicyKind::Default,
-                replicas: 3
-            })
+            Ok(RedundancyMode::Uncontrolled { replicas: 3 }),
+            "the GPGPU-SIM baseline column exists at every replica count"
         );
         assert_eq!(
             spec(PolicyKind::Srrs).with_replicas(1).mode(6),

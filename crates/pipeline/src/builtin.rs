@@ -1,0 +1,158 @@
+//! The registered pipelines: `ad_pipeline` and `sensor_fusion`.
+//!
+//! Both are campaign-ready at [`Scale::Campaign`] (small fixed grids, so
+//! thousands of fault-injection frames fit the campaign device image) and
+//! paper-sized at [`Scale::Full`].
+
+use crate::graph::{Pipeline, PipelineRegistry};
+use crate::stages::{BfsDetect, FuseAdd, NnTrack, PathfinderPlan};
+use higpu_rodinia::hotspot::Hotspot;
+use higpu_rodinia::srad::Srad;
+use higpu_workloads::synthetic::IteratedFma;
+use higpu_workloads::{Scale, WorkloadStage};
+
+/// The autonomous-driving frame pipeline: perception → detection →
+/// planning.
+///
+/// * **perception** — SRAD speckle-reducing diffusion denoises the sensor
+///   frame (source stage; the Rodinia `srad` workload);
+/// * **detect** — the denoised frame seeds region-growing detection over a
+///   fixed sensor topology (the Rodinia BFS kernels);
+/// * **plan** — the detection map becomes a cost grid and the Rodinia
+///   pathfinder DP plans the cheapest traversal, one dependent launch per
+///   row.
+pub fn ad_pipeline(scale: Scale) -> Pipeline {
+    let mut p = Pipeline::new("ad_pipeline");
+    let perception = match scale {
+        Scale::Full => Srad::default(),
+        Scale::Campaign => Srad::campaign(),
+    };
+    let (detect, plan) = match scale {
+        Scale::Full => (
+            BfsDetect {
+                nodes: 1024,
+                extra_degree: 3,
+                threads_per_block: 128,
+            },
+            PathfinderPlan {
+                cols: 1024,
+                rows: 24,
+                threads_per_block: 128,
+            },
+        ),
+        Scale::Campaign => (
+            BfsDetect {
+                nodes: 192,
+                extra_degree: 2,
+                threads_per_block: 64,
+            },
+            PathfinderPlan {
+                cols: 192,
+                rows: 6,
+                threads_per_block: 64,
+            },
+        ),
+    };
+    let s0 = p.add_stage(
+        "perception",
+        Box::new(WorkloadStage::new(Box::new(perception))),
+        &[],
+    );
+    let s1 = p.add_stage("detect", Box::new(detect), &[s0]);
+    p.add_stage("plan", Box::new(plan), &[s1]);
+    p
+}
+
+/// The sensor-fusion pipeline: two independent sources joined by a fusion
+/// stage, then tracked.
+///
+/// * **camera** — hotspot thermal simulation stands in for the camera ISP
+///   (source);
+/// * **radar** — the iterated-FMA stress kernel stands in for radar DSP
+///   (source);
+/// * **fuse** — the DAG join: both streams fused element-wise on the GPU;
+/// * **track** — fused words become track-hypothesis coordinates scored by
+///   the Rodinia `nn` distance kernel.
+pub fn sensor_fusion(scale: Scale) -> Pipeline {
+    let mut p = Pipeline::new("sensor_fusion");
+    let (camera, radar, fuse, track) = match scale {
+        Scale::Full => (
+            Hotspot::default(),
+            IteratedFma::default(),
+            FuseAdd {
+                n: 1024,
+                threads_per_block: 128,
+            },
+            NnTrack {
+                records: 1024,
+                threads_per_block: 128,
+                target_lat: 30.0,
+                target_lng: 90.0,
+            },
+        ),
+        Scale::Campaign => (
+            Hotspot::campaign(),
+            IteratedFma::campaign(),
+            FuseAdd {
+                n: 256,
+                threads_per_block: 64,
+            },
+            NnTrack {
+                records: 256,
+                threads_per_block: 64,
+                target_lat: 30.0,
+                target_lng: 90.0,
+            },
+        ),
+    };
+    let cam = p.add_stage(
+        "camera",
+        Box::new(WorkloadStage::new(Box::new(camera))),
+        &[],
+    );
+    let rad = p.add_stage("radar", Box::new(WorkloadStage::new(Box::new(radar))), &[]);
+    let fused = p.add_stage("fuse", Box::new(fuse), &[cam, rad]);
+    p.add_stage("track", Box::new(track), &[fused]);
+    p
+}
+
+/// Registers every built-in pipeline in `reg`.
+pub fn register_all(reg: &mut PipelineRegistry) {
+    reg.register("ad_pipeline", ad_pipeline);
+    reg.register("sensor_fusion", sensor_fusion);
+}
+
+/// A registry holding every built-in pipeline — the pipeline-axis sibling
+/// of `higpu_bench::matrix::full_registry`.
+pub fn full_pipeline_registry() -> PipelineRegistry {
+    let mut reg = PipelineRegistry::new();
+    register_all(&mut reg);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_pipelines_register_and_build() {
+        let reg = full_pipeline_registry();
+        assert_eq!(reg.names(), vec!["ad_pipeline", "sensor_fusion"]);
+        let ad = reg.build("ad_pipeline", Scale::Campaign).expect("known");
+        assert_eq!(ad.len(), 3);
+        assert_eq!(ad.stages()[1].deps, vec![0]);
+        assert_eq!(ad.stages()[2].deps, vec![1]);
+        let sf = reg.build("sensor_fusion", Scale::Full).expect("known");
+        assert_eq!(sf.len(), 4);
+        assert_eq!(sf.stages()[2].deps, vec![0, 1], "the DAG join");
+    }
+
+    #[test]
+    fn reference_dataflow_is_deterministic() {
+        let a = ad_pipeline(Scale::Campaign).reference_outputs();
+        let b = ad_pipeline(Scale::Campaign).reference_outputs();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|o| !o.is_empty()));
+    }
+}

@@ -1,0 +1,617 @@
+//! Pipeline fault campaigns: randomized fault injection over whole
+//! pipeline frames, with **fail-operational vs fail-stop** as the new
+//! observable.
+//!
+//! A pipeline trial injects one pre-drawn fault into a full frame
+//! (every stage, redundant, under the frame's deadline plan) and
+//! classifies what the deployed safety mechanism would have delivered:
+//!
+//! * [`PipelineTrialOutcome::Recovered`] — a stage detection was repaired
+//!   by in-FTTI re-execution and the frame's every stage verified correct:
+//!   the vehicle keeps operating (fail-operational). Without the recovery
+//!   budget the same trial is merely [`PipelineTrialOutcome::Detected`].
+//! * [`PipelineTrialOutcome::Detected`] — the frame fail-stopped (an
+//!   unrecoverable detection or a blown end-to-end FTTI): safe, but the
+//!   function is lost for this frame.
+//!
+//! The engine mirrors `higpu_faults::campaign` exactly: pre-drawn models,
+//! reusable per-worker devices, guided-self-scheduling work claims
+//! ([`higpu_faults::campaign::claim_chunk`]) and an order-independent
+//! count reduction, so the parallel report is bit-identical to the serial
+//! reference at every worker count.
+
+use crate::exec::{plan, run_pipeline, PipelineError, PipelinePlan, PipelineRun, RecoveryPolicy};
+use crate::graph::{Pipeline, PipelineRegistry};
+use higpu_core::policy::PolicyKind;
+use higpu_core::redundancy::RedundancyMode;
+use higpu_core::safety_case::DetectionEvidence;
+use higpu_faults::campaign::{
+    claim_chunk, draw_models, policy_mode, CampaignConfig, CampaignError, FaultSpec,
+};
+use higpu_faults::injector::{FaultInjector, InjectionCounters};
+use higpu_faults::model::FaultModel;
+use higpu_sim::gpu::Gpu;
+use higpu_workloads::Scale;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// One cell of a pipeline campaign sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineCampaignSpec {
+    /// Registry name of the pipeline under test.
+    pub pipeline: String,
+    /// Input scale the factory builds.
+    pub scale: Scale,
+    /// Scheduling policy of every stage's redundant execution.
+    pub policy: PolicyKind,
+    /// Fault family injected.
+    pub fault: FaultSpec,
+    /// Replica count per stage.
+    pub replicas: u8,
+    /// Re-execution budget (default: one retry per stage; use
+    /// [`RecoveryPolicy::disabled`] for the fail-stop-only ablation).
+    pub recovery: RecoveryPolicy,
+}
+
+impl PipelineCampaignSpec {
+    /// Campaign-scale, two-replica spec with the default recovery budget.
+    pub fn new(pipeline: impl Into<String>, policy: PolicyKind, fault: FaultSpec) -> Self {
+        Self {
+            pipeline: pipeline.into(),
+            scale: Scale::Campaign,
+            policy,
+            fault,
+            replicas: 2,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// The same spec at `replicas` replicas.
+    pub fn with_replicas(mut self, replicas: u8) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// The same spec with recovery disabled (every detection fail-stops).
+    pub fn without_recovery(mut self) -> Self {
+        self.recovery = RecoveryPolicy::disabled();
+        self
+    }
+}
+
+/// Classification of one pipeline injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineTrialOutcome {
+    /// The fault never corrupted anything.
+    NotActivated,
+    /// Corruption happened; every stage stayed unanimous and verified
+    /// correct (within its tolerance).
+    Masked,
+    /// At least one stage's N ≥ 3 vote outvoted the corruption in place
+    /// (no re-execution needed) and every stage verified correct.
+    Corrected,
+    /// At least one detected stage was re-executed within the remaining
+    /// FTTI slack, and the frame completed with every stage verified
+    /// correct — **fail-operational**: the observable the frontier lacked.
+    Recovered,
+    /// The frame fail-stopped: an unrecoverable detection (retry
+    /// exhausted / no slack) or an end-to-end deadline miss. Safe, but the
+    /// frame is lost.
+    Detected,
+    /// A frame the mechanism accepted whose data was wrong: some stage's
+    /// voted output failed verification against the CPU reference on its
+    /// actual inputs.
+    UndetectedFailure,
+}
+
+/// Aggregated pipeline campaign results. All counts are order-independent
+/// sums, so serial and parallel engines agree bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineCampaignReport {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Scheduling policy label.
+    pub policy: String,
+    /// Fault family label.
+    pub fault: &'static str,
+    /// Replica count per stage.
+    pub replicas: u8,
+    /// Stage count of the pipeline.
+    pub stages: u32,
+    /// Fault-free end-to-end frame makespan (cycles).
+    pub fault_free_makespan: u64,
+    /// The derived end-to-end FTTI (sum of stage budgets).
+    pub e2e_deadline: u64,
+    /// Trials run.
+    pub trials: u32,
+    /// Trials whose fault never activated.
+    pub not_activated: u32,
+    /// Activated but masked trials.
+    pub masked: u32,
+    /// Trials corrected in place by the vote.
+    pub corrected: u32,
+    /// Trials recovered by in-FTTI re-execution (fail-operational).
+    pub recovered: u32,
+    /// Fail-stop trials.
+    pub detected: u32,
+    /// Undetected failures (must be 0 under diverse policies).
+    pub undetected: u32,
+    /// Trials whose frame exceeded the end-to-end FTTI.
+    pub deadline_miss: u32,
+    /// Re-executions attempted across all trials.
+    pub retries_attempted: u32,
+    /// Re-executions that themselves failed (tied again / timed out).
+    pub retries_failed: u32,
+    /// Detections that found no slack left for a retry.
+    pub no_slack: u32,
+}
+
+impl PipelineCampaignReport {
+    /// The fail-operational recovery rate: recovered frames over all
+    /// frames in which the mechanism *acted* (recovered + fail-stopped);
+    /// `None` when it never had to act.
+    pub fn recovery_rate(&self) -> Option<f64> {
+        let acted = self.recovered + self.detected;
+        if acted == 0 {
+            None
+        } else {
+            Some(f64::from(self.recovered) / f64::from(acted))
+        }
+    }
+
+    /// End-to-end deadline-miss rate over all trials.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            f64::from(self.deadline_miss) / f64::from(self.trials)
+        }
+    }
+
+    /// Coverage over effective faults (everything the mechanism caught —
+    /// corrected, recovered or fail-stopped — over all non-masked
+    /// activations); `None` when no fault was effective.
+    pub fn coverage(&self) -> Option<f64> {
+        let effective = self.corrected + self.recovered + self.detected + self.undetected;
+        if effective == 0 {
+            None
+        } else {
+            Some(f64::from(self.corrected + self.recovered + self.detected) / f64::from(effective))
+        }
+    }
+
+    /// Converts to the safety-case evidence form.
+    pub fn evidence(&self) -> DetectionEvidence {
+        DetectionEvidence {
+            activated: u64::from(self.trials - self.not_activated),
+            masked: u64::from(self.masked),
+            detected: u64::from(self.detected),
+            corrected: u64::from(self.corrected),
+            recovered: u64::from(self.recovered),
+            undetected_failures: u64::from(self.undetected),
+        }
+    }
+}
+
+/// Errors of pipeline campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineCampaignError {
+    /// The spec named a pipeline absent from the registry.
+    UnknownPipeline(String),
+    /// Scheduler-misroute campaigns are a workload-level experiment (they
+    /// classify through the diversity monitor and BIST, not through frame
+    /// outcomes); pipelines reject them instead of mis-classifying.
+    UnsupportedFault(FaultSpec),
+    /// Policy/replica resolution failed.
+    Campaign(CampaignError),
+    /// A frame failed in the device or the protocol.
+    Pipeline(PipelineError),
+}
+
+impl fmt::Display for PipelineCampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineCampaignError::UnknownPipeline(name) => {
+                write!(f, "pipeline '{name}' is not in the registry")
+            }
+            PipelineCampaignError::UnsupportedFault(spec) => {
+                write!(
+                    f,
+                    "fault family {} not supported for pipelines",
+                    spec.label()
+                )
+            }
+            PipelineCampaignError::Campaign(e) => write!(f, "{e}"),
+            PipelineCampaignError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineCampaignError {}
+
+impl From<CampaignError> for PipelineCampaignError {
+    fn from(e: CampaignError) -> Self {
+        PipelineCampaignError::Campaign(e)
+    }
+}
+
+impl From<PipelineError> for PipelineCampaignError {
+    fn from(e: PipelineError) -> Self {
+        PipelineCampaignError::Pipeline(e)
+    }
+}
+
+/// Order-independent accumulator of pipeline trial outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PipelineCounts {
+    not_activated: u32,
+    masked: u32,
+    corrected: u32,
+    recovered: u32,
+    detected: u32,
+    undetected: u32,
+    deadline_miss: u32,
+    retries_attempted: u32,
+    retries_failed: u32,
+    no_slack: u32,
+}
+
+impl PipelineCounts {
+    fn add(&mut self, outcome: PipelineTrialOutcome, run: &PipelineRun) {
+        match outcome {
+            PipelineTrialOutcome::NotActivated => self.not_activated += 1,
+            PipelineTrialOutcome::Masked => self.masked += 1,
+            PipelineTrialOutcome::Corrected => self.corrected += 1,
+            PipelineTrialOutcome::Recovered => self.recovered += 1,
+            PipelineTrialOutcome::Detected => self.detected += 1,
+            PipelineTrialOutcome::UndetectedFailure => self.undetected += 1,
+        }
+        self.deadline_miss += u32::from(run.deadline_miss);
+        self.retries_attempted += run.retries_attempted;
+        self.retries_failed += run.retries_failed;
+        self.no_slack += run.no_slack_failures;
+    }
+
+    fn merge(&mut self, o: PipelineCounts) {
+        self.not_activated += o.not_activated;
+        self.masked += o.masked;
+        self.corrected += o.corrected;
+        self.recovered += o.recovered;
+        self.detected += o.detected;
+        self.undetected += o.undetected;
+        self.deadline_miss += o.deadline_miss;
+        self.retries_attempted += o.retries_attempted;
+        self.retries_failed += o.retries_failed;
+        self.no_slack += o.no_slack;
+    }
+}
+
+/// A reusable pipeline trial executor: one device, rewound between frames.
+#[derive(Debug)]
+pub struct PipelineCampaignRunner {
+    gpu: Gpu,
+}
+
+impl PipelineCampaignRunner {
+    /// Creates a runner with a fresh device per `cfg.gpu`.
+    pub fn new(cfg: &CampaignConfig) -> Self {
+        Self {
+            gpu: Gpu::new(cfg.gpu.clone()),
+        }
+    }
+
+    /// Runs one pipeline injection trial; returns the classified outcome
+    /// and the frame record. Pure function of `(cfg.gpu, pipeline, mode,
+    /// plan, recovery, model)` — independent of previous trials and of
+    /// which runner executes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/protocol errors (never mere corruption).
+    pub fn run_trial(
+        &mut self,
+        pipeline: &Pipeline,
+        mode: &RedundancyMode,
+        frame_plan: &PipelinePlan,
+        recovery: RecoveryPolicy,
+        model: FaultModel,
+    ) -> Result<(PipelineTrialOutcome, PipelineRun), PipelineError> {
+        if self.gpu.reset().is_err() {
+            self.gpu.force_reset();
+        }
+        let counters = InjectionCounters::shared();
+        self.gpu
+            .set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
+        let run = run_pipeline(&mut self.gpu, pipeline, mode, frame_plan, recovery)?;
+        let outcome = classify(pipeline, &run, counters.activated());
+        Ok((outcome, run))
+    }
+}
+
+/// Classifies a completed frame from the deployed mechanism's observables
+/// plus the campaign's oracle (stage-wise CPU references over the data
+/// that actually flowed).
+fn classify(pipeline: &Pipeline, run: &PipelineRun, activated: bool) -> PipelineTrialOutcome {
+    if !activated {
+        return PipelineTrialOutcome::NotActivated;
+    }
+    if run.failstop().is_some() || run.deadline_miss {
+        return PipelineTrialOutcome::Detected;
+    }
+    // Oracle: every delivered stage output must verify against the CPU
+    // reference recomputed over its *actual* (voted) inputs. A corrupted
+    // value the voter accepted anywhere in the dataflow fails here.
+    for (s, stage) in pipeline.stages().iter().enumerate() {
+        let inputs: Vec<&[u32]> = stage
+            .deps
+            .iter()
+            .map(|&d| run.outputs[d].as_slice())
+            .collect();
+        if stage.program.verify(&run.outputs[s], &inputs).is_err() {
+            return PipelineTrialOutcome::UndetectedFailure;
+        }
+    }
+    if run.recovered_stages() > 0 {
+        PipelineTrialOutcome::Recovered
+    } else if run.corrected_stages() > 0 || run.corrected_reads > 0 {
+        PipelineTrialOutcome::Corrected
+    } else {
+        PipelineTrialOutcome::Masked
+    }
+}
+
+struct ResolvedSpec {
+    pipeline: Pipeline,
+    mode: RedundancyMode,
+    frame_plan: PipelinePlan,
+    models: Vec<FaultModel>,
+}
+
+fn resolve(
+    cfg: &CampaignConfig,
+    reg: &PipelineRegistry,
+    spec: &PipelineCampaignSpec,
+) -> Result<ResolvedSpec, PipelineCampaignError> {
+    if matches!(spec.fault, FaultSpec::Misroute) {
+        return Err(PipelineCampaignError::UnsupportedFault(spec.fault));
+    }
+    let pipeline = reg
+        .build(&spec.pipeline, spec.scale)
+        .ok_or_else(|| PipelineCampaignError::UnknownPipeline(spec.pipeline.clone()))?;
+    let mode = policy_mode(spec.policy, spec.replicas, cfg.gpu.num_sms)?;
+    let frame_plan = plan(&cfg.gpu, &pipeline, &mode)?;
+    // Fault times are sampled inside the fault-free frame window, exactly
+    // as workload campaigns sample inside the redundant makespan.
+    let models = draw_models(cfg, spec.fault, frame_plan.fault_free_makespan);
+    Ok(ResolvedSpec {
+        pipeline,
+        mode,
+        frame_plan,
+        models,
+    })
+}
+
+fn finish_report(
+    spec: &PipelineCampaignSpec,
+    r: &ResolvedSpec,
+    trials: u32,
+    counts: PipelineCounts,
+) -> PipelineCampaignReport {
+    PipelineCampaignReport {
+        pipeline: spec.pipeline.clone(),
+        policy: r.mode.policy_kind().label().to_string(),
+        fault: spec.fault.label(),
+        replicas: r.mode.replicas(),
+        stages: r.pipeline.len() as u32,
+        fault_free_makespan: r.frame_plan.fault_free_makespan,
+        e2e_deadline: r.frame_plan.ftti.end_to_end(),
+        trials,
+        not_activated: counts.not_activated,
+        masked: counts.masked,
+        corrected: counts.corrected,
+        recovered: counts.recovered,
+        detected: counts.detected,
+        undetected: counts.undetected,
+        deadline_miss: counts.deadline_miss,
+        retries_attempted: counts.retries_attempted,
+        retries_failed: counts.retries_failed,
+        no_slack: counts.no_slack,
+    }
+}
+
+/// The reference serial engine: one runner, trials in draw order — the
+/// oracle the parallel engine is checked against.
+///
+/// # Errors
+///
+/// Unknown pipeline / unsupported fault / unsupported replica count;
+/// otherwise propagates device/protocol errors from any trial.
+pub fn run_pipeline_campaign_serial(
+    cfg: &CampaignConfig,
+    reg: &PipelineRegistry,
+    spec: &PipelineCampaignSpec,
+) -> Result<PipelineCampaignReport, PipelineCampaignError> {
+    let resolved = resolve(cfg, reg, spec)?;
+    let mut runner = PipelineCampaignRunner::new(cfg);
+    let mut counts = PipelineCounts::default();
+    for &model in &resolved.models {
+        let (outcome, run) = runner.run_trial(
+            &resolved.pipeline,
+            &resolved.mode,
+            &resolved.frame_plan,
+            spec.recovery,
+            model,
+        )?;
+        counts.add(outcome, &run);
+    }
+    Ok(finish_report(spec, &resolved, cfg.trials, counts))
+}
+
+/// Runs a pipeline campaign on a pool of
+/// [`CampaignConfig::resolved_workers`] threads. Bit-identical to
+/// [`run_pipeline_campaign_serial`] at every worker count: all randomness
+/// is pre-drawn, every trial is a pure function of its model, and the
+/// reduction is a sum of order-independent counts.
+///
+/// # Errors
+///
+/// As [`run_pipeline_campaign_serial`]; when several trials fail, the
+/// error of the lowest-numbered trial is returned.
+pub fn run_pipeline_campaign(
+    cfg: &CampaignConfig,
+    reg: &PipelineRegistry,
+    spec: &PipelineCampaignSpec,
+) -> Result<PipelineCampaignReport, PipelineCampaignError> {
+    let resolved = resolve(cfg, reg, spec)?;
+    let workers = cfg.resolved_workers().min(resolved.models.len()).max(1);
+
+    if workers == 1 {
+        let mut runner = PipelineCampaignRunner::new(cfg);
+        let mut counts = PipelineCounts::default();
+        for &model in &resolved.models {
+            let (outcome, run) = runner.run_trial(
+                &resolved.pipeline,
+                &resolved.mode,
+                &resolved.frame_plan,
+                spec.recovery,
+                model,
+            )?;
+            counts.add(outcome, &run);
+        }
+        return Ok(finish_report(spec, &resolved, cfg.trials, counts));
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let results: Vec<Result<PipelineCounts, (usize, PipelineError)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let resolved = &resolved;
+                    let next = &next;
+                    let abort = &abort;
+                    scope.spawn(move || {
+                        let mut runner = PipelineCampaignRunner::new(cfg);
+                        let mut counts = PipelineCounts::default();
+                        'claims: while !abort.load(Ordering::Relaxed) {
+                            let Some(range) = claim_chunk(next, resolved.models.len(), workers)
+                            else {
+                                break;
+                            };
+                            for i in range {
+                                if abort.load(Ordering::Relaxed) {
+                                    break 'claims;
+                                }
+                                match runner.run_trial(
+                                    &resolved.pipeline,
+                                    &resolved.mode,
+                                    &resolved.frame_plan,
+                                    spec.recovery,
+                                    resolved.models[i],
+                                ) {
+                                    Ok((outcome, run)) => counts.add(outcome, &run),
+                                    Err(e) => {
+                                        abort.store(true, Ordering::Relaxed);
+                                        return Err((i, e));
+                                    }
+                                }
+                            }
+                        }
+                        Ok(counts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline campaign worker panicked"))
+                .collect()
+        });
+
+    let mut counts = PipelineCounts::default();
+    let mut first_error: Option<(usize, PipelineError)> = None;
+    for r in results {
+        match r {
+            Ok(c) => counts.merge(c),
+            Err((i, e)) => {
+                if first_error.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                    first_error = Some((i, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e.into());
+    }
+    Ok(finish_report(spec, &resolved, cfg.trials, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::full_pipeline_registry;
+
+    fn small_cfg(trials: u32) -> CampaignConfig {
+        CampaignConfig {
+            trials,
+            seed: 42,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn misroute_and_unknown_pipelines_are_rejected() {
+        let reg = full_pipeline_registry();
+        let cfg = small_cfg(1);
+        let bad = PipelineCampaignSpec::new("ad_pipeline", PolicyKind::Srrs, FaultSpec::Misroute);
+        assert!(matches!(
+            run_pipeline_campaign(&cfg, &reg, &bad),
+            Err(PipelineCampaignError::UnsupportedFault(_))
+        ));
+        let unknown = PipelineCampaignSpec::new("no_such", PolicyKind::Srrs, FaultSpec::Permanent);
+        assert!(matches!(
+            run_pipeline_campaign(&cfg, &reg, &unknown),
+            Err(PipelineCampaignError::UnknownPipeline(_))
+        ));
+        let one_replica =
+            PipelineCampaignSpec::new("ad_pipeline", PolicyKind::Srrs, FaultSpec::Permanent)
+                .with_replicas(1);
+        assert!(matches!(
+            run_pipeline_campaign(&cfg, &reg, &one_replica),
+            Err(PipelineCampaignError::Campaign(
+                CampaignError::UnsupportedReplicas { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn report_rates_and_evidence() {
+        let r = PipelineCampaignReport {
+            pipeline: "p".into(),
+            policy: "SRRS".into(),
+            fault: "transient-sm",
+            replicas: 2,
+            stages: 3,
+            fault_free_makespan: 100_000,
+            e2e_deadline: 830_000,
+            trials: 10,
+            not_activated: 1,
+            masked: 2,
+            corrected: 1,
+            recovered: 4,
+            detected: 2,
+            undetected: 0,
+            deadline_miss: 1,
+            retries_attempted: 6,
+            retries_failed: 2,
+            no_slack: 0,
+        };
+        assert_eq!(r.recovery_rate(), Some(4.0 / 6.0));
+        assert!((r.deadline_miss_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(r.coverage(), Some(1.0));
+        let e = r.evidence();
+        assert_eq!(e.activated, 9);
+        assert_eq!(e.recovered, 4);
+        assert_eq!(e.coverage(), Some(1.0));
+        assert_eq!(e.fail_operational_rate(), Some(5.0 / 7.0));
+    }
+}

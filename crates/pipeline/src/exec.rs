@@ -1,0 +1,493 @@
+//! Pipeline execution: per-stage deadline accounting, redundant stage
+//! offloads, and bounded **in-FTTI re-execution recovery**.
+//!
+//! A pipeline frame executes its stages in topological order on one GPU;
+//! the device clock is the frame timeline. Each stage runs redundantly
+//! (the NMR protocol of [`higpu_core::redundancy`]) under a watchdog
+//! limit derived from its [`higpu_core::ftti::PipelineFtti`] budget. A
+//! stage whose vote ties (Detected) or whose watchdog fires (timing
+//! violation) is **retried with fresh replicas on the same device** —
+//! provided the remaining end-to-end slack still covers the retry
+//! ([`PipelineFtti::allows_retry`]). A clean retry turns the detection
+//! into [`StageStatus::Recovered`]: fail-operational. A retry that fails
+//! again, or a detection with no remaining slack, is a fail-stop
+//! ([`StageStatus::FailStop`]) — the frame is abandoned within the FTTI,
+//! which is the safe-state transition the deadline monitor guarantees.
+
+use crate::graph::Pipeline;
+use higpu_core::ftti::PipelineFtti;
+use higpu_core::redundancy::{RedundancyError, RedundancyMode, RedundantExecutor};
+use higpu_sim::config::GpuConfig;
+use higpu_sim::gpu::{Gpu, SimError};
+use higpu_workloads::{RedundantSession, SessionError};
+use std::fmt;
+
+/// How much re-execution a pipeline frame may attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries allowed per stage (0 disables recovery: every detection is
+    /// a fail-stop, the pre-pipeline DCLS behaviour).
+    pub max_retries_per_stage: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries_per_stage: 1,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No re-execution: detections fail-stop immediately.
+    pub fn disabled() -> Self {
+        Self {
+            max_retries_per_stage: 0,
+        }
+    }
+}
+
+/// Why a stage fail-stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The final permitted attempt still tied or timed out (e.g. a
+    /// permanent fault corrupts every re-execution identically).
+    RetryExhausted,
+    /// A detection occurred but the remaining end-to-end slack no longer
+    /// covers a re-execution — recovery would blow the FTTI, so the frame
+    /// stops instead.
+    NoSlack,
+}
+
+/// What happened to one executed stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// First attempt, unanimous replicas.
+    Clean,
+    /// First attempt; the N ≥ 3 vote outvoted a minority corruption in
+    /// place (forward recovery, no re-execution).
+    Corrected,
+    /// A detected attempt was re-executed within the remaining FTTI slack
+    /// and the retry succeeded — fail-operational backward recovery.
+    Recovered,
+    /// The stage could not deliver a trustworthy output in time.
+    FailStop(FailReason),
+}
+
+impl StageStatus {
+    /// True when the stage delivered a consumable output.
+    pub fn delivered(&self) -> bool {
+        !matches!(self, StageStatus::FailStop(_))
+    }
+}
+
+/// The recorded timeline entry of one executed stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage index in the pipeline.
+    pub stage: usize,
+    /// Stage instance name.
+    pub name: &'static str,
+    /// Cycle the stage (first attempt) started.
+    pub start: u64,
+    /// Cycle the stage finished (successfully or not).
+    pub end: u64,
+    /// The stage's watchdog budget in cycles.
+    pub budget: u64,
+    /// Budget left unspent: `budget − (end − start)` (0 when overrun).
+    pub slack: u64,
+    /// Execution attempts (1 = no retry).
+    pub attempts: u32,
+    /// Outcome.
+    pub status: StageStatus,
+}
+
+/// The per-frame deadline plan: fault-free per-stage makespans measured by
+/// a calibration run, and the FTTI budget set derived from them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelinePlan {
+    /// Fault-free redundant makespan per stage, in stage order.
+    pub stage_makespans: Vec<u64>,
+    /// The derived budget set (per-stage budgets + end-to-end FTTI).
+    pub ftti: PipelineFtti,
+    /// Fault-free end-to-end makespan (the calibration frame's total).
+    pub fault_free_makespan: u64,
+}
+
+/// The result of one pipeline frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineRun {
+    /// Timeline of every executed stage, in execution order.
+    pub timings: Vec<StageTiming>,
+    /// Voted output words per executed stage (empty for a fail-stopped
+    /// stage).
+    pub outputs: Vec<Vec<u32>>,
+    /// Device cycle when the frame ended.
+    pub end_cycle: u64,
+    /// The frame exceeded its end-to-end FTTI (always accompanied by a
+    /// fail-stop: the deadline monitor never lets a frame run on past it).
+    pub deadline_miss: bool,
+    /// Re-executions attempted across all stages.
+    pub retries_attempted: u32,
+    /// Re-executions that themselves tied or timed out.
+    pub retries_failed: u32,
+    /// Detections that could not be retried for lack of slack.
+    pub no_slack_failures: u32,
+    /// Reads on which an N ≥ 3 vote corrected a minority corruption,
+    /// summed over all successful attempts.
+    pub corrected_reads: usize,
+}
+
+impl PipelineRun {
+    /// The fail-stopped stage, if any.
+    pub fn failstop(&self) -> Option<(usize, FailReason)> {
+        self.timings.iter().find_map(|t| match t.status {
+            StageStatus::FailStop(r) => Some((t.stage, r)),
+            _ => None,
+        })
+    }
+
+    /// True when every stage delivered (the frame is fail-operational).
+    pub fn completed(&self) -> bool {
+        self.failstop().is_none() && !self.deadline_miss
+    }
+
+    /// Stages recovered by re-execution.
+    pub fn recovered_stages(&self) -> u32 {
+        self.count(StageStatus::Recovered)
+    }
+
+    /// Stages corrected in place by the vote.
+    pub fn corrected_stages(&self) -> u32 {
+        self.count(StageStatus::Corrected)
+    }
+
+    fn count(&self, status: StageStatus) -> u32 {
+        self.timings.iter().filter(|t| t.status == status).count() as u32
+    }
+}
+
+/// Errors of pipeline execution (never produced by mere value corruption —
+/// detections and timing violations are *results*, not errors).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Device/protocol error from a stage.
+    Session(SessionError),
+    /// The pipeline has no stages.
+    Empty,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Session(e) => write!(f, "stage failed: {e}"),
+            PipelineError::Empty => write!(f, "pipeline has no stages"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SessionError> for PipelineError {
+    fn from(e: SessionError) -> Self {
+        PipelineError::Session(e)
+    }
+}
+
+impl From<RedundancyError> for PipelineError {
+    fn from(e: RedundancyError) -> Self {
+        PipelineError::Session(SessionError::Redundancy(e))
+    }
+}
+
+/// True when the error is the watchdog firing (a *timing detection*, not a
+/// failure), regardless of which wrapper it arrived in.
+fn is_deadline_cutoff(e: &SessionError) -> bool {
+    matches!(
+        e,
+        SessionError::Sim(SimError::DeadlineExceeded { .. })
+            | SessionError::Redundancy(RedundancyError::Sim(SimError::DeadlineExceeded { .. }))
+    )
+}
+
+/// One redundant attempt of one stage under a watchdog limit.
+enum Attempt {
+    /// Unanimous output.
+    Clean(Vec<u32>),
+    /// Every disagreement outvoted; the voted output plus corrected reads.
+    Corrected(Vec<u32>, usize),
+    /// At least one read tied (two-replica mismatch or an unresolvable
+    /// N-way split) — the NMR monitor detected the fault.
+    Tied,
+    /// The watchdog fired; in-flight work was cancelled.
+    Timeout,
+}
+
+fn run_stage_attempt(
+    gpu: &mut Gpu,
+    mode: &RedundancyMode,
+    pipeline: &Pipeline,
+    stage: usize,
+    inputs: &[&[u32]],
+    limit: Option<u64>,
+) -> Result<Attempt, PipelineError> {
+    gpu.set_cycle_limit(limit);
+    let result = (|| -> Result<(Vec<u32>, usize, usize), SessionError> {
+        let mut exec = RedundantExecutor::new(gpu, mode.clone())?;
+        let mut session = RedundantSession::tolerant(&mut exec);
+        let out = pipeline.stages()[stage].program.run(&mut session, inputs)?;
+        Ok((out, session.tied_reads(), session.corrected_reads()))
+    })();
+    gpu.set_cycle_limit(None);
+    match result {
+        Ok((out, 0, 0)) => Ok(Attempt::Clean(out)),
+        Ok((out, 0, corrected)) => Ok(Attempt::Corrected(out, corrected)),
+        Ok((_, _tied, _)) => Ok(Attempt::Tied),
+        Err(e) if is_deadline_cutoff(&e) => {
+            // The deadline monitor killed the offload; discard the dead
+            // work and keep the clock — the spent cycles stay on the FTTI.
+            gpu.cancel_in_flight();
+            Ok(Attempt::Timeout)
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Calibrates the per-stage deadline plan: one fault-free redundant frame
+/// on a fresh device, measuring each stage's makespan and deriving the
+/// budget set from the stages' declared FTTI multipliers.
+///
+/// # Errors
+///
+/// [`PipelineError::Empty`] for a stageless pipeline; otherwise propagates
+/// device/protocol errors.
+pub fn plan(
+    gpu_cfg: &GpuConfig,
+    pipeline: &Pipeline,
+    mode: &RedundancyMode,
+) -> Result<PipelinePlan, PipelineError> {
+    if pipeline.is_empty() {
+        return Err(PipelineError::Empty);
+    }
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    let mut outputs: Vec<Vec<u32>> = Vec::with_capacity(pipeline.len());
+    let mut makespans = Vec::with_capacity(pipeline.len());
+    for (s, stage) in pipeline.stages().iter().enumerate() {
+        let inputs: Vec<&[u32]> = stage.deps.iter().map(|&d| outputs[d].as_slice()).collect();
+        let start = gpu.cycle();
+        match run_stage_attempt(&mut gpu, mode, pipeline, s, &inputs, None)? {
+            Attempt::Clean(out) => outputs.push(out),
+            // Fault-free replicas can only disagree through a protocol
+            // bug; surface it rather than calibrating on garbage.
+            _ => {
+                return Err(PipelineError::Session(SessionError::ReplicaMismatch {
+                    first_word: 0,
+                }))
+            }
+        }
+        makespans.push(gpu.cycle() - start);
+    }
+    let ftti = PipelineFtti::from_stage_makespans(
+        makespans
+            .iter()
+            .zip(pipeline.stages())
+            .map(|(&m, stage)| (m, stage.program.ftti_multiplier())),
+    );
+    Ok(PipelinePlan {
+        fault_free_makespan: gpu.cycle(),
+        stage_makespans: makespans,
+        ftti,
+    })
+}
+
+/// Executes one pipeline frame on `gpu` under `plan`'s deadlines, with
+/// bounded in-FTTI re-execution recovery per `recovery`.
+///
+/// The GPU is used as-is (campaign runners reset it between frames and may
+/// have armed a fault hook); the device clock at entry is the frame's
+/// zero. Stage deadlines and the end-to-end FTTI are enforced with the
+/// device watchdog; a cut-off offload is cancelled (the clock keeps the
+/// spent cycles) and, slack permitting, re-executed.
+///
+/// # Errors
+///
+/// Propagates device/protocol errors ([`SimError::Stalled`] cannot be
+/// caused by value corruption, only by policy bugs).
+pub fn run_pipeline(
+    gpu: &mut Gpu,
+    pipeline: &Pipeline,
+    mode: &RedundancyMode,
+    plan: &PipelinePlan,
+    recovery: RecoveryPolicy,
+) -> Result<PipelineRun, PipelineError> {
+    if pipeline.is_empty() {
+        return Err(PipelineError::Empty);
+    }
+    // The frame's FTTI is measured from the device clock at entry, so a
+    // frame may start at any cycle (campaign runners reset to 0; a
+    // periodic host re-enters with the clock running).
+    let frame_zero = gpu.cycle();
+    let e2e = plan.ftti.end_to_end();
+    let e2e_abs = frame_zero.saturating_add(e2e);
+    let mut run = PipelineRun {
+        timings: Vec::with_capacity(pipeline.len()),
+        outputs: Vec::with_capacity(pipeline.len()),
+        end_cycle: frame_zero,
+        deadline_miss: false,
+        retries_attempted: 0,
+        retries_failed: 0,
+        no_slack_failures: 0,
+        corrected_reads: 0,
+    };
+    for (s, stage) in pipeline.stages().iter().enumerate() {
+        let inputs: Vec<&[u32]> = stage
+            .deps
+            .iter()
+            .map(|&d| run.outputs[d].as_slice())
+            .collect();
+        let start = gpu.cycle();
+        let budget = plan.ftti.stage_budgets[s];
+        let mut attempts = 0u32;
+        let mut limit = plan.ftti.stage_limit(s, frame_zero, start);
+        let (status, output) = loop {
+            attempts += 1;
+            let attempt = run_stage_attempt(gpu, mode, pipeline, s, &inputs, Some(limit))?;
+            let retrying = attempts > 1;
+            match attempt {
+                Attempt::Clean(out) => {
+                    break if retrying {
+                        (StageStatus::Recovered, out)
+                    } else {
+                        (StageStatus::Clean, out)
+                    }
+                }
+                Attempt::Corrected(out, corrected) => {
+                    run.corrected_reads += corrected;
+                    break if retrying {
+                        (StageStatus::Recovered, out)
+                    } else {
+                        (StageStatus::Corrected, out)
+                    };
+                }
+                Attempt::Tied | Attempt::Timeout => {
+                    if retrying {
+                        run.retries_failed += 1;
+                    }
+                    if attempts > recovery.max_retries_per_stage {
+                        break (
+                            StageStatus::FailStop(FailReason::RetryExhausted),
+                            Vec::new(),
+                        );
+                    }
+                    let now = gpu.cycle();
+                    if !plan
+                        .ftti
+                        .allows_retry(now - frame_zero, plan.stage_makespans[s])
+                    {
+                        run.no_slack_failures += 1;
+                        break (StageStatus::FailStop(FailReason::NoSlack), Vec::new());
+                    }
+                    run.retries_attempted += 1;
+                    // The retry gets a fresh stage budget, still capped by
+                    // the frame's absolute end-to-end FTTI.
+                    limit = plan.ftti.stage_limit(s, frame_zero, now);
+                }
+            }
+        };
+        let end = gpu.cycle();
+        run.timings.push(StageTiming {
+            stage: s,
+            name: stage.name,
+            start,
+            end,
+            budget,
+            slack: budget.saturating_sub(end - start),
+            attempts,
+            status,
+        });
+        run.outputs.push(output);
+        if !status.delivered() {
+            break;
+        }
+    }
+    run.end_cycle = gpu.cycle();
+    run.deadline_miss = run.end_cycle > e2e_abs;
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::ad_pipeline;
+    use higpu_workloads::Scale;
+
+    fn cfg() -> GpuConfig {
+        let mut cfg = GpuConfig::paper_6sm();
+        cfg.global_mem_bytes = 2 * 1024 * 1024;
+        cfg
+    }
+
+    #[test]
+    fn fault_free_frame_is_clean_and_inside_every_budget() {
+        let p = ad_pipeline(Scale::Campaign);
+        let mode = RedundancyMode::srrs_default(6);
+        let plan = plan(&cfg(), &p, &mode).expect("calibration");
+        assert_eq!(plan.stage_makespans.len(), 3);
+        assert_eq!(
+            plan.ftti.end_to_end(),
+            plan.ftti.stage_budgets.iter().sum::<u64>()
+        );
+        assert!(plan.fault_free_makespan < plan.ftti.end_to_end());
+
+        let mut gpu = Gpu::new(cfg());
+        let run = run_pipeline(&mut gpu, &p, &mode, &plan, RecoveryPolicy::default())
+            .expect("frame runs");
+        assert!(run.completed());
+        assert_eq!(run.timings.len(), 3);
+        for (t, &makespan) in run.timings.iter().zip(&plan.stage_makespans) {
+            assert_eq!(t.status, StageStatus::Clean);
+            assert_eq!(t.attempts, 1);
+            assert_eq!(t.end - t.start, makespan, "plan matches execution");
+            assert!(t.slack > 0);
+        }
+        assert_eq!(run.end_cycle, plan.fault_free_makespan);
+        assert!(!run.deadline_miss);
+        // Outputs verify stage-wise against the CPU references.
+        let refs = p.reference_outputs();
+        for (s, stage) in p.stages().iter().enumerate() {
+            let inputs: Vec<&[u32]> = stage
+                .deps
+                .iter()
+                .map(|&d| run.outputs[d].as_slice())
+                .collect();
+            stage
+                .program
+                .verify(&run.outputs[s], &inputs)
+                .unwrap_or_else(|e| panic!("stage {s} ({}) wrong: {e}", stage.name));
+        }
+        assert_eq!(refs.len(), 3);
+    }
+
+    #[test]
+    fn zero_budget_stage_fails_stop_without_slack() {
+        // A pipeline whose budgets are artificially exhausted: the first
+        // stage's watchdog fires immediately and no slack funds a retry.
+        let p = ad_pipeline(Scale::Campaign);
+        let mode = RedundancyMode::srrs_default(6);
+        let mut plan = plan(&cfg(), &p, &mode).expect("calibration");
+        plan.ftti.stage_budgets = vec![1; plan.stage_makespans.len()];
+        let mut gpu = Gpu::new(cfg());
+        let run = run_pipeline(&mut gpu, &p, &mode, &plan, RecoveryPolicy::default())
+            .expect("frame runs");
+        assert_eq!(
+            run.failstop(),
+            Some((0, FailReason::NoSlack)),
+            "{:?}",
+            run.timings
+        );
+        assert!(!run.completed());
+        assert_eq!(run.no_slack_failures, 1);
+        assert_eq!(run.timings.len(), 1, "downstream stages never execute");
+        assert!(run.deadline_miss, "the cutoff passed the 3-cycle FTTI");
+    }
+}

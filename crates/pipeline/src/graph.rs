@@ -1,0 +1,272 @@
+//! Pipeline task graphs: a DAG of [`StageProgram`]s with buffers flowing
+//! along the edges, plus the registry that names them.
+//!
+//! A [`Pipeline`] is stored in topological order by construction: a stage
+//! may only depend on stages added before it, so cycles are impossible and
+//! execution order is simply index order — matching how a real-time host
+//! dispatches a frame's kernels (RTGPU-style DAG tasks with per-stage
+//! deadlines over a serially-offloading CPU).
+
+use higpu_workloads::{Scale, StageProgram};
+use std::fmt;
+
+/// One node of a pipeline: a named stage program plus its upstream edges.
+pub struct Stage {
+    /// Instance name, unique within the pipeline (two stages may wrap the
+    /// same program under different names).
+    pub name: &'static str,
+    /// The stage's program.
+    pub program: Box<dyn StageProgram>,
+    /// Indices of the stages whose outputs this stage consumes, in the
+    /// order the program expects them. Always less than this stage's own
+    /// index (DAG by construction).
+    pub deps: Vec<usize>,
+}
+
+impl fmt::Debug for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stage")
+            .field("name", &self.name)
+            .field("program", &self.program.name())
+            .field("deps", &self.deps)
+            .finish()
+    }
+}
+
+/// A multi-kernel pipeline: a DAG of stages in topological order.
+///
+/// The last stage is the pipeline's *sink*; its output is the pipeline's
+/// output (intermediate outputs remain observable per stage).
+#[derive(Debug)]
+pub struct Pipeline {
+    name: &'static str,
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Pipeline name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Appends a stage consuming the outputs of `deps`; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a dependency index does not refer to an earlier stage or
+    /// the instance name is reused — both wiring bugs, not runtime
+    /// conditions.
+    pub fn add_stage(
+        &mut self,
+        name: &'static str,
+        program: Box<dyn StageProgram>,
+        deps: &[usize],
+    ) -> usize {
+        let index = self.stages.len();
+        assert!(
+            !self.stages.iter().any(|s| s.name == name),
+            "stage '{name}' added twice"
+        );
+        for &d in deps {
+            assert!(
+                d < index,
+                "stage '{name}' depends on stage {d}, which is not an earlier stage"
+            );
+        }
+        self.stages.push(Stage {
+            name,
+            program,
+            deps: deps.to_vec(),
+        });
+        index
+    }
+
+    /// The stages, in topological (execution) order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Index of the sink stage (the last one).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pipeline.
+    pub fn sink(&self) -> usize {
+        assert!(!self.stages.is_empty(), "empty pipeline has no sink");
+        self.stages.len() - 1
+    }
+
+    /// The CPU reference outputs of every stage, computed stage by stage
+    /// over the reference outputs of its dependencies — the fault-free
+    /// golden dataflow of the whole pipeline.
+    pub fn reference_outputs(&self) -> Vec<Vec<u32>> {
+        let mut outs: Vec<Vec<u32>> = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let inputs: Vec<&[u32]> = stage.deps.iter().map(|&d| outs[d].as_slice()).collect();
+            outs.push(stage.program.reference(&inputs));
+        }
+        outs
+    }
+}
+
+/// Builds one pipeline instance at the requested scale.
+pub type PipelineFactory = fn(Scale) -> Pipeline;
+
+/// One named entry of a [`PipelineRegistry`].
+#[derive(Clone, Copy)]
+pub struct PipelineEntry {
+    name: &'static str,
+    factory: PipelineFactory,
+}
+
+impl PipelineEntry {
+    /// Registered pipeline name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Builds the pipeline at `scale`.
+    pub fn build(&self, scale: Scale) -> Pipeline {
+        (self.factory)(scale)
+    }
+}
+
+impl fmt::Debug for PipelineEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineEntry")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A name → factory map of pipelines, in registration order — the
+/// pipeline-axis sibling of [`higpu_workloads::WorkloadRegistry`].
+#[derive(Debug, Default)]
+pub struct PipelineRegistry {
+    entries: Vec<PipelineEntry>,
+}
+
+impl PipelineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `factory` under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn register(&mut self, name: &'static str, factory: PipelineFactory) {
+        assert!(
+            !self.entries.iter().any(|e| e.name == name),
+            "pipeline '{name}' registered twice"
+        );
+        self.entries.push(PipelineEntry { name, factory });
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// The entries, in registration order.
+    pub fn entries(&self) -> &[PipelineEntry] {
+        &self.entries
+    }
+
+    /// Builds the named pipeline at `scale`; `None` for unknown names.
+    pub fn build(&self, name: &str, scale: Scale) -> Option<Pipeline> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.build(scale))
+    }
+
+    /// Number of registered pipelines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_workloads::synthetic::IteratedFma;
+    use higpu_workloads::{Workload, WorkloadStage};
+
+    fn fma_stage() -> Box<dyn StageProgram> {
+        Box::new(WorkloadStage::new(Box::new(IteratedFma::campaign())))
+    }
+
+    #[test]
+    fn stages_form_a_dag_in_topological_order() {
+        let mut p = Pipeline::new("p");
+        let a = p.add_stage("a", fma_stage(), &[]);
+        let b = p.add_stage("b", fma_stage(), &[a]);
+        let c = p.add_stage("c", fma_stage(), &[a, b]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(p.sink(), 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.stages()[2].deps, vec![0, 1]);
+        let refs = p.reference_outputs();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0], IteratedFma::campaign().reference());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an earlier stage")]
+    fn forward_dependency_is_rejected() {
+        let mut p = Pipeline::new("p");
+        p.add_stage("a", fma_stage(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn duplicate_stage_name_is_rejected() {
+        let mut p = Pipeline::new("p");
+        p.add_stage("a", fma_stage(), &[]);
+        p.add_stage("a", fma_stage(), &[]);
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        let mut reg = PipelineRegistry::new();
+        reg.register("one", |_| {
+            let mut p = Pipeline::new("one");
+            p.add_stage(
+                "a",
+                Box::new(WorkloadStage::new(Box::new(IteratedFma::campaign()))),
+                &[],
+            );
+            p
+        });
+        assert_eq!(reg.names(), vec!["one"]);
+        let p = reg.build("one", Scale::Campaign).expect("known");
+        assert_eq!(p.name(), "one");
+        assert!(reg.build("nope", Scale::Campaign).is_none());
+    }
+}

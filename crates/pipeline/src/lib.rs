@@ -1,0 +1,45 @@
+//! # higpu-pipeline — the real-time multi-kernel pipeline subsystem
+//!
+//! Automotive software is not single kernels but *pipelines* of them —
+//! perception → detection → planning under a fault-tolerant time interval.
+//! This crate adds that execution layer on top of the NMR protocol:
+//!
+//! * [`graph`] — [`Pipeline`]: a DAG of named stages
+//!   ([`higpu_workloads::StageProgram`]s) with buffers flowing along the
+//!   edges, plus the [`PipelineRegistry`] naming them;
+//! * [`stages`] — consuming stage programs built from the Rodinia
+//!   detection/planning kernels and raw fusion kernels;
+//! * [`builtin`] — the registered pipelines: [`builtin::ad_pipeline`]
+//!   (SRAD perception → BFS detection → pathfinder planning) and
+//!   [`builtin::sensor_fusion`] (camera + radar → fuse → track);
+//! * [`exec`] — per-stage deadline budgets and the end-to-end FTTI
+//!   ([`higpu_core::ftti::PipelineFtti`]), redundant stage execution, a
+//!   per-stage timeline, and bounded **in-FTTI re-execution recovery**:
+//!   a detected stage is retried with fresh replicas while the remaining
+//!   slack allows — fail-operational ([`exec::StageStatus::Recovered`])
+//!   instead of fail-stop;
+//! * [`campaign`] — fault campaigns over whole frames, classifying
+//!   [`campaign::PipelineTrialOutcome::Recovered`] vs `Detected` (the
+//!   fail-operational/fail-stop frontier observable), with end-to-end
+//!   deadline-miss accounting; parallel engine bit-identical to the
+//!   serial reference.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builtin;
+pub mod campaign;
+pub mod exec;
+pub mod graph;
+pub mod stages;
+
+pub use builtin::{ad_pipeline, full_pipeline_registry, register_all, sensor_fusion};
+pub use campaign::{
+    run_pipeline_campaign, run_pipeline_campaign_serial, PipelineCampaignReport,
+    PipelineCampaignSpec, PipelineTrialOutcome,
+};
+pub use exec::{
+    plan, run_pipeline, FailReason, PipelinePlan, PipelineRun, RecoveryPolicy, StageStatus,
+    StageTiming,
+};
+pub use graph::{Pipeline, PipelineRegistry, Stage};

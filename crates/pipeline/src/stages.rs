@@ -1,0 +1,553 @@
+//! Consuming stage programs: pipeline stages that compute over the voted
+//! outputs of their upstream stages.
+//!
+//! Each stage derives its device inputs from the upstream words **on the
+//! host** (exact integer derivations, mirrored bit-for-bit in the CPU
+//! reference) and offloads the real computation — Rodinia detection and
+//! planning kernels, plus a raw fusion kernel — to the GPU. This is the
+//! DCLS dataflow shape: the lockstep host votes each stage's outputs, then
+//! marshals them into the next stage's redundant upload.
+
+use higpu_rodinia::bfs::Bfs;
+use higpu_rodinia::data;
+use higpu_rodinia::nn::Nn;
+use higpu_rodinia::pathfinder::Pathfinder;
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::isa::CmpOp;
+use higpu_sim::kernel::Dim3;
+use higpu_sim::program::Program;
+use higpu_workloads::{
+    f32s_to_words, GpuSession, SParam, SessionError, StageInputs, StageProgram, Tolerance,
+};
+use std::sync::Arc;
+
+/// Flattens upstream outputs into one word stream; an isolated source
+/// stage (no deps) yields an empty stream and derivations fall back to
+/// constants.
+fn concat(inputs: StageInputs<'_>) -> Vec<u32> {
+    inputs.iter().flat_map(|s| s.iter().copied()).collect()
+}
+
+/// `words[i % len]`, or `fallback` for an empty stream.
+fn cycle_word(words: &[u32], i: usize, fallback: u32) -> u32 {
+    if words.is_empty() {
+        fallback
+    } else {
+        words[i % words.len()]
+    }
+}
+
+/// Region-growing detection over upstream data: upstream words seed a
+/// multi-source frontier on a fixed sensor-topology CSR graph, and the
+/// Rodinia BFS kernels grow the detected regions level by level — each
+/// output word is the hop distance from the nearest seed (`u32::MAX` =
+/// unreached). Exact integer output.
+#[derive(Debug, Clone)]
+pub struct BfsDetect {
+    /// Graph nodes (detection cells).
+    pub nodes: u32,
+    /// Extra random out-edges per node beyond the spanning tree.
+    pub extra_degree: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl BfsDetect {
+    /// Seed mask derived from the upstream words: cell *i* is a seed when
+    /// bit 4 of its word is set; the word-sum cell is always seeded so a
+    /// frontier exists for any input.
+    fn seeds(&self, upstream: &[u32]) -> Vec<bool> {
+        let n = self.nodes as usize;
+        let mut active = vec![false; n];
+        for (i, a) in active.iter_mut().enumerate() {
+            *a = (cycle_word(upstream, i, 0) >> 4) & 1 == 1;
+        }
+        let sum = upstream.iter().fold(0u32, |acc, &w| acc.wrapping_add(w));
+        active[(sum as usize) % n] = true;
+        active
+    }
+
+    fn graph(&self) -> (Vec<u32>, Vec<u32>) {
+        data::csr_graph(0xde7ec7, self.nodes as usize, self.extra_degree as usize)
+    }
+
+    fn kernels(&self) -> (Arc<Program>, Arc<Program>) {
+        let bfs = Bfs {
+            nodes: self.nodes,
+            extra_degree: self.extra_degree,
+            threads_per_block: self.threads_per_block,
+            source: 0,
+        };
+        (bfs.expand_kernel(), bfs.commit_kernel())
+    }
+}
+
+impl StageProgram for BfsDetect {
+    fn name(&self) -> &'static str {
+        "bfs_detect"
+    }
+
+    fn run(
+        &self,
+        s: &mut dyn GpuSession,
+        inputs: StageInputs<'_>,
+    ) -> Result<Vec<u32>, SessionError> {
+        let n = self.nodes;
+        let upstream = concat(inputs);
+        let seeds = self.seeds(&upstream);
+        let (offsets, edges) = self.graph();
+        let off_b = s.alloc_words(n + 1)?;
+        let edg_b = s.alloc_words(edges.len().max(1) as u32)?;
+        let fro_b = s.alloc_words(n)?;
+        let vis_b = s.alloc_words(n)?;
+        let cst_b = s.alloc_words(n)?;
+        let upd_b = s.alloc_words(n)?;
+        let flg_b = s.alloc_words(1)?;
+
+        s.write_u32(off_b, &offsets)?;
+        s.write_u32(edg_b, &edges)?;
+        let frontier: Vec<u32> = seeds.iter().map(|&a| u32::from(a)).collect();
+        let cost: Vec<u32> = seeds
+            .iter()
+            .map(|&a| if a { 0 } else { u32::MAX })
+            .collect();
+        s.write_u32(fro_b, &frontier)?;
+        s.write_u32(vis_b, &frontier)?;
+        s.write_u32(cst_b, &cost)?;
+        s.write_u32(upd_b, &vec![0u32; n as usize])?;
+
+        let (expand, commit) = self.kernels();
+        let grid = Dim3::x(n.div_ceil(self.threads_per_block));
+        let block = Dim3::x(self.threads_per_block);
+        loop {
+            s.write_u32(flg_b, &[0])?;
+            s.launch(
+                &expand,
+                grid,
+                block,
+                0,
+                &[
+                    SParam::Buf(off_b),
+                    SParam::Buf(edg_b),
+                    SParam::Buf(fro_b),
+                    SParam::Buf(vis_b),
+                    SParam::Buf(cst_b),
+                    SParam::Buf(upd_b),
+                    SParam::U32(n),
+                ],
+            )?;
+            s.sync()?;
+            s.launch(
+                &commit,
+                grid,
+                block,
+                0,
+                &[
+                    SParam::Buf(fro_b),
+                    SParam::Buf(vis_b),
+                    SParam::Buf(upd_b),
+                    SParam::Buf(flg_b),
+                    SParam::U32(n),
+                ],
+            )?;
+            let flag = s.read_u32(flg_b, 1)?;
+            if flag[0] == 0 {
+                break;
+            }
+        }
+        s.read_u32(cst_b, n as usize)
+    }
+
+    fn reference(&self, inputs: StageInputs<'_>) -> Vec<u32> {
+        let upstream = concat(inputs);
+        let seeds = self.seeds(&upstream);
+        let (offsets, edges) = self.graph();
+        let n = self.nodes as usize;
+        let mut cost = vec![u32::MAX; n];
+        let mut frontier: Vec<usize> = Vec::new();
+        for (i, &a) in seeds.iter().enumerate() {
+            if a {
+                cost[i] = 0;
+                frontier.push(i);
+            }
+        }
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for e in offsets[node]..offsets[node + 1] {
+                    let t = edges[e as usize] as usize;
+                    if cost[t] == u32::MAX {
+                        cost[t] = level;
+                        next.push(t);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        cost
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::Exact
+    }
+}
+
+/// Planning over detection output: the hop-distance map is quantized into
+/// a cost grid (`(word & 0xF) + 1`, so unreached cells are merely
+/// expensive, never overflowing) and the Rodinia pathfinder DP extends the
+/// cheapest path row by row — one dependent launch per row, the paper's
+/// many-short-kernels shape. Exact integer output (the final DP row).
+#[derive(Debug, Clone)]
+pub struct PathfinderPlan {
+    /// Grid columns.
+    pub cols: u32,
+    /// Grid rows.
+    pub rows: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl PathfinderPlan {
+    fn wall(&self, upstream: &[u32]) -> Vec<u32> {
+        (0..(self.cols * self.rows) as usize)
+            .map(|i| (cycle_word(upstream, i, 0) & 0xF) + 1)
+            .collect()
+    }
+
+    fn kernel(&self) -> Arc<Program> {
+        Pathfinder {
+            cols: self.cols,
+            rows: self.rows,
+            threads_per_block: self.threads_per_block,
+        }
+        .kernel()
+    }
+}
+
+impl StageProgram for PathfinderPlan {
+    fn name(&self) -> &'static str {
+        "pathfinder_plan"
+    }
+
+    fn run(
+        &self,
+        s: &mut dyn GpuSession,
+        inputs: StageInputs<'_>,
+    ) -> Result<Vec<u32>, SessionError> {
+        let upstream = concat(inputs);
+        let wall = self.wall(&upstream);
+        let w_b = s.alloc_words(self.cols * self.rows)?;
+        let a_b = s.alloc_words(self.cols)?;
+        let b_b = s.alloc_words(self.cols)?;
+        s.write_u32(w_b, &wall)?;
+        s.write_u32(a_b, &wall[..self.cols as usize])?;
+        let kernel = self.kernel();
+        let grid = Dim3::x(self.cols.div_ceil(self.threads_per_block));
+        let block = Dim3::x(self.threads_per_block);
+        let mut src = a_b;
+        let mut dst = b_b;
+        for row in 1..self.rows {
+            s.launch(
+                &kernel,
+                grid,
+                block,
+                0,
+                &[
+                    SParam::Buf(w_b),
+                    SParam::Buf(src),
+                    SParam::Buf(dst),
+                    SParam::U32(self.cols),
+                    SParam::U32(row),
+                ],
+            )?;
+            s.sync()?;
+            std::mem::swap(&mut src, &mut dst);
+        }
+        s.read_u32(src, self.cols as usize)
+    }
+
+    fn reference(&self, inputs: StageInputs<'_>) -> Vec<u32> {
+        let upstream = concat(inputs);
+        let wall = self.wall(&upstream);
+        let c = self.cols as usize;
+        let mut cur: Vec<u32> = wall[..c].to_vec();
+        let mut next = vec![0u32; c];
+        for row in 1..self.rows as usize {
+            for j in 0..c {
+                let l = cur[j.saturating_sub(1)];
+                let m = cur[j];
+                let r = cur[(j + 1).min(c - 1)];
+                next[j] = wall[row * c + j] + l.min(m).min(r);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::Exact
+    }
+}
+
+/// Two-source sensor fusion: both upstream streams are cycled to `n`
+/// words and fused on the GPU as `out[i] = a[i]·3 + b[i]` (wrapping) — a
+/// raw-kernel stage exercising the DAG join. Exact integer output.
+#[derive(Debug, Clone)]
+pub struct FuseAdd {
+    /// Fused elements.
+    pub n: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl FuseAdd {
+    fn operands(&self, inputs: StageInputs<'_>) -> (Vec<u32>, Vec<u32>) {
+        let a = inputs.first().copied().unwrap_or(&[]);
+        let b = inputs.get(1).copied().unwrap_or(&[]);
+        let n = self.n as usize;
+        (
+            (0..n).map(|i| cycle_word(a, i, 1)).collect(),
+            (0..n).map(|i| cycle_word(b, i, 2)).collect(),
+        )
+    }
+
+    /// The fusion kernel: `out[i] = a[i]·3 + b[i]`.
+    pub fn kernel(&self) -> Arc<Program> {
+        let mut b = KernelBuilder::new("fuse_add");
+        let pa = b.param(0);
+        let pb = b.param(1);
+        let out = b.param(2);
+        let n = b.param(3);
+        let i = b.global_tid_x();
+        let in_range = b.isetp(CmpOp::Lt, i, n);
+        b.if_(in_range, |b| {
+            let aa = b.addr_w(pa, i);
+            let ba = b.addr_w(pb, i);
+            let av = b.ldg(aa, 0);
+            let bv = b.ldg(ba, 0);
+            let fused = b.imad(av, 3u32, bv);
+            let oa = b.addr_w(out, i);
+            b.stg(oa, 0, fused);
+        });
+        b.build().expect("well-formed").into_shared()
+    }
+}
+
+impl StageProgram for FuseAdd {
+    fn name(&self) -> &'static str {
+        "fuse_add"
+    }
+
+    fn run(
+        &self,
+        s: &mut dyn GpuSession,
+        inputs: StageInputs<'_>,
+    ) -> Result<Vec<u32>, SessionError> {
+        let (a, b) = self.operands(inputs);
+        let a_b = s.alloc_words(self.n)?;
+        let b_b = s.alloc_words(self.n)?;
+        let o_b = s.alloc_words(self.n)?;
+        s.write_u32(a_b, &a)?;
+        s.write_u32(b_b, &b)?;
+        s.launch(
+            &self.kernel(),
+            Dim3::x(self.n.div_ceil(self.threads_per_block)),
+            Dim3::x(self.threads_per_block),
+            0,
+            &[
+                SParam::Buf(a_b),
+                SParam::Buf(b_b),
+                SParam::Buf(o_b),
+                SParam::U32(self.n),
+            ],
+        )?;
+        s.read_u32(o_b, self.n as usize)
+    }
+
+    fn reference(&self, inputs: StageInputs<'_>) -> Vec<u32> {
+        let (a, b) = self.operands(inputs);
+        a.iter()
+            .zip(&b)
+            .map(|(&x, &y)| x.wrapping_mul(3).wrapping_add(y))
+            .collect()
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::Exact
+    }
+}
+
+/// Object tracking over fused data: each fused word is unpacked into an
+/// exact integer-derived coordinate pair, and the Rodinia `nn` distance
+/// kernel scores every track hypothesis against the fixed ego position.
+/// Float output under the standard approximate tolerance (the reference
+/// recomputes from the same coordinates).
+#[derive(Debug, Clone)]
+pub struct NnTrack {
+    /// Track hypotheses (records).
+    pub records: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Ego latitude.
+    pub target_lat: f32,
+    /// Ego longitude.
+    pub target_lng: f32,
+}
+
+impl NnTrack {
+    fn coords(&self, upstream: &[u32]) -> (Vec<f32>, Vec<f32>) {
+        let n = self.records as usize;
+        let mut lat = Vec::with_capacity(n);
+        let mut lng = Vec::with_capacity(n);
+        for i in 0..n {
+            let w = cycle_word(upstream, i, 7);
+            // Small integers convert to f32 exactly on host and device.
+            lat.push(((w >> 8) & 0x3F) as f32);
+            lng.push((w & 0xFF) as f32);
+        }
+        (lat, lng)
+    }
+
+    fn kernel(&self) -> Arc<Program> {
+        Nn {
+            records: self.records,
+            threads_per_block: self.threads_per_block,
+            target_lat: self.target_lat,
+            target_lng: self.target_lng,
+        }
+        .kernel()
+    }
+}
+
+impl StageProgram for NnTrack {
+    fn name(&self) -> &'static str {
+        "nn_track"
+    }
+
+    fn run(
+        &self,
+        s: &mut dyn GpuSession,
+        inputs: StageInputs<'_>,
+    ) -> Result<Vec<u32>, SessionError> {
+        let upstream = concat(inputs);
+        let (lat, lng) = self.coords(&upstream);
+        let lat_b = s.alloc_words(self.records)?;
+        let lng_b = s.alloc_words(self.records)?;
+        let out_b = s.alloc_words(self.records)?;
+        s.write_f32(lat_b, &lat)?;
+        s.write_f32(lng_b, &lng)?;
+        s.launch(
+            &self.kernel(),
+            Dim3::x(self.records.div_ceil(self.threads_per_block)),
+            Dim3::x(self.threads_per_block),
+            0,
+            &[
+                SParam::Buf(lat_b),
+                SParam::Buf(lng_b),
+                SParam::Buf(out_b),
+                SParam::U32(self.records),
+                SParam::F32(self.target_lat),
+                SParam::F32(self.target_lng),
+            ],
+        )?;
+        s.read_u32(out_b, self.records as usize)
+    }
+
+    fn reference(&self, inputs: StageInputs<'_>) -> Vec<u32> {
+        let upstream = concat(inputs);
+        let (lat, lng) = self.coords(&upstream);
+        let out: Vec<f32> = lat
+            .iter()
+            .zip(&lng)
+            .map(|(&la, &lo)| {
+                let dlat = la - self.target_lat;
+                let dlng = lo - self.target_lng;
+                dlng.mul_add(dlng, dlat * dlat).sqrt()
+            })
+            .collect();
+        f32s_to_words(&out)
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::approx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_sim::config::GpuConfig;
+    use higpu_sim::gpu::Gpu;
+    use higpu_workloads::SoloSession;
+
+    fn solo<S: StageProgram>(stage: &S, inputs: StageInputs<'_>) -> Vec<u32> {
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut s = SoloSession::new(&mut gpu);
+        stage.run(&mut s, inputs).expect("stage runs")
+    }
+
+    #[test]
+    fn bfs_detect_matches_reference_and_tracks_inputs() {
+        let d = BfsDetect {
+            nodes: 128,
+            extra_degree: 2,
+            threads_per_block: 64,
+        };
+        let in_a: Vec<u32> = (0..64u32).map(|i| i * 37).collect();
+        let out = solo(&d, &[&in_a]);
+        assert_eq!(out, d.reference(&[&in_a]));
+        // Different upstream data seeds different regions.
+        let in_b: Vec<u32> = (0..64u32).map(|i| i * 91 + 5).collect();
+        let out_b = solo(&d, &[&in_b]);
+        assert_eq!(out_b, d.reference(&[&in_b]));
+        assert_ne!(out, out_b, "detection must depend on upstream data");
+        // Empty upstream still has a seeded frontier.
+        let out_e = solo(&d, &[]);
+        assert_eq!(out_e, d.reference(&[]));
+        assert!(out_e.contains(&0), "fallback seed exists");
+    }
+
+    #[test]
+    fn pathfinder_plan_matches_reference_and_tracks_inputs() {
+        let p = PathfinderPlan {
+            cols: 128,
+            rows: 6,
+            threads_per_block: 64,
+        };
+        let in_a: Vec<u32> = (0..100u32).map(|i| i * 13 + 3).collect();
+        let out = solo(&p, &[&in_a]);
+        assert_eq!(out, p.reference(&[&in_a]));
+        let in_b: Vec<u32> = vec![0xFFFF_FFFF; 100];
+        assert_ne!(solo(&p, &[&in_b]), out, "plan depends on detection data");
+    }
+
+    #[test]
+    fn fuse_add_joins_two_streams() {
+        let f = FuseAdd {
+            n: 96,
+            threads_per_block: 32,
+        };
+        let a: Vec<u32> = (0..50u32).collect();
+        let b: Vec<u32> = (0..70u32).map(|i| 1000 - i).collect();
+        let out = solo(&f, &[&a, &b]);
+        assert_eq!(out, f.reference(&[&a, &b]));
+        assert_eq!(out[1], 3 + 999, "a[1]·3 + b[1]");
+        assert_eq!(out.len(), 96);
+    }
+
+    #[test]
+    fn nn_track_scores_within_tolerance() {
+        let t = NnTrack {
+            records: 128,
+            threads_per_block: 64,
+            target_lat: 30.0,
+            target_lng: 90.0,
+        };
+        let fused: Vec<u32> = (0..128u32).map(|i| i * 0x0101).collect();
+        let out = solo(&t, &[&fused]);
+        higpu_workloads::verify_words(&out, &t.reference(&[&fused]), t.tolerance())
+            .expect("within tolerance");
+    }
+}

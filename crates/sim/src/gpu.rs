@@ -435,6 +435,27 @@ impl Gpu {
         self.reset().expect("all in-flight work was discarded");
     }
 
+    /// Discards all in-flight and pending work — resident blocks are killed,
+    /// undispatched blocks dropped — while **preserving** the clock, device
+    /// memory, allocations, the installed policy and the execution trace.
+    ///
+    /// This is the host's mid-computation abort: when the deadline monitor
+    /// fires on a stage of a real-time pipeline, the host cancels the hung
+    /// offload and re-dispatches it on the same device within the remaining
+    /// FTTI slack — time spent on the aborted attempt stays on the clock,
+    /// exactly as it would on real hardware. Aborted kernels keep their
+    /// trace records with `completion == None` (the observable of a killed
+    /// launch). The watchdog limit is cleared so the caller can arm a fresh
+    /// budget for the retry.
+    pub fn cancel_in_flight(&mut self) {
+        for sm in &mut self.sms {
+            sm.discard_blocks();
+        }
+        self.kernels.clear();
+        self.cycle_limit = None;
+        self.sched_dirty = false;
+    }
+
     /// Writes raw bytes to device memory.
     ///
     /// # Panics
@@ -532,8 +553,12 @@ impl Gpu {
         }
         let id = KernelId(self.next_kernel_id);
         self.next_kernel_id += 1;
-        let arrival = self.cycle.max(self.next_dispatch_slot) + self.cfg.dispatch_gap_cycles;
-        self.next_dispatch_slot = arrival;
+        // The serial dispatch slot models the CPU driver's launch rate; a
+        // per-launch dispatch delay (droop-aware start skew) holds *this*
+        // kernel back further without slowing subsequent launches.
+        let slot = self.cycle.max(self.next_dispatch_slot) + self.cfg.dispatch_gap_cycles;
+        self.next_dispatch_slot = slot;
+        let arrival = slot + launch.attrs.dispatch_delay;
         let record = self.trace.kernels.len();
         self.trace.kernels.push(KernelRecord {
             id,
@@ -891,6 +916,94 @@ mod tests {
         assert_eq!(kb.arrival - ka.arrival, gap, "serial dispatch gap");
         assert_eq!(gpu.read_u32(buf_a, 64), vec![1u32; 64], "kernel a ran");
         assert_eq!(gpu.read_u32(buf_b, 64), vec![1u32; 64], "kernel b ran");
+    }
+
+    #[test]
+    fn dispatch_delay_defers_arrival_without_slowing_later_launches() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf_a = gpu.alloc_words(64).expect("alloc");
+        let buf_b = gpu.alloc_words(64).expect("alloc");
+        let a = gpu
+            .launch(
+                KernelLaunch::new(
+                    inc_kernel(),
+                    LaunchConfig::new(2u32, 32u32).param_u32(buf_a.0),
+                )
+                .dispatch_delay(700),
+            )
+            .expect("launch");
+        let b = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(2u32, 32u32).param_u32(buf_b.0),
+            ))
+            .expect("launch");
+        gpu.run_to_idle().expect("run");
+        let gap = gpu.config().dispatch_gap_cycles;
+        let ka = gpu.trace().kernel(a).expect("a");
+        let kb = gpu.trace().kernel(b).expect("b");
+        assert_eq!(ka.arrival, gap + 700, "delay adds to the dispatch slot");
+        assert_eq!(
+            kb.arrival,
+            2 * gap,
+            "a held-back launch does not delay its successors"
+        );
+        assert!(ka.first_dispatch.expect("dispatched") >= ka.arrival);
+        assert_eq!(gpu.read_u32(buf_a, 64), vec![1u32; 64], "delayed ran");
+        assert_eq!(gpu.read_u32(buf_b, 64), vec![1u32; 64]);
+    }
+
+    #[test]
+    fn cancel_in_flight_preserves_clock_memory_and_trace() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf = gpu.alloc_words(64).expect("alloc");
+        gpu.write_u32(buf, &vec![5u32; 64]);
+        // First kernel runs to completion; the clock advances.
+        gpu.launch(KernelLaunch::new(
+            inc_kernel(),
+            LaunchConfig::new(2u32, 32u32).param_u32(buf.0),
+        ))
+        .expect("launch");
+        gpu.run_to_idle().expect("run");
+        let mid_cycle = gpu.cycle();
+        assert!(mid_cycle > 0);
+
+        // Second kernel is cut off by a watchdog, then aborted by the host.
+        let buf2 = gpu.alloc_words(64).expect("alloc");
+        gpu.set_cycle_limit(Some(mid_cycle + 1));
+        let id = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(2u32, 32u32).param_u32(buf2.0),
+            ))
+            .expect("launch");
+        assert!(matches!(
+            gpu.run_to_idle(),
+            Err(SimError::DeadlineExceeded { .. })
+        ));
+        gpu.cancel_in_flight();
+        assert!(gpu.is_idle(), "all in-flight work discarded");
+        assert!(gpu.cycle() >= mid_cycle, "the clock is never rewound");
+        assert_eq!(
+            gpu.read_u32(buf, 64),
+            vec![6u32; 64],
+            "completed results survive the abort"
+        );
+        let rec = gpu.trace().kernel(id).expect("aborted kernel traced");
+        assert_eq!(rec.completion, None, "a killed launch never completes");
+
+        // The device accepts and completes fresh work afterwards (the
+        // re-dispatch path), with the clock continuing monotonically.
+        let buf3 = gpu.alloc_words(64).expect("alloc");
+        gpu.write_u32(buf3, &vec![7u32; 64]);
+        gpu.launch(KernelLaunch::new(
+            inc_kernel(),
+            LaunchConfig::new(2u32, 32u32).param_u32(buf3.0),
+        ))
+        .expect("launch");
+        gpu.run_to_idle().expect("retry runs");
+        assert_eq!(gpu.read_u32(buf3, 64), vec![8u32; 64]);
+        assert!(gpu.cycle() > mid_cycle);
     }
 
     #[test]

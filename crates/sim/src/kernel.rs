@@ -90,6 +90,13 @@ pub struct LaunchAttrs {
     /// SRRS hint: kernels sharing a serialization group are executed one at
     /// a time, on an otherwise idle GPU.
     pub serialize_group: Option<u32>,
+    /// Extra cycles added to this launch's arrival before it becomes
+    /// visible to the scheduler (on top of the serial CPU dispatch gap).
+    /// Diversity-enforcing hosts use this to stagger concurrent replicas by
+    /// more than the worst-case common-cause-fault duration (droop-aware
+    /// start skew), so a droop can never strike the same computation point
+    /// in two replicas at once.
+    pub dispatch_delay: u64,
 }
 
 /// One of N equal SM slices used by the SLICE policy (the N-replica
@@ -276,6 +283,14 @@ impl KernelLaunch {
         self.attrs.serialize_group = Some(g);
         self
     }
+
+    /// Delays this launch's scheduler arrival by `cycles` beyond the serial
+    /// dispatch gap (droop-aware start skew; see
+    /// [`LaunchAttrs::dispatch_delay`]).
+    pub fn dispatch_delay(mut self, cycles: u64) -> Self {
+        self.attrs.dispatch_delay = cycles;
+        self
+    }
 }
 
 /// Per-block resource footprint, used for occupancy accounting.
@@ -407,8 +422,10 @@ mod tests {
             .start_sm(3)
             .partition(SmPartition::Upper)
             .slice(1, 3)
-            .serialize_group(9);
+            .serialize_group(9)
+            .dispatch_delay(501);
         assert_eq!(l.attrs.tag, "k0");
+        assert_eq!(l.attrs.dispatch_delay, 501);
         assert_eq!(
             l.attrs.redundant,
             Some(RedundantTag {

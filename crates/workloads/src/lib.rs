@@ -21,7 +21,11 @@
 //! * [`runner`] — convenience drivers (`run_solo`, `run_redundant`) shared
 //!   by the fault-campaign engine, the COTS model and the benches;
 //! * [`synthetic`] — built-in synthetic workloads (the iterated-FMA stress
-//!   kernel used by campaign throughput benchmarks).
+//!   kernel used by campaign throughput benchmarks);
+//! * [`stage`] — the [`StageProgram`] generalization of [`Workload`] for
+//!   multi-kernel pipelines: a stage computes over the outputs of its
+//!   predecessor stages and is verified against a CPU reference over the
+//!   same inputs (the pipeline graph itself lives in `higpu_pipeline`).
 //!
 //! Any registered workload can run in any mode (solo / redundant) under any
 //! scheduler policy inside a fault campaign — see
@@ -33,11 +37,13 @@
 pub mod registry;
 pub mod runner;
 pub mod session;
+pub mod stage;
 pub mod synthetic;
 pub mod workload;
 
 pub use registry::{Scale, WorkloadFactory, WorkloadRegistry};
 pub use session::{BufId, GpuSession, RedundantSession, SParam, SessionError, SoloSession};
+pub use stage::{StageInputs, StageProgram, WorkloadStage};
 pub use workload::{
     f32s_to_words, verify_words, Tolerance, VerifyError, Workload, DEFAULT_FTTI_MULTIPLIER,
 };

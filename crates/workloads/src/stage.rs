@@ -1,0 +1,149 @@
+//! Pipeline stage programs: the unit of execution of a multi-kernel
+//! real-time pipeline.
+//!
+//! A [`StageProgram`] is a [`crate::Workload`] generalized along one axis:
+//! its computation is a function of **upstream data** — the outputs of its
+//! predecessor stages in a pipeline DAG — instead of self-generated inputs.
+//! The CPU reference is correspondingly a pure function of the *same*
+//! inputs, so every stage can be verified against a host recomputation of
+//! whatever data actually flowed into it (the per-component golden-model
+//! check of a real automotive pipeline). Buffers flow between stages
+//! through the host, exactly as the DCLS protocol prescribes: each
+//! redundant offload round-trips its outputs through the lockstep CPU for
+//! comparison/voting before the next stage may consume them.
+//!
+//! [`WorkloadStage`] adapts any registered [`crate::Workload`] into a
+//! *source* stage (no upstream inputs); consuming stages live in the
+//! `higpu_pipeline` crate next to the pipeline graph.
+
+use crate::session::{GpuSession, SessionError};
+use crate::workload::{verify_words, Tolerance, VerifyError, Workload, DEFAULT_FTTI_MULTIPLIER};
+use std::fmt;
+
+/// The outputs of a stage's predecessor stages, in dependency order.
+pub type StageInputs<'a> = &'a [&'a [u32]];
+
+/// One stage of a multi-kernel pipeline: a GPU host program over upstream
+/// words, with a CPU reference over the same words.
+///
+/// `Sync` for the same reason [`Workload`] is: campaign workers share one
+/// pipeline description across threads, each driving a private GPU.
+pub trait StageProgram: fmt::Debug + Sync {
+    /// Stage program name (stages of one pipeline get unique instance
+    /// names at the graph level).
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage's host program in `session`, consuming `inputs` (the
+    /// voted outputs of the upstream stages) and returning the stage's
+    /// output words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SessionError`] from the backend.
+    fn run(
+        &self,
+        session: &mut dyn GpuSession,
+        inputs: StageInputs<'_>,
+    ) -> Result<Vec<u32>, SessionError>;
+
+    /// CPU reference output for the given inputs — a pure function of
+    /// `inputs`, so a stage can be verified against whatever data actually
+    /// reached it (including legitimately-perturbed upstream values).
+    fn reference(&self, inputs: StageInputs<'_>) -> Vec<u32>;
+
+    /// GPU-vs-reference comparison tolerance.
+    fn tolerance(&self) -> Tolerance;
+
+    /// Verifies a stage output against the CPU reference on `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch on failure.
+    fn verify(&self, out: &[u32], inputs: StageInputs<'_>) -> Result<(), VerifyError> {
+        verify_words(out, &self.reference(inputs), self.tolerance())
+    }
+
+    /// The stage's FTTI budget multiplier (see
+    /// [`Workload::ftti_multiplier`]): the stage's watchdog deadline is
+    /// this multiple of its fault-free makespan, and the pipeline's
+    /// end-to-end FTTI is the sum of the stage budgets.
+    fn ftti_multiplier(&self) -> u64 {
+        DEFAULT_FTTI_MULTIPLIER
+    }
+}
+
+/// Adapts any [`Workload`] into a *source* stage: upstream inputs are
+/// ignored (the workload generates its own deterministic data, e.g. the
+/// sensor-frame proxies at a pipeline's roots), and the reference is the
+/// workload's own.
+pub struct WorkloadStage {
+    inner: Box<dyn Workload>,
+}
+
+impl WorkloadStage {
+    /// Wraps a workload.
+    pub fn new(inner: Box<dyn Workload>) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped workload.
+    pub fn inner(&self) -> &dyn Workload {
+        &*self.inner
+    }
+}
+
+impl fmt::Debug for WorkloadStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadStage")
+            .field("workload", &self.inner.name())
+            .finish()
+    }
+}
+
+impl StageProgram for WorkloadStage {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn run(
+        &self,
+        session: &mut dyn GpuSession,
+        _inputs: StageInputs<'_>,
+    ) -> Result<Vec<u32>, SessionError> {
+        self.inner.run(session)
+    }
+
+    fn reference(&self, _inputs: StageInputs<'_>) -> Vec<u32> {
+        self.inner.reference()
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        self.inner.tolerance()
+    }
+
+    fn ftti_multiplier(&self) -> u64 {
+        self.inner.ftti_multiplier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SoloSession;
+    use crate::synthetic::IteratedFma;
+    use higpu_sim::config::GpuConfig;
+    use higpu_sim::gpu::Gpu;
+
+    #[test]
+    fn workload_stage_runs_like_its_workload_and_ignores_inputs() {
+        let stage = WorkloadStage::new(Box::new(IteratedFma::campaign()));
+        assert_eq!(stage.name(), "iterated_fma");
+        assert_eq!(stage.ftti_multiplier(), DEFAULT_FTTI_MULTIPLIER);
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        let mut s = SoloSession::new(&mut gpu);
+        let junk: &[u32] = &[0xDEAD, 0xBEEF];
+        let out = stage.run(&mut s, &[junk]).expect("runs");
+        stage.verify(&out, &[junk]).expect("matches reference");
+        assert_eq!(out, IteratedFma::campaign().reference());
+    }
+}

@@ -1,77 +1,109 @@
-//! An autonomous-driving-style periodic pipeline: every frame, an object
-//! detection proxy (the leukocyte GICOV kernel stands in for the
-//! convolutional detection stage) is offloaded redundantly; the DCLS host
-//! compares outputs, and on an injected fault re-executes within the FTTI
-//! budget — the fail-operational pattern of paper Sec. IV-A.
+//! The autonomous-driving pipeline, frame by frame: SRAD perception → BFS
+//! detection → pathfinder planning, executed redundantly under SRRS with
+//! per-stage deadline budgets and an end-to-end FTTI derived from them.
+//!
+//! A transient fault is injected into frame 2; the DCLS vote detects the
+//! corrupted stage, the executor re-executes it with fresh replicas inside
+//! the remaining FTTI slack, and the frame completes *fail-operational*
+//! (`Recovered`) — the recovery pattern of paper Sec. IV-A lifted from one
+//! kernel to a whole task graph.
 //!
 //! Run with: `cargo run --release --example ad_pipeline`
 
-use higpu::core::prelude::*;
-use higpu::faults::prelude::*;
-use higpu::rodinia::harness::RedundantSession;
-use higpu::rodinia::leukocyte::Leukocyte;
-use higpu::rodinia::Benchmark;
-use higpu::sim::prelude::*;
+use higpu::core::redundancy::RedundancyMode;
+use higpu::faults::injector::{FaultInjector, InjectionCounters};
+use higpu::faults::model::FaultModel;
+use higpu::pipeline::{ad_pipeline, plan, run_pipeline, RecoveryPolicy, StageStatus};
+use higpu::sim::config::GpuConfig;
+use higpu::sim::gpu::Gpu;
+use higpu::workloads::Scale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let frames = 5u64;
-    let detector = Leukocyte { size: 48 };
-    // 10 ms FTTI at 1.4 GHz.
-    let ftti = FttiBudget::from_ms(10.0, 1.4);
+    let pipeline = ad_pipeline(Scale::Campaign);
+    let mode = RedundancyMode::srrs_default(6);
+    let mut gpu_cfg = GpuConfig::paper_6sm();
+    gpu_cfg.global_mem_bytes = 2 * 1024 * 1024;
 
-    println!("frame  cycles    status      ftti_ok");
-    for frame in 0..frames {
-        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
-        // Inject a transient fault into frame 2 to exercise recovery.
+    // Calibrate the deadline plan once (fault-free frame): per-stage
+    // budgets from each stage's declared FTTI multiplier, end-to-end FTTI
+    // as their sum.
+    let frame_plan = plan(&gpu_cfg, &pipeline, &mode)?;
+    println!(
+        "plan: stages {:?} cycles, budgets {:?}, end-to-end FTTI {} cycles\n",
+        frame_plan.stage_makespans,
+        frame_plan.ftti.stage_budgets,
+        frame_plan.ftti.end_to_end()
+    );
+
+    println!("frame  cycles    retries  status      per-stage");
+    for frame in 0..5u64 {
+        let mut gpu = Gpu::new(gpu_cfg.clone());
         if frame == 2 {
+            // A 400-cycle voltage droop in the middle of the detect
+            // stage's window: under SRRS the replicas are serialized, so
+            // the droop corrupts exactly one copy — detected by the vote,
+            // then repaired by in-FTTI re-execution.
             let counters = InjectionCounters::shared();
             gpu.set_fault_hook(Box::new(FaultInjector::new(
-                FaultModel::PermanentSm {
-                    sm: 1,
-                    from_cycle: 0,
+                FaultModel::VoltageDroop {
+                    start: frame_plan.stage_makespans[0] + 8_000,
+                    duration: 400,
                     bit: 12,
                 },
                 counters,
             )));
         }
 
-        let (status, cycles) = {
-            let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6))?;
-            let mut session = RedundantSession::new(&mut exec);
-            match detector.run(&mut session) {
-                Ok(_) => ("ok", gpu.cycle()),
-                Err(higpu::rodinia::SessionError::ReplicaMismatch { .. }) => {
-                    ("detected", gpu.cycle())
-                }
-                Err(e) => return Err(e.into()),
-            }
-        };
-
-        // Recovery: re-execute the frame fault-free (the transient passed).
-        let total_cycles = if status == "detected" {
-            let mut gpu2 = Gpu::new(GpuConfig::paper_6sm());
-            let mut exec = RedundantExecutor::new(&mut gpu2, RedundancyMode::srrs_default(6))?;
-            let mut session = RedundantSession::new(&mut exec);
-            detector.run(&mut session)?;
-            cycles + gpu2.cycle()
+        let run = run_pipeline(
+            &mut gpu,
+            &pipeline,
+            &mode,
+            &frame_plan,
+            RecoveryPolicy::default(),
+        )?;
+        let stages: Vec<String> = run
+            .timings
+            .iter()
+            .map(|t| {
+                format!(
+                    "{}={}",
+                    t.name,
+                    match t.status {
+                        StageStatus::Clean => "ok",
+                        StageStatus::Corrected => "corrected",
+                        StageStatus::Recovered => "RECOVERED",
+                        StageStatus::FailStop(_) => "FAIL-STOP",
+                    }
+                )
+            })
+            .collect();
+        let status = if run.recovered_stages() > 0 {
+            "recovered"
+        } else if run.completed() {
+            "ok"
         } else {
-            cycles
-        };
-
-        let analysis = RecoveryAnalysis {
-            round_cycles: total_cycles,
-            compare_cycles: 10_000,
-            recovery_rounds: u32::from(status == "detected"),
+            "fail-stop"
         };
         println!(
-            "{frame:<5}  {total_cycles:<8}  {status:<10}  {}",
-            analysis.fits(ftti)
+            "{frame:<5}  {:<8}  {:<7}  {status:<10}  {}",
+            run.end_cycle,
+            run.retries_attempted,
+            stages.join("  ")
         );
-        assert!(analysis.fits(ftti), "frame must complete within the FTTI");
+        assert!(
+            run.completed(),
+            "every frame must stay fail-operational within the FTTI"
+        );
+        assert!(!run.deadline_miss);
+        // The delivered plan matches the golden dataflow even on the
+        // faulty frame — that is what Recovered means.
+        let sink = pipeline.sink();
+        assert_eq!(
+            run.outputs[sink],
+            pipeline.reference_outputs()[sink],
+            "frame {frame}: delivered plan must be correct"
+        );
     }
-    println!(
-        "\nall frames fail-operational within the {} ms FTTI",
-        ftti.to_ms(1.4)
-    );
+    println!("\nall frames fail-operational within the end-to-end FTTI");
     Ok(())
 }

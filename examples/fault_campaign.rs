@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("policy        fault          detected  masked  UNDETECTED");
     let mut srrs_evidence = None;
     for mode in [
-        RedundancyMode::Uncontrolled,
+        RedundancyMode::uncontrolled(),
         RedundancyMode::srrs_default(6),
     ] {
         for fault in [FaultSpec::Permanent, FaultSpec::Droop { duration: 400 }] {

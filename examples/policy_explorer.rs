@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rows = fig3::classify_benchmark(&cfg, bench.as_ref())?;
         let policy = fig3::recommended_policy(&rows);
         let (default_cycles, _) =
-            fig4::measure(&cfg, bench.as_ref(), RedundancyMode::Uncontrolled)?;
+            fig4::measure(&cfg, bench.as_ref(), RedundancyMode::uncontrolled())?;
         let (half_cycles, _) = fig4::measure(&cfg, bench.as_ref(), RedundancyMode::Half)?;
         let (srrs_cycles, _) = fig4::measure(
             &cfg,

@@ -17,6 +17,11 @@
 //! * [`faults`] — fault models and injection campaigns quantifying
 //!   detection coverage;
 //! * [`rodinia`] — the Rodinia-style benchmarks of the paper's evaluation;
+//! * [`workloads`] — the unified workload/session layer every benchmark,
+//!   campaign and bench runs through;
+//! * [`pipeline`] — the real-time multi-kernel pipeline subsystem: stage
+//!   DAGs with per-stage deadline budgets, an end-to-end FTTI, and
+//!   in-FTTI re-execution recovery (fail-operational vs fail-stop);
 //! * [`cots`] — the end-to-end COTS platform model (Fig. 5).
 //!
 //! # Quickstart
@@ -57,5 +62,7 @@
 pub use higpu_core as core;
 pub use higpu_cots as cots;
 pub use higpu_faults as faults;
+pub use higpu_pipeline as pipeline;
 pub use higpu_rodinia as rodinia;
 pub use higpu_sim as sim;
+pub use higpu_workloads as workloads;

@@ -158,7 +158,7 @@ fn single_replica_fault_is_corrected_under_tmr_but_detected_under_dcls() {
     // The same holds for the concurrent SLICE policy: the faulty SM lies in
     // exactly one of the three slices.
     let slice = CampaignRunner::new(&cfg)
-        .run_trial(&RedundancyMode::Slice { replicas: 3 }, &wl, fault)
+        .run_trial(&RedundancyMode::slice(3), &wl, fault)
         .expect("slice trial");
     assert_eq!(slice, TrialOutcome::Corrected);
 }
@@ -211,6 +211,88 @@ fn long_droops_can_defeat_concurrent_slice_tmr_but_not_serialized_srrs() {
         srrs.corrected > 0,
         "and a minority-replica droop is outvoted, not just detected: {srrs:?}"
     );
+}
+
+/// The droop-aware start skew closes the `nw × droop` window: the same
+/// campaign draws that defeat plain concurrent SLICE@3 (the pinned
+/// vulnerability above) are fully covered under SLICE+SKEW, because
+/// replica *r* is dispatched `r × (WORST_CASE_CCF_CYCLES + 1)` cycles
+/// late — a droop can still corrupt several replicas, but never the *same
+/// computation point* in two of them, so the corrupted values differ and
+/// can never form a clean wrong majority.
+#[test]
+fn droop_aware_start_skew_defeats_the_slice_droop_vulnerability() {
+    use higpu_faults::campaign::{run_campaign_selected, CampaignSpec};
+
+    let reg = full_registry();
+    let cfg = CampaignConfig {
+        trials: 4,
+        seed: 0x0DD5EED,
+        ..CampaignConfig::default()
+    };
+    let droop = FaultSpec::Droop { duration: 400 };
+
+    let skewed = run_campaign_selected(
+        &cfg,
+        &reg,
+        &CampaignSpec::new("nw", PolicyKind::SliceSkewed, droop).with_replicas(3),
+    )
+    .expect("skewed slice campaign");
+    assert_eq!(
+        skewed.undetected, 0,
+        "a skew larger than the droop leaves nothing silent: {skewed:?}"
+    );
+    assert_eq!(skewed.policy, "SLICE+SKEW");
+    // The unskewed path stays vulnerable (the pinned regression above) —
+    // this is the measured delta of the mitigation on the identical draws.
+    let plain = run_campaign_selected(
+        &cfg,
+        &reg,
+        &CampaignSpec::new("nw", PolicyKind::Slice, droop).with_replicas(3),
+    )
+    .expect("plain slice campaign");
+    assert!(
+        plain.undetected > 0,
+        "unskewed fence still holds: {plain:?}"
+    );
+}
+
+/// The N-replica uncontrolled baseline: the frontier's GPGPU-SIM column now
+/// exists at N = 3. COTS placement makes no diversity guarantee — replicas
+/// of the same block frequently share an SM, so a permanent single-SM
+/// fault corrupts a majority (often all) of the copies identically and the
+/// vote accepts the wrong value. Occupancy dynamics *occasionally* scatter
+/// a block by luck (a stray correction), but undetected failures persist
+/// at every replica count: more replicas without diversity buy no
+/// guarantee — that is the point of the baseline column.
+#[test]
+fn uncontrolled_baseline_stays_defeated_at_three_replicas() {
+    use higpu_faults::campaign::{run_campaign_selected, CampaignSpec};
+
+    let reg = full_registry();
+    let cfg = CampaignConfig {
+        trials: 8,
+        seed: 42,
+        ..CampaignConfig::default()
+    };
+    let spec = CampaignSpec::new("iterated_fma", PolicyKind::Default, FaultSpec::Permanent)
+        .with_replicas(3);
+    let r = run_campaign_selected(&cfg, &reg, &spec).expect("campaign");
+    assert_eq!(r.replicas, 3);
+    assert_eq!(r.policy, "GPGPU-SIM");
+    assert!(
+        r.undetected > 0,
+        "shared placement corrupts replica majorities identically: {r:?}"
+    );
+    // And the diverse policies stay clean on the same draws at N = 3 —
+    // the baseline column exists to make this delta measurable.
+    let srrs = run_campaign_selected(
+        &cfg,
+        &reg,
+        &CampaignSpec::new("iterated_fma", PolicyKind::Srrs, FaultSpec::Permanent).with_replicas(3),
+    )
+    .expect("srrs campaign");
+    assert_eq!(srrs.undetected, 0, "{srrs:?}");
 }
 
 /// Regression fence for the campaign watchdog: this exact configuration

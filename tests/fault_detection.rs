@@ -44,7 +44,7 @@ fn diverse_policies_never_fail_undetected() {
 fn uncontrolled_redundancy_fails_under_permanent_faults() {
     let r = run_campaign(
         &cfg(10),
-        &RedundancyMode::Uncontrolled,
+        &RedundancyMode::uncontrolled(),
         FaultSpec::Permanent,
         &workload(),
     )
@@ -73,7 +73,7 @@ fn specific_permanent_fault_is_detected_by_srrs_and_missed_by_default() {
     assert_eq!(srrs, TrialOutcome::Detected, "SRRS: different SMs per copy");
 
     let default =
-        run_trial(&cfg(1), &RedundancyMode::Uncontrolled, &workload(), fault).expect("trial");
+        run_trial(&cfg(1), &RedundancyMode::uncontrolled(), &workload(), fault).expect("trial");
     assert_eq!(
         default,
         TrialOutcome::UndetectedFailure,

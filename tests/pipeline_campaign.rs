@@ -1,0 +1,179 @@
+//! Acceptance fences of the pipeline subsystem: campaign determinism
+//! (parallel bit-identical to serial at 1/2/8 workers), the frozen
+//! `ad_pipeline` stage timeline, and the fail-operational demonstration —
+//! a detected stage fault recovered by in-FTTI re-execution that would
+//! have been a fail-stop without the recovery budget.
+
+use higpu_core::policy::PolicyKind;
+use higpu_core::redundancy::RedundancyMode;
+use higpu_faults::campaign::{CampaignConfig, FaultSpec};
+use higpu_pipeline::campaign::PipelineCampaignSpec;
+use higpu_pipeline::{
+    ad_pipeline, full_pipeline_registry, plan, run_pipeline, run_pipeline_campaign,
+    run_pipeline_campaign_serial, RecoveryPolicy, StageStatus,
+};
+use higpu_sim::config::GpuConfig;
+use higpu_sim::gpu::Gpu;
+use higpu_workloads::Scale;
+
+fn campaign_cfg(trials: u32) -> CampaignConfig {
+    CampaignConfig {
+        trials,
+        seed: 0x0DD5EED,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Pipeline campaigns must be a pure function of their configuration:
+/// the parallel engine's report is bit-identical to the serial reference
+/// at every worker count, for both registered pipelines.
+#[test]
+fn pipeline_campaigns_are_bit_identical_to_serial_across_worker_counts() {
+    let reg = full_pipeline_registry();
+    for (pipeline, fault, trials) in [
+        ("ad_pipeline", FaultSpec::Transient { duration: 400 }, 4),
+        ("sensor_fusion", FaultSpec::Permanent, 3),
+    ] {
+        let spec = PipelineCampaignSpec::new(pipeline, PolicyKind::Srrs, fault);
+        let mut cfg = campaign_cfg(trials);
+        let serial = run_pipeline_campaign_serial(&cfg, &reg, &spec)
+            .unwrap_or_else(|e| panic!("{pipeline}: serial: {e}"));
+        assert_eq!(
+            serial.trials,
+            serial.not_activated
+                + serial.masked
+                + serial.corrected
+                + serial.recovered
+                + serial.detected
+                + serial.undetected,
+            "every trial classified: {serial:?}"
+        );
+        for workers in [1usize, 2, 8] {
+            cfg.workers = workers;
+            let parallel = run_pipeline_campaign(&cfg, &reg, &spec)
+                .unwrap_or_else(|e| panic!("{pipeline}@{workers}: {e}"));
+            assert_eq!(
+                parallel, serial,
+                "{pipeline}: report must not depend on workers={workers}"
+            );
+        }
+        assert_eq!(
+            serial.undetected, 0,
+            "{pipeline}: SRRS + stage-wise verification leave nothing silent: {serial:?}"
+        );
+    }
+}
+
+/// The acceptance demonstration: under SRRS/DCLS, a transient fault
+/// striking a stage is *detected* (the replicas tie), the stage is
+/// re-executed within the remaining end-to-end slack, and the frame
+/// completes with a verified-correct output — `Recovered`,
+/// fail-operational. Running the **identical draws** without a recovery
+/// budget turns exactly those trials into fail-stop `Detected`. This is
+/// the observable the single-kernel frontier could not express.
+#[test]
+fn recovered_trials_would_have_been_detected_without_recovery() {
+    let reg = full_pipeline_registry();
+    let cfg = campaign_cfg(6);
+    let fault = FaultSpec::Transient { duration: 400 };
+    let spec = PipelineCampaignSpec::new("ad_pipeline", PolicyKind::Srrs, fault);
+
+    let with = run_pipeline_campaign(&cfg, &reg, &spec).expect("with recovery");
+    assert!(
+        with.recovered > 0,
+        "a transient must strike and be repaired by re-execution: {with:?}"
+    );
+    assert_eq!(with.detected, 0, "nothing fail-stops in-slack: {with:?}");
+    assert_eq!(with.undetected, 0);
+    assert_eq!(with.deadline_miss, 0, "recovery fits the FTTI: {with:?}");
+    assert_eq!(with.recovery_rate(), Some(1.0));
+
+    let without = run_pipeline_campaign(&cfg, &reg, &spec.clone().without_recovery())
+        .expect("without recovery");
+    assert_eq!(
+        without.detected, with.recovered,
+        "the same draws fail-stop without the re-execution budget: {without:?}"
+    );
+    assert_eq!(without.recovered, 0);
+    assert_eq!(without.retries_attempted, 0);
+    // Everything else about the two campaigns agrees.
+    assert_eq!(without.not_activated, with.not_activated);
+    assert_eq!(without.undetected, 0);
+}
+
+/// Re-execution cannot repair a *persistent* fault: under a permanent
+/// single-SM stuck-at, every DCLS retry disagrees again and the frame
+/// honestly fail-stops (retry exhausted), while the TMR configuration of
+/// the same cell outvotes the minority replica in place and keeps every
+/// frame operational without spending any retry.
+#[test]
+fn permanent_faults_exhaust_retries_under_dcls_but_vote_away_under_tmr() {
+    let reg = full_pipeline_registry();
+    let cfg = campaign_cfg(3);
+    let spec = PipelineCampaignSpec::new("ad_pipeline", PolicyKind::Srrs, FaultSpec::Permanent);
+
+    let dcls = run_pipeline_campaign(&cfg, &reg, &spec).expect("dcls");
+    assert_eq!(
+        dcls.detected, 3,
+        "persistent faults defeat retries: {dcls:?}"
+    );
+    assert_eq!(dcls.recovered, 0);
+    assert_eq!(dcls.retries_attempted, 3, "each frame spent its one retry");
+    assert_eq!(dcls.retries_failed, 3);
+    assert_eq!(dcls.undetected, 0, "fail-stop, never silent");
+
+    let tmr = run_pipeline_campaign(&cfg, &reg, &spec.clone().with_replicas(3)).expect("tmr");
+    assert_eq!(tmr.replicas, 3);
+    assert!(
+        tmr.corrected > 0,
+        "a 2-of-3 majority repairs in place: {tmr:?}"
+    );
+    assert_eq!(tmr.undetected, 0);
+    assert!(
+        tmr.retries_attempted < dcls.retries_attempted,
+        "forward recovery spends fewer re-executions: {tmr:?}"
+    );
+}
+
+/// The frozen `ad_pipeline` timeline: per-stage start/finish cycles of a
+/// fault-free campaign-scale frame under SRRS@2. These numbers are the
+/// subsystem's determinism contract — any scheduler, executor or stage
+/// change that moves them must be deliberate (update the constants with
+/// the measured values and say why in the commit).
+#[test]
+fn ad_pipeline_golden_timeline_is_frozen() {
+    const GOLDEN: [(usize, &str, u64, u64); 3] = [
+        (0, "perception", 0, 62_252),
+        (1, "detect", 62_252, 186_198),
+        (2, "plan", 186_198, 260_560),
+    ];
+    const GOLDEN_BUDGETS: [u64; 3] = [508_016, 1_001_568, 604_896];
+    const GOLDEN_E2E: u64 = 2_114_480;
+
+    let p = ad_pipeline(Scale::Campaign);
+    let mode = RedundancyMode::srrs_default(6);
+    let mut gpu_cfg = GpuConfig::paper_6sm();
+    gpu_cfg.global_mem_bytes = 2 * 1024 * 1024;
+    let frame_plan = plan(&gpu_cfg, &p, &mode).expect("calibration");
+    assert_eq!(frame_plan.ftti.stage_budgets, GOLDEN_BUDGETS);
+    assert_eq!(frame_plan.ftti.end_to_end(), GOLDEN_E2E);
+
+    let mut gpu = Gpu::new(gpu_cfg);
+    let run =
+        run_pipeline(&mut gpu, &p, &mode, &frame_plan, RecoveryPolicy::default()).expect("frame");
+    assert!(run.completed());
+    assert_eq!(run.timings.len(), GOLDEN.len());
+    for (t, &(stage, name, start, end)) in run.timings.iter().zip(&GOLDEN) {
+        assert_eq!(
+            (t.stage, t.name, t.start, t.end),
+            (stage, name, start, end),
+            "stage timeline moved: {t:?}"
+        );
+        assert_eq!(t.status, StageStatus::Clean);
+        assert_eq!(t.attempts, 1);
+    }
+    assert_eq!(run.end_cycle, GOLDEN[2].3);
+    // The voted frame output matches the golden dataflow's sink reference.
+    let refs = p.reference_outputs();
+    assert_eq!(run.outputs[p.sink()], refs[p.sink()]);
+}

@@ -88,10 +88,7 @@ fn subset_suite_is_diverse_and_correct_at_three_replicas() {
     // replicas under both N-capable diverse modes — serialized round-robin
     // (SRRS with spread start SMs) and concurrent SM slicing (SLICE).
     for bench in common::small_suite().into_iter().take(4) {
-        for mode in [
-            RedundancyMode::srrs_spread(6, 3),
-            RedundancyMode::Slice { replicas: 3 },
-        ] {
+        for mode in [RedundancyMode::srrs_spread(6, 3), RedundancyMode::slice(3)] {
             let label = format!("{mode:?}");
             let (out, report) = run_redundant(bench.as_ref(), mode);
             bench

@@ -69,7 +69,7 @@ fn uncontrolled_execution_cannot_support_asil_d() {
     let mut gpu = Gpu::new(GpuConfig::paper_6sm());
     let diversity = {
         let mut exec =
-            RedundantExecutor::new(&mut gpu, RedundancyMode::Uncontrolled).expect("mode");
+            RedundantExecutor::new(&mut gpu, RedundancyMode::uncontrolled()).expect("mode");
         workload().run(&mut exec).expect("workload");
         analyze(gpu.trace(), DiversityRequirements::default())
     };
