@@ -8,7 +8,8 @@
 //!                 [--policies srrs,half,slice,slice-skewed,default]
 //!                 [--faults transient,droop,permanent,misroute]
 //!                 [--replicas 2,3] [--pipelines ad_pipeline,sensor_fusion]
-//!                 [--pipeline-trials N] [--assert-srrs-clean]
+//!                 [--pipeline-trials N] [--exec overlapped,serial]
+//!                 [--assert-srrs-clean]
 //!                 [--full-scale] [--check-serial] [--csv] [--json PATH]
 //! ```
 //!
@@ -24,6 +25,7 @@ use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
 use higpu_bench::table;
 use higpu_core::policy::PolicyKind;
 use higpu_faults::campaign::FaultSpec;
+use higpu_pipeline::ExecMode;
 use higpu_workloads::Scale;
 use std::process::ExitCode;
 
@@ -124,6 +126,15 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--pipeline-trials: {e}"))?,
                 );
             }
+            "--exec" => {
+                opts.cfg.pipeline_exec = value("--exec")?
+                    .split(',')
+                    .map(|s| {
+                        ExecMode::parse(s)
+                            .ok_or_else(|| format!("unknown executor '{s}' (overlapped|serial)"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             "--assert-srrs-clean" => opts.assert_srrs_clean = true,
             "--full-scale" => opts.cfg.scale = Scale::Full,
             "--check-serial" => opts.cfg.check_serial = true,
@@ -198,11 +209,12 @@ fn main() -> ExitCode {
             );
             for p in m.pipeline_frontier() {
                 println!(
-                    "pipeline frontier: {:13} {:9} N={}  corrected={:3}  recovered={:3}  \
+                    "pipeline frontier: {:13} {:9} N={} {:10}  corrected={:3}  recovered={:3}  \
                      detected={:3}  undetected={:3}  deadline-miss={:3}  recovery {}",
                     p.pipeline,
                     p.policy,
                     p.replicas,
+                    p.exec,
                     p.corrected,
                     p.recovered,
                     p.detected,
@@ -210,6 +222,21 @@ fn main() -> ExitCode {
                     p.deadline_miss,
                     p.recovery_rate()
                         .map_or("n/a".to_string(), |r| format!("{:.0}%", r * 100.0)),
+                );
+            }
+            for s in m.pipeline_speedups() {
+                println!(
+                    "overlap speedup:   {:13} {:9} N={}  e2e makespan {} -> {} ({:.2}x)  \
+                     FTTI {} -> {} ({:.2}x tighter)",
+                    s.pipeline,
+                    s.policy,
+                    s.replicas,
+                    s.serial_makespan,
+                    s.overlapped_makespan,
+                    s.makespan_speedup(),
+                    s.serial_sum_ftti,
+                    s.critical_path_ftti,
+                    s.ftti_tightening(),
                 );
             }
         }

@@ -16,7 +16,7 @@ use higpu_pipeline::campaign::{
     run_pipeline_campaign, run_pipeline_campaign_serial, PipelineCampaignError,
     PipelineCampaignReport, PipelineCampaignSpec,
 };
-use higpu_pipeline::full_pipeline_registry;
+use higpu_pipeline::{full_pipeline_registry, ExecMode};
 use higpu_sim::gpu::Gpu;
 use higpu_workloads::runner::run_solo;
 use higpu_workloads::{Scale, WorkloadRegistry};
@@ -48,14 +48,18 @@ pub struct MatrixConfig {
     pub faults: Vec<FaultSpec>,
     /// Pipeline names to sweep over the same {fault × policy × replicas}
     /// axes ([`higpu_pipeline::full_pipeline_registry`] names; empty = no
-    /// pipeline cells). Scheduler-misroute faults are skipped for
-    /// pipelines (a workload-level experiment).
+    /// pipeline cells). Scheduler-misroute faults classify through the
+    /// inter-stage BIST + diversity monitor, exactly like workload cells.
     pub pipelines: Vec<String>,
     /// Trials per pipeline cell (`None` = [`MatrixConfig::trials`]).
     /// Transient faults activate in only a fraction of frames (the window
     /// is small against a whole frame), so demonstrating in-FTTI recovery
     /// in the artifact wants a few more trials than the workload cells.
     pub pipeline_trials: Option<u32>,
+    /// Frame executors to sweep per pipeline cell. The default runs both,
+    /// so every cell pair quantifies the serial-vs-overlapped makespan
+    /// speedup ([`MatrixResult::pipeline_speedups`]).
+    pub pipeline_exec: Vec<ExecMode>,
     /// Replica counts to sweep (the NMR axis; 2 = the paper's DCLS).
     pub replica_counts: Vec<u8>,
     /// Input scale built per workload.
@@ -78,6 +82,7 @@ impl Default for MatrixConfig {
             faults: vec![FaultSpec::Transient { duration: 400 }, FaultSpec::Permanent],
             pipelines: Vec::new(),
             pipeline_trials: None,
+            pipeline_exec: vec![ExecMode::Overlapped, ExecMode::Serial],
             replica_counts: vec![2, 3],
             scale: Scale::Campaign,
             workers: 0,
@@ -107,8 +112,49 @@ pub struct FrontierPoint {
     pub mean_makespan_overhead: f64,
 }
 
-/// One (pipeline, policy, replicas) aggregate of the fail-operational
-/// frontier.
+/// The serial-vs-overlapped comparison of one pipeline cell pair: what the
+/// concurrent frame executor buys at equal redundancy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpeedup {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Policy label.
+    pub policy: String,
+    /// Replica count.
+    pub replicas: u8,
+    /// Fault-free frame makespan under the serial executor.
+    pub serial_makespan: u64,
+    /// Fault-free frame makespan under the overlapped executor.
+    pub overlapped_makespan: u64,
+    /// The critical-path end-to-end FTTI.
+    pub critical_path_ftti: u64,
+    /// The pre-concurrency per-stage-sum FTTI.
+    pub serial_sum_ftti: u64,
+}
+
+impl PipelineSpeedup {
+    /// Serial over overlapped makespan (> 1 when overlap wins).
+    pub fn makespan_speedup(&self) -> f64 {
+        if self.overlapped_makespan == 0 {
+            0.0
+        } else {
+            self.serial_makespan as f64 / self.overlapped_makespan as f64
+        }
+    }
+
+    /// Serial-sum over critical-path FTTI (> 1 when the DAG has parallel
+    /// branches).
+    pub fn ftti_tightening(&self) -> f64 {
+        if self.critical_path_ftti == 0 {
+            0.0
+        } else {
+            self.serial_sum_ftti as f64 / self.critical_path_ftti as f64
+        }
+    }
+}
+
+/// One (pipeline, policy, replicas, exec) aggregate of the
+/// fail-operational frontier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineFrontierPoint {
     /// Pipeline name.
@@ -117,6 +163,8 @@ pub struct PipelineFrontierPoint {
     pub policy: String,
     /// Replica count.
     pub replicas: u8,
+    /// Frame executor label.
+    pub exec: &'static str,
     /// Cells aggregated.
     pub cells: u32,
     /// Summed trials.
@@ -261,15 +309,18 @@ impl MatrixResult {
         points
     }
 
-    /// The fail-operational frontier: per (pipeline, policy, replicas),
-    /// summed frame outcomes with the recovery rate and end-to-end
+    /// The fail-operational frontier: per (pipeline, policy, replicas,
+    /// exec), summed frame outcomes with the recovery rate and end-to-end
     /// deadline-miss rate — the pipeline-axis counterpart of
     /// [`MatrixResult::frontier`].
     pub fn pipeline_frontier(&self) -> Vec<PipelineFrontierPoint> {
         let mut points: Vec<PipelineFrontierPoint> = Vec::new();
         for r in &self.pipeline_reports {
             match points.iter_mut().find(|p| {
-                p.pipeline == r.pipeline && p.policy == r.policy && p.replicas == r.replicas
+                p.pipeline == r.pipeline
+                    && p.policy == r.policy
+                    && p.replicas == r.replicas
+                    && p.exec == r.exec
             }) {
                 Some(p) => {
                     p.cells += 1;
@@ -284,6 +335,7 @@ impl MatrixResult {
                     pipeline: r.pipeline.clone(),
                     policy: r.policy.clone(),
                     replicas: r.replicas,
+                    exec: r.exec,
                     cells: 1,
                     trials: r.trials,
                     corrected: r.corrected,
@@ -297,13 +349,50 @@ impl MatrixResult {
         points
     }
 
+    /// The serial-vs-overlapped comparison per (pipeline, policy,
+    /// replicas) cell pair — what concurrent-branch execution buys: the
+    /// fault-free makespan speedup and the critical-path-vs-sum FTTI
+    /// tightening. One entry per pair (the fault-free makespans agree
+    /// across fault families, so any fault's pair carries the comparison);
+    /// empty unless the sweep ran both executors.
+    pub fn pipeline_speedups(&self) -> Vec<PipelineSpeedup> {
+        let mut out: Vec<PipelineSpeedup> = Vec::new();
+        for s in self.pipeline_reports.iter().filter(|r| r.exec == "serial") {
+            if out.iter().any(|p| {
+                p.pipeline == s.pipeline && p.policy == s.policy && p.replicas == s.replicas
+            }) {
+                continue;
+            }
+            let Some(o) = self.pipeline_reports.iter().find(|r| {
+                r.exec == "overlapped"
+                    && r.pipeline == s.pipeline
+                    && r.policy == s.policy
+                    && r.replicas == s.replicas
+            }) else {
+                continue;
+            };
+            out.push(PipelineSpeedup {
+                pipeline: s.pipeline.clone(),
+                policy: s.policy.clone(),
+                replicas: s.replicas,
+                serial_makespan: s.fault_free_makespan,
+                overlapped_makespan: o.fault_free_makespan,
+                critical_path_ftti: o.e2e_deadline,
+                serial_sum_ftti: o.serial_sum_deadline,
+            });
+        }
+        out
+    }
+
     /// Renders the pipeline cells as rows for [`crate::table`].
     pub fn pipeline_table(&self) -> Vec<Vec<String>> {
         let mut out = vec![vec![
             "pipeline".to_string(),
             "policy".to_string(),
             "N".to_string(),
+            "exec".to_string(),
             "fault".to_string(),
+            "makespan".to_string(),
             "trials".to_string(),
             "inactive".to_string(),
             "masked".to_string(),
@@ -319,7 +408,9 @@ impl MatrixResult {
                 r.pipeline.clone(),
                 r.policy.clone(),
                 r.replicas.to_string(),
+                r.exec.to_string(),
                 r.fault.to_string(),
+                r.fault_free_makespan.to_string(),
                 r.trials.to_string(),
                 r.not_activated.to_string(),
                 r.masked.to_string(),
@@ -427,16 +518,18 @@ impl MatrixResult {
             .map(|r| {
                 format!(
                     "{{\"pipeline\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
-                     \"fault\": \"{}\", \"stages\": {}, \"trials\": {}, \
+                     \"exec\": \"{}\", \"fault\": \"{}\", \"stages\": {}, \"trials\": {}, \
                      \"not_activated\": {}, \"masked\": {}, \"corrected\": {}, \
                      \"recovered\": {}, \"detected\": {}, \"undetected\": {}, \
                      \"deadline_miss\": {}, \"retries_attempted\": {}, \
                      \"retries_failed\": {}, \"no_slack\": {}, \
                      \"recovery_rate\": {}, \"deadline_miss_rate\": {:.4}, \
-                     \"fault_free_makespan\": {}, \"e2e_deadline\": {}}}",
+                     \"e2e_makespan\": {}, \"critical_path_ftti\": {}, \
+                     \"serial_sum_ftti\": {}, \"bandwidth_bytes\": {}}}",
                     r.pipeline,
                     r.policy,
                     r.replicas,
+                    r.exec,
                     r.fault,
                     r.stages,
                     r.trials,
@@ -455,6 +548,30 @@ impl MatrixResult {
                     r.deadline_miss_rate(),
                     r.fault_free_makespan,
                     r.e2e_deadline,
+                    r.serial_sum_deadline,
+                    r.bandwidth_bytes,
+                )
+            })
+            .collect();
+        let pipeline_speedups: Vec<String> = self
+            .pipeline_speedups()
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"pipeline\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
+                     \"serial_makespan\": {}, \
+                     \"overlapped_makespan\": {}, \"makespan_speedup\": {:.3}, \
+                     \"critical_path_ftti\": {}, \"serial_sum_ftti\": {}, \
+                     \"ftti_tightening\": {:.3}}}",
+                    s.pipeline,
+                    s.policy,
+                    s.replicas,
+                    s.serial_makespan,
+                    s.overlapped_makespan,
+                    s.makespan_speedup(),
+                    s.critical_path_ftti,
+                    s.serial_sum_ftti,
+                    s.ftti_tightening(),
                 )
             })
             .collect();
@@ -464,12 +581,14 @@ impl MatrixResult {
             .map(|p| {
                 format!(
                     "{{\"pipeline\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
+                     \"exec\": \"{}\", \
                      \"cells\": {}, \"trials\": {}, \"corrected\": {}, \"recovered\": {}, \
                      \"detected\": {}, \"undetected\": {}, \"deadline_miss\": {}, \
                      \"recovery_rate\": {}}}",
                     p.pipeline,
                     p.policy,
                     p.replicas,
+                    p.exec,
                     p.cells,
                     p.trials,
                     p.corrected,
@@ -493,6 +612,7 @@ impl MatrixResult {
              \"total_recovered\": {},\n      \
              \"undetected_under_diverse_policies\": {},\n      \
              \"cells\": [\n        {}\n      ],\n      \
+             \"speedups\": [\n        {}\n      ],\n      \
              \"frontier\": [\n        {}\n      ]\n    }}\n  }}",
             self.trials,
             self.seed,
@@ -505,6 +625,7 @@ impl MatrixResult {
             self.total_recovered(),
             self.pipeline_undetected_under_diverse_policies(),
             pipeline_cells.join(",\n        "),
+            pipeline_speedups.join(",\n        "),
             pipeline_frontier.join(",\n        "),
         )
     }
@@ -617,31 +738,33 @@ pub fn run_matrix(
                     }
                 }
                 for &policy in &realized {
-                    for &fault in &cfg.faults {
-                        if matches!(fault, FaultSpec::Misroute) {
-                            continue; // workload-level experiment (BIST path)
-                        }
-                        let spec = PipelineCampaignSpec {
-                            pipeline: name.clone(),
-                            scale: cfg.scale,
-                            policy,
-                            fault,
-                            replicas,
-                            recovery: higpu_pipeline::RecoveryPolicy::default(),
-                        };
-                        let report = run_pipeline_campaign(&campaign, &preg, &spec)
-                            .map_err(pipeline_error_to_campaign)?;
-                        if cfg.check_serial {
-                            let serial = run_pipeline_campaign_serial(&campaign, &preg, &spec)
+                    for &exec in &cfg.pipeline_exec {
+                        for &fault in &cfg.faults {
+                            let spec = PipelineCampaignSpec {
+                                pipeline: name.clone(),
+                                scale: cfg.scale,
+                                policy,
+                                fault,
+                                replicas,
+                                recovery: higpu_pipeline::RecoveryPolicy::default(),
+                                exec,
+                            };
+                            let report = run_pipeline_campaign(&campaign, &preg, &spec)
                                 .map_err(pipeline_error_to_campaign)?;
-                            assert_eq!(
-                                report, serial,
-                                "parallel pipeline report must be bit-identical to the serial \
-                                 reference for {name} under {policy:?}/{fault:?} at {replicas} \
-                                 replicas"
-                            );
+                            if cfg.check_serial {
+                                let serial = run_pipeline_campaign_serial(&campaign, &preg, &spec)
+                                    .map_err(pipeline_error_to_campaign)?;
+                                assert_eq!(
+                                    report,
+                                    serial,
+                                    "parallel pipeline report must be bit-identical to the \
+                                     serial reference for {name} under {policy:?}/{fault:?} at \
+                                     {replicas} replicas ({})",
+                                    exec.label()
+                                );
+                            }
+                            pipeline_reports.push(report);
                         }
-                        pipeline_reports.push(report);
                     }
                 }
             }
@@ -664,10 +787,6 @@ pub fn run_matrix(
 fn pipeline_error_to_campaign(e: PipelineCampaignError) -> CampaignError {
     match e {
         PipelineCampaignError::UnknownPipeline(name) => CampaignError::UnknownWorkload(name),
-        PipelineCampaignError::UnsupportedFault(spec) => {
-            // Filtered above; reaching this is a sweep bug.
-            unreachable!("misroute cells are skipped for pipelines: {spec:?}")
-        }
         PipelineCampaignError::Campaign(e) => e,
         PipelineCampaignError::Pipeline(p) => match p {
             higpu_pipeline::exec::PipelineError::Session(higpu_workloads::SessionError::Sim(
@@ -747,7 +866,7 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_axis_sweeps_and_renders() {
+    fn pipeline_axis_sweeps_exec_modes_and_renders() {
         let reg = full_registry();
         let cfg = MatrixConfig {
             trials: 3,
@@ -755,9 +874,9 @@ mod tests {
             policies: vec![PolicyKind::Srrs],
             faults: vec![
                 FaultSpec::Transient { duration: 400 },
-                FaultSpec::Misroute, // skipped for pipelines, kept for workloads
+                FaultSpec::Misroute, // classified via the inter-stage BIST
             ],
-            pipelines: vec!["ad_pipeline".into()],
+            pipelines: vec!["sensor_fusion".into()],
             replica_counts: vec![2],
             check_serial: true,
             ..MatrixConfig::default()
@@ -766,29 +885,56 @@ mod tests {
         assert_eq!(m.reports.len(), 2, "workload cells keep misroute");
         assert_eq!(
             m.pipeline_reports.len(),
-            1,
-            "1 pipeline x 1 policy x 1 replica count x 1 non-misroute fault"
+            4,
+            "1 pipeline x 1 policy x 1 replica count x 2 faults x 2 executors"
         );
-        let r = &m.pipeline_reports[0];
-        assert_eq!(r.pipeline, "ad_pipeline");
-        assert_eq!(r.policy, "SRRS");
-        assert_eq!(r.stages, 3);
-        assert_eq!(
-            r.trials,
-            r.not_activated + r.masked + r.corrected + r.recovered + r.detected + r.undetected
-        );
+        for r in &m.pipeline_reports {
+            assert_eq!(r.pipeline, "sensor_fusion");
+            assert_eq!(r.policy, "SRRS");
+            assert_eq!(r.stages, 4);
+            assert!(r.bandwidth_bytes > 0);
+            if r.exec == "overlapped" {
+                assert!(
+                    r.e2e_deadline < r.serial_sum_deadline,
+                    "the DAG join puts the critical path strictly below the sum: {r:?}"
+                );
+            } else {
+                assert_eq!(
+                    r.e2e_deadline, r.serial_sum_deadline,
+                    "serial cells are enforced against (and report) the sum: {r:?}"
+                );
+            }
+            assert_eq!(
+                r.trials,
+                r.not_activated + r.masked + r.corrected + r.recovered + r.detected + r.undetected
+            );
+        }
         assert_eq!(m.pipeline_undetected_under_diverse_policies(), 0);
         let table = m.pipeline_table();
-        assert_eq!(table.len(), 2, "header + 1 row");
+        assert_eq!(table.len(), 5, "header + 4 rows");
         let json = m.to_json();
         assert!(json.contains("\"pipelines\""));
-        assert!(json.contains("\"pipeline\": \"ad_pipeline\""));
+        assert!(json.contains("\"pipeline\": \"sensor_fusion\""));
         assert!(json.contains("\"recovery_rate\""));
         assert!(json.contains("\"deadline_miss_rate\""));
-        assert!(json.contains("\"e2e_deadline\""));
+        assert!(json.contains("\"critical_path_ftti\""));
+        assert!(json.contains("\"exec\": \"overlapped\""));
+        assert!(json.contains("\"makespan_speedup\""));
         let frontier = m.pipeline_frontier();
-        assert_eq!(frontier.len(), 1);
-        assert_eq!(frontier[0].trials, 3);
+        assert_eq!(frontier.len(), 2, "one point per executor");
+        assert!(frontier.iter().all(|p| p.trials == 6));
+        // The serial-vs-overlapped comparison exists per fault and shows
+        // overlap strictly winning on makespan and FTTI.
+        let speedups = m.pipeline_speedups();
+        assert_eq!(speedups.len(), 1, "one pair per (pipeline, policy, N)");
+        for s in &speedups {
+            assert!(
+                s.serial_makespan > s.overlapped_makespan,
+                "overlap must strictly shrink the frame: {s:?}"
+            );
+            assert!(s.makespan_speedup() > 1.0);
+            assert!(s.ftti_tightening() > 1.0);
+        }
     }
 
     #[test]

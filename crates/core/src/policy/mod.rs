@@ -6,10 +6,12 @@
 //! for *friendly* kernels.
 
 pub mod half;
+pub mod partitioned;
 pub mod slice;
 pub mod srrs;
 
 pub use half::HalfScheduler;
+pub use partitioned::PartitionedScheduler;
 pub use slice::SliceScheduler;
 pub use srrs::SrrsScheduler;
 

@@ -1,0 +1,344 @@
+//! The PARTITIONED kernel scheduling policy: the frame-level composition of
+//! the paper's diversity policies over **reserved SM partitions**.
+//!
+//! A concurrent frame executor runs independent DAG branches of one frame
+//! at the same time, each branch confined to a disjoint SM range it
+//! reserved ([`higpu_sim::partition::SmPartitionTable`]) and carried on
+//! every launch as the [`higpu_sim::kernel::LaunchAttrs::reserve`]
+//! attribute. Inside each reserve, the branch's replica-diversity scheme is
+//! re-applied *relative to the partition*:
+//!
+//! * kernels carrying a `serialize_group` follow **SRRS scoped to the
+//!   reserve** — a kernel starts only when its partition is idle, blocks
+//!   round-robin from the (absolute) `start_sm` over the partition's SMs,
+//!   and kernels execute one at a time in arrival order *within the
+//!   partition* while sibling partitions run concurrently;
+//! * kernels carrying an [`higpu_sim::kernel::SmSlice`] are confined to
+//!   that **sub-slice of the reserve** ([`SmSlice::range_in`]), all
+//!   replicas concurrent — SLICE scoped to the partition;
+//! * kernels with neither hint fill their reserve breadth-first — the
+//!   uncontrolled baseline scoped to the partition.
+//!
+//! Kernels without a reserve (e.g. a scheduler self-test canary launched
+//! between frames) fall back to the same rules over the whole device, so
+//! the policy degenerates to SRRS/SLICE/default behaviour when nothing is
+//! partitioned.
+
+use higpu_sim::partition::SmRange;
+use higpu_sim::scheduler::{KernelSchedulerPolicy, KernelSnapshot, SchedulerView};
+
+/// The PARTITIONED policy (stateless across rounds; all scheduling facts
+/// are carried by the launch attributes).
+#[derive(Debug, Clone, Default)]
+pub struct PartitionedScheduler {
+    _private: (),
+}
+
+impl PartitionedScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The absolute SM range a kernel may use: its sub-slice of the reserve
+/// when both are present, the reserve itself, a global slice, or the whole
+/// device — clamped to the device's SM count.
+fn allowed_range(k: &KernelSnapshot, num_sms: usize) -> std::ops::Range<usize> {
+    let r = match (k.attrs.reserve, k.attrs.slice) {
+        (Some(reserve), Some(slice)) => slice.range_in(reserve),
+        (Some(reserve), None) => reserve.range(),
+        (None, Some(slice)) => slice.range(num_sms),
+        (None, None) => 0..num_sms,
+    };
+    r.start.min(num_sms)..r.end.min(num_sms)
+}
+
+/// True when no blocks are resident (or committed this round) on any SM of
+/// `range` — the partition-scoped SRRS idle-start condition.
+fn range_idle(view: &SchedulerView, range: &std::ops::Range<usize>) -> bool {
+    view.sms()[range.clone()]
+        .iter()
+        .all(|s| s.resident_blocks == 0)
+}
+
+impl KernelSchedulerPolicy for PartitionedScheduler {
+    fn name(&self) -> &str {
+        "partitioned"
+    }
+
+    fn assign(&mut self, view: &mut SchedulerView) {
+        let n = view.num_sms();
+        if n == 0 {
+            return;
+        }
+        // Distinct reserves, in first-kernel arrival order (`None` = the
+        // unreserved remainder, treated as one more partition).
+        let mut reserves: Vec<Option<SmRange>> = Vec::new();
+        for k in view.kernels() {
+            if !reserves.contains(&k.attrs.reserve) {
+                reserves.push(k.attrs.reserve);
+            }
+        }
+        for reserve in reserves {
+            assign_in_reserve(view, reserve, n);
+        }
+    }
+}
+
+fn assign_in_reserve(view: &mut SchedulerView, reserve: Option<SmRange>, n: usize) {
+    let base = match reserve {
+        Some(r) => r.range().start.min(n)..r.range().end.min(n),
+        None => 0..n,
+    };
+    if base.is_empty() {
+        return;
+    }
+    // The reserve's kernels, in arrival order. All kernels of one reserve
+    // come from one branch attempt, so they share a diversity scheme; the
+    // head kernel's attributes select it.
+    let ids: Vec<_> = view
+        .kernels()
+        .iter()
+        .filter(|k| k.attrs.reserve == reserve)
+        .map(|k| k.id)
+        .collect();
+    let Some(&head_id) = ids.first() else {
+        return;
+    };
+    let head = view
+        .kernels()
+        .iter()
+        .find(|k| k.id == head_id)
+        .expect("head id from this view");
+
+    if head.attrs.serialize_group.is_some() {
+        // SRRS scoped to the partition: head-of-line, idle-start, strict
+        // round-robin from the start SM over the partition's SMs.
+        if head.blocks_issued == 0 && !range_idle(view, &base) {
+            return;
+        }
+        let len = base.len();
+        let off = head
+            .attrs
+            .start_sm
+            .map(|s| {
+                if base.contains(&s) {
+                    s - base.start
+                } else {
+                    s % len
+                }
+            })
+            .unwrap_or(0);
+        loop {
+            let Some(k) = view.kernels().iter().find(|k| k.id == head_id) else {
+                return;
+            };
+            if k.pending() == 0 {
+                return;
+            }
+            let i = k.blocks_issued as usize;
+            let sm = base.start + (off + i) % len;
+            if !view.try_assign(sm, head_id) {
+                return; // head-of-line: wait for the designated SM
+            }
+        }
+    } else {
+        // Concurrent (SLICE / uncontrolled) scoped to the partition: each
+        // kernel fills its allowed sub-range breadth-first.
+        for id in ids {
+            let allowed = {
+                let Some(k) = view.kernels().iter().find(|k| k.id == id) else {
+                    continue;
+                };
+                allowed_range(k, n)
+            };
+            if allowed.is_empty() {
+                continue; // unplaceable (over-sliced): never spin
+            }
+            loop {
+                let mut any = false;
+                for sm in allowed.clone() {
+                    any |= view.try_assign(sm, id);
+                }
+                if !any {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higpu_sim::kernel::{BlockFootprint, KernelId, LaunchAttrs, SmSlice};
+    use higpu_sim::scheduler::SmSnapshot;
+    use higpu_sim::sm::ResourceUsage;
+
+    fn fp() -> BlockFootprint {
+        BlockFootprint {
+            threads: 64,
+            warps: 2,
+            registers: 64,
+            shared_mem: 0,
+        }
+    }
+
+    fn sm_free() -> SmSnapshot {
+        SmSnapshot {
+            free: ResourceUsage {
+                threads: 1536,
+                warps: 48,
+                registers: 32 * 1024,
+                shared_mem: 48 * 1024,
+                blocks: 8,
+            },
+            resident_blocks: 0,
+        }
+    }
+
+    fn kernel(id: u64, blocks: u32, attrs: LaunchAttrs) -> KernelSnapshot {
+        KernelSnapshot {
+            id: KernelId(id),
+            attrs: std::sync::Arc::new(attrs),
+            arrival: 0,
+            blocks_total: blocks,
+            blocks_issued: 0,
+            blocks_done: 0,
+            footprint: fp(),
+        }
+    }
+
+    fn reserve(start: usize, len: usize) -> Option<SmRange> {
+        Some(SmRange { start, len })
+    }
+
+    #[test]
+    fn srrs_in_partition_round_robins_within_the_reserve_only() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(
+                0,
+                5,
+                LaunchAttrs {
+                    reserve: reserve(3, 3),
+                    start_sm: Some(4),
+                    serialize_group: Some(0),
+                    ..Default::default()
+                },
+            )],
+            (0..6).map(|_| sm_free()).collect(),
+        );
+        PartitionedScheduler::new().assign(&mut view);
+        let sms: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        assert_eq!(sms, vec![4, 5, 3, 4, 5], "round-robin over SMs 3..6 only");
+    }
+
+    #[test]
+    fn srrs_in_partition_serializes_against_its_own_partition_not_the_device() {
+        // Partition [0..3) is busy with a resident block; partition [3..6)
+        // is idle. The [3..6) kernel must start regardless of the sibling's
+        // residency, while a second [3..6) kernel waits for the first.
+        let mut sms: Vec<SmSnapshot> = (0..6).map(|_| sm_free()).collect();
+        sms[1].resident_blocks = 1; // sibling branch's block
+        let srrs = |id, start| {
+            kernel(
+                id,
+                2,
+                LaunchAttrs {
+                    reserve: reserve(3, 3),
+                    start_sm: Some(start),
+                    serialize_group: Some(id as u32),
+                    ..Default::default()
+                },
+            )
+        };
+        let mut view = SchedulerView::new(0, vec![srrs(0, 3), srrs(1, 4)], sms);
+        PartitionedScheduler::new().assign(&mut view);
+        assert!(
+            view.assignments().iter().all(|a| a.kernel == KernelId(0)),
+            "only the head kernel of the partition dispatches"
+        );
+        assert_eq!(view.assignments().len(), 2, "head fully placed: {view:?}");
+        assert!(view.assignments().iter().all(|a| (3..6).contains(&a.sm)));
+    }
+
+    #[test]
+    fn sliced_replicas_stay_in_their_sub_slice_of_the_reserve() {
+        // A 3-SM partition at [3..6) cut into 2 sub-slices: replica 0 on
+        // SM 3, replica 1 on SMs 4..6 — concurrent, disjoint.
+        let sliced = |id, index| {
+            kernel(
+                id,
+                3,
+                LaunchAttrs {
+                    reserve: reserve(3, 3),
+                    slice: Some(SmSlice { index, of: 2 }),
+                    ..Default::default()
+                },
+            )
+        };
+        let mut view = SchedulerView::new(
+            0,
+            vec![sliced(0, 0), sliced(1, 1)],
+            (0..6).map(|_| sm_free()).collect(),
+        );
+        PartitionedScheduler::new().assign(&mut view);
+        assert_eq!(view.assignments().len(), 6, "both replicas fully placed");
+        for a in view.assignments() {
+            if a.kernel == KernelId(0) {
+                assert_eq!(a.sm, 3, "sub-slice 0 of [3..6) is SM 3");
+            } else {
+                assert!((4..6).contains(&a.sm), "sub-slice 1 of [3..6)");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_partitions_dispatch_concurrently() {
+        let srrs = |id, start, lo, len| {
+            kernel(
+                id,
+                2,
+                LaunchAttrs {
+                    reserve: reserve(lo, len),
+                    start_sm: Some(start),
+                    serialize_group: Some(id as u32),
+                    ..Default::default()
+                },
+            )
+        };
+        let mut view = SchedulerView::new(
+            0,
+            vec![srrs(0, 0, 0, 3), srrs(1, 3, 3, 3)],
+            (0..6).map(|_| sm_free()).collect(),
+        );
+        PartitionedScheduler::new().assign(&mut view);
+        assert_eq!(
+            view.assignments().len(),
+            4,
+            "both partitions' heads dispatch in the same round"
+        );
+        for a in view.assignments() {
+            if a.kernel == KernelId(0) {
+                assert!(a.sm < 3);
+            } else {
+                assert!(a.sm >= 3, "no partition escape");
+            }
+        }
+    }
+
+    #[test]
+    fn unreserved_kernels_fall_back_to_whole_device_rules() {
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 6, LaunchAttrs::default())],
+            (0..6).map(|_| sm_free()).collect(),
+        );
+        PartitionedScheduler::new().assign(&mut view);
+        let mut sms: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        sms.sort_unstable();
+        assert_eq!(sms, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

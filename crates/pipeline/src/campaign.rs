@@ -20,8 +20,12 @@
 //! count reduction, so the parallel report is bit-identical to the serial
 //! reference at every worker count.
 
-use crate::exec::{plan, run_pipeline, PipelineError, PipelinePlan, PipelineRun, RecoveryPolicy};
+use crate::exec::{
+    plan, run_pipeline, ExecMode, FrameOptions, PipelineError, PipelinePlan, PipelineRun,
+    RecoveryPolicy,
+};
 use crate::graph::{Pipeline, PipelineRegistry};
+use higpu_core::diversity::{analyze, DiversityRequirements};
 use higpu_core::policy::PolicyKind;
 use higpu_core::redundancy::RedundancyMode;
 use higpu_core::safety_case::DetectionEvidence;
@@ -51,10 +55,15 @@ pub struct PipelineCampaignSpec {
     /// Re-execution budget (default: one retry per stage; use
     /// [`RecoveryPolicy::disabled`] for the fail-stop-only ablation).
     pub recovery: RecoveryPolicy,
+    /// Which frame executor runs the trials (default: the overlapped
+    /// concurrent-branch executor; [`ExecMode::Serial`] is the reference
+    /// oracle and the serial-vs-overlapped comparison axis).
+    pub exec: ExecMode,
 }
 
 impl PipelineCampaignSpec {
-    /// Campaign-scale, two-replica spec with the default recovery budget.
+    /// Campaign-scale, two-replica spec with the default recovery budget
+    /// on the overlapped executor.
     pub fn new(pipeline: impl Into<String>, policy: PolicyKind, fault: FaultSpec) -> Self {
         Self {
             pipeline: pipeline.into(),
@@ -63,6 +72,7 @@ impl PipelineCampaignSpec {
             fault,
             replicas: 2,
             recovery: RecoveryPolicy::default(),
+            exec: ExecMode::default(),
         }
     }
 
@@ -76,6 +86,24 @@ impl PipelineCampaignSpec {
     pub fn without_recovery(mut self) -> Self {
         self.recovery = RecoveryPolicy::disabled();
         self
+    }
+
+    /// The same spec under `exec`.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The frame options these trials run under. Scheduler-misroute
+    /// campaigns enable the inter-stage BIST: a misroute is functionally
+    /// silent, so the periodic self-test (plus the diversity monitor) is
+    /// the deployed mechanism that must catch it.
+    pub fn frame_options(&self) -> FrameOptions {
+        FrameOptions {
+            exec: self.exec,
+            recovery: self.recovery,
+            interstage_bist: matches!(self.fault, FaultSpec::Misroute),
+        }
     }
 }
 
@@ -116,12 +144,25 @@ pub struct PipelineCampaignReport {
     pub fault: &'static str,
     /// Replica count per stage.
     pub replicas: u8,
+    /// Frame executor label (`serial` / `overlapped`).
+    pub exec: &'static str,
     /// Stage count of the pipeline.
     pub stages: u32,
-    /// Fault-free end-to-end frame makespan (cycles).
+    /// Fault-free end-to-end frame makespan (cycles) **under this cell's
+    /// executor** — the serial-vs-overlapped speedup numerator/denominator.
     pub fault_free_makespan: u64,
-    /// The derived end-to-end FTTI (sum of stage budgets).
+    /// The end-to-end FTTI this cell's executor enforced: the critical
+    /// path of the stage-budget DAG (plus per-join slack) for
+    /// `overlapped` cells, the per-stage sum for `serial` cells — so
+    /// `deadline_miss` is always measured against this number.
     pub e2e_deadline: u64,
+    /// The pre-concurrency end-to-end FTTI (plain sum of stage budgets) —
+    /// strictly above the critical path for any pipeline with parallel
+    /// branches (and equal to `e2e_deadline` on serial cells).
+    pub serial_sum_deadline: u64,
+    /// Host↔device bytes one fault-free frame moves per the DCLS protocol
+    /// (uploads + read-backs, all replicas, all stages).
+    pub bandwidth_bytes: u64,
     /// Trials run.
     pub trials: u32,
     /// Trials whose fault never activated.
@@ -198,10 +239,6 @@ impl PipelineCampaignReport {
 pub enum PipelineCampaignError {
     /// The spec named a pipeline absent from the registry.
     UnknownPipeline(String),
-    /// Scheduler-misroute campaigns are a workload-level experiment (they
-    /// classify through the diversity monitor and BIST, not through frame
-    /// outcomes); pipelines reject them instead of mis-classifying.
-    UnsupportedFault(FaultSpec),
     /// Policy/replica resolution failed.
     Campaign(CampaignError),
     /// A frame failed in the device or the protocol.
@@ -213,13 +250,6 @@ impl fmt::Display for PipelineCampaignError {
         match self {
             PipelineCampaignError::UnknownPipeline(name) => {
                 write!(f, "pipeline '{name}' is not in the registry")
-            }
-            PipelineCampaignError::UnsupportedFault(spec) => {
-                write!(
-                    f,
-                    "fault family {} not supported for pipelines",
-                    spec.label()
-                )
             }
             PipelineCampaignError::Campaign(e) => write!(f, "{e}"),
             PipelineCampaignError::Pipeline(e) => write!(f, "{e}"),
@@ -302,8 +332,8 @@ impl PipelineCampaignRunner {
 
     /// Runs one pipeline injection trial; returns the classified outcome
     /// and the frame record. Pure function of `(cfg.gpu, pipeline, mode,
-    /// plan, recovery, model)` — independent of previous trials and of
-    /// which runner executes it.
+    /// plan, opts, fault family, model)` — independent of previous trials
+    /// and of which runner executes it.
     ///
     /// # Errors
     ///
@@ -313,7 +343,8 @@ impl PipelineCampaignRunner {
         pipeline: &Pipeline,
         mode: &RedundancyMode,
         frame_plan: &PipelinePlan,
-        recovery: RecoveryPolicy,
+        opts: FrameOptions,
+        misroute: bool,
         model: FaultModel,
     ) -> Result<(PipelineTrialOutcome, PipelineRun), PipelineError> {
         if self.gpu.reset().is_err() {
@@ -322,8 +353,13 @@ impl PipelineCampaignRunner {
         let counters = InjectionCounters::shared();
         self.gpu
             .set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
-        let run = run_pipeline(&mut self.gpu, pipeline, mode, frame_plan, recovery)?;
-        let outcome = classify(pipeline, &run, counters.activated());
+        let run = run_pipeline(&mut self.gpu, pipeline, mode, frame_plan, opts)?;
+        // A misrouted frame is functionally silent; the deployed detectors
+        // are the inter-stage scheduler BIST plus the diversity monitor
+        // over the frame's trace (mirroring the workload-level path).
+        let diverse =
+            !misroute || analyze(self.gpu.trace(), DiversityRequirements::default()).is_diverse();
+        let outcome = classify(pipeline, &run, counters.activated(), misroute, diverse);
         Ok((outcome, run))
     }
 }
@@ -331,12 +367,28 @@ impl PipelineCampaignRunner {
 /// Classifies a completed frame from the deployed mechanism's observables
 /// plus the campaign's oracle (stage-wise CPU references over the data
 /// that actually flowed).
-fn classify(pipeline: &Pipeline, run: &PipelineRun, activated: bool) -> PipelineTrialOutcome {
+fn classify(
+    pipeline: &Pipeline,
+    run: &PipelineRun,
+    activated: bool,
+    misroute: bool,
+    diverse: bool,
+) -> PipelineTrialOutcome {
     if !activated {
         return PipelineTrialOutcome::NotActivated;
     }
     if run.failstop().is_some() || run.deadline_miss {
         return PipelineTrialOutcome::Detected;
+    }
+    if misroute {
+        // Latent diversity loss: outputs stay correct, so frame outcomes
+        // cannot classify it — the inter-stage self-test and the
+        // diversity monitor are the mechanisms on trial.
+        return if run.bist_failed > 0 || !diverse {
+            PipelineTrialOutcome::Detected
+        } else {
+            PipelineTrialOutcome::UndetectedFailure
+        };
     }
     // Oracle: every delivered stage output must verify against the CPU
     // reference recomputed over its *actual* (voted) inputs. A corrupted
@@ -364,6 +416,11 @@ struct ResolvedSpec {
     pipeline: Pipeline,
     mode: RedundancyMode,
     frame_plan: PipelinePlan,
+    opts: FrameOptions,
+    /// Fault-free frame makespan under the cell's executor (the serial
+    /// calibration total for [`ExecMode::Serial`]; the overlapped — i.e.
+    /// critical-path — total otherwise).
+    frame_makespan: u64,
     models: Vec<FaultModel>,
 }
 
@@ -372,21 +429,33 @@ fn resolve(
     reg: &PipelineRegistry,
     spec: &PipelineCampaignSpec,
 ) -> Result<ResolvedSpec, PipelineCampaignError> {
-    if matches!(spec.fault, FaultSpec::Misroute) {
-        return Err(PipelineCampaignError::UnsupportedFault(spec.fault));
-    }
     let pipeline = reg
         .build(&spec.pipeline, spec.scale)
         .ok_or_else(|| PipelineCampaignError::UnknownPipeline(spec.pipeline.clone()))?;
     let mode = policy_mode(spec.policy, spec.replicas, cfg.gpu.num_sms)?;
     let frame_plan = plan(&cfg.gpu, &pipeline, &mode)?;
-    // Fault times are sampled inside the fault-free frame window, exactly
-    // as workload campaigns sample inside the redundant makespan.
-    let models = draw_models(cfg, spec.fault, frame_plan.fault_free_makespan);
+    let opts = spec.frame_options();
+    // One fault-free frame under the cell's executor: its makespan is both
+    // the executor-comparison observable and the fault sampling window —
+    // fault times are drawn inside the frame the trials actually run,
+    // exactly as workload campaigns sample inside the redundant makespan.
+    let frame_makespan = if spec.exec == ExecMode::Serial {
+        frame_plan.fault_free_makespan
+    } else {
+        let mut gpu = Gpu::new(cfg.gpu.clone());
+        let no_bist = FrameOptions {
+            interstage_bist: false,
+            ..opts
+        };
+        run_pipeline(&mut gpu, &pipeline, &mode, &frame_plan, no_bist)?.end_cycle
+    };
+    let models = draw_models(cfg, spec.fault, frame_makespan);
     Ok(ResolvedSpec {
         pipeline,
         mode,
         frame_plan,
+        opts,
+        frame_makespan,
         models,
     })
 }
@@ -402,9 +471,19 @@ fn finish_report(
         policy: r.mode.policy_kind().label().to_string(),
         fault: spec.fault.label(),
         replicas: r.mode.replicas(),
+        exec: spec.exec.label(),
         stages: r.pipeline.len() as u32,
-        fault_free_makespan: r.frame_plan.fault_free_makespan,
-        e2e_deadline: r.frame_plan.ftti.end_to_end(),
+        fault_free_makespan: r.frame_makespan,
+        // The budget the cell's executor actually enforced: the serial
+        // executor still owes every stage budget in sequence, so its
+        // deadline_miss counts are measured against the per-stage sum,
+        // while the overlapped executor enforces the critical path.
+        e2e_deadline: match spec.exec {
+            ExecMode::Serial => r.frame_plan.ftti.serial_sum(),
+            ExecMode::Overlapped => r.frame_plan.ftti.end_to_end(),
+        },
+        serial_sum_deadline: r.frame_plan.ftti.serial_sum(),
+        bandwidth_bytes: r.frame_plan.frame_bandwidth_bytes,
         trials,
         not_activated: counts.not_activated,
         masked: counts.masked,
@@ -439,7 +518,8 @@ pub fn run_pipeline_campaign_serial(
             &resolved.pipeline,
             &resolved.mode,
             &resolved.frame_plan,
-            spec.recovery,
+            resolved.opts,
+            matches!(spec.fault, FaultSpec::Misroute),
             model,
         )?;
         counts.add(outcome, &run);
@@ -473,7 +553,8 @@ pub fn run_pipeline_campaign(
                 &resolved.pipeline,
                 &resolved.mode,
                 &resolved.frame_plan,
-                spec.recovery,
+                resolved.opts,
+                matches!(spec.fault, FaultSpec::Misroute),
                 model,
             )?;
             counts.add(outcome, &run);
@@ -506,7 +587,8 @@ pub fn run_pipeline_campaign(
                                     &resolved.pipeline,
                                     &resolved.mode,
                                     &resolved.frame_plan,
-                                    spec.recovery,
+                                    resolved.opts,
+                                    matches!(spec.fault, FaultSpec::Misroute),
                                     resolved.models[i],
                                 ) {
                                     Ok((outcome, run)) => counts.add(outcome, &run),
@@ -559,14 +641,9 @@ mod tests {
     }
 
     #[test]
-    fn misroute_and_unknown_pipelines_are_rejected() {
+    fn unknown_pipelines_and_replica_counts_are_rejected() {
         let reg = full_pipeline_registry();
         let cfg = small_cfg(1);
-        let bad = PipelineCampaignSpec::new("ad_pipeline", PolicyKind::Srrs, FaultSpec::Misroute);
-        assert!(matches!(
-            run_pipeline_campaign(&cfg, &reg, &bad),
-            Err(PipelineCampaignError::UnsupportedFault(_))
-        ));
         let unknown = PipelineCampaignSpec::new("no_such", PolicyKind::Srrs, FaultSpec::Permanent);
         assert!(matches!(
             run_pipeline_campaign(&cfg, &reg, &unknown),
@@ -584,15 +661,38 @@ mod tests {
     }
 
     #[test]
+    fn misroute_frames_classify_through_the_interstage_bist() {
+        let reg = full_pipeline_registry();
+        let cfg = small_cfg(2);
+        for exec in [ExecMode::Serial, ExecMode::Overlapped] {
+            let spec =
+                PipelineCampaignSpec::new("ad_pipeline", PolicyKind::Srrs, FaultSpec::Misroute)
+                    .with_exec(exec);
+            assert!(spec.frame_options().interstage_bist);
+            let r = run_pipeline_campaign(&cfg, &reg, &spec).expect("misroute is classified");
+            assert_eq!(
+                r.detected,
+                r.trials,
+                "every misrouted frame caught by the inter-stage self-test ({}): {r:?}",
+                exec.label()
+            );
+            assert_eq!(r.undetected, 0);
+        }
+    }
+
+    #[test]
     fn report_rates_and_evidence() {
         let r = PipelineCampaignReport {
             pipeline: "p".into(),
             policy: "SRRS".into(),
             fault: "transient-sm",
             replicas: 2,
+            exec: "overlapped",
             stages: 3,
             fault_free_makespan: 100_000,
             e2e_deadline: 830_000,
+            serial_sum_deadline: 900_000,
+            bandwidth_bytes: 64 * 1024,
             trials: 10,
             not_activated: 1,
             masked: 2,

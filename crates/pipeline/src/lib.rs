@@ -12,12 +12,16 @@
 //! * [`builtin`] — the registered pipelines: [`builtin::ad_pipeline`]
 //!   (SRAD perception → BFS detection → pathfinder planning) and
 //!   [`builtin::sensor_fusion`] (camera + radar → fuse → track);
-//! * [`exec`] — per-stage deadline budgets and the end-to-end FTTI
-//!   ([`higpu_core::ftti::PipelineFtti`]), redundant stage execution, a
-//!   per-stage timeline, and bounded **in-FTTI re-execution recovery**:
-//!   a detected stage is retried with fresh replicas while the remaining
-//!   slack allows — fail-operational ([`exec::StageStatus::Recovered`])
-//!   instead of fail-stop;
+//! * [`exec`] — per-stage deadline budgets and the **critical-path**
+//!   end-to-end FTTI ([`higpu_core::ftti::PipelineFtti`]), redundant stage
+//!   execution, a per-stage timeline with DCLS byte accounting, and
+//!   bounded **in-FTTI re-execution recovery**: a detected stage is
+//!   retried with fresh replicas while the path-aware slack allows —
+//!   fail-operational ([`exec::StageStatus::Recovered`]) instead of
+//!   fail-stop. Two executors ([`exec::ExecMode`]): the default
+//!   *overlapped* one runs independent DAG branches concurrently on
+//!   disjoint SM partitions (`overlap`, the RTGPU-style model); the
+//!   *serial* one-stage-at-a-time executor stays as the reference oracle;
 //! * [`campaign`] — fault campaigns over whole frames, classifying
 //!   [`campaign::PipelineTrialOutcome::Recovered`] vs `Detected` (the
 //!   fail-operational/fail-stop frontier observable), with end-to-end
@@ -31,6 +35,7 @@ pub mod builtin;
 pub mod campaign;
 pub mod exec;
 pub mod graph;
+mod overlap;
 pub mod stages;
 
 pub use builtin::{ad_pipeline, full_pipeline_registry, register_all, sensor_fusion};
@@ -39,7 +44,7 @@ pub use campaign::{
     PipelineCampaignSpec, PipelineTrialOutcome,
 };
 pub use exec::{
-    plan, run_pipeline, FailReason, PipelinePlan, PipelineRun, RecoveryPolicy, StageStatus,
-    StageTiming,
+    plan, run_pipeline, ExecMode, FailReason, FrameOptions, PipelinePlan, PipelineRun,
+    RecoveryPolicy, StageStatus, StageTiming,
 };
 pub use graph::{Pipeline, PipelineRegistry, Stage};

@@ -164,6 +164,17 @@ impl GpuConfig {
         }
     }
 
+    /// A wider 10-SM device: the paper's per-SM microarchitecture scaled to
+    /// more SMs, used by N ≥ 5 redundancy experiments (5MR needs at least
+    /// one SM per replica under SLICE, and five pairwise-distinct SRRS
+    /// start SMs are roomier on ten SMs than six).
+    pub fn wide_10sm() -> Self {
+        Self {
+            num_sms: 10,
+            ..Self::paper_6sm()
+        }
+    }
+
     /// A tiny 2-SM configuration for unit tests (fast, small residency).
     pub fn tiny_2sm() -> Self {
         Self {
@@ -231,6 +242,18 @@ mod tests {
     #[test]
     fn tiny_preset_is_valid() {
         GpuConfig::tiny_2sm().validate().expect("tiny preset");
+    }
+
+    #[test]
+    fn wide_preset_is_valid_and_has_10_sms() {
+        let cfg = GpuConfig::wide_10sm();
+        cfg.validate().expect("wide preset must validate");
+        assert_eq!(cfg.num_sms, 10);
+        assert_eq!(
+            cfg.max_threads_per_sm,
+            GpuConfig::paper_6sm().max_threads_per_sm,
+            "same per-SM microarchitecture, just more SMs"
+        );
     }
 
     #[test]

@@ -456,6 +456,39 @@ impl Gpu {
         self.sched_dirty = false;
     }
 
+    /// Discards in-flight and pending work of **only** the given kernels —
+    /// the branch-local form of [`Gpu::cancel_in_flight`]: resident blocks
+    /// of the listed kernels are killed and their undispatched blocks
+    /// dropped, while every other kernel keeps executing undisturbed, with
+    /// the clock, memory, allocations, policy and trace all preserved.
+    ///
+    /// This is how a partitioned frame executor aborts one DAG branch whose
+    /// stage deadline fired: the cancelled branch's partition empties, its
+    /// re-execution can be dispatched into the remaining FTTI slack, and
+    /// sibling partitions never observe a clock-visible difference. The
+    /// device watchdog is *not* cleared (sibling branches may still be
+    /// running under their own limits); cancelled kernels keep their trace
+    /// records with `completion == None`.
+    pub fn cancel_kernels(&mut self, kernels: &[KernelId]) {
+        for sm in &mut self.sms {
+            sm.discard_blocks_of(kernels);
+        }
+        self.kernels.retain(|k| !kernels.contains(&k.id));
+        // Freed partition capacity may admit other kernels' pending blocks.
+        self.sched_dirty = true;
+    }
+
+    /// True once `kernel` has completed every block. Kernels cancelled via
+    /// [`Gpu::cancel_kernels`] / [`Gpu::cancel_in_flight`] count as
+    /// finished (they will never complete; their dead ids resolve rather
+    /// than wedge a waiter).
+    pub fn kernel_finished(&self, kernel: KernelId) -> bool {
+        self.kernels
+            .iter()
+            .find(|k| k.id == kernel)
+            .is_none_or(KernelRuntime::is_finished)
+    }
+
     /// Writes raw bytes to device memory.
     ///
     /// # Panics
@@ -729,6 +762,28 @@ impl Gpu {
     /// dispatching pending work while the device is otherwise quiescent
     /// (policy bug or an unsatisfiable gating condition).
     pub fn run_to_idle(&mut self) -> Result<u64, SimError> {
+        self.run_until(|_| false)
+    }
+
+    /// Advances the simulation until `done(self)` holds **or** the device
+    /// is idle, whichever comes first — the branch-local synchronization
+    /// point of a partitioned frame executor: one DAG branch waits for *its
+    /// own* kernels ([`Gpu::kernel_finished`]) while sibling branches'
+    /// kernels keep executing on their partitions past the return.
+    ///
+    /// The predicate is evaluated once on entry (a satisfied wait returns
+    /// without advancing the clock) and again after every batch of block
+    /// completions. The watchdog ([`Gpu::set_cycle_limit`]) applies exactly
+    /// as in [`Gpu::run_to_idle`] — which is this method with a
+    /// never-satisfied predicate.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::run_to_idle`].
+    pub fn run_until(&mut self, mut done: impl FnMut(&Gpu) -> bool) -> Result<u64, SimError> {
+        if done(self) {
+            return Ok(self.cycle);
+        }
         let mut completions = std::mem::take(&mut self.sched.completions);
         while !self.is_idle() {
             // Watchdog: the clock strictly advances every iteration, so a
@@ -765,7 +820,7 @@ impl Gpu {
             for c in completions.drain(..) {
                 self.process_completion(c);
             }
-            if self.is_idle() {
+            if self.is_idle() || done(self) {
                 break;
             }
 
@@ -1004,6 +1059,84 @@ mod tests {
         gpu.run_to_idle().expect("retry runs");
         assert_eq!(gpu.read_u32(buf3, 64), vec![8u32; 64]);
         assert!(gpu.cycle() > mid_cycle);
+    }
+
+    #[test]
+    fn run_until_returns_at_branch_completion_while_siblings_run_on() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf_a = gpu.alloc_words(32).expect("alloc");
+        let buf_b = gpu.alloc_words(64).expect("alloc");
+        gpu.write_u32(buf_a, &[1u32; 32]);
+        gpu.write_u32(buf_b, &vec![1u32; 64]);
+        // Branch A: one block. Branch B: four blocks (finishes later).
+        let a = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(1u32, 32u32).param_u32(buf_a.0),
+            ))
+            .expect("launch a");
+        let b = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(4u32, 32u32).param_u32(buf_b.0),
+            ))
+            .expect("launch b");
+        assert!(!gpu.kernel_finished(a));
+        let mid = gpu.run_until(|g| g.kernel_finished(a)).expect("wait a");
+        assert!(gpu.kernel_finished(a));
+        assert!(!gpu.kernel_finished(b), "sibling still in flight");
+        assert!(!gpu.is_idle());
+        assert_eq!(gpu.read_u32(buf_a, 32), vec![2u32; 32], "a delivered");
+        // A satisfied wait returns without advancing the clock.
+        assert_eq!(gpu.run_until(|g| g.kernel_finished(a)).expect("noop"), mid);
+        assert_eq!(gpu.cycle(), mid);
+        // The sibling runs on to completion afterwards.
+        gpu.run_to_idle().expect("finish b");
+        assert!(gpu.kernel_finished(b));
+        assert_eq!(gpu.read_u32(buf_b, 64), vec![2u32; 64]);
+        assert!(gpu.cycle() > mid);
+    }
+
+    #[test]
+    fn cancel_kernels_kills_one_branch_and_leaves_the_sibling_intact() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        let buf_a = gpu.alloc_words(64).expect("alloc");
+        let buf_b = gpu.alloc_words(64).expect("alloc");
+        gpu.write_u32(buf_a, &vec![5u32; 64]);
+        gpu.write_u32(buf_b, &vec![7u32; 64]);
+        let a = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(2u32, 32u32).param_u32(buf_a.0),
+            ))
+            .expect("launch a");
+        let b = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(2u32, 32u32).param_u32(buf_b.0),
+            ))
+            .expect("launch b");
+        // Cut execution off almost immediately, then abort only branch A.
+        gpu.set_cycle_limit(Some(gpu.config().dispatch_gap_cycles + 20));
+        assert!(matches!(
+            gpu.run_to_idle(),
+            Err(SimError::DeadlineExceeded { .. })
+        ));
+        gpu.set_cycle_limit(None);
+        let clock = gpu.cycle();
+        gpu.cancel_kernels(&[a]);
+        assert!(gpu.kernel_finished(a), "a cancelled kernel id resolves");
+        assert!(!gpu.is_idle(), "the sibling branch is still in flight");
+        assert_eq!(gpu.cycle(), clock, "cancellation is clock-invisible");
+        gpu.run_to_idle().expect("sibling completes");
+        assert_eq!(
+            gpu.read_u32(buf_b, 64),
+            vec![8u32; 64],
+            "the sibling's result is undisturbed by the cancellation"
+        );
+        let rec = gpu.trace().kernel(a).expect("cancelled kernel traced");
+        assert_eq!(rec.completion, None, "a killed launch never completes");
+        assert!(gpu.trace().kernel(b).expect("b").completion.is_some());
     }
 
     #[test]

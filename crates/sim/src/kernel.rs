@@ -1,6 +1,7 @@
 //! Kernel launch descriptors: grid/block geometry, parameters and the
 //! scheduling attributes consumed by global kernel-scheduler policies.
 
+use crate::partition::SmRange;
 use crate::program::Program;
 use std::sync::Arc;
 
@@ -90,6 +91,14 @@ pub struct LaunchAttrs {
     /// SRRS hint: kernels sharing a serialization group are executed one at
     /// a time, on an otherwise idle GPU.
     pub serialize_group: Option<u32>,
+    /// Partition reservation: the kernel is confined to this contiguous SM
+    /// range (a frame executor's branch partition). Composes with the
+    /// diversity hints above — a `slice` is taken *of the reserve* (see
+    /// [`SmSlice::range_in`]), a `start_sm` round-robins *within* it, and a
+    /// `serialize_group` serializes against the reserve only — so one
+    /// frame's independent branches overlap on disjoint partitions while
+    /// each branch keeps its replica-diversity placement.
+    pub reserve: Option<SmRange>,
     /// Extra cycles added to this launch's arrival before it becomes
     /// visible to the scheduler (on top of the serial CPU dispatch gap).
     /// Diversity-enforcing hosts use this to stagger concurrent replicas by
@@ -127,6 +136,15 @@ impl SmSlice {
     /// True if `sm` belongs to this slice.
     pub fn contains(self, sm: usize, num_sms: usize) -> bool {
         self.range(num_sms).contains(&sm)
+    }
+
+    /// The SM-id range of this slice *within a reserved partition*: the
+    /// balanced sub-slice of `reserve`'s SMs, offset to absolute ids. This
+    /// is how a frame executor composes replica diversity (disjoint slices)
+    /// with branch isolation (disjoint partitions).
+    pub fn range_in(self, reserve: SmRange) -> std::ops::Range<usize> {
+        let r = self.range(reserve.len);
+        reserve.start + r.start..reserve.start + r.end
     }
 }
 
@@ -284,6 +302,13 @@ impl KernelLaunch {
         self
     }
 
+    /// Confines this launch to a reserved SM partition (see
+    /// [`LaunchAttrs::reserve`]).
+    pub fn reserve(mut self, range: SmRange) -> Self {
+        self.attrs.reserve = Some(range);
+        self
+    }
+
     /// Delays this launch's scheduler arrival by `cycles` beyond the serial
     /// dispatch gap (droop-aware start skew; see
     /// [`LaunchAttrs::dispatch_delay`]).
@@ -392,6 +417,28 @@ mod tests {
     }
 
     #[test]
+    fn slices_within_a_reserve_cover_it_disjointly() {
+        // A 3-SM partition starting at SM 2, cut in 2 sub-slices: [2,3) and
+        // [3,5) (later slices get the larger share, as with global slicing).
+        let reserve = SmRange { start: 2, len: 3 };
+        assert_eq!(SmSlice { index: 0, of: 2 }.range_in(reserve), 2..3);
+        assert_eq!(SmSlice { index: 1, of: 2 }.range_in(reserve), 3..5);
+        // Sub-slices always tile the reserve exactly.
+        for len in 1..=8usize {
+            for of in 1..=len.min(4) as u8 {
+                let reserve = SmRange { start: 1, len };
+                let mut prev_end = reserve.start;
+                for index in 0..of {
+                    let r = SmSlice { index, of }.range_in(reserve);
+                    assert_eq!(r.start, prev_end, "len={len} of={of}");
+                    prev_end = r.end;
+                }
+                assert_eq!(prev_end, reserve.start + reserve.len);
+            }
+        }
+    }
+
+    #[test]
     fn launch_config_params() {
         let c = LaunchConfig::new(4u32, 64u32)
             .param_u32(10)
@@ -423,8 +470,10 @@ mod tests {
             .partition(SmPartition::Upper)
             .slice(1, 3)
             .serialize_group(9)
+            .reserve(SmRange { start: 2, len: 2 })
             .dispatch_delay(501);
         assert_eq!(l.attrs.tag, "k0");
+        assert_eq!(l.attrs.reserve, Some(SmRange { start: 2, len: 2 }));
         assert_eq!(l.attrs.dispatch_delay, 501);
         assert_eq!(
             l.attrs.redundant,

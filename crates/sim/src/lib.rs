@@ -64,6 +64,7 @@ pub mod inline_vec;
 pub mod isa;
 pub mod kernel;
 pub mod mem;
+pub mod partition;
 pub mod program;
 pub mod scheduler;
 pub mod sm;

@@ -1,0 +1,245 @@
+//! SM-partition reservations: disjoint, contiguous SM ranges a host-side
+//! frame executor claims for concurrently executing work.
+//!
+//! The paper's isolation primitive for co-scheduled critical kernels is a
+//! static SM partition (HALF; generalized by `SmSlice`). A *reservation*
+//! lifts that idea to the frame level: a real-time host running independent
+//! DAG branches of one frame concurrently reserves a disjoint SM range per
+//! branch, launches the branch's redundant kernels confined to that range
+//! (the [`crate::kernel::LaunchAttrs::reserve`] attribute, composing with
+//! the existing `SmSlice`/`start_sm` diversity hints *inside* the range),
+//! and releases the range when the branch delivers. Because ranges are
+//! disjoint by construction, a branch that is cancelled mid-flight
+//! ([`crate::gpu::Gpu::cancel_kernels`]) can never disturb a sibling
+//! partition's clock-visible state.
+
+use std::fmt;
+
+/// A contiguous range of SM ids, `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SmRange {
+    /// First SM id of the range.
+    pub start: usize,
+    /// Number of SMs in the range (non-zero for any usable range).
+    pub len: usize,
+}
+
+impl SmRange {
+    /// The range covering a whole device of `num_sms` SMs.
+    pub fn whole(num_sms: usize) -> Self {
+        Self {
+            start: 0,
+            len: num_sms,
+        }
+    }
+
+    /// The SM-id range as a standard range.
+    pub fn range(self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+
+    /// True if `sm` belongs to this range.
+    pub fn contains(self, sm: usize) -> bool {
+        self.range().contains(&sm)
+    }
+
+    /// True when this range lies inside a device with `num_sms` SMs and is
+    /// non-empty.
+    pub fn is_valid(self, num_sms: usize) -> bool {
+        self.len > 0 && self.start + self.len <= num_sms
+    }
+}
+
+impl fmt::Display for SmRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SM[{}..{})", self.start, self.start + self.len)
+    }
+}
+
+/// A claimed partition: the handle a frame executor holds while a branch
+/// runs on the reserved SMs. Returned by [`SmPartitionTable::reserve`] and
+/// consumed by [`SmPartitionTable::release`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmReservation {
+    id: u32,
+    range: SmRange,
+}
+
+impl SmReservation {
+    /// The reserved SM range.
+    pub fn range(&self) -> SmRange {
+        self.range
+    }
+}
+
+/// Book-keeping of disjoint SM reservations over one device.
+///
+/// First-fit over contiguous free runs; every claim is validated against
+/// `num_sms`, and double-release / foreign handles are rejected — a wiring
+/// bug in the frame executor must surface, not silently corrupt the
+/// partition map.
+#[derive(Debug)]
+pub struct SmPartitionTable {
+    /// `owner[sm]` = reservation id holding that SM, if any.
+    owner: Vec<Option<u32>>,
+    next_id: u32,
+}
+
+impl SmPartitionTable {
+    /// An empty table over a device with `num_sms` SMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-SM device (no partition could ever be reserved).
+    pub fn new(num_sms: usize) -> Self {
+        assert!(num_sms > 0, "partition table over a zero-SM device");
+        Self {
+            owner: vec![None; num_sms],
+            next_id: 0,
+        }
+    }
+
+    /// Number of SMs the table manages.
+    pub fn num_sms(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// SMs not currently reserved.
+    pub fn free_sms(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_none()).count()
+    }
+
+    /// Length of the largest contiguous free run (the biggest partition
+    /// [`SmPartitionTable::reserve`] could currently satisfy).
+    pub fn largest_free_run(&self) -> usize {
+        let mut best = 0;
+        let mut run = 0;
+        for o in &self.owner {
+            if o.is_none() {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
+
+    /// Reserves the first (lowest-start) contiguous run of `sms` free SMs;
+    /// `None` when no such run exists (the caller waits for a release).
+    pub fn reserve(&mut self, sms: usize) -> Option<SmReservation> {
+        if sms == 0 || sms > self.owner.len() {
+            return None;
+        }
+        let mut start = 0;
+        while start + sms <= self.owner.len() {
+            match self.owner[start..start + sms]
+                .iter()
+                .rposition(Option::is_some)
+            {
+                // Skip past the last claimed SM inside the window.
+                Some(claimed) => start += claimed + 1,
+                None => {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    for o in &mut self.owner[start..start + sms] {
+                        *o = Some(id);
+                    }
+                    return Some(SmReservation {
+                        id,
+                        range: SmRange { start, len: sms },
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Releases a reservation previously handed out by this table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle this table does not currently hold (double
+    /// release or a foreign table) — a frame-executor wiring bug.
+    pub fn release(&mut self, reservation: SmReservation) {
+        let r = reservation.range.range();
+        assert!(
+            reservation.range.is_valid(self.owner.len())
+                && self.owner[r.clone()]
+                    .iter()
+                    .all(|o| *o == Some(reservation.id)),
+            "released partition {} is not held by this table",
+            reservation.range
+        );
+        for o in &mut self.owner[r] {
+            *o = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_validate_and_contain() {
+        let r = SmRange { start: 2, len: 3 };
+        assert!(r.is_valid(6));
+        assert!(!r.is_valid(4), "2+3 > 4");
+        assert!(!SmRange { start: 0, len: 0 }.is_valid(6), "empty");
+        assert!(r.contains(2) && r.contains(4) && !r.contains(5));
+        assert_eq!(SmRange::whole(6).range(), 0..6);
+        assert_eq!(format!("{r}"), "SM[2..5)");
+    }
+
+    #[test]
+    fn first_fit_reserves_disjoint_contiguous_runs() {
+        let mut t = SmPartitionTable::new(6);
+        assert_eq!(t.free_sms(), 6);
+        let a = t.reserve(3).expect("first half");
+        let b = t.reserve(3).expect("second half");
+        assert_eq!(a.range(), SmRange { start: 0, len: 3 });
+        assert_eq!(b.range(), SmRange { start: 3, len: 3 });
+        assert_eq!(t.free_sms(), 0);
+        assert!(t.reserve(1).is_none(), "nothing left");
+
+        // Releasing the lower half opens exactly that run again.
+        t.release(a);
+        assert_eq!(t.free_sms(), 3);
+        assert_eq!(t.largest_free_run(), 3);
+        let c = t.reserve(2).expect("fits the freed run");
+        assert_eq!(c.range().start, 0);
+    }
+
+    #[test]
+    fn fragmented_table_skips_claimed_holes() {
+        let mut t = SmPartitionTable::new(6);
+        let a = t.reserve(2).expect("0..2");
+        let b = t.reserve(2).expect("2..4");
+        let _c = t.reserve(2).expect("4..6");
+        t.release(a);
+        t.release(b);
+        // 0..4 free, 4..6 claimed: a 4-wide claim fits at 0.
+        let d = t.reserve(4).expect("coalesced run");
+        assert_eq!(d.range(), SmRange { start: 0, len: 4 });
+        assert!(t.reserve(1).is_none());
+        assert_eq!(t.largest_free_run(), 0);
+    }
+
+    #[test]
+    fn oversized_and_zero_claims_are_refused() {
+        let mut t = SmPartitionTable::new(4);
+        assert!(t.reserve(0).is_none());
+        assert!(t.reserve(5).is_none());
+        assert_eq!(t.free_sms(), 4, "refused claims leave the table intact");
+    }
+
+    #[test]
+    #[should_panic(expected = "not held by this table")]
+    fn double_release_is_rejected() {
+        let mut t = SmPartitionTable::new(4);
+        let a = t.reserve(2).expect("claim");
+        t.release(a);
+        t.release(a);
+    }
+}

@@ -177,6 +177,31 @@ impl Sm {
         self.greedy = None;
     }
 
+    /// Discards only the resident blocks of the given kernels, releasing
+    /// their resources — the branch-local abort path of a partitioned frame
+    /// executor ([`crate::gpu::Gpu::cancel_kernels`]): sibling kernels on
+    /// this SM keep executing undisturbed.
+    pub fn discard_blocks_of(&mut self, kernels: &[KernelId]) {
+        self.blocks.retain(|b| {
+            if !kernels.contains(&b.kernel) {
+                return true;
+            }
+            self.used.threads -= b.footprint.threads;
+            self.used.warps -= b.footprint.warps;
+            self.used.registers -= b.footprint.registers;
+            self.used.shared_mem -= b.footprint.shared_mem;
+            self.used.blocks -= 1;
+            false
+        });
+        // The issue bookmark may point at a discarded block; drop it (the
+        // scheduler re-establishes it on the next issue).
+        if let Some((k, _, _)) = self.greedy {
+            if kernels.contains(&k) {
+                self.greedy = None;
+            }
+        }
+    }
+
     /// Resets the SM to its post-construction state: counters cleared,
     /// scheduling bookmark dropped. The SM must be idle (no resident
     /// blocks); resource pools are already released at that point.

@@ -18,6 +18,21 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufId(pub(crate) usize);
 
+impl BufId {
+    /// The buffer's slot within its owning session. Session backends
+    /// outside this crate (e.g. the pipeline frame executor's channel
+    /// session) key their own buffer tables with it.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The handle for slot `index` — the constructor such external session
+    /// backends hand back from their `alloc_words`.
+    pub fn from_index(index: usize) -> Self {
+        BufId(index)
+    }
+}
+
 /// A kernel parameter referencing session buffers.
 #[derive(Debug, Clone, Copy)]
 pub enum SParam {
@@ -252,6 +267,8 @@ pub struct RedundantSession<'g, 'e> {
     corrected_reads: usize,
     tied_reads: usize,
     first_mismatch: Option<usize>,
+    bytes_uploaded: u64,
+    bytes_read_back: u64,
 }
 
 impl<'g, 'e> RedundantSession<'g, 'e> {
@@ -281,6 +298,8 @@ impl<'g, 'e> RedundantSession<'g, 'e> {
             corrected_reads: 0,
             tied_reads: 0,
             first_mismatch: None,
+            bytes_uploaded: 0,
+            bytes_read_back: 0,
         }
     }
 
@@ -307,6 +326,19 @@ impl<'g, 'e> RedundantSession<'g, 'e> {
     pub fn first_mismatch(&self) -> Option<usize> {
         self.first_mismatch
     }
+
+    /// Host→device bytes uploaded so far, summed over all replicas — the
+    /// DCLS protocol transfers every input once *per replica*, so this is
+    /// `N ×` the logical upload volume.
+    pub fn bytes_uploaded(&self) -> u64 {
+        self.bytes_uploaded
+    }
+
+    /// Device→host bytes read back so far, summed over all replicas (every
+    /// read-back fetches all N copies for the compare/vote).
+    pub fn bytes_read_back(&self) -> u64 {
+        self.bytes_read_back
+    }
 }
 
 impl GpuSession for RedundantSession<'_, '_> {
@@ -319,12 +351,14 @@ impl GpuSession for RedundantSession<'_, '_> {
     fn write_u32(&mut self, buf: BufId, data: &[u32]) -> Result<(), SessionError> {
         let b = self.buffers[buf.0].clone();
         self.exec.write_u32(&b, data)?;
+        self.bytes_uploaded += 4 * data.len() as u64 * u64::from(self.exec.replicas());
         Ok(())
     }
 
     fn write_f32(&mut self, buf: BufId, data: &[f32]) -> Result<(), SessionError> {
         let b = self.buffers[buf.0].clone();
         self.exec.write_f32(&b, data)?;
+        self.bytes_uploaded += 4 * data.len() as u64 * u64::from(self.exec.replicas());
         Ok(())
     }
 
@@ -380,6 +414,7 @@ impl GpuSession for RedundantSession<'_, '_> {
 
     fn read_u32(&mut self, buf: BufId, words: usize) -> Result<Vec<u32>, SessionError> {
         self.sync()?;
+        self.bytes_read_back += 4 * words as u64 * u64::from(self.exec.replicas());
         let Self { exec, buffers, .. } = self;
         let vote = exec.read_vote_u32(&buffers[buf.0], words)?;
         match vote.outcome {
@@ -447,6 +482,10 @@ mod tests {
 
         assert_eq!(solo_out, red_out);
         assert_eq!(solo_out[5], 10);
+        // DCLS byte accounting: 64 words uploaded and read back, twice (one
+        // transfer per replica in each direction).
+        assert_eq!(red.bytes_uploaded(), 64 * 4 * 2);
+        assert_eq!(red.bytes_read_back(), 64 * 4 * 2);
     }
 
     #[test]

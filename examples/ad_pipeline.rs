@@ -13,7 +13,7 @@
 use higpu::core::redundancy::RedundancyMode;
 use higpu::faults::injector::{FaultInjector, InjectionCounters};
 use higpu::faults::model::FaultModel;
-use higpu::pipeline::{ad_pipeline, plan, run_pipeline, RecoveryPolicy, StageStatus};
+use higpu::pipeline::{ad_pipeline, plan, run_pipeline, FrameOptions, StageStatus};
 use higpu::sim::config::GpuConfig;
 use higpu::sim::gpu::Gpu;
 use higpu::workloads::Scale;
@@ -26,13 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Calibrate the deadline plan once (fault-free frame): per-stage
     // budgets from each stage's declared FTTI multiplier, end-to-end FTTI
-    // as their sum.
+    // as the critical path of the stage DAG.
     let frame_plan = plan(&gpu_cfg, &pipeline, &mode)?;
     println!(
-        "plan: stages {:?} cycles, budgets {:?}, end-to-end FTTI {} cycles\n",
+        "plan: stages {:?} cycles, budgets {:?}, critical-path FTTI {} cycles \
+         (per-stage sum {}), frame traffic {} bytes\n",
         frame_plan.stage_makespans,
         frame_plan.ftti.stage_budgets,
-        frame_plan.ftti.end_to_end()
+        frame_plan.ftti.end_to_end(),
+        frame_plan.ftti.serial_sum(),
+        frame_plan.frame_bandwidth_bytes,
     );
 
     println!("frame  cycles    retries  status      per-stage");
@@ -59,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &pipeline,
             &mode,
             &frame_plan,
-            RecoveryPolicy::default(),
+            FrameOptions::overlapped(),
         )?;
         let stages: Vec<String> = run
             .timings

@@ -1,8 +1,10 @@
 //! Acceptance fences of the pipeline subsystem: campaign determinism
-//! (parallel bit-identical to serial at 1/2/8 workers), the frozen
-//! `ad_pipeline` stage timeline, and the fail-operational demonstration —
-//! a detected stage fault recovered by in-FTTI re-execution that would
-//! have been a fail-stop without the recovery budget.
+//! (parallel bit-identical to serial at 1/2/8 workers, on **both** frame
+//! executors), the frozen `ad_pipeline` stage timeline, the frozen
+//! *overlapped* `sensor_fusion` timeline (branch partitions + critical-path
+//! FTTI), and the fail-operational demonstration — a detected stage fault
+//! recovered by in-FTTI re-execution that would have been a fail-stop
+//! without the recovery budget.
 
 use higpu_core::policy::PolicyKind;
 use higpu_core::redundancy::RedundancyMode;
@@ -10,7 +12,7 @@ use higpu_faults::campaign::{CampaignConfig, FaultSpec};
 use higpu_pipeline::campaign::PipelineCampaignSpec;
 use higpu_pipeline::{
     ad_pipeline, full_pipeline_registry, plan, run_pipeline, run_pipeline_campaign,
-    run_pipeline_campaign_serial, RecoveryPolicy, StageStatus,
+    run_pipeline_campaign_serial, sensor_fusion, ExecMode, FrameOptions, StageStatus,
 };
 use higpu_sim::config::GpuConfig;
 use higpu_sim::gpu::Gpu;
@@ -24,20 +26,44 @@ fn campaign_cfg(trials: u32) -> CampaignConfig {
     }
 }
 
+fn gpu_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::paper_6sm();
+    cfg.global_mem_bytes = 2 * 1024 * 1024;
+    cfg
+}
+
 /// Pipeline campaigns must be a pure function of their configuration:
 /// the parallel engine's report is bit-identical to the serial reference
-/// at every worker count, for both registered pipelines.
+/// at every worker count, for both registered pipelines, on both frame
+/// executors.
 #[test]
 fn pipeline_campaigns_are_bit_identical_to_serial_across_worker_counts() {
     let reg = full_pipeline_registry();
-    for (pipeline, fault, trials) in [
-        ("ad_pipeline", FaultSpec::Transient { duration: 400 }, 4),
-        ("sensor_fusion", FaultSpec::Permanent, 3),
+    for (pipeline, fault, trials, exec) in [
+        (
+            "ad_pipeline",
+            FaultSpec::Transient { duration: 400 },
+            4,
+            ExecMode::Overlapped,
+        ),
+        (
+            "sensor_fusion",
+            FaultSpec::Permanent,
+            3,
+            ExecMode::Overlapped,
+        ),
+        (
+            "sensor_fusion",
+            FaultSpec::Transient { duration: 400 },
+            3,
+            ExecMode::Serial,
+        ),
     ] {
-        let spec = PipelineCampaignSpec::new(pipeline, PolicyKind::Srrs, fault);
+        let spec = PipelineCampaignSpec::new(pipeline, PolicyKind::Srrs, fault).with_exec(exec);
         let mut cfg = campaign_cfg(trials);
         let serial = run_pipeline_campaign_serial(&cfg, &reg, &spec)
             .unwrap_or_else(|e| panic!("{pipeline}: serial: {e}"));
+        assert_eq!(serial.exec, exec.label());
         assert_eq!(
             serial.trials,
             serial.not_activated
@@ -53,8 +79,10 @@ fn pipeline_campaigns_are_bit_identical_to_serial_across_worker_counts() {
             let parallel = run_pipeline_campaign(&cfg, &reg, &spec)
                 .unwrap_or_else(|e| panic!("{pipeline}@{workers}: {e}"));
             assert_eq!(
-                parallel, serial,
-                "{pipeline}: report must not depend on workers={workers}"
+                parallel,
+                serial,
+                "{pipeline} ({}): report must not depend on workers={workers}",
+                exec.label()
             );
         }
         assert_eq!(
@@ -136,10 +164,11 @@ fn permanent_faults_exhaust_retries_under_dcls_but_vote_away_under_tmr() {
 }
 
 /// The frozen `ad_pipeline` timeline: per-stage start/finish cycles of a
-/// fault-free campaign-scale frame under SRRS@2. These numbers are the
-/// subsystem's determinism contract — any scheduler, executor or stage
-/// change that moves them must be deliberate (update the constants with
-/// the measured values and say why in the commit).
+/// fault-free campaign-scale frame under SRRS@2 on the **serial** (oracle)
+/// executor. These numbers are the subsystem's determinism contract — any
+/// scheduler, executor or stage change that moves them must be deliberate
+/// (update the constants with the measured values and say why in the
+/// commit).
 #[test]
 fn ad_pipeline_golden_timeline_is_frozen() {
     const GOLDEN: [(usize, &str, u64, u64); 3] = [
@@ -152,15 +181,18 @@ fn ad_pipeline_golden_timeline_is_frozen() {
 
     let p = ad_pipeline(Scale::Campaign);
     let mode = RedundancyMode::srrs_default(6);
-    let mut gpu_cfg = GpuConfig::paper_6sm();
-    gpu_cfg.global_mem_bytes = 2 * 1024 * 1024;
-    let frame_plan = plan(&gpu_cfg, &p, &mode).expect("calibration");
+    let frame_plan = plan(&gpu_cfg(), &p, &mode).expect("calibration");
     assert_eq!(frame_plan.ftti.stage_budgets, GOLDEN_BUDGETS);
     assert_eq!(frame_plan.ftti.end_to_end(), GOLDEN_E2E);
+    assert_eq!(
+        frame_plan.ftti.serial_sum(),
+        GOLDEN_E2E,
+        "a chain's critical path IS the per-stage sum"
+    );
 
-    let mut gpu = Gpu::new(gpu_cfg);
+    let mut gpu = Gpu::new(gpu_cfg());
     let run =
-        run_pipeline(&mut gpu, &p, &mode, &frame_plan, RecoveryPolicy::default()).expect("frame");
+        run_pipeline(&mut gpu, &p, &mode, &frame_plan, FrameOptions::serial()).expect("frame");
     assert!(run.completed());
     assert_eq!(run.timings.len(), GOLDEN.len());
     for (t, &(stage, name, start, end)) in run.timings.iter().zip(&GOLDEN) {
@@ -176,4 +208,64 @@ fn ad_pipeline_golden_timeline_is_frozen() {
     // The voted frame output matches the golden dataflow's sink reference.
     let refs = p.reference_outputs();
     assert_eq!(run.outputs[p.sink()], refs[p.sink()]);
+}
+
+/// The frozen **overlapped** `sensor_fusion` timeline: the camera and
+/// radar branches start together on disjoint half-device partitions, the
+/// fuse join waits for both, and the end-to-end makespan lands strictly
+/// below the serial executor's on the same calibrated plan — with the
+/// critical-path FTTI strictly below the PR 4 per-stage sum. Any change
+/// that moves these cycles must be deliberate.
+#[test]
+fn overlapped_sensor_fusion_golden_timeline_is_frozen() {
+    // (stage, name, start, end, partition start..end)
+    const GOLDEN: [(usize, &str, u64, u64, usize, usize); 4] = [
+        (0, "camera", 0, 42_788, 0, 3),
+        (1, "radar", 0, 29_189, 3, 6),
+        (2, "fuse", 42_788, 57_876, 0, 6),
+        (3, "track", 57_876, 73_000, 0, 6),
+    ];
+    const GOLDEN_E2E_MAKESPAN: u64 = 73_000;
+    const GOLDEN_SERIAL_MAKESPAN: u64 = 75_564;
+    const GOLDEN_CRITICAL_PATH_FTTI: u64 = 523_008;
+    const GOLDEN_SERIAL_SUM_FTTI: u64 = 644_512;
+
+    let p = sensor_fusion(Scale::Campaign);
+    let mode = RedundancyMode::srrs_default(6);
+    let frame_plan = plan(&gpu_cfg(), &p, &mode).expect("calibration");
+    assert_eq!(frame_plan.ftti.end_to_end(), GOLDEN_CRITICAL_PATH_FTTI);
+    assert_eq!(frame_plan.ftti.serial_sum(), GOLDEN_SERIAL_SUM_FTTI);
+    assert!(
+        frame_plan.ftti.end_to_end() < frame_plan.ftti.serial_sum(),
+        "the critical-path FTTI is strictly below the per-stage sum"
+    );
+
+    let mut gpu = Gpu::new(gpu_cfg());
+    let over = run_pipeline(&mut gpu, &p, &mode, &frame_plan, FrameOptions::overlapped())
+        .expect("overlapped frame");
+    assert!(over.completed());
+    for &(stage, name, start, end, p_start, p_end) in &GOLDEN {
+        let t = over.timing_of(stage).expect("stage ran");
+        assert_eq!(
+            (t.stage, t.name, t.start, t.end, t.partition.range()),
+            (stage, name, start, end, p_start..p_end),
+            "overlapped timeline moved: {t:?}"
+        );
+        assert_eq!(t.status, StageStatus::Clean);
+    }
+    assert_eq!(over.end_cycle, GOLDEN_E2E_MAKESPAN);
+    assert!(!over.deadline_miss);
+
+    let mut gpu = Gpu::new(gpu_cfg());
+    let serial = run_pipeline(&mut gpu, &p, &mode, &frame_plan, FrameOptions::serial())
+        .expect("serial frame");
+    assert_eq!(serial.end_cycle, GOLDEN_SERIAL_MAKESPAN);
+    assert!(
+        over.end_cycle < serial.end_cycle,
+        "overlap must strictly beat the serial frame"
+    );
+    assert_eq!(
+        over.outputs, serial.outputs,
+        "executors agree bit-for-bit on fault-free voted outputs"
+    );
 }
