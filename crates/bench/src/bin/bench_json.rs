@@ -119,14 +119,31 @@ fn main() -> ExitCode {
     };
     if let Some(m) = &matrix {
         println!(
-            "campaign matrix: {} workload cells + {} pipeline cells, undetected under \
-             diverse policies: {} + {}, frames recovered in-FTTI: {}",
+            "campaign matrix: {} workload cells + {} wide cells + {} pipeline cells, \
+             undetected under diverse policies: {} + {}, frames recovered in-FTTI: {}",
             m.reports.len(),
+            m.wide_reports.len(),
             m.pipeline_reports.len(),
             m.undetected_under_diverse_policies(),
             m.pipeline_undetected_under_diverse_policies(),
             m.total_recovered()
         );
+        if !m.limp_reports.is_empty() {
+            println!(
+                "degraded mode: {} mission cells over {} frames — quarantined: {}, \
+                 limp-home misses: {}, re-planned deadline misses: {}, \
+                 frames to diagnosis: {}, post-quarantine inflation: {}",
+                m.limp_reports.len(),
+                m.limp_frames,
+                m.limp_quarantined(),
+                m.limp_home_misses(),
+                m.limp_deadline_misses(),
+                m.limp_mean_frames_to_diagnosis()
+                    .map_or("n/a".to_string(), |v| format!("{v:.2}")),
+                m.limp_makespan_inflation()
+                    .map_or("n/a".to_string(), |v| format!("{v:.3}x")),
+            );
+        }
     }
     let json = match &matrix {
         Some(m) => bench_document(&result, m),

@@ -9,17 +9,25 @@
 //!                 [--faults transient,droop,permanent,misroute]
 //!                 [--replicas 2,3] [--pipelines ad_pipeline,sensor_fusion]
 //!                 [--pipeline-trials N] [--exec overlapped,serial]
+//!                 [--frames N] [--limp-trials N]
+//!                 [--wide-replicas 5] [--wide-trials N]
 //!                 [--assert-srrs-clean]
 //!                 [--full-scale] [--check-serial] [--csv] [--json PATH]
 //! ```
 //!
 //! `--assert-srrs-clean` exits non-zero unless every SRRS cell — at every
-//! swept replica count — reports zero undetected failures (the CI fence for
-//! the paper's ASIL-D claim). When `--pipelines` names any pipeline the
-//! fence extends to the pipeline cells: any undetected failure under a
-//! diverse policy, or any *unrecovered in-slack retry* on a transient-class
-//! fault (a re-execution that was funded by the FTTI but still failed),
-//! fails the run.
+//! swept replica count, on the paper device and the wide one — reports zero
+//! undetected failures (the CI fence for the paper's ASIL-D claim). When
+//! `--pipelines` names any pipeline the fence extends to the pipeline
+//! cells: any undetected failure under a diverse policy, or any
+//! *unrecovered in-slack retry* on a transient-class fault (a re-execution
+//! that was funded by the FTTI but still failed), fails the run. With limp
+//! cells swept (`--frames` > 1), the fence also covers degraded-mode
+//! missions: a permanent fault must actually be diagnosed and quarantined,
+//! every diagnosed mission must limp home, no degraded frame may overrun
+//! its *re-planned* end-to-end budget, and a transient-class fault must
+//! never cost the device an SM (no quarantine without attributable
+//! permanent evidence).
 
 use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
 use higpu_bench::table;
@@ -135,6 +143,36 @@ fn parse_args() -> Result<Options, String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--frames" => {
+                opts.cfg.limp_frames = value("--frames")?
+                    .parse()
+                    .map_err(|e| format!("--frames: {e}"))?;
+            }
+            "--limp-trials" => {
+                opts.cfg.limp_trials = Some(
+                    value("--limp-trials")?
+                        .parse()
+                        .map_err(|e| format!("--limp-trials: {e}"))?,
+                );
+            }
+            "--wide-replicas" => {
+                opts.cfg.wide_replica_counts = value("--wide-replicas")?
+                    .split(',')
+                    .filter(|r| !r.trim().is_empty())
+                    .map(|r| {
+                        r.trim()
+                            .parse::<u8>()
+                            .map_err(|e| format!("--wide-replicas: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--wide-trials" => {
+                opts.cfg.wide_trials = Some(
+                    value("--wide-trials")?
+                        .parse()
+                        .map_err(|e| format!("--wide-trials: {e}"))?,
+                );
+            }
             "--assert-srrs-clean" => opts.assert_srrs_clean = true,
             "--full-scale" => opts.cfg.scale = Scale::Full,
             "--check-serial" => opts.cfg.check_serial = true,
@@ -240,6 +278,24 @@ fn main() -> ExitCode {
                 );
             }
         }
+        if !m.limp_reports.is_empty() {
+            println!(
+                "\ndegraded mode ({} frames/mission): quarantined={}  limp-home-miss={}  \
+                 re-planned-ddl-miss={}  false-quarantines={}  frames-to-diagnosis={}  \
+                 post-quarantine inflation={}  limp miss rate={}",
+                m.limp_frames,
+                m.limp_quarantined(),
+                m.limp_home_misses(),
+                m.limp_deadline_misses(),
+                m.limp_false_quarantines(),
+                m.limp_mean_frames_to_diagnosis()
+                    .map_or("n/a".to_string(), |v| format!("{v:.2}")),
+                m.limp_makespan_inflation()
+                    .map_or("n/a".to_string(), |v| format!("{v:.3}x")),
+                m.limp_home_miss_rate()
+                    .map_or("n/a".to_string(), |v| format!("{:.0}%", v * 100.0)),
+            );
+        }
     }
     if let Some(path) = opts.json {
         if let Err(e) = std::fs::write(&path, m.to_json() + "\n") {
@@ -323,6 +379,82 @@ fn main() -> ExitCode {
                 "campaign_matrix: pipeline fence clean ({} cells, {} frames recovered)",
                 m.pipeline_reports.len(),
                 m.total_recovered()
+            );
+        }
+        // Wide-device fence: the extra replica counts keep the ASIL-D
+        // claim too (the wide cells fold into
+        // undetected_under_diverse_policies, checked per-cell here for an
+        // attributable message).
+        if !m.wide_replica_counts.is_empty() && m.wide_reports.is_empty() {
+            eprintln!(
+                "campaign_matrix: --assert-srrs-clean with wide replicas {:?} but no wide \
+                 cell was swept (check --policies) — fence vacuous",
+                m.wide_replica_counts
+            );
+            return ExitCode::FAILURE;
+        }
+        let wide_undetected: u32 = m
+            .wide_reports
+            .iter()
+            .filter(|r| diverse.contains(&r.policy.as_str()))
+            .map(|r| r.undetected)
+            .sum();
+        if wide_undetected != 0 {
+            eprintln!(
+                "campaign_matrix: wide-device cells show {wide_undetected} undetected \
+                 failure(s) under diverse policies — ASIL-D fence violated"
+            );
+            return ExitCode::FAILURE;
+        }
+        if !m.wide_reports.is_empty() {
+            eprintln!(
+                "campaign_matrix: wide device clean at {:?} replicas ({} cells)",
+                m.wide_replica_counts,
+                m.wide_reports.len()
+            );
+        }
+        // Limp-home fence: permanent faults must be diagnosed and limped
+        // around, degraded frames must hold their *re-planned* budgets,
+        // and no quarantine may ever rest on unattributable (transient or
+        // tie-only) evidence.
+        if !m.limp_reports.is_empty() {
+            let swept_persistent = m.limp_reports.iter().any(|r| persistent.contains(&r.fault));
+            if swept_persistent && m.limp_quarantined() == 0 {
+                eprintln!(
+                    "campaign_matrix: permanent-fault limp cells never diagnosed a \
+                     quarantine — degraded-mode fence vacuous"
+                );
+                return ExitCode::FAILURE;
+            }
+            if m.limp_home_misses() != 0 {
+                eprintln!(
+                    "campaign_matrix: {} diagnosed mission(s) failed to limp home — \
+                     fail-operational fence violated",
+                    m.limp_home_misses()
+                );
+                return ExitCode::FAILURE;
+            }
+            if m.limp_deadline_misses() != 0 {
+                eprintln!(
+                    "campaign_matrix: {} degraded frame(s) overran the re-planned \
+                     end-to-end budget — recalibrated-FTTI fence violated",
+                    m.limp_deadline_misses()
+                );
+                return ExitCode::FAILURE;
+            }
+            if m.limp_false_quarantines() != 0 {
+                eprintln!(
+                    "campaign_matrix: {} quarantine(s) on transient-class faults — an SM \
+                     was convicted without attributable permanent evidence",
+                    m.limp_false_quarantines()
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "campaign_matrix: degraded-mode fence clean ({} mission cells, {} \
+                 quarantined, 0 limp-home misses)",
+                m.limp_reports.len(),
+                m.limp_quarantined()
             );
         }
     }

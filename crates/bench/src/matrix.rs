@@ -17,6 +17,7 @@ use higpu_pipeline::campaign::{
     PipelineCampaignReport, PipelineCampaignSpec,
 };
 use higpu_pipeline::{full_pipeline_registry, ExecMode};
+use higpu_sim::config::GpuConfig;
 use higpu_sim::gpu::Gpu;
 use higpu_workloads::runner::run_solo;
 use higpu_workloads::{Scale, WorkloadRegistry};
@@ -70,6 +71,27 @@ pub struct MatrixConfig {
     /// Also run the serial reference engine per cell and assert the
     /// parallel report bit-identical (slower; the determinism fence).
     pub check_serial: bool,
+    /// Replica counts swept *additionally* on the wide 10-SM device for
+    /// the workload axis (empty = no wide cells). The paper-sized 6-SM
+    /// device cannot give five replicas useful slices; the wide device
+    /// puts the 5MR frontier row in the artifact. Wide cells carry their
+    /// own solo-makespan denominators
+    /// ([`MatrixResult::wide_solo_makespans`]).
+    pub wide_replica_counts: Vec<u8>,
+    /// Trials per wide-device cell (`None` = half of
+    /// [`MatrixConfig::trials`], rounded up — the wide rows are frontier
+    /// context, not the headline coverage claim).
+    pub wide_trials: Option<u32>,
+    /// Frames per limp-home mission cell (≤ 1 = no limp cells). With
+    /// [`MatrixConfig::pipelines`] non-empty, each pipeline gains one
+    /// multi-frame cell per non-misroute fault family on the wide 10-SM
+    /// device (SRRS, N = 2, overlapped): a permanent fault is diagnosed
+    /// and quarantined mid-mission and the remaining frames re-plan
+    /// around the lost SM ([`higpu_pipeline::limp`]).
+    pub limp_frames: u32,
+    /// Trials per limp-home cell (`None` = half the pipeline trial
+    /// count, rounded up — every trial is a whole multi-frame mission).
+    pub limp_trials: Option<u32>,
 }
 
 impl Default for MatrixConfig {
@@ -87,6 +109,10 @@ impl Default for MatrixConfig {
             scale: Scale::Campaign,
             workers: 0,
             check_serial: false,
+            wide_replica_counts: vec![5],
+            wide_trials: None,
+            limp_frames: 4,
+            limp_trials: None,
         }
     }
 }
@@ -213,6 +239,20 @@ pub struct MatrixResult {
     /// One report per (pipeline, replicas, policy, fault) cell, in sweep
     /// order (empty unless [`MatrixConfig::pipelines`] named any).
     pub pipeline_reports: Vec<PipelineCampaignReport>,
+    /// Replica counts swept on the wide 10-SM device (the 5MR rows).
+    pub wide_replica_counts: Vec<u8>,
+    /// Fault-free solo makespans measured on the wide device — the
+    /// denominators of the wide cells' overheads (the 10-SM device runs a
+    /// solo workload faster, so the 6-SM solos would overstate cost).
+    pub wide_solo_makespans: Vec<(String, u64)>,
+    /// One report per wide-device (workload, replicas, policy, fault)
+    /// cell, in sweep order.
+    pub wide_reports: Vec<CampaignReport>,
+    /// Frames per limp-home mission cell (1 = none ran).
+    pub limp_frames: u32,
+    /// One report per limp-home (pipeline, fault) mission cell on the
+    /// wide device (SRRS, N = 2, overlapped executor).
+    pub limp_reports: Vec<PipelineCampaignReport>,
 }
 
 impl MatrixResult {
@@ -227,6 +267,7 @@ impl MatrixResult {
             .collect();
         self.reports
             .iter()
+            .chain(&self.wide_reports)
             .filter(|r| diverse_labels.contains(&r.policy.as_str()))
             .map(|r| r.undetected)
             .sum()
@@ -253,6 +294,7 @@ impl MatrixResult {
             .collect();
         self.pipeline_reports
             .iter()
+            .chain(&self.limp_reports)
             .filter(|r| diverse_labels.contains(&r.policy.as_str()))
             .map(|r| r.undetected)
             .sum()
@@ -273,40 +315,103 @@ impl MatrixResult {
         (solo > 0).then(|| r.fault_free_makespan as f64 / solo as f64)
     }
 
+    /// A wide-device cell's makespan overhead, against the solo makespan
+    /// measured on the *same* (wide) device.
+    pub fn wide_makespan_overhead(&self, r: &CampaignReport) -> Option<f64> {
+        let solo = self
+            .wide_solo_makespans
+            .iter()
+            .find(|(n, _)| n == &r.workload)
+            .map(|&(_, m)| m)?;
+        (solo > 0).then(|| r.fault_free_makespan as f64 / solo as f64)
+    }
+
     /// The coverage-vs-cost frontier: per (policy, replicas), summed
     /// outcome counts and the mean makespan overhead — the quantitative
     /// form of the ASIL-decomposition trade (more replicas buy correction,
     /// at redundant-makespan cost).
     pub fn frontier(&self) -> Vec<FrontierPoint> {
         let mut points: Vec<FrontierPoint> = Vec::new();
+        // Wide cells fold into the same frontier (each against its own
+        // device's solo denominator): the 5MR points sit on the same
+        // coverage-vs-cost curve as the paper-device ones.
         for r in &self.reports {
-            let overhead = self.makespan_overhead(r).unwrap_or(0.0);
-            match points
-                .iter_mut()
-                .find(|p| p.policy == r.policy && p.replicas == r.replicas)
-            {
-                Some(p) => {
-                    p.cells += 1;
-                    p.detected += r.detected;
-                    p.corrected += r.corrected;
-                    p.undetected += r.undetected;
-                    p.mean_makespan_overhead += overhead;
-                }
-                None => points.push(FrontierPoint {
-                    policy: r.policy.clone(),
-                    replicas: r.replicas,
-                    cells: 1,
-                    detected: r.detected,
-                    corrected: r.corrected,
-                    undetected: r.undetected,
-                    mean_makespan_overhead: overhead,
-                }),
-            }
+            fold_frontier(&mut points, r, self.makespan_overhead(r).unwrap_or(0.0));
+        }
+        for r in &self.wide_reports {
+            fold_frontier(
+                &mut points,
+                r,
+                self.wide_makespan_overhead(r).unwrap_or(0.0),
+            );
         }
         for p in &mut points {
             p.mean_makespan_overhead /= f64::from(p.cells.max(1));
         }
         points
+    }
+
+    /// Total missions whose permanent fault was diagnosed, quarantined,
+    /// and limped around (limp-home cells only).
+    pub fn limp_quarantined(&self) -> u32 {
+        self.limp_reports.iter().map(|r| r.quarantined).sum()
+    }
+
+    /// Total diagnosed missions that then failed to limp home.
+    pub fn limp_home_misses(&self) -> u32 {
+        self.limp_reports.iter().map(|r| r.limp_home_miss).sum()
+    }
+
+    /// Total degraded frames that overran their *re-planned* end-to-end
+    /// budget (the recalibrated-FTTI fence: must stay 0).
+    pub fn limp_deadline_misses(&self) -> u32 {
+        self.limp_reports.iter().map(|r| r.limp_deadline_miss).sum()
+    }
+
+    /// Diagnoses reported by limp cells whose fault family is
+    /// transient-class — a quarantine without a persistent fault means the
+    /// per-SM BIST convicted a healthy SM (the no-false-quarantine fence:
+    /// must stay 0).
+    pub fn limp_false_quarantines(&self) -> u32 {
+        self.limp_reports
+            .iter()
+            .filter(|r| !persistent_fault_label(r.fault))
+            .map(|r| r.quarantined + r.limp_home_miss)
+            .sum()
+    }
+
+    /// Mean frames from fault arming to quarantine over every diagnosed
+    /// mission (`None` until something was diagnosed).
+    pub fn limp_mean_frames_to_diagnosis(&self) -> Option<f64> {
+        let diagnosed: u32 = self
+            .limp_reports
+            .iter()
+            .map(|r| r.quarantined + r.limp_home_miss)
+            .sum();
+        let frames: u32 = self
+            .limp_reports
+            .iter()
+            .map(|r| r.frames_to_diagnosis_sum)
+            .sum();
+        (diagnosed > 0).then(|| f64::from(frames) / f64::from(diagnosed))
+    }
+
+    /// Mean post-quarantine makespan inflation over limp cells that ran
+    /// degraded frames (`None` until any did).
+    pub fn limp_makespan_inflation(&self) -> Option<f64> {
+        let inflations: Vec<f64> = self
+            .limp_reports
+            .iter()
+            .filter_map(PipelineCampaignReport::degraded_makespan_inflation)
+            .collect();
+        (!inflations.is_empty()).then(|| inflations.iter().sum::<f64>() / inflations.len() as f64)
+    }
+
+    /// Diagnosed missions that failed to limp home, as a rate (`None`
+    /// until something was diagnosed).
+    pub fn limp_home_miss_rate(&self) -> Option<f64> {
+        let diagnosed = self.limp_quarantined() + self.limp_home_misses();
+        (diagnosed > 0).then(|| f64::from(self.limp_home_misses()) / f64::from(diagnosed))
     }
 
     /// The fail-operational frontier: per (pipeline, policy, replicas,
@@ -402,8 +507,13 @@ impl MatrixResult {
             "UNDETECTED".to_string(),
             "ddl-miss".to_string(),
             "recovery".to_string(),
+            "frames".to_string(),
+            "QUAR".to_string(),
+            "limp-miss".to_string(),
+            "t-diag".to_string(),
+            "infl".to_string(),
         ]];
-        for r in &self.pipeline_reports {
+        for r in self.pipeline_reports.iter().chain(&self.limp_reports) {
             out.push(vec![
                 r.pipeline.clone(),
                 r.policy.clone(),
@@ -421,6 +531,13 @@ impl MatrixResult {
                 r.deadline_miss.to_string(),
                 r.recovery_rate()
                     .map_or("n/a".to_string(), |c| format!("{:.0}%", c * 100.0)),
+                r.frames.to_string(),
+                r.quarantined.to_string(),
+                r.limp_home_miss.to_string(),
+                r.mean_frames_to_diagnosis()
+                    .map_or("n/a".to_string(), |v| format!("{v:.1}")),
+                r.degraded_makespan_inflation()
+                    .map_or("n/a".to_string(), |v| format!("{v:.2}x")),
             ]);
         }
         out
@@ -460,7 +577,53 @@ impl MatrixResult {
                     .map_or("n/a".to_string(), |o| format!("{o:.2}x")),
             ]);
         }
+        // Wide-device rows (the 5MR frontier input) append after the
+        // paper-device sweep; the replica count distinguishes them.
+        for r in &self.wide_reports {
+            out.push(vec![
+                r.workload.clone(),
+                r.policy.clone(),
+                r.replicas.to_string(),
+                r.fault.to_string(),
+                r.trials.to_string(),
+                r.not_activated.to_string(),
+                r.masked.to_string(),
+                r.detected.to_string(),
+                r.corrected.to_string(),
+                r.undetected.to_string(),
+                r.coverage()
+                    .map_or("n/a".to_string(), |c| format!("{:.0}%", c * 100.0)),
+                self.wide_makespan_overhead(r)
+                    .map_or("n/a".to_string(), |o| format!("{o:.2}x")),
+            ]);
+        }
         out
+    }
+
+    /// Renders one workload cell as a JSON object (the overhead is
+    /// against the solo makespan on the cell's own device).
+    fn workload_cell_json(r: &CampaignReport, overhead: Option<f64>) -> String {
+        format!(
+            "{{\"workload\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
+             \"fault\": \"{}\", \"trials\": {}, \"not_activated\": {}, \
+             \"masked\": {}, \"detected\": {}, \"corrected\": {}, \
+             \"undetected\": {}, \"coverage\": {}, \
+             \"fault_free_makespan\": {}, \"makespan_overhead\": {}}}",
+            r.workload,
+            r.policy,
+            r.replicas,
+            r.fault,
+            r.trials,
+            r.not_activated,
+            r.masked,
+            r.detected,
+            r.corrected,
+            r.undetected,
+            r.coverage()
+                .map_or("null".to_string(), |c| format!("{c:.4}")),
+            r.fault_free_makespan,
+            overhead.map_or("null".to_string(), |o| format!("{o:.3}")),
+        )
     }
 
     /// Renders the matrix as a JSON value: sweep metadata, one entry per
@@ -469,30 +632,12 @@ impl MatrixResult {
         let cells: Vec<String> = self
             .reports
             .iter()
-            .map(|r| {
-                format!(
-                    "{{\"workload\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
-                     \"fault\": \"{}\", \"trials\": {}, \"not_activated\": {}, \
-                     \"masked\": {}, \"detected\": {}, \"corrected\": {}, \
-                     \"undetected\": {}, \"coverage\": {}, \
-                     \"fault_free_makespan\": {}, \"makespan_overhead\": {}}}",
-                    r.workload,
-                    r.policy,
-                    r.replicas,
-                    r.fault,
-                    r.trials,
-                    r.not_activated,
-                    r.masked,
-                    r.detected,
-                    r.corrected,
-                    r.undetected,
-                    r.coverage()
-                        .map_or("null".to_string(), |c| format!("{c:.4}")),
-                    r.fault_free_makespan,
-                    self.makespan_overhead(r)
-                        .map_or("null".to_string(), |o| format!("{o:.3}")),
-                )
-            })
+            .map(|r| Self::workload_cell_json(r, self.makespan_overhead(r)))
+            .collect();
+        let wide_cells: Vec<String> = self
+            .wide_reports
+            .iter()
+            .map(|r| Self::workload_cell_json(r, self.wide_makespan_overhead(r)))
             .collect();
         let frontier: Vec<String> = self
             .frontier()
@@ -515,44 +660,9 @@ impl MatrixResult {
         let pipeline_cells: Vec<String> = self
             .pipeline_reports
             .iter()
-            .map(|r| {
-                format!(
-                    "{{\"pipeline\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
-                     \"exec\": \"{}\", \"fault\": \"{}\", \"stages\": {}, \"trials\": {}, \
-                     \"not_activated\": {}, \"masked\": {}, \"corrected\": {}, \
-                     \"recovered\": {}, \"detected\": {}, \"undetected\": {}, \
-                     \"deadline_miss\": {}, \"retries_attempted\": {}, \
-                     \"retries_failed\": {}, \"no_slack\": {}, \
-                     \"recovery_rate\": {}, \"deadline_miss_rate\": {:.4}, \
-                     \"e2e_makespan\": {}, \"critical_path_ftti\": {}, \
-                     \"serial_sum_ftti\": {}, \"bandwidth_bytes\": {}}}",
-                    r.pipeline,
-                    r.policy,
-                    r.replicas,
-                    r.exec,
-                    r.fault,
-                    r.stages,
-                    r.trials,
-                    r.not_activated,
-                    r.masked,
-                    r.corrected,
-                    r.recovered,
-                    r.detected,
-                    r.undetected,
-                    r.deadline_miss,
-                    r.retries_attempted,
-                    r.retries_failed,
-                    r.no_slack,
-                    r.recovery_rate()
-                        .map_or("null".to_string(), |c| format!("{c:.4}")),
-                    r.deadline_miss_rate(),
-                    r.fault_free_makespan,
-                    r.e2e_deadline,
-                    r.serial_sum_deadline,
-                    r.bandwidth_bytes,
-                )
-            })
+            .map(pipeline_cell_json)
             .collect();
+        let limp_cells: Vec<String> = self.limp_reports.iter().map(pipeline_cell_json).collect();
         let pipeline_speedups: Vec<String> = self
             .pipeline_speedups()
             .iter()
@@ -602,33 +712,203 @@ impl MatrixResult {
             })
             .collect();
         let replica_counts: Vec<String> = self.replica_counts.iter().map(u8::to_string).collect();
+        let wide_replica_counts: Vec<String> =
+            self.wide_replica_counts.iter().map(u8::to_string).collect();
+        let degraded_mode = format!(
+            "{{\n        \"frames\": {},\n        \"quarantined\": {},\n        \
+             \"limp_home_miss\": {},\n        \"limp_deadline_miss\": {},\n        \
+             \"false_quarantines\": {},\n        \
+             \"mean_frames_to_diagnosis\": {},\n        \
+             \"post_quarantine_makespan_inflation\": {},\n        \
+             \"limp_home_miss_rate\": {},\n        \
+             \"cells\": [\n          {}\n        ]\n      }}",
+            self.limp_frames,
+            self.limp_quarantined(),
+            self.limp_home_misses(),
+            self.limp_deadline_misses(),
+            self.limp_false_quarantines(),
+            self.limp_mean_frames_to_diagnosis()
+                .map_or("null".to_string(), |v| format!("{v:.2}")),
+            self.limp_makespan_inflation()
+                .map_or("null".to_string(), |v| format!("{v:.3}")),
+            self.limp_home_miss_rate()
+                .map_or("null".to_string(), |v| format!("{v:.4}")),
+            limp_cells.join(",\n          "),
+        );
         format!(
             "{{\n    \"trials_per_cell\": {},\n    \"seed\": {},\n    \"scale\": \"{}\",\n    \
              \"replica_counts\": [{}],\n    \
+             \"wide_replica_counts\": [{}],\n    \
              \"undetected_under_diverse_policies\": {},\n    \
              \"total_corrected\": {},\n    \"cells\": [\n      {}\n    ],\n    \
+             \"wide_cells\": [\n      {}\n    ],\n    \
              \"frontier\": [\n      {}\n    ],\n    \
              \"pipelines\": {{\n      \
              \"total_recovered\": {},\n      \
              \"undetected_under_diverse_policies\": {},\n      \
              \"cells\": [\n        {}\n      ],\n      \
              \"speedups\": [\n        {}\n      ],\n      \
-             \"frontier\": [\n        {}\n      ]\n    }}\n  }}",
+             \"frontier\": [\n        {}\n      ],\n      \
+             \"degraded_mode\": {}\n    }}\n  }}",
             self.trials,
             self.seed,
             self.scale,
             replica_counts.join(", "),
+            wide_replica_counts.join(", "),
             self.undetected_under_diverse_policies(),
             self.total_corrected(),
             cells.join(",\n      "),
+            wide_cells.join(",\n      "),
             frontier.join(",\n      "),
             self.total_recovered(),
             self.pipeline_undetected_under_diverse_policies(),
             pipeline_cells.join(",\n        "),
             pipeline_speedups.join(",\n        "),
             pipeline_frontier.join(",\n        "),
+            degraded_mode,
         )
     }
+}
+
+/// Folds one cell into the per-(policy, replicas) frontier accumulator
+/// (means are normalized by the caller after the fold).
+fn fold_frontier(points: &mut Vec<FrontierPoint>, r: &CampaignReport, overhead: f64) {
+    match points
+        .iter_mut()
+        .find(|p| p.policy == r.policy && p.replicas == r.replicas)
+    {
+        Some(p) => {
+            p.cells += 1;
+            p.detected += r.detected;
+            p.corrected += r.corrected;
+            p.undetected += r.undetected;
+            p.mean_makespan_overhead += overhead;
+        }
+        None => points.push(FrontierPoint {
+            policy: r.policy.clone(),
+            replicas: r.replicas,
+            cells: 1,
+            detected: r.detected,
+            corrected: r.corrected,
+            undetected: r.undetected,
+            mean_makespan_overhead: overhead,
+        }),
+    }
+}
+
+/// Renders one pipeline cell (single-frame or limp-home mission) as a
+/// JSON object. The degraded-mode fields are zero/null on single-frame
+/// cells.
+fn pipeline_cell_json(r: &PipelineCampaignReport) -> String {
+    format!(
+        "{{\"pipeline\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
+         \"exec\": \"{}\", \"fault\": \"{}\", \"stages\": {}, \"frames\": {}, \
+         \"trials\": {}, \
+         \"not_activated\": {}, \"masked\": {}, \"corrected\": {}, \
+         \"recovered\": {}, \"detected\": {}, \"undetected\": {}, \
+         \"quarantined\": {}, \"limp_home_miss\": {}, \"degraded_frames\": {}, \
+         \"limp_deadline_miss\": {}, \"frames_to_diagnosis\": {}, \
+         \"degraded_makespan_inflation\": {}, \"limp_home_miss_rate\": {}, \
+         \"deadline_miss\": {}, \"retries_attempted\": {}, \
+         \"retries_failed\": {}, \"no_slack\": {}, \
+         \"recovery_rate\": {}, \"deadline_miss_rate\": {:.4}, \
+         \"e2e_makespan\": {}, \"critical_path_ftti\": {}, \
+         \"serial_sum_ftti\": {}, \"bandwidth_bytes\": {}}}",
+        r.pipeline,
+        r.policy,
+        r.replicas,
+        r.exec,
+        r.fault,
+        r.stages,
+        r.frames,
+        r.trials,
+        r.not_activated,
+        r.masked,
+        r.corrected,
+        r.recovered,
+        r.detected,
+        r.undetected,
+        r.quarantined,
+        r.limp_home_miss,
+        r.degraded_frames,
+        r.limp_deadline_miss,
+        r.mean_frames_to_diagnosis()
+            .map_or("null".to_string(), |v| format!("{v:.2}")),
+        r.degraded_makespan_inflation()
+            .map_or("null".to_string(), |v| format!("{v:.3}")),
+        r.limp_home_miss_rate()
+            .map_or("null".to_string(), |v| format!("{v:.4}")),
+        r.deadline_miss,
+        r.retries_attempted,
+        r.retries_failed,
+        r.no_slack,
+        r.recovery_rate()
+            .map_or("null".to_string(), |c| format!("{c:.4}")),
+        r.deadline_miss_rate(),
+        r.fault_free_makespan,
+        r.e2e_deadline,
+        r.serial_sum_deadline,
+        r.bandwidth_bytes,
+    )
+}
+
+/// True when a report's fault label names a family that persists across
+/// frames (re-deriving [`FaultSpec::is_persistent`] from the label the
+/// report carries).
+fn persistent_fault_label(label: &str) -> bool {
+    label == FaultSpec::Permanent.label()
+}
+
+/// The wide device every 5MR and degraded-mode cell runs on: ten SMs (so
+/// five replicas get two-SM slices, and quarantining one SM leaves enough
+/// capacity to re-plan) with the campaign-sized memory image.
+fn wide_gpu() -> GpuConfig {
+    let mut gpu = GpuConfig::wide_10sm();
+    gpu.global_mem_bytes = 2 * 1024 * 1024;
+    gpu
+}
+
+/// Realizes the configured policies at one replica count
+/// ([`PolicyKind::for_replicas`]) and deduplicates (HALF and SLICE
+/// coincide above two replicas; the uncontrolled baseline drops out).
+fn realize_policies(policies: &[PolicyKind], replicas: u8) -> Vec<PolicyKind> {
+    let mut realized: Vec<PolicyKind> = Vec::new();
+    for policy in policies {
+        let Some(p) = policy.for_replicas(replicas) else {
+            continue;
+        };
+        if !realized.contains(&p) {
+            realized.push(p);
+        }
+    }
+    realized
+}
+
+/// Measures one workload's fault-free **solo** (non-redundant) makespan
+/// on the given device — the denominator of a cell's makespan overhead.
+fn solo_makespan_on(
+    reg: &WorkloadRegistry,
+    name: &str,
+    scale: Scale,
+    gpu_cfg: &GpuConfig,
+) -> Result<u64, CampaignError> {
+    let workload = reg
+        .build(name, scale)
+        .ok_or_else(|| CampaignError::UnknownWorkload(name.to_string()))?;
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    run_solo(&mut gpu, &*workload).map_err(|e| {
+        CampaignError::Redundancy(match e {
+            higpu_workloads::SessionError::Sim(err) => {
+                higpu_core::redundancy::RedundancyError::Sim(err)
+            }
+            higpu_workloads::SessionError::Redundancy(err) => err,
+            // Solo sessions have one replica; mismatches cannot occur.
+            higpu_workloads::SessionError::ReplicaMismatch { .. } => {
+                unreachable!("solo runs cannot mismatch")
+            }
+        })
+    })?;
+    Ok(gpu.trace().makespan().unwrap_or(0))
 }
 
 /// Runs the sweep: one parallel campaign per (workload, replicas, policy,
@@ -664,39 +944,15 @@ pub fn run_matrix(
     // baseline every redundant cell's overhead is measured against.
     let mut solo_makespans = Vec::with_capacity(names.len());
     for name in &names {
-        let workload = reg
-            .build(name, cfg.scale)
-            .ok_or_else(|| CampaignError::UnknownWorkload(name.clone()))?;
-        let mut gpu = Gpu::new(campaign.gpu.clone());
-        run_solo(&mut gpu, &*workload).map_err(|e| {
-            CampaignError::Redundancy(match e {
-                higpu_workloads::SessionError::Sim(err) => {
-                    higpu_core::redundancy::RedundancyError::Sim(err)
-                }
-                higpu_workloads::SessionError::Redundancy(err) => err,
-                // Solo sessions have one replica; mismatches cannot occur.
-                higpu_workloads::SessionError::ReplicaMismatch { .. } => {
-                    unreachable!("solo runs cannot mismatch")
-                }
-            })
-        })?;
-        solo_makespans.push((name.clone(), gpu.trace().makespan().unwrap_or(0)));
+        let makespan = solo_makespan_on(reg, name, cfg.scale, &campaign.gpu)?;
+        solo_makespans.push((name.clone(), makespan));
     }
     let mut reports = Vec::with_capacity(
         names.len() * cfg.replica_counts.len() * cfg.policies.len() * cfg.faults.len(),
     );
     for name in &names {
         for &replicas in &cfg.replica_counts {
-            let mut realized: Vec<PolicyKind> = Vec::new();
-            for policy in &cfg.policies {
-                let Some(p) = policy.for_replicas(replicas) else {
-                    continue; // e.g. the uncontrolled baseline above N=2
-                };
-                if !realized.contains(&p) {
-                    realized.push(p); // HALF and SLICE may coincide at N>2
-                }
-            }
-            for &policy in &realized {
+            for &policy in &realize_policies(&cfg.policies, replicas) {
                 for &fault in &cfg.faults {
                     let spec = CampaignSpec {
                         workload: name.clone(),
@@ -728,16 +984,7 @@ pub fn run_matrix(
         };
         for name in &cfg.pipelines {
             for &replicas in &cfg.replica_counts {
-                let mut realized: Vec<PolicyKind> = Vec::new();
-                for policy in &cfg.policies {
-                    let Some(p) = policy.for_replicas(replicas) else {
-                        continue;
-                    };
-                    if !realized.contains(&p) {
-                        realized.push(p);
-                    }
-                }
-                for &policy in &realized {
+                for &policy in &realize_policies(&cfg.policies, replicas) {
                     for &exec in &cfg.pipeline_exec {
                         for &fault in &cfg.faults {
                             let spec = PipelineCampaignSpec {
@@ -748,6 +995,7 @@ pub fn run_matrix(
                                 replicas,
                                 recovery: higpu_pipeline::RecoveryPolicy::default(),
                                 exec,
+                                frames: 1,
                             };
                             let report = run_pipeline_campaign(&campaign, &preg, &spec)
                                 .map_err(pipeline_error_to_campaign)?;
@@ -770,6 +1018,99 @@ pub fn run_matrix(
             }
         }
     }
+    // Wide-device rows: the same workload sweep at the extra replica
+    // counts on the 10-SM device (five replicas need two-SM slices the
+    // paper device cannot give them), at reduced trials.
+    let mut wide_solo_makespans = Vec::new();
+    let mut wide_reports = Vec::new();
+    if !cfg.wide_replica_counts.is_empty() {
+        let wide = CampaignConfig {
+            trials: cfg
+                .wide_trials
+                .unwrap_or_else(|| cfg.trials.div_ceil(2).max(1)),
+            seed: cfg.seed,
+            gpu: wide_gpu(),
+            workers: cfg.workers,
+        };
+        for name in &names {
+            let makespan = solo_makespan_on(reg, name, cfg.scale, &wide.gpu)?;
+            wide_solo_makespans.push((name.clone(), makespan));
+        }
+        for name in &names {
+            for &replicas in &cfg.wide_replica_counts {
+                for &policy in &realize_policies(&cfg.policies, replicas) {
+                    for &fault in &cfg.faults {
+                        let spec = CampaignSpec {
+                            workload: name.clone(),
+                            scale: cfg.scale,
+                            policy,
+                            fault,
+                            replicas,
+                        };
+                        let report = run_campaign_selected(&wide, reg, &spec)?;
+                        if cfg.check_serial {
+                            let serial = run_campaign_selected_serial(&wide, reg, &spec)?;
+                            assert_eq!(
+                                report, serial,
+                                "parallel report must be bit-identical to the serial \
+                                 reference for {name} under {policy:?}/{fault:?} at \
+                                 {replicas} replicas (wide device)"
+                            );
+                        }
+                        wide_reports.push(report);
+                    }
+                }
+            }
+        }
+    }
+    // Degraded-mode rows: multi-frame limp-home missions on the wide
+    // device. One cell per (pipeline, fault family): a mid-mission
+    // permanent fault must be diagnosed, quarantined, and limped around;
+    // a transient-class family must *never* cost an SM.
+    let mut limp_reports = Vec::new();
+    if cfg.limp_frames > 1 && !cfg.pipelines.is_empty() {
+        let preg = full_pipeline_registry();
+        let limp = CampaignConfig {
+            trials: cfg
+                .limp_trials
+                .unwrap_or_else(|| cfg.pipeline_trials.unwrap_or(cfg.trials).div_ceil(2).max(1)),
+            seed: cfg.seed,
+            gpu: wide_gpu(),
+            workers: cfg.workers,
+        };
+        for name in &cfg.pipelines {
+            for &fault in &cfg.faults {
+                if matches!(fault, FaultSpec::Misroute) {
+                    // Misroute is a scheduler property, not SM damage:
+                    // there is nothing to diagnose across frames.
+                    continue;
+                }
+                let spec = PipelineCampaignSpec {
+                    pipeline: name.clone(),
+                    scale: cfg.scale,
+                    policy: PolicyKind::Srrs,
+                    fault,
+                    replicas: 2,
+                    recovery: higpu_pipeline::RecoveryPolicy::default(),
+                    exec: ExecMode::Overlapped,
+                    frames: cfg.limp_frames,
+                };
+                let report = run_pipeline_campaign(&limp, &preg, &spec)
+                    .map_err(pipeline_error_to_campaign)?;
+                if cfg.check_serial {
+                    let serial = run_pipeline_campaign_serial(&limp, &preg, &spec)
+                        .map_err(pipeline_error_to_campaign)?;
+                    assert_eq!(
+                        report, serial,
+                        "parallel limp-home report must be bit-identical to the serial \
+                         reference for {name} under {fault:?} over {} frames",
+                        cfg.limp_frames
+                    );
+                }
+                limp_reports.push(report);
+            }
+        }
+    }
     Ok(MatrixResult {
         trials: cfg.trials,
         seed: cfg.seed,
@@ -778,6 +1119,11 @@ pub fn run_matrix(
         solo_makespans,
         reports,
         pipeline_reports,
+        wide_replica_counts: cfg.wide_replica_counts.clone(),
+        wide_solo_makespans,
+        wide_reports,
+        limp_frames: cfg.limp_frames.max(1),
+        limp_reports,
     })
 }
 
@@ -828,6 +1174,12 @@ mod tests {
             8,
             "2 workloads x (2 policies @ N=2 + {{SRRS, SLICE}} @ N=3) x 1 fault"
         );
+        assert_eq!(
+            m.wide_reports.len(),
+            4,
+            "2 workloads x {{SRRS, SLICE}} @ N=5 x 1 fault on the wide device"
+        );
+        assert!(m.wide_reports.iter().all(|r| r.replicas == 5));
         assert_eq!(m.undetected_under_diverse_policies(), 0);
         assert!(
             m.total_corrected() > 0,
@@ -839,12 +1191,14 @@ mod tests {
             assert_eq!(r.corrected, 0, "{r:?}");
         }
         let table = m.to_table();
-        assert_eq!(table.len(), 9, "header + 8 rows");
+        assert_eq!(table.len(), 13, "header + 8 paper-device + 4 wide rows");
         let json = m.to_json();
         assert!(json.contains("\"workload\": \"nn\""));
         assert!(json.contains("\"replicas\": 3"));
         assert!(json.contains("\"frontier\""));
         assert!(json.contains("\"policy\": \"SLICE\""));
+        assert!(json.contains("\"wide_cells\""));
+        assert!(json.contains("\"wide_replica_counts\": [5]"));
         // Frontier points exist for every realized (policy, replicas).
         let frontier = m.frontier();
         assert!(frontier
@@ -863,6 +1217,17 @@ mod tests {
             srrs3.mean_makespan_overhead > srrs2.mean_makespan_overhead,
             "a third serialized replica must cost makespan: {srrs2:?} vs {srrs3:?}"
         );
+        // The wide device contributes the 5MR frontier point, measured
+        // against its own solo baseline.
+        let srrs5 = frontier
+            .iter()
+            .find(|p| p.policy == "SRRS" && p.replicas == 5)
+            .expect("srrs@5 from the wide sweep");
+        assert!(
+            srrs5.mean_makespan_overhead > srrs3.mean_makespan_overhead,
+            "five serialized replicas cost more than three: {srrs3:?} vs {srrs5:?}"
+        );
+        assert_eq!(srrs5.undetected, 0, "5MR keeps the ASIL-D fence");
     }
 
     #[test]
@@ -910,8 +1275,22 @@ mod tests {
             );
         }
         assert_eq!(m.pipeline_undetected_under_diverse_policies(), 0);
+        // The default limp axis adds one multi-frame mission cell for the
+        // transient family (misroute has nothing to diagnose) — and a
+        // transient must never cost the device an SM.
+        assert_eq!(m.limp_reports.len(), 1, "{:?}", m.limp_reports);
+        let limp = &m.limp_reports[0];
+        assert_eq!(limp.frames, 4);
+        assert_eq!(limp.fault, "transient-sm");
+        assert_eq!(limp.undetected, 0);
+        assert_eq!(
+            m.limp_false_quarantines(),
+            0,
+            "a transient-class fault must never be convicted as permanent: {limp:?}"
+        );
+        assert_eq!(m.limp_deadline_misses(), 0);
         let table = m.pipeline_table();
-        assert_eq!(table.len(), 5, "header + 4 rows");
+        assert_eq!(table.len(), 6, "header + 4 single-frame + 1 limp row");
         let json = m.to_json();
         assert!(json.contains("\"pipelines\""));
         assert!(json.contains("\"pipeline\": \"sensor_fusion\""));
@@ -920,6 +1299,9 @@ mod tests {
         assert!(json.contains("\"critical_path_ftti\""));
         assert!(json.contains("\"exec\": \"overlapped\""));
         assert!(json.contains("\"makespan_speedup\""));
+        assert!(json.contains("\"degraded_mode\""));
+        assert!(json.contains("\"post_quarantine_makespan_inflation\""));
+        assert!(json.contains("\"false_quarantines\": 0"));
         let frontier = m.pipeline_frontier();
         assert_eq!(frontier.len(), 2, "one point per executor");
         assert!(frontier.iter().all(|p| p.trials == 6));
@@ -935,6 +1317,48 @@ mod tests {
             assert!(s.makespan_speedup() > 1.0);
             assert!(s.ftti_tightening() > 1.0);
         }
+    }
+
+    #[test]
+    fn permanent_limp_cells_quarantine_and_report_degraded_mode() {
+        let reg = full_registry();
+        let cfg = MatrixConfig {
+            trials: 1,
+            workloads: vec!["iterated_fma".into()],
+            policies: vec![PolicyKind::Srrs],
+            faults: vec![FaultSpec::Permanent],
+            pipelines: vec!["sensor_fusion".into()],
+            pipeline_trials: Some(1),
+            pipeline_exec: vec![ExecMode::Overlapped],
+            replica_counts: vec![2],
+            wide_replica_counts: Vec::new(),
+            limp_trials: Some(2),
+            check_serial: true,
+            ..MatrixConfig::default()
+        };
+        let m = run_matrix(&reg, &cfg).expect("sweep");
+        assert!(m.wide_reports.is_empty(), "wide axis disabled");
+        assert_eq!(m.limp_reports.len(), 1);
+        let limp = &m.limp_reports[0];
+        assert_eq!(limp.fault, "permanent-sm");
+        assert_eq!(limp.exec, "overlapped");
+        assert_eq!(limp.frames, 4);
+        assert_eq!(limp.undetected, 0);
+        assert!(
+            m.limp_quarantined() >= 1,
+            "a mid-mission permanent fault gets diagnosed and quarantined: {limp:?}"
+        );
+        assert_eq!(m.limp_home_misses(), 0, "{limp:?}");
+        assert_eq!(m.limp_deadline_misses(), 0, "{limp:?}");
+        assert_eq!(
+            m.limp_false_quarantines(),
+            0,
+            "permanent convictions are attributed, not false"
+        );
+        assert!(m.limp_mean_frames_to_diagnosis().expect("diagnosed") >= 1.0);
+        let json = m.to_json();
+        assert!(json.contains("\"degraded_mode\""));
+        assert!(json.contains("\"quarantined\""));
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub fn scheduler_bist(
     blocks: u32,
 ) -> Result<BistReport, RedundancyError> {
     let num_sms = gpu.config().num_sms;
+    // The expected placement mandates exactly what the (quarantine-aware)
+    // policies do: SRRS rotates over the healthy SMs, SLICE carves its
+    // slices over the healthy index space. On a fully healthy device this
+    // is the classic whole-device mapping.
+    let healthy: Vec<usize> = (0..num_sms).filter(|&i| !gpu.is_quarantined(i)).collect();
     let mut exec = RedundantExecutor::new(gpu, mode.clone())?;
     let prog = canary_program();
     let out = exec.alloc_words(blocks)?;
@@ -117,7 +122,11 @@ pub fn scheduler_bist(
             report.checked += 1;
             let expected = match &mode {
                 RedundancyMode::Srrs { start_sms } => {
-                    Some((start_sms[r] + b.block as usize) % num_sms)
+                    Some(crate::policy::srrs::srrs_healthy_target(
+                        &healthy,
+                        start_sms[r] % num_sms,
+                        b.block as usize,
+                    ))
                 }
                 RedundancyMode::Half => {
                     let part = if r == 0 {
@@ -132,14 +141,20 @@ pub fn scheduler_bist(
                     }
                 }
                 RedundancyMode::Slice { replicas, .. } => {
+                    // Slices are carved over the healthy index space (see
+                    // `SliceScheduler`): the block's SM must be a healthy SM
+                    // whose healthy-index lies in the replica's slice.
                     let slice = higpu_sim::kernel::SmSlice {
                         index: tag.replica,
                         of: *replicas,
                     };
-                    if slice.contains(b.sm, num_sms) {
-                        None // constrained to a set; containment holds
-                    } else {
-                        Some(slice.range(num_sms).start) // any SM in range; report
+                    let range = slice.range(healthy.len());
+                    match healthy.iter().position(|&sm| sm == b.sm) {
+                        Some(hi) if range.contains(&hi) => None, // containment holds
+                        _ => Some(
+                            // any SM in range; report the first
+                            healthy.get(range.start).copied().unwrap_or(num_sms),
+                        ),
                     }
                 }
                 RedundancyMode::Uncontrolled { .. } => None,
@@ -188,6 +203,23 @@ mod tests {
         let report = scheduler_bist(&mut gpu, RedundancyMode::slice(3), 6).expect("bist runs");
         assert!(report.passed(), "healthy scheduler: {report:?}");
         assert_eq!(report.checked, 18, "6 blocks x 3 replicas");
+    }
+
+    #[test]
+    fn bist_passes_on_a_quarantined_device() {
+        // The self-test's expected placement must track the quarantine-aware
+        // rotation, or limp-home operation would flood every BIST round with
+        // false alarms.
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        gpu.quarantine_sm(2);
+        let report =
+            scheduler_bist(&mut gpu, RedundancyMode::srrs_default(6), 12).expect("bist runs");
+        assert!(report.passed(), "degraded SRRS placement: {report:?}");
+
+        let mut gpu = Gpu::new(GpuConfig::paper_6sm());
+        gpu.quarantine_sm(1);
+        let report = scheduler_bist(&mut gpu, RedundancyMode::slice(3), 6).expect("bist runs");
+        assert!(report.passed(), "degraded SLICE placement: {report:?}");
     }
 
     #[test]

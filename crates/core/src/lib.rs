@@ -22,6 +22,9 @@
 //! * [`asil`] — ISO 26262 ASIL decomposition algebra (Fig. 1);
 //! * [`ftti`] — fault-tolerant time interval accounting for
 //!   re-execution-based recovery;
+//! * [`health`] — permanent-fault diagnosis: vote-outcome attribution,
+//!   per-SM suspicion with quarantine thresholds, and targeted per-SM
+//!   BIST sweeps for evidence a DCLS tie cannot attribute;
 //! * [`hw_metrics`] — the ISO 26262-5 hardware architectural metrics
 //!   (SPFM/LFM) with per-ASIL targets;
 //! * [`bist`] — the periodic kernel-scheduler self-test that keeps
@@ -73,6 +76,7 @@ pub mod bist;
 pub mod classify;
 pub mod diversity;
 pub mod ftti;
+pub mod health;
 pub mod hw_metrics;
 pub mod metrics;
 pub mod policy;
@@ -87,6 +91,7 @@ pub mod prelude {
     pub use crate::classify::{classify, profile, KernelCategory, KernelProfile};
     pub use crate::diversity::{analyze, DiversityReport, DiversityRequirements};
     pub use crate::ftti::{FttiBudget, RecoveryAnalysis};
+    pub use crate::health::{minority_replicas, sm_bist_sweep, Evidence, HealthMonitor};
     pub use crate::hw_metrics::{FaultRates, HardwareMetrics};
     pub use crate::metrics::{redundant_kernel_cycles, solo_kernel_cycles};
     pub use crate::policy::{HalfScheduler, PolicyKind, SliceScheduler, SrrsScheduler};

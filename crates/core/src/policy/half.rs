@@ -96,6 +96,7 @@ mod tests {
                 blocks: block_slots,
             },
             resident_blocks: 0,
+            quarantined: false,
         }
     }
 

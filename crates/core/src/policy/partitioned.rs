@@ -114,20 +114,35 @@ fn assign_in_reserve(view: &mut SchedulerView, reserve: Option<SmRange>, n: usiz
 
     if head.attrs.serialize_group.is_some() {
         // SRRS scoped to the partition: head-of-line, idle-start, strict
-        // round-robin from the start SM over the partition's SMs.
+        // round-robin from the start SM over the partition's *healthy* SMs
+        // (reserved partitions exclude quarantined SMs by construction, but
+        // the whole-device fallback — e.g. an inter-frame BIST canary — must
+        // still place around dead hardware).
         if head.blocks_issued == 0 && !range_idle(view, &base) {
             return;
         }
-        let len = base.len();
+        // Materialized only when something in the reserve is actually
+        // quarantined — steady-state frame scheduling stays allocation-free.
+        let healthy: Option<Vec<usize>> = if base.clone().any(|sm| view.sms()[sm].quarantined) {
+            let h: Vec<usize> = base
+                .clone()
+                .filter(|&sm| !view.sms()[sm].quarantined)
+                .collect();
+            if h.is_empty() {
+                return;
+            }
+            Some(h)
+        } else {
+            None
+        };
+        let h = healthy.as_ref().map_or(base.len(), |v| v.len());
         let off = head
             .attrs
             .start_sm
-            .map(|s| {
-                if base.contains(&s) {
-                    s - base.start
-                } else {
-                    s % len
-                }
+            .map(|s| match &healthy {
+                Some(v) if base.contains(&s) => crate::policy::srrs::healthy_start_pos(v, s),
+                None if base.contains(&s) => s - base.start,
+                _ => s % h,
             })
             .unwrap_or(0);
         loop {
@@ -138,7 +153,10 @@ fn assign_in_reserve(view: &mut SchedulerView, reserve: Option<SmRange>, n: usiz
                 return;
             }
             let i = k.blocks_issued as usize;
-            let sm = base.start + (off + i) % len;
+            let sm = match &healthy {
+                Some(v) => v[(off + i) % h],
+                None => base.start + (off + i) % h,
+            };
             if !view.try_assign(sm, head_id) {
                 return; // head-of-line: wait for the designated SM
             }
@@ -195,6 +213,7 @@ mod tests {
                 blocks: 8,
             },
             resident_blocks: 0,
+            quarantined: false,
         }
     }
 
@@ -327,6 +346,30 @@ mod tests {
                 assert!(a.sm >= 3, "no partition escape");
             }
         }
+    }
+
+    #[test]
+    fn whole_device_srrs_fallback_places_around_quarantined_sms() {
+        // No reserve (the inter-frame BIST canary case) on a device with a
+        // quarantined SM: the round-robin rotates over the healthy SMs.
+        let mut sms: Vec<SmSnapshot> = (0..6).map(|_| sm_free()).collect();
+        sms[2].quarantined = true;
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(
+                0,
+                5,
+                LaunchAttrs {
+                    start_sm: Some(0),
+                    serialize_group: Some(0),
+                    ..Default::default()
+                },
+            )],
+            sms,
+        );
+        PartitionedScheduler::new().assign(&mut view);
+        let placed: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        assert_eq!(placed, vec![0, 1, 3, 4, 5], "rotation skips the dead SM");
     }
 
     #[test]

@@ -46,6 +46,16 @@ impl KernelSchedulerPolicy for SliceScheduler {
         if n == 0 {
             return;
         }
+        // Slices are carved over the *healthy* SM index space: on a fully
+        // healthy device this is the identity (slice r owns slice.range(n)),
+        // while after a quarantine the N slices re-balance over the
+        // remaining SMs — every replica keeps a disjoint share instead of
+        // the slice containing the dead SM silently shrinking (or vanishing).
+        let healthy = crate::policy::srrs::healthy_sms(view.sms());
+        if healthy.is_empty() {
+            return;
+        }
+        let h = healthy.len();
         // Kernels in arrival order; each fills its allowed SM range
         // breadth-first (same dispatch shape as HALF).
         let ids: Vec<_> = view.kernels().iter().map(|k| k.id).collect();
@@ -55,17 +65,17 @@ impl KernelSchedulerPolicy for SliceScheduler {
                     continue;
                 };
                 match k.attrs.slice {
-                    Some(slice) => slice.range(n),
-                    None => 0..n,
+                    Some(slice) => slice.range(h),
+                    None => 0..h,
                 }
             };
             if range.is_empty() {
-                continue; // more slices than SMs: unplaceable, never spin
+                continue; // more slices than healthy SMs: unplaceable, never spin
             }
             loop {
                 let mut any = false;
-                for sm in range.clone() {
-                    any |= view.try_assign(sm, id);
+                for hi in range.clone() {
+                    any |= view.try_assign(healthy[hi], id);
                 }
                 if !any {
                     break;
@@ -101,6 +111,7 @@ mod tests {
                 blocks: block_slots,
             },
             resident_blocks: 0,
+            quarantined: false,
         }
     }
 
@@ -197,6 +208,31 @@ mod tests {
         );
         SliceScheduler::new().assign(&mut view);
         assert!(view.assignments().is_empty(), "nothing placeable");
+    }
+
+    #[test]
+    fn slices_rebalance_over_healthy_sms_after_quarantine() {
+        // SM 1 quarantined on a 6-SM device: slices are carved over the 5
+        // healthy SMs [0,2,3,4,5] — slice 0 of 2 owns healthy indices 0..2
+        // (SMs 0,2), slice 1 of 2 owns 2..5 (SMs 3,4,5). Disjoint, no block
+        // on the dead SM, and both replicas keep a non-empty share.
+        let mut sms: Vec<SmSnapshot> = (0..6).map(|_| sm_free(8)).collect();
+        sms[1].quarantined = true;
+        let mut view = SchedulerView::new(
+            0,
+            vec![kernel(0, 4, slice(0, 2)), kernel(1, 4, slice(1, 2))],
+            sms,
+        );
+        SliceScheduler::new().assign(&mut view);
+        assert_eq!(view.assignments().len(), 8, "both replicas fully placed");
+        for a in view.assignments() {
+            assert_ne!(a.sm, 1, "no block on the quarantined SM");
+            if a.kernel == KernelId(0) {
+                assert!([0, 2].contains(&a.sm), "slice 0 over healthy SMs");
+            } else {
+                assert!([3, 4, 5].contains(&a.sm), "slice 1 over healthy SMs");
+            }
+        }
     }
 
     #[test]

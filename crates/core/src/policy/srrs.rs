@@ -16,7 +16,7 @@
 //! fault nor a transient common-cause fault (e.g. a voltage droop) can
 //! corrupt both copies identically.
 
-use higpu_sim::scheduler::{KernelSchedulerPolicy, SchedulerView};
+use higpu_sim::scheduler::{KernelSchedulerPolicy, SchedulerView, SmSnapshot};
 
 /// The SRRS policy. Stateless across rounds apart from the serialization
 /// order, which it derives from kernel arrival order.
@@ -31,6 +31,39 @@ impl SrrsScheduler {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Ids of the SMs still in service (not quarantined), ascending.
+pub fn healthy_sms(sms: &[SmSnapshot]) -> Vec<usize> {
+    sms.iter()
+        .enumerate()
+        .filter(|(_, s)| !s.quarantined)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Rotation offset of an SRRS start SM within the healthy-SM list: the
+/// index of `start` among `healthy`, or of the first healthy SM after it
+/// (wrapping to 0) when `start` itself is quarantined. Identity
+/// (`start` itself) on a fully healthy device.
+pub fn healthy_start_pos(healthy: &[usize], start: usize) -> usize {
+    healthy.iter().position(|&sm| sm >= start).unwrap_or(0)
+}
+
+/// The SM that receives block `i` of an SRRS kernel starting at `start`,
+/// round-robining over the healthy SMs only: the `(pos(start) + i) mod h`-th
+/// healthy SM. Degenerates to the classic `(start + i) mod n` on a fully
+/// healthy device. This single definition is shared by the SRRS scheduler,
+/// the partition-scoped SRRS path, and the scheduler BIST's expected
+/// placement — the self-test must mandate exactly what the policy does, or
+/// quarantine would turn every BIST round into a false alarm.
+///
+/// # Panics
+///
+/// Panics when `healthy` is empty (nothing is placeable; callers gate on
+/// effective capacity first).
+pub fn srrs_healthy_target(healthy: &[usize], start: usize, i: usize) -> usize {
+    healthy[(healthy_start_pos(healthy, start) + i) % healthy.len()]
 }
 
 impl KernelSchedulerPolicy for SrrsScheduler {
@@ -55,9 +88,23 @@ impl KernelSchedulerPolicy for SrrsScheduler {
             return;
         }
         let start = head.attrs.start_sm.unwrap_or(self.default_start_sm) % n;
-        // Strict in-order round-robin placement: block i → SM (start+i) % n.
-        // If the designated SM is full we wait (head-of-line), preserving the
-        // deterministic block→SM mapping the diversity argument relies on.
+        // Strict in-order round-robin placement over the SMs still in
+        // service: block i → the (pos(start)+i)-th healthy SM (the classic
+        // (start+i) % n when nothing is quarantined). If the designated SM
+        // is full we wait (head-of-line), preserving the deterministic
+        // block→SM mapping the diversity argument relies on.
+        // The healthy-SM list is only materialized once an SM has actually
+        // been quarantined: steady-state scheduling on a healthy device must
+        // stay allocation-free (the session-launch allocation fence counts).
+        let healthy = if view.sms().iter().any(|s| s.quarantined) {
+            let h = healthy_sms(view.sms());
+            if h.is_empty() {
+                return;
+            }
+            Some(h)
+        } else {
+            None
+        };
         loop {
             let Some(k) = view.kernels().iter().find(|k| k.id == head_id) else {
                 return;
@@ -66,7 +113,10 @@ impl KernelSchedulerPolicy for SrrsScheduler {
                 return;
             }
             let i = k.blocks_issued as usize;
-            let sm = (start + i) % n;
+            let sm = match &healthy {
+                Some(h) => srrs_healthy_target(h, start, i),
+                None => (start + i) % n,
+            };
             if !view.try_assign(sm, head_id) {
                 return;
             }
@@ -100,6 +150,7 @@ mod tests {
                 blocks: 8,
             },
             resident_blocks: 0,
+            quarantined: false,
         }
     }
 
@@ -179,6 +230,39 @@ mod tests {
             vec![0],
             "block 1 must go to SM1; placement stalls rather than reorder"
         );
+    }
+
+    #[test]
+    fn round_robin_skips_quarantined_sms() {
+        let mut sms: Vec<SmSnapshot> = (0..6).map(|_| sm_free()).collect();
+        sms[3].quarantined = true;
+        let mut view = SchedulerView::new(0, vec![kernel(0, 8, Some(2))], sms);
+        SrrsScheduler::new().assign(&mut view);
+        let placed: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        // Healthy rotation [0,1,2,4,5] from SM 2: 2,4,5,0,1,2,4,5.
+        assert_eq!(placed, vec![2, 4, 5, 0, 1, 2, 4, 5]);
+        assert!(!placed.contains(&3), "no block on the quarantined SM");
+    }
+
+    #[test]
+    fn quarantined_start_sm_falls_through_to_next_healthy() {
+        let mut sms: Vec<SmSnapshot> = (0..6).map(|_| sm_free()).collect();
+        sms[2].quarantined = true;
+        let mut view = SchedulerView::new(0, vec![kernel(0, 5, Some(2))], sms);
+        SrrsScheduler::new().assign(&mut view);
+        let placed: Vec<usize> = view.assignments().iter().map(|a| a.sm).collect();
+        // Healthy [0,1,3,4,5]; start 2 resolves to SM 3.
+        assert_eq!(placed, vec![3, 4, 5, 0, 1]);
+    }
+
+    #[test]
+    fn healthy_target_is_identity_on_a_healthy_device() {
+        let healthy: Vec<usize> = (0..6).collect();
+        for start in 0..6 {
+            for i in 0..12 {
+                assert_eq!(srrs_healthy_target(&healthy, start, i), (start + i) % 6);
+            }
+        }
     }
 
     #[test]

@@ -159,6 +159,26 @@ impl RedundancyMode {
                 .collect(),
         }
     }
+
+    /// [`RedundancyMode::srrs_spread`] on a degraded device: start SMs are
+    /// spread over the `healthy` SMs only (ascending ids, e.g. the
+    /// complement of `Gpu::quarantined_sms`), so no replica starts its
+    /// rotation on quarantined hardware. Replica *r* starts at
+    /// `healthy[r·h/replicas]`; equal to `srrs_spread` when every SM is
+    /// healthy. `None` when fewer healthy SMs remain than replicas (the
+    /// start SMs could no longer be pairwise distinct — the mode is
+    /// unschedulable on the remaining capacity).
+    pub fn srrs_spread_healthy(healthy: &[usize], replicas: u8) -> Option<Self> {
+        let h = healthy.len();
+        if h < usize::from(replicas) {
+            return None;
+        }
+        Some(RedundancyMode::Srrs {
+            start_sms: (0..usize::from(replicas))
+                .map(|r| healthy[r * h / usize::from(replicas).max(1)])
+                .collect(),
+        })
+    }
 }
 
 /// Errors of the redundant-execution protocol.
@@ -828,6 +848,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn srrs_spread_healthy_avoids_quarantined_sms() {
+        // Fully healthy device: identical to the classic spread.
+        let healthy: Vec<usize> = (0..6).collect();
+        assert_eq!(
+            RedundancyMode::srrs_spread_healthy(&healthy, 2),
+            Some(RedundancyMode::srrs_spread(6, 2))
+        );
+        // SM 3 quarantined on a 6-SM device: replica 1 would classically
+        // start at SM 3; the healthy spread moves it to a live SM.
+        let healthy = vec![0, 1, 2, 4, 5];
+        let mode = RedundancyMode::srrs_spread_healthy(&healthy, 2).expect("schedulable");
+        assert_eq!(
+            mode,
+            RedundancyMode::Srrs {
+                start_sms: vec![0, 2]
+            }
+        );
+        // More replicas than healthy SMs: unschedulable, not a panic.
+        assert_eq!(RedundancyMode::srrs_spread_healthy(&[0, 4], 3), None);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::exec::{
     RecoveryPolicy,
 };
 use crate::graph::{Pipeline, PipelineRegistry};
+use crate::limp::{run_limp_home, FrameStatus, LimpHomeReport};
 use higpu_core::diversity::{analyze, DiversityRequirements};
 use higpu_core::policy::PolicyKind;
 use higpu_core::redundancy::RedundancyMode;
@@ -59,6 +60,15 @@ pub struct PipelineCampaignSpec {
     /// concurrent-branch executor; [`ExecMode::Serial`] is the reference
     /// oracle and the serial-vs-overlapped comparison axis).
     pub exec: ExecMode,
+    /// Frames per trial (default 1). Above 1 each trial becomes a
+    /// **limp-home mission** ([`crate::limp::run_limp_home`]): the fault's
+    /// arming time is drawn across the whole mission window, a
+    /// fail-stopped frame escalates to diagnosis + quarantine +
+    /// re-planning, and the trial classifies the mission
+    /// ([`PipelineTrialOutcome::Quarantined`] /
+    /// [`PipelineTrialOutcome::LimpHomeMiss`]). Meant for value-corruption
+    /// fault families; misroute classification stays single-frame.
+    pub frames: u32,
 }
 
 impl PipelineCampaignSpec {
@@ -73,7 +83,15 @@ impl PipelineCampaignSpec {
             replicas: 2,
             recovery: RecoveryPolicy::default(),
             exec: ExecMode::default(),
+            frames: 1,
         }
+    }
+
+    /// The same spec running `frames` consecutive frames per trial (the
+    /// limp-home mission axis).
+    pub fn with_frames(mut self, frames: u32) -> Self {
+        self.frames = frames.max(1);
+        self
     }
 
     /// The same spec at `replicas` replicas.
@@ -124,8 +142,20 @@ pub enum PipelineTrialOutcome {
     Recovered,
     /// The frame fail-stopped: an unrecoverable detection (retry
     /// exhausted / no slack) or an end-to-end deadline miss. Safe, but the
-    /// frame is lost.
+    /// frame is lost. In a multi-frame mission: a frame was lost to an
+    /// unattributable (transient) fault, no SM was convicted, and every
+    /// other frame completed verified.
     Detected,
+    /// Multi-frame missions only: a fail-stopped frame was diagnosed to a
+    /// permanent SM fault, the SM was quarantined, budgets were re-planned
+    /// for the shrunken device, and **every** subsequent frame completed
+    /// in degraded mode inside its re-planned FTTI, verified correct —
+    /// the limp-home fail-operational outcome.
+    Quarantined,
+    /// Multi-frame missions only: an SM was quarantined but the limp-home
+    /// contract broke — a post-quarantine frame missed its re-planned
+    /// deadline, fail-stopped, or the degraded device was unschedulable.
+    LimpHomeMiss,
     /// A frame the mechanism accepted whose data was wrong: some stage's
     /// voted output failed verification against the CPU reference on its
     /// actual inputs.
@@ -185,18 +215,37 @@ pub struct PipelineCampaignReport {
     pub retries_failed: u32,
     /// Detections that found no slack left for a retry.
     pub no_slack: u32,
+    /// Frames per trial (1 = classic single-frame campaign; above 1 the
+    /// limp-home fields below are live).
+    pub frames: u32,
+    /// Trials that diagnosed + quarantined a permanent SM fault and kept
+    /// every subsequent frame fail-operational in degraded mode.
+    pub quarantined: u32,
+    /// Trials that quarantined but then missed the limp-home contract.
+    pub limp_home_miss: u32,
+    /// Frames completed in degraded mode across all trials.
+    pub degraded_frames: u32,
+    /// Summed makespan of those degraded frames (inflation numerator).
+    pub degraded_makespan_sum: u64,
+    /// Summed frames-to-diagnosis over all trials that convicted an SM.
+    pub frames_to_diagnosis_sum: u32,
+    /// Post-quarantine frames that broke their re-planned deadline (the
+    /// limp-home deadline-miss numerator).
+    pub limp_deadline_miss: u32,
 }
 
 impl PipelineCampaignReport {
-    /// The fail-operational recovery rate: recovered frames over all
-    /// frames in which the mechanism *acted* (recovered + fail-stopped);
-    /// `None` when it never had to act.
+    /// The fail-operational recovery rate: trials the mechanism kept
+    /// operational (in-FTTI recovery, or quarantine + limp-home) over all
+    /// trials in which it *acted* (those plus fail-stops and broken
+    /// limp-home contracts); `None` when it never had to act.
     pub fn recovery_rate(&self) -> Option<f64> {
-        let acted = self.recovered + self.detected;
+        let operational = self.recovered + self.quarantined;
+        let acted = operational + self.detected + self.limp_home_miss;
         if acted == 0 {
             None
         } else {
-            Some(f64::from(self.recovered) / f64::from(acted))
+            Some(f64::from(operational) / f64::from(acted))
         }
     }
 
@@ -213,11 +262,51 @@ impl PipelineCampaignReport {
     /// corrected, recovered or fail-stopped — over all non-masked
     /// activations); `None` when no fault was effective.
     pub fn coverage(&self) -> Option<f64> {
-        let effective = self.corrected + self.recovered + self.detected + self.undetected;
+        let caught = self.corrected
+            + self.recovered
+            + self.detected
+            + self.quarantined
+            + self.limp_home_miss;
+        let effective = caught + self.undetected;
         if effective == 0 {
             None
         } else {
-            Some(f64::from(self.corrected + self.recovered + self.detected) / f64::from(effective))
+            Some(f64::from(caught) / f64::from(effective))
+        }
+    }
+
+    /// Mean frames from fault manifestation to quarantine, over the trials
+    /// that convicted an SM; `None` when nothing was ever quarantined.
+    pub fn mean_frames_to_diagnosis(&self) -> Option<f64> {
+        let diagnosed = self.quarantined + self.limp_home_miss;
+        if diagnosed == 0 {
+            None
+        } else {
+            Some(f64::from(self.frames_to_diagnosis_sum) / f64::from(diagnosed))
+        }
+    }
+
+    /// Post-quarantine makespan inflation: the mean degraded-frame
+    /// makespan over the nominal fault-free frame makespan; `None` without
+    /// degraded frames.
+    pub fn degraded_makespan_inflation(&self) -> Option<f64> {
+        if self.degraded_frames == 0 || self.fault_free_makespan == 0 {
+            None
+        } else {
+            let mean = self.degraded_makespan_sum as f64 / f64::from(self.degraded_frames);
+            Some(mean / self.fault_free_makespan as f64)
+        }
+    }
+
+    /// Limp-home deadline-miss rate: missions that quarantined but then
+    /// broke the re-planned contract, over all missions that quarantined;
+    /// `None` when nothing was ever quarantined.
+    pub fn limp_home_miss_rate(&self) -> Option<f64> {
+        let diagnosed = self.quarantined + self.limp_home_miss;
+        if diagnosed == 0 {
+            None
+        } else {
+            Some(f64::from(self.limp_home_miss) / f64::from(diagnosed))
         }
     }
 
@@ -226,9 +315,12 @@ impl PipelineCampaignReport {
         DetectionEvidence {
             activated: u64::from(self.trials - self.not_activated),
             masked: u64::from(self.masked),
-            detected: u64::from(self.detected),
+            // A broken limp-home contract is still a safe detection; a
+            // quarantined-and-limped mission stayed operational, which is
+            // the evidence class in-FTTI recovery occupies.
+            detected: u64::from(self.detected + self.limp_home_miss),
             corrected: u64::from(self.corrected),
-            recovered: u64::from(self.recovered),
+            recovered: u64::from(self.recovered + self.quarantined),
             undetected_failures: u64::from(self.undetected),
         }
     }
@@ -284,22 +376,49 @@ struct PipelineCounts {
     retries_attempted: u32,
     retries_failed: u32,
     no_slack: u32,
+    quarantined: u32,
+    limp_home_miss: u32,
+    degraded_frames: u32,
+    degraded_makespan_sum: u64,
+    frames_to_diagnosis_sum: u32,
+    limp_deadline_miss: u32,
 }
 
 impl PipelineCounts {
-    fn add(&mut self, outcome: PipelineTrialOutcome, run: &PipelineRun) {
+    fn add_outcome(&mut self, outcome: PipelineTrialOutcome) {
         match outcome {
             PipelineTrialOutcome::NotActivated => self.not_activated += 1,
             PipelineTrialOutcome::Masked => self.masked += 1,
             PipelineTrialOutcome::Corrected => self.corrected += 1,
             PipelineTrialOutcome::Recovered => self.recovered += 1,
             PipelineTrialOutcome::Detected => self.detected += 1,
+            PipelineTrialOutcome::Quarantined => self.quarantined += 1,
+            PipelineTrialOutcome::LimpHomeMiss => self.limp_home_miss += 1,
             PipelineTrialOutcome::UndetectedFailure => self.undetected += 1,
         }
+    }
+
+    fn add_run(&mut self, run: &PipelineRun) {
         self.deadline_miss += u32::from(run.deadline_miss);
         self.retries_attempted += run.retries_attempted;
         self.retries_failed += run.retries_failed;
         self.no_slack += run.no_slack_failures;
+    }
+
+    fn add(&mut self, outcome: PipelineTrialOutcome, run: &PipelineRun) {
+        self.add_outcome(outcome);
+        self.add_run(run);
+    }
+
+    fn add_limp(&mut self, outcome: PipelineTrialOutcome, rep: &LimpHomeReport) {
+        self.add_outcome(outcome);
+        for run in rep.frames.iter().filter_map(|f| f.run.as_ref()) {
+            self.add_run(run);
+        }
+        self.degraded_frames += rep.degraded_frames();
+        self.degraded_makespan_sum += rep.degraded_makespan_sum();
+        self.frames_to_diagnosis_sum += rep.frames_to_diagnosis().unwrap_or(0);
+        self.limp_deadline_miss += rep.limp_deadline_misses();
     }
 
     fn merge(&mut self, o: PipelineCounts) {
@@ -313,6 +432,12 @@ impl PipelineCounts {
         self.retries_attempted += o.retries_attempted;
         self.retries_failed += o.retries_failed;
         self.no_slack += o.no_slack;
+        self.quarantined += o.quarantined;
+        self.limp_home_miss += o.limp_home_miss;
+        self.degraded_frames += o.degraded_frames;
+        self.degraded_makespan_sum += o.degraded_makespan_sum;
+        self.frames_to_diagnosis_sum += o.frames_to_diagnosis_sum;
+        self.limp_deadline_miss += o.limp_deadline_miss;
     }
 }
 
@@ -361,6 +486,95 @@ impl PipelineCampaignRunner {
             !misroute || analyze(self.gpu.trace(), DiversityRequirements::default()).is_diverse();
         let outcome = classify(pipeline, &run, counters.activated(), misroute, diverse);
         Ok((outcome, run))
+    }
+
+    /// Runs one multi-frame limp-home trial ([`crate::limp`]): the device
+    /// is reset (clearing any previous quarantine), the fault hook is
+    /// armed for the whole mission, and the mission is classified at the
+    /// mission level — [`PipelineTrialOutcome::Quarantined`] when an SM
+    /// was convicted and every later frame limped home inside its
+    /// re-planned FTTI, [`PipelineTrialOutcome::LimpHomeMiss`] when the
+    /// contract broke after a conviction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/protocol errors (never mere corruption).
+    pub fn run_limp_trial(
+        &mut self,
+        pipeline: &Pipeline,
+        mode: &RedundancyMode,
+        frame_plan: &PipelinePlan,
+        opts: FrameOptions,
+        frames: u32,
+        model: FaultModel,
+    ) -> Result<(PipelineTrialOutcome, LimpHomeReport), PipelineError> {
+        if self.gpu.reset().is_err() {
+            self.gpu.force_reset();
+        }
+        let counters = InjectionCounters::shared();
+        self.gpu
+            .set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
+        let rep = run_limp_home(
+            &mut self.gpu,
+            pipeline,
+            mode,
+            frame_plan,
+            opts,
+            frames as usize,
+        )?;
+        let outcome = classify_limp(pipeline, &rep, counters.activated());
+        Ok((outcome, rep))
+    }
+}
+
+/// Classifies a limp-home mission: the oracle checks every delivered
+/// frame, then the quarantine ladder decides between the mission-level
+/// outcomes.
+fn classify_limp(
+    pipeline: &Pipeline,
+    rep: &LimpHomeReport,
+    activated: bool,
+) -> PipelineTrialOutcome {
+    if !activated {
+        return PipelineTrialOutcome::NotActivated;
+    }
+    // Oracle: every completed frame's every stage output must verify
+    // against the CPU reference over the data that actually flowed — a
+    // degraded frame is held to the same bar as a nominal one.
+    for f in rep.frames.iter().filter(|f| f.completed()) {
+        let run = f.run.as_ref().expect("a completed frame has a run");
+        for (s, stage) in pipeline.stages().iter().enumerate() {
+            let inputs: Vec<&[u32]> = stage
+                .deps
+                .iter()
+                .map(|&d| run.outputs[d].as_slice())
+                .collect();
+            if stage.program.verify(&run.outputs[s], &inputs).is_err() {
+                return PipelineTrialOutcome::UndetectedFailure;
+            }
+        }
+    }
+    if rep.diagnosis_frame.is_some() {
+        return if rep.limp_home_ok() {
+            PipelineTrialOutcome::Quarantined
+        } else {
+            PipelineTrialOutcome::LimpHomeMiss
+        };
+    }
+    if rep
+        .frames
+        .iter()
+        .any(|f| f.status == FrameStatus::FailStopped)
+    {
+        return PipelineTrialOutcome::Detected;
+    }
+    let runs = || rep.frames.iter().filter_map(|f| f.run.as_ref());
+    if runs().any(|r| r.recovered_stages() > 0) {
+        PipelineTrialOutcome::Recovered
+    } else if runs().any(|r| r.corrected_stages() > 0 || r.corrected_reads > 0) {
+        PipelineTrialOutcome::Corrected
+    } else {
+        PipelineTrialOutcome::Masked
     }
 }
 
@@ -449,7 +663,13 @@ fn resolve(
         };
         run_pipeline(&mut gpu, &pipeline, &mode, &frame_plan, no_bist)?.end_cycle
     };
-    let models = draw_models(cfg, spec.fault, frame_makespan);
+    // Multi-frame missions draw the fault's arming time across the whole
+    // mission window (frames × the fault-free frame), so a permanent
+    // fault may manifest in any frame k and the remaining frames must
+    // limp home; single-frame cells keep the classic per-frame window
+    // (and therefore their exact historical draws).
+    let window = frame_makespan.saturating_mul(u64::from(spec.frames.max(1)));
+    let models = draw_models(cfg, spec.fault, window);
     Ok(ResolvedSpec {
         pipeline,
         mode,
@@ -495,7 +715,47 @@ fn finish_report(
         retries_attempted: counts.retries_attempted,
         retries_failed: counts.retries_failed,
         no_slack: counts.no_slack,
+        frames: spec.frames.max(1),
+        quarantined: counts.quarantined,
+        limp_home_miss: counts.limp_home_miss,
+        degraded_frames: counts.degraded_frames,
+        degraded_makespan_sum: counts.degraded_makespan_sum,
+        frames_to_diagnosis_sum: counts.frames_to_diagnosis_sum,
+        limp_deadline_miss: counts.limp_deadline_miss,
     }
+}
+
+/// One trial under `spec` — a single frame or a limp-home mission —
+/// reduced to the order-independent counts.
+fn run_one_trial(
+    runner: &mut PipelineCampaignRunner,
+    spec: &PipelineCampaignSpec,
+    resolved: &ResolvedSpec,
+    model: FaultModel,
+    counts: &mut PipelineCounts,
+) -> Result<(), PipelineError> {
+    if spec.frames > 1 {
+        let (outcome, rep) = runner.run_limp_trial(
+            &resolved.pipeline,
+            &resolved.mode,
+            &resolved.frame_plan,
+            resolved.opts,
+            spec.frames,
+            model,
+        )?;
+        counts.add_limp(outcome, &rep);
+    } else {
+        let (outcome, run) = runner.run_trial(
+            &resolved.pipeline,
+            &resolved.mode,
+            &resolved.frame_plan,
+            resolved.opts,
+            matches!(spec.fault, FaultSpec::Misroute),
+            model,
+        )?;
+        counts.add(outcome, &run);
+    }
+    Ok(())
 }
 
 /// The reference serial engine: one runner, trials in draw order — the
@@ -514,15 +774,7 @@ pub fn run_pipeline_campaign_serial(
     let mut runner = PipelineCampaignRunner::new(cfg);
     let mut counts = PipelineCounts::default();
     for &model in &resolved.models {
-        let (outcome, run) = runner.run_trial(
-            &resolved.pipeline,
-            &resolved.mode,
-            &resolved.frame_plan,
-            resolved.opts,
-            matches!(spec.fault, FaultSpec::Misroute),
-            model,
-        )?;
-        counts.add(outcome, &run);
+        run_one_trial(&mut runner, spec, &resolved, model, &mut counts)?;
     }
     Ok(finish_report(spec, &resolved, cfg.trials, counts))
 }
@@ -549,15 +801,7 @@ pub fn run_pipeline_campaign(
         let mut runner = PipelineCampaignRunner::new(cfg);
         let mut counts = PipelineCounts::default();
         for &model in &resolved.models {
-            let (outcome, run) = runner.run_trial(
-                &resolved.pipeline,
-                &resolved.mode,
-                &resolved.frame_plan,
-                resolved.opts,
-                matches!(spec.fault, FaultSpec::Misroute),
-                model,
-            )?;
-            counts.add(outcome, &run);
+            run_one_trial(&mut runner, spec, &resolved, model, &mut counts)?;
         }
         return Ok(finish_report(spec, &resolved, cfg.trials, counts));
     }
@@ -583,19 +827,15 @@ pub fn run_pipeline_campaign(
                                 if abort.load(Ordering::Relaxed) {
                                     break 'claims;
                                 }
-                                match runner.run_trial(
-                                    &resolved.pipeline,
-                                    &resolved.mode,
-                                    &resolved.frame_plan,
-                                    resolved.opts,
-                                    matches!(spec.fault, FaultSpec::Misroute),
+                                if let Err(e) = run_one_trial(
+                                    &mut runner,
+                                    spec,
+                                    resolved,
                                     resolved.models[i],
+                                    &mut counts,
                                 ) {
-                                    Ok((outcome, run)) => counts.add(outcome, &run),
-                                    Err(e) => {
-                                        abort.store(true, Ordering::Relaxed);
-                                        return Err((i, e));
-                                    }
+                                    abort.store(true, Ordering::Relaxed);
+                                    return Err((i, e));
                                 }
                             }
                         }
@@ -681,6 +921,61 @@ mod tests {
     }
 
     #[test]
+    fn multi_frame_permanent_campaign_quarantines_and_limps_home() {
+        use higpu_sim::config::GpuConfig;
+        let reg = full_pipeline_registry();
+        let mut gpu = GpuConfig::wide_10sm();
+        gpu.global_mem_bytes = 2 * 1024 * 1024;
+        let cfg = CampaignConfig {
+            trials: 3,
+            seed: 7,
+            gpu,
+            ..CampaignConfig::default()
+        };
+        let spec =
+            PipelineCampaignSpec::new("sensor_fusion", PolicyKind::Srrs, FaultSpec::Permanent)
+                .with_frames(4);
+        let r = run_pipeline_campaign(&cfg, &reg, &spec).expect("mission campaign");
+        assert_eq!(r.frames, 4);
+        assert_eq!(r.undetected, 0, "the ASIL-D fence holds over missions");
+        assert_eq!(
+            r.limp_home_miss, 0,
+            "re-planned budgets hold every degraded frame: {r:?}"
+        );
+        assert!(
+            r.quarantined > 0,
+            "a permanent fault inside the mission window gets convicted: {r:?}"
+        );
+        assert!(r.degraded_frames > 0, "post-quarantine frames limp home");
+        // The inflation is a *reported* observable, not bounded below by
+        // 1.0: losing an SM shifts the SRRS stagger alignment, which can
+        // make the shrunken device marginally faster on a branchy DAG.
+        // It must still be the same order of magnitude as nominal.
+        let inflation = r
+            .degraded_makespan_inflation()
+            .expect("degraded frames ran");
+        assert!(
+            (0.5..2.0).contains(&inflation),
+            "degraded frames stay commensurate with nominal: {r:?}"
+        );
+        assert!(r.mean_frames_to_diagnosis().expect("diagnosed") >= 1.0);
+        assert_eq!(r.limp_home_miss_rate(), Some(0.0));
+        // The parallel engine must agree bit-for-bit on missions too.
+        let serial = run_pipeline_campaign_serial(&cfg, &reg, &spec).expect("serial oracle");
+        assert_eq!(r, serial);
+        let par = run_pipeline_campaign(
+            &CampaignConfig {
+                workers: 3,
+                ..cfg.clone()
+            },
+            &reg,
+            &spec,
+        )
+        .expect("parallel engine");
+        assert_eq!(r, par);
+    }
+
+    #[test]
     fn report_rates_and_evidence() {
         let r = PipelineCampaignReport {
             pipeline: "p".into(),
@@ -704,6 +999,13 @@ mod tests {
             retries_attempted: 6,
             retries_failed: 2,
             no_slack: 0,
+            frames: 1,
+            quarantined: 0,
+            limp_home_miss: 0,
+            degraded_frames: 0,
+            degraded_makespan_sum: 0,
+            frames_to_diagnosis_sum: 0,
+            limp_deadline_miss: 0,
         };
         assert_eq!(r.recovery_rate(), Some(4.0 / 6.0));
         assert!((r.deadline_miss_rate() - 0.1).abs() < 1e-12);

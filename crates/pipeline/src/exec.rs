@@ -424,17 +424,60 @@ pub fn plan(
     pipeline: &Pipeline,
     mode: &RedundancyMode,
 ) -> Result<PipelinePlan, PipelineError> {
+    plan_on(&mut Gpu::new(gpu_cfg.clone()), pipeline, mode)
+}
+
+/// Re-calibrates the deadline plan on a **degraded** device: a fresh GPU
+/// of `gpu_cfg` with `quarantined` SMs taken out of service. This is the
+/// limp-home re-planning step — after a permanent-fault diagnosis the
+/// stage makespans stretch (fewer SMs share the round-robin) and every
+/// budget, including the critical-path end-to-end FTTI, must be re-derived
+/// for the shrunken device before the next frame may be admitted.
+///
+/// Quarantining out-of-range SM ids is a no-op (the degraded plan of a
+/// narrower device than the diagnosis assumed is still well-defined).
+///
+/// # Errors
+///
+/// [`PipelineError::Empty`] for a stageless pipeline; device/protocol
+/// errors when the residual capacity cannot host the redundant stages
+/// (e.g. fewer healthy SMs than replicas) — the caller's cue to fail-stop.
+pub fn plan_degraded(
+    gpu_cfg: &GpuConfig,
+    quarantined: &[usize],
+    pipeline: &Pipeline,
+    mode: &RedundancyMode,
+) -> Result<PipelinePlan, PipelineError> {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    for &sm in quarantined {
+        if sm < gpu.config().num_sms {
+            gpu.quarantine_sm(sm);
+        }
+    }
+    plan_on(&mut gpu, pipeline, mode)
+}
+
+/// [`plan`] on a caller-provided device: calibrates the fault-free frame
+/// on `gpu` exactly as the device stands — including any quarantined SMs —
+/// measuring makespans as device-clock deltas from entry. The device is
+/// left non-idle-clean (kernels ran, memory was allocated); calibrate on a
+/// scratch device, not mid-mission.
+pub fn plan_on(
+    gpu: &mut Gpu,
+    pipeline: &Pipeline,
+    mode: &RedundancyMode,
+) -> Result<PipelinePlan, PipelineError> {
     if pipeline.is_empty() {
         return Err(PipelineError::Empty);
     }
-    let mut gpu = Gpu::new(gpu_cfg.clone());
+    let frame_zero = gpu.cycle();
     let mut outputs: Vec<Vec<u32>> = Vec::with_capacity(pipeline.len());
     let mut makespans = Vec::with_capacity(pipeline.len());
     let mut bandwidth = 0u64;
     for (s, stage) in pipeline.stages().iter().enumerate() {
         let inputs: Vec<&[u32]> = stage.deps.iter().map(|&d| outputs[d].as_slice()).collect();
         let start = gpu.cycle();
-        match run_stage_attempt(&mut gpu, mode, pipeline, s, &inputs, None)? {
+        match run_stage_attempt(gpu, mode, pipeline, s, &inputs, None)? {
             (Attempt::Clean(out), (up, down)) => {
                 bandwidth += up + down;
                 outputs.push(out);
@@ -457,7 +500,7 @@ pub fn plan(
         pipeline.stages().iter().map(|s| s.deps.clone()).collect(),
     );
     Ok(PipelinePlan {
-        fault_free_makespan: gpu.cycle(),
+        fault_free_makespan: gpu.cycle() - frame_zero,
         stage_makespans: makespans,
         ftti,
         frame_bandwidth_bytes: bandwidth,

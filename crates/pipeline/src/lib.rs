@@ -22,6 +22,13 @@
 //!   *overlapped* one runs independent DAG branches concurrently on
 //!   disjoint SM partitions (`overlap`, the RTGPU-style model); the
 //!   *serial* one-stage-at-a-time executor stays as the reference oracle;
+//! * [`limp`] — the multi-frame **limp-home** driver: a fail-stopped
+//!   frame escalates to permanent-fault diagnosis (per-SM BIST sweep), SM
+//!   quarantine, and degraded-mode re-planning
+//!   ([`exec::plan_degraded`]) so subsequent frames stay
+//!   fail-operational on the shrunken device
+//!   ([`limp::FrameStatus::Degraded`]); the mission fail-stops only when
+//!   the re-planned frame is unschedulable;
 //! * [`campaign`] — fault campaigns over whole frames, classifying
 //!   [`campaign::PipelineTrialOutcome::Recovered`] vs `Detected` (the
 //!   fail-operational/fail-stop frontier observable), with end-to-end
@@ -35,6 +42,7 @@ pub mod builtin;
 pub mod campaign;
 pub mod exec;
 pub mod graph;
+pub mod limp;
 mod overlap;
 pub mod stages;
 
@@ -44,7 +52,8 @@ pub use campaign::{
     PipelineCampaignSpec, PipelineTrialOutcome,
 };
 pub use exec::{
-    plan, run_pipeline, ExecMode, FailReason, FrameOptions, PipelinePlan, PipelineRun,
-    RecoveryPolicy, StageStatus, StageTiming,
+    plan, plan_degraded, plan_on, run_pipeline, ExecMode, FailReason, FrameOptions, PipelinePlan,
+    PipelineRun, RecoveryPolicy, StageStatus, StageTiming,
 };
 pub use graph::{Pipeline, PipelineRegistry, Stage};
+pub use limp::{run_limp_home, FrameRecord, FrameStatus, LimpHomeReport};

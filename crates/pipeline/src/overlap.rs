@@ -487,13 +487,18 @@ pub(crate) fn run_overlapped(
     opts: FrameOptions,
 ) -> Result<PipelineRun, PipelineError> {
     let num_sms = gpu.config().num_sms;
+    // Capacity is judged against the SMs still in service: a quarantined
+    // SM can never join a partition, so a degraded device admits a frame
+    // only when its *healthy* count covers the replica floor.
+    let healthy_sms = gpu.effective_sms();
     let replicas = usize::from(mode.replicas());
     if replicas < 2 {
         return Err(RedundancyError::InvalidMode("at least two replicas required".into()).into());
     }
-    if replicas > num_sms {
+    if replicas > healthy_sms {
         return Err(RedundancyError::InvalidMode(format!(
-            "a partition needs at least one SM per replica: {replicas} replicas on {num_sms} SMs"
+            "a partition needs at least one healthy SM per replica: {replicas} replicas on \
+             {healthy_sms} in-service SMs"
         ))
         .into());
     }
@@ -511,6 +516,13 @@ pub(crate) fn run_overlapped(
     };
     let mut next_group = next_group_from_trace(gpu);
     let mut table = SmPartitionTable::new(num_sms);
+    // Quarantined SMs are blocked in the partition table before anything
+    // reserves: first-fit then only ever hands out contiguous runs of
+    // healthy SMs, so every partition-relative SRRS start lands in
+    // service and no stage replica can touch condemned hardware.
+    for sm in gpu.quarantined_sms() {
+        table.block_sm(sm);
+    }
     let mut run = PipelineRun::new(pipeline.len(), frame_zero);
     let mut state = vec![StageState::Pending; pipeline.len()];
     // One SM per replica is the floor every diversity scheme needs

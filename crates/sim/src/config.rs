@@ -190,6 +190,13 @@ impl GpuConfig {
         }
     }
 
+    /// Effective device capacity once `quarantined` SMs have been removed
+    /// from service: the SM count admission control and limp-home
+    /// re-planning must budget against (never the nominal `num_sms`).
+    pub fn effective_sms(&self, quarantined: usize) -> usize {
+        self.num_sms.saturating_sub(quarantined)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -254,6 +261,14 @@ mod tests {
             GpuConfig::paper_6sm().max_threads_per_sm,
             "same per-SM microarchitecture, just more SMs"
         );
+    }
+
+    #[test]
+    fn effective_capacity_subtracts_quarantined_sms() {
+        let cfg = GpuConfig::wide_10sm();
+        assert_eq!(cfg.effective_sms(0), 10);
+        assert_eq!(cfg.effective_sms(3), 7);
+        assert_eq!(cfg.effective_sms(99), 0, "saturates, never underflows");
     }
 
     #[test]

@@ -191,6 +191,12 @@ pub struct Gpu {
     /// False while `fault` is the [`NoFaults`] default; lets the execution
     /// hot path skip all virtual hook calls.
     fault_enabled: bool,
+    /// Per-SM health: `quarantined[sm]` is set by [`Gpu::quarantine_sm`]
+    /// when a permanent fault has been attributed to that SM. Quarantined
+    /// SMs are excluded from dispatch (scheduler snapshots report them as
+    /// never fitting, and the post-policy fit check refuses assignments —
+    /// including fault-hook reroutes — that land on them).
+    quarantined: Vec<bool>,
     cycle: u64,
     /// Watchdog: abort `run_to_idle` past this cycle (see
     /// [`Gpu::set_cycle_limit`]).
@@ -247,6 +253,7 @@ impl Gpu {
             policy,
             fault: Box::new(NoFaults),
             fault_enabled: false,
+            quarantined: vec![false; cfg.num_sms],
             cycle: 0,
             cycle_limit: None,
             next_dispatch_slot: 0,
@@ -314,6 +321,48 @@ impl Gpu {
     pub fn clear_fault_hook(&mut self) {
         self.fault = Box::new(NoFaults);
         self.fault_enabled = false;
+    }
+
+    // ---- SM health -----------------------------------------------------------
+
+    /// Quarantines one SM: no block is ever dispatched to it again (until
+    /// [`Gpu::reset`]). Idempotent; blocks already resident on the SM run to
+    /// completion — the host drains or cancels them as part of its recovery
+    /// ladder, the simulator only guarantees no *new* placement.
+    ///
+    /// This is the diagnosis outcome of the limp-home ladder: once a
+    /// permanent fault is attributed to an SM, the host removes it from
+    /// service and re-plans the remaining frames on the shrunken device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range (host-side wiring bug).
+    pub fn quarantine_sm(&mut self, sm: usize) {
+        assert!(sm < self.sms.len(), "quarantine of nonexistent SM {sm}");
+        if !self.quarantined[sm] {
+            self.quarantined[sm] = true;
+            // Pending work that was headed for this SM must be re-placed.
+            self.sched_dirty = true;
+        }
+    }
+
+    /// True if `sm` is currently quarantined.
+    pub fn is_quarantined(&self, sm: usize) -> bool {
+        self.quarantined.get(sm).copied().unwrap_or(false)
+    }
+
+    /// Ids of all currently quarantined SMs, ascending.
+    pub fn quarantined_sms(&self) -> Vec<usize> {
+        (0..self.sms.len())
+            .filter(|&i| self.quarantined[i])
+            .collect()
+    }
+
+    /// Effective device capacity: SMs still in service (total minus
+    /// quarantined). Admission and re-planning must consult this, not
+    /// [`GpuConfig::num_sms`].
+    pub fn effective_sms(&self) -> usize {
+        self.quarantined.iter().filter(|q| !**q).count()
     }
 
     /// True when every launched kernel has finished.
@@ -390,6 +439,14 @@ impl Gpu {
     /// Asserted by the `reset_retains_installed_policy_and_resets_its_state`
     /// test.
     ///
+    /// SM health is **not** retained: all quarantine marks set through
+    /// [`Gpu::quarantine_sm`] are cleared, so a reused campaign device
+    /// starts every trial healthy at full capacity. Quarantine is a
+    /// *diagnosis of this device's fault injection*, not configuration — a
+    /// fresh trial draws a fresh fault model, and carrying a stale
+    /// quarantine across trials would silently shrink every subsequent
+    /// trial's device. Asserted by the `reset_clears_sm_quarantine` test.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::NotIdle`] if kernels are in flight.
@@ -406,6 +463,7 @@ impl Gpu {
         self.kernels.clear();
         self.policy.reset();
         self.clear_fault_hook();
+        self.quarantined.fill(false);
         self.cycle = 0;
         self.cycle_limit = None;
         self.next_dispatch_slot = 0;
@@ -579,7 +637,7 @@ impl Gpu {
     pub fn launch(&mut self, launch: KernelLaunch) -> Result<KernelId, SimError> {
         let fp = BlockFootprint::of(&launch, self.cfg.warp_size);
         let empty_sm = Sm::new(usize::MAX, &self.cfg);
-        if !empty_sm.fits(&fp) {
+        if !empty_sm.fits(&fp) || self.effective_sms() == 0 {
             return Err(SimError::Unschedulable {
                 program: launch.program.name().to_string(),
             });
@@ -662,9 +720,10 @@ impl Gpu {
         }
         let mut sms = std::mem::take(&mut self.sched.sms);
         sms.clear();
-        sms.extend(self.sms.iter().map(|s| SmSnapshot {
+        sms.extend(self.sms.iter().enumerate().map(|(i, s)| SmSnapshot {
             free: s.free(),
             resident_blocks: s.resident_blocks() as u32,
+            quarantined: self.quarantined[i],
         }));
         let assignments = std::mem::take(&mut self.sched.assignments);
         let mut view = SchedulerView::from_parts(self.cycle, kernels, sms, assignments);
@@ -681,9 +740,17 @@ impl Gpu {
                 continue;
             }
             // Fault hook may misroute the assignment (scheduler fault model).
+            // Quarantined SMs are unfit for dispatch *and* for fault-hook
+            // reroutes: a misrouting scheduler fault cannot resurrect a
+            // removed SM.
             let fits = &mut self.sched.fits;
             fits.clear();
-            fits.extend(self.sms.iter().map(|s| s.fits(&fp)));
+            fits.extend(
+                self.sms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| !self.quarantined[i] && s.fits(&fp)),
+            );
             let chosen =
                 self.fault
                     .reroute_block(a.kernel, block_linear, a.sm, self.sms.len(), &|sm| {
@@ -1307,6 +1374,73 @@ mod tests {
         reused.force_reset();
         assert!(reused.is_idle());
         assert_eq!(run(&mut reused), expected, "force_reset == fresh device");
+    }
+
+    #[test]
+    fn quarantined_sm_receives_no_blocks() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        assert_eq!(gpu.effective_sms(), 2);
+        gpu.quarantine_sm(0);
+        gpu.quarantine_sm(0); // idempotent
+        assert!(gpu.is_quarantined(0) && !gpu.is_quarantined(1));
+        assert_eq!(gpu.quarantined_sms(), vec![0]);
+        assert_eq!(gpu.effective_sms(), 1);
+
+        let buf = gpu.alloc_words(128).expect("alloc");
+        gpu.write_u32(buf, &vec![3u32; 128]);
+        let id = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(4u32, 32u32).param_u32(buf.0),
+            ))
+            .expect("launch");
+        gpu.run_to_idle().expect("run");
+        assert_eq!(gpu.read_u32(buf, 128), vec![4u32; 128], "result correct");
+        assert_eq!(
+            gpu.trace().sms_used_by(id),
+            vec![1],
+            "every block placed on the sole healthy SM"
+        );
+    }
+
+    #[test]
+    fn all_sms_quarantined_makes_launches_unschedulable() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        gpu.quarantine_sm(0);
+        gpu.quarantine_sm(1);
+        assert_eq!(gpu.effective_sms(), 0);
+        let err = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(1u32, 32u32),
+            ))
+            .expect_err("no SM left in service");
+        assert!(matches!(err, SimError::Unschedulable { .. }));
+    }
+
+    /// Regression: a reused campaign device must start every trial healthy.
+    /// Quarantine is a diagnosis of *this* trial's fault injection, not
+    /// device configuration, so `reset` clears it (unlike the installed
+    /// policy, which is retained).
+    #[test]
+    fn reset_clears_sm_quarantine() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_2sm());
+        gpu.quarantine_sm(1);
+        assert_eq!(gpu.effective_sms(), 1);
+        gpu.reset().expect("idle");
+        assert_eq!(gpu.effective_sms(), 2, "reset restores full capacity");
+        assert!(gpu.quarantined_sms().is_empty());
+
+        // Both SMs are back in the dispatch rotation.
+        let buf = gpu.alloc_words(128).expect("alloc");
+        let id = gpu
+            .launch(KernelLaunch::new(
+                inc_kernel(),
+                LaunchConfig::new(4u32, 32u32).param_u32(buf.0),
+            ))
+            .expect("launch");
+        gpu.run_to_idle().expect("run");
+        assert_eq!(gpu.trace().sms_used_by(id).len(), 2);
     }
 
     #[test]

@@ -80,10 +80,16 @@ impl SmReservation {
 /// partition map.
 #[derive(Debug)]
 pub struct SmPartitionTable {
-    /// `owner[sm]` = reservation id holding that SM, if any.
+    /// `owner[sm]` = reservation id holding that SM, if any. Permanently
+    /// blocked SMs (quarantined hardware) carry the [`BLOCKED`] sentinel.
     owner: Vec<Option<u32>>,
     next_id: u32,
 }
+
+/// Owner sentinel for an SM removed from service ([`SmPartitionTable::block_sm`]).
+/// Reservation ids count up from 0, so the sentinel can never collide with a
+/// handle and [`SmPartitionTable::release`] can never free a blocked SM.
+const BLOCKED: u32 = u32::MAX;
 
 impl SmPartitionTable {
     /// An empty table over a device with `num_sms` SMs.
@@ -104,9 +110,29 @@ impl SmPartitionTable {
         self.owner.len()
     }
 
-    /// SMs not currently reserved.
+    /// SMs not currently reserved (excludes blocked SMs).
     pub fn free_sms(&self) -> usize {
         self.owner.iter().filter(|o| o.is_none()).count()
+    }
+
+    /// Permanently removes one SM from the table: it is never part of any
+    /// future reservation. The limp-home executor blocks every quarantined
+    /// SM before carving frame partitions, so first-fit places branches
+    /// around the dead hardware. Idempotent; blocking a currently reserved
+    /// SM is a wiring bug (the executor quarantines only between frames,
+    /// when all reservations are released).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range or currently reserved by a live
+    /// reservation.
+    pub fn block_sm(&mut self, sm: usize) {
+        assert!(sm < self.owner.len(), "blocking nonexistent SM {sm}");
+        assert!(
+            self.owner[sm].is_none_or(|id| id == BLOCKED),
+            "blocking SM {sm} while it is reserved"
+        );
+        self.owner[sm] = Some(BLOCKED);
     }
 
     /// Length of the largest contiguous free run (the biggest partition
@@ -232,6 +258,31 @@ mod tests {
         assert!(t.reserve(0).is_none());
         assert!(t.reserve(5).is_none());
         assert_eq!(t.free_sms(), 4, "refused claims leave the table intact");
+    }
+
+    #[test]
+    fn blocked_sms_are_skipped_by_first_fit() {
+        let mut t = SmPartitionTable::new(6);
+        t.block_sm(2);
+        t.block_sm(2); // idempotent
+        assert_eq!(t.free_sms(), 5);
+        assert_eq!(t.largest_free_run(), 3, "3..6 is the longest healthy run");
+        let a = t.reserve(3).expect("fits after the hole");
+        assert_eq!(a.range(), SmRange { start: 3, len: 3 });
+        let b = t.reserve(2).expect("0..2 before the hole");
+        assert_eq!(b.range(), SmRange { start: 0, len: 2 });
+        assert!(t.reserve(1).is_none(), "only the blocked SM remains");
+        t.release(a);
+        t.release(b);
+        assert_eq!(t.free_sms(), 5, "blocked SM never comes back");
+    }
+
+    #[test]
+    #[should_panic(expected = "while it is reserved")]
+    fn blocking_a_reserved_sm_is_rejected() {
+        let mut t = SmPartitionTable::new(4);
+        let _a = t.reserve(2).expect("claim 0..2");
+        t.block_sm(1);
     }
 
     #[test]

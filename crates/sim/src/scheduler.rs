@@ -61,12 +61,19 @@ pub struct SmSnapshot {
     pub free: ResourceUsage,
     /// Blocks currently resident (including commitments in this view).
     pub resident_blocks: u32,
+    /// True when the SM is quarantined ([`crate::gpu::Gpu::quarantine_sm`]).
+    /// A quarantined SM never fits any block, but policies that rotate over
+    /// SMs (SRRS) need the distinction from "temporarily full": a full SM is
+    /// waited on head-of-line, a quarantined one is skipped permanently.
+    pub quarantined: bool,
 }
 
 impl SmSnapshot {
     /// True if a block with footprint `fp` fits in the remaining capacity.
+    /// Always false on a quarantined SM.
     pub fn fits(&self, fp: &BlockFootprint) -> bool {
-        fp.threads <= self.free.threads
+        !self.quarantined
+            && fp.threads <= self.free.threads
             && fp.warps <= self.free.warps
             && fp.registers <= self.free.registers
             && fp.shared_mem <= self.free.shared_mem
@@ -292,6 +299,7 @@ mod tests {
                 blocks,
             },
             resident_blocks: 0,
+            quarantined: false,
         }
     }
 
@@ -370,6 +378,22 @@ mod tests {
         sm.resident_blocks = 1;
         let v = SchedulerView::new(0, vec![], vec![sm]);
         assert!(!v.gpu_idle());
+    }
+
+    #[test]
+    fn quarantined_sm_never_fits_and_is_skipped() {
+        let mut healthy = sm_snapshot(256, 8);
+        healthy.quarantined = true;
+        assert!(!healthy.fits(&fp(32)), "quarantined SM fits nothing");
+
+        let mut bad = sm_snapshot(256, 8);
+        bad.quarantined = true;
+        let mut v = SchedulerView::new(0, vec![kernel(0, 4, 128)], vec![bad, sm_snapshot(256, 8)]);
+        let mut pol = DefaultScheduler::new();
+        pol.assign(&mut v);
+        let a = v.assignments();
+        assert_eq!(a.len(), 2, "only the healthy SM admits blocks");
+        assert!(a.iter().all(|x| x.sm == 1));
     }
 
     #[test]

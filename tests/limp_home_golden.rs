@@ -1,0 +1,139 @@
+//! The frozen limp-home mission: the full diagnosis → quarantine →
+//! re-plan ladder on the wide 10-SM device, with every cycle count pinned.
+//!
+//! A permanent datapath fault arms at the entry of frame 1 of a five-frame
+//! `ad_pipeline` mission. Frame 0 completes at nominal budgets; frame 1
+//! detects, exhausts its in-FTTI retries against the persistent fault,
+//! fail-stops, and the targeted per-SM BIST sweep convicts the faulty SM;
+//! frames 2..4 complete in degraded mode inside the *re-planned*
+//! critical-path FTTI. The constants below were captured from the engine
+//! that introduced the limp-home driver; any drift means diagnosis,
+//! placement around the quarantined SM, or degraded re-planning changed
+//! semantics — a regression, not a measurement.
+
+use higpu_core::redundancy::RedundancyMode;
+use higpu_faults::injector::{FaultInjector, InjectionCounters};
+use higpu_faults::model::FaultModel;
+use higpu_pipeline::{
+    ad_pipeline, plan, plan_degraded, run_limp_home, run_pipeline, FrameOptions, FrameStatus,
+};
+use higpu_sim::config::GpuConfig;
+use higpu_sim::gpu::Gpu;
+use higpu_workloads::Scale;
+
+/// The SM the fault (and therefore the quarantine) lands on.
+const FAULTY_SM: usize = 6;
+
+/// Nominal (10-SM) serial calibration makespan of one `ad_pipeline` frame.
+const NOMINAL_CALIBRATION_MAKESPAN: u64 = 260_372;
+
+/// Frame 0's overlapped makespan at nominal budgets.
+const NOMINAL_FRAME_MAKESPAN: u64 = 260_372;
+
+/// Degraded (9-SM) serial calibration makespan after the quarantine.
+/// It matches the nominal calibration: on this linear DAG the 9-SM
+/// placement leaves every stage's critical path unchanged.
+const DEGRADED_CALIBRATION_MAKESPAN: u64 = 260_372;
+
+/// The re-planned critical-path end-to-end FTTI the degraded frames are
+/// admitted against.
+const DEGRADED_E2E_FTTI: u64 = 2_112_976;
+
+/// Makespans of the three degraded frames (frames 2, 3, 4).
+const DEGRADED_FRAME_MAKESPANS: [u64; 3] = [258_635, 258_635, 258_635];
+
+fn cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::wide_10sm();
+    cfg.global_mem_bytes = 2 * 1024 * 1024;
+    cfg
+}
+
+#[test]
+fn limp_home_mission_timeline_is_frozen() {
+    let p = ad_pipeline(Scale::Campaign);
+    let mode = RedundancyMode::srrs_spread(10, 2);
+    let nominal = plan(&cfg(), &p, &mode).expect("calibration");
+    assert_eq!(nominal.fault_free_makespan, NOMINAL_CALIBRATION_MAKESPAN);
+
+    // Measure frame 0's fault-free end on a scratch device so the fault
+    // can be armed exactly at frame 1's entry on the mission device.
+    let mut probe = Gpu::new(cfg());
+    let probe_run = run_pipeline(&mut probe, &p, &mode, &nominal, FrameOptions::default())
+        .expect("fault-free probe frame");
+    assert!(probe_run.completed());
+    let frame0_end = probe_run.end_cycle;
+
+    let mut gpu = Gpu::new(cfg());
+    let counters = InjectionCounters::shared();
+    gpu.set_fault_hook(Box::new(FaultInjector::new(
+        FaultModel::PermanentSm {
+            sm: FAULTY_SM,
+            from_cycle: frame0_end + 1,
+            bit: 9,
+        },
+        counters,
+    )));
+    let rep = run_limp_home(&mut gpu, &p, &mode, &nominal, FrameOptions::default(), 5)
+        .expect("mission runs");
+
+    // The ladder: nominal frame, diagnosing fail-stop, three degraded
+    // frames — and exactly one BIST sweep, which convicted.
+    assert_eq!(rep.frames.len(), 5);
+    assert_eq!(rep.frames[0].status, FrameStatus::Nominal);
+    assert!(rep.frames[0].completed());
+    assert_eq!(rep.frames[0].makespan(), NOMINAL_FRAME_MAKESPAN);
+    assert_eq!(rep.frames[1].status, FrameStatus::FailStopped);
+    assert_eq!(
+        rep.quarantined,
+        vec![FAULTY_SM],
+        "the faulty SM and only it"
+    );
+    assert_eq!(rep.diagnosis_frame, Some(1));
+    assert_eq!(rep.frames_to_diagnosis(), Some(2));
+    assert_eq!(rep.bist_sweeps, 1);
+    assert_eq!(rep.unattributed_detections, 0);
+    assert!(rep.limp_home_ok());
+
+    // Degraded frames: completed inside the re-planned FTTI, cycle counts
+    // frozen.
+    let degraded = rep.degraded_plan.as_ref().expect("re-planned");
+    assert_eq!(degraded.fault_free_makespan, DEGRADED_CALIBRATION_MAKESPAN);
+    assert_eq!(degraded.ftti.end_to_end(), DEGRADED_E2E_FTTI);
+    for (f, &makespan) in rep.frames[2..].iter().zip(&DEGRADED_FRAME_MAKESPANS) {
+        assert_eq!(f.status, FrameStatus::Degraded, "frame {}", f.frame);
+        assert!(f.completed());
+        assert_eq!(f.e2e_budget, DEGRADED_E2E_FTTI);
+        assert_eq!(f.makespan(), makespan, "frame {}", f.frame);
+        assert!(f.makespan() <= f.e2e_budget, "inside the re-planned FTTI");
+    }
+
+    // Serial oracle on an equally-degraded fresh device: the degraded
+    // frames' voted outputs must be bit-identical to a serial fault-free
+    // frame with the same SM out of service (the quarantine removed the
+    // fault from the data path entirely).
+    let oracle_plan = plan_degraded(&cfg(), &[FAULTY_SM], &p, &mode).expect("degraded calibration");
+    assert_eq!(
+        oracle_plan.fault_free_makespan,
+        DEGRADED_CALIBRATION_MAKESPAN
+    );
+
+    let mut oracle_gpu = Gpu::new(cfg());
+    oracle_gpu.quarantine_sm(FAULTY_SM);
+    let oracle = run_pipeline(
+        &mut oracle_gpu,
+        &p,
+        &mode,
+        &oracle_plan,
+        FrameOptions::serial(),
+    )
+    .expect("serial oracle frame");
+    assert!(oracle.completed());
+    for f in &rep.frames[2..] {
+        assert_eq!(
+            f.run.as_ref().expect("degraded frames ran").outputs,
+            oracle.outputs,
+            "degraded frame {} diverges from the serial oracle",
+            f.frame
+        );
+    }
+}
