@@ -13,13 +13,18 @@
 //! fail-operational frontier — end-to-end deadline misses and in-FTTI
 //! recovery rates — next to the workload coverage frontier.
 //!
+//! The `core_mips` section records per-workload simulator throughput under
+//! the stepping and event-queue cores next to the seed-commit baseline —
+//! the before/after record for core-loop performance work.
+//!
 //! ```text
 //! bench_json [--trials N] [--seed S] [--workers 1,2,4,8]
-//!            [--matrix-trials N] [--no-matrix] [--out PATH]
+//!            [--matrix-trials N] [--no-matrix] [--core-runs N] [--out PATH]
 //! ```
 
 use higpu_bench::campaign_perf::{measure, ThroughputConfig};
-use higpu_bench::matrix::{bench_document, full_registry, run_matrix, MatrixConfig};
+use higpu_bench::core_mips::measure_core_mips;
+use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
 use higpu_pipeline::full_pipeline_registry;
 use std::process::ExitCode;
 
@@ -27,6 +32,7 @@ fn parse_args(
     cfg: &mut ThroughputConfig,
     matrix_trials: &mut Option<u32>,
     no_matrix: &mut bool,
+    core_runs: &mut u32,
     out: &mut String,
 ) -> Result<(), String> {
     let mut args = std::env::args().skip(1);
@@ -64,6 +70,11 @@ fn parse_args(
                 );
             }
             "--no-matrix" => *no_matrix = true,
+            "--core-runs" => {
+                *core_runs = value("--core-runs")?
+                    .parse()
+                    .map_err(|e| format!("--core-runs: {e}"))?;
+            }
             "--out" => *out = value("--out")?,
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -75,8 +86,15 @@ fn main() -> ExitCode {
     let mut cfg = ThroughputConfig::default();
     let mut matrix_trials: Option<u32> = None;
     let mut no_matrix = false;
+    let mut core_runs = 60u32;
     let mut out = "BENCH_campaign.json".to_string();
-    if let Err(e) = parse_args(&mut cfg, &mut matrix_trials, &mut no_matrix, &mut out) {
+    if let Err(e) = parse_args(
+        &mut cfg,
+        &mut matrix_trials,
+        &mut no_matrix,
+        &mut core_runs,
+        &mut out,
+    ) {
         eprintln!("bench_json: {e}");
         return ExitCode::FAILURE;
     }
@@ -107,6 +125,10 @@ fn main() -> ExitCode {
         }
     };
     print!("{}", result.to_table());
+    // Core-loop throughput: the before/after record for the event-queue
+    // rework, printed and persisted next to the engine throughput.
+    let core = measure_core_mips(&full_registry(), core_runs, 3);
+    print!("{}", core.to_table());
     let matrix = match matrix_cfg {
         Some(mc) => match run_matrix(&full_registry(), &mc) {
             Ok(m) => Some(m),
@@ -145,9 +167,12 @@ fn main() -> ExitCode {
             );
         }
     }
+    let core_json = core.to_json();
     let json = match &matrix {
-        Some(m) => bench_document(&result, m),
-        None => result.to_json(),
+        Some(m) => {
+            result.to_json_with_extra(&[("core_mips", &core_json), ("matrix", &m.to_json())])
+        }
+        None => result.to_json_with_extra(&[("core_mips", &core_json)]),
     };
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_json: cannot write {out}: {e}");

@@ -11,9 +11,15 @@
 //!                 [--pipeline-trials N] [--exec overlapped,serial]
 //!                 [--frames N] [--limp-trials N]
 //!                 [--wide-replicas 5] [--wide-trials N]
+//!                 [--core event|stepping|stepping,event]
 //!                 [--assert-srrs-clean]
 //!                 [--full-scale] [--check-serial] [--csv] [--json PATH]
 //! ```
+//!
+//! `--core` selects the simulator core(s). Naming more than one core runs
+//! the whole sweep once per core and asserts the results bit-identical —
+//! the stepping-vs-event determinism cross-check over every campaign cell
+//! (the printed matrix comes from the first core named).
 //!
 //! `--assert-srrs-clean` exits non-zero unless every SRRS cell — at every
 //! swept replica count, on the paper device and the wide one — reports zero
@@ -34,8 +40,17 @@ use higpu_bench::table;
 use higpu_core::policy::PolicyKind;
 use higpu_faults::campaign::FaultSpec;
 use higpu_pipeline::ExecMode;
+use higpu_sim::config::CoreKind;
 use higpu_workloads::Scale;
 use std::process::ExitCode;
+
+fn parse_core(s: &str) -> Result<CoreKind, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "event" => Ok(CoreKind::Event),
+        "stepping" => Ok(CoreKind::Stepping),
+        other => Err(format!("unknown core '{other}' (event|stepping)")),
+    }
+}
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
     match s.trim().to_ascii_lowercase().as_str() {
@@ -64,6 +79,9 @@ fn parse_fault(s: &str) -> Result<FaultSpec, String> {
 
 struct Options {
     cfg: MatrixConfig,
+    /// Cores to sweep; beyond the first, each re-runs the matrix and must
+    /// reproduce the first core's result bit-for-bit.
+    cores: Vec<CoreKind>,
     csv: bool,
     json: Option<String>,
     assert_srrs_clean: bool,
@@ -72,6 +90,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         cfg: MatrixConfig::default(),
+        cores: vec![CoreKind::default()],
         csv: false,
         json: None,
         assert_srrs_clean: false,
@@ -173,6 +192,15 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--wide-trials: {e}"))?,
                 );
             }
+            "--core" => {
+                opts.cores = value("--core")?
+                    .split(',')
+                    .map(parse_core)
+                    .collect::<Result<_, _>>()?;
+                if opts.cores.is_empty() {
+                    return Err("--core: expected at least one core".to_string());
+                }
+            }
             "--assert-srrs-clean" => opts.assert_srrs_clean = true,
             "--full-scale" => opts.cfg.scale = Scale::Full,
             "--check-serial" => opts.cfg.check_serial = true,
@@ -185,13 +213,14 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
+    let mut opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("campaign_matrix: {e}");
             return ExitCode::FAILURE;
         }
     };
+    opts.cfg.core = opts.cores[0];
     let reg = full_registry();
     eprintln!(
         "Campaign matrix — {} workload(s) + {} pipeline(s) x {} policies x {} faults x replicas {:?}, {} trials/cell\n",
@@ -213,6 +242,37 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Determinism cross-check: every additional core re-runs the whole
+    // sweep and must reproduce the first core's result bit-for-bit.
+    for &core in &opts.cores[1..] {
+        let mut cross = opts.cfg.clone();
+        cross.core = core;
+        let other = match run_matrix(&reg, &cross) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("campaign_matrix: {core:?}-core sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if other != m {
+            eprintln!(
+                "campaign_matrix: {core:?} core diverged from the {:?} core — the \
+                 bit-identical-cores contract is broken (run the cross_core test \
+                 for the first-divergence site)",
+                opts.cores[0]
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "campaign_matrix: {core:?} core reproduced the {:?}-core sweep bit-for-bit \
+             ({} workload cells, {} pipeline cells, {} wide cells, {} limp cells)",
+            opts.cores[0],
+            m.reports.len(),
+            m.pipeline_reports.len(),
+            m.wide_reports.len(),
+            m.limp_reports.len()
+        );
+    }
     let t = m.to_table();
     if opts.csv {
         println!("{}", table::render_csv(&t));

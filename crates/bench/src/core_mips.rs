@@ -1,0 +1,200 @@
+//! Per-workload simulator throughput (sim-MIPS): how many simulated warp
+//! instructions the simulator retires per wall-clock second, measured for
+//! the stepping oracle and the event-queue core side by side.
+//!
+//! Feeds the `core_mips` section of `BENCH_campaign.json` so core-loop
+//! performance is tracked PR over PR next to the campaign-engine
+//! throughput. Each sample also carries the seed-commit baseline measured
+//! with this same meter before the event-queue rework, making the
+//! before/after speedup a recorded artifact instead of a claim.
+
+use higpu_sim::config::{CoreKind, GpuConfig};
+use higpu_sim::gpu::Gpu;
+use higpu_workloads::session::SoloSession;
+use higpu_workloads::{Scale, WorkloadRegistry};
+use std::time::Instant;
+
+/// Campaign-scale sim-MIPS of the stepping-core seed baseline (commit
+/// `002524e`, pre-event-queue), measured with this meter on the reference
+/// host: `(workload, sim_mips)`. The absolute numbers are host-dependent;
+/// the *ratio* against a fresh measurement on the same host is the
+/// tracked speedup.
+pub const SEED_BASELINE_MIPS: &[(&str, f64)] =
+    &[("iterated_fma", 8.09), ("pathfinder", 5.18), ("srad", 5.79)];
+
+/// One workload's throughput under both cores.
+#[derive(Debug, Clone)]
+pub struct CoreMipsSample {
+    /// Workload name (campaign scale).
+    pub workload: String,
+    /// Simulated warp instructions per run.
+    pub instrs_per_run: u64,
+    /// Stepping-oracle throughput, best of the repeats.
+    pub stepping_mips: f64,
+    /// Event-core throughput, best of the repeats.
+    pub event_mips: f64,
+    /// Seed-commit baseline on the reference host (stepping core), if
+    /// recorded in [`SEED_BASELINE_MIPS`].
+    pub seed_mips: Option<f64>,
+}
+
+impl CoreMipsSample {
+    /// Event-core speedup over the recorded seed baseline.
+    pub fn speedup_vs_seed(&self) -> Option<f64> {
+        self.seed_mips.map(|s| self.event_mips / s)
+    }
+}
+
+/// A full two-core throughput sweep.
+#[derive(Debug, Clone)]
+pub struct CoreMipsResult {
+    /// Timed runs per (workload, core) repeat.
+    pub runs: u32,
+    /// Best-of repeats per (workload, core).
+    pub repeats: u32,
+    /// One sample per measured workload.
+    pub samples: Vec<CoreMipsSample>,
+}
+
+/// Times `runs` back-to-back solo runs of `name` on `core` and returns
+/// `(instructions per run, best-of-`repeats` sim-MIPS)`. Best-of damps
+/// scheduler noise on busy hosts; the instruction count is exact and
+/// identical across cores (the bit-identical contract).
+fn measure_one(
+    reg: &WorkloadRegistry,
+    name: &str,
+    core: CoreKind,
+    runs: u32,
+    repeats: u32,
+) -> (u64, f64) {
+    let cfg = GpuConfig {
+        core,
+        ..GpuConfig::default()
+    };
+    let mut gpu = Gpu::new(cfg);
+    let workload = reg
+        .build(name, Scale::Campaign)
+        .unwrap_or_else(|| panic!("workload '{name}' not in registry"));
+    // Warm run: faults caches and yields the per-run instruction count.
+    {
+        let mut s = SoloSession::new(&mut gpu);
+        workload.run(&mut s).expect("warm run");
+    }
+    let instrs_per_run: u64 = gpu.stats().per_sm.iter().map(|s| s.instrs_issued).sum();
+    let mut best = 0.0f64;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            gpu.reset().expect("device idle between runs");
+            let mut s = SoloSession::new(&mut gpu);
+            workload.run(&mut s).expect("timed run");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        best = best.max((instrs_per_run * u64::from(runs)) as f64 / secs / 1e6);
+    }
+    (instrs_per_run, best)
+}
+
+/// Measures the standard tracked workloads (the [`SEED_BASELINE_MIPS`]
+/// set) on both cores.
+pub fn measure_core_mips(reg: &WorkloadRegistry, runs: u32, repeats: u32) -> CoreMipsResult {
+    let samples = SEED_BASELINE_MIPS
+        .iter()
+        .map(|&(name, seed_mips)| {
+            let (instrs, stepping) = measure_one(reg, name, CoreKind::Stepping, runs, repeats);
+            let (instrs_e, event) = measure_one(reg, name, CoreKind::Event, runs, repeats);
+            assert_eq!(
+                instrs, instrs_e,
+                "{name}: cores disagree on instructions per run — bit-identity broken"
+            );
+            CoreMipsSample {
+                workload: name.to_string(),
+                instrs_per_run: instrs,
+                stepping_mips: stepping,
+                event_mips: event,
+                seed_mips: Some(seed_mips),
+            }
+        })
+        .collect();
+    CoreMipsResult {
+        runs,
+        repeats,
+        samples,
+    }
+}
+
+impl CoreMipsResult {
+    /// Renders the JSON value for the `core_mips` section.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"workload\": \"{}\", \"instrs_per_run\": {}, \
+                     \"stepping_sim_mips\": {:.2}, \"event_sim_mips\": {:.2}, \
+                     \"seed_sim_mips\": {}, \"event_speedup_vs_seed\": {}}}",
+                    s.workload,
+                    s.instrs_per_run,
+                    s.stepping_mips,
+                    s.event_mips,
+                    s.seed_mips
+                        .map_or("null".to_string(), |v| format!("{v:.2}")),
+                    s.speedup_vs_seed()
+                        .map_or("null".to_string(), |v| format!("{v:.2}")),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"runs\": {}, \"repeats\": {}, \"scale\": \"campaign\", \
+             \"seed_baseline\": \"stepping core @ seed commit, same meter and host class\", \
+             \"workloads\": [\n    {}\n  ]}}",
+            self.runs,
+            self.repeats,
+            rows.join(",\n    ")
+        )
+    }
+
+    /// Renders the human-readable before/after table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "core sim-MIPS ({} runs, best of {}): workload  seed -> stepping / event (speedup vs seed)\n",
+            self.runs, self.repeats
+        ));
+        for s in &self.samples {
+            out.push_str(&format!(
+                "  {:>14}: {} -> {:.2} / {:.2} ({})\n",
+                s.workload,
+                s.seed_mips.map_or("n/a".to_string(), |v| format!("{v:.2}")),
+                s.stepping_mips,
+                s.event_mips,
+                s.speedup_vs_seed()
+                    .map_or("n/a".to_string(), |v| format!("{v:.2}x")),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::full_registry;
+
+    #[test]
+    fn sweep_measures_and_renders() {
+        let reg = full_registry();
+        let r = measure_core_mips(&reg, 2, 1);
+        assert_eq!(r.samples.len(), SEED_BASELINE_MIPS.len());
+        for s in &r.samples {
+            assert!(s.instrs_per_run > 0, "{}: no instructions", s.workload);
+            assert!(s.stepping_mips > 0.0 && s.event_mips > 0.0);
+            assert!(s.speedup_vs_seed().expect("baseline recorded") > 0.0);
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"workload\": \"pathfinder\""));
+        assert!(json.contains("event_speedup_vs_seed"));
+        assert!(r.to_table().contains("sim-MIPS"));
+    }
+}

@@ -15,12 +15,15 @@
 //!   workload registry (full Rodinia suite included);
 //! * [`campaign_perf`] — campaign-engine throughput tracking (serial vs
 //!   parallel, recorded in `BENCH_campaign.json` together with the matrix);
+//! * [`core_mips`] — per-workload simulator throughput under the stepping
+//!   and event-queue cores, with the recorded seed baseline;
 //! * [`table`] — plain-text/CSV rendering helpers shared by the binaries.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod campaign_perf;
+pub mod core_mips;
 pub mod coverage;
 pub mod fig3;
 pub mod fig4;

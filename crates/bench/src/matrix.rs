@@ -17,7 +17,7 @@ use higpu_pipeline::campaign::{
     PipelineCampaignReport, PipelineCampaignSpec,
 };
 use higpu_pipeline::{full_pipeline_registry, ExecMode};
-use higpu_sim::config::GpuConfig;
+use higpu_sim::config::{CoreKind, GpuConfig};
 use higpu_sim::gpu::Gpu;
 use higpu_workloads::runner::run_solo;
 use higpu_workloads::{Scale, WorkloadRegistry};
@@ -92,6 +92,11 @@ pub struct MatrixConfig {
     /// Trials per limp-home cell (`None` = half the pipeline trial
     /// count, rounded up — every trial is a whole multi-frame mission).
     pub limp_trials: Option<u32>,
+    /// Simulator core every campaign and solo-makespan device runs on.
+    /// Both cores are bit-identical by contract; sweeping the matrix once
+    /// per core and diffing the reports is the whole-artifact determinism
+    /// cross-check (`campaign_matrix --core stepping,event`).
+    pub core: CoreKind,
 }
 
 impl Default for MatrixConfig {
@@ -113,6 +118,7 @@ impl Default for MatrixConfig {
             wide_trials: None,
             limp_frames: 4,
             limp_trials: None,
+            core: CoreKind::default(),
         }
     }
 }
@@ -219,8 +225,9 @@ impl PipelineFrontierPoint {
     }
 }
 
-/// Results of one sweep.
-#[derive(Debug, Clone)]
+/// Results of one sweep. `PartialEq` is the whole-artifact determinism
+/// cross-check: two sweeps on different simulator cores must compare equal.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixResult {
     /// Trials per cell.
     pub trials: u32,
@@ -934,12 +941,13 @@ pub fn run_matrix(
     } else {
         cfg.workloads.clone()
     };
-    let campaign = CampaignConfig {
+    let mut campaign = CampaignConfig {
         trials: cfg.trials,
         seed: cfg.seed,
         workers: cfg.workers,
         ..CampaignConfig::default()
     };
+    campaign.gpu.core = cfg.core;
     // Solo (non-redundant) fault-free makespan per workload: the cost
     // baseline every redundant cell's overhead is measured against.
     let mut solo_makespans = Vec::with_capacity(names.len());
@@ -1024,7 +1032,7 @@ pub fn run_matrix(
     let mut wide_solo_makespans = Vec::new();
     let mut wide_reports = Vec::new();
     if !cfg.wide_replica_counts.is_empty() {
-        let wide = CampaignConfig {
+        let mut wide = CampaignConfig {
             trials: cfg
                 .wide_trials
                 .unwrap_or_else(|| cfg.trials.div_ceil(2).max(1)),
@@ -1032,6 +1040,7 @@ pub fn run_matrix(
             gpu: wide_gpu(),
             workers: cfg.workers,
         };
+        wide.gpu.core = cfg.core;
         for name in &names {
             let makespan = solo_makespan_on(reg, name, cfg.scale, &wide.gpu)?;
             wide_solo_makespans.push((name.clone(), makespan));
@@ -1070,7 +1079,7 @@ pub fn run_matrix(
     let mut limp_reports = Vec::new();
     if cfg.limp_frames > 1 && !cfg.pipelines.is_empty() {
         let preg = full_pipeline_registry();
-        let limp = CampaignConfig {
+        let mut limp = CampaignConfig {
             trials: cfg
                 .limp_trials
                 .unwrap_or_else(|| cfg.pipeline_trials.unwrap_or(cfg.trials).div_ceil(2).max(1)),
@@ -1078,6 +1087,7 @@ pub fn run_matrix(
             gpu: wide_gpu(),
             workers: cfg.workers,
         };
+        limp.gpu.core = cfg.core;
         for name in &cfg.pipelines {
             for &fault in &cfg.faults {
                 if matches!(fault, FaultSpec::Misroute) {

@@ -1,18 +1,50 @@
 //! Seeded, deterministic input generators shared by the benchmarks.
+//!
+//! The flat-vector generators are memoized: campaign runs re-create each
+//! workload thousands of times with identical `(seed, shape)` arguments, and
+//! regenerating the inputs through the PRNG on every trial showed up as a
+//! double-digit share of the fault-campaign profile. The cache hands back a
+//! memcpy of the first generation — bit-identical by determinism of the
+//! generators, so observable behaviour is unchanged.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Lazily initialized memoization table keyed by generator arguments.
+type Memo<K, V> = Mutex<Option<HashMap<K, Vec<V>>>>;
+
+/// Memoization table for [`f32_vec`]: `(seed, n, lo bits, hi bits) → data`.
+static F32_CACHE: Memo<(u64, usize, u32, u32), f32> = Mutex::new(None);
+
+/// Memoization table for [`u32_vec`]: `(seed, n, max) → data`.
+static U32_CACHE: Memo<(u64, usize, u32), u32> = Mutex::new(None);
 
 /// Uniform `f32` values in `[lo, hi)`.
 pub fn f32_vec(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    let mut cache = F32_CACHE.lock().expect("data cache poisoned");
+    cache
+        .get_or_insert_with(HashMap::new)
+        .entry((seed, n, lo.to_bits(), hi.to_bits()))
+        .or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+        })
+        .clone()
 }
 
 /// Uniform `u32` values in `[0, max)`.
 pub fn u32_vec(seed: u64, n: usize, max: u32) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..max)).collect()
+    let mut cache = U32_CACHE.lock().expect("data cache poisoned");
+    cache
+        .get_or_insert_with(HashMap::new)
+        .entry((seed, n, max))
+        .or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n).map(|_| rng.gen_range(0..max)).collect()
+        })
+        .clone()
 }
 
 /// A connected random graph in CSR form: `(offsets, edges)` with

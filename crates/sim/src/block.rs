@@ -36,8 +36,9 @@ pub struct BlockState {
     pub program: Arc<Program>,
     /// Kernel parameters.
     pub params: Arc<[u32]>,
-    /// Per-block shared memory.
-    pub shared: Vec<u8>,
+    /// Per-block shared memory (word storage, byte-addressed — see
+    /// [`crate::mem::image`]; byte footprints round up to whole words).
+    pub shared: Vec<u32>,
     /// The block's warps.
     pub warps: Vec<Warp>,
     /// Warps currently waiting at the barrier.
@@ -70,7 +71,7 @@ impl BlockState {
         let warps: Vec<Warp> = (0..nwarps)
             .map(|w| Warp::new(w, Warp::initial_mask(w, threads), nregs, ready_at))
             .collect();
-        let shared = vec![0u8; footprint.shared_mem as usize];
+        let shared = vec![0u32; (footprint.shared_mem as usize).div_ceil(4)];
         Self {
             kernel,
             block_linear,
@@ -148,7 +149,7 @@ mod tests {
         assert_eq!(b.warps[2].live, 0b111111);
         assert_eq!(b.warps_running, 3);
         assert!(!b.is_done());
-        assert_eq!(b.shared.len(), 64);
+        assert_eq!(b.shared.len(), 16, "64 shared bytes = 16 words");
     }
 
     #[test]

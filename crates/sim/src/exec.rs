@@ -9,6 +9,7 @@ use crate::fault::{FaultCtx, FaultHook};
 use crate::isa::{ExecUnit, FloatOp, IntOp, Op, SfuOp, Space, SpecialReg, Src};
 use crate::kernel::KernelId;
 use crate::mem::coalesce::{coalesce_into, TxBuf};
+use crate::mem::image::{load_word, store_word};
 use crate::warp::{StackEntry, Warp, WarpState};
 
 /// Per-lane target addresses of an atomic instruction (active lanes only),
@@ -17,28 +18,24 @@ pub type LaneAddrs = crate::inline_vec::InlineVec<u32>;
 
 /// What an issued instruction did, as seen by the SM timing model.
 ///
-/// Memory effects carry fixed-capacity inline buffers ([`TxBuf`],
-/// [`LaneAddrs`]): a warp is 32 lanes wide, so no instruction ever needs
-/// more than 32 transactions, and the common compute path performs no heap
-/// allocation at all.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The enum itself is a small `Copy` tag: memory effects deposit their
+/// per-instruction data (coalesced transactions, atomic lane addresses) in
+/// the caller-provided scratch buffers of [`ExecCtx`] instead of carrying
+/// them by value — returning a 32-entry inline buffer per instruction cost
+/// a ~260-byte zero + copy on the hottest path in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepEffect {
     /// A compute instruction on the given unit.
     Compute(ExecUnit),
-    /// A global-memory access; the SM forwards the transactions to the
-    /// memory system for latency.
-    GlobalMem {
-        /// Coalesced transactions.
-        txs: TxBuf,
-    },
+    /// A global-memory access; the coalesced transactions are in
+    /// [`ExecCtx::txs`] for the SM to forward to the memory system.
+    GlobalMem,
     /// A shared-memory access (fixed latency, possibly bank-conflicted —
     /// conflicts are folded into the configured latency).
     SharedMem,
-    /// A global atomic; one serialized transaction per active lane.
-    Atomic {
-        /// Per-lane target addresses (active lanes only).
-        addrs: LaneAddrs,
-    },
+    /// A global atomic; the per-lane target addresses (active lanes only,
+    /// serialized by the memory system) are in [`ExecCtx::atom_addrs`].
+    Atomic,
     /// The warp arrived at a block-wide barrier.
     Barrier,
     /// The warp finished (all lanes exited).
@@ -51,10 +48,11 @@ pub enum StepEffect {
 /// hook, neither of which has a useful debug rendering.
 #[allow(missing_debug_implementations)]
 pub struct ExecCtx<'a> {
-    /// Device global memory image.
-    pub global_mem: &'a mut [u8],
-    /// The block's shared memory.
-    pub shared_mem: &'a mut [u8],
+    /// Device global memory image (word storage, byte-addressed — see
+    /// [`crate::mem::image`]).
+    pub global_mem: &'a mut [u32],
+    /// The block's shared memory (word storage, byte-addressed).
+    pub shared_mem: &'a mut [u32],
     /// Kernel parameters.
     pub params: &'a [u32],
     /// Block geometry (CUDA built-ins).
@@ -81,6 +79,12 @@ pub struct ExecCtx<'a> {
     /// maintained so [`crate::gpu::Gpu::reset`] can zero only the touched
     /// prefix instead of the whole image.
     pub global_dirty: &'a mut u32,
+    /// Scratch for coalesced transactions, filled when the returned effect
+    /// is [`StepEffect::GlobalMem`]. Reused across instructions by the SM.
+    pub txs: &'a mut TxBuf,
+    /// Scratch for atomic lane addresses, filled when the returned effect
+    /// is [`StepEffect::Atomic`]. Reused across instructions by the SM.
+    pub atom_addrs: &'a mut LaneAddrs,
 }
 
 #[inline]
@@ -88,39 +92,49 @@ fn f(bits: u32) -> f32 {
     f32::from_bits(bits)
 }
 
+/// Copies register row `r` (all 32 lanes) into a stack array. Working on
+/// whole rows lets the ALU paths run fixed-trip, branch-free lane loops that
+/// the compiler auto-vectorizes, instead of a bounds-checked indexed access
+/// per lane behind an active-mask branch.
+#[inline]
+fn reg_row(warp: &Warp, r: u16) -> [u32; 32] {
+    let base = usize::from(r) * 32;
+    warp.regs[base..base + 32]
+        .try_into()
+        .expect("register row within file")
+}
+
+/// Materializes an operand as a full row: a register row copy or an
+/// immediate splat.
+#[inline]
+fn src_row(warp: &Warp, s: Src) -> [u32; 32] {
+    match s {
+        Src::Reg(r) => reg_row(warp, r.0),
+        Src::Imm(v) => [v; 32],
+    }
+}
+
+/// Writes `vals` into register row `d` for `active` lanes only. The
+/// select-style merge (unconditional store of a conditionally chosen value)
+/// keeps the loop branchless; inactive lanes keep their old contents
+/// bit-for-bit, exactly like the per-lane masked loop it replaces.
+#[inline]
+fn merge_row(warp: &mut Warp, d: u16, active: u32, vals: &[u32; 32]) {
+    let base = usize::from(d) * 32;
+    let row = &mut warp.regs[base..base + 32];
+    for (lane, slot) in row.iter_mut().enumerate() {
+        let keep = *slot;
+        *slot = if active & (1 << lane) != 0 {
+            vals[lane]
+        } else {
+            keep
+        };
+    }
+}
+
 #[inline]
 fn b(v: f32) -> u32 {
     v.to_bits()
-}
-
-const OOB_POISON: u32 = 0xdead_beef;
-
-fn load_word(mem: &[u8], addr: u32, oob: &mut u64) -> u32 {
-    let a = addr as usize;
-    match mem.get(a..a + 4) {
-        Some(s) => u32::from_le_bytes([s[0], s[1], s[2], s[3]]),
-        None => {
-            *oob += 1;
-            OOB_POISON
-        }
-    }
-}
-
-/// Returns `true` when the word was actually written (dropped out-of-bounds
-/// stores must not raise the dirty high-water mark — a fault-corrupted
-/// address register would otherwise force full-image zeroing on reset).
-fn store_word(mem: &mut [u8], addr: u32, v: u32, oob: &mut u64) -> bool {
-    let a = addr as usize;
-    match mem.get_mut(a..a + 4) {
-        Some(s) => {
-            s.copy_from_slice(&v.to_le_bytes());
-            true
-        }
-        None => {
-            *oob += 1;
-            false
-        }
-    }
 }
 
 fn eval_int(op: IntOp, a: u32, bb: u32) -> u32 {
@@ -265,12 +279,39 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
         };
     }
 
-    let src = |warp: &Warp, s: Src, lane: usize| -> u32 {
-        match s {
-            Src::Reg(r) => warp.reg(r.0, lane),
-            Src::Imm(v) => v,
-        }
-    };
+    /// ALU pattern: compute the value for all 32 lanes unconditionally (the
+    /// fixed-trip loop vectorizes; inactive-lane results are discarded by the
+    /// merge), apply the fault hook to active lanes only when armed, then
+    /// masked-merge into the destination row. Active lanes see exactly the
+    /// per-lane sequence the masked loop produced: compute, corrupt, write.
+    macro_rules! alu {
+        ($d:expr, |$lane:ident| $v:expr) => {{
+            let mut out = [0u32; 32];
+            for $lane in 0..32usize {
+                out[$lane] = $v;
+            }
+            if armed {
+                for_lanes!(|lane| {
+                    out[lane] = corrupt!(lane, out[lane]);
+                });
+            }
+            merge_row(warp, $d, active, &out);
+        }};
+    }
+
+    /// Predicate-setter pattern: compute the outcome bit for all 32 lanes,
+    /// then splice the active lanes into the predicate word (predicates are
+    /// never fault-corrupted, matching the masked loop).
+    macro_rules! setp {
+        ($p:expr, |$lane:ident| $cond:expr) => {{
+            let mut bits = 0u32;
+            for $lane in 0..32usize {
+                bits |= u32::from($cond) << $lane;
+            }
+            let pw = &mut warp.preds[usize::from($p)];
+            *pw = (*pw & !active) | (bits & active);
+        }};
+    }
 
     // Default PC advance; control flow overrides it.
     let mut next_pc = pc + 1;
@@ -278,63 +319,59 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
 
     match op {
         Op::Mov { d, a } => {
-            for_lanes!(|lane| {
-                let v = src(warp, a, lane);
-                let v = corrupt!(lane, v);
-                warp.set_reg(d.0, lane, v);
-            });
+            let ra = src_row(warp, a);
+            alu!(d.0, |lane| ra[lane]);
         }
         Op::Special { d, s } => {
-            for_lanes!(|lane| {
-                let tl = (warp.warp_idx * 32 + lane) as u32;
-                let v = special_value(s, &ctx.dims, ctx.sm_id, tl);
-                let v = corrupt!(lane, v);
-                warp.set_reg(d.0, lane, v);
-            });
+            let warp_base = (warp.warp_idx * 32) as u32;
+            match s {
+                // Lane-varying registers need the per-lane decomposition …
+                SpecialReg::TidX | SpecialReg::TidY | SpecialReg::TidZ | SpecialReg::LaneId => {
+                    alu!(d.0, |lane| special_value(
+                        s,
+                        &ctx.dims,
+                        ctx.sm_id,
+                        warp_base + lane as u32
+                    ));
+                }
+                // … every other special is warp-uniform: evaluate once, splat.
+                _ => {
+                    let v0 = special_value(s, &ctx.dims, ctx.sm_id, warp_base);
+                    alu!(d.0, |_lane| v0);
+                }
+            }
         }
         Op::Param { d, idx } => {
             let v0 = ctx.params.get(usize::from(idx)).copied().unwrap_or(0);
-            for_lanes!(|lane| {
-                let v = corrupt!(lane, v0);
-                warp.set_reg(d.0, lane, v);
-            });
+            alu!(d.0, |_lane| v0);
         }
         Op::IAlu { op: iop, d, a, b } => {
-            for_lanes!(|lane| {
-                let va = warp.reg(a.0, lane);
-                let vb = src(warp, b, lane);
-                let v = corrupt!(lane, eval_int(iop, va, vb));
-                warp.set_reg(d.0, lane, v);
-            });
+            let ra = reg_row(warp, a.0);
+            let rb = src_row(warp, b);
+            alu!(d.0, |lane| eval_int(iop, ra[lane], rb[lane]));
         }
         Op::IMad { d, a, b, c } => {
-            for_lanes!(|lane| {
-                let va = warp.reg(a.0, lane);
-                let vb = src(warp, b, lane);
-                let vc = src(warp, c, lane);
-                let v = va.wrapping_mul(vb).wrapping_add(vc);
-                let v = corrupt!(lane, v);
-                warp.set_reg(d.0, lane, v);
-            });
+            let ra = reg_row(warp, a.0);
+            let rb = src_row(warp, b);
+            let rc = src_row(warp, c);
+            alu!(d.0, |lane| ra[lane]
+                .wrapping_mul(rb[lane])
+                .wrapping_add(rc[lane]));
         }
         Op::FAlu { op: fop, d, a, b } => {
-            for_lanes!(|lane| {
-                let va = warp.reg(a.0, lane);
-                let vb = src(warp, b, lane);
-                let v = corrupt!(lane, eval_float(fop, va, vb));
-                warp.set_reg(d.0, lane, v);
-            });
+            let ra = reg_row(warp, a.0);
+            let rb = src_row(warp, b);
+            alu!(d.0, |lane| eval_float(fop, ra[lane], rb[lane]));
         }
         Op::FFma { d, a, b: sb, c: sc } => {
-            for_lanes!(|lane| {
-                let va = f(warp.reg(a.0, lane));
-                let vb = f(src(warp, sb, lane));
-                let vc = f(src(warp, sc, lane));
-                let v = corrupt!(lane, b(va.mul_add(vb, vc)));
-                warp.set_reg(d.0, lane, v);
-            });
+            let ra = reg_row(warp, a.0);
+            let rb = src_row(warp, sb);
+            let rc = src_row(warp, sc);
+            alu!(d.0, |lane| b(f(ra[lane]).mul_add(f(rb[lane]), f(rc[lane]))));
         }
         Op::FSfu { op: sop, d, a } => {
+            // SFU ops go through libm; evaluating inactive lanes would waste
+            // far more than the branch saves, so this stays a masked loop.
             for_lanes!(|lane| {
                 let va = warp.reg(a.0, lane);
                 let v = corrupt!(lane, eval_sfu(sop, va));
@@ -342,18 +379,18 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             });
         }
         Op::I2F { d, a } => {
-            for_lanes!(|lane| {
-                let v = b(warp.reg(a.0, lane) as i32 as f32);
-                let v = corrupt!(lane, v);
-                warp.set_reg(d.0, lane, v);
-            });
+            let ra = reg_row(warp, a.0);
+            alu!(d.0, |lane| b(ra[lane] as i32 as f32));
         }
         Op::F2I { d, a } => {
-            for_lanes!(|lane| {
-                let fa = f(warp.reg(a.0, lane));
-                let v = if fa.is_nan() { 0 } else { fa as i32 as u32 };
-                let v = corrupt!(lane, v);
-                warp.set_reg(d.0, lane, v);
+            let ra = reg_row(warp, a.0);
+            alu!(d.0, |lane| {
+                let fa = f(ra[lane]);
+                if fa.is_nan() {
+                    0
+                } else {
+                    fa as i32 as u32
+                }
             });
         }
         Op::ISetp {
@@ -363,33 +400,27 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             b: sb,
             unsigned,
         } => {
-            for_lanes!(|lane| {
-                let va = warp.reg(a.0, lane);
-                let vb = src(warp, sb, lane);
-                let r = if unsigned {
-                    cmp.eval_u32(va, vb)
-                } else {
-                    cmp.eval_i32(va as i32, vb as i32)
-                };
-                warp.set_pred(p.0, lane, r);
+            let ra = reg_row(warp, a.0);
+            let rb = src_row(warp, sb);
+            setp!(p.0, |lane| if unsigned {
+                cmp.eval_u32(ra[lane], rb[lane])
+            } else {
+                cmp.eval_i32(ra[lane] as i32, rb[lane] as i32)
             });
         }
         Op::FSetp { p, cmp, a, b: sb } => {
-            for_lanes!(|lane| {
-                let va = f(warp.reg(a.0, lane));
-                let vb = f(src(warp, sb, lane));
-                warp.set_pred(p.0, lane, cmp.eval_f32(va, vb));
-            });
+            let ra = reg_row(warp, a.0);
+            let rb = src_row(warp, sb);
+            setp!(p.0, |lane| cmp.eval_f32(f(ra[lane]), f(rb[lane])));
         }
         Op::Selp { d, a, b: sb, p } => {
-            for_lanes!(|lane| {
-                let v = if warp.pred(p.0, lane) {
-                    src(warp, a, lane)
-                } else {
-                    src(warp, sb, lane)
-                };
-                let v = corrupt!(lane, v);
-                warp.set_reg(d.0, lane, v);
+            let ra = src_row(warp, a);
+            let rb = src_row(warp, sb);
+            let pm = warp.preds[usize::from(p.0)];
+            alu!(d.0, |lane| if pm & (1 << lane) != 0 {
+                ra[lane]
+            } else {
+                rb[lane]
             });
         }
         Op::Ld {
@@ -398,10 +429,13 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             addr,
             offset,
         } => {
+            // Unconditional row compute: only active lanes are ever read
+            // back (loads and the coalescer both apply `active`).
+            let ra = reg_row(warp, addr.0);
             let mut addrs = [0u32; 32];
-            for_lanes!(|lane| {
-                addrs[lane] = warp.reg(addr.0, lane).wrapping_add(offset as u32);
-            });
+            for lane in 0..32usize {
+                addrs[lane] = ra[lane].wrapping_add(offset as u32);
+            }
             match space {
                 Space::Global => {
                     for_lanes!(|lane| {
@@ -409,9 +443,8 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                         let v = corrupt!(lane, v);
                         warp.set_reg(d.0, lane, v);
                     });
-                    let mut txs = TxBuf::new();
-                    coalesce_into(&addrs, active, false, &mut txs);
-                    effect = StepEffect::GlobalMem { txs };
+                    coalesce_into(&addrs, active, false, ctx.txs);
+                    effect = StepEffect::GlobalMem;
                 }
                 Space::Shared => {
                     for_lanes!(|lane| {
@@ -429,10 +462,11 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             offset,
             v,
         } => {
+            let ra = reg_row(warp, addr.0);
             let mut addrs = [0u32; 32];
-            for_lanes!(|lane| {
-                addrs[lane] = warp.reg(addr.0, lane).wrapping_add(offset as u32);
-            });
+            for lane in 0..32usize {
+                addrs[lane] = ra[lane].wrapping_add(offset as u32);
+            }
             match space {
                 Space::Global => {
                     let mut hi = 0u32;
@@ -448,9 +482,8 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                     if wrote {
                         *ctx.global_dirty = (*ctx.global_dirty).max(hi + 4);
                     }
-                    let mut txs = TxBuf::new();
-                    coalesce_into(&addrs, active, true, &mut txs);
-                    effect = StepEffect::GlobalMem { txs };
+                    coalesce_into(&addrs, active, true, ctx.txs);
+                    effect = StepEffect::GlobalMem;
                 }
                 Space::Shared => {
                     for_lanes!(|lane| {
@@ -464,12 +497,12 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
         }
         Op::AtomAdd { d, addr, offset, v } | Op::AtomAddF { d, addr, offset, v } => {
             let float = matches!(op, Op::AtomAddF { .. });
-            let mut addrs = LaneAddrs::new();
+            ctx.atom_addrs.clear();
             let mut hi = 0u32;
             let mut wrote = false;
             for_lanes!(|lane| {
                 let a = warp.reg(addr.0, lane).wrapping_add(offset as u32);
-                addrs.push(a);
+                ctx.atom_addrs.push(a);
                 let old = load_word(ctx.global_mem, a, ctx.oob_accesses);
                 let add = warp.reg(v.0, lane);
                 let new = if float {
@@ -488,7 +521,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             if wrote {
                 *ctx.global_dirty = (*ctx.global_dirty).max(hi + 4);
             }
-            effect = StepEffect::Atomic { addrs };
+            effect = StepEffect::Atomic;
         }
         Op::Bra { target } => {
             next_pc = target;
@@ -576,12 +609,14 @@ mod tests {
 
     /// Runs `prog` for one fresh 32-lane warp to completion, returning the
     /// warp (for register inspection).
-    fn run_to_completion(prog: &Program, global: &mut [u8], params: &[u32]) -> Warp {
+    fn run_to_completion(prog: &Program, global: &mut [u32], params: &[u32]) -> Warp {
         let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
-        let mut shared = vec![0u8; 1024];
+        let mut shared = vec![0u32; 256];
         let mut oob = 0u64;
         let mut dirty = 0u32;
         let mut hook = NoFaults;
+        let mut txs = TxBuf::new();
+        let mut atom_addrs = LaneAddrs::new();
         let mut steps = 0;
         while warp.state == WarpState::Ready {
             let mut ctx = ExecCtx {
@@ -597,6 +632,8 @@ mod tests {
                 fault_enabled: true,
                 oob_accesses: &mut oob,
                 global_dirty: &mut dirty,
+                txs: &mut txs,
+                atom_addrs: &mut atom_addrs,
             };
             let eff = step_warp(&mut warp, prog.instrs(), &mut ctx);
             if eff == StepEffect::Finished {
@@ -651,18 +688,13 @@ mod tests {
         let v2 = b.iadd(v, 1u32);
         b.stg(addr, 0, v2);
         let prog = b.build().expect("valid");
-        let mut mem = vec![0u8; 256];
+        let mut mem = vec![0u32; 64];
         for i in 0..32u32 {
-            mem[(i * 4) as usize..(i * 4 + 4) as usize].copy_from_slice(&(i * 10).to_le_bytes());
+            mem[i as usize] = i * 10;
         }
         let _ = run_to_completion(&prog, &mut mem, &[0]);
         for i in 0..32u32 {
-            let got = u32::from_le_bytes(
-                mem[(i * 4) as usize..(i * 4 + 4) as usize]
-                    .try_into()
-                    .unwrap(),
-            );
-            assert_eq!(got, i * 10 + 1);
+            assert_eq!(mem[i as usize], i * 10 + 1);
         }
     }
 
@@ -762,10 +794,9 @@ mod tests {
         let one = b.mov(1u32);
         let _old = b.atom_add(base, 0, one);
         let prog = b.build().expect("valid");
-        let mut mem = vec![0u8; 16];
+        let mut mem = vec![0u32; 4];
         let _ = run_to_completion(&prog, &mut mem, &[0]);
-        let got = u32::from_le_bytes(mem[0..4].try_into().unwrap());
-        assert_eq!(got, 32, "all 32 lanes incremented");
+        assert_eq!(mem[0], 32, "all 32 lanes incremented");
     }
 
     #[test]
@@ -778,11 +809,13 @@ mod tests {
         let prog = b.build().expect("valid");
 
         let mut warp = Warp::new(0, 0b1, prog.regs_per_thread(), 0);
-        let mut shared = vec![0u8; 16];
-        let mut global = vec![0u8; 16];
+        let mut shared = vec![0u32; 4];
+        let mut global = vec![0u32; 4];
         let mut oob = 0u64;
         let mut dirty = 0u32;
         let mut hook = NoFaults;
+        let mut txs = TxBuf::new();
+        let mut atom_addrs = LaneAddrs::new();
         loop {
             let mut ctx = ExecCtx {
                 global_mem: &mut global,
@@ -797,6 +830,8 @@ mod tests {
                 fault_enabled: true,
                 oob_accesses: &mut oob,
                 global_dirty: &mut dirty,
+                txs: &mut txs,
+                atom_addrs: &mut atom_addrs,
             };
             if step_warp(&mut warp, prog.instrs(), &mut ctx) == StepEffect::Finished {
                 break;
@@ -816,11 +851,13 @@ mod tests {
         let prog = b.build().expect("valid");
 
         let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
-        let mut shared = vec![0u8; 16];
-        let mut global = vec![0u8; 4096];
+        let mut shared = vec![0u32; 4];
+        let mut global = vec![0u32; 1024];
         let mut oob = 0u64;
         let mut dirty = 0u32;
         let mut hook = NoFaults;
+        let mut txs = TxBuf::new();
+        let mut atom_addrs = LaneAddrs::new();
         let mut saw_mem = None;
         loop {
             let mut ctx = ExecCtx {
@@ -836,10 +873,12 @@ mod tests {
                 fault_enabled: true,
                 oob_accesses: &mut oob,
                 global_dirty: &mut dirty,
+                txs: &mut txs,
+                atom_addrs: &mut atom_addrs,
             };
             match step_warp(&mut warp, prog.instrs(), &mut ctx) {
                 StepEffect::Finished => break,
-                StepEffect::GlobalMem { txs } => saw_mem = Some(txs),
+                StepEffect::GlobalMem => saw_mem = Some(*ctx.txs),
                 _ => {}
             }
         }

@@ -3,16 +3,19 @@
 //! scheduler policy.
 
 use crate::block::{BlockDims, BlockState};
-use crate::config::GpuConfig;
+use crate::config::{CoreKind, GpuConfig};
 use crate::fault::{FaultHook, NoFaults};
 use crate::kernel::{BlockFootprint, KernelId, KernelLaunch, LaunchAttrs};
 use crate::mem::system::MemorySystem;
 use crate::scheduler::{
     Assignment, DefaultScheduler, KernelSchedulerPolicy, KernelSnapshot, SchedulerView, SmSnapshot,
 };
-use crate::sm::{BlockCompletion, Sm};
+use crate::sm::{BlockCompletion, IssueRecord, Sm};
 use crate::stats::SimStats;
+use crate::timeq::TimeQ;
 use crate::trace::{BlockRecord, ExecutionTrace, KernelRecord};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -182,7 +185,9 @@ struct SchedScratch {
 /// ```
 pub struct Gpu {
     cfg: GpuConfig,
-    mem: Vec<u8>,
+    /// Device global memory: word storage, byte-addressed (see
+    /// [`crate::mem::image`]). `DevPtr`s remain byte addresses.
+    mem: Vec<u32>,
     memsys: MemorySystem,
     sms: Vec<Sm>,
     kernels: Vec<KernelRuntime>,
@@ -212,6 +217,31 @@ pub struct Gpu {
     sched: SchedScratch,
     instructions: u64,
     blocks_completed: u64,
+    // ---- event-core state ([`CoreKind::Event`]) ------------------------------
+    // Rebuilt from scratch on every `run_until` entry, so launches, resets,
+    // cancellations and quarantines between runs need no event bookkeeping.
+    // All containers retain capacity across runs.
+    /// SM wake-up queue: `(cycle, sm)` entries, one live entry per SM whose
+    /// cached `next_ready_at` is finite (pushed after every state change;
+    /// stale entries are discarded lazily on pop/peek by re-checking the
+    /// SM's current wake time).
+    sm_wake: TimeQ<usize>,
+    /// Future kernel arrivals `(arrival, kernel id)`, min-heap. Non-empty
+    /// iff some unfinished kernel has `arrival > cycle` — exactly the
+    /// stepping core's per-iteration "future arrival" re-dirty condition.
+    arrivals: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Incremental mirror of [`Gpu::pending_blocks`]: credited when an
+    /// arrival matures, debited per dispatched block
+    /// (`debug_assert`-checked against the exhaustive sum every advance).
+    arrived_pending: u32,
+    /// Scratch: SMs due to issue at the current cycle (sorted ascending to
+    /// reproduce the stepping core's SM visit order).
+    due_sms: Vec<usize>,
+    /// Scratch: per-SM dedup flags for `due_sms` collection.
+    due_flags: Vec<bool>,
+    /// Scratch: per-SM wake times snapshotted around scheduling rounds to
+    /// detect admissions that change an SM's wake-up.
+    wake_snapshot: Vec<u64>,
 }
 
 impl fmt::Debug for Gpu {
@@ -244,7 +274,7 @@ impl Gpu {
         cfg.validate().expect("invalid GPU configuration");
         let sms = (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect();
         let memsys = MemorySystem::new(&cfg);
-        let mem = vec![0u8; cfg.global_mem_bytes];
+        let mem = vec![0u32; cfg.global_mem_bytes / 4];
         Self {
             memsys,
             sms,
@@ -265,6 +295,12 @@ impl Gpu {
             sched: SchedScratch::default(),
             instructions: 0,
             blocks_completed: 0,
+            sm_wake: TimeQ::new(),
+            arrivals: BinaryHeap::new(),
+            arrived_pending: 0,
+            due_sms: Vec::new(),
+            due_flags: vec![false; cfg.num_sms],
+            wake_snapshot: Vec::new(),
             cfg,
         }
     }
@@ -384,10 +420,11 @@ impl Gpu {
             requested: bytes,
             available: 0,
         })?;
-        if end as usize > self.mem.len() {
+        let capacity = self.mem.len() * 4;
+        if end as usize > capacity {
             return Err(SimError::OutOfMemory {
                 requested: bytes,
-                available: (self.mem.len() as u32).saturating_sub(aligned),
+                available: (capacity as u32).saturating_sub(aligned),
             });
         }
         self.alloc_cursor = end;
@@ -415,7 +452,7 @@ impl Gpu {
             return Err(SimError::NotIdle);
         }
         self.alloc_cursor = 0;
-        let hi = (self.dirty_hi as usize).min(self.mem.len());
+        let hi = (self.dirty_hi as usize).div_ceil(4).min(self.mem.len());
         self.mem[..hi].fill(0);
         self.dirty_hi = 0;
         Ok(())
@@ -555,7 +592,9 @@ impl Gpu {
     /// error).
     pub fn write_bytes(&mut self, ptr: DevPtr, data: &[u8]) {
         let a = ptr.0 as usize;
-        self.mem[a..a + data.len()].copy_from_slice(data);
+        for (i, &b) in data.iter().enumerate() {
+            crate::mem::image::set_byte(&mut self.mem, a + i, b);
+        }
         self.dirty_hi = self.dirty_hi.max((a + data.len()) as u32);
     }
 
@@ -566,7 +605,9 @@ impl Gpu {
     /// Panics if the range exceeds device memory.
     pub fn read_bytes(&self, ptr: DevPtr, len: usize) -> Vec<u8> {
         let a = ptr.0 as usize;
-        self.mem[a..a + len].to_vec()
+        (a..a + len)
+            .map(|i| crate::mem::image::get_byte(&self.mem, i))
+            .collect()
     }
 
     /// Writes a `u32` slice to device memory.
@@ -576,9 +617,14 @@ impl Gpu {
     /// Panics if the range exceeds device memory.
     pub fn write_u32(&mut self, ptr: DevPtr, data: &[u32]) {
         let a = ptr.0 as usize;
-        for (i, v) in data.iter().enumerate() {
-            self.mem[a + i * 4..a + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
-        }
+        assert!(
+            a + data.len() * 4 <= self.mem.len() * 4,
+            "write exceeds device memory"
+        );
+        // Allocations are 256-byte aligned, so host transfers are straight
+        // word copies.
+        assert!(a.is_multiple_of(4), "device pointers are word aligned");
+        self.mem[a / 4..a / 4 + data.len()].copy_from_slice(data);
         self.dirty_hi = self.dirty_hi.max((a + data.len() * 4) as u32);
     }
 
@@ -589,15 +635,8 @@ impl Gpu {
     /// Panics if the range exceeds device memory.
     pub fn read_u32(&self, ptr: DevPtr, len: usize) -> Vec<u32> {
         let a = ptr.0 as usize;
-        (0..len)
-            .map(|i| {
-                u32::from_le_bytes(
-                    self.mem[a + i * 4..a + i * 4 + 4]
-                        .try_into()
-                        .expect("4 bytes"),
-                )
-            })
-            .collect()
+        assert!(a.is_multiple_of(4), "device pointers are word aligned");
+        self.mem[a / 4..a / 4 + len].to_vec()
     }
 
     /// Writes an `f32` slice to device memory.
@@ -607,8 +646,9 @@ impl Gpu {
     /// Panics if the range exceeds device memory.
     pub fn write_f32(&mut self, ptr: DevPtr, data: &[f32]) {
         let a = ptr.0 as usize;
+        assert!(a.is_multiple_of(4), "device pointers are word aligned");
         for (i, v) in data.iter().enumerate() {
-            self.mem[a + i * 4..a + i * 4 + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+            self.mem[a / 4 + i] = v.to_bits();
         }
         self.dirty_hi = self.dirty_hi.max((a + data.len() * 4) as u32);
     }
@@ -761,6 +801,10 @@ impl Gpu {
             }
             let kr = &mut self.kernels[k];
             kr.blocks_issued += 1;
+            // Event-core pending mirror: one arrived block left the pending
+            // pool. Saturating because the stepping core never initializes
+            // the counter.
+            self.arrived_pending = self.arrived_pending.saturating_sub(1);
             let rec = &mut self.trace.kernels[kr.record];
             if rec.first_dispatch.is_none() {
                 rec.first_dispatch = Some(self.cycle);
@@ -847,7 +891,19 @@ impl Gpu {
     /// # Errors
     ///
     /// As [`Gpu::run_to_idle`].
-    pub fn run_until(&mut self, mut done: impl FnMut(&Gpu) -> bool) -> Result<u64, SimError> {
+    pub fn run_until(&mut self, done: impl FnMut(&Gpu) -> bool) -> Result<u64, SimError> {
+        match self.cfg.core {
+            CoreKind::Event => self.run_until_event(done),
+            CoreKind::Stepping => self.run_until_stepping(done),
+        }
+    }
+
+    /// The original stepping core: every iteration issues on **all** SMs at
+    /// the current cycle (non-ready SMs no-op) and re-derives the next event
+    /// time by scanning every SM and kernel. Kept verbatim behind
+    /// [`CoreKind::Stepping`] as the cross-validation oracle for the
+    /// event-driven core.
+    fn run_until_stepping(&mut self, mut done: impl FnMut(&Gpu) -> bool) -> Result<u64, SimError> {
         if done(self) {
             return Ok(self.cycle);
         }
@@ -935,6 +991,208 @@ impl Gpu {
         }
         self.sched.completions = completions;
         Ok(self.cycle)
+    }
+
+    /// Runs one scheduling round, re-queueing the wake-up of every SM whose
+    /// earliest ready time the round changed (block admissions make an idle
+    /// or sleeping SM ready at `dispatch + BLOCK_DISPATCH_LATENCY`).
+    fn run_sched_tracked(&mut self) {
+        let mut snap = std::mem::take(&mut self.wake_snapshot);
+        snap.clear();
+        snap.extend(self.sms.iter().map(Sm::next_ready_at));
+        self.run_scheduler();
+        for (i, &old) in snap.iter().enumerate() {
+            let new = self.sms[i].next_ready_at();
+            if new != old && new != u64::MAX {
+                self.sm_wake.push(new, i);
+            }
+        }
+        self.wake_snapshot = snap;
+    }
+
+    /// The event-driven core ([`CoreKind::Event`]): a two-level time queue
+    /// ([`TimeQ`]) delivers exactly the SMs with an issuable warp at each
+    /// visited cycle, and kernel arrivals are scheduled events instead of
+    /// per-iteration scans over the launch table.
+    ///
+    /// Bit-identical to [`Gpu::run_until_stepping`] by construction:
+    ///
+    /// * it visits the same cycle sequence — the advance rule computes the
+    ///   same `next` from the queue minima that the stepping core derives
+    ///   by exhaustive scan;
+    /// * skipped SMs are exactly those for which the stepping core's
+    ///   [`Sm::issue`] is a provable no-op (no warp issuable at `now`);
+    /// * due SMs issue in ascending id order, the stepping core's visit
+    ///   order (the shared memory system is order-sensitive);
+    /// * scheduling rounds run under the same `sched_dirty` protocol, so
+    ///   the (stateful) kernel scheduler policy observes the identical
+    ///   sequence of views.
+    ///
+    /// All event state is rebuilt on entry, so host-side mutations between
+    /// runs (launch, reset, cancel, quarantine) need no event bookkeeping.
+    fn run_until_event(&mut self, mut done: impl FnMut(&Gpu) -> bool) -> Result<u64, SimError> {
+        if done(self) {
+            return Ok(self.cycle);
+        }
+        self.sm_wake.clear();
+        for i in 0..self.sms.len() {
+            let w = self.sms[i].next_ready_at();
+            if w != u64::MAX {
+                self.sm_wake.push(w, i);
+            }
+            self.due_flags[i] = false;
+        }
+        self.arrivals.clear();
+        for k in &self.kernels {
+            if !k.is_finished() && k.arrival > self.cycle {
+                self.arrivals.push(Reverse((k.arrival, k.id.0)));
+            }
+        }
+        self.arrived_pending = self.pending_blocks();
+
+        let mut completions = std::mem::take(&mut self.sched.completions);
+        while !self.is_idle() {
+            // Watchdog: identical cycle sequence to the stepping core, so
+            // deadline cut-offs land on the same cycle.
+            if let Some(limit) = self.cycle_limit {
+                if self.cycle > limit {
+                    self.sched.completions = completions;
+                    return Err(SimError::DeadlineExceeded {
+                        cycle: self.cycle,
+                        limit,
+                    });
+                }
+            }
+            // Matured arrivals join the pending pool (the stepping core's
+            // `arrival <= cycle` filter does this implicitly).
+            while let Some(&Reverse((arr, kid))) = self.arrivals.peek() {
+                if arr > self.cycle {
+                    break;
+                }
+                self.arrivals.pop();
+                if let Some(k) = self.kernels.iter().find(|k| k.id.0 == kid) {
+                    if !k.is_finished() {
+                        self.arrived_pending += k.blocks_total() - k.blocks_issued;
+                    }
+                }
+            }
+            if self.sched_dirty {
+                self.sched_dirty = false;
+                self.run_sched_tracked();
+            }
+
+            // Collect the SMs whose wake-up is due, deduped and sorted
+            // ascending — the stepping core's SM visit order. An entry is
+            // stale (SM state changed since it was queued) when the SM's
+            // current wake time is in the future; the live entry for that
+            // wake is elsewhere in the queue.
+            completions.clear();
+            let mut due = std::mem::take(&mut self.due_sms);
+            due.clear();
+            while let Some((c, _)) = self.sm_wake.peek_min() {
+                if c > self.cycle {
+                    break;
+                }
+                let (_, sm) = self.sm_wake.pop_min().expect("peeked entry");
+                if self.sms[sm].next_ready_at() <= self.cycle && !self.due_flags[sm] {
+                    self.due_flags[sm] = true;
+                    due.push(sm);
+                }
+            }
+            due.sort_unstable();
+            for &sm in &due {
+                self.sms[sm].issue(
+                    self.cycle,
+                    &mut self.mem,
+                    &mut self.dirty_hi,
+                    &mut self.memsys,
+                    self.fault.as_mut(),
+                    self.fault_enabled,
+                    &mut completions,
+                );
+                self.due_flags[sm] = false;
+                let w = self.sms[sm].next_ready_at();
+                if w != u64::MAX {
+                    self.sm_wake.push(w, sm);
+                }
+            }
+            self.due_sms = due;
+            for c in completions.drain(..) {
+                self.process_completion(c);
+            }
+            if self.is_idle() || done(self) {
+                break;
+            }
+
+            // Advance to the next event: earliest live SM wake-up vs the
+            // next kernel arrival, with the stepping core's re-dirty rule
+            // for outstanding arrivals and pending dispatches.
+            let mut next = u64::MAX;
+            while let Some((c, sm)) = self.sm_wake.peek_min() {
+                if self.sms[sm].next_ready_at() == c {
+                    next = c;
+                    break;
+                }
+                self.sm_wake.pop_min();
+            }
+            if let Some(&Reverse((arr, _))) = self.arrivals.peek() {
+                next = next.min(arr);
+                self.sched_dirty = true;
+            }
+            debug_assert_eq!(
+                self.arrived_pending,
+                self.pending_blocks(),
+                "incremental pending-block mirror diverged at cycle {}",
+                self.cycle
+            );
+            if self.sched_dirty && self.arrived_pending > 0 {
+                next = next.min(self.cycle + 1);
+            }
+            if next == u64::MAX {
+                // Quiescent but unfinished — same last-chance round and
+                // stall report as the stepping core.
+                self.run_sched_tracked();
+                let ready = self
+                    .sms
+                    .iter()
+                    .map(Sm::next_ready_at)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if ready == u64::MAX {
+                    self.sched.completions = completions;
+                    return Err(SimError::Stalled {
+                        cycle: self.cycle,
+                        pending_blocks: self.pending_blocks(),
+                    });
+                }
+                self.cycle = ready.max(self.cycle + 1);
+                continue;
+            }
+            self.cycle = next.max(self.cycle + 1);
+        }
+        self.sched.completions = completions;
+        Ok(self.cycle)
+    }
+
+    /// Enables or disables per-instruction issue logging on every SM.
+    /// Clears previously accumulated records. The log is the cross-core
+    /// validation probe: two [`CoreKind`]s agree iff their drained logs are
+    /// identical.
+    pub fn set_issue_log(&mut self, enabled: bool) {
+        for sm in &mut self.sms {
+            sm.set_issue_log(enabled);
+        }
+    }
+
+    /// Drains every SM's issue log into one device-wide sequence ordered by
+    /// `(cycle, sm)` — within one SM and cycle, records keep issue order.
+    pub fn drain_issue_log(&mut self) -> Vec<IssueRecord> {
+        let mut out = Vec::new();
+        for sm in &mut self.sms {
+            sm.drain_issue_log(&mut out);
+        }
+        out.sort_by_key(|r| (r.cycle, r.sm));
+        out
     }
 
     // ---- results -------------------------------------------------------------

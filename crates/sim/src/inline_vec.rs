@@ -41,6 +41,14 @@ impl<T: Copy + Default> InlineVec<T> {
 }
 
 impl<T> InlineVec<T> {
+    /// Empties the vector without touching the backing storage, so a single
+    /// buffer can be reused across instructions with no re-zeroing cost.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl<T> InlineVec<T> {
     /// The initialized elements.
     pub fn as_slice(&self) -> &[T] {
         &self.items[..usize::from(self.len)]

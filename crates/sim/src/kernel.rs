@@ -34,6 +34,11 @@ impl Dim3 {
 
     /// Decomposes a linear index into `(x, y, z)` coordinates.
     pub fn coords(&self, linear: u32) -> (u32, u32, u32) {
+        // 1-D blocks (the common case) need no division: callers hit this
+        // once per lane on every `%tid` read.
+        if self.y == 1 && self.z == 1 {
+            return (linear, 0, 0);
+        }
         let x = linear % self.x;
         let y = (linear / self.x) % self.y;
         let z = linear / (self.x * self.y);

@@ -82,6 +82,12 @@ pub struct Cache {
     lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
+    /// `log2(line_bytes)` — geometry is power-of-two, so the per-access
+    /// set/tag extraction is two shifts instead of two integer divisions
+    /// (which dominated the lookup cost on the issue hot path).
+    line_shift: u32,
+    /// `log2(line_bytes * sets)`.
+    tag_shift: u32,
 }
 
 impl Cache {
@@ -89,25 +95,36 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has zero sets or ways (configurations from
+    /// Panics if the configuration has zero sets or ways, or a non-power-of-
+    /// two line size or set count (configurations from
     /// [`crate::config::GpuConfig::validate`] never do).
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.sets > 0 && cfg.ways > 0, "degenerate cache geometry");
+        assert!(
+            cfg.sets.is_power_of_two() && cfg.line_bytes.is_power_of_two(),
+            "cache geometry must be power-of-two"
+        );
         let lines = vec![INVALID; cfg.sets * cfg.ways];
+        let line_shift = cfg.line_bytes.trailing_zeros();
+        let tag_shift = line_shift + cfg.sets.trailing_zeros();
         Self {
             cfg,
             lines,
             clock: 0,
             stats: CacheStats::default(),
+            line_shift,
+            tag_shift,
         }
     }
 
+    #[inline]
     fn set_of(&self, addr: u32) -> usize {
-        (addr as usize / self.cfg.line_bytes) & (self.cfg.sets - 1)
+        (addr as usize >> self.line_shift) & (self.cfg.sets - 1)
     }
 
+    #[inline]
     fn tag_of(&self, addr: u32) -> u32 {
-        addr / (self.cfg.line_bytes as u32 * self.cfg.sets as u32)
+        addr >> self.tag_shift
     }
 
     /// Looks up `addr` at time `now`. On a miss the caller must complete the

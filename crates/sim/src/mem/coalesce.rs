@@ -26,7 +26,41 @@ pub type TxBuf = crate::inline_vec::InlineVec<Transaction>;
 /// The result is sorted by address and de-duplicated, matching the behaviour
 /// of hardware coalescers for naturally aligned 4-byte accesses.
 pub fn coalesce_into(addrs: &[u32; 32], mask: u32, write: bool, out: &mut TxBuf) {
-    *out = TxBuf::new();
+    out.clear();
+    if mask == 0 {
+        return;
+    }
+    // Span of the active sectors. Unit-stride and broadcast accesses — the
+    // overwhelming majority — touch a handful of adjacent sectors, so the
+    // span almost always fits a 64-bit occupancy bitmap and the sort below
+    // never runs: set a bit per sector, then emit set bits in order
+    // (already sorted and de-duplicated by construction).
+    let mut lo = u32::MAX;
+    let mut hi = 0u32;
+    let mut m = mask;
+    while m != 0 {
+        let s = addrs[m.trailing_zeros() as usize] / SECTOR_BYTES;
+        lo = lo.min(s);
+        hi = hi.max(s);
+        m &= m - 1;
+    }
+    if hi - lo < 64 {
+        let mut bits = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            bits |= 1u64 << (addrs[m.trailing_zeros() as usize] / SECTOR_BYTES - lo);
+            m &= m - 1;
+        }
+        while bits != 0 {
+            out.push(Transaction {
+                addr: (lo + bits.trailing_zeros()) * SECTOR_BYTES,
+                write,
+            });
+            bits &= bits - 1;
+        }
+        return;
+    }
+    // Scattered access (span over 64 sectors): sort-and-dedup fallback.
     let mut sectors = [0u32; 32];
     let mut n = 0usize;
     for (lane, &a) in addrs.iter().enumerate() {
@@ -146,6 +180,32 @@ mod tests {
         let mut buf = TxBuf::new();
         coalesce_into(&addrs, u32::MAX, false, &mut buf);
         assert_eq!(buf.len(), 32);
+    }
+
+    #[test]
+    fn bitmap_fast_path_matches_sort_reference() {
+        // Address patterns straddling the 64-sector window boundary on both
+        // sides, compared against a plain sort-and-dedup reference model.
+        let patterns: [[u32; 32]; 4] = [
+            std::array::from_fn(|i| 0x1000 + i as u32 * 4), // unit stride
+            std::array::from_fn(|i| i as u32 * 63),         // just inside
+            std::array::from_fn(|i| i as u32 * 65),         // just outside
+            std::array::from_fn(|i| (i as u32).wrapping_mul(0x9e37_79b9) % 8192),
+        ];
+        for addrs in &patterns {
+            for mask in [u32::MAX, 1, 0x8000_0001, 0xaaaa_5555] {
+                let mut reference: Vec<u32> = (0..32)
+                    .filter(|l| mask & (1u32 << l) != 0)
+                    .map(|l| addrs[l as usize] / SECTOR_BYTES * SECTOR_BYTES)
+                    .collect();
+                reference.sort_unstable();
+                reference.dedup();
+                let mut buf = TxBuf::new();
+                coalesce_into(addrs, mask, false, &mut buf);
+                let got: Vec<u32> = buf.as_slice().iter().map(|t| t.addr).collect();
+                assert_eq!(got, reference, "pattern {addrs:?} mask {mask:#x}");
+            }
+        }
     }
 
     #[test]

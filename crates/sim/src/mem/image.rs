@@ -1,0 +1,197 @@
+//! The device memory image: byte-addressed storage backed by `u32` words.
+//!
+//! The simulated ISA is word-oriented — every load, store and atomic moves
+//! exactly 32 bits — so the functional image stores words, not bytes, and
+//! the dominant aligned access is a single indexed read/write instead of a
+//! four-byte gather. Addresses remain **byte** addresses (the hardware
+//! convention every kernel computes in); misaligned and out-of-bounds
+//! accesses reproduce the byte-image semantics bit-for-bit:
+//!
+//! * a misaligned word access reads/writes the same little-endian byte
+//!   range a flat byte array would (assembled from the two straddled
+//!   words);
+//! * an access is out of bounds iff any of its four bytes falls outside
+//!   the image, in which case loads return [`OOB_POISON`], stores are
+//!   dropped, and the access is counted — exactly as before.
+//!
+//! Misaligned addresses only arise from fault-corrupted address registers
+//! (well-formed kernels compute word-aligned addresses), so the straddle
+//! path is cold by construction.
+
+/// Value returned by an out-of-bounds load.
+pub const OOB_POISON: u32 = 0xdead_beef;
+
+/// Loads the 32-bit word at byte address `addr`, counting an out-of-bounds
+/// access in `oob` and returning [`OOB_POISON`] for it.
+#[inline]
+pub fn load_word(mem: &[u32], addr: u32, oob: &mut u64) -> u32 {
+    let a = addr as usize;
+    if addr & 3 == 0 {
+        match mem.get(a >> 2) {
+            Some(&w) => w,
+            None => {
+                *oob += 1;
+                OOB_POISON
+            }
+        }
+    } else {
+        load_straddle(mem, addr, oob)
+    }
+}
+
+/// Cold path of [`load_word`]: a load straddling two words.
+#[cold]
+fn load_straddle(mem: &[u32], addr: u32, oob: &mut u64) -> u32 {
+    let a = addr as usize;
+    let (i, o) = (a >> 2, (addr & 3) * 8);
+    match (mem.get(i), mem.get(i + 1)) {
+        (Some(&w0), Some(&w1)) => (w0 >> o) | (w1 << (32 - o)),
+        _ => {
+            *oob += 1;
+            OOB_POISON
+        }
+    }
+}
+
+/// Stores `v` at byte address `addr`. Returns `true` when the word was
+/// actually written (dropped out-of-bounds stores must not raise the dirty
+/// high-water mark — a fault-corrupted address register would otherwise
+/// force full-image zeroing on reset).
+#[inline]
+pub fn store_word(mem: &mut [u32], addr: u32, v: u32, oob: &mut u64) -> bool {
+    let a = addr as usize;
+    if addr & 3 == 0 {
+        match mem.get_mut(a >> 2) {
+            Some(w) => {
+                *w = v;
+                true
+            }
+            None => {
+                *oob += 1;
+                false
+            }
+        }
+    } else {
+        store_straddle(mem, addr, v, oob)
+    }
+}
+
+/// Cold path of [`store_word`]: a read-modify-write of two straddled words.
+#[cold]
+fn store_straddle(mem: &mut [u32], addr: u32, v: u32, oob: &mut u64) -> bool {
+    let a = addr as usize;
+    let (i, o) = (a >> 2, (addr & 3) * 8);
+    if i + 1 >= mem.len() {
+        *oob += 1;
+        return false;
+    }
+    // `low` masks the bytes below the straddle point: kept in the first
+    // word, replaced in the second.
+    let low = (1u32 << o) - 1;
+    mem[i] = (mem[i] & low) | (v << o);
+    mem[i + 1] = (mem[i + 1] & !low) | ((v >> (32 - o)) & low);
+    true
+}
+
+/// Reads the byte at byte address `addr` (host-side raw access; panics when
+/// out of bounds, like indexing a byte array would).
+pub fn get_byte(mem: &[u32], addr: usize) -> u8 {
+    (mem[addr >> 2] >> ((addr & 3) * 8)) as u8
+}
+
+/// Writes the byte at byte address `addr` (host-side raw access; panics
+/// when out of bounds).
+pub fn set_byte(mem: &mut [u32], addr: usize, v: u8) {
+    let sh = (addr & 3) * 8;
+    let w = &mut mem[addr >> 2];
+    *w = (*w & !(0xffu32 << sh)) | (u32::from(v) << sh);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Byte-array reference model of the old image.
+    fn ref_load(bytes: &[u8], addr: u32, oob: &mut u64) -> u32 {
+        match bytes.get(addr as usize..addr as usize + 4) {
+            Some(s) => u32::from_le_bytes([s[0], s[1], s[2], s[3]]),
+            None => {
+                *oob += 1;
+                OOB_POISON
+            }
+        }
+    }
+
+    fn ref_store(bytes: &mut [u8], addr: u32, v: u32, oob: &mut u64) -> bool {
+        match bytes.get_mut(addr as usize..addr as usize + 4) {
+            Some(s) => {
+                s.copy_from_slice(&v.to_le_bytes());
+                true
+            }
+            None => {
+                *oob += 1;
+                false
+            }
+        }
+    }
+
+    fn to_bytes(mem: &[u32]) -> Vec<u8> {
+        mem.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn loads_match_byte_image_at_every_alignment() {
+        let mem: Vec<u32> = (0..8u32)
+            .map(|i| i.wrapping_mul(0x0104_0302) ^ 0xa5)
+            .collect();
+        let bytes = to_bytes(&mem);
+        for addr in 0..(mem.len() as u32 * 4 + 8) {
+            let (mut o1, mut o2) = (0u64, 0u64);
+            assert_eq!(
+                load_word(&mem, addr, &mut o1),
+                ref_load(&bytes, addr, &mut o2),
+                "value diverged at addr {addr}"
+            );
+            assert_eq!(o1, o2, "oob count diverged at addr {addr}");
+        }
+    }
+
+    #[test]
+    fn stores_match_byte_image_at_every_alignment() {
+        for addr in 0..40u32 {
+            let mut mem: Vec<u32> = (0..8u32).map(|i| i ^ 0xdeadbeef).collect();
+            let mut bytes = to_bytes(&mem);
+            let (mut o1, mut o2) = (0u64, 0u64);
+            let w1 = store_word(&mut mem, addr, 0x1122_3344, &mut o1);
+            let w2 = ref_store(&mut bytes, addr, 0x1122_3344, &mut o2);
+            assert_eq!(w1, w2, "written flag diverged at addr {addr}");
+            assert_eq!(o1, o2, "oob count diverged at addr {addr}");
+            assert_eq!(to_bytes(&mem), bytes, "image diverged at addr {addr}");
+        }
+    }
+
+    #[test]
+    fn byte_accessors_roundtrip() {
+        let mut mem = vec![0u32; 2];
+        for (i, v) in [(0usize, 0x11u8), (1, 0x22), (5, 0x55), (7, 0x77)] {
+            set_byte(&mut mem, i, v);
+            assert_eq!(get_byte(&mem, i), v);
+        }
+        assert_eq!(mem[0], 0x0000_2211);
+        assert_eq!(mem[1], 0x7700_5500);
+    }
+
+    #[test]
+    fn oob_load_poisons_and_counts() {
+        let mem = vec![0u32; 2];
+        let mut oob = 0;
+        assert_eq!(load_word(&mem, 8, &mut oob), OOB_POISON);
+        assert_eq!(load_word(&mem, 3, &mut oob), 0, "straddle in bounds");
+        assert_eq!(
+            load_word(&mem, 5, &mut oob),
+            OOB_POISON,
+            "straddle off the end"
+        );
+        assert_eq!(oob, 2);
+    }
+}

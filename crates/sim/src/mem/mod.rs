@@ -3,6 +3,7 @@
 pub mod cache;
 pub mod coalesce;
 pub mod dram;
+pub mod image;
 pub mod system;
 
 pub use cache::{Cache, CacheOutcome, CacheStats};

@@ -53,6 +53,24 @@ pub struct SmStats {
     pub blocks_completed: u64,
 }
 
+/// One dynamic instruction issued by an SM warp scheduler — the unit of the
+/// cross-core trace diff ([`crate::config::CoreKind`]): two cores agree iff
+/// their issue logs are identical record for record, and the first
+/// divergence pinpoints (cycle, SM, warp) directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueRecord {
+    /// Cycle the instruction issued.
+    pub cycle: u64,
+    /// Issuing SM.
+    pub sm: usize,
+    /// Owning kernel.
+    pub kernel: KernelId,
+    /// Linear block index within the grid.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp: usize,
+}
+
 /// One streaming multiprocessor.
 #[derive(Debug)]
 pub struct Sm {
@@ -70,9 +88,94 @@ pub struct Sm {
     /// GTO bookmark: (kernel, block_linear, warp_idx). Under LRR this is
     /// the *last issued* warp, used as the rotation point.
     greedy: Option<(KernelId, u32, usize)>,
+    /// Per-block ready masks, index-aligned with `blocks` *within one
+    /// [`Sm::issue`] call*: bit `wi` set ⟺ `blocks[bi].warps[wi]` may issue
+    /// at the call's cycle. Rebuilt on entry (one pass over resident
+    /// warps), then updated incrementally per issued instruction so both
+    /// warp pickers are O(1) mask operations — no per-pick rescan, no
+    /// per-pick allocation. Retains capacity across calls.
+    ready: Vec<u64>,
+    /// SoA mirror of per-warp wake-up times, one row per resident block:
+    /// `times[bi][wi]` is the warp's `ready_at` while it is
+    /// [`WarpState::Ready`], else `u64::MAX`. [`Warp`] structs are scattered
+    /// across cache lines, so deriving ready masks and `next_ready_at` from
+    /// this dense mirror instead of walking the structs turns both scans
+    /// into flat, vectorizable compare/min loops. Kept in lockstep with
+    /// every scheduling-state mutation (admit, issue effects, barrier
+    /// release, block completion, discard).
+    times: Vec<Vec<u64>>,
+    /// Cached `min(ready_at)` over all [`WarpState::Ready`] warps
+    /// (`u64::MAX` when none): the O(1) answer of [`Sm::next_ready_at`].
+    /// Maintained on every mutation of warp scheduling state — folded on
+    /// [`Sm::admit`], recomputed at the end of every productive
+    /// [`Sm::issue`] call and on block discard. `debug_assert`-checked
+    /// against the exhaustive scan on every read.
+    next_wake: u64,
+    /// When set, every issued instruction is appended to `log`.
+    log_enabled: bool,
+    /// Per-instruction issue log (cross-core validation; empty and
+    /// cost-free unless [`Sm::set_issue_log`] enabled it).
+    log: Vec<IssueRecord>,
+    /// Reusable coalesced-transaction scratch handed to the interpreter
+    /// ([`crate::exec::ExecCtx::txs`]); allocated once per SM.
+    scratch_txs: crate::mem::coalesce::TxBuf,
+    /// Reusable atomic-lane-address scratch
+    /// ([`crate::exec::ExecCtx::atom_addrs`]).
+    scratch_addrs: crate::exec::LaneAddrs,
     stats: SmStats,
     /// Out-of-bounds accesses observed on this SM.
     pub oob_accesses: u64,
+}
+
+/// First set bit of `ready[from..]` as `(block index, warp index)` — the
+/// oldest issuable warp in (block arrival, warp index) order at or after
+/// block `from`.
+#[inline]
+fn first_set(ready: &[u64], from: usize) -> Option<(usize, usize)> {
+    ready
+        .iter()
+        .enumerate()
+        .skip(from)
+        .find(|(_, &m)| m != 0)
+        .map(|(bi, &m)| (bi, m.trailing_zeros() as usize))
+}
+
+/// The ready mask of one block at cycle `now` (bit per issuable warp).
+#[inline]
+fn ready_mask(block: &BlockState, now: u64) -> u64 {
+    let mut m = 0u64;
+    for (wi, w) in block.warps.iter().enumerate() {
+        if w.is_issuable(now) {
+            m |= 1u64 << wi;
+        }
+    }
+    m
+}
+
+/// Rebuilds one SoA wake-time row from a block's warps: `ready_at` for
+/// [`WarpState::Ready`] warps, `u64::MAX` otherwise.
+#[inline]
+fn fill_times_row(row: &mut Vec<u64>, block: &BlockState) {
+    row.clear();
+    row.extend(block.warps.iter().map(|w| {
+        if w.state == WarpState::Ready {
+            w.ready_at
+        } else {
+            u64::MAX
+        }
+    }));
+}
+
+/// The ready mask of one block derived from its SoA wake-time row: bit per
+/// warp whose wake time has matured. Identical to [`ready_mask`] by the row
+/// invariant, but a flat compare loop instead of a struct walk.
+#[inline]
+fn ready_mask_from_times(row: &[u64], now: u64) -> u64 {
+    let mut m = 0u64;
+    for (wi, &t) in row.iter().enumerate() {
+        m |= u64::from(t <= now) << wi;
+    }
+    m
 }
 
 impl Sm {
@@ -96,6 +199,13 @@ impl Sm {
             blocks: Vec::new(),
             warp_policy: cfg.warp_scheduler,
             greedy: None,
+            ready: Vec::new(),
+            times: Vec::new(),
+            next_wake: u64::MAX,
+            log_enabled: false,
+            log: Vec::new(),
+            scratch_txs: crate::mem::coalesce::TxBuf::new(),
+            scratch_addrs: crate::exec::LaneAddrs::new(),
             stats: SmStats::default(),
             oob_accesses: 0,
         }
@@ -125,6 +235,14 @@ impl Sm {
         self.used.registers += block.footprint.registers;
         self.used.shared_mem += block.footprint.shared_mem;
         self.used.blocks += 1;
+        for w in &block.warps {
+            if w.state == WarpState::Ready {
+                self.next_wake = self.next_wake.min(w.ready_at);
+            }
+        }
+        let mut row = Vec::with_capacity(block.warps.len());
+        fill_times_row(&mut row, &block);
+        self.times.push(row);
         self.blocks.push(block);
     }
 
@@ -155,8 +273,36 @@ impl Sm {
     }
 
     /// Earliest cycle at which some warp can issue, or `u64::MAX` if no warp
-    /// is issuable (idle, all at barriers, or finished).
+    /// is issuable (idle, all at barriers, or finished). O(1): answered from
+    /// the incrementally-maintained cache, cross-checked against the
+    /// exhaustive scan in debug builds.
     pub fn next_ready_at(&self) -> u64 {
+        debug_assert_eq!(
+            self.next_wake,
+            self.scan_next_ready_structs(),
+            "cached next_wake diverged from the exhaustive warp scan on SM {}",
+            self.id
+        );
+        self.next_wake
+    }
+
+    /// O(warps) recomputation of [`Sm::next_ready_at`] from the dense SoA
+    /// wake-time mirror (a flat min over small `u64` rows — vectorizable,
+    /// no pointer chasing through [`Warp`] structs).
+    fn scan_next_ready(&self) -> u64 {
+        let mut next = u64::MAX;
+        for row in &self.times {
+            for &t in row {
+                next = next.min(t);
+            }
+        }
+        next
+    }
+
+    /// Exhaustive reference computation of [`Sm::next_ready_at`] straight
+    /// from the warp structs, bypassing the SoA mirror — the oracle the
+    /// incremental cache and mirror are validated against.
+    fn scan_next_ready_structs(&self) -> u64 {
         let mut next = u64::MAX;
         for b in &self.blocks {
             for w in &b.warps {
@@ -168,13 +314,35 @@ impl Sm {
         next
     }
 
+    /// Exhaustive-scan reference for [`Sm::next_ready_at`], exposed so
+    /// property tests can cross-check the incremental cache from outside the
+    /// crate. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_exhaustive_next_ready(&self) -> u64 {
+        self.scan_next_ready_structs()
+    }
+
+    /// Enables or disables per-instruction issue logging. Clears any
+    /// previously accumulated records.
+    pub fn set_issue_log(&mut self, enabled: bool) {
+        self.log_enabled = enabled;
+        self.log.clear();
+    }
+
+    /// Moves accumulated issue records into `out`, preserving issue order.
+    pub fn drain_issue_log(&mut self, out: &mut Vec<IssueRecord>) {
+        out.append(&mut self.log);
+    }
+
     /// Discards all resident blocks without completing them and releases
     /// their resources — the watchdog-abort path ([`crate::gpu::Gpu`]'s
     /// `force_reset`). Execution state of the discarded blocks is dropped.
     pub fn discard_blocks(&mut self) {
         self.blocks.clear();
+        self.times.clear();
         self.used = ResourceUsage::default();
         self.greedy = None;
+        self.next_wake = u64::MAX;
     }
 
     /// Discards only the resident blocks of the given kernels, releasing
@@ -182,17 +350,20 @@ impl Sm {
     /// executor ([`crate::gpu::Gpu::cancel_kernels`]): sibling kernels on
     /// this SM keep executing undisturbed.
     pub fn discard_blocks_of(&mut self, kernels: &[KernelId]) {
-        self.blocks.retain(|b| {
-            if !kernels.contains(&b.kernel) {
-                return true;
+        let mut bi = 0;
+        while bi < self.blocks.len() {
+            if !kernels.contains(&self.blocks[bi].kernel) {
+                bi += 1;
+                continue;
             }
+            let b = self.blocks.remove(bi);
+            self.times.remove(bi);
             self.used.threads -= b.footprint.threads;
             self.used.warps -= b.footprint.warps;
             self.used.registers -= b.footprint.registers;
             self.used.shared_mem -= b.footprint.shared_mem;
             self.used.blocks -= 1;
-            false
-        });
+        }
         // The issue bookmark may point at a discarded block; drop it (the
         // scheduler re-establishes it on the next issue).
         if let Some((k, _, _)) = self.greedy {
@@ -200,6 +371,7 @@ impl Sm {
                 self.greedy = None;
             }
         }
+        self.next_wake = self.scan_next_ready();
     }
 
     /// Resets the SM to its post-construction state: counters cleared,
@@ -213,8 +385,13 @@ impl Sm {
         assert!(self.blocks.is_empty(), "reset on a busy SM");
         self.used = ResourceUsage::default();
         self.greedy = None;
+        self.next_wake = u64::MAX;
+        // Keep `log_enabled` (a validator may reset between runs); drop the
+        // accumulated records of the previous run.
+        self.log.clear();
         self.stats = SmStats::default();
         self.oob_accesses = 0;
+        self.times.clear();
     }
 
     /// Issues up to `schedulers_per_sm` instructions at cycle `now`.
@@ -229,16 +406,37 @@ impl Sm {
     pub fn issue(
         &mut self,
         now: u64,
-        global_mem: &mut [u8],
+        global_mem: &mut [u32],
         global_dirty: &mut u32,
         memsys: &mut MemorySystem,
         fault: &mut dyn FaultHook,
         fault_enabled: bool,
         completions: &mut Vec<BlockCompletion>,
     ) {
+        // Fast path: with no warp issuable at `now`, every legacy candidate
+        // scan fails, every scheduler slot breaks immediately, and no state
+        // changes — visiting the SM is a pure no-op. The cached wake-up time
+        // answers that in O(1) without touching any warp.
+        if self.next_wake > now {
+            return;
+        }
+
+        // One pass over the flat wake-time mirror builds a ready bit per
+        // (block, warp); each scheduler slot then picks via O(1) mask
+        // operations and the effect handlers keep the masks current
+        // incrementally. Deriving the masks from `times` instead of the
+        // warp structs turns the per-visit rebuild into a dense compare
+        // loop over contiguous `u64`s rather than a pointer-chase across
+        // cache-line-sparse `Warp`s.
+        self.ready.clear();
+        for row in &self.times {
+            self.ready.push(ready_mask_from_times(row, now));
+        }
+
         let mut issued = 0usize;
         for _ in 0..self.schedulers {
-            // Candidate selection.
+            // Candidate selection. Mask bits replicate the legacy scans
+            // exactly: ascending (block arrival, warp index) order.
             let mut pick: Option<(usize, usize)> = None;
             match self.warp_policy {
                 WarpSchedPolicy::Gto => {
@@ -250,53 +448,43 @@ impl Sm {
                             .iter()
                             .position(|b| b.kernel == gk && b.block_linear == gb)
                         {
-                            let w = &self.blocks[bi].warps[gw];
-                            if w.state == WarpState::Ready && w.ready_at <= now {
+                            if self.ready[bi] & (1u64 << gw) != 0 {
                                 pick = Some((bi, gw));
                             }
                         }
                     }
                     if pick.is_none() {
-                        'outer: for (bi, b) in self.blocks.iter().enumerate() {
-                            for (wi, w) in b.warps.iter().enumerate() {
-                                if w.state == WarpState::Ready && w.ready_at <= now {
-                                    pick = Some((bi, wi));
-                                    break 'outer;
-                                }
-                            }
-                        }
+                        pick = first_set(&self.ready, 0);
                     }
                 }
                 WarpSchedPolicy::Lrr => {
                     // Rotate: first ready warp strictly after the last
                     // issued one in (block, warp) order, wrapping around.
-                    let ready: Vec<(usize, usize)> = self
-                        .blocks
-                        .iter()
-                        .enumerate()
-                        .flat_map(|(bi, b)| {
-                            b.warps.iter().enumerate().filter_map(move |(wi, w)| {
-                                (w.state == WarpState::Ready && w.ready_at <= now)
-                                    .then_some((bi, wi))
-                            })
-                        })
-                        .collect();
-                    if !ready.is_empty() {
-                        let anchor = self.greedy.and_then(|(gk, gb, gw)| {
-                            self.blocks
-                                .iter()
-                                .position(|b| b.kernel == gk && b.block_linear == gb)
-                                .map(|bi| (bi, gw))
-                        });
-                        pick = match anchor {
-                            Some(a) => ready
-                                .iter()
-                                .find(|&&c| c > a)
-                                .or_else(|| ready.first())
-                                .copied(),
-                            None => ready.first().copied(),
-                        };
-                    }
+                    let anchor = self.greedy.and_then(|(gk, gb, gw)| {
+                        self.blocks
+                            .iter()
+                            .position(|b| b.kernel == gk && b.block_linear == gb)
+                            .map(|bi| (bi, gw))
+                    });
+                    pick = match anchor {
+                        Some((abi, gw)) => {
+                            // Ready warps of the anchor block strictly after
+                            // the anchor warp, then later blocks, then wrap
+                            // to the globally first ready warp.
+                            let above = if gw >= 63 {
+                                0
+                            } else {
+                                self.ready[abi] & (!0u64 << (gw + 1))
+                            };
+                            if above != 0 {
+                                Some((abi, above.trailing_zeros() as usize))
+                            } else {
+                                first_set(&self.ready, abi + 1)
+                                    .or_else(|| first_set(&self.ready, 0))
+                            }
+                        }
+                        None => first_set(&self.ready, 0),
+                    };
                 }
             }
             let Some((bi, wi)) = pick else { break };
@@ -306,19 +494,27 @@ impl Sm {
             let sfu_latency = self.sfu_latency;
             let shared_latency = self.shared_latency;
             let block = &mut self.blocks[bi];
+            let txs = &mut self.scratch_txs;
+            let atom_addrs = &mut self.scratch_addrs;
             let kernel = block.kernel;
             let block_linear = block.block_linear;
             let dims = block.dims;
-            let program = block.program.clone();
-            let params = block.params.clone();
             let mut oob = 0u64;
             let effect = {
-                let shared = &mut block.shared;
-                let warp = &mut block.warps[wi];
+                // Borrow the block's fields disjointly: the program and
+                // params stay behind their Arcs (no per-instruction clone).
+                let BlockState {
+                    program,
+                    params,
+                    shared,
+                    warps,
+                    ..
+                } = block;
+                let warp = &mut warps[wi];
                 let mut ctx = ExecCtx {
                     global_mem,
                     shared_mem: shared,
-                    params: &params,
+                    params: &params[..],
                     dims,
                     sm_id,
                     cycle: now,
@@ -328,6 +524,8 @@ impl Sm {
                     fault_enabled,
                     oob_accesses: &mut oob,
                     global_dirty,
+                    txs: &mut *txs,
+                    atom_addrs: &mut *atom_addrs,
                 };
                 step_warp(warp, program.instrs(), &mut ctx)
             };
@@ -335,7 +533,17 @@ impl Sm {
             issued += 1;
             self.stats.instrs_issued += 1;
             self.greedy = Some((kernel, block_linear, wi));
+            if self.log_enabled {
+                self.log.push(IssueRecord {
+                    cycle: now,
+                    sm: sm_id,
+                    kernel,
+                    block: block_linear,
+                    warp: wi,
+                });
+            }
 
+            let bit = 1u64 << wi;
             match effect {
                 StepEffect::Compute(unit) => {
                     let lat = match unit {
@@ -345,33 +553,59 @@ impl Sm {
                     };
                     let w = &mut block.warps[wi];
                     w.ready_at = now + u64::from(lat);
+                    self.times[bi][wi] = w.ready_at;
+                    if w.ready_at > now {
+                        self.ready[bi] &= !bit;
+                    }
                 }
                 StepEffect::SharedMem => {
                     let w = &mut block.warps[wi];
                     w.ready_at = now + u64::from(shared_latency);
+                    self.times[bi][wi] = w.ready_at;
+                    if w.ready_at > now {
+                        self.ready[bi] &= !bit;
+                    }
                 }
-                StepEffect::GlobalMem { txs } => {
+                StepEffect::GlobalMem => {
                     let done = memsys.access(sm_id, now, txs.as_slice());
                     let w = &mut block.warps[wi];
                     w.ready_at = done.max(now + 1);
+                    self.times[bi][wi] = w.ready_at;
+                    self.ready[bi] &= !bit;
                 }
-                StepEffect::Atomic { addrs } => {
+                StepEffect::Atomic => {
                     let mut done = now + 1;
-                    for &a in addrs.as_slice() {
+                    for &a in atom_addrs.as_slice() {
                         done = done.max(memsys.access_atomic(now, a));
                     }
                     let w = &mut block.warps[wi];
                     w.ready_at = done;
+                    self.times[bi][wi] = w.ready_at;
+                    self.ready[bi] &= !bit;
                 }
                 StepEffect::Barrier => {
                     block.barrier_arrived += 1;
-                    block.try_release_barrier(now, self.barrier_latency);
+                    if block.try_release_barrier(now, self.barrier_latency) {
+                        // Barrier released: warp states changed en masse.
+                        self.ready[bi] = ready_mask(block, now);
+                        fill_times_row(&mut self.times[bi], block);
+                    } else {
+                        // This warp moved to AtBarrier.
+                        self.ready[bi] &= !bit;
+                        self.times[bi][wi] = u64::MAX;
+                    }
                     self.greedy = None;
                 }
                 StepEffect::Finished => {
                     block.warps_running -= 1;
                     // A finished warp may unblock a pending barrier.
-                    block.try_release_barrier(now, self.barrier_latency);
+                    if block.try_release_barrier(now, self.barrier_latency) {
+                        self.ready[bi] = ready_mask(block, now);
+                        fill_times_row(&mut self.times[bi], block);
+                    } else {
+                        self.ready[bi] &= !bit;
+                        self.times[bi][wi] = u64::MAX;
+                    }
                     self.greedy = None;
                     if block.is_done() {
                         let instrs: u64 = block.warps.iter().map(|w| w.instrs).sum();
@@ -386,6 +620,8 @@ impl Sm {
                         });
                         self.stats.blocks_completed += 1;
                         self.blocks.remove(bi);
+                        self.ready.remove(bi);
+                        self.times.remove(bi);
                         self.used.threads -= fp.threads;
                         self.used.warps -= fp.warps;
                         self.used.registers -= fp.registers;
@@ -398,6 +634,10 @@ impl Sm {
         if issued > 0 {
             self.stats.busy_cycles += 1;
         }
+        // Re-derive the cached wake-up time. One O(warps) pass per
+        // *productive* visit (the event core never calls into a sleeping
+        // SM), amortized against the >=1 instruction issued above.
+        self.next_wake = self.scan_next_ready();
     }
 }
 
@@ -410,12 +650,12 @@ mod tests {
     use crate::kernel::Dim3;
     use std::sync::Arc;
 
-    fn mk_sm() -> (Sm, MemorySystem, Vec<u8>) {
+    fn mk_sm() -> (Sm, MemorySystem, Vec<u32>) {
         let cfg = GpuConfig::tiny_2sm();
         (
             Sm::new(0, &cfg),
             MemorySystem::new(&cfg),
-            vec![0u8; cfg.global_mem_bytes],
+            vec![0u32; cfg.global_mem_bytes / 4],
         )
     }
 
@@ -641,7 +881,7 @@ mod warp_sched_tests {
         cfg.schedulers_per_sm = 1;
         let mut sm = Sm::new(0, &cfg);
         let mut memsys = crate::mem::system::MemorySystem::new(&cfg);
-        let mut mem = vec![0u8; 1024];
+        let mut mem = vec![0u32; 256];
         let mut done = Vec::new();
         let mut hook = NoFaults;
         let mut dirty = 0u32;

@@ -1,0 +1,289 @@
+//! A two-level future-event queue: bucketed time wheel + overflow min-heap.
+//!
+//! [`TimeQ`] holds `(cycle, payload)` pairs and pops them in strictly
+//! ascending `(cycle, payload)` order — the payload is the deterministic
+//! tie-break, so two events scheduled for the same cycle always come out in
+//! a reproducible order (e.g. ascending SM id) regardless of insertion
+//! order. This is the property the event-driven device core relies on for
+//! bit-identical traces.
+//!
+//! The wheel covers a sliding window of [`TimeQ::HORIZON`] cycles starting
+//! at an internal base; events inside the window go to O(1) buckets, events
+//! before or beyond it go to the overflow binary heap. The two levels are
+//! merged on pop by comparing their respective `(cycle, payload)` minima,
+//! so callers never observe the split. All storage (bucket vectors and the
+//! heap) retains its capacity across [`TimeQ::clear`], making steady-state
+//! operation allocation-free after warm-up.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One wheel bucket. Items are kept unsorted on insert and sorted
+/// *descending* lazily on first pop, so ascending-payload extraction is a
+/// cheap `Vec::pop` from the tail.
+#[derive(Debug)]
+struct Bucket<P> {
+    items: Vec<P>,
+    sorted: bool,
+}
+
+impl<P> Default for Bucket<P> {
+    fn default() -> Self {
+        Self {
+            items: Vec::new(),
+            sorted: false,
+        }
+    }
+}
+
+/// A monotone future-event queue over `(cycle, payload)` pairs with
+/// deterministic `(cycle, payload)`-lexicographic pop order.
+#[derive(Debug)]
+pub struct TimeQ<P> {
+    /// Cycle represented by `buckets[cursor]`.
+    base: u64,
+    /// Wheel index of `base`.
+    cursor: usize,
+    buckets: Vec<Bucket<P>>,
+    /// Entries at cycles outside `[base, base + HORIZON)`.
+    overflow: BinaryHeap<Reverse<(u64, P)>>,
+    /// Entries currently in the wheel (not counting the overflow heap).
+    wheel_len: usize,
+    len: usize,
+}
+
+impl<P: Ord + Copy> TimeQ<P> {
+    /// Width of the wheel window in cycles. Covers the common case (pipeline
+    /// and memory latencies of a few hundred cycles); sparser events — long
+    /// dispatch gaps, watchdog horizons — spill to the overflow heap.
+    pub const HORIZON: usize = 1024;
+
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            base: 0,
+            cursor: 0,
+            buckets: (0..Self::HORIZON).map(|_| Bucket::default()).collect(),
+            overflow: BinaryHeap::new(),
+            wheel_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all entries, retaining allocated capacity.
+    pub fn clear(&mut self) {
+        if self.wheel_len > 0 {
+            for b in &mut self.buckets {
+                b.items.clear();
+                b.sorted = false;
+            }
+        }
+        self.overflow.clear();
+        self.wheel_len = 0;
+        self.len = 0;
+    }
+
+    /// Queues `payload` at `cycle`.
+    pub fn push(&mut self, cycle: u64, payload: P) {
+        // An empty wheel can slide anywhere: re-anchor it on the incoming
+        // cycle so in-window pushes stay on the O(1) bucket path even after
+        // the clock jumps far ahead (kernel dispatch gaps, idle stretches).
+        if self.wheel_len == 0 && cycle >= self.base + Self::HORIZON as u64 {
+            self.base = cycle;
+            self.cursor = 0;
+        }
+        if cycle >= self.base && cycle < self.base + Self::HORIZON as u64 {
+            let idx = (self.cursor + (cycle - self.base) as usize) % Self::HORIZON;
+            let b = &mut self.buckets[idx];
+            b.items.push(payload);
+            b.sorted = false;
+            self.wheel_len += 1;
+        } else {
+            // Before the window (late wake-ups) or beyond the horizon.
+            self.overflow.push(Reverse((cycle, payload)));
+        }
+        self.len += 1;
+    }
+
+    /// Earliest wheel entry as `(cycle, bucket index)`, advancing the window
+    /// past empty buckets as a side effect (amortized O(1) per cycle of
+    /// clock progress).
+    fn wheel_min(&mut self) -> Option<(u64, usize)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        while self.buckets[self.cursor].items.is_empty() {
+            self.cursor = (self.cursor + 1) % Self::HORIZON;
+            self.base += 1;
+        }
+        let idx = self.cursor;
+        let b = &mut self.buckets[idx];
+        if !b.sorted {
+            b.items.sort_unstable_by(|a, c| c.cmp(a));
+            b.sorted = true;
+        }
+        Some((self.base, idx))
+    }
+
+    /// The earliest `(cycle, payload)` entry without removing it.
+    pub fn peek_min(&mut self) -> Option<(u64, P)> {
+        let wheel = self
+            .wheel_min()
+            .map(|(c, idx)| (c, *self.buckets[idx].items.last().expect("non-empty")));
+        let over = self.overflow.peek().map(|&Reverse(e)| e);
+        match (wheel, over) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (w, o) => w.or(o),
+        }
+    }
+
+    /// Removes and returns the earliest `(cycle, payload)` entry.
+    pub fn pop_min(&mut self) -> Option<(u64, P)> {
+        let wheel = self
+            .wheel_min()
+            .map(|(c, idx)| (c, *self.buckets[idx].items.last().expect("non-empty")));
+        let over = self.overflow.peek().map(|&Reverse(e)| e);
+        let from_wheel = match (wheel, over) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(w), Some(o)) => w <= o,
+        };
+        self.len -= 1;
+        if from_wheel {
+            let (cycle, _) = wheel.expect("checked");
+            let payload = self.buckets[self.cursor].items.pop().expect("non-empty");
+            self.wheel_len -= 1;
+            Some((cycle, payload))
+        } else {
+            self.overflow.pop().map(|Reverse(e)| e)
+        }
+    }
+}
+
+impl<P: Ord + Copy> Default for TimeQ<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_cycle_then_payload_order() {
+        let mut q = TimeQ::new();
+        q.push(10, 3usize);
+        q.push(10, 1);
+        q.push(5, 9);
+        q.push(10, 2);
+        q.push(7, 0);
+        let mut out = Vec::new();
+        while let Some(e) = q.pop_min() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![(5, 9), (7, 0), (10, 1), (10, 2), (10, 3)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_and_wheel_merge_correctly() {
+        let mut q = TimeQ::new();
+        // Far beyond the horizon (overflow) and inside the window (wheel).
+        q.push(1_000_000, 1usize);
+        q.push(3, 2);
+        q.push(1_000_000, 0);
+        assert_eq!(q.peek_min(), Some((3, 2)));
+        assert_eq!(q.pop_min(), Some((3, 2)));
+        assert_eq!(q.pop_min(), Some((1_000_000, 0)));
+        assert_eq!(q.pop_min(), Some((1_000_000, 1)));
+        assert_eq!(q.pop_min(), None);
+    }
+
+    #[test]
+    fn rebases_after_long_jumps_and_accepts_past_pushes() {
+        let mut q = TimeQ::new();
+        q.push(50, 1usize);
+        assert_eq!(q.pop_min(), Some((50, 1)));
+        // Wheel empty: a far-future push re-anchors the window.
+        q.push(9_000_000, 2);
+        // A push before the re-anchored base still works (overflow path).
+        q.push(100, 3);
+        assert_eq!(q.pop_min(), Some((100, 3)));
+        assert_eq!(q.pop_min(), Some((9_000_000, 2)));
+    }
+
+    #[test]
+    fn matches_reference_ordering_on_mixed_sequences() {
+        // Deterministic pseudo-random interleaving of pushes and pops,
+        // checked against a multiset reference model (duplicates included).
+        let mut q = TimeQ::new();
+        let mut reference: std::collections::BTreeMap<(u64, usize), u32> =
+            std::collections::BTreeMap::new();
+        let mut x = 0x1234_5678_u64;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut clock = 0u64;
+        for _ in 0..5000 {
+            if step() % 3 != 0 {
+                // Mostly near-future pushes, occasionally far jumps.
+                let delta = if step() % 10 == 0 {
+                    step() % 100_000
+                } else {
+                    step() % 300
+                };
+                let e = (clock + delta, (step() % 7) as usize);
+                q.push(e.0, e.1);
+                *reference.entry(e).or_insert(0) += 1;
+            } else if let Some((&e, _)) = reference.iter().next() {
+                assert_eq!(q.peek_min(), Some(e));
+                let got = q.pop_min().expect("queue and reference agree");
+                assert_eq!(got, e, "pop order diverged from reference");
+                let n = reference.get_mut(&e).expect("present");
+                *n -= 1;
+                if *n == 0 {
+                    reference.remove(&e);
+                }
+                clock = clock.max(e.0);
+            }
+        }
+        while let Some((&e, _)) = reference.iter().next() {
+            let got = q.pop_min().expect("entry present");
+            assert_eq!(got, e, "drain order diverged from reference");
+            let n = reference.get_mut(&e).expect("present");
+            *n -= 1;
+            if *n == 0 {
+                reference.remove(&e);
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets_state() {
+        let mut q = TimeQ::new();
+        for i in 0..100u64 {
+            q.push(i, 0usize);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop_min(), None);
+        q.push(7, 4);
+        assert_eq!(q.pop_min(), Some((7, 4)));
+    }
+}

@@ -74,6 +74,15 @@ impl Warp {
         }
     }
 
+    /// True when the warp can issue an instruction at cycle `now`: it is
+    /// [`WarpState::Ready`] and its pending latency has elapsed. This is
+    /// *the* predicate of the warp schedulers — the per-block ready masks
+    /// and the SM's cached `next_ready_at` are both defined in terms of it.
+    #[inline]
+    pub fn is_issuable(&self, now: u64) -> bool {
+        self.state == WarpState::Ready && self.ready_at <= now
+    }
+
     /// The initial active mask for a warp covering threads
     /// `[warp_idx*32, warp_idx*32+32)` of a block with `block_threads`
     /// threads.

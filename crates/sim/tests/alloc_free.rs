@@ -3,9 +3,10 @@
 //! `step_warp` interpreter loop over compute, global-memory and atomic
 //! instructions.
 //!
-//! This is the regression fence for the inline-buffer rework ([`StepEffect`]
-//! carrying `TxBuf`/`LaneAddrs` instead of `Vec`s) — any reintroduction of a
-//! per-instruction allocation fails this test loudly.
+//! This is the regression fence for the inline-buffer rework (memory
+//! effects deposited in reusable `TxBuf`/`LaneAddrs` scratch instead of
+//! `Vec`s) — any reintroduction of a per-instruction allocation fails this
+//! test loudly.
 
 use higpu_sim::block::BlockDims;
 use higpu_sim::builder::KernelBuilder;
@@ -74,8 +75,8 @@ fn hot_kernel() -> std::sync::Arc<higpu_sim::program::Program> {
 fn no_fault_hot_path_is_allocation_free() {
     let prog = hot_kernel();
     let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
-    let mut global = vec![0u8; 64 * 1024];
-    let mut shared = vec![0u8; 1024];
+    let mut global = vec![0u32; 16 * 1024];
+    let mut shared = vec![0u32; 256];
     let mut oob = 0u64;
     let mut dirty = 0u32;
     let mut hook = NoFaults;
@@ -87,6 +88,8 @@ fn no_fault_hot_path_is_allocation_free() {
 
     // Warm up nothing — count every allocation across the whole interpreter
     // loop, including the effects the SM would consume.
+    let mut txs = higpu_sim::mem::coalesce::TxBuf::new();
+    let mut atom_addrs = higpu_sim::exec::LaneAddrs::new();
     let mut instrs = 0u64;
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     while warp.state == WarpState::Ready {
@@ -103,15 +106,17 @@ fn no_fault_hot_path_is_allocation_free() {
             fault_enabled: false,
             oob_accesses: &mut oob,
             global_dirty: &mut dirty,
+            txs: &mut txs,
+            atom_addrs: &mut atom_addrs,
         };
         let effect = step_warp(&mut warp, prog.instrs(), &mut ctx);
         // Consume memory effects the way the SM does (slice views only).
-        match &effect {
-            StepEffect::GlobalMem { txs } => {
+        match effect {
+            StepEffect::GlobalMem => {
                 assert!(!txs.as_slice().is_empty());
             }
-            StepEffect::Atomic { addrs } => {
-                assert!(!addrs.as_slice().is_empty());
+            StepEffect::Atomic => {
+                assert!(!atom_addrs.as_slice().is_empty());
             }
             _ => {}
         }

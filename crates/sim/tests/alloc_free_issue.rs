@@ -1,0 +1,170 @@
+//! Proves the full SM issue path — candidate selection, interpretation,
+//! memory-system timing and wake-time bookkeeping — performs **zero heap
+//! allocations** per issued instruction, under *both* warp scheduling
+//! policies (GTO and LRR).
+//!
+//! This extends the `step_warp` fence (`alloc_free.rs`) one layer up: the
+//! event-queue core keeps per-SM ready masks and a wake-time mirror that
+//! the pickers consult on every slot, and none of that machinery may touch
+//! the heap in steady state. It lives in its own integration binary because
+//! the counting allocator is process-global.
+
+use higpu_sim::block::{BlockDims, BlockState};
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::config::{GpuConfig, WarpSchedPolicy};
+use higpu_sim::fault::NoFaults;
+use higpu_sim::kernel::{BlockFootprint, Dim3, KernelId};
+use higpu_sim::mem::system::MemorySystem;
+use higpu_sim::sm::Sm;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocations.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A long-running kernel mixing the hot instruction families: a counted
+/// loop of global loads, FMA arithmetic and global stores. Long enough
+/// that the measurement window never sees a block complete (block retire
+/// legitimately frees its state).
+fn spin_kernel() -> std::sync::Arc<higpu_sim::program::Program> {
+    let mut b = KernelBuilder::new("spin");
+    let base = b.param(0);
+    let tid = b.special(higpu_sim::isa::SpecialReg::TidX);
+    let addr = b.addr_w(base, tid);
+    b.for_range(0u32, 512u32, 1u32, |b, i| {
+        let v = b.ldg(addr, 0);
+        let f = b.i2f(v);
+        let acc = b.ffma(f, 1.0009f32, 0.25f32);
+        let w = b.f2i(acc);
+        let w2 = b.iadd(w, i);
+        b.stg(addr, 0, w2);
+    });
+    b.build().expect("valid").into_shared()
+}
+
+/// Drives one SM's issue loop directly (the way the device cores do) and
+/// returns the instructions issued inside the counted window alongside the
+/// allocations observed there.
+fn measure(policy: WarpSchedPolicy) -> (u64, u64) {
+    let cfg = GpuConfig {
+        warp_scheduler: policy,
+        ..GpuConfig::tiny_2sm()
+    };
+    let mut sm = Sm::new(0, &cfg);
+    let prog = spin_kernel();
+    let regs = prog.regs_per_thread();
+    // Two 64-thread blocks: two warps per block keeps both pickers'
+    // block-and-warp rotation logic exercised.
+    let fp = BlockFootprint {
+        threads: 64,
+        warps: 2,
+        registers: 64 * regs as u32,
+        shared_mem: 0,
+    };
+    let params: std::sync::Arc<[u32]> = std::sync::Arc::from(vec![0u32].into_boxed_slice());
+    for blk in 0..2u32 {
+        let dims = BlockDims {
+            ctaid: (blk, 0, 0),
+            ntid: Dim3::x(64),
+            nctaid: Dim3::x(2),
+        };
+        sm.admit(BlockState::new(
+            KernelId(0),
+            blk,
+            dims,
+            prog.clone(),
+            params.clone(),
+            fp,
+            0,
+            0,
+        ));
+    }
+    let mut memsys = MemorySystem::new(&cfg);
+    let mut global = vec![0u32; 4096];
+    let mut hook = NoFaults;
+    let mut dirty = 0u32;
+    let mut completions = Vec::with_capacity(4);
+
+    let advance = |sm: &mut Sm, now: &mut u64| {
+        let next = sm.next_ready_at();
+        *now = next.max(*now + 1);
+        next != u64::MAX
+    };
+
+    // Warm-up: size every scratch buffer (ready masks, coalesce buffers,
+    // cache metadata, completions).
+    let mut now = 0u64;
+    for _ in 0..256 {
+        sm.issue(
+            now,
+            &mut global,
+            &mut dirty,
+            &mut memsys,
+            &mut hook,
+            false,
+            &mut completions,
+        );
+        if !advance(&mut sm, &mut now) {
+            panic!("spin kernel retired during warm-up — lengthen the loop");
+        }
+    }
+
+    // Counted window: thousands of issue slots, zero allocations allowed.
+    let issued_before = sm.stats().instrs_issued;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..4096 {
+        sm.issue(
+            now,
+            &mut global,
+            &mut dirty,
+            &mut memsys,
+            &mut hook,
+            false,
+            &mut completions,
+        );
+        if !advance(&mut sm, &mut now) {
+            panic!("spin kernel retired inside the counted window — lengthen the loop");
+        }
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let issued = sm.stats().instrs_issued - issued_before;
+    (issued, allocs)
+}
+
+// One test, both policies: the counting allocator is process-global, so
+// two concurrently running tests would see each other's allocations.
+#[test]
+fn issue_path_is_allocation_free_under_both_policies() {
+    for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr] {
+        let (issued, allocs) = measure(policy);
+        assert!(
+            issued > 1000,
+            "{policy:?}: window must issue real work (got {issued})"
+        );
+        assert_eq!(
+            allocs, 0,
+            "{policy:?} issued {issued} instructions with {allocs} allocations"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-core validator: the event-queue core must be **bit-identical** to
+//! the stepping oracle ([`higpu_sim::config::CoreKind`]).
+//!
+//! Every registered workload runs once per core with per-instruction issue
+//! logging enabled; the two issue logs are then diffed record for record.
+//! On divergence the failure message pinpoints the first differing issue
+//! slot as (cycle, SM, warp) — the exact coordinates needed to replay the
+//! stepping oracle up to the bug. Execution traces (block/kernel timings,
+//! makespan) and aggregate statistics must match too: agreement on the
+//! issue trace with disagreement in, say, cache counters would mean the
+//! cores diverge somewhere the issue log cannot see.
+
+use higpu_bench::matrix::full_registry;
+use higpu_sim::config::{CoreKind, GpuConfig};
+use higpu_sim::gpu::Gpu;
+use higpu_sim::sm::IssueRecord;
+use higpu_sim::stats::SimStats;
+use higpu_sim::trace::ExecutionTrace;
+use higpu_workloads::session::SoloSession;
+use higpu_workloads::{Scale, WorkloadRegistry};
+
+/// One core's complete observable behaviour for a workload run.
+struct CoreRun {
+    issues: Vec<IssueRecord>,
+    trace: ExecutionTrace,
+    stats: SimStats,
+}
+
+fn run_on_core(reg: &WorkloadRegistry, name: &str, core: CoreKind) -> CoreRun {
+    let cfg = GpuConfig {
+        core,
+        ..GpuConfig::default()
+    };
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_issue_log(true);
+    let workload = reg
+        .build(name, Scale::Campaign)
+        .unwrap_or_else(|| panic!("workload '{name}' not in registry"));
+    {
+        let mut session = SoloSession::new(&mut gpu);
+        workload
+            .run(&mut session)
+            .unwrap_or_else(|e| panic!("workload '{name}' failed on {core:?}: {e:?}"));
+    }
+    CoreRun {
+        issues: gpu.drain_issue_log(),
+        trace: gpu.trace().clone(),
+        stats: gpu.stats(),
+    }
+}
+
+/// Diffs two issue logs and panics with the first-divergence coordinates.
+fn assert_logs_identical(name: &str, oracle: &[IssueRecord], event: &[IssueRecord]) {
+    let n = oracle.len().min(event.len());
+    for i in 0..n {
+        if oracle[i] != event[i] {
+            panic!(
+                "{name}: cores diverge at issue slot {i}: first divergence at \
+                 cycle {} sm {} warp {} — stepping issued {:?}, event issued {:?}",
+                oracle[i].cycle, oracle[i].sm, oracle[i].warp, oracle[i], event[i]
+            );
+        }
+    }
+    assert_eq!(
+        oracle.len(),
+        event.len(),
+        "{name}: logs agree for {n} records, then one core issued more \
+         (stepping {} vs event {}; first extra record: {:?})",
+        oracle.len(),
+        event.len(),
+        if oracle.len() > event.len() {
+            &oracle[n]
+        } else {
+            &event[n]
+        }
+    );
+}
+
+#[test]
+fn every_registry_workload_is_bit_identical_across_cores() {
+    let reg = full_registry();
+    let names: Vec<String> = reg.names().iter().map(|n| n.to_string()).collect();
+    assert!(
+        names.len() >= 17,
+        "registry shrank to {} workloads — the cross-core sweep lost coverage",
+        names.len()
+    );
+    for name in &names {
+        let oracle = run_on_core(&reg, name, CoreKind::Stepping);
+        let event = run_on_core(&reg, name, CoreKind::Event);
+        assert!(
+            !oracle.issues.is_empty(),
+            "{name}: stepping oracle issued nothing — the diff would be vacuous"
+        );
+        assert_logs_identical(name, &oracle.issues, &event.issues);
+        assert_eq!(
+            oracle.trace, event.trace,
+            "{name}: identical issue logs but diverging execution traces"
+        );
+        assert_eq!(
+            oracle.stats, event.stats,
+            "{name}: identical issue logs but diverging statistics"
+        );
+    }
+}
+
+#[test]
+fn issue_log_is_cycle_sm_ordered() {
+    // The diff above is only meaningful if the drained log has a canonical
+    // order; verify the (cycle, sm) sort contract on a real workload.
+    let reg = full_registry();
+    let run = run_on_core(&reg, "pathfinder", CoreKind::Event);
+    for w in run.issues.windows(2) {
+        assert!(
+            (w[0].cycle, w[0].sm) <= (w[1].cycle, w[1].sm),
+            "issue log out of order: {:?} before {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}

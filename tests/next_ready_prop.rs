@@ -1,0 +1,200 @@
+//! Property test for the event-queue core's O(1) wake-up cache: after
+//! every batch of mutations — block admissions, issue slots at jumping
+//! cycles, kernel discards, resets — an SM's incrementally maintained
+//! [`higpu_sim::sm::Sm::next_ready_at`] must equal the exhaustive scan
+//! over every resident warp.
+//!
+//! Driven by the offline `rand` compat shim (seeded, reproducible), so the
+//! property is enforced in tier-1 today; the in-crate `debug_assert!`
+//! checks the same invariant on every call in debug builds, this test
+//! keeps it checked in release CI too and exercises adversarial mutation
+//! orders the workloads never produce.
+
+use higpu_sim::block::{BlockDims, BlockState};
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::config::{GpuConfig, WarpSchedPolicy};
+use higpu_sim::fault::NoFaults;
+use higpu_sim::kernel::{BlockFootprint, Dim3, KernelId};
+use higpu_sim::mem::system::MemorySystem;
+use higpu_sim::program::Program;
+use higpu_sim::sm::Sm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A randomized kernel: a counted loop whose body mixes ALU, FMA, SFU,
+/// memory traffic, divergence and (for multi-warp blocks) barriers, so the
+/// wake-time mirror sees every latency class and the barrier sleep/wake
+/// transitions.
+fn random_kernel(rng: &mut StdRng, with_barrier: bool) -> Arc<Program> {
+    let mut b = KernelBuilder::new("prop");
+    let base = b.param(0);
+    let tid = b.special(higpu_sim::isa::SpecialReg::TidX);
+    let addr = b.addr_w(base, tid);
+    let iters = rng.gen_range(2..20u32);
+    let body_ops = rng.gen_range(1..6u32);
+    let barrier = with_barrier && rng.gen_range(0..2u32) == 1;
+    let divergent = rng.gen_range(0..2u32) == 1;
+    b.for_range(0u32, iters, 1u32, |b, i| {
+        for op in 0..body_ops {
+            match (op + iters) % 5 {
+                0 => {
+                    let v = b.ldg(addr, 0);
+                    b.stg(addr, 0, v);
+                }
+                1 => {
+                    let f = b.i2f(i);
+                    let _ = b.ffma(f, 1.5f32, 0.5f32);
+                }
+                2 => {
+                    let f = b.i2f(i);
+                    let _ = b.fsqrt(f);
+                }
+                3 => {
+                    let _ = b.iadd(i, 3u32);
+                }
+                _ => {
+                    let v = b.ldg(addr, 0);
+                    let _ = b.imul(v, 5u32);
+                }
+            }
+        }
+        if divergent {
+            let p = b.isetp(higpu_sim::isa::CmpOp::Lt, tid, 16u32);
+            b.if_(p, |b| {
+                let one = b.mov(1u32);
+                let _ = b.atom_add(base, 0, one);
+            });
+        }
+        if barrier {
+            b.bar();
+        }
+    });
+    b.build().expect("valid").into_shared()
+}
+
+fn check(sm: &Sm, seed: u64, step: &str) {
+    assert_eq!(
+        sm.next_ready_at(),
+        sm.debug_exhaustive_next_ready(),
+        "incremental next_ready_at diverged from the exhaustive warp scan \
+         after {step} (case seed {seed:#x})"
+    );
+}
+
+#[test]
+fn incremental_next_ready_matches_exhaustive_scan_after_every_mutation_batch() {
+    let mut seeder = StdRng::seed_from_u64(0x0EA7_01D5);
+    for _case in 0..60 {
+        let seed = seeder.gen_range(0..u64::MAX);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = if rng.gen_range(0..2u32) == 0 {
+            WarpSchedPolicy::Gto
+        } else {
+            WarpSchedPolicy::Lrr
+        };
+        let cfg = GpuConfig {
+            warp_scheduler: policy,
+            ..GpuConfig::tiny_2sm()
+        };
+        let mut sm = Sm::new(0, &cfg);
+        let mut memsys = MemorySystem::new(&cfg);
+        let mut global = vec![0u32; 8192];
+        let mut hook = NoFaults;
+        let mut dirty = 0u32;
+        let mut completions = Vec::new();
+        let params: Arc<[u32]> = Arc::from(vec![0u32].into_boxed_slice());
+        let mut now = 0u64;
+        let mut next_kernel = 0u64;
+
+        for _batch in 0..40 {
+            match rng.gen_range(0..10u32) {
+                // Admit a fresh block of a random kernel (if it fits).
+                0 | 1 => {
+                    let threads = 32 * rng.gen_range(1..3u32);
+                    let warps = threads / 32;
+                    let prog = random_kernel(&mut rng, warps > 1);
+                    let fp = BlockFootprint {
+                        threads,
+                        warps,
+                        registers: threads * prog.regs_per_thread() as u32,
+                        shared_mem: 0,
+                    };
+                    if sm.fits(&fp) {
+                        let ready_at = now + rng.gen_range(0..8u64);
+                        let dims = BlockDims {
+                            ctaid: (0, 0, 0),
+                            ntid: Dim3::x(threads),
+                            nctaid: Dim3::x(1),
+                        };
+                        let mut block = BlockState::new(
+                            KernelId(next_kernel),
+                            0,
+                            dims,
+                            prog,
+                            params.clone(),
+                            fp,
+                            now,
+                            now,
+                        );
+                        // Stagger the warps' first wake-ups.
+                        for w in &mut block.warps {
+                            w.ready_at = ready_at + rng.gen_range(0..4u64);
+                        }
+                        sm.admit(block);
+                        next_kernel += 1;
+                    }
+                }
+                // Discard one kernel's blocks (watchdog / quarantine path).
+                2 => {
+                    if next_kernel > 0 {
+                        let victim = KernelId(rng.gen_range(0..next_kernel));
+                        sm.discard_blocks_of(&[victim]);
+                    }
+                }
+                // Watchdog abort: discard everything, then reset (rare).
+                3 => {
+                    if rng.gen_range(0..8u32) == 0 {
+                        sm.discard_blocks();
+                        sm.reset();
+                        now = 0;
+                    }
+                }
+                // Issue slots at (possibly jumping) cycles — the common case.
+                _ => {
+                    for _ in 0..rng.gen_range(1..30u32) {
+                        sm.issue(
+                            now,
+                            &mut global,
+                            &mut dirty,
+                            &mut memsys,
+                            &mut hook,
+                            false,
+                            &mut completions,
+                        );
+                        now += rng.gen_range(1..5u64);
+                    }
+                }
+            }
+            check(&sm, seed, "mutation batch");
+        }
+
+        // Drain: run the SM to completion; the cache must stay exact all
+        // the way down to the idle fixpoint.
+        while sm.next_ready_at() != u64::MAX {
+            now = now.max(sm.next_ready_at());
+            sm.issue(
+                now,
+                &mut global,
+                &mut dirty,
+                &mut memsys,
+                &mut hook,
+                false,
+                &mut completions,
+            );
+            now += 1;
+            check(&sm, seed, "drain step");
+        }
+        assert!(sm.is_idle(), "idle fixpoint must mean no resident blocks");
+    }
+}
