@@ -17,12 +17,19 @@
 //! the stepping and event-queue cores next to the seed-commit baseline —
 //! the before/after record for core-loop performance work.
 //!
+//! The `checkpointing` section records checkpointed-campaign throughput
+//! (one reference pass with periodic device snapshots, then suffix-only
+//! replay per trial) against from-zero execution, under both the uniform
+//! campaign arm draw and a late-window distribution — with every trial's
+//! outcome asserted bit-identical between the two engines.
+//!
 //! ```text
 //! bench_json [--trials N] [--seed S] [--workers 1,2,4,8]
-//!            [--matrix-trials N] [--no-matrix] [--core-runs N] [--out PATH]
+//!            [--matrix-trials N] [--no-matrix] [--core-runs N]
+//!            [--checkpoint-trials N] [--out PATH]
 //! ```
 
-use higpu_bench::campaign_perf::{measure, ThroughputConfig};
+use higpu_bench::campaign_perf::{measure, measure_checkpointing, ThroughputConfig};
 use higpu_bench::core_mips::measure_core_mips;
 use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
 use higpu_pipeline::full_pipeline_registry;
@@ -33,6 +40,7 @@ fn parse_args(
     matrix_trials: &mut Option<u32>,
     no_matrix: &mut bool,
     core_runs: &mut u32,
+    checkpoint_trials: &mut u32,
     out: &mut String,
 ) -> Result<(), String> {
     let mut args = std::env::args().skip(1);
@@ -75,6 +83,11 @@ fn parse_args(
                     .parse()
                     .map_err(|e| format!("--core-runs: {e}"))?;
             }
+            "--checkpoint-trials" => {
+                *checkpoint_trials = value("--checkpoint-trials")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-trials: {e}"))?;
+            }
             "--out" => *out = value("--out")?,
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -87,12 +100,14 @@ fn main() -> ExitCode {
     let mut matrix_trials: Option<u32> = None;
     let mut no_matrix = false;
     let mut core_runs = 60u32;
+    let mut checkpoint_trials = 120u32;
     let mut out = "BENCH_campaign.json".to_string();
     if let Err(e) = parse_args(
         &mut cfg,
         &mut matrix_trials,
         &mut no_matrix,
         &mut core_runs,
+        &mut checkpoint_trials,
         &mut out,
     ) {
         eprintln!("bench_json: {e}");
@@ -126,9 +141,29 @@ fn main() -> ExitCode {
     };
     print!("{}", result.to_table());
     // Core-loop throughput: the before/after record for the event-queue
-    // rework, printed and persisted next to the engine throughput.
-    let core = measure_core_mips(&full_registry(), core_runs, 3);
+    // rework, printed and persisted next to the engine throughput. Runs
+    // are interleaved core-by-core and the quietest of 7 paired windows is
+    // reported — the cores differ by single-digit percents on dense
+    // workloads, which host-load drift would otherwise swamp.
+    let core = measure_core_mips(&full_registry(), core_runs, 7);
     print!("{}", core.to_table());
+    let regressions = core.event_regressions();
+    if !regressions.is_empty() {
+        eprintln!(
+            "bench_json: WARNING: default (event) core slower than stepping on {}",
+            regressions.join(", ")
+        );
+    }
+    // Checkpointed-campaign throughput: suffix-only replay vs from-zero,
+    // with per-trial outcomes asserted identical inside the measurement.
+    let checkpointing = match measure_checkpointing(checkpoint_trials, cfg.seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_json: checkpointing sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", checkpointing.to_table());
     let matrix = match matrix_cfg {
         Some(mc) => match run_matrix(&full_registry(), &mc) {
             Ok(m) => Some(m),
@@ -168,11 +203,16 @@ fn main() -> ExitCode {
         }
     }
     let core_json = core.to_json();
+    let ck_json = checkpointing.to_json();
     let json = match &matrix {
-        Some(m) => {
-            result.to_json_with_extra(&[("core_mips", &core_json), ("matrix", &m.to_json())])
+        Some(m) => result.to_json_with_extra(&[
+            ("core_mips", &core_json),
+            ("checkpointing", &ck_json),
+            ("matrix", &m.to_json()),
+        ]),
+        None => {
+            result.to_json_with_extra(&[("core_mips", &core_json), ("checkpointing", &ck_json)])
         }
-        None => result.to_json_with_extra(&[("core_mips", &core_json)]),
     };
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_json: cannot write {out}: {e}");

@@ -12,7 +12,7 @@
 //!                 [--frames N] [--limp-trials N]
 //!                 [--wide-replicas 5] [--wide-trials N]
 //!                 [--core event|stepping|stepping,event]
-//!                 [--assert-srrs-clean]
+//!                 [--checkpoint] [--assert-srrs-clean]
 //!                 [--full-scale] [--check-serial] [--csv] [--json PATH]
 //! ```
 //!
@@ -20,6 +20,13 @@
 //! the whole sweep once per core and asserts the results bit-identical —
 //! the stepping-vs-event determinism cross-check over every campaign cell
 //! (the printed matrix comes from the first core named).
+//!
+//! `--checkpoint` runs the workload campaign cells checkpointed (one
+//! fault-free reference pass with periodic device snapshots per cell, then
+//! suffix-only replay per trial), then re-runs the whole sweep from zero
+//! and asserts the two results bit-identical — the checkpointing
+//! determinism cross-check. Pipeline and limp-home cells always run from
+//! zero.
 //!
 //! `--assert-srrs-clean` exits non-zero unless every SRRS cell — at every
 //! swept replica count, on the paper device and the wide one — reports zero
@@ -39,6 +46,7 @@ use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
 use higpu_bench::table;
 use higpu_core::policy::PolicyKind;
 use higpu_faults::campaign::FaultSpec;
+use higpu_faults::checkpoint::CheckpointConfig;
 use higpu_pipeline::ExecMode;
 use higpu_sim::config::CoreKind;
 use higpu_workloads::Scale;
@@ -201,6 +209,7 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--core: expected at least one core".to_string());
                 }
             }
+            "--checkpoint" => opts.cfg.checkpoint = Some(CheckpointConfig::default()),
             "--assert-srrs-clean" => opts.assert_srrs_clean = true,
             "--full-scale" => opts.cfg.scale = Scale::Full,
             "--check-serial" => opts.cfg.check_serial = true,
@@ -271,6 +280,34 @@ fn main() -> ExitCode {
             m.pipeline_reports.len(),
             m.wide_reports.len(),
             m.limp_reports.len()
+        );
+    }
+    // Checkpointing cross-check: the suffix-replay engine must be
+    // observationally invisible — re-run the whole sweep from zero and
+    // require the same result bit-for-bit.
+    if opts.cfg.checkpoint.is_some() {
+        let mut from_zero = opts.cfg.clone();
+        from_zero.checkpoint = None;
+        let other = match run_matrix(&reg, &from_zero) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("campaign_matrix: from-zero cross sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if other != m {
+            eprintln!(
+                "campaign_matrix: checkpointed sweep diverged from from-zero execution — \
+                 the suffix-replay determinism contract is broken (run the faults crate's \
+                 checkpoint fences for the first-divergence site)"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "campaign_matrix: checkpointed sweep reproduced from-zero execution bit-for-bit \
+             ({} workload cells, {} wide cells)",
+            m.reports.len(),
+            m.wide_reports.len()
         );
     }
     let t = m.to_table();

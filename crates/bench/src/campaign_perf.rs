@@ -7,10 +7,13 @@
 
 use higpu_core::redundancy::{RedundancyError, RedundancyMode};
 use higpu_faults::campaign::{
-    run_campaign_serial, run_campaign_with_perf, CampaignConfig, CampaignPerf, CampaignReport,
-    FaultSpec,
+    draw_models, ftti_deadline, run_campaign_serial, run_campaign_with_perf, CampaignConfig,
+    CampaignPerf, CampaignReport, CampaignRunner, FaultSpec, TrialOutcome,
 };
-use higpu_faults::workload::{IteratedFma, RedundantWorkload};
+use higpu_faults::checkpoint::{record_reference, CheckpointConfig, ReferenceRun};
+use higpu_faults::model::FaultModel;
+use higpu_faults::workload::{CampaignWorkload, IteratedFma, RedundantWorkload};
+use higpu_workloads::Scale;
 use std::time::Instant;
 
 /// Parameters of one throughput measurement.
@@ -234,6 +237,257 @@ pub fn measure(cfg: &ThroughputConfig) -> Result<ThroughputResult, RedundancyErr
     })
 }
 
+/// One (workload, arm-cycle distribution) checkpointing measurement: the
+/// same trials run from zero and checkpointed, outcomes asserted equal
+/// trial by trial.
+#[derive(Debug, Clone)]
+pub struct CheckpointSample {
+    /// Workload name.
+    pub workload: String,
+    /// Arm-cycle distribution label (`uniform` is the campaign engines'
+    /// draw; `late-window` arms every fault in the last 1/16 of the run —
+    /// the distribution suffix replay exists for).
+    pub distribution: &'static str,
+    /// Reference segments recorded for this workload.
+    pub reference_segments: usize,
+    /// Approximate checkpoint-store footprint in bytes.
+    pub reference_bytes: usize,
+    /// From-zero trials per wall-clock second.
+    pub from_zero_trials_per_sec: f64,
+    /// Checkpointed trials per wall-clock second, *including* the one-off
+    /// reference recording pass.
+    pub checkpointed_trials_per_sec: f64,
+    /// `checkpointed / from-zero` throughput ratio.
+    pub speedup: f64,
+}
+
+/// The checkpointed-campaign throughput sweep recorded under the
+/// `checkpointing` key of `BENCH_campaign.json`.
+#[derive(Debug, Clone)]
+pub struct CheckpointingResult {
+    /// Trials per sample.
+    pub trials: u32,
+    /// Snapshot stride in cycles.
+    pub stride: u64,
+    /// One sample per (workload, distribution).
+    pub samples: Vec<CheckpointSample>,
+}
+
+impl CheckpointingResult {
+    /// The largest measured speedup across samples.
+    pub fn best_speedup(&self) -> f64 {
+        self.samples.iter().map(|s| s.speedup).fold(0.0, f64::max)
+    }
+
+    /// Renders the JSON value for the `checkpointing` section.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"workload\": \"{}\", \"distribution\": \"{}\", \
+                     \"reference_segments\": {}, \"reference_bytes\": {}, \
+                     \"from_zero_trials_per_sec\": {:.2}, \
+                     \"checkpointed_trials_per_sec\": {:.2}, \"speedup\": {:.2}}}",
+                    s.workload,
+                    s.distribution,
+                    s.reference_segments,
+                    s.reference_bytes,
+                    s.from_zero_trials_per_sec,
+                    s.checkpointed_trials_per_sec,
+                    s.speedup,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"trials\": {}, \"stride\": {}, \"best_speedup\": {:.2}, \
+             \"samples\": [\n    {}\n  ]}}",
+            self.trials,
+            self.stride,
+            self.best_speedup(),
+            rows.join(",\n    ")
+        )
+    }
+
+    /// Renders the human-readable speedup table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "checkpointed campaigns ({} trials, stride {}): workload/distribution  \
+             from-zero -> checkpointed trials/s (speedup)\n",
+            self.trials, self.stride
+        ));
+        for s in &self.samples {
+            out.push_str(&format!(
+                "  {:>14}/{:11}: {:8.2} -> {:8.2} ({:.2}x, {} segments, {} KiB)\n",
+                s.workload,
+                s.distribution,
+                s.from_zero_trials_per_sec,
+                s.checkpointed_trials_per_sec,
+                s.speedup,
+                s.reference_segments,
+                s.reference_bytes / 1024,
+            ));
+        }
+        out
+    }
+}
+
+/// Arm-cycle distribution of a checkpointing sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArmDistribution {
+    /// The campaign engines' own uniform-in-window draw.
+    Uniform,
+    /// Every fault arms in the last 1/16 of the fault-free run.
+    LateWindow,
+}
+
+impl ArmDistribution {
+    fn label(self) -> &'static str {
+        match self {
+            Self::Uniform => "uniform",
+            Self::LateWindow => "late-window",
+        }
+    }
+
+    fn models(self, campaign: &CampaignConfig, window_end: u64) -> Vec<FaultModel> {
+        match self {
+            Self::Uniform => {
+                draw_models(campaign, FaultSpec::Transient { duration: 400 }, window_end)
+            }
+            Self::LateWindow => {
+                let lo = window_end.saturating_sub(window_end / 16).max(1);
+                (0..campaign.trials)
+                    .map(|i| FaultModel::TransientSm {
+                        sm: i as usize % campaign.gpu.num_sms,
+                        start: lo + u64::from(i) % (window_end.saturating_sub(lo)).max(1),
+                        duration: 400,
+                        bit: (i % 32) as u8,
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Runs `models` through one reusable runner; checkpointed iff `reference`
+/// is given. Returns per-trial outcomes and wall-clock seconds.
+fn time_trials(
+    campaign: &CampaignConfig,
+    mode: &RedundancyMode,
+    workload: &dyn RedundantWorkload,
+    models: &[FaultModel],
+    deadline: Option<u64>,
+    reference: Option<&ReferenceRun>,
+) -> Result<(Vec<TrialOutcome>, f64), RedundancyError> {
+    let mut runner = CampaignRunner::new(campaign);
+    let t0 = Instant::now();
+    let mut outcomes = Vec::with_capacity(models.len());
+    for &model in models {
+        outcomes.push(match reference {
+            Some(r) => runner.run_trial_checkpointed(mode, workload, model, deadline, r)?,
+            None => runner.run_trial_with_deadline(mode, workload, model, deadline)?,
+        });
+    }
+    Ok((outcomes, t0.elapsed().as_secs_f64()))
+}
+
+fn measure_checkpoint_sample(
+    campaign: &CampaignConfig,
+    mode: &RedundancyMode,
+    workload: &dyn RedundantWorkload,
+    distribution: ArmDistribution,
+    stride: u64,
+) -> Result<CheckpointSample, RedundancyError> {
+    // Record once outside the timed regions to derive the window; the
+    // checkpointed timing below re-records so the one-off reference cost is
+    // charged to the checkpointed engine, not hidden.
+    let window_end = record_reference(campaign, mode, workload, stride)?.makespan();
+    let deadline = Some(ftti_deadline(window_end, workload.ftti_multiplier()));
+    let models = distribution.models(campaign, window_end);
+
+    let (from_zero, zero_secs) = time_trials(campaign, mode, workload, &models, deadline, None)?;
+    let t0 = Instant::now();
+    let reference = record_reference(campaign, mode, workload, stride)?;
+    let (checkpointed, _) = time_trials(
+        campaign,
+        mode,
+        workload,
+        &models,
+        deadline,
+        Some(&reference),
+    )?;
+    let ck_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        from_zero,
+        checkpointed,
+        "checkpointed outcomes diverged from from-zero on {} ({})",
+        workload.name(),
+        distribution.label()
+    );
+
+    let trials = models.len() as f64;
+    Ok(CheckpointSample {
+        workload: workload.name().to_string(),
+        distribution: distribution.label(),
+        reference_segments: reference.segments(),
+        reference_bytes: reference.approx_bytes(),
+        from_zero_trials_per_sec: trials / zero_secs,
+        checkpointed_trials_per_sec: trials / ck_secs,
+        speedup: zero_secs / ck_secs,
+    })
+}
+
+/// Measures checkpointed-campaign throughput against from-zero execution on
+/// the benchmark workload and a long Rodinia workload (`srad`), each under
+/// the uniform campaign draw and a late-window arm distribution. Every
+/// sample asserts the two engines' per-trial outcomes identical.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+///
+/// # Panics
+///
+/// Panics if any checkpointed trial's outcome differs from its from-zero
+/// twin — that would be a determinism bug, not a measurement.
+pub fn measure_checkpointing(
+    trials: u32,
+    seed: u64,
+) -> Result<CheckpointingResult, RedundancyError> {
+    let stride = CheckpointConfig::default().stride;
+    let mode = RedundancyMode::srrs_default(6);
+    let campaign = CampaignConfig {
+        trials,
+        seed,
+        ..CampaignConfig::default()
+    };
+    let registry = crate::matrix::full_registry();
+    let fma = bench_workload();
+    let srad = CampaignWorkload::from_registry(&registry, "srad", Scale::Campaign)
+        .expect("srad registered");
+    let workloads: [&dyn RedundantWorkload; 2] = [&fma, &srad];
+
+    let mut samples = Vec::new();
+    for workload in workloads {
+        for distribution in [ArmDistribution::Uniform, ArmDistribution::LateWindow] {
+            samples.push(measure_checkpoint_sample(
+                &campaign,
+                &mode,
+                workload,
+                distribution,
+                stride,
+            )?);
+        }
+    }
+    Ok(CheckpointingResult {
+        trials,
+        stride,
+        samples,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +507,21 @@ mod tests {
         assert!(json.contains("\"trials\": 4"));
         assert!(r.to_table().contains("trials/s"));
         assert!(r.best().workers >= 1);
+    }
+
+    #[test]
+    fn checkpointing_sweep_runs_and_renders() {
+        let r = measure_checkpointing(3, 0xC0FFEE).expect("checkpointing sweep");
+        assert_eq!(r.samples.len(), 4, "2 workloads x 2 distributions");
+        for s in &r.samples {
+            assert!(s.reference_segments > 0 && s.reference_bytes > 0);
+            assert!(s.from_zero_trials_per_sec > 0.0);
+            assert!(s.checkpointed_trials_per_sec > 0.0);
+        }
+        assert!(r.best_speedup() > 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"distribution\": \"late-window\""));
+        assert!(json.contains("\"workload\": \"srad\""));
+        assert!(r.to_table().contains("checkpointed campaigns"));
     }
 }

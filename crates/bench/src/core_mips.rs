@@ -56,63 +56,113 @@ pub struct CoreMipsResult {
     pub samples: Vec<CoreMipsSample>,
 }
 
-/// Times `runs` back-to-back solo runs of `name` on `core` and returns
-/// `(instructions per run, best-of-`repeats` sim-MIPS)`. Best-of damps
-/// scheduler noise on busy hosts; the instruction count is exact and
-/// identical across cores (the bit-identical contract).
-fn measure_one(
-    reg: &WorkloadRegistry,
-    name: &str,
-    core: CoreKind,
-    runs: u32,
-    repeats: u32,
-) -> (u64, f64) {
-    let cfg = GpuConfig {
-        core,
-        ..GpuConfig::default()
-    };
-    let mut gpu = Gpu::new(cfg);
-    let workload = reg
-        .build(name, Scale::Campaign)
-        .unwrap_or_else(|| panic!("workload '{name}' not in registry"));
-    // Warm run: faults caches and yields the per-run instruction count.
-    {
-        let mut s = SoloSession::new(&mut gpu);
-        workload.run(&mut s).expect("warm run");
-    }
-    let instrs_per_run: u64 = gpu.stats().per_sm.iter().map(|s| s.instrs_issued).sum();
-    let mut best = 0.0f64;
-    for _ in 0..repeats.max(1) {
-        let t0 = Instant::now();
-        for _ in 0..runs {
-            gpu.reset().expect("device idle between runs");
-            let mut s = SoloSession::new(&mut gpu);
-            workload.run(&mut s).expect("timed run");
-        }
-        let secs = t0.elapsed().as_secs_f64();
-        best = best.max((instrs_per_run * u64::from(runs)) as f64 / secs / 1e6);
-    }
-    (instrs_per_run, best)
+/// One prepared (device, workload) timing rig.
+struct Rig {
+    gpu: Gpu,
+    workload: Box<dyn higpu_workloads::Workload>,
+    instrs_per_run: u64,
 }
 
-/// Measures the standard tracked workloads (the [`SEED_BASELINE_MIPS`]
-/// set) on both cores.
+impl Rig {
+    fn new(reg: &WorkloadRegistry, name: &str, core: CoreKind) -> Self {
+        let cfg = GpuConfig {
+            core,
+            ..GpuConfig::default()
+        };
+        let mut gpu = Gpu::new(cfg);
+        let workload = reg
+            .build(name, Scale::Campaign)
+            .unwrap_or_else(|| panic!("workload '{name}' not in registry"));
+        // Warm run: faults caches and yields the per-run instruction count.
+        {
+            let mut s = SoloSession::new(&mut gpu);
+            workload.run(&mut s).expect("warm run");
+        }
+        let instrs_per_run: u64 = gpu.stats().per_sm.iter().map(|s| s.instrs_issued).sum();
+        Self {
+            gpu,
+            workload,
+            instrs_per_run,
+        }
+    }
+
+    /// Times one solo run (reset + run) and returns its wall-clock seconds.
+    fn time_one_run(&mut self) -> f64 {
+        let t0 = Instant::now();
+        self.gpu.reset().expect("device idle between runs");
+        let mut s = SoloSession::new(&mut self.gpu);
+        self.workload.run(&mut s).expect("timed run");
+        t0.elapsed().as_secs_f64()
+    }
+}
+
+/// Measures `name` on both cores: `(instructions per run, stepping
+/// sim-MIPS, event sim-MIPS)`. The cores are interleaved at *run*
+/// granularity in ABBA order — stepping/event, event/stepping, … — so
+/// both accumulate time over adjacent millisecond slices of the same
+/// host-load window *and* neither core systematically inherits the
+/// other's cache wake (running second in a pair measurably flatters a
+/// core; strict alternation bakes that bias in, ABBA cancels it along
+/// with linear drift). A load burst then taxes both accumulators almost
+/// equally and cancels out of the ratio, where repeat-level interleaving
+/// still let a burst land entirely inside one core's timing window and
+/// flip the comparison. Of the `repeats` paired windows, the quietest
+/// (minimum total wall time) is reported — both cores from the *same*
+/// window, so best-of never un-pairs the numbers by crediting each core
+/// its own lucky repeat. The instruction count is exact and identical
+/// across cores (the bit-identical contract).
+fn measure_pair(reg: &WorkloadRegistry, name: &str, runs: u32, repeats: u32) -> (u64, f64, f64) {
+    let mut stepping = Rig::new(reg, name, CoreKind::Stepping);
+    let mut event = Rig::new(reg, name, CoreKind::Event);
+    assert_eq!(
+        stepping.instrs_per_run, event.instrs_per_run,
+        "{name}: cores disagree on instructions per run — bit-identity broken"
+    );
+    let instrs = (stepping.instrs_per_run * u64::from(runs)) as f64;
+    let mut best = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..repeats.max(1) {
+        let mut secs_stepping = 0.0f64;
+        let mut secs_event = 0.0f64;
+        for run in 0..runs {
+            if run % 2 == 0 {
+                secs_stepping += stepping.time_one_run();
+                secs_event += event.time_one_run();
+            } else {
+                secs_event += event.time_one_run();
+                secs_stepping += stepping.time_one_run();
+            }
+        }
+        let total = secs_stepping + secs_event;
+        if total < best.0 {
+            best = (total, secs_stepping, secs_event);
+        }
+    }
+    (
+        stepping.instrs_per_run,
+        instrs / best.1 / 1e6,
+        instrs / best.2 / 1e6,
+    )
+}
+
+/// Measures every registered workload on both cores. Workloads in the
+/// [`SEED_BASELINE_MIPS`] set additionally carry their seed-commit
+/// baseline; the rest entered the registry after the seed and have none.
 pub fn measure_core_mips(reg: &WorkloadRegistry, runs: u32, repeats: u32) -> CoreMipsResult {
-    let samples = SEED_BASELINE_MIPS
+    let samples = reg
+        .names()
         .iter()
-        .map(|&(name, seed_mips)| {
-            let (instrs, stepping) = measure_one(reg, name, CoreKind::Stepping, runs, repeats);
-            let (instrs_e, event) = measure_one(reg, name, CoreKind::Event, runs, repeats);
-            assert_eq!(
-                instrs, instrs_e,
-                "{name}: cores disagree on instructions per run — bit-identity broken"
-            );
+        .map(|&name| {
+            let seed_mips = SEED_BASELINE_MIPS
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, v)| v);
+            let (instrs, stepping, event) = measure_pair(reg, name, runs, repeats);
             CoreMipsSample {
                 workload: name.to_string(),
                 instrs_per_run: instrs,
                 stepping_mips: stepping,
                 event_mips: event,
-                seed_mips: Some(seed_mips),
+                seed_mips,
             }
         })
         .collect();
@@ -124,6 +174,18 @@ pub fn measure_core_mips(reg: &WorkloadRegistry, runs: u32, repeats: u32) -> Cor
 }
 
 impl CoreMipsResult {
+    /// Workloads where the default (event) core measured slower than the
+    /// stepping oracle — the short-kernel regression the adaptive flat/wheel
+    /// dispatch exists to prevent. Timing-noise tolerant callers should
+    /// treat a persistent non-empty result as a core-selection bug.
+    pub fn event_regressions(&self) -> Vec<&str> {
+        self.samples
+            .iter()
+            .filter(|s| s.event_mips < s.stepping_mips)
+            .map(|s| s.workload.as_str())
+            .collect()
+    }
+
     /// Renders the JSON value for the `core_mips` section.
     pub fn to_json(&self) -> String {
         let rows: Vec<String> = self
@@ -186,14 +248,28 @@ mod tests {
     fn sweep_measures_and_renders() {
         let reg = full_registry();
         let r = measure_core_mips(&reg, 2, 1);
-        assert_eq!(r.samples.len(), SEED_BASELINE_MIPS.len());
+        assert_eq!(
+            r.samples.len(),
+            reg.len(),
+            "one sample per registry workload"
+        );
+        let mut baselines = 0;
         for s in &r.samples {
             assert!(s.instrs_per_run > 0, "{}: no instructions", s.workload);
             assert!(s.stepping_mips > 0.0 && s.event_mips > 0.0);
-            assert!(s.speedup_vs_seed().expect("baseline recorded") > 0.0);
+            if let Some(speedup) = s.speedup_vs_seed() {
+                assert!(speedup > 0.0);
+                baselines += 1;
+            }
         }
+        assert_eq!(
+            baselines,
+            SEED_BASELINE_MIPS.len(),
+            "every baseline measured"
+        );
         let json = r.to_json();
         assert!(json.contains("\"workload\": \"pathfinder\""));
+        assert!(json.contains("\"workload\": \"srad\""));
         assert!(json.contains("event_speedup_vs_seed"));
         assert!(r.to_table().contains("sim-MIPS"));
     }

@@ -12,6 +12,7 @@ use higpu_faults::campaign::{
     run_campaign_selected, run_campaign_selected_serial, CampaignConfig, CampaignError,
     CampaignReport, CampaignSpec, FaultSpec,
 };
+use higpu_faults::checkpoint::CheckpointConfig;
 use higpu_pipeline::campaign::{
     run_pipeline_campaign, run_pipeline_campaign_serial, PipelineCampaignError,
     PipelineCampaignReport, PipelineCampaignSpec,
@@ -97,6 +98,14 @@ pub struct MatrixConfig {
     /// per core and diffing the reports is the whole-artifact determinism
     /// cross-check (`campaign_matrix --core stepping,event`).
     pub core: CoreKind,
+    /// Checkpointed suffix-only replay for the workload campaign cells
+    /// (standard and wide device; see `higpu_faults::checkpoint`). Like
+    /// `core` and `workers`, this must not change any report — sweeping
+    /// the matrix with and without and diffing is the checkpointing
+    /// determinism cross-check (`campaign_matrix --checkpoint`). Pipeline
+    /// and limp-home cells always run from zero (their engines drive
+    /// multi-frame missions, not single redundant computations).
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for MatrixConfig {
@@ -119,6 +128,7 @@ impl Default for MatrixConfig {
             limp_frames: 4,
             limp_trials: None,
             core: CoreKind::default(),
+            checkpoint: None,
         }
     }
 }
@@ -945,6 +955,7 @@ pub fn run_matrix(
         trials: cfg.trials,
         seed: cfg.seed,
         workers: cfg.workers,
+        checkpoint: cfg.checkpoint,
         ..CampaignConfig::default()
     };
     campaign.gpu.core = cfg.core;
@@ -988,6 +999,9 @@ pub fn run_matrix(
         let preg = full_pipeline_registry();
         let campaign = CampaignConfig {
             trials: cfg.pipeline_trials.unwrap_or(cfg.trials),
+            // Pipeline campaigns drive multi-frame missions through their
+            // own engine; suffix replay applies to workload cells only.
+            checkpoint: None,
             ..campaign
         };
         for name in &cfg.pipelines {
@@ -1039,6 +1053,7 @@ pub fn run_matrix(
             seed: cfg.seed,
             gpu: wide_gpu(),
             workers: cfg.workers,
+            checkpoint: cfg.checkpoint,
         };
         wide.gpu.core = cfg.core;
         for name in &names {
@@ -1086,6 +1101,7 @@ pub fn run_matrix(
             seed: cfg.seed,
             gpu: wide_gpu(),
             workers: cfg.workers,
+            checkpoint: None,
         };
         limp.gpu.core = cfg.core;
         for name in &cfg.pipelines {

@@ -102,6 +102,7 @@ pub fn scheduler_bist(
         checked: 0,
         mismatches: Vec::new(),
     };
+    drop(exec);
     let trace = gpu.trace();
     // The BIST launch is the most recent redundancy group in the trace.
     let group = trace

@@ -59,6 +59,7 @@
 //! let out = exec.read_compare_u32(&data, 64)?.into_match().expect("agree");
 //! assert_eq!(out[7], 49);
 //!
+//! drop(exec);
 //! let report = higpu_core::diversity::analyze(
 //!     gpu.trace(),
 //!     higpu_core::diversity::DiversityRequirements::default(),

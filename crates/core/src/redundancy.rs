@@ -29,6 +29,33 @@ use higpu_sim::kernel::{Dim3, KernelId, KernelLaunch, LaunchConfig, SmPartition}
 use higpu_sim::program::Program;
 use std::sync::Arc;
 
+/// Host-side interception point for [`RedundantExecutor::sync`].
+///
+/// The executor numbers its sync points (`segment` starts at 0 and
+/// increments per call) and hands the hook exclusive device access; the
+/// hook decides *how* the segment reaches its synchronization — running it
+/// to idle, pausing at checkpoints along the way, or skipping it entirely
+/// by restoring a previously recorded [`higpu_sim::gpu::DeviceSnapshot`].
+/// Returns the device cycle at which the segment is considered
+/// synchronized, exactly as [`higpu_sim::gpu::Gpu::run_to_idle`] would.
+///
+/// This is the seam the fault-campaign checkpointing machinery plugs into:
+/// a recorder hook snapshots the fault-free reference pass at a fixed
+/// stride, and a replayer hook fast-forwards each trial to the snapshot
+/// nearest before its fault arm cycle, simulating only the corrupted
+/// suffix.
+pub trait SyncHook {
+    /// Called in place of `run_to_idle` at sync point `segment`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors ([`SimError::Stalled`],
+    /// [`SimError::DeadlineExceeded`]) exactly as a plain
+    /// `run_to_idle` would, so callers classify failures identically
+    /// whether or not a hook is installed.
+    fn on_sync(&mut self, gpu: &mut Gpu, segment: usize) -> Result<u64, SimError>;
+}
+
 /// Worst-case duration, in cycles, of a transient common-cause fault (a
 /// voltage droop striking every SM at once) assumed by the droop-aware
 /// start skew. The campaign fault families inject droops up to this long;
@@ -327,7 +354,6 @@ impl<T> Comparison<T> {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct RedundantExecutor<'g> {
     gpu: &'g mut Gpu,
     mode: RedundancyMode,
@@ -338,6 +364,23 @@ pub struct RedundantExecutor<'g> {
     /// (steady-state launches materialize replica parameters in place
     /// instead of allocating a fresh vector per replica).
     param_scratch: Vec<u32>,
+    /// Optional interception of [`RedundantExecutor::sync`]; see [`SyncHook`].
+    sync_hook: Option<Box<dyn SyncHook + 'g>>,
+    /// Zero-based index of the next sync point, fed to the hook.
+    segment: usize,
+}
+
+impl std::fmt::Debug for RedundantExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RedundantExecutor")
+            .field("mode", &self.mode)
+            .field("replicas", &self.replicas)
+            .field("next_group", &self.next_group)
+            .field("launches", &self.launches)
+            .field("segment", &self.segment)
+            .field("sync_hook", &self.sync_hook.as_ref().map(|_| "installed"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'g> RedundantExecutor<'g> {
@@ -397,7 +440,17 @@ impl<'g> RedundantExecutor<'g> {
             next_group,
             launches: Vec::new(),
             param_scratch: Vec::new(),
+            sync_hook: None,
+            segment: 0,
         })
+    }
+
+    /// Installs a [`SyncHook`] that intercepts every subsequent
+    /// [`RedundantExecutor::sync`]. Replaces any previously installed hook;
+    /// the segment counter keeps running (sync points are numbered per
+    /// executor, not per hook).
+    pub fn set_sync_hook(&mut self, hook: Box<dyn SyncHook + 'g>) {
+        self.sync_hook = Some(hook);
     }
 
     /// The executing GPU (e.g. for trace inspection).
@@ -597,11 +650,20 @@ impl<'g> RedundantExecutor<'g> {
     /// Waits for all launched replicas to complete (the host-side
     /// synchronization point between dependent kernels).
     ///
+    /// With a [`SyncHook`] installed the hook runs the segment instead
+    /// (recording checkpoints, or skipping it via snapshot restore); either
+    /// way the returned cycle is the device clock at synchronization.
+    ///
     /// # Errors
     ///
     /// Propagates [`SimError::Stalled`] from the device.
     pub fn sync(&mut self) -> Result<u64, RedundancyError> {
-        Ok(self.gpu.run_to_idle()?)
+        let segment = self.segment;
+        self.segment += 1;
+        match &mut self.sync_hook {
+            Some(hook) => Ok(hook.on_sync(self.gpu, segment)?),
+            None => Ok(self.gpu.run_to_idle()?),
+        }
     }
 
     /// Steps (4)+(5): reads `words` words from every replica of `buf` and
@@ -727,6 +789,7 @@ mod tests {
         let cmp = exec.read_compare_u32(&out, 128).expect("compare");
         let data = cmp.into_match().expect("replicas agree");
         assert_eq!(data[5], 15);
+        drop(exec);
         let report = analyze(gpu.trace(), DiversityRequirements::default());
         assert!(report.is_diverse(), "SRRS guarantees diversity: {report:?}");
         assert_eq!(report.pairs_checked, 4);
@@ -742,6 +805,7 @@ mod tests {
             .expect("launch");
         exec.sync().expect("run");
         assert!(exec.read_compare_u32(&out, 128).expect("cmp").is_match());
+        drop(exec);
         let report = analyze(gpu.trace(), DiversityRequirements::default());
         assert!(report.is_diverse(), "HALF guarantees diversity: {report:?}");
     }
@@ -784,6 +848,7 @@ mod tests {
             .expect("launch");
         exec.sync().expect("run");
         assert!(exec.read_compare_u32(&out, 64).expect("cmp").is_match());
+        drop(exec);
         let report = analyze(gpu.trace(), DiversityRequirements::default());
         assert!(report.is_diverse());
         assert_eq!(report.pairs_checked, 2 * 3, "2 blocks x 3 pairs");
@@ -802,6 +867,7 @@ mod tests {
         let vote = exec.read_vote_u32(&out, 64).expect("vote");
         assert!(vote.outcome.is_unanimous());
         assert_eq!(vote.value[5], 15);
+        drop(exec);
         let report = analyze(gpu.trace(), DiversityRequirements::default());
         assert!(
             report.is_diverse(),
@@ -983,6 +1049,7 @@ mod tests {
         exec.launch(&prog, 12u32, 32u32, 0, &[RParam::Buf(&out)])
             .expect("launch");
         exec.sync().expect("run");
+        drop(exec);
         let report = analyze(gpu.trace(), DiversityRequirements::default());
         assert!(
             report.spatial_violations > 0,

@@ -33,6 +33,7 @@
 //!   turns minority corruptions into [`TrialOutcome::Corrected`] trials,
 //!   quantifying the coverage-vs-cost frontier of ASIL decomposition.
 
+use crate::checkpoint::{record_reference, CheckpointConfig, ReferenceRun, SuffixReplayer};
 use crate::injector::{FaultInjector, InjectionCounters};
 use crate::model::FaultModel;
 use crate::workload::{CampaignWorkload, RedundantWorkload};
@@ -130,6 +131,13 @@ pub struct CampaignConfig {
     /// of available CPUs. Has no effect on the campaign's results — only on
     /// its wall-clock time.
     pub workers: usize,
+    /// Checkpointed suffix-only replay (see [`crate::checkpoint`]):
+    /// `Some` records one fault-free reference pass per campaign and
+    /// fast-forwards every trial to the snapshot nearest before its fault
+    /// arm cycle. Has no effect on the campaign's results — only on its
+    /// wall-clock time — like `workers` (enforced by the determinism
+    /// fences).
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -141,6 +149,7 @@ impl Default for CampaignConfig {
             seed: 0xC0FFEE,
             gpu,
             workers: 0,
+            checkpoint: None,
         }
     }
 }
@@ -436,6 +445,7 @@ pub fn dry_run_makespan(
     let mut gpu = Gpu::new(cfg.gpu.clone());
     let mut exec = RedundantExecutor::new(&mut gpu, mode.clone())?;
     workload.run(&mut exec)?;
+    drop(exec);
     Ok(gpu.trace().makespan().unwrap_or(0))
 }
 
@@ -574,6 +584,37 @@ impl CampaignRunner {
         model: FaultModel,
         deadline: Option<u64>,
     ) -> Result<TrialOutcome, RedundancyError> {
+        self.run_trial_inner(mode, workload, model, deadline, None)
+    }
+
+    /// Like [`CampaignRunner::run_trial_with_deadline`], replaying only the
+    /// corrupted suffix: reference segments ending before the fault's arm
+    /// cycle are skipped by restoring their recorded snapshots (see
+    /// [`crate::checkpoint`]). The outcome is bit-identical to the
+    /// from-zero trial of the same model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/protocol errors other than the watchdog cutoff.
+    pub fn run_trial_checkpointed(
+        &mut self,
+        mode: &RedundancyMode,
+        workload: &dyn RedundantWorkload,
+        model: FaultModel,
+        deadline: Option<u64>,
+        reference: &ReferenceRun,
+    ) -> Result<TrialOutcome, RedundancyError> {
+        self.run_trial_inner(mode, workload, model, deadline, Some(reference))
+    }
+
+    fn run_trial_inner(
+        &mut self,
+        mode: &RedundancyMode,
+        workload: &dyn RedundantWorkload,
+        model: FaultModel,
+        deadline: Option<u64>,
+        reference: Option<&ReferenceRun>,
+    ) -> Result<TrialOutcome, RedundancyError> {
         // A trial that errored mid-flight (e.g. a watchdog cutoff) leaves
         // the device non-idle; discard the dead in-flight work and rewind
         // in place — reconstructing the multi-MB image would reintroduce
@@ -589,6 +630,9 @@ impl CampaignRunner {
         let outcome = (|| -> Result<TrialOutcome, RedundancyError> {
             let verdict = {
                 let mut exec = RedundantExecutor::new(gpu, mode.clone())?;
+                if let Some(reference) = reference {
+                    exec.set_sync_hook(Box::new(SuffixReplayer::new(reference, model)));
+                }
                 workload.run(&mut exec)?
             };
 
@@ -729,6 +773,26 @@ fn finish_report(mut report: CampaignReport, counts: OutcomeCounts) -> CampaignR
     report
 }
 
+/// The campaign's reference pass and fault window, resolved per
+/// `cfg.checkpoint`: either a recorded [`ReferenceRun`] (whose makespan is
+/// bit-identical to the dry run's — checkpoint pauses are transparent) or
+/// a plain [`dry_run_makespan`]. Factored out so the serial and parallel
+/// engines derive the window, deadline and models identically.
+fn prepare_reference(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    workload: &dyn RedundantWorkload,
+) -> Result<(Option<ReferenceRun>, u64), RedundancyError> {
+    match cfg.checkpoint {
+        Some(ck) => {
+            let reference = record_reference(cfg, mode, workload, ck.stride)?;
+            let makespan = reference.makespan();
+            Ok((Some(reference), makespan))
+        }
+        None => Ok((None, dry_run_makespan(cfg, mode, workload)?)),
+    }
+}
+
 /// The reference serial engine: one freshly constructed device per trial,
 /// trials in draw order. Kept as the oracle the parallel engine is checked
 /// against (and as the baseline of the `campaign_throughput` bench).
@@ -742,14 +806,16 @@ pub fn run_campaign_serial(
     spec: FaultSpec,
     workload: &dyn RedundantWorkload,
 ) -> Result<CampaignReport, RedundancyError> {
-    let window_end = dry_run_makespan(cfg, mode, workload)?;
+    let (reference, window_end) = prepare_reference(cfg, mode, workload)?;
     let deadline = Some(ftti_deadline(window_end, workload.ftti_multiplier()));
     let models = draw_models(cfg, spec, window_end);
     let mut counts = OutcomeCounts::default();
     for model in models {
-        counts.add(
-            CampaignRunner::new(cfg).run_trial_with_deadline(mode, workload, model, deadline)?,
-        );
+        let mut runner = CampaignRunner::new(cfg);
+        counts.add(match &reference {
+            Some(r) => runner.run_trial_checkpointed(mode, workload, model, deadline, r)?,
+            None => runner.run_trial_with_deadline(mode, workload, model, deadline)?,
+        });
     }
     Ok(finish_report(
         empty_report(cfg, mode, spec, workload, window_end),
@@ -776,7 +842,8 @@ pub fn run_campaign_with_perf(
     spec: FaultSpec,
     workload: &dyn RedundantWorkload,
 ) -> Result<(CampaignReport, CampaignPerf), RedundancyError> {
-    let window_end = dry_run_makespan(cfg, mode, workload)?;
+    let (reference, window_end) = prepare_reference(cfg, mode, workload)?;
+    let reference = reference.as_ref();
     let deadline = Some(ftti_deadline(window_end, workload.ftti_multiplier()));
     let models = draw_models(cfg, spec, window_end);
     let report = empty_report(cfg, mode, spec, workload, window_end);
@@ -787,7 +854,10 @@ pub fn run_campaign_with_perf(
         let mut runner = CampaignRunner::new(cfg);
         let mut counts = OutcomeCounts::default();
         for model in models {
-            counts.add(runner.run_trial_with_deadline(mode, workload, model, deadline)?);
+            counts.add(match reference {
+                Some(r) => runner.run_trial_checkpointed(mode, workload, model, deadline, r)?,
+                None => runner.run_trial_with_deadline(mode, workload, model, deadline)?,
+            });
         }
         return Ok((finish_report(report, counts), runner.perf()));
     }
@@ -818,9 +888,15 @@ pub fn run_campaign_with_perf(
                                 if abort.load(Ordering::Relaxed) {
                                     break 'claims;
                                 }
-                                match runner
-                                    .run_trial_with_deadline(mode, workload, models[i], deadline)
-                                {
+                                let trial = match reference {
+                                    Some(r) => runner.run_trial_checkpointed(
+                                        mode, workload, models[i], deadline, r,
+                                    ),
+                                    None => runner.run_trial_with_deadline(
+                                        mode, workload, models[i], deadline,
+                                    ),
+                                };
+                                match trial {
                                     Ok(outcome) => counts.add(outcome),
                                     Err(e) => {
                                         abort.store(true, Ordering::Relaxed);
@@ -1008,6 +1084,140 @@ mod tests {
                 "report must not depend on workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn checkpointed_reports_are_bit_identical_to_from_zero_across_worker_counts() {
+        // The full determinism fence: for every fault family, the report is
+        // a pure function of (seed, trials, gpu, mode, spec, workload) —
+        // independent of the worker count AND of whether trials replay from
+        // checkpoints or run from cycle zero.
+        let mode = RedundancyMode::srrs_default(6);
+        let wl = small_workload();
+        for spec in [
+            FaultSpec::Transient { duration: 300 },
+            FaultSpec::Droop { duration: 200 },
+            FaultSpec::Permanent,
+            FaultSpec::Misroute,
+        ] {
+            let trials = if spec == FaultSpec::Misroute { 3 } else { 8 };
+            let cfg = small_cfg(trials);
+            let oracle = run_campaign_serial(&cfg, &mode, spec, &wl).expect("from-zero serial");
+            for stride in [500u64, 4096] {
+                let mut ck_cfg = CampaignConfig {
+                    checkpoint: Some(CheckpointConfig { stride }),
+                    ..cfg.clone()
+                };
+                let serial =
+                    run_campaign_serial(&ck_cfg, &mode, spec, &wl).expect("checkpointed serial");
+                assert_eq!(
+                    serial, oracle,
+                    "checkpointed serial must match from-zero ({spec:?}, stride {stride})"
+                );
+                for workers in [1usize, 2, 8] {
+                    ck_cfg.workers = workers;
+                    let parallel =
+                        run_campaign(&ck_cfg, &mode, spec, &wl).expect("checkpointed parallel");
+                    assert_eq!(
+                        parallel, oracle,
+                        "checkpointed report must not depend on workers={workers} \
+                         ({spec:?}, stride {stride})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_trial_matches_from_zero_for_adversarial_arm_cycles() {
+        // Trial-level fence at hand-picked arm cycles the random draw is
+        // unlikely to hit: segment boundaries (the strict-skip edge), cycle
+        // 0, one past a checkpoint, and past the makespan entirely.
+        let cfg = small_cfg(1);
+        let mode = RedundancyMode::srrs_default(6);
+        let wl = small_workload();
+        let stride = 700u64;
+        let reference = record_reference(&cfg, &mode, &wl, stride).expect("reference");
+        let makespan = reference.makespan();
+        assert_eq!(
+            makespan,
+            dry_run_makespan(&cfg, &mode, &wl).expect("dry run"),
+            "checkpoint pauses must not perturb the reference makespan"
+        );
+        let deadline = Some(ftti_deadline(
+            makespan,
+            RedundantWorkload::ftti_multiplier(&wl),
+        ));
+        let arms = [
+            0,
+            1,
+            stride,
+            stride + 1,
+            makespan / 2,
+            makespan - 1,
+            makespan,
+            makespan + 1,
+            makespan * 4,
+        ];
+        for arm in arms {
+            for model in [
+                FaultModel::TransientSm {
+                    sm: 1,
+                    start: arm,
+                    duration: 400,
+                    bit: 30,
+                },
+                FaultModel::VoltageDroop {
+                    start: arm,
+                    duration: 150,
+                    bit: 12,
+                },
+                FaultModel::PermanentSm {
+                    sm: 0,
+                    from_cycle: arm,
+                    bit: 7,
+                },
+            ] {
+                let from_zero = CampaignRunner::new(&cfg)
+                    .run_trial_with_deadline(&mode, &wl, model, deadline)
+                    .expect("from-zero trial");
+                let replayed = CampaignRunner::new(&cfg)
+                    .run_trial_checkpointed(&mode, &wl, model, deadline, &reference)
+                    .expect("checkpointed trial");
+                assert_eq!(replayed, from_zero, "arm {arm}, model {model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_deadline_cuts_classify_like_the_watchdog() {
+        // A dormant fault beyond the makespan: every segment is skipped,
+        // and the skip must reproduce the watchdog's exceed-iff-end>limit
+        // rule — Detected under an impossible deadline, NotActivated
+        // without one.
+        let cfg = small_cfg(1);
+        let mode = RedundancyMode::srrs_default(6);
+        let wl = small_workload();
+        let reference = record_reference(&cfg, &mode, &wl, 4096).expect("reference");
+        let dormant = FaultModel::TransientSm {
+            sm: 0,
+            start: u64::MAX,
+            duration: 1,
+            bit: 0,
+        };
+        let mut runner = CampaignRunner::new(&cfg);
+        let cut = runner
+            .run_trial_checkpointed(&mode, &wl, dormant, Some(1), &reference)
+            .expect("cutoff is a classification");
+        assert_eq!(cut, TrialOutcome::Detected);
+        let free = runner
+            .run_trial_checkpointed(&mode, &wl, dormant, None, &reference)
+            .expect("runs");
+        assert_eq!(free, TrialOutcome::NotActivated);
+        assert!(
+            reference.segments() > 0 && reference.approx_bytes() > 0,
+            "reference pass must have recorded snapshots"
+        );
     }
 
     #[test]

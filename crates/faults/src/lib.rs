@@ -14,7 +14,11 @@
 //!   Rodinia benchmark included) redundantly under injection;
 //! * [`campaign`] — randomized multi-trial injection with per-policy
 //!   detection-coverage reports; [`campaign::run_campaign_selected`]
-//!   resolves {workload × policy × fault} from the workload registry.
+//!   resolves {workload × policy × fault} from the workload registry;
+//! * [`checkpoint`] — checkpointed trials: one fault-free reference pass
+//!   records periodic device snapshots, each trial restores the snapshot
+//!   nearest before its fault arm cycle and simulates only the corrupted
+//!   suffix (reports stay bit-identical to from-zero execution).
 //!
 //! # Examples
 //!
@@ -48,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod injector;
 pub mod model;
 pub mod workload;
@@ -59,6 +64,7 @@ pub mod prelude {
         run_campaign_serial, run_campaign_with_perf, run_trial, CampaignConfig, CampaignError,
         CampaignPerf, CampaignReport, CampaignRunner, CampaignSpec, FaultSpec, TrialOutcome,
     };
+    pub use crate::checkpoint::{record_reference, CheckpointConfig, ReferenceRun};
     pub use crate::injector::{FaultInjector, InjectionCounters};
     pub use crate::model::FaultModel;
     pub use crate::workload::{CampaignWorkload, IteratedFma, RedundantWorkload, WorkloadVerdict};

@@ -77,6 +77,22 @@ impl FaultModel {
         }
     }
 
+    /// The first cycle at which this model can influence the run — before
+    /// it, a trial's device state is bit-identical to a fault-free run of
+    /// the same workload, which is what lets checkpointed campaigns
+    /// fast-forward a trial to a recorded fault-free snapshot at or before
+    /// this cycle and simulate only the corrupted suffix.
+    ///
+    /// Misroutes return 0: the injector reroutes block placements from the
+    /// very first dispatch, so no prefix of a misroute trial is fault-free.
+    pub fn arm_cycle(&self) -> u64 {
+        match *self {
+            FaultModel::TransientSm { start, .. } | FaultModel::VoltageDroop { start, .. } => start,
+            FaultModel::PermanentSm { from_cycle, .. } => from_cycle,
+            FaultModel::SchedulerMisroute { .. } => 0,
+        }
+    }
+
     /// The bit this model flips in corrupted values (0 for misroutes).
     pub fn bit(&self) -> u8 {
         match *self {
@@ -166,6 +182,48 @@ mod tests {
         assert!(f.corrupts(&ctx(1, u64::MAX)));
         assert!(!f.corrupts(&ctx(0, 2000)));
         assert!(!f.is_common_cause());
+    }
+
+    #[test]
+    fn arm_cycle_lower_bounds_every_corruption() {
+        let transient = FaultModel::TransientSm {
+            sm: 2,
+            start: 100,
+            duration: 50,
+            bit: 3,
+        };
+        let droop = FaultModel::VoltageDroop {
+            start: 10,
+            duration: 5,
+            bit: 0,
+        };
+        let permanent = FaultModel::PermanentSm {
+            sm: 1,
+            from_cycle: 1000,
+            bit: 7,
+        };
+        assert_eq!(transient.arm_cycle(), 100);
+        assert_eq!(droop.arm_cycle(), 10);
+        assert_eq!(permanent.arm_cycle(), 1000);
+        for f in [transient, droop, permanent] {
+            for sm in 0..6 {
+                for cycle in 0..f.arm_cycle() {
+                    assert!(
+                        !f.corrupts(&ctx(sm, cycle)),
+                        "{f:?} corrupts before its arm cycle"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            FaultModel::SchedulerMisroute {
+                shift: 1,
+                from_cycle: 7,
+            }
+            .arm_cycle(),
+            0,
+            "misroutes shift placements from the first dispatch on"
+        );
     }
 
     #[test]

@@ -79,6 +79,7 @@ fn run_with_hook(hook: Box<dyn FaultHook>) -> (Vec<Vec<u32>>, ExecutionTrace) {
         Comparison::Match(v) => vec![v.clone(), v],
         Comparison::Mismatch { outputs, .. } => outputs,
     };
+    drop(exec);
     (outputs, gpu.trace().clone())
 }
 

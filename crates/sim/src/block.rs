@@ -24,7 +24,11 @@ impl BlockDims {
 }
 
 /// A thread block resident on an SM.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the execution state (warps, shared memory) while the
+/// program and parameters stay behind their `Arc`s — the per-block cost of a
+/// device snapshot ([`crate::gpu::Gpu::snapshot`]).
+#[derive(Debug, Clone)]
 pub struct BlockState {
     /// Owning kernel launch.
     pub kernel: KernelId,

@@ -10,7 +10,7 @@ use crate::mem::system::MemorySystem;
 use crate::scheduler::{
     Assignment, DefaultScheduler, KernelSchedulerPolicy, KernelSnapshot, SchedulerView, SmSnapshot,
 };
-use crate::sm::{BlockCompletion, IssueRecord, Sm};
+use crate::sm::{BlockCompletion, IssueRecord, Sm, SmState};
 use crate::stats::SimStats;
 use crate::timeq::TimeQ;
 use crate::trace::{BlockRecord, ExecutionTrace, KernelRecord};
@@ -104,7 +104,7 @@ impl DevPtr {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct KernelRuntime {
     id: KernelId,
     /// The program the blocks execute (shared with every dispatched block).
@@ -149,6 +149,67 @@ struct SchedScratch {
     assignments: Vec<Assignment>,
     fits: Vec<bool>,
     completions: Vec<BlockCompletion>,
+}
+
+/// A point-in-time capture of the full architectural state of a [`Gpu`]:
+/// clock, dirty prefix of the memory image, memory-hierarchy timing state,
+/// kernel launch table, per-SM block/warp state, execution trace, counters,
+/// SM health and scheduler-policy state.
+///
+/// Produced by [`Gpu::snapshot`] and applied by [`Gpu::restore`]. Restoring
+/// a snapshot and running to idle is **bit-identical** — same
+/// [`IssueRecord`] stream, statistics and trace — to running straight
+/// through, on either device core (snapshots carry no core-specific state;
+/// the event core rebuilds its queues on entry).
+///
+/// Deliberately *not* captured:
+///
+/// * the watchdog limit ([`Gpu::set_cycle_limit`]) — a deadline is harness
+///   state, not device state; a trial restored at cycle `C` keeps the same
+///   absolute deadline as a from-zero run;
+/// * the fault hook — injection schedules belong to the trial, not the
+///   checkpoint;
+/// * the policy *object* — only its serialized state
+///   ([`KernelSchedulerPolicy::save_state`]) is captured, so the caller
+///   must have the same kind of policy installed when restoring.
+///
+/// Snapshots are immutable, reusable (one snapshot can seed many restored
+/// runs) and `Send + Sync` (programs and launch attributes are shared via
+/// `Arc`), so fault-injection campaigns can share one checkpoint store
+/// across worker threads.
+#[derive(Debug, Clone)]
+pub struct DeviceSnapshot {
+    cycle: u64,
+    next_dispatch_slot: u64,
+    alloc_cursor: u32,
+    dirty_hi: u32,
+    next_kernel_id: u64,
+    sched_dirty: bool,
+    instructions: u64,
+    blocks_completed: u64,
+    quarantined: Vec<bool>,
+    /// Dirty prefix of the word-addressed memory image (`dirty_hi` bytes).
+    mem: Vec<u32>,
+    /// Total device memory capacity in words (restore-target validation).
+    mem_words: usize,
+    memsys: MemorySystem,
+    kernels: Vec<KernelRuntime>,
+    trace: ExecutionTrace,
+    sms: Vec<SmState>,
+    policy_state: Vec<u64>,
+}
+
+impl DeviceSnapshot {
+    /// The cycle at which this snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Approximate heap footprint in bytes (dominated by the dirty memory
+    /// prefix; used for checkpoint-store budgeting and reporting).
+    pub fn approx_bytes(&self) -> usize {
+        self.mem.len() * 4 + std::mem::size_of::<Self>()
+    }
 }
 
 /// The simulated GPU device.
@@ -256,6 +317,10 @@ impl fmt::Debug for Gpu {
 }
 
 impl Gpu {
+    /// Widest device the flat event core handles; wider devices use the
+    /// time-wheel variant (see [`Gpu::run_until_event`]).
+    pub const FLAT_SM_LIMIT: usize = 32;
+
     /// Creates a GPU with the [`DefaultScheduler`] policy and no faults.
     ///
     /// # Panics
@@ -345,6 +410,93 @@ impl Gpu {
     /// simulation. Cleared by [`Gpu::reset`].
     pub fn set_cycle_limit(&mut self, limit: Option<u64>) {
         self.cycle_limit = limit;
+    }
+
+    /// The currently armed watchdog limit, if any.
+    pub fn cycle_limit(&self) -> Option<u64> {
+        self.cycle_limit
+    }
+
+    // ---- snapshot / restore --------------------------------------------------
+
+    /// Captures the full architectural state of the device (see
+    /// [`DeviceSnapshot`] for exactly what is and is not included). Legal at
+    /// any point, including mid-run with blocks in flight — pause with
+    /// [`Gpu::run_to_cycle`] first to pick the cycle.
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        let words = (self.dirty_hi as usize).div_ceil(4).min(self.mem.len());
+        let mut policy_state = Vec::new();
+        self.policy.save_state(&mut policy_state);
+        DeviceSnapshot {
+            cycle: self.cycle,
+            next_dispatch_slot: self.next_dispatch_slot,
+            alloc_cursor: self.alloc_cursor,
+            dirty_hi: self.dirty_hi,
+            next_kernel_id: self.next_kernel_id,
+            sched_dirty: self.sched_dirty,
+            instructions: self.instructions,
+            blocks_completed: self.blocks_completed,
+            quarantined: self.quarantined.clone(),
+            mem: self.mem[..words].to_vec(),
+            mem_words: self.mem.len(),
+            memsys: self.memsys.clone(),
+            kernels: self.kernels.clone(),
+            trace: self.trace.clone(),
+            sms: self.sms.iter().map(Sm::snapshot_state).collect(),
+            policy_state,
+        }
+    }
+
+    /// Rewinds (or fast-forwards) the device to the state captured in
+    /// `snap`, replacing clock, memory, caches, launch table, per-SM state,
+    /// trace, counters and SM health. Legal on a busy device — in-flight
+    /// state is simply overwritten.
+    ///
+    /// The watchdog limit and fault hook are **preserved** (they are
+    /// harness state, see [`DeviceSnapshot`]); the installed policy object
+    /// is retained and its internal state overwritten via
+    /// [`KernelSchedulerPolicy::load_state`] — the caller must have
+    /// installed the same *kind* of policy that was active at capture time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this device's geometry (SM count, memory capacity) differs
+    /// from the snapshot's source device.
+    pub fn restore(&mut self, snap: &DeviceSnapshot) {
+        assert_eq!(
+            self.sms.len(),
+            snap.sms.len(),
+            "snapshot restore across differing SM counts"
+        );
+        assert_eq!(
+            self.mem.len(),
+            snap.mem_words,
+            "snapshot restore across differing memory capacities"
+        );
+        // Zero the tail this device dirtied beyond the snapshot's prefix,
+        // then overwrite the prefix: bytes past `snap.dirty_hi` are zero in
+        // the source image by the dirty-prefix invariant.
+        let cur = (self.dirty_hi as usize).div_ceil(4).min(self.mem.len());
+        if cur > snap.mem.len() {
+            self.mem[snap.mem.len()..cur].fill(0);
+        }
+        self.mem[..snap.mem.len()].copy_from_slice(&snap.mem);
+        self.cycle = snap.cycle;
+        self.next_dispatch_slot = snap.next_dispatch_slot;
+        self.alloc_cursor = snap.alloc_cursor;
+        self.dirty_hi = snap.dirty_hi;
+        self.next_kernel_id = snap.next_kernel_id;
+        self.sched_dirty = snap.sched_dirty;
+        self.instructions = snap.instructions;
+        self.blocks_completed = snap.blocks_completed;
+        self.quarantined.clone_from(&snap.quarantined);
+        self.memsys.clone_from(&snap.memsys);
+        self.kernels.clone_from(&snap.kernels);
+        self.trace.clone_from(&snap.trace);
+        for (sm, st) in self.sms.iter_mut().zip(&snap.sms) {
+            sm.restore_state(st);
+        }
+        self.policy.load_state(&snap.policy_state);
     }
 
     /// Installs a fault-injection hook (replaces any previous hook).
@@ -893,9 +1045,33 @@ impl Gpu {
     /// As [`Gpu::run_to_idle`].
     pub fn run_until(&mut self, done: impl FnMut(&Gpu) -> bool) -> Result<u64, SimError> {
         match self.cfg.core {
-            CoreKind::Event => self.run_until_event(done),
-            CoreKind::Stepping => self.run_until_stepping(done),
+            CoreKind::Event => self.run_until_event(done, None),
+            CoreKind::Stepping => self.run_until_stepping(done, None),
         }
+    }
+
+    /// Advances the simulation up to (but not into) cycle `target`, pausing
+    /// at the first event cycle `>= target`, and returns whether the device
+    /// went idle before reaching it.
+    ///
+    /// The pause is taken at the very top of a core-loop iteration — before
+    /// the watchdog check, arrival maturation and the scheduling round — so
+    /// a paused run resumed with [`Gpu::run_to_idle`] (or further
+    /// [`Gpu::run_to_cycle`] calls) is **bit-identical** to a straight run:
+    /// same issue stream, same stats, same trace, same deadline cut-offs.
+    /// This is the checkpoint-recording primitive: pause, call
+    /// [`Gpu::snapshot`], resume.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::run_to_idle`] (a watchdog or stall *before* `target` is
+    /// still reported).
+    pub fn run_to_cycle(&mut self, target: u64) -> Result<bool, SimError> {
+        match self.cfg.core {
+            CoreKind::Event => self.run_until_event(|_| false, Some(target))?,
+            CoreKind::Stepping => self.run_until_stepping(|_| false, Some(target))?,
+        };
+        Ok(self.is_idle())
     }
 
     /// The original stepping core: every iteration issues on **all** SMs at
@@ -903,12 +1079,22 @@ impl Gpu {
     /// time by scanning every SM and kernel. Kept verbatim behind
     /// [`CoreKind::Stepping`] as the cross-validation oracle for the
     /// event-driven core.
-    fn run_until_stepping(&mut self, mut done: impl FnMut(&Gpu) -> bool) -> Result<u64, SimError> {
+    fn run_until_stepping(
+        &mut self,
+        mut done: impl FnMut(&Gpu) -> bool,
+        pause_at: Option<u64>,
+    ) -> Result<u64, SimError> {
         if done(self) {
             return Ok(self.cycle);
         }
         let mut completions = std::mem::take(&mut self.sched.completions);
         while !self.is_idle() {
+            // Pause point ([`Gpu::run_to_cycle`]): checked before any work
+            // at this cycle — watchdog included — so resuming replays the
+            // iteration exactly as a straight run would have executed it.
+            if pause_at.is_some_and(|t| self.cycle >= t) {
+                break;
+            }
             // Watchdog: the clock strictly advances every iteration, so a
             // runaway kernel (e.g. a fault-corrupted loop counter) is cut
             // off deterministically at the configured limit.
@@ -1030,7 +1216,165 @@ impl Gpu {
     ///
     /// All event state is rebuilt on entry, so host-side mutations between
     /// runs (launch, reset, cancel, quarantine) need no event bookkeeping.
-    fn run_until_event(&mut self, mut done: impl FnMut(&Gpu) -> bool) -> Result<u64, SimError> {
+    ///
+    /// Adaptive core selection: on devices up to [`Gpu::FLAT_SM_LIMIT`] SMs
+    /// the per-iteration flat minimum over the (cache-resident) wake-time
+    /// array is cheaper than time-wheel maintenance — the wheel's push/pop
+    /// churn on dense-ready workloads (one push per issue visit) is exactly
+    /// the `core_mips` regression on short kernels. The wheel variant takes
+    /// over on wider devices, where O(SMs) scans per event would dominate.
+    /// Both variants are bit-identical to the stepping oracle (and hence to
+    /// each other) — fenced by `tests/cross_core.rs` at both device widths.
+    fn run_until_event(
+        &mut self,
+        done: impl FnMut(&Gpu) -> bool,
+        pause_at: Option<u64>,
+    ) -> Result<u64, SimError> {
+        if self.sms.len() <= Self::FLAT_SM_LIMIT {
+            self.run_until_event_flat(done, pause_at)
+        } else {
+            self.run_until_event_wheel(done, pause_at)
+        }
+    }
+
+    /// Flat event core for narrow devices: kernel arrivals are heap events
+    /// and the pending-block count is mirrored incrementally (the event
+    /// core's wins over stepping), while due-SM collection and the advance
+    /// rule are flat scans over the per-SM wake cache — O(SMs) per visited
+    /// cycle with no queue maintenance at all.
+    fn run_until_event_flat(
+        &mut self,
+        mut done: impl FnMut(&Gpu) -> bool,
+        pause_at: Option<u64>,
+    ) -> Result<u64, SimError> {
+        if done(self) {
+            return Ok(self.cycle);
+        }
+        self.arrivals.clear();
+        for k in &self.kernels {
+            if !k.is_finished() && k.arrival > self.cycle {
+                self.arrivals.push(Reverse((k.arrival, k.id.0)));
+            }
+        }
+        self.arrived_pending = self.pending_blocks();
+
+        let mut completions = std::mem::take(&mut self.sched.completions);
+        while !self.is_idle() {
+            if pause_at.is_some_and(|t| self.cycle >= t) {
+                break;
+            }
+            if let Some(limit) = self.cycle_limit {
+                if self.cycle > limit {
+                    self.sched.completions = completions;
+                    return Err(SimError::DeadlineExceeded {
+                        cycle: self.cycle,
+                        limit,
+                    });
+                }
+            }
+            // Matured arrivals join the pending pool.
+            while let Some(&Reverse((arr, kid))) = self.arrivals.peek() {
+                if arr > self.cycle {
+                    break;
+                }
+                self.arrivals.pop();
+                if let Some(k) = self.kernels.iter().find(|k| k.id.0 == kid) {
+                    if !k.is_finished() {
+                        self.arrived_pending += k.blocks_total() - k.blocks_issued;
+                    }
+                }
+            }
+            if self.sched_dirty {
+                self.sched_dirty = false;
+                self.run_scheduler();
+            }
+
+            // Issue on every due SM in ascending id order, folding the
+            // advance rule's minimum over wake-ups into the same pass. The
+            // wake cache answers "due?" in O(1), so no due-queue is needed
+            // at this width; hoisting the check here (instead of relying on
+            // [`Sm::issue`]'s internal fast path) spares sleeping SMs the
+            // out-of-line call itself — visiting them costs one compare.
+            // Fusing the min-scan is sound because nothing between here and
+            // the advance ([`Gpu::process_completion`], `done`) mutates SM
+            // state: a skipped SM's wake is its cached value, an issued
+            // SM's is re-read right after it issues — exactly what a
+            // post-completion scan would see. On dense workloads (every SM
+            // due every cycle) this halves the per-cycle SM traversals and
+            // keeps the event core from trailing the stepping core.
+            completions.clear();
+            let mut next = u64::MAX;
+            for sm in &mut self.sms {
+                let wake = sm.next_ready_at();
+                if wake > self.cycle {
+                    next = next.min(wake);
+                    continue;
+                }
+                sm.issue(
+                    self.cycle,
+                    &mut self.mem,
+                    &mut self.dirty_hi,
+                    &mut self.memsys,
+                    self.fault.as_mut(),
+                    self.fault_enabled,
+                    &mut completions,
+                );
+                next = next.min(sm.next_ready_at());
+            }
+            for c in completions.drain(..) {
+                self.process_completion(c);
+            }
+            if self.is_idle() || done(self) {
+                break;
+            }
+
+            // Advance: fused flat minimum over SM wake-ups vs the next
+            // arrival, with the stepping core's re-dirty rule.
+            if let Some(&Reverse((arr, _))) = self.arrivals.peek() {
+                next = next.min(arr);
+                self.sched_dirty = true;
+            }
+            debug_assert_eq!(
+                self.arrived_pending,
+                self.pending_blocks(),
+                "incremental pending-block mirror diverged at cycle {}",
+                self.cycle
+            );
+            if self.sched_dirty && self.arrived_pending > 0 {
+                next = next.min(self.cycle + 1);
+            }
+            if next == u64::MAX {
+                // Quiescent but unfinished — same last-chance round and
+                // stall report as the stepping core.
+                self.run_scheduler();
+                let ready = self
+                    .sms
+                    .iter()
+                    .map(Sm::next_ready_at)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if ready == u64::MAX {
+                    self.sched.completions = completions;
+                    return Err(SimError::Stalled {
+                        cycle: self.cycle,
+                        pending_blocks: self.pending_blocks(),
+                    });
+                }
+                self.cycle = ready.max(self.cycle + 1);
+                continue;
+            }
+            self.cycle = next.max(self.cycle + 1);
+        }
+        self.sched.completions = completions;
+        Ok(self.cycle)
+    }
+
+    /// Time-wheel event core for wide devices (see [`Gpu::run_until_event`]).
+    fn run_until_event_wheel(
+        &mut self,
+        mut done: impl FnMut(&Gpu) -> bool,
+        pause_at: Option<u64>,
+    ) -> Result<u64, SimError> {
         if done(self) {
             return Ok(self.cycle);
         }
@@ -1052,6 +1396,9 @@ impl Gpu {
 
         let mut completions = std::mem::take(&mut self.sched.completions);
         while !self.is_idle() {
+            if pause_at.is_some_and(|t| self.cycle >= t) {
+                break;
+            }
             // Watchdog: identical cycle sequence to the stepping core, so
             // deadline cut-offs land on the same cycle.
             if let Some(limit) = self.cycle_limit {

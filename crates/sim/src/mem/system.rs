@@ -24,7 +24,11 @@ pub struct MemoryStats {
 }
 
 /// The shared memory hierarchy of the GPU.
-#[derive(Debug)]
+///
+/// `Clone` copies the full timing state (cache tags, DRAM bank timers,
+/// statistics) — device snapshots rely on this to make restored runs
+/// bit-identical in both values and timing.
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     l1: Vec<Cache>,
     l2: Cache,

@@ -222,6 +222,18 @@ pub trait KernelSchedulerPolicy {
     /// Clears internal state (called when the GPU is reset between
     /// experiments).
     fn reset(&mut self) {}
+
+    /// Serializes any internal state evolved across scheduling rounds into
+    /// `out` (device snapshots capture this so a restored run replays the
+    /// identical dispatch decisions). Stateless policies — every policy in
+    /// this workspace derives its decisions from the per-round view alone —
+    /// keep the default no-op.
+    fn save_state(&self, _out: &mut Vec<u64>) {}
+
+    /// Restores state previously written by
+    /// [`KernelSchedulerPolicy::save_state`]. The installed policy must be
+    /// of the same kind that produced `state`.
+    fn load_state(&mut self, _state: &[u64]) {}
 }
 
 /// The baseline COTS scheduler: breadth-first over SMs, oldest kernel first,

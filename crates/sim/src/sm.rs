@@ -71,6 +71,24 @@ pub struct IssueRecord {
     pub warp: usize,
 }
 
+/// The architectural state of one SM captured by a device snapshot
+/// ([`crate::gpu::DeviceSnapshot`]): resident blocks with their full warp
+/// state, resource usage, the warp-scheduler bookmark, the wake-time mirror,
+/// counters and the issue log. Scratch buffers (ready masks, coalescing
+/// buffers) are rebuilt per [`Sm::issue`] call and deliberately excluded.
+#[derive(Debug, Clone)]
+pub struct SmState {
+    used: ResourceUsage,
+    blocks: Vec<BlockState>,
+    greedy: Option<(KernelId, u32, usize)>,
+    times: Vec<Vec<u64>>,
+    next_wake: u64,
+    log_enabled: bool,
+    log: Vec<IssueRecord>,
+    stats: SmStats,
+    oob_accesses: u64,
+}
+
 /// One streaming multiprocessor.
 #[derive(Debug)]
 pub struct Sm {
@@ -320,6 +338,37 @@ impl Sm {
     #[doc(hidden)]
     pub fn debug_exhaustive_next_ready(&self) -> u64 {
         self.scan_next_ready_structs()
+    }
+
+    /// Captures the SM's architectural state for a device snapshot.
+    pub fn snapshot_state(&self) -> SmState {
+        SmState {
+            used: self.used,
+            blocks: self.blocks.clone(),
+            greedy: self.greedy,
+            times: self.times.clone(),
+            next_wake: self.next_wake,
+            log_enabled: self.log_enabled,
+            log: self.log.clone(),
+            stats: self.stats,
+            oob_accesses: self.oob_accesses,
+        }
+    }
+
+    /// Restores state captured by [`Sm::snapshot_state`], replacing all
+    /// resident blocks and counters. Scratch buffers are cleared; they are
+    /// rebuilt on the next [`Sm::issue`] call.
+    pub fn restore_state(&mut self, state: &SmState) {
+        self.used = state.used;
+        self.blocks.clone_from(&state.blocks);
+        self.greedy = state.greedy;
+        self.times.clone_from(&state.times);
+        self.next_wake = state.next_wake;
+        self.log_enabled = state.log_enabled;
+        self.log.clone_from(&state.log);
+        self.stats = state.stats;
+        self.oob_accesses = state.oob_accesses;
+        self.ready.clear();
     }
 
     /// Enables or disables per-instruction issue logging. Clears any

@@ -275,6 +275,65 @@ mod tests {
     }
 
     #[test]
+    fn push_exactly_at_the_horizon_boundary_overflows_and_merges() {
+        // `base + HORIZON` is the first cycle *outside* the wheel window;
+        // an event there must take the overflow path (a wheel bucket would
+        // alias it onto `base` via the modulo) and still merge in order
+        // with in-window neighbours.
+        let h = TimeQ::<usize>::HORIZON as u64;
+        let mut q = TimeQ::new();
+        q.push(h - 1, 1usize); // last in-window cycle → wheel
+        q.push(h, 2); // exactly at the boundary → overflow
+        q.push(h + 1, 3); // past the boundary → overflow
+        q.push(0, 0); // window start → wheel
+        assert_eq!(q.pop_min(), Some((0, 0)));
+        assert_eq!(q.pop_min(), Some((h - 1, 1)));
+        assert_eq!(q.pop_min(), Some((h, 2)));
+        assert_eq!(q.pop_min(), Some((h + 1, 3)));
+        assert_eq!(q.pop_min(), None);
+    }
+
+    #[test]
+    fn boundary_events_survive_a_reanchor() {
+        // After the wheel empties and re-anchors on a far-future push, the
+        // *new* horizon boundary must behave identically — a latent
+        // off-by-one in the re-anchored window would misorder these.
+        let h = TimeQ::<usize>::HORIZON as u64;
+        let mut q = TimeQ::new();
+        q.push(10, 0usize);
+        assert_eq!(q.pop_min(), Some((10, 0)));
+        let base = 1_000_000;
+        q.push(base, 1); // re-anchors the empty wheel at `base`
+        q.push(base + h - 1, 2); // last cycle of the re-anchored window
+        q.push(base + h, 3); // first cycle outside it
+        q.push(base - 1, 4); // before the re-anchored base (overflow)
+        assert_eq!(q.pop_min(), Some((base - 1, 4)));
+        assert_eq!(q.pop_min(), Some((base, 1)));
+        assert_eq!(q.pop_min(), Some((base + h - 1, 2)));
+        assert_eq!(q.pop_min(), Some((base + h, 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_boundary_ties_pop_in_payload_order() {
+        // Payload tie-break must hold across the wheel/overflow split: two
+        // events at the same cycle, one queued while the cycle was in the
+        // window and one while it was not, still pop in payload order.
+        let h = TimeQ::<usize>::HORIZON as u64;
+        let mut q = TimeQ::new();
+        q.push(h + 5, 7usize); // outside the window → overflow
+        q.push(3, 9); // keeps the wheel non-empty (no re-anchor)
+        assert_eq!(q.pop_min(), Some((3, 9)));
+        // Wheel now empty: this push re-anchors the window at h + 5 and
+        // lands in a bucket, while payload 7 for the same cycle sits in
+        // the overflow heap.
+        q.push(h + 5, 2);
+        assert_eq!(q.pop_min(), Some((h + 5, 2)));
+        assert_eq!(q.pop_min(), Some((h + 5, 7)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn clear_retains_capacity_and_resets_state() {
         let mut q = TimeQ::new();
         for i in 0..100u64 {

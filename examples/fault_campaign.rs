@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diversity = {
         let mut exec = RedundantExecutor::new(&mut gpu, RedundancyMode::srrs_default(6))?;
         workload.run(&mut exec)?;
+        drop(exec);
         analyze(gpu.trace(), DiversityRequirements::default())
     };
     let bist = scheduler_bist(&mut gpu, RedundancyMode::srrs_default(6), 12)?;

@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The execution trace is the safety evidence: every redundant block pair
     // ran on different SMs at different times.
+    drop(exec);
     let report = analyze(gpu.trace(), DiversityRequirements::default());
     println!(
         "diversity: {} pairs checked, {} violations, min slack {:?} cycles",

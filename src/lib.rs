@@ -53,6 +53,7 @@
 //! // The DCLS host compares both copies...
 //! assert!(exec.read_compare_f32(&data, 128)?.is_match());
 //! // ...and the trace proves spatial + temporal diversity.
+//! drop(exec);
 //! let report = analyze(gpu.trace(), DiversityRequirements::default());
 //! assert!(report.is_diverse());
 //! # Ok(())

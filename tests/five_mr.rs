@@ -102,6 +102,7 @@ fn srrs_spread_and_slice_validate_five_replicas_on_ten_sms() {
     let vote = exec.read_vote_u32(&out, 64).expect("vote");
     assert!(vote.outcome.is_unanimous());
     assert_eq!(vote.value[7], 21);
+    drop(exec);
     for rec in &gpu.trace().blocks {
         let k = gpu.trace().kernel(rec.kernel).expect("kernel");
         let replica = k.attrs.redundant.expect("tag").replica;

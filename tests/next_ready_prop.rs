@@ -12,12 +12,14 @@
 
 use higpu_sim::block::{BlockDims, BlockState};
 use higpu_sim::builder::KernelBuilder;
-use higpu_sim::config::{GpuConfig, WarpSchedPolicy};
+use higpu_sim::config::{CoreKind, GpuConfig, WarpSchedPolicy};
 use higpu_sim::fault::NoFaults;
-use higpu_sim::kernel::{BlockFootprint, Dim3, KernelId};
+use higpu_sim::gpu::Gpu;
+use higpu_sim::kernel::{BlockFootprint, Dim3, KernelId, KernelLaunch, LaunchConfig};
 use higpu_sim::mem::system::MemorySystem;
 use higpu_sim::program::Program;
 use higpu_sim::sm::Sm;
+use higpu_sim::timeq::TimeQ;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -196,5 +198,163 @@ fn incremental_next_ready_matches_exhaustive_scan_after_every_mutation_batch() {
             check(&sm, seed, "drain step");
         }
         assert!(sm.is_idle(), "idle fixpoint must mean no resident blocks");
+    }
+}
+
+/// Property fence for the time wheel's horizon boundary: randomized push/pop
+/// sequences whose cycles cluster *at and around* `base + HORIZON` — the
+/// exact off-by-one surface device snapshots made observable — must match a
+/// multiset reference model entry for entry. The deltas are drawn so that
+/// roughly a third of all pushes land within ±2 cycles of the boundary,
+/// far denser adversarial coverage than the uniform mixed-sequence test in
+/// the `timeq` unit suite.
+#[test]
+fn timeq_horizon_boundary_matches_reference_model() {
+    let h = TimeQ::<usize>::HORIZON as u64;
+    let mut seeder = StdRng::seed_from_u64(0xB0DA_C0DE);
+    for _case in 0..40 {
+        let seed = seeder.gen_range(0..u64::MAX);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = TimeQ::new();
+        let mut reference: std::collections::BTreeMap<(u64, usize), u32> =
+            std::collections::BTreeMap::new();
+        let mut clock = 0u64;
+        for _step in 0..2000 {
+            if rng.gen_range(0..3u32) != 0 {
+                // Cycle classes: at/around the boundary, inside the window,
+                // far beyond it, and occasionally before the current clock
+                // (late wake-ups land on the overflow path).
+                let cycle = match rng.gen_range(0..6u32) {
+                    0 | 1 => (clock + h + rng.gen_range(0..5u64)).saturating_sub(2),
+                    2 => clock + h - rng.gen_range(1..4u64),
+                    3 => clock + rng.gen_range(0..h),
+                    4 => clock + h + rng.gen_range(0..10_000u64),
+                    _ => clock.saturating_sub(rng.gen_range(0..50u64)),
+                };
+                let payload = rng.gen_range(0..9u64) as usize;
+                q.push(cycle, payload);
+                *reference.entry((cycle, payload)).or_insert(0) += 1;
+            } else if let Some((&e, _)) = reference.iter().next() {
+                assert_eq!(
+                    q.peek_min(),
+                    Some(e),
+                    "peek diverged at the horizon boundary (case seed {seed:#x})"
+                );
+                let got = q.pop_min().expect("reference says non-empty");
+                assert_eq!(
+                    got, e,
+                    "pop order diverged at the horizon boundary (case seed {seed:#x})"
+                );
+                let n = reference.get_mut(&e).expect("present");
+                *n -= 1;
+                if *n == 0 {
+                    reference.remove(&e);
+                }
+                clock = clock.max(e.0);
+            }
+        }
+        while let Some((&e, _)) = reference.iter().next() {
+            assert_eq!(
+                q.pop_min(),
+                Some(e),
+                "drain diverged at the horizon boundary (case seed {seed:#x})"
+            );
+            let n = reference.get_mut(&e).expect("present");
+            *n -= 1;
+            if *n == 0 {
+                reference.remove(&e);
+            }
+        }
+        assert!(q.is_empty());
+    }
+}
+
+/// Pending-event state must not survive `Gpu::reset`/`Gpu::force_reset`
+/// observably: a device whose event queues were left populated — by a
+/// completed run, or by a `run_to_cycle` pause mid-flight — must replay the
+/// next workload bit-identically to a freshly constructed device. Randomizes
+/// the interrupted prefix (workload shape, pause cycle, reset flavor) to
+/// exercise stale wheel entries at many clock offsets.
+#[test]
+fn event_state_is_unobservable_across_resets() {
+    fn little_kernel(iters: u32) -> Arc<Program> {
+        let mut b = KernelBuilder::new("little");
+        let base = b.param(0);
+        let tid = b.global_tid_x();
+        let addr = b.addr_w(base, tid);
+        b.for_range(0u32, iters, 1u32, |b, _| {
+            let v = b.ldg(addr, 0);
+            let f = b.i2f(v);
+            let _ = b.ffma(f, 1.25f32, 0.5f32);
+            let v1 = b.iadd(v, 1u32);
+            b.stg(addr, 0, v1);
+        });
+        b.build().expect("valid").into_shared()
+    }
+
+    fn launch_case(gpu: &mut Gpu, iters: u32, blocks: u32, delay: u64) {
+        let buf = gpu.alloc_words(blocks * 32).expect("alloc");
+        gpu.write_u32(buf, &vec![1u32; (blocks * 32) as usize]);
+        gpu.launch(
+            KernelLaunch::new(
+                little_kernel(iters),
+                LaunchConfig::new(blocks, 32u32).param_u32(buf.0),
+            )
+            .dispatch_delay(delay),
+        )
+        .expect("launch");
+    }
+
+    let mut seeder = StdRng::seed_from_u64(0x5EED_0F0F);
+    for _case in 0..25 {
+        let seed = seeder.gen_range(0..u64::MAX);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GpuConfig {
+            core: CoreKind::Event,
+            ..GpuConfig::tiny_2sm()
+        };
+
+        // Recycled device: run a random prefix workload, interrupt it at a
+        // random cycle (or complete it), then reset.
+        let mut recycled = Gpu::new(cfg.clone());
+        recycled.set_issue_log(true);
+        launch_case(
+            &mut recycled,
+            rng.gen_range(2..12u32),
+            rng.gen_range(1..5u32),
+            rng.gen_range(0..400u64),
+        );
+        if rng.gen_range(0..2u32) == 0 {
+            let pause = rng.gen_range(1..3000u64);
+            recycled.run_to_cycle(pause).expect("paused prefix");
+            recycled.force_reset();
+        } else {
+            recycled.run_to_idle().expect("prefix run");
+            recycled.reset().expect("idle reset");
+        }
+
+        // Identical main workload on the recycled and on a fresh device.
+        let main_iters = rng.gen_range(2..12u32);
+        let main_blocks = rng.gen_range(1..6u32);
+        let main_delay = rng.gen_range(0..600u64);
+        recycled.set_issue_log(true);
+        launch_case(&mut recycled, main_iters, main_blocks, main_delay);
+        recycled.run_to_idle().expect("recycled main run");
+
+        let mut fresh = Gpu::new(cfg);
+        fresh.set_issue_log(true);
+        launch_case(&mut fresh, main_iters, main_blocks, main_delay);
+        fresh.run_to_idle().expect("fresh main run");
+
+        assert_eq!(
+            recycled.drain_issue_log(),
+            fresh.drain_issue_log(),
+            "stale event state leaked across reset (case seed {seed:#x})"
+        );
+        assert_eq!(
+            recycled.stats(),
+            fresh.stats(),
+            "stats diverged across reset (case seed {seed:#x})"
+        );
     }
 }

@@ -31,6 +31,7 @@ fn full_safety_case_reaches_asil_d_under_srrs() {
         let mut exec = RedundantExecutor::new(&mut gpu, mode.clone()).expect("mode");
         let v = workload().run(&mut exec).expect("workload");
         assert!(v.matched && v.correct);
+        drop(exec);
         analyze(gpu.trace(), DiversityRequirements::default())
     };
 
@@ -71,6 +72,7 @@ fn uncontrolled_execution_cannot_support_asil_d() {
         let mut exec =
             RedundantExecutor::new(&mut gpu, RedundancyMode::uncontrolled()).expect("mode");
         workload().run(&mut exec).expect("workload");
+        drop(exec);
         analyze(gpu.trace(), DiversityRequirements::default())
     };
     let case = SafetyCase {
