@@ -26,23 +26,46 @@
 //! ```text
 //! bench_json [--trials N] [--seed S] [--workers 1,2,4,8]
 //!            [--matrix-trials N] [--no-matrix] [--core-runs N]
-//!            [--checkpoint-trials N] [--out PATH]
+//!            [--checkpoint-trials N] [--out PATH] [--progress] [--quiet]
 //! ```
+//!
+//! `--out -` streams the JSON document to stdout instead of a file and
+//! implies `--quiet`, so stdout is pure JSON (tables and progress go to
+//! stderr or nowhere — the document is machine-consumable as piped).
 
 use higpu_bench::campaign_perf::{measure, measure_checkpointing, ThroughputConfig};
 use higpu_bench::core_mips::measure_core_mips;
-use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
+use higpu_bench::matrix::{full_registry, run_matrix_with_telemetry, MatrixConfig};
 use higpu_pipeline::full_pipeline_registry;
 use std::process::ExitCode;
 
-fn parse_args(
-    cfg: &mut ThroughputConfig,
-    matrix_trials: &mut Option<u32>,
-    no_matrix: &mut bool,
-    core_runs: &mut u32,
-    checkpoint_trials: &mut u32,
-    out: &mut String,
-) -> Result<(), String> {
+struct Options {
+    cfg: ThroughputConfig,
+    matrix_trials: Option<u32>,
+    no_matrix: bool,
+    core_runs: u32,
+    checkpoint_trials: u32,
+    out: String,
+    progress: bool,
+    quiet: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cfg: ThroughputConfig::default(),
+            matrix_trials: None,
+            no_matrix: false,
+            core_runs: 60,
+            checkpoint_trials: 120,
+            out: "BENCH_campaign.json".to_string(),
+            progress: false,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_args(opts: &mut Options) -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -51,17 +74,17 @@ fn parse_args(
         };
         match flag.as_str() {
             "--trials" => {
-                cfg.trials = value("--trials")?
+                opts.cfg.trials = value("--trials")?
                     .parse()
                     .map_err(|e| format!("--trials: {e}"))?;
             }
             "--seed" => {
-                cfg.seed = value("--seed")?
+                opts.cfg.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
             "--workers" => {
-                cfg.worker_counts = value("--workers")?
+                opts.cfg.worker_counts = value("--workers")?
                     .split(',')
                     .map(|w| {
                         w.trim()
@@ -71,24 +94,26 @@ fn parse_args(
                     .collect::<Result<_, _>>()?;
             }
             "--matrix-trials" => {
-                *matrix_trials = Some(
+                opts.matrix_trials = Some(
                     value("--matrix-trials")?
                         .parse()
                         .map_err(|e| format!("--matrix-trials: {e}"))?,
                 );
             }
-            "--no-matrix" => *no_matrix = true,
+            "--no-matrix" => opts.no_matrix = true,
             "--core-runs" => {
-                *core_runs = value("--core-runs")?
+                opts.core_runs = value("--core-runs")?
                     .parse()
                     .map_err(|e| format!("--core-runs: {e}"))?;
             }
             "--checkpoint-trials" => {
-                *checkpoint_trials = value("--checkpoint-trials")?
+                opts.checkpoint_trials = value("--checkpoint-trials")?
                     .parse()
                     .map_err(|e| format!("--checkpoint-trials: {e}"))?;
             }
-            "--out" => *out = value("--out")?,
+            "--out" => opts.out = value("--out")?,
+            "--progress" => opts.progress = true,
+            "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -96,23 +121,24 @@ fn parse_args(
 }
 
 fn main() -> ExitCode {
-    let mut cfg = ThroughputConfig::default();
-    let mut matrix_trials: Option<u32> = None;
-    let mut no_matrix = false;
-    let mut core_runs = 60u32;
-    let mut checkpoint_trials = 120u32;
-    let mut out = "BENCH_campaign.json".to_string();
-    if let Err(e) = parse_args(
-        &mut cfg,
-        &mut matrix_trials,
-        &mut no_matrix,
-        &mut core_runs,
-        &mut checkpoint_trials,
-        &mut out,
-    ) {
+    let mut opts = Options::default();
+    if let Err(e) = parse_args(&mut opts) {
         eprintln!("bench_json: {e}");
         return ExitCode::FAILURE;
     }
+    let Options {
+        cfg,
+        matrix_trials,
+        no_matrix,
+        core_runs,
+        checkpoint_trials,
+        out,
+        progress,
+        quiet,
+    } = opts;
+    // `--out -` makes stdout the JSON document; every table print below
+    // must therefore be silenced so nothing interleaves with it.
+    let quiet = quiet || out == "-";
     if no_matrix && matrix_trials.is_some() {
         eprintln!("bench_json: --no-matrix contradicts --matrix-trials");
         return ExitCode::FAILURE;
@@ -130,6 +156,7 @@ fn main() -> ExitCode {
         // Enough frames per pipeline cell that transient activations (and
         // with them the Recovered demonstration) land in the artifact.
         mc.pipeline_trials = Some(mc.trials.max(6));
+        mc.progress = progress;
         mc
     });
     let result = match measure(&cfg) {
@@ -139,14 +166,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print!("{}", result.to_table());
+    if !quiet {
+        print!("{}", result.to_table());
+    }
     // Core-loop throughput: the before/after record for the event-queue
     // rework, printed and persisted next to the engine throughput. Runs
     // are interleaved core-by-core and the quietest of 7 paired windows is
     // reported — the cores differ by single-digit percents on dense
     // workloads, which host-load drift would otherwise swamp.
     let core = measure_core_mips(&full_registry(), core_runs, 7);
-    print!("{}", core.to_table());
+    if !quiet {
+        print!("{}", core.to_table());
+    }
     let regressions = core.event_regressions();
     if !regressions.is_empty() {
         eprintln!(
@@ -163,9 +194,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print!("{}", checkpointing.to_table());
+    if !quiet {
+        print!("{}", checkpointing.to_table());
+    }
     let matrix = match matrix_cfg {
-        Some(mc) => match run_matrix(&full_registry(), &mc) {
+        Some(mc) => match run_matrix_with_telemetry(&full_registry(), &mc) {
             Ok(m) => Some(m),
             Err(e) => {
                 eprintln!("bench_json: matrix sweep failed: {e}");
@@ -174,7 +207,7 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    if let Some(m) = &matrix {
+    if let Some((m, _)) = matrix.as_ref().filter(|_| !quiet) {
         println!(
             "campaign matrix: {} workload cells + {} wide cells + {} pipeline cells, \
              undetected under diverse policies: {} + {}, frames recovered in-FTTI: {}",
@@ -205,19 +238,26 @@ fn main() -> ExitCode {
     let core_json = core.to_json();
     let ck_json = checkpointing.to_json();
     let json = match &matrix {
-        Some(m) => result.to_json_with_extra(&[
+        Some((m, mt)) => result.to_json_with_extra(&[
             ("core_mips", &core_json),
             ("checkpointing", &ck_json),
             ("matrix", &m.to_json()),
+            ("telemetry", &mt.to_json()),
         ]),
         None => {
             result.to_json_with_extra(&[("core_mips", &core_json), ("checkpointing", &ck_json)])
         }
     };
+    if out == "-" {
+        println!("{json}");
+        return ExitCode::SUCCESS;
+    }
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_json: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote {out}");
+    if !quiet {
+        println!("wrote {out}");
+    }
     ExitCode::SUCCESS
 }

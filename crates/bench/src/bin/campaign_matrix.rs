@@ -14,7 +14,21 @@
 //!                 [--core event|stepping|stepping,event]
 //!                 [--checkpoint] [--assert-srrs-clean]
 //!                 [--full-scale] [--check-serial] [--csv] [--json PATH]
+//!                 [--progress] [--quiet] [--trace-out PATH]
 //! ```
+//!
+//! `--progress` renders a live cell-granularity progress line (with each
+//! completed cell's wall time) to stderr and prints a per-cell wall-time
+//! summary on completion. `--quiet` suppresses the stdout tables; with
+//! `--json -` the JSON document streams to stdout (implying `--quiet`),
+//! so stdout is machine-consumable as piped.
+//!
+//! `--trace-out PATH` additionally records a Chrome-trace-event JSON
+//! timeline (open in `chrome://tracing` or Perfetto; timestamps are
+//! simulated cycles): one overlapped `sensor_fusion` frame with a
+//! transient fault — per-stage spans, per-SM block tracks, fault
+//! instants — plus one checkpointed campaign trial showing fault-arm,
+//! suffix-replay restores, and detection.
 //!
 //! `--core` selects the simulator core(s). Naming more than one core runs
 //! the whole sweep once per core and asserts the results bit-identical —
@@ -42,13 +56,21 @@
 //! never cost the device an SM (no quarantine without attributable
 //! permanent evidence).
 
-use higpu_bench::matrix::{full_registry, run_matrix, MatrixConfig};
+use higpu_bench::matrix::{full_registry, run_matrix, run_matrix_with_telemetry, MatrixConfig};
 use higpu_bench::table;
 use higpu_core::policy::PolicyKind;
-use higpu_faults::campaign::FaultSpec;
-use higpu_faults::checkpoint::CheckpointConfig;
-use higpu_pipeline::ExecMode;
-use higpu_sim::config::CoreKind;
+use higpu_faults::campaign::{
+    ftti_deadline, policy_mode, CampaignConfig, CampaignRunner, CampaignSpec, FaultSpec,
+};
+use higpu_faults::checkpoint::{record_reference, CheckpointConfig};
+use higpu_faults::injector::{FaultInjector, InjectionCounters};
+use higpu_faults::model::FaultModel;
+use higpu_faults::workload::RedundantWorkload;
+use higpu_pipeline::trace_export;
+use higpu_pipeline::{full_pipeline_registry, plan, run_pipeline, ExecMode, FrameOptions};
+use higpu_sim::config::{CoreKind, GpuConfig};
+use higpu_sim::gpu::Gpu;
+use higpu_telemetry::{ChromeTrace, EventKind};
 use higpu_workloads::Scale;
 use std::process::ExitCode;
 
@@ -93,6 +115,8 @@ struct Options {
     csv: bool,
     json: Option<String>,
     assert_srrs_clean: bool,
+    quiet: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -102,6 +126,8 @@ fn parse_args() -> Result<Options, String> {
         csv: false,
         json: None,
         assert_srrs_clean: false,
+        quiet: false,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -215,10 +241,144 @@ fn parse_args() -> Result<Options, String> {
             "--check-serial" => opts.cfg.check_serial = true,
             "--csv" => opts.csv = true,
             "--json" => opts.json = Some(value("--json")?),
+            "--progress" => opts.cfg.progress = true,
+            "--quiet" => opts.quiet = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
     Ok(opts)
+}
+
+/// Records the `--trace-out` Chrome-trace timeline: process 1 is one
+/// overlapped `sensor_fusion` frame with an armed transient fault (stage
+/// spans + SM block tracks + fault instants), process 2 is one checkpointed
+/// campaign trial (fault-arm, suffix-replay restores, detection). Both run
+/// on telemetry-enabled devices; everything in the file is simulated state,
+/// so the trace is a pure function of `seed`.
+fn record_trace(path: &str, seed: u64) -> Result<(), String> {
+    let mut trace = ChromeTrace::new();
+    let bit = 4 + (seed % 20) as u8;
+
+    // Process 1: one overlapped sensor_fusion frame under SRRS/DCLS with a
+    // transient SM fault armed inside the first stage's window.
+    let preg = full_pipeline_registry();
+    let pipeline = preg
+        .build("sensor_fusion", Scale::Campaign)
+        .ok_or_else(|| "pipeline 'sensor_fusion' not registered".to_string())?;
+    let mut gpu_cfg = GpuConfig::paper_6sm();
+    gpu_cfg.telemetry_capacity = Some(1 << 16);
+    let mode = policy_mode(PolicyKind::Srrs, 2, gpu_cfg.num_sms).map_err(|e| e.to_string())?;
+    let frame_plan =
+        plan(&gpu_cfg, &pipeline, &mode).map_err(|e| format!("frame calibration: {e}"))?;
+    // A 400-cycle window over one SM only activates if that SM produces
+    // values then; scan a small deterministic grid of arm points and keep
+    // the first frame whose fault bites (fall back to the last otherwise).
+    let mut recorded = None;
+    'frame_scan: for numer in [2u64, 1, 3] {
+        for sm in 0..gpu_cfg.num_sms {
+            let model = FaultModel::TransientSm {
+                sm,
+                start: (frame_plan.stage_makespans[0] * numer) / 4,
+                duration: 400,
+                bit,
+            };
+            let counters = InjectionCounters::shared();
+            let mut gpu = Gpu::new(gpu_cfg.clone());
+            gpu.set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
+            gpu.record_event(
+                EventKind::FaultArmed,
+                model.arm_cycle(),
+                sm as u32,
+                0,
+                u64::from(bit),
+            );
+            let run = run_pipeline(
+                &mut gpu,
+                &pipeline,
+                &mode,
+                &frame_plan,
+                FrameOptions::overlapped(),
+            )
+            .map_err(|e| format!("frame execution: {e}"))?;
+            let activated = counters.activated();
+            recorded = Some((gpu, run));
+            if activated {
+                break 'frame_scan;
+            }
+        }
+    }
+    let (mut gpu, run) = recorded.expect("frame scan ran at least once");
+    trace_export::export_frame(
+        &mut trace,
+        1,
+        "sensor_fusion frame (overlapped, transient fault)",
+        &mut gpu,
+        &run,
+    );
+
+    // Process 2: one checkpointed campaign trial — the reference pass's
+    // snapshots let the trial fast-forward to the fault, so the SM tracks
+    // open with Restore instants before the corrupted suffix runs live.
+    let reg = full_registry();
+    let mut ccfg = CampaignConfig::default();
+    ccfg.gpu.telemetry_capacity = Some(1 << 16);
+    let spec = CampaignSpec::new(
+        "hotspot",
+        PolicyKind::Srrs,
+        FaultSpec::Transient { duration: 400 },
+    );
+    let workload = spec.build_workload(&reg).map_err(|e| e.to_string())?;
+    let trial_mode = spec.mode(ccfg.gpu.num_sms).map_err(|e| e.to_string())?;
+    let reference = record_reference(
+        &ccfg,
+        &trial_mode,
+        &workload,
+        CheckpointConfig::default().stride,
+    )
+    .map_err(|e| format!("reference pass: {e}"))?;
+    let makespan = reference.makespan();
+    let deadline = ftti_deadline(makespan, workload.ftti_multiplier());
+    let mut runner = CampaignRunner::new(&ccfg);
+    // Scan a small deterministic grid of arm points and keep the first
+    // trial whose fault actually activates (a window over an idle SM shows
+    // no detection — a dull trace); fall back to the last trial otherwise.
+    let mut outcome = higpu_faults::campaign::TrialOutcome::NotActivated;
+    let mut events = Vec::new();
+    'scan: for numer in [1u64, 2, 3] {
+        for sm in 0..ccfg.gpu.num_sms {
+            let trial_model = FaultModel::TransientSm {
+                sm,
+                start: (makespan * numer) / 4,
+                duration: 400,
+                bit,
+            };
+            let (o, _obs) = runner
+                .run_trial_observed(
+                    &trial_mode,
+                    &workload,
+                    trial_model,
+                    Some(deadline),
+                    Some(&reference),
+                )
+                .map_err(|e| format!("campaign trial: {e}"))?;
+            outcome = o;
+            events = runner.gpu_mut().drain_telemetry();
+            if outcome != higpu_faults::campaign::TrialOutcome::NotActivated {
+                break 'scan;
+            }
+        }
+    }
+    trace.process_name(
+        2,
+        &format!(
+            "campaign trial: {} (checkpointed, outcome {outcome:?})",
+            spec.workload
+        ),
+    );
+    higpu_telemetry::chrome::add_device_events(&mut trace, 2, &events);
+
+    std::fs::write(path, trace.to_json()).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -230,6 +390,8 @@ fn main() -> ExitCode {
         }
     };
     opts.cfg.core = opts.cores[0];
+    // `--json -` makes stdout the JSON document: silence every table.
+    let quiet = opts.quiet || opts.json.as_deref() == Some("-");
     let reg = full_registry();
     eprintln!(
         "Campaign matrix — {} workload(s) + {} pipeline(s) x {} policies x {} faults x replicas {:?}, {} trials/cell\n",
@@ -244,13 +406,24 @@ fn main() -> ExitCode {
         opts.cfg.replica_counts,
         opts.cfg.trials
     );
-    let m = match run_matrix(&reg, &opts.cfg) {
+    let (m, telemetry) = match run_matrix_with_telemetry(&reg, &opts.cfg) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("campaign_matrix: sweep failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if opts.cfg.progress {
+        // The post-sweep wall-time record: one line per workload campaign
+        // cell, on stderr so `--json -` stdout stays pure.
+        for c in &telemetry.cells {
+            eprintln!(
+                "cell {:>12} {:>11} N={} {:<12} [{}] {:>7.2}s",
+                c.workload, c.policy, c.replicas, c.fault, c.device, c.wall_seconds
+            );
+        }
+        eprintln!("sweep wall time: {:.2}s", telemetry.wall_seconds);
+    }
     // Determinism cross-check: every additional core re-runs the whole
     // sweep and must reproduce the first core's result bit-for-bit.
     for &core in &opts.cores[1..] {
@@ -311,7 +484,9 @@ fn main() -> ExitCode {
         );
     }
     let t = m.to_table();
-    if opts.csv {
+    if quiet {
+        // Tables silenced; the JSON/trace writers below still run.
+    } else if opts.csv {
         println!("{}", table::render_csv(&t));
     } else {
         println!("{}", table::render(&t));
@@ -394,12 +569,32 @@ fn main() -> ExitCode {
             );
         }
     }
-    if let Some(path) = opts.json {
-        if let Err(e) = std::fs::write(&path, m.to_json() + "\n") {
-            eprintln!("campaign_matrix: cannot write {path}: {e}");
+    if let Some(path) = &opts.json {
+        let doc = format!(
+            "{{\"matrix\": {}, \"telemetry\": {}}}\n",
+            m.to_json(),
+            telemetry.to_json()
+        );
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("campaign_matrix: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !quiet {
+                println!("wrote {path}");
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = record_trace(path, opts.cfg.seed) {
+            eprintln!("campaign_matrix: trace recording failed: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {path}");
+        if !quiet {
+            println!("wrote {path}");
+        }
     }
     if opts.assert_srrs_clean {
         for replicas in &m.replica_counts {

@@ -9,8 +9,8 @@
 use crate::campaign_perf::ThroughputResult;
 use higpu_core::policy::PolicyKind;
 use higpu_faults::campaign::{
-    run_campaign_selected, run_campaign_selected_serial, CampaignConfig, CampaignError,
-    CampaignReport, CampaignSpec, FaultSpec,
+    run_campaign_selected_serial, run_campaign_selected_with_telemetry, CampaignConfig,
+    CampaignError, CampaignReport, CampaignSpec, CampaignTelemetry, FaultSpec,
 };
 use higpu_faults::checkpoint::CheckpointConfig;
 use higpu_pipeline::campaign::{
@@ -20,8 +20,10 @@ use higpu_pipeline::campaign::{
 use higpu_pipeline::{full_pipeline_registry, ExecMode};
 use higpu_sim::config::{CoreKind, GpuConfig};
 use higpu_sim::gpu::Gpu;
+use higpu_telemetry::{CycleHistogram, ProgressLine};
 use higpu_workloads::runner::run_solo;
 use higpu_workloads::{Scale, WorkloadRegistry};
+use std::time::Instant;
 
 /// The registry every sweep resolves workloads from: the synthetic
 /// workloads plus all Rodinia benchmarks.
@@ -98,6 +100,10 @@ pub struct MatrixConfig {
     /// per core and diffing the reports is the whole-artifact determinism
     /// cross-check (`campaign_matrix --core stepping,event`).
     pub core: CoreKind,
+    /// Render a live progress line (cell granularity) to stderr while the
+    /// sweep runs. Wall-clock display only — never feeds any report or
+    /// the telemetry document.
+    pub progress: bool,
     /// Checkpointed suffix-only replay for the workload campaign cells
     /// (standard and wide device; see `higpu_faults::checkpoint`). Like
     /// `core` and `workers`, this must not change any report — sweeping
@@ -128,8 +134,113 @@ impl Default for MatrixConfig {
             limp_frames: 4,
             limp_trials: None,
             core: CoreKind::default(),
+            progress: false,
             checkpoint: None,
         }
+    }
+}
+
+/// Cycle-domain observability of one workload campaign cell — the
+/// [`CampaignTelemetry`] the campaign engine aggregated, plus the cell's
+/// wall time. Kept **outside** [`MatrixResult`]: reports are the
+/// determinism fence, telemetry is observation (wall time is inherently
+/// non-deterministic; the cycle-domain histograms are bit-identical at
+/// every worker count).
+#[derive(Debug, Clone)]
+pub struct CellTelemetry {
+    /// Workload name.
+    pub workload: String,
+    /// Policy label.
+    pub policy: String,
+    /// Replica count.
+    pub replicas: u8,
+    /// Fault family label.
+    pub fault: String,
+    /// `paper` (6-SM) or `wide` (10-SM) device.
+    pub device: &'static str,
+    /// The campaign engine's aggregated cycle-domain telemetry.
+    pub telemetry: CampaignTelemetry,
+    /// Wall time the cell took, in seconds.
+    pub wall_seconds: f64,
+}
+
+/// Observability sidecar of one matrix sweep: per-cell campaign telemetry
+/// (detection-latency / makespan / corrupted-but-terminating histograms)
+/// and wall times. Produced by [`run_matrix_with_telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct MatrixTelemetry {
+    /// One entry per workload campaign cell (standard then wide device),
+    /// in sweep order.
+    pub cells: Vec<CellTelemetry>,
+    /// Wall time of the whole sweep, in seconds.
+    pub wall_seconds: f64,
+}
+
+impl MatrixTelemetry {
+    /// The corrupted-but-terminating makespan histogram per workload,
+    /// merged over every cell of that workload — the input to FTTI budget
+    /// mining (what multiplier would a p99.9 budget need?).
+    pub fn corrupted_terminating_by_workload(&self) -> Vec<(String, CycleHistogram)> {
+        let mut out: Vec<(String, CycleHistogram)> = Vec::new();
+        for c in &self.cells {
+            match out.iter_mut().find(|(n, _)| n == &c.workload) {
+                Some((_, h)) => h.merge(&c.telemetry.corrupted_terminating),
+                None => out.push((
+                    c.workload.clone(),
+                    c.telemetry.corrupted_terminating.clone(),
+                )),
+            }
+        }
+        out
+    }
+
+    /// Renders the telemetry sidecar as a JSON value (the `telemetry`
+    /// section of `BENCH_campaign.json`): per-cell detection-latency /
+    /// makespan / corrupted-terminating summaries with restore counters
+    /// and wall times, plus the per-workload merged
+    /// corrupted-but-terminating histograms.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"workload\": \"{}\", \"policy\": \"{}\", \"replicas\": {}, \
+                     \"fault\": \"{}\", \"device\": \"{}\", \
+                     \"detection_latency\": {}, \"trial_makespans\": {}, \
+                     \"corrupted_terminating\": {}, \"restores\": {}, \
+                     \"restore_skipped_cycles\": {}, \"wall_seconds\": {:.3}}}",
+                    c.workload,
+                    c.policy,
+                    c.replicas,
+                    c.fault,
+                    c.device,
+                    c.telemetry.detection_latency.summary_json(),
+                    c.telemetry.makespans.summary_json(),
+                    c.telemetry.corrupted_terminating.summary_json(),
+                    c.telemetry.restores,
+                    c.telemetry.restore_skipped_cycles,
+                    c.wall_seconds,
+                )
+            })
+            .collect();
+        let by_workload: Vec<String> = self
+            .corrupted_terminating_by_workload()
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "{{\"workload\": \"{name}\", \"corrupted_terminating\": {}}}",
+                    h.summary_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\n    \"wall_seconds\": {:.3},\n    \"cells\": [\n      {}\n    ],\n    \
+             \"corrupted_terminating_by_workload\": [\n      {}\n    ]\n  }}",
+            self.wall_seconds,
+            cells.join(",\n      "),
+            by_workload.join(",\n      "),
+        )
     }
 }
 
@@ -946,11 +1057,34 @@ pub fn run_matrix(
     reg: &WorkloadRegistry,
     cfg: &MatrixConfig,
 ) -> Result<MatrixResult, CampaignError> {
+    run_matrix_with_telemetry(reg, cfg).map(|(result, _)| result)
+}
+
+/// [`run_matrix`] plus the sweep's [`MatrixTelemetry`] sidecar (per-cell
+/// detection-latency / makespan histograms and wall times). The
+/// [`MatrixResult`] is identical to [`run_matrix`]'s — telemetry is
+/// observation, not state.
+///
+/// # Errors
+///
+/// As [`run_matrix`].
+///
+/// # Panics
+///
+/// As [`run_matrix`] (the `check_serial` determinism fence).
+pub fn run_matrix_with_telemetry(
+    reg: &WorkloadRegistry,
+    cfg: &MatrixConfig,
+) -> Result<(MatrixResult, MatrixTelemetry), CampaignError> {
+    let sweep_start = Instant::now();
     let names: Vec<String> = if cfg.workloads.is_empty() {
         reg.names().iter().map(|n| n.to_string()).collect()
     } else {
         cfg.workloads.clone()
     };
+    let mut progress = matrix_progress(cfg, names.len());
+    let mut done = 0usize;
+    let mut telemetry = MatrixTelemetry::default();
     let mut campaign = CampaignConfig {
         trials: cfg.trials,
         seed: cfg.seed,
@@ -980,7 +1114,9 @@ pub fn run_matrix(
                         fault,
                         replicas,
                     };
-                    let report = run_campaign_selected(&campaign, reg, &spec)?;
+                    let cell_start = Instant::now();
+                    let (report, cell) =
+                        run_campaign_selected_with_telemetry(&campaign, reg, &spec)?;
                     if cfg.check_serial {
                         let serial = run_campaign_selected_serial(&campaign, reg, &spec)?;
                         assert_eq!(
@@ -989,6 +1125,25 @@ pub fn run_matrix(
                              for {name} under {policy:?}/{fault:?} at {replicas} replicas"
                         );
                     }
+                    let wall_seconds = cell_start.elapsed().as_secs_f64();
+                    telemetry.cells.push(CellTelemetry {
+                        workload: report.workload.clone(),
+                        policy: report.policy.clone(),
+                        replicas,
+                        fault: report.fault.to_string(),
+                        device: "paper",
+                        telemetry: cell,
+                        wall_seconds,
+                    });
+                    done += 1;
+                    progress.update(
+                        done as u64,
+                        &format!(
+                            "{name} {} N={replicas} {} [{wall_seconds:.2}s]",
+                            policy.label(),
+                            fault.label()
+                        ),
+                    );
                     reports.push(report);
                 }
             }
@@ -1033,6 +1188,16 @@ pub fn run_matrix(
                                     exec.label()
                                 );
                             }
+                            done += 1;
+                            progress.update(
+                                done as u64,
+                                &format!(
+                                    "{name} {} N={replicas} {} ({})",
+                                    policy.label(),
+                                    fault.label(),
+                                    exec.label()
+                                ),
+                            );
                             pipeline_reports.push(report);
                         }
                     }
@@ -1071,7 +1236,9 @@ pub fn run_matrix(
                             fault,
                             replicas,
                         };
-                        let report = run_campaign_selected(&wide, reg, &spec)?;
+                        let cell_start = Instant::now();
+                        let (report, cell) =
+                            run_campaign_selected_with_telemetry(&wide, reg, &spec)?;
                         if cfg.check_serial {
                             let serial = run_campaign_selected_serial(&wide, reg, &spec)?;
                             assert_eq!(
@@ -1081,6 +1248,25 @@ pub fn run_matrix(
                                  {replicas} replicas (wide device)"
                             );
                         }
+                        let wall_seconds = cell_start.elapsed().as_secs_f64();
+                        telemetry.cells.push(CellTelemetry {
+                            workload: report.workload.clone(),
+                            policy: report.policy.clone(),
+                            replicas,
+                            fault: report.fault.to_string(),
+                            device: "wide",
+                            telemetry: cell,
+                            wall_seconds,
+                        });
+                        done += 1;
+                        progress.update(
+                            done as u64,
+                            &format!(
+                                "{name} {} N={replicas} {} (wide) [{wall_seconds:.2}s]",
+                                policy.label(),
+                                fault.label()
+                            ),
+                        );
                         wide_reports.push(report);
                     }
                 }
@@ -1133,11 +1319,22 @@ pub fn run_matrix(
                         cfg.limp_frames
                     );
                 }
+                done += 1;
+                progress.update(
+                    done as u64,
+                    &format!(
+                        "{name} limp-home {} x{} frames",
+                        fault.label(),
+                        cfg.limp_frames
+                    ),
+                );
                 limp_reports.push(report);
             }
         }
     }
-    Ok(MatrixResult {
+    progress.finish(done as u64, "");
+    telemetry.wall_seconds = sweep_start.elapsed().as_secs_f64();
+    let result = MatrixResult {
         trials: cfg.trials,
         seed: cfg.seed,
         scale: cfg.scale.label(),
@@ -1150,7 +1347,42 @@ pub fn run_matrix(
         wide_reports,
         limp_frames: cfg.limp_frames.max(1),
         limp_reports,
-    })
+    };
+    Ok((result, telemetry))
+}
+
+/// Builds the sweep's progress line by pre-counting every cell the sweep
+/// will run (workload, pipeline, wide-device, and limp-home axes).
+fn matrix_progress(cfg: &MatrixConfig, workloads: usize) -> ProgressLine {
+    let per_replica: usize = cfg
+        .replica_counts
+        .iter()
+        .map(|&r| realize_policies(&cfg.policies, r).len())
+        .sum();
+    let wide_per_replica: usize = cfg
+        .wide_replica_counts
+        .iter()
+        .map(|&r| realize_policies(&cfg.policies, r).len())
+        .sum();
+    let workload_cells = workloads * per_replica * cfg.faults.len();
+    let pipeline_cells =
+        cfg.pipelines.len() * per_replica * cfg.pipeline_exec.len() * cfg.faults.len();
+    let wide_cells = workloads * wide_per_replica * cfg.faults.len();
+    let limp_cells = if cfg.limp_frames > 1 && !cfg.pipelines.is_empty() {
+        cfg.pipelines.len()
+            * cfg
+                .faults
+                .iter()
+                .filter(|f| !matches!(f, FaultSpec::Misroute))
+                .count()
+    } else {
+        0
+    };
+    ProgressLine::new(
+        "matrix",
+        (workload_cells + pipeline_cells + wide_cells + limp_cells) as u64,
+        cfg.progress,
+    )
 }
 
 /// Surfaces a pipeline-campaign error through the matrix's error type

@@ -44,6 +44,7 @@ use higpu_core::redundancy::{RedundancyError, RedundancyMode, RedundantExecutor}
 use higpu_core::safety_case::DetectionEvidence;
 use higpu_sim::config::GpuConfig;
 use higpu_sim::gpu::{Gpu, SimError};
+use higpu_telemetry::{CycleHistogram, EventKind, NO_SM};
 use higpu_workloads::{Scale, WorkloadRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -500,6 +501,76 @@ impl OutcomeCounts {
     }
 }
 
+/// Cycle-domain observables of one trial, reported alongside the outcome
+/// by [`CampaignRunner::run_trial_observed`]. Every field is simulated
+/// state — no wall time — so per-trial observables are bit-identical
+/// across engines, worker counts and checkpointing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrialObservables {
+    /// Device clock when the trial ended (makespan, or the cut cycle for
+    /// deadline-cut trials).
+    pub end_cycle: u64,
+    /// The fault model's arm cycle ([`FaultModel::arm_cycle`]).
+    pub arm_cycle: u64,
+    /// True if the injected fault corrupted at least one value/placement.
+    pub activated: bool,
+    /// True if the watchdog cut the trial at its FTTI deadline.
+    pub deadline_cut: bool,
+    /// Snapshot restores performed during the trial (checkpointed replay).
+    pub restores: u64,
+    /// Cycles those restores fast-forwarded over (simulation work skipped).
+    pub restore_skipped_cycles: u64,
+}
+
+/// Cycle-domain telemetry aggregated over a campaign's trials.
+///
+/// Collected by every engine with plain field updates (fixed-size arrays —
+/// no allocation, no wall time) and merged across workers with the
+/// order-independent [`CycleHistogram::merge`], so the aggregate is
+/// bit-identical at every worker count. Deliberately **not** part of
+/// [`CampaignReport`]: reports are the determinism fence and stay exactly
+/// as comparable as before.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignTelemetry {
+    /// End cycles of all trials (deadline-cut trials end at the cut).
+    pub makespans: CycleHistogram,
+    /// Fault-arm → detection latency of [`TrialOutcome::Detected`] trials.
+    pub detection_latency: CycleHistogram,
+    /// End cycles of activated trials that terminated on their own (the
+    /// corrupted-but-terminating distribution FTTI budget mining needs).
+    pub corrupted_terminating: CycleHistogram,
+    /// Snapshot restores across all trials.
+    pub restores: u64,
+    /// Cycles those restores fast-forwarded over.
+    pub restore_skipped_cycles: u64,
+}
+
+impl CampaignTelemetry {
+    /// Folds `other` in; element-wise, so any merge order over the same
+    /// trial set yields the same aggregate.
+    pub fn merge(&mut self, other: &Self) {
+        self.makespans.merge(&other.makespans);
+        self.detection_latency.merge(&other.detection_latency);
+        self.corrupted_terminating
+            .merge(&other.corrupted_terminating);
+        self.restores += other.restores;
+        self.restore_skipped_cycles += other.restore_skipped_cycles;
+    }
+
+    fn record(&mut self, outcome: TrialOutcome, obs: TrialObservables) {
+        self.makespans.record(obs.end_cycle);
+        if outcome == TrialOutcome::Detected {
+            self.detection_latency
+                .record(obs.end_cycle.saturating_sub(obs.arm_cycle));
+        }
+        if obs.activated && !obs.deadline_cut {
+            self.corrupted_terminating.record(obs.end_cycle);
+        }
+        self.restores += obs.restores;
+        self.restore_skipped_cycles += obs.restore_skipped_cycles;
+    }
+}
+
 /// Deterministic simulation-side cost of a campaign (wall-clock-free, so it
 /// is identical for serial and parallel runs; throughput benches divide it
 /// by their own timers).
@@ -546,6 +617,12 @@ impl CampaignRunner {
         self.perf
     }
 
+    /// The runner's device — trace recorders drain its telemetry ring
+    /// after a trial (the ring is cleared by the next trial's reset).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
     /// Runs one injection trial of `model`; returns the outcome.
     ///
     /// The trial result is a pure function of `(cfg.gpu, mode, workload,
@@ -584,7 +661,8 @@ impl CampaignRunner {
         model: FaultModel,
         deadline: Option<u64>,
     ) -> Result<TrialOutcome, RedundancyError> {
-        self.run_trial_inner(mode, workload, model, deadline, None)
+        self.run_trial_observed(mode, workload, model, deadline, None)
+            .map(|(outcome, _)| outcome)
     }
 
     /// Like [`CampaignRunner::run_trial_with_deadline`], replaying only the
@@ -604,17 +682,27 @@ impl CampaignRunner {
         deadline: Option<u64>,
         reference: &ReferenceRun,
     ) -> Result<TrialOutcome, RedundancyError> {
-        self.run_trial_inner(mode, workload, model, deadline, Some(reference))
+        self.run_trial_observed(mode, workload, model, deadline, Some(reference))
+            .map(|(outcome, _)| outcome)
     }
 
-    fn run_trial_inner(
+    /// The general trial form: runs one injection trial (checkpointed iff
+    /// `reference` is given) and returns the outcome together with its
+    /// cycle-domain [`TrialObservables`]. The outcome is exactly what the
+    /// convenience wrappers return; the observables feed
+    /// [`CampaignTelemetry`] and are pure simulated state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/protocol errors other than the watchdog cutoff.
+    pub fn run_trial_observed(
         &mut self,
         mode: &RedundancyMode,
         workload: &dyn RedundantWorkload,
         model: FaultModel,
         deadline: Option<u64>,
         reference: Option<&ReferenceRun>,
-    ) -> Result<TrialOutcome, RedundancyError> {
+    ) -> Result<(TrialOutcome, TrialObservables), RedundancyError> {
         // A trial that errored mid-flight (e.g. a watchdog cutoff) leaves
         // the device non-idle; discard the dead in-flight work and rewind
         // in place — reconstructing the multi-MB image would reintroduce
@@ -626,6 +714,17 @@ impl CampaignRunner {
         gpu.set_cycle_limit(deadline);
         let counters = InjectionCounters::shared();
         gpu.set_fault_hook(Box::new(FaultInjector::new(model, counters.clone())));
+        let fault_sm = match model {
+            FaultModel::TransientSm { sm, .. } | FaultModel::PermanentSm { sm, .. } => sm as u32,
+            FaultModel::VoltageDroop { .. } | FaultModel::SchedulerMisroute { .. } => NO_SM,
+        };
+        gpu.record_event(
+            EventKind::FaultArmed,
+            model.arm_cycle(),
+            fault_sm,
+            0,
+            u64::from(model.bit()),
+        );
 
         let outcome = (|| -> Result<TrialOutcome, RedundancyError> {
             let verdict = {
@@ -676,16 +775,34 @@ impl CampaignRunner {
         })();
         // Watchdog cutoff is a *classification*, not a failure: the DCLS
         // deadline monitor detected a hung replica.
-        let outcome = match outcome {
+        let (outcome, deadline_cut) = match outcome {
             Err(RedundancyError::Sim(SimError::DeadlineExceeded { .. })) => {
-                Ok(TrialOutcome::Detected)
+                (Ok(TrialOutcome::Detected), true)
             }
-            other => other,
+            other => (other, false),
         };
         let stats = self.gpu.stats();
         self.perf.sim_instructions += stats.instructions;
         self.perf.sim_cycles += stats.cycles;
-        outcome
+        let outcome = outcome?;
+        let obs = TrialObservables {
+            end_cycle: self.gpu.cycle(),
+            arm_cycle: model.arm_cycle(),
+            activated: counters.activated(),
+            deadline_cut,
+            restores: self.gpu.restore_count(),
+            restore_skipped_cycles: self.gpu.restore_skipped_cycles(),
+        };
+        if outcome == TrialOutcome::Detected {
+            self.gpu.record_event(
+                EventKind::FaultDetected,
+                obs.end_cycle,
+                fault_sm,
+                0,
+                obs.end_cycle.saturating_sub(obs.arm_cycle),
+            );
+        }
+        Ok((outcome, obs))
     }
 }
 
@@ -842,6 +959,32 @@ pub fn run_campaign_with_perf(
     spec: FaultSpec,
     workload: &dyn RedundantWorkload,
 ) -> Result<(CampaignReport, CampaignPerf), RedundancyError> {
+    run_campaign_engine(cfg, mode, spec, workload).map(|(report, perf, _)| (report, perf))
+}
+
+/// [`run_campaign_with_perf`] plus the campaign's [`CampaignTelemetry`].
+/// The report is untouched by the telemetry collection (same engine, same
+/// trials — telemetry is observation, not state), and the telemetry itself
+/// is bit-identical at every worker count.
+///
+/// # Errors
+///
+/// As [`run_campaign_with_perf`].
+pub fn run_campaign_with_telemetry(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    spec: FaultSpec,
+    workload: &dyn RedundantWorkload,
+) -> Result<(CampaignReport, CampaignTelemetry), RedundancyError> {
+    run_campaign_engine(cfg, mode, spec, workload).map(|(report, _, telemetry)| (report, telemetry))
+}
+
+fn run_campaign_engine(
+    cfg: &CampaignConfig,
+    mode: &RedundancyMode,
+    spec: FaultSpec,
+    workload: &dyn RedundantWorkload,
+) -> Result<(CampaignReport, CampaignPerf, CampaignTelemetry), RedundancyError> {
     let (reference, window_end) = prepare_reference(cfg, mode, workload)?;
     let reference = reference.as_ref();
     let deadline = Some(ftti_deadline(window_end, workload.ftti_multiplier()));
@@ -853,13 +996,14 @@ pub fn run_campaign_with_perf(
         // In-thread fast path: still one reusable device for all trials.
         let mut runner = CampaignRunner::new(cfg);
         let mut counts = OutcomeCounts::default();
+        let mut telemetry = CampaignTelemetry::default();
         for model in models {
-            counts.add(match reference {
-                Some(r) => runner.run_trial_checkpointed(mode, workload, model, deadline, r)?,
-                None => runner.run_trial_with_deadline(mode, workload, model, deadline)?,
-            });
+            let (outcome, obs) =
+                runner.run_trial_observed(mode, workload, model, deadline, reference)?;
+            counts.add(outcome);
+            telemetry.record(outcome, obs);
         }
-        return Ok((finish_report(report, counts), runner.perf()));
+        return Ok((finish_report(report, counts), runner.perf(), telemetry));
     }
 
     // Worker pool over pre-drawn models: a shared cursor hands out *chunks*
@@ -870,59 +1014,59 @@ pub fn run_campaign_with_perf(
     // is doomed either way, so skipped trials are unobservable).
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let results: Vec<Result<(OutcomeCounts, CampaignPerf), (usize, RedundancyError)>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let models = &models;
-                    let next = &next;
-                    let abort = &abort;
-                    scope.spawn(move || {
-                        let mut runner = CampaignRunner::new(cfg);
-                        let mut counts = OutcomeCounts::default();
-                        'claims: while !abort.load(Ordering::Relaxed) {
-                            let Some(range) = claim_chunk(next, models.len(), workers) else {
-                                break;
-                            };
-                            for i in range {
-                                if abort.load(Ordering::Relaxed) {
-                                    break 'claims;
+    type WorkerOk = (OutcomeCounts, CampaignPerf, CampaignTelemetry);
+    let results: Vec<Result<WorkerOk, (usize, RedundancyError)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let models = &models;
+                let next = &next;
+                let abort = &abort;
+                scope.spawn(move || {
+                    let mut runner = CampaignRunner::new(cfg);
+                    let mut counts = OutcomeCounts::default();
+                    let mut telemetry = CampaignTelemetry::default();
+                    'claims: while !abort.load(Ordering::Relaxed) {
+                        let Some(range) = claim_chunk(next, models.len(), workers) else {
+                            break;
+                        };
+                        for i in range {
+                            if abort.load(Ordering::Relaxed) {
+                                break 'claims;
+                            }
+                            let trial = runner
+                                .run_trial_observed(mode, workload, models[i], deadline, reference);
+                            match trial {
+                                Ok((outcome, obs)) => {
+                                    counts.add(outcome);
+                                    telemetry.record(outcome, obs);
                                 }
-                                let trial = match reference {
-                                    Some(r) => runner.run_trial_checkpointed(
-                                        mode, workload, models[i], deadline, r,
-                                    ),
-                                    None => runner.run_trial_with_deadline(
-                                        mode, workload, models[i], deadline,
-                                    ),
-                                };
-                                match trial {
-                                    Ok(outcome) => counts.add(outcome),
-                                    Err(e) => {
-                                        abort.store(true, Ordering::Relaxed);
-                                        return Err((i, e));
-                                    }
+                                Err(e) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    return Err((i, e));
                                 }
                             }
                         }
-                        Ok((counts, runner.perf()))
-                    })
+                    }
+                    Ok((counts, runner.perf(), telemetry))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
 
     let mut counts = OutcomeCounts::default();
     let mut perf = CampaignPerf::default();
+    let mut telemetry = CampaignTelemetry::default();
     let mut first_error: Option<(usize, RedundancyError)> = None;
     for r in results {
         match r {
-            Ok((c, p)) => {
+            Ok((c, p, t)) => {
                 counts.merge(c);
                 perf.merge(p);
+                telemetry.merge(&t);
             }
             Err((i, e)) => {
                 if first_error.as_ref().is_none_or(|(fi, _)| i < *fi) {
@@ -934,7 +1078,7 @@ pub fn run_campaign_with_perf(
     if let Some((_, e)) = first_error {
         return Err(e);
     }
-    Ok((finish_report(report, counts), perf))
+    Ok((finish_report(report, counts), perf, telemetry))
 }
 
 /// Runs a full campaign: `cfg.trials` randomized injections of `spec` into
@@ -971,6 +1115,24 @@ pub fn run_campaign_selected(
     let workload = spec.build_workload(reg)?;
     let mode = spec.mode(cfg.gpu.num_sms)?;
     Ok(run_campaign(cfg, &mode, spec.fault, &workload)?)
+}
+
+/// [`run_campaign_selected`] plus the campaign's [`CampaignTelemetry`]
+/// (cycle-domain distributions the report's outcome counts cannot express).
+///
+/// # Errors
+///
+/// As [`run_campaign_selected`].
+pub fn run_campaign_selected_with_telemetry(
+    cfg: &CampaignConfig,
+    reg: &WorkloadRegistry,
+    spec: &CampaignSpec,
+) -> Result<(CampaignReport, CampaignTelemetry), CampaignError> {
+    let workload = spec.build_workload(reg)?;
+    let mode = spec.mode(cfg.gpu.num_sms)?;
+    Ok(run_campaign_with_telemetry(
+        cfg, &mode, spec.fault, &workload,
+    )?)
 }
 
 /// Serial reference form of [`run_campaign_selected`] (one fresh device per

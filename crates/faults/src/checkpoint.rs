@@ -28,6 +28,7 @@
 
 use higpu_core::redundancy::{RedundancyError, RedundancyMode, RedundantExecutor, SyncHook};
 use higpu_sim::gpu::{DeviceSnapshot, Gpu, SimError};
+use higpu_telemetry::{EventKind, NO_SM};
 
 use crate::campaign::CampaignConfig;
 use crate::model::FaultModel;
@@ -123,19 +124,33 @@ struct SnapshotRecorder {
 }
 
 impl SyncHook for SnapshotRecorder {
-    fn on_sync(&mut self, gpu: &mut Gpu, _segment: usize) -> Result<u64, SimError> {
+    fn on_sync(&mut self, gpu: &mut Gpu, segment: usize) -> Result<u64, SimError> {
         let mut checkpoints = Vec::new();
         loop {
             let target = gpu.cycle() + self.stride.max(1);
             if gpu.run_to_cycle(target)? {
                 break;
             }
+            gpu.record_event(
+                EventKind::Snapshot,
+                gpu.cycle(),
+                NO_SM,
+                segment as u64,
+                checkpoints.len() as u64,
+            );
             checkpoints.push(Checkpoint {
                 cycle: gpu.cycle(),
                 snap: gpu.snapshot(),
             });
         }
         let end_cycle = gpu.cycle();
+        gpu.record_event(
+            EventKind::Snapshot,
+            end_cycle,
+            NO_SM,
+            segment as u64,
+            checkpoints.len() as u64,
+        );
         self.out.borrow_mut().push(SegmentRef {
             checkpoints,
             end: gpu.snapshot(),

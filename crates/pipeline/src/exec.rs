@@ -33,6 +33,7 @@ use higpu_core::redundancy::{RedundancyError, RedundancyMode, RedundantExecutor}
 use higpu_sim::config::GpuConfig;
 use higpu_sim::gpu::{Gpu, SimError};
 use higpu_sim::partition::SmRange;
+use higpu_telemetry::{EventKind, NO_SM};
 use higpu_workloads::{RedundantSession, SessionError};
 use std::fmt;
 
@@ -176,6 +177,18 @@ impl StageStatus {
     /// True when the stage delivered a consumable output.
     pub fn delivered(&self) -> bool {
         !matches!(self, StageStatus::FailStop(_))
+    }
+}
+
+/// Numeric outcome carried in the `aux` word of
+/// [`EventKind::StageFinish`] telemetry events: 0 clean, 1 corrected,
+/// 2 recovered, 3 fail-stop.
+pub(crate) fn status_code(status: StageStatus) -> u64 {
+    match status {
+        StageStatus::Clean => 0,
+        StageStatus::Corrected => 1,
+        StageStatus::Recovered => 2,
+        StageStatus::FailStop(_) => 3,
     }
 }
 
@@ -578,6 +591,7 @@ fn run_serial(
             .map(|&d| run.outputs[d].as_slice())
             .collect();
         let start = gpu.cycle();
+        gpu.record_event(EventKind::StageStart, start, NO_SM, s as u64, 1);
         let budget = plan.ftti.stage_budgets[s];
         let mut attempts = 0u32;
         let mut stage_up = 0u64;
@@ -628,6 +642,13 @@ fn run_serial(
                         break (StageStatus::FailStop(FailReason::NoSlack), Vec::new());
                     }
                     run.retries_attempted += 1;
+                    gpu.record_event(
+                        EventKind::StageRetry,
+                        now,
+                        NO_SM,
+                        s as u64,
+                        (attempts + 1) as u64,
+                    );
                     // The retry gets a fresh stage budget, still capped by
                     // the frame's absolute end-to-end FTTI.
                     limit = serial_limit(now);
@@ -635,6 +656,13 @@ fn run_serial(
             }
         };
         let end = gpu.cycle();
+        gpu.record_event(
+            EventKind::StageFinish,
+            end,
+            NO_SM,
+            s as u64,
+            status_code(status),
+        );
         run.bandwidth_bytes += stage_up + stage_down;
         run.timings.push(StageTiming {
             stage: s,

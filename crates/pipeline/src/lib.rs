@@ -45,6 +45,7 @@ pub mod graph;
 pub mod limp;
 mod overlap;
 pub mod stages;
+pub mod trace_export;
 
 pub use builtin::{ad_pipeline, full_pipeline_registry, register_all, sensor_fusion};
 pub use campaign::{

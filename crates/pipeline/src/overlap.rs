@@ -38,8 +38,8 @@
 //! sibling partition's clock-visible state.
 
 use crate::exec::{
-    bist_round, is_deadline_cutoff, FailReason, FrameOptions, PipelineError, PipelinePlan,
-    PipelineRun, StageStatus, StageTiming,
+    bist_round, is_deadline_cutoff, status_code, FailReason, FrameOptions, PipelineError,
+    PipelinePlan, PipelineRun, StageStatus, StageTiming,
 };
 use crate::graph::{Pipeline, Stage};
 use higpu_core::policy::PartitionedScheduler;
@@ -49,6 +49,7 @@ use higpu_sim::gpu::{DevPtr, Gpu, SimError};
 use higpu_sim::kernel::{Dim3, KernelId, KernelLaunch, LaunchConfig};
 use higpu_sim::partition::{SmPartitionTable, SmRange, SmReservation};
 use higpu_sim::program::Program;
+use higpu_telemetry::EventKind;
 use higpu_workloads::{BufId, GpuSession, SParam, SessionError};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -582,6 +583,13 @@ pub(crate) fn run_overlapped(
                             stage.deps.iter().map(|&d| run.outputs[d].clone()).collect();
                         let (ops, replies) = spawn_attempt(scope, stage, inputs);
                         let now = gpu.cycle();
+                        gpu.record_event(
+                            EventKind::StageStart,
+                            now,
+                            reservation.range().start as u32,
+                            s as u64,
+                            1,
+                        );
                         branches.push(Branch {
                             stage: s,
                             name: stage.name,
@@ -626,6 +634,13 @@ pub(crate) fn run_overlapped(
                                 StageStatus::Clean
                             };
                             run.corrected_reads += b.corrected;
+                            gpu.record_event(
+                                EventKind::StageFinish,
+                                now,
+                                b.reservation.range().start as u32,
+                                s as u64,
+                                status_code(status),
+                            );
                             run.timings
                                 .push(b.timing(plan.ftti.stage_budgets[s], now, status));
                             run.bandwidth_bytes += b.bytes_up + b.bytes_down;
@@ -663,6 +678,13 @@ pub(crate) fn run_overlapped(
                                 // the same partition, under a fresh stage
                                 // budget capped by the frame's FTTI.
                                 run.retries_attempted += 1;
+                                gpu.record_event(
+                                    EventKind::StageRetry,
+                                    now,
+                                    b.reservation.range().start as u32,
+                                    s as u64,
+                                    (b.attempt + 1) as u64,
+                                );
                                 let stage = &pipeline.stages()[s];
                                 let inputs: Vec<Vec<u32>> =
                                     stage.deps.iter().map(|&d| run.outputs[d].clone()).collect();
@@ -680,6 +702,13 @@ pub(crate) fn run_overlapped(
                                 b.replies = replies;
                             }
                             Some(reason) => {
+                                gpu.record_event(
+                                    EventKind::StageFinish,
+                                    now,
+                                    b.reservation.range().start as u32,
+                                    s as u64,
+                                    status_code(StageStatus::FailStop(reason)),
+                                );
                                 run.timings.push(b.timing(
                                     plan.ftti.stage_budgets[s],
                                     now,

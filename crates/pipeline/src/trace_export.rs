@@ -1,0 +1,110 @@
+//! Chrome-trace export of a pipeline frame: one track per stage (complete
+//! spans from the frame's [`StageTiming`] timeline), one track per SM plus
+//! a device track (built from the device's telemetry ring via
+//! [`higpu_telemetry::ChromeTrace`]), in one process group per frame.
+//!
+//! Timestamps are **simulated cycles** (the trace viewer's "µs" axis reads
+//! as cycles); the export is a pure function of the frame run and the
+//! drained telemetry events, so it inherits the simulator's determinism.
+
+use crate::exec::{PipelineRun, StageStatus, StageTiming};
+use higpu_sim::gpu::Gpu;
+use higpu_telemetry::{ChromeTrace, TraceEvent};
+
+/// Thread id offset of stage tracks within a frame's process group (SM
+/// tracks use the SM index directly; stages sit above any plausible SM
+/// count so the two families never collide).
+const STAGE_TID_BASE: u32 = 1_000;
+
+fn span_name(t: &StageTiming) -> String {
+    let tag = match t.status {
+        StageStatus::Clean => "",
+        StageStatus::Corrected => " [corrected]",
+        StageStatus::Recovered => " [recovered]",
+        StageStatus::FailStop(_) => " [FAIL-STOP]",
+    };
+    if t.attempts > 1 {
+        format!("{}{} ({} attempts)", t.name, tag, t.attempts)
+    } else {
+        format!("{}{}", t.name, tag)
+    }
+}
+
+/// Adds one pipeline frame to `trace` as process `pid`: named stage tracks
+/// with one complete span per executed stage, plus the SM/device tracks
+/// from `events` (drain the device with [`Gpu::drain_telemetry`] first).
+pub fn add_frame(trace: &mut ChromeTrace, pid: u32, run: &PipelineRun, events: &[TraceEvent]) {
+    for t in &run.timings {
+        let tid = STAGE_TID_BASE + t.stage as u32;
+        trace.thread_name(pid, tid, &format!("stage {}: {}", t.stage, t.name));
+        trace.complete(
+            pid,
+            tid,
+            &span_name(t),
+            t.start,
+            t.end.saturating_sub(t.start).max(1),
+        );
+    }
+    higpu_telemetry::chrome::add_device_events(trace, pid, events);
+}
+
+/// Records `run` plus the device's drained telemetry ring as process `pid`
+/// of `trace`, naming the process `name`. Convenience wrapper used by the
+/// trace-recording binaries and `examples/run_trace.rs`.
+pub fn export_frame(
+    trace: &mut ChromeTrace,
+    pid: u32,
+    name: &str,
+    gpu: &mut Gpu,
+    run: &PipelineRun,
+) {
+    trace.process_name(pid, name);
+    let events = gpu.drain_telemetry();
+    add_frame(trace, pid, run, &events);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::FailReason;
+    use higpu_sim::partition::SmRange;
+
+    fn timing(stage: usize, name: &'static str, status: StageStatus) -> StageTiming {
+        StageTiming {
+            stage,
+            name,
+            start: 100,
+            end: 500,
+            budget: 600,
+            slack: 200,
+            attempts: if status == StageStatus::Recovered {
+                2
+            } else {
+                1
+            },
+            partition: SmRange { start: 0, len: 2 },
+            bytes_uploaded: 0,
+            bytes_read_back: 0,
+            status,
+        }
+    }
+
+    #[test]
+    fn frame_spans_carry_stage_names_and_status_tags() {
+        let mut run = PipelineRun::new(3, 0);
+        run.timings.push(timing(0, "camera", StageStatus::Clean));
+        run.timings.push(timing(1, "fuse", StageStatus::Recovered));
+        run.timings.push(timing(
+            2,
+            "track",
+            StageStatus::FailStop(FailReason::NoSlack),
+        ));
+        let mut trace = ChromeTrace::new();
+        add_frame(&mut trace, 1, &run, &[]);
+        let json = trace.to_json();
+        assert!(json.contains("\"camera\""));
+        assert!(json.contains("fuse [recovered] (2 attempts)"));
+        assert!(json.contains("track [FAIL-STOP]"));
+        assert!(json.contains("stage 1: fuse"));
+    }
+}

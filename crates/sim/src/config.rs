@@ -155,6 +155,14 @@ pub struct GpuConfig {
     pub l2: CacheConfig,
     /// DRAM subsystem.
     pub dram: DramConfig,
+    /// Telemetry event-ring capacity: `Some(n)` preallocates an `n`-event
+    /// [`higpu_telemetry::EventRing`] the device records kernel/block
+    /// lifecycle, snapshot/restore, fault and quarantine events into (see
+    /// [`crate::gpu::Gpu::telemetry_events`]). `None` — the default in
+    /// every preset — records nothing and reduces each hook to a branch;
+    /// recording is observationally invisible either way (fenced by
+    /// `tests/telemetry_fence.rs` at the workspace root).
+    pub telemetry_capacity: Option<usize>,
 }
 
 impl GpuConfig {
@@ -187,6 +195,7 @@ impl GpuConfig {
                 line_bytes: 128,
             },
             dram: DramConfig::default(),
+            telemetry_capacity: None,
         }
     }
 

@@ -14,6 +14,7 @@ use crate::sm::{BlockCompletion, IssueRecord, Sm, SmState};
 use crate::stats::SimStats;
 use crate::timeq::TimeQ;
 use crate::trace::{BlockRecord, ExecutionTrace, KernelRecord};
+use higpu_telemetry::{EventKind, EventRing, TraceEvent, NO_SM};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -278,6 +279,17 @@ pub struct Gpu {
     sched: SchedScratch,
     instructions: u64,
     blocks_completed: u64,
+    /// Telemetry sink: `Some` iff [`GpuConfig::telemetry_capacity`] was set
+    /// (or [`Gpu::set_telemetry_capacity`] was called). Purely
+    /// observational — **not** part of [`DeviceSnapshot`] (a restore must
+    /// not rewrite the recording that observed it) and excluded from every
+    /// architectural comparison; `None` reduces each hook to one branch.
+    telemetry: Option<Box<EventRing>>,
+    /// Restores performed since the last reset (telemetry counter).
+    restores: u64,
+    /// Cycles fast-forwarded by those restores (target minus pre-restore
+    /// clock, forward jumps only) — the work checkpointed replay skipped.
+    restore_skipped_cycles: u64,
     // ---- event-core state ([`CoreKind::Event`]) ------------------------------
     // Rebuilt from scratch on every `run_until` entry, so launches, resets,
     // cancellations and quarantines between runs need no event bookkeeping.
@@ -360,6 +372,11 @@ impl Gpu {
             sched: SchedScratch::default(),
             instructions: 0,
             blocks_completed: 0,
+            telemetry: cfg
+                .telemetry_capacity
+                .map(|n| Box::new(EventRing::with_capacity(n))),
+            restores: 0,
+            restore_skipped_cycles: 0,
             sm_wake: TimeQ::new(),
             arrivals: BinaryHeap::new(),
             arrived_pending: 0,
@@ -481,6 +498,16 @@ impl Gpu {
             self.mem[snap.mem.len()..cur].fill(0);
         }
         self.mem[..snap.mem.len()].copy_from_slice(&snap.mem);
+        let skipped = snap.cycle.saturating_sub(self.cycle);
+        self.restores += 1;
+        self.restore_skipped_cycles += skipped;
+        self.emit(
+            EventKind::Restore,
+            snap.cycle,
+            NO_SM,
+            self.restores,
+            skipped,
+        );
         self.cycle = snap.cycle;
         self.next_dispatch_slot = snap.next_dispatch_slot;
         self.alloc_cursor = snap.alloc_cursor;
@@ -497,6 +524,77 @@ impl Gpu {
             sm.restore_state(st);
         }
         self.policy.load_state(&snap.policy_state);
+    }
+
+    // ---- telemetry -----------------------------------------------------------
+
+    /// Records one telemetry event; a branch when recording is disabled.
+    #[inline]
+    fn emit(&mut self, kind: EventKind, cycle: u64, sm: u32, id: u64, aux: u64) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.push(TraceEvent {
+                cycle,
+                kind,
+                sm,
+                id,
+                aux,
+            });
+        }
+    }
+
+    /// True when a telemetry ring is installed.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Installs (or with `None` removes) a telemetry ring of the given
+    /// capacity, discarding any previous recording. Runtime equivalent of
+    /// [`GpuConfig::telemetry_capacity`].
+    pub fn set_telemetry_capacity(&mut self, capacity: Option<usize>) {
+        self.telemetry = capacity.map(|n| Box::new(EventRing::with_capacity(n)));
+    }
+
+    /// Records an externally observed event (fault arm/detect, pipeline
+    /// stage lifecycle, …) into the ring. A no-op when recording is
+    /// disabled, so harness layers call it unconditionally.
+    pub fn record_event(&mut self, kind: EventKind, cycle: u64, sm: u32, id: u64, aux: u64) {
+        self.emit(kind, cycle, sm, id, aux);
+    }
+
+    /// The recorded events, oldest first (empty when recording is
+    /// disabled).
+    pub fn telemetry_events(&self) -> Vec<TraceEvent> {
+        self.telemetry
+            .as_deref()
+            .map(EventRing::to_vec)
+            .unwrap_or_default()
+    }
+
+    /// Removes and returns the recorded events, retaining the ring.
+    pub fn drain_telemetry(&mut self) -> Vec<TraceEvent> {
+        self.telemetry
+            .as_deref_mut()
+            .map(EventRing::drain)
+            .unwrap_or_default()
+    }
+
+    /// Events lost to ring wrap-around since the last reset/drain.
+    pub fn telemetry_overwritten(&self) -> u64 {
+        self.telemetry
+            .as_deref()
+            .map(EventRing::overwritten)
+            .unwrap_or(0)
+    }
+
+    /// Restores performed since the last reset.
+    pub fn restore_count(&self) -> u64 {
+        self.restores
+    }
+
+    /// Cycles fast-forwarded by restores since the last reset — simulation
+    /// work a checkpointed trial skipped.
+    pub fn restore_skipped_cycles(&self) -> u64 {
+        self.restore_skipped_cycles
     }
 
     /// Installs a fault-injection hook (replaces any previous hook).
@@ -531,6 +629,7 @@ impl Gpu {
             self.quarantined[sm] = true;
             // Pending work that was headed for this SM must be re-placed.
             self.sched_dirty = true;
+            self.emit(EventKind::QuarantineConvicted, self.cycle, sm as u32, 0, 0);
         }
     }
 
@@ -661,6 +760,12 @@ impl Gpu {
         self.sched_dirty = false;
         self.instructions = 0;
         self.blocks_completed = 0;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.clear();
+        }
+        self.restores = 0;
+        self.restore_skipped_cycles = 0;
+        self.sm_wake.reset_stats();
         Ok(())
     }
 
@@ -870,6 +975,7 @@ impl Gpu {
             record,
         });
         self.sched_dirty = true;
+        self.emit(EventKind::KernelLaunch, self.cycle, NO_SM, id.0, arrival);
         Ok(id)
     }
 
@@ -978,6 +1084,13 @@ impl Gpu {
                 self.cycle + BLOCK_DISPATCH_LATENCY,
             );
             self.sms[chosen].admit(block);
+            self.emit(
+                EventKind::BlockDispatch,
+                self.cycle,
+                chosen as u32,
+                a.kernel.0,
+                u64::from(block_linear),
+            );
         }
         self.sched.kernels = kernels;
         self.sched.sms = sms;
@@ -1008,11 +1121,23 @@ impl Gpu {
         });
         self.instructions += c.instrs;
         self.blocks_completed += 1;
+        let mut finished = false;
         if let Some(k) = self.kernels.iter_mut().find(|k| k.id == c.kernel) {
             k.blocks_done += 1;
             if k.is_finished() {
                 self.trace.kernels[k.record].completion = Some(c.end);
+                finished = true;
             }
+        }
+        self.emit(
+            EventKind::BlockRetire,
+            c.end,
+            c.sm as u32,
+            c.kernel.0,
+            u64::from(c.block),
+        );
+        if finished {
+            self.emit(EventKind::KernelComplete, c.end, NO_SM, c.kernel.0, 0);
         }
         self.sched_dirty = true;
     }
@@ -1559,6 +1684,7 @@ impl Gpu {
             oob_accesses: self.sms.iter().map(|s| s.oob_accesses).sum(),
             kernels_completed: self.kernels.iter().filter(|k| k.is_finished()).count() as u64,
             blocks_completed: self.blocks_completed,
+            timeq: self.sm_wake.stats(),
         }
     }
 }

@@ -36,6 +36,21 @@ impl<P> Default for Bucket<P> {
     }
 }
 
+/// Routing diagnostics of a [`TimeQ`]: how many pushes took the O(1) wheel
+/// path vs. spilling to the overflow heap, and how deep the heap ever got.
+/// Cumulative across [`TimeQ::clear`] (the queue is rebuilt at every run
+/// entry); reset only by [`TimeQ::reset_stats`]. Diagnostics, not
+/// architectural state — excluded from [`crate::stats::SimStats`] equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeQStats {
+    /// Pushes that landed in a wheel bucket (O(1) path).
+    pub wheel_pushes: u64,
+    /// Pushes that spilled to the overflow heap (out-of-window cycles).
+    pub overflow_pushes: u64,
+    /// High-water mark of the overflow heap's length.
+    pub max_heap_depth: u64,
+}
+
 /// A monotone future-event queue over `(cycle, payload)` pairs with
 /// deterministic `(cycle, payload)`-lexicographic pop order.
 #[derive(Debug)]
@@ -50,6 +65,7 @@ pub struct TimeQ<P> {
     /// Entries currently in the wheel (not counting the overflow heap).
     wheel_len: usize,
     len: usize,
+    stats: TimeQStats,
 }
 
 impl<P: Ord + Copy> TimeQ<P> {
@@ -67,7 +83,18 @@ impl<P: Ord + Copy> TimeQ<P> {
             overflow: BinaryHeap::new(),
             wheel_len: 0,
             len: 0,
+            stats: TimeQStats::default(),
         }
+    }
+
+    /// Cumulative routing diagnostics (see [`TimeQStats`]).
+    pub fn stats(&self) -> TimeQStats {
+        self.stats
+    }
+
+    /// Zeroes the routing diagnostics (entries are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = TimeQStats::default();
     }
 
     /// Number of queued entries.
@@ -108,9 +135,12 @@ impl<P: Ord + Copy> TimeQ<P> {
             b.items.push(payload);
             b.sorted = false;
             self.wheel_len += 1;
+            self.stats.wheel_pushes += 1;
         } else {
             // Before the window (late wake-ups) or beyond the horizon.
             self.overflow.push(Reverse((cycle, payload)));
+            self.stats.overflow_pushes += 1;
+            self.stats.max_heap_depth = self.stats.max_heap_depth.max(self.overflow.len() as u64);
         }
         self.len += 1;
     }
@@ -331,6 +361,27 @@ mod tests {
         assert_eq!(q.pop_min(), Some((h + 5, 2)));
         assert_eq!(q.pop_min(), Some((h + 5, 7)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn routing_counters_track_wheel_vs_overflow() {
+        let h = TimeQ::<usize>::HORIZON as u64;
+        let mut q = TimeQ::new();
+        q.push(5, 0usize); // wheel
+        q.push(h - 1, 1); // wheel
+        q.push(h, 2); // overflow (boundary)
+        q.push(h + 100, 3); // overflow
+        assert_eq!(q.pop_min(), Some((5, 0)));
+        let s = q.stats();
+        assert_eq!(s.wheel_pushes, 2);
+        assert_eq!(s.overflow_pushes, 2);
+        assert_eq!(s.max_heap_depth, 2);
+        // Counters survive clear (cumulative across run rebuilds) …
+        q.clear();
+        assert_eq!(q.stats().overflow_pushes, 2);
+        // … and reset only explicitly.
+        q.reset_stats();
+        assert_eq!(q.stats(), TimeQStats::default());
     }
 
     #[test]

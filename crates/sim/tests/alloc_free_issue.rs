@@ -19,14 +19,29 @@ use higpu_sim::sm::Sm;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// System allocator wrapper that counts allocations.
+/// System allocator wrapper that counts allocations made by threads that
+/// opted in. The libtest harness runs its own threads (output capture,
+/// timers) whose incidental allocations would otherwise race into the
+/// counted window; scoping the counter to the measuring thread keeps the
+/// fence about the issue path, not harness timing.
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    static COUNTING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    // try_with: the allocator can be called during TLS teardown.
+    COUNTING.try_with(std::cell::Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -35,7 +50,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -156,6 +173,7 @@ fn measure(policy: WarpSchedPolicy) -> (u64, u64) {
 // two concurrently running tests would see each other's allocations.
 #[test]
 fn issue_path_is_allocation_free_under_both_policies() {
+    COUNTING.with(|c| c.set(true));
     for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr] {
         let (issued, allocs) = measure(policy);
         assert!(

@@ -1,0 +1,143 @@
+//! Proves the telemetry layer honors the hot-path allocation contract:
+//! with recording **disabled** (the default) every hook is a branch and
+//! records nothing — a full device run performs exactly the allocations of
+//! a device built without telemetry in the picture — and with recording
+//! **enabled** the preallocated ring absorbs events (including past
+//! wrap-around) without ever touching the heap.
+//!
+//! Lives in its own integration binary because the counting allocator is
+//! process-global.
+
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::config::GpuConfig;
+use higpu_sim::gpu::Gpu;
+use higpu_sim::kernel::{KernelLaunch, LaunchConfig};
+use higpu_telemetry::{EventKind, NO_SM};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocations made by threads that
+/// opted in. The libtest harness runs its own threads (output capture,
+/// timers) whose incidental allocations would otherwise race into the
+/// counted windows; scoping the counter to the measuring thread keeps the
+/// fence about the telemetry layer, not harness timing.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static COUNTING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    // try_with: the allocator can be called during TLS teardown.
+    COUNTING.try_with(std::cell::Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn loop_kernel() -> std::sync::Arc<higpu_sim::program::Program> {
+    let mut b = KernelBuilder::new("loop");
+    let base = b.param(0);
+    let i = b.global_tid_x();
+    let addr = b.addr_w(base, i);
+    b.for_range(0u32, 64u32, 1u32, |b, j| {
+        let v = b.ldg(addr, 0);
+        let v2 = b.iadd(v, j);
+        b.stg(addr, 0, v2);
+    });
+    b.build().expect("valid").into_shared()
+}
+
+/// Runs the workload once on `gpu` and returns the allocations observed.
+fn run_once(gpu: &mut Gpu) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let buf = gpu.alloc_words(256).expect("alloc");
+    gpu.write_u32(buf, &[1u32; 256]);
+    let prog = loop_kernel();
+    for _ in 0..3 {
+        gpu.launch(KernelLaunch::new(
+            prog.clone(),
+            LaunchConfig::new(8u32, 32u32).param_u32(buf.0),
+        ))
+        .expect("launch");
+    }
+    gpu.run_to_idle().expect("run");
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+// One test fn: the counting allocator is process-global, so concurrently
+// running tests would see each other's allocations.
+#[test]
+fn telemetry_hooks_honor_the_allocation_contract() {
+    COUNTING.with(|c| c.set(true));
+    // --- disabled hooks add zero allocations to a device run ------------
+    // Warm both devices once (scratch buffers, trace vectors), then compare
+    // a second, steady-state run: the simulator is deterministic, so any
+    // extra allocation on the enabled device is the telemetry layer's.
+    let mut off = Gpu::new(GpuConfig::tiny_2sm());
+    let mut on = Gpu::new(GpuConfig {
+        telemetry_capacity: Some(4096),
+        ..GpuConfig::tiny_2sm()
+    });
+    run_once(&mut off);
+    run_once(&mut on);
+    off.reset().expect("idle");
+    on.reset().expect("idle");
+    let allocs_off = run_once(&mut off);
+    let allocs_on = run_once(&mut on);
+    assert!(
+        !on.telemetry_events().is_empty(),
+        "enabled device must actually have recorded the run"
+    );
+    assert_eq!(
+        allocs_on, allocs_off,
+        "recording into the preallocated ring must add zero allocations \
+         over the disabled path"
+    );
+
+    // --- the disabled hook itself is a branch ----------------------------
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        off.record_event(EventKind::FaultArmed, i, NO_SM, 0, 0);
+    }
+    assert_eq!(
+        ALLOCATIONS.load(Ordering::Relaxed) - before,
+        0,
+        "disabled record_event must not allocate"
+    );
+
+    // --- enabled recording never allocates, even past wrap-around --------
+    let capacity = 4096u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..3 * capacity {
+        on.record_event(EventKind::FaultArmed, i, NO_SM, 0, 0);
+    }
+    assert_eq!(
+        ALLOCATIONS.load(Ordering::Relaxed) - before,
+        0,
+        "ring wrap-around must overwrite in place, not grow"
+    );
+    assert!(on.telemetry_overwritten() > 0, "the ring did wrap");
+}

@@ -1,0 +1,206 @@
+//! Chrome-trace-event JSON export (`chrome://tracing` / Perfetto).
+//!
+//! Emits the JSON object form (`{"traceEvents": [...]}`) with complete
+//! (`ph:"X"`), instant (`ph:"i"`) and metadata (`ph:"M"`) events. The `ts`
+//! field carries **simulated cycles** (viewers display them as
+//! microseconds; the unit label is cosmetic, the shapes are what matter).
+//! Formatting is manual `format!` JSON, matching the rest of the repo.
+
+use std::collections::HashMap;
+
+use crate::event::{EventKind, TraceEvent, NO_SM};
+
+/// Track (`tid`) used for device-wide events within a device process.
+pub const DEVICE_TID: u32 = 9_999;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental Chrome-trace builder: push events, then [`ChromeTrace::to_json`].
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far (including metadata).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names a process (one timeline group in the viewer).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \"args\": {{\"name\": \"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Names a thread (one track within a process).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"name\": \"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// A complete (span) event covering `[ts, ts + dur]`.
+    pub fn complete(&mut self, pid: u32, tid: u32, name: &str, ts: u64, dur: u64) {
+        self.events.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {ts}, \"dur\": {dur}}}",
+            escape(name)
+        ));
+    }
+
+    /// A thread-scoped instant event at `ts`.
+    pub fn instant(&mut self, pid: u32, tid: u32, name: &str, ts: u64) {
+        self.events.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {ts}}}",
+            escape(name)
+        ));
+    }
+
+    /// Serializes the trace to the Chrome JSON object form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n\"traceEvents\": [\n");
+        out.push_str(&self.events.join(",\n"));
+        out.push_str("\n],\n\"displayTimeUnit\": \"ns\"\n}\n");
+        out
+    }
+}
+
+/// Converts a device's recorded [`TraceEvent`]s into timeline tracks under
+/// process `pid`: one track per SM carrying block spans (dispatch→retire)
+/// and SM-local instants, plus a [`DEVICE_TID`] track for device-wide
+/// instants (kernel lifecycle, snapshots, restores).
+pub fn add_device_events(trace: &mut ChromeTrace, pid: u32, events: &[TraceEvent]) {
+    let mut sms: Vec<u32> = events
+        .iter()
+        .filter(|e| e.sm != NO_SM)
+        .map(|e| e.sm)
+        .collect();
+    sms.sort_unstable();
+    sms.dedup();
+    for &sm in &sms {
+        trace.thread_name(pid, sm, &format!("SM {sm}"));
+    }
+    trace.thread_name(pid, DEVICE_TID, "device");
+    // Pair dispatch/retire per (kernel, block); a block can be re-placed
+    // after a restore, so retire consumes the most recent dispatch.
+    let mut open: HashMap<(u64, u64), (u64, u32)> = HashMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::BlockDispatch => {
+                open.insert((e.id, e.aux), (e.cycle, e.sm));
+            }
+            EventKind::BlockRetire => {
+                let name = format!("k{} b{}", e.id, e.aux);
+                if let Some((start, sm)) = open.remove(&(e.id, e.aux)) {
+                    trace.complete(pid, sm, &name, start, e.cycle.saturating_sub(start));
+                } else {
+                    trace.instant(pid, e.sm, &name, e.cycle);
+                }
+            }
+            EventKind::KernelLaunch | EventKind::KernelComplete => {
+                trace.instant(
+                    pid,
+                    DEVICE_TID,
+                    &format!("{} k{}", e.kind.label(), e.id),
+                    e.cycle,
+                );
+            }
+            _ => {
+                let tid = if e.sm == NO_SM { DEVICE_TID } else { e.sm };
+                trace.instant(pid, tid, e.kind.label(), e.cycle);
+            }
+        }
+    }
+    // Blocks still in flight when recording stopped: show the dispatch.
+    let mut unfinished: Vec<((u64, u64), (u64, u32))> = open.into_iter().collect();
+    unfinished.sort_unstable();
+    for ((kernel, block), (start, sm)) in unfinished {
+        trace.instant(pid, sm, &format!("k{kernel} b{block} (in flight)"), start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, cycle: u64, sm: u32, id: u64, aux: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            kind,
+            sm,
+            id,
+            aux,
+        }
+    }
+
+    #[test]
+    fn block_spans_pair_dispatch_with_retire() {
+        let mut t = ChromeTrace::new();
+        add_device_events(
+            &mut t,
+            0,
+            &[
+                ev(EventKind::BlockDispatch, 10, 2, 0, 0),
+                ev(EventKind::BlockRetire, 55, 2, 0, 0),
+            ],
+        );
+        let json = t.to_json();
+        assert!(json.contains("\"name\": \"SM 2\""));
+        assert!(json.contains("\"name\": \"k0 b0\""));
+        assert!(json.contains("\"ts\": 10, \"dur\": 45"));
+    }
+
+    #[test]
+    fn device_events_land_on_the_device_track() {
+        let mut t = ChromeTrace::new();
+        add_device_events(
+            &mut t,
+            1,
+            &[
+                ev(EventKind::KernelLaunch, 0, NO_SM, 3, 7),
+                ev(EventKind::Restore, 4096, NO_SM, 1, 4000),
+                ev(EventKind::FaultArmed, 500, 1, 0, 9),
+            ],
+        );
+        let json = t.to_json();
+        assert!(json.contains(&format!("\"tid\": {DEVICE_TID}")));
+        assert!(json.contains("kernel-launch k3"));
+        assert!(json.contains("\"name\": \"restore\""));
+        assert!(json.contains(
+            "\"name\": \"fault-armed\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": 1"
+        ));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let mut t = ChromeTrace::new();
+        t.process_name(0, "a\"b\\c\nd");
+        assert!(t.to_json().contains("a\\\"b\\\\c\\nd"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Cycle-stamped trace events and the preallocated ring they are sunk into.
+
+/// `sm` value of a device-wide event (kernel launches, restores, …).
+pub const NO_SM: u32 = u32::MAX;
+
+/// What happened. The vocabulary covers every hook the stack records:
+/// device-level kernel/block lifecycle, checkpointing, fault injection and
+/// classification, pipeline stage execution, and SM health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A kernel was submitted (`id` = kernel id, `aux` = arrival cycle).
+    KernelLaunch,
+    /// A kernel's last block retired (`id` = kernel id).
+    KernelComplete,
+    /// A block was placed on an SM (`id` = kernel id, `aux` = block index).
+    BlockDispatch,
+    /// A block finished on an SM (`id` = kernel id, `aux` = block index).
+    BlockRetire,
+    /// A device snapshot was captured at `cycle`.
+    Snapshot,
+    /// The device was restored to `cycle` (`aux` = cycles fast-forwarded).
+    Restore,
+    /// A fault model's window opens at `cycle` (`aux` = flipped bit).
+    FaultArmed,
+    /// A trial classified as detected at `cycle` (`aux` = arm→detect latency).
+    FaultDetected,
+    /// A pipeline stage attempt began (`id` = stage index, `aux` = attempt).
+    StageStart,
+    /// A pipeline stage delivered or fail-stopped (`id` = stage index,
+    /// `aux` = status code: 0 clean, 1 corrected, 2 recovered, 3 fail-stop).
+    StageFinish,
+    /// A pipeline stage attempt was retried (`id` = stage index,
+    /// `aux` = the new attempt number).
+    StageRetry,
+    /// An SM was convicted and quarantined (`sm` = the removed SM).
+    QuarantineConvicted,
+}
+
+impl EventKind {
+    /// Short name used for timeline event labels and JSON validation.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::KernelLaunch => "kernel-launch",
+            EventKind::KernelComplete => "kernel-complete",
+            EventKind::BlockDispatch => "block-dispatch",
+            EventKind::BlockRetire => "block-retire",
+            EventKind::Snapshot => "snapshot",
+            EventKind::Restore => "restore",
+            EventKind::FaultArmed => "fault-armed",
+            EventKind::FaultDetected => "fault-detected",
+            EventKind::StageStart => "stage-start",
+            EventKind::StageFinish => "stage-finish",
+            EventKind::StageRetry => "stage-retry",
+            EventKind::QuarantineConvicted => "quarantine-convicted",
+        }
+    }
+}
+
+/// One recorded event, stamped with the simulated cycle it happened at.
+///
+/// `id`/`aux` are kind-specific payloads (see [`EventKind`]); `sm` is
+/// [`NO_SM`] for device-wide events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle of the event.
+    pub cycle: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// SM the event concerns, or [`NO_SM`].
+    pub sm: u32,
+    /// Primary payload (kernel id, stage index, …).
+    pub id: u64,
+    /// Secondary payload (block index, skipped cycles, attempt, …).
+    pub aux: u64,
+}
+
+/// A bounded, preallocated event sink.
+///
+/// All storage is allocated once in [`EventRing::with_capacity`]; recording
+/// never allocates. When the ring is full the **oldest** event is
+/// overwritten (ring semantics — the tail of a long run is what a crash
+/// dump wants) and [`EventRing::overwritten`] counts the loss, so exporters
+/// can report truncation instead of silently presenting a partial timeline.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    capacity: usize,
+    overwritten: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events, fully preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            overwritten: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events lost to ring wrap-around since the last clear.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Records one event. Never allocates; overwrites the oldest retained
+    /// event when full (a zero-capacity ring drops everything).
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else if self.capacity > 0 {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        } else {
+            self.overwritten += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        let (wrapped, first) = self.buf.split_at(self.head);
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(first);
+        out.extend_from_slice(wrapped);
+        out
+    }
+
+    /// Removes and returns the retained events (oldest first), keeping the
+    /// ring's storage allocated.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        let out = self.to_vec();
+        self.clear();
+        out
+    }
+
+    /// Discards all retained events and the overwrite count; storage stays
+    /// allocated.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.overwritten = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            kind: EventKind::BlockRetire,
+            sm: 0,
+            id: 0,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_overwrites() {
+        let mut r = EventRing::with_capacity(3);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 2);
+        let cycles: Vec<u64> = r.to_vec().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4], "oldest events were overwritten");
+    }
+
+    #[test]
+    fn push_never_grows_the_allocation() {
+        let mut r = EventRing::with_capacity(8);
+        let cap_before = r.buf.capacity();
+        for c in 0..100 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.buf.capacity(), cap_before);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn drain_returns_in_order_and_retains_capacity() {
+        let mut r = EventRing::with_capacity(4);
+        for c in 0..6 {
+            r.push(ev(c));
+        }
+        let drained: Vec<u64> = r.drain().iter().map(|e| e.cycle).collect();
+        assert_eq!(drained, vec![2, 3, 4, 5]);
+        assert!(r.is_empty());
+        assert_eq!(r.overwritten(), 0);
+        assert!(r.buf.capacity() >= 4);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut r = EventRing::with_capacity(0);
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.overwritten(), 1);
+    }
+}

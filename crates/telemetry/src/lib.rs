@@ -1,0 +1,30 @@
+//! Cycle-stamped observability for the high-integrity GPU stack.
+//!
+//! Everything in this crate is keyed to the **simulated cycle**, never wall
+//! time, so recordings are deterministic: two runs of the same campaign
+//! produce byte-identical event streams and histograms regardless of host
+//! load or worker count. The one deliberate exception is
+//! [`progress::ProgressLine`], which is wall-clock by nature (rate/ETA) and
+//! is therefore never allowed to feed any report.
+//!
+//! * [`event`] — the [`event::TraceEvent`] vocabulary and the preallocated
+//!   [`event::EventRing`] sink devices record into. Disabled recording is a
+//!   `None` check at each hook site; enabled recording is a bounds check
+//!   plus a store into preallocated storage — no per-event allocation.
+//! * [`metrics`] — [`metrics::CycleHistogram`], a fixed-layout log2
+//!   histogram over cycle counts whose merge is element-wise and therefore
+//!   order-independent: campaign workers aggregate locally and merge
+//!   deterministically.
+//! * [`chrome`] — a Chrome-trace-event (`chrome://tracing` / Perfetto)
+//!   JSON builder plus the device-event → timeline-track conversion.
+//! * [`progress`] — a throttled stderr progress line for long campaigns.
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod progress;
+
+pub use chrome::ChromeTrace;
+pub use event::{EventKind, EventRing, TraceEvent, NO_SM};
+pub use metrics::CycleHistogram;
+pub use progress::ProgressLine;

@@ -1,0 +1,244 @@
+//! Cycle-domain histograms with a deterministic, order-independent merge.
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i` (1..=64)
+/// holds values whose bit length is `i`, i.e. `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A fixed-layout base-2 histogram over `u64` cycle counts.
+///
+/// The bucket layout is a constant of the type, so merging two histograms
+/// is an element-wise sum — commutative and associative — and campaign
+/// workers can aggregate locally in any interleaving and still merge to a
+/// bit-identical result. Exact `count`/`sum`/`min`/`max` ride along;
+/// percentiles are resolved to a bucket upper bound clamped into
+/// `[min, max]`, which keeps them exact for the tails a safety argument
+/// cares about (the true maximum is exact by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl CycleHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_hi(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`. Element-wise, so
+    /// `a.merge(b)` equals `b.merge(a)` and any merge tree over the same
+    /// sample multiset produces the same histogram.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), resolved to the upper bound of the
+    /// bucket containing the rank-`ceil(q·count)` sample and clamped into
+    /// `[min, max]`. Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_hi(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`CycleHistogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99.9th percentile — the tail budget mining reads.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Compact JSON summary object (manual formatting; the repo carries no
+    /// serde): `{"count":..,"min":..,"p50":..,"p95":..,"p999":..,"max":..}`.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"min\": {}, \"p50\": {}, \"p95\": {}, \"p999\": {}, \"max\": {}}}",
+            self.count,
+            self.min(),
+            self.p50(),
+            self.p95(),
+            self.p999(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_bounds_and_monotone_percentiles() {
+        let mut h = CycleHistogram::new();
+        for v in [3u64, 17, 17, 900, 4096, 70_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 70_000);
+        let mut prev = 0;
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.999, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= prev, "percentiles must be monotone in q");
+            assert!((h.min()..=h.max()).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = CycleHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = CycleHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.95, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 12_345, "min==max pins every quantile");
+        }
+    }
+
+    /// The deterministic-merge property the campaign engine relies on:
+    /// however a sample multiset is partitioned across workers and in
+    /// whatever order the partitions are merged, the result is bit-identical
+    /// to recording every sample into one histogram.
+    #[test]
+    fn merge_is_partition_and_order_independent() {
+        let mut rng = StdRng::seed_from_u64(0x7E1E_3E7E);
+        for case in 0..50 {
+            let n = rng.gen_range(1..400usize);
+            let samples: Vec<u64> = (0..n)
+                .map(|_| {
+                    // Mix magnitudes: tight clusters and huge outliers.
+                    let scale = rng.gen_range(0..6u32);
+                    rng.gen_range(0..10u64.pow(scale).max(1) * 10)
+                })
+                .collect();
+            let mut reference = CycleHistogram::new();
+            for &s in &samples {
+                reference.record(s);
+            }
+            // Random partition into k shards.
+            let k = rng.gen_range(1..9usize);
+            let mut shards = vec![CycleHistogram::new(); k];
+            for &s in &samples {
+                shards[rng.gen_range(0..k)].record(s);
+            }
+            // Merge the shards in a random order.
+            let mut order: Vec<usize> = (0..k).collect();
+            for i in (1..k).rev() {
+                order.swap(i, rng.gen_range(0..i + 1));
+            }
+            let mut merged = CycleHistogram::new();
+            for &i in &order {
+                merged.merge(&shards[i]);
+            }
+            assert_eq!(
+                merged, reference,
+                "case {case}: merge diverged from direct recording"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A throttled stderr progress line for long-running campaigns.
+//!
+//! Deliberately wall-clock (rate and ETA are about the host, not the
+//! simulation) and deliberately write-only: nothing here may feed a report,
+//! so the bit-identity contract of the cycle-domain telemetry is untouched.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Renders `\r`-rewritten progress to stderr, at most ~10 times a second.
+///
+/// Construct with the work-item total, call [`ProgressLine::update`] as
+/// items complete, and [`ProgressLine::finish`] once done (prints the final
+/// state and a newline). A disabled line (`enabled = false`) is a no-op, so
+/// callers thread one through unconditionally and let a `--progress` flag
+/// decide.
+#[derive(Debug)]
+pub struct ProgressLine {
+    label: String,
+    total: u64,
+    enabled: bool,
+    started: Instant,
+    last_render: Option<Instant>,
+    last_len: usize,
+}
+
+impl ProgressLine {
+    /// A progress line over `total` items; inert unless `enabled`.
+    pub fn new(label: &str, total: u64, enabled: bool) -> Self {
+        Self {
+            label: label.to_string(),
+            total,
+            enabled,
+            started: Instant::now(),
+            last_render: None,
+            last_len: 0,
+        }
+    }
+
+    fn render(&mut self, done: u64, detail: &str, force: bool) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        if !force {
+            if let Some(last) = self.last_render {
+                if now.duration_since(last) < Duration::from_millis(100) {
+                    return;
+                }
+            }
+        }
+        self.last_render = Some(now);
+        let elapsed = now.duration_since(self.started).as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 && done < self.total {
+            format!(" eta {:.0}s", (self.total - done) as f64 / rate)
+        } else {
+            String::new()
+        };
+        let line = format!(
+            "{}: {}/{} ({:.1}/s{}) {}",
+            self.label, done, self.total, rate, eta, detail
+        );
+        // Pad over any longer previous render before the carriage return.
+        let pad = self.last_len.saturating_sub(line.len());
+        self.last_len = line.len();
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r{}{}", line, " ".repeat(pad));
+        let _ = err.flush();
+    }
+
+    /// Reports `done` completed items; `detail` is free-form trailing text
+    /// (outcome tallies, current cell label, …).
+    pub fn update(&mut self, done: u64, detail: &str) {
+        self.render(done, detail, false);
+    }
+
+    /// Renders the final state and terminates the line.
+    pub fn finish(&mut self, done: u64, detail: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.render(done, detail, true);
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err);
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_line_is_inert() {
+        let mut p = ProgressLine::new("test", 10, false);
+        p.update(3, "x");
+        p.finish(10, "done");
+        assert_eq!(p.last_render, None, "disabled line never renders");
+    }
+}

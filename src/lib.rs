@@ -66,4 +66,5 @@ pub use higpu_faults as faults;
 pub use higpu_pipeline as pipeline;
 pub use higpu_rodinia as rodinia;
 pub use higpu_sim as sim;
+pub use higpu_telemetry as telemetry;
 pub use higpu_workloads as workloads;

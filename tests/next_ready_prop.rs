@@ -219,6 +219,7 @@ fn timeq_horizon_boundary_matches_reference_model() {
         let mut reference: std::collections::BTreeMap<(u64, usize), u32> =
             std::collections::BTreeMap::new();
         let mut clock = 0u64;
+        let (mut pushes, mut outstanding, mut max_outstanding) = (0u64, 0u64, 0u64);
         for _step in 0..2000 {
             if rng.gen_range(0..3u32) != 0 {
                 // Cycle classes: at/around the boundary, inside the window,
@@ -234,6 +235,9 @@ fn timeq_horizon_boundary_matches_reference_model() {
                 let payload = rng.gen_range(0..9u64) as usize;
                 q.push(cycle, payload);
                 *reference.entry((cycle, payload)).or_insert(0) += 1;
+                pushes += 1;
+                outstanding += 1;
+                max_outstanding = max_outstanding.max(outstanding);
             } else if let Some((&e, _)) = reference.iter().next() {
                 assert_eq!(
                     q.peek_min(),
@@ -250,6 +254,7 @@ fn timeq_horizon_boundary_matches_reference_model() {
                 if *n == 0 {
                     reference.remove(&e);
                 }
+                outstanding -= 1;
                 clock = clock.max(e.0);
             }
         }
@@ -266,6 +271,24 @@ fn timeq_horizon_boundary_matches_reference_model() {
             }
         }
         assert!(q.is_empty());
+        // Routing diagnostics must account for every push, and the
+        // overflow heap can never have held more than the queue's own
+        // high-water entry count — a heap "deeper" than the entries that
+        // ever coexisted would mean entries leak into it (the O(log n)
+        // spill path silently hoarding work the wheel should route).
+        let stats = q.stats();
+        assert_eq!(
+            stats.wheel_pushes + stats.overflow_pushes,
+            pushes,
+            "push accounting lost entries (case seed {seed:#x})"
+        );
+        assert!(
+            stats.max_heap_depth <= max_outstanding,
+            "overflow heap depth {} exceeds the {} entries that ever \
+             coexisted (case seed {seed:#x})",
+            stats.max_heap_depth,
+            max_outstanding
+        );
     }
 }
 
