@@ -27,7 +27,12 @@
 //! bench_json [--trials N] [--seed S] [--workers 1,2,4,8]
 //!            [--matrix-trials N] [--no-matrix] [--core-runs N]
 //!            [--checkpoint-trials N] [--out PATH] [--progress] [--quiet]
+//!            [--assert-no-core-regression]
 //! ```
+//!
+//! `--assert-no-core-regression` turns the "default (event) core slower
+//! than the stepping oracle" warning into a nonzero exit (the JSON artifact
+//! is still written first), so CI can fence core-selection regressions.
 //!
 //! `--out -` streams the JSON document to stdout instead of a file and
 //! implies `--quiet`, so stdout is pure JSON (tables and progress go to
@@ -48,6 +53,7 @@ struct Options {
     out: String,
     progress: bool,
     quiet: bool,
+    assert_no_core_regression: bool,
 }
 
 impl Default for Options {
@@ -61,6 +67,7 @@ impl Default for Options {
             out: "BENCH_campaign.json".to_string(),
             progress: false,
             quiet: false,
+            assert_no_core_regression: false,
         }
     }
 }
@@ -114,6 +121,7 @@ fn parse_args(opts: &mut Options) -> Result<(), String> {
             "--out" => opts.out = value("--out")?,
             "--progress" => opts.progress = true,
             "--quiet" => opts.quiet = true,
+            "--assert-no-core-regression" => opts.assert_no_core_regression = true,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -135,6 +143,7 @@ fn main() -> ExitCode {
         out,
         progress,
         quiet,
+        assert_no_core_regression,
     } = opts;
     // `--out -` makes stdout the JSON document; every table print below
     // must therefore be silenced so nothing interleaves with it.
@@ -178,13 +187,24 @@ fn main() -> ExitCode {
     if !quiet {
         print!("{}", core.to_table());
     }
-    let regressions = core.event_regressions();
-    if !regressions.is_empty() {
-        eprintln!(
-            "bench_json: WARNING: default (event) core slower than stepping on {}",
-            regressions.join(", ")
-        );
-    }
+    // Under --assert-no-core-regression a non-empty list fails the run
+    // (after the JSON artifact is written, so the evidence survives) —
+    // the CI smoke wiring for core-selection regressions.
+    let core_regressed = {
+        let regressions = core.event_regressions();
+        if !regressions.is_empty() {
+            eprintln!(
+                "bench_json: {}: default (event) core slower than stepping on {}",
+                if assert_no_core_regression {
+                    "ERROR"
+                } else {
+                    "WARNING"
+                },
+                regressions.join(", ")
+            );
+        }
+        !regressions.is_empty()
+    };
     // Checkpointed-campaign throughput: suffix-only replay vs from-zero,
     // with per-trial outcomes asserted identical inside the measurement.
     let checkpointing = match measure_checkpointing(checkpoint_trials, cfg.seed) {
@@ -250,7 +270,7 @@ fn main() -> ExitCode {
     };
     if out == "-" {
         println!("{json}");
-        return ExitCode::SUCCESS;
+        return finish(assert_no_core_regression, core_regressed);
     }
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_json: cannot write {out}: {e}");
@@ -259,5 +279,15 @@ fn main() -> ExitCode {
     if !quiet {
         println!("wrote {out}");
     }
-    ExitCode::SUCCESS
+    finish(assert_no_core_regression, core_regressed)
+}
+
+/// Exit status once the artifact is out: a core regression only fails the
+/// run when the caller opted into the assertion.
+fn finish(assert_no_core_regression: bool, core_regressed: bool) -> ExitCode {
+    if assert_no_core_regression && core_regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -1,0 +1,110 @@
+//! Raw interpreter-floor probe: times a bare `step_warp` loop (no SM, no
+//! event core, no memory timing model) on a dense synthetic kernel and
+//! reports ns per warp instruction — the number ROADMAP item 1 calls the
+//! interpreter floor. Compare against `core_mips` (whole-device) to see how
+//! much of the per-instruction cost is interpreter vs machinery around it.
+
+use higpu_sim::block::BlockDims;
+use higpu_sim::builder::KernelBuilder;
+use higpu_sim::exec::{step_warp, ExecCtx, LaneAddrs, StepEffect};
+use higpu_sim::fault::NoFaults;
+use higpu_sim::isa::{CmpOp, SpecialReg};
+use higpu_sim::kernel::{Dim3, KernelId};
+use higpu_sim::mem::coalesce::TxBuf;
+use higpu_sim::program::Program;
+use higpu_sim::warp::{Warp, WarpState};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Dense compute kernel: per-lane ALU/FMA with a long loop, one stride-1
+/// load/store per iteration.
+fn kernel(iters: u32) -> Arc<Program> {
+    let mut b = KernelBuilder::new("probe");
+    let base = b.param(0);
+    let tid = b.special(SpecialReg::TidX);
+    let addr = b.addr_w(base, tid);
+    let acc0 = b.ldg(addr, 0);
+    let facc = b.i2f(acc0);
+    let acc = b.reg();
+    b.mov_to(acc, facc);
+    b.for_range(0u32, iters, 1u32, |b, _i| {
+        let t = b.ffma(acc, 1.0001f32, 0.5f32);
+        let t2 = b.fmul(t, 0.9999f32);
+        b.mov_to(acc, t2);
+    });
+    let back = b.f2i(acc);
+    b.stg(addr, 0, back);
+    b.build().expect("valid").into_shared()
+}
+
+/// Uniform variant: the whole loop body operates on uniform registers.
+fn uniform_kernel(iters: u32) -> Arc<Program> {
+    let mut b = KernelBuilder::new("probe_uniform");
+    let x = b.mov(1.25f32);
+    let acc = b.reg();
+    b.mov_to(acc, x);
+    b.for_range(0u32, iters, 1u32, |b, _i| {
+        let t = b.ffma(acc, 1.0001f32, 0.5f32);
+        let t2 = b.fmul(t, 0.9999f32);
+        b.mov_to(acc, t2);
+    });
+    let p = b.fsetp(CmpOp::Gt, acc, 0.0f32);
+    let keep = b.selp(p, 1u32, 0u32);
+    let sink = b.reg();
+    b.mov_to(sink, keep);
+    b.build().expect("valid").into_shared()
+}
+
+fn run(name: &str, prog: &Program) {
+    let mut global = vec![0u32; 4096];
+    let mut shared = vec![0u32; 256];
+    let mut oob = 0u64;
+    let mut dirty = 0u32;
+    let mut hook = NoFaults;
+    let dims = BlockDims {
+        ctaid: (0, 0, 0),
+        ntid: Dim3::x(32),
+        nctaid: Dim3::x(1),
+    };
+    let mut txs = TxBuf::new();
+    let mut atom_addrs = LaneAddrs::new();
+    let mut total_instrs = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..50 {
+        let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
+        while warp.state == WarpState::Ready {
+            let mut ctx = ExecCtx {
+                global_mem: &mut global,
+                shared_mem: &mut shared,
+                params: &[0],
+                dims,
+                sm_id: 0,
+                cycle: 0,
+                kernel: KernelId(0),
+                block: 0,
+                fault: &mut hook,
+                fault_enabled: false,
+                oob_accesses: &mut oob,
+                global_dirty: &mut dirty,
+                txs: &mut txs,
+                atom_addrs: &mut atom_addrs,
+            };
+            if step_warp(&mut warp, prog.decoded(), &mut ctx) == StepEffect::Finished {
+                break;
+            }
+        }
+        total_instrs += warp.instrs;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "{name:>16}: {total_instrs} warp instrs in {:.3}s = {:.1} ns/warp-instr ({:.2} sim-MIPS)",
+        secs,
+        secs * 1e9 / total_instrs as f64,
+        total_instrs as f64 / secs / 1e6,
+    );
+}
+
+fn main() {
+    run("dense", &kernel(20_000));
+    run("uniform", &uniform_kernel(20_000));
+}

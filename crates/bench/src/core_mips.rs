@@ -22,6 +22,33 @@ use std::time::Instant;
 pub const SEED_BASELINE_MIPS: &[(&str, f64)] =
     &[("iterated_fma", 8.09), ("pathfinder", 5.18), ("srad", 5.79)];
 
+/// Campaign-scale sim-MIPS of the **event core before the pre-decoded
+/// interpreter rework** (the PR that added the event-queue core and
+/// telemetry, commit `ff172ad`), measured with this meter on the reference
+/// host: `(workload, event_sim_mips)`. As with [`SEED_BASELINE_MIPS`], only
+/// the ratio against a fresh same-host measurement is meaningful; it is the
+/// recorded before/after for the decode + uniform-scalarization + fast-path
+/// work in the interpreter.
+pub const EVENT_BASELINE_MIPS: &[(&str, f64)] = &[
+    ("iterated_fma", 14.02),
+    ("backprop", 8.77),
+    ("bfs", 7.68),
+    ("cfd", 10.57),
+    ("dwt2d", 10.24),
+    ("gaussian", 7.71),
+    ("hotspot", 10.82),
+    ("hotspot3D", 10.23),
+    ("kmeans", 13.54),
+    ("leukocyte", 12.14),
+    ("lud", 9.12),
+    ("myocyte", 17.26),
+    ("nn", 8.71),
+    ("nw", 9.18),
+    ("pathfinder", 9.63),
+    ("srad", 10.22),
+    ("streamcluster", 13.46),
+];
+
 /// One workload's throughput under both cores.
 #[derive(Debug, Clone)]
 pub struct CoreMipsSample {
@@ -36,12 +63,27 @@ pub struct CoreMipsSample {
     /// Seed-commit baseline on the reference host (stepping core), if
     /// recorded in [`SEED_BASELINE_MIPS`].
     pub seed_mips: Option<f64>,
+    /// Pre-decode event-core baseline on the reference host, if recorded in
+    /// [`EVENT_BASELINE_MIPS`].
+    pub event_baseline_mips: Option<f64>,
 }
 
 impl CoreMipsSample {
     /// Event-core speedup over the recorded seed baseline.
     pub fn speedup_vs_seed(&self) -> Option<f64> {
         self.seed_mips.map(|s| self.event_mips / s)
+    }
+
+    /// Event-core speedup over the recorded pre-decode event baseline.
+    pub fn speedup_vs_event_baseline(&self) -> Option<f64> {
+        self.event_baseline_mips.map(|s| self.event_mips / s)
+    }
+
+    /// Wall-clock nanoseconds the event core spends per simulated warp
+    /// instruction — the interpreter-floor figure ROADMAP item 1 tracks
+    /// (1 sim-MIPS ≡ 1000 ns per warp instruction).
+    pub fn ns_per_warp_instr(&self) -> f64 {
+        1000.0 / self.event_mips
     }
 }
 
@@ -156,6 +198,10 @@ pub fn measure_core_mips(reg: &WorkloadRegistry, runs: u32, repeats: u32) -> Cor
                 .iter()
                 .find(|&&(n, _)| n == name)
                 .map(|&(_, v)| v);
+            let event_baseline_mips = EVENT_BASELINE_MIPS
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, v)| v);
             let (instrs, stepping, event) = measure_pair(reg, name, runs, repeats);
             CoreMipsSample {
                 workload: name.to_string(),
@@ -163,6 +209,7 @@ pub fn measure_core_mips(reg: &WorkloadRegistry, runs: u32, repeats: u32) -> Cor
                 stepping_mips: stepping,
                 event_mips: event,
                 seed_mips,
+                event_baseline_mips,
             }
         })
         .collect();
@@ -186,6 +233,22 @@ impl CoreMipsResult {
             .collect()
     }
 
+    /// Geometric-mean event-core speedup over the recorded pre-decode
+    /// baseline, across the workloads that have one ([`EVENT_BASELINE_MIPS`]).
+    /// `None` when no sample carries a baseline.
+    pub fn geomean_event_speedup(&self) -> Option<f64> {
+        let ratios: Vec<f64> = self
+            .samples
+            .iter()
+            .filter_map(CoreMipsSample::speedup_vs_event_baseline)
+            .collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+        Some((log_sum / ratios.len() as f64).exp())
+    }
+
     /// Renders the JSON value for the `core_mips` section.
     pub fn to_json(&self) -> String {
         let rows: Vec<String> = self
@@ -195,14 +258,21 @@ impl CoreMipsResult {
                 format!(
                     "{{\"workload\": \"{}\", \"instrs_per_run\": {}, \
                      \"stepping_sim_mips\": {:.2}, \"event_sim_mips\": {:.2}, \
-                     \"seed_sim_mips\": {}, \"event_speedup_vs_seed\": {}}}",
+                     \"ns_per_warp_instr\": {:.1}, \
+                     \"seed_sim_mips\": {}, \"event_speedup_vs_seed\": {}, \
+                     \"pre_decode_event_sim_mips\": {}, \"event_speedup_vs_pre_decode\": {}}}",
                     s.workload,
                     s.instrs_per_run,
                     s.stepping_mips,
                     s.event_mips,
+                    s.ns_per_warp_instr(),
                     s.seed_mips
                         .map_or("null".to_string(), |v| format!("{v:.2}")),
                     s.speedup_vs_seed()
+                        .map_or("null".to_string(), |v| format!("{v:.2}")),
+                    s.event_baseline_mips
+                        .map_or("null".to_string(), |v| format!("{v:.2}")),
+                    s.speedup_vs_event_baseline()
                         .map_or("null".to_string(), |v| format!("{v:.2}")),
                 )
             })
@@ -210,9 +280,14 @@ impl CoreMipsResult {
         format!(
             "{{\"runs\": {}, \"repeats\": {}, \"scale\": \"campaign\", \
              \"seed_baseline\": \"stepping core @ seed commit, same meter and host class\", \
+             \"pre_decode_baseline\": \"event core before the pre-decoded interpreter, \
+             same meter and host class\", \
+             \"geomean_event_speedup_vs_pre_decode\": {}, \
              \"workloads\": [\n    {}\n  ]}}",
             self.runs,
             self.repeats,
+            self.geomean_event_speedup()
+                .map_or("null".to_string(), |v| format!("{v:.2}")),
             rows.join(",\n    ")
         )
     }
@@ -221,18 +296,26 @@ impl CoreMipsResult {
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "core sim-MIPS ({} runs, best of {}): workload  seed -> stepping / event (speedup vs seed)\n",
+            "core sim-MIPS ({} runs, best of {}): workload  pre-decode -> stepping / event \
+             (speedup, ns/warp-instr)\n",
             self.runs, self.repeats
         ));
         for s in &self.samples {
             out.push_str(&format!(
-                "  {:>14}: {} -> {:.2} / {:.2} ({})\n",
+                "  {:>14}: {} -> {:.2} / {:.2} ({}, {:.1} ns)\n",
                 s.workload,
-                s.seed_mips.map_or("n/a".to_string(), |v| format!("{v:.2}")),
+                s.event_baseline_mips
+                    .map_or("n/a".to_string(), |v| format!("{v:.2}")),
                 s.stepping_mips,
                 s.event_mips,
-                s.speedup_vs_seed()
+                s.speedup_vs_event_baseline()
                     .map_or("n/a".to_string(), |v| format!("{v:.2}x")),
+                s.ns_per_warp_instr(),
+            ));
+        }
+        if let Some(g) = self.geomean_event_speedup() {
+            out.push_str(&format!(
+                "  geomean event speedup vs pre-decode baseline: {g:.2}x\n"
             ));
         }
         out
@@ -254,12 +337,18 @@ mod tests {
             "one sample per registry workload"
         );
         let mut baselines = 0;
+        let mut event_baselines = 0;
         for s in &r.samples {
             assert!(s.instrs_per_run > 0, "{}: no instructions", s.workload);
             assert!(s.stepping_mips > 0.0 && s.event_mips > 0.0);
+            assert!(s.ns_per_warp_instr() > 0.0);
             if let Some(speedup) = s.speedup_vs_seed() {
                 assert!(speedup > 0.0);
                 baselines += 1;
+            }
+            if let Some(speedup) = s.speedup_vs_event_baseline() {
+                assert!(speedup > 0.0);
+                event_baselines += 1;
             }
         }
         assert_eq!(
@@ -267,10 +356,21 @@ mod tests {
             SEED_BASELINE_MIPS.len(),
             "every baseline measured"
         );
+        assert_eq!(
+            event_baselines,
+            EVENT_BASELINE_MIPS.len(),
+            "every pre-decode baseline measured"
+        );
+        assert!(
+            r.geomean_event_speedup().expect("baselines present") > 0.0,
+            "geomean over recorded baselines"
+        );
         let json = r.to_json();
         assert!(json.contains("\"workload\": \"pathfinder\""));
         assert!(json.contains("\"workload\": \"srad\""));
         assert!(json.contains("event_speedup_vs_seed"));
+        assert!(json.contains("ns_per_warp_instr"));
+        assert!(json.contains("geomean_event_speedup_vs_pre_decode"));
         assert!(r.to_table().contains("sim-MIPS"));
     }
 }

@@ -470,6 +470,58 @@ pub fn watchdog_deadline(fault_free_makespan: u64) -> u64 {
     )
 }
 
+/// True when `model` provably cannot activate in a run whose fault-free
+/// makespan is `fault_free_makespan` — the campaign-level trivial-trial
+/// fast path: such a trial classifies [`TrialOutcome::NotActivated`]
+/// without simulating anything.
+///
+/// Holds only for the window-limited value-corruption models
+/// ([`FaultModel::TransientSm`], [`FaultModel::VoltageDroop`]): their
+/// corruption window `[arm, arm+duration)` opens **strictly after** the
+/// last instruction of the fault-free run (which issues *at* the makespan
+/// cycle — `arm == makespan` can still corrupt it, so the bound is strict,
+/// mirroring the suffix replayer's `arm > segment end` rule). A fault that
+/// never corrupts leaves the run bit-identical to the fault-free reference:
+/// it terminates at the recorded makespan with `activated == false`.
+///
+/// The `deadline` guard covers callers with a watchdog tighter than the
+/// fault-free makespan itself (never the case for [`ftti_deadline`]-derived
+/// budgets): such a run would be deadline-cut and classified `Detected`, so
+/// it is not trivial.
+///
+/// Permanent-SM and scheduler-misroute models are never trivial here: their
+/// effect is not bounded by an arm window in the same way (quarantine and
+/// diversity analysis still run), so they always simulate.
+pub fn trivially_not_activated(
+    model: FaultModel,
+    fault_free_makespan: u64,
+    deadline: Option<u64>,
+) -> bool {
+    match model {
+        FaultModel::TransientSm { .. } | FaultModel::VoltageDroop { .. } => {
+            model.arm_cycle() > fault_free_makespan
+                && deadline.is_none_or(|d| fault_free_makespan <= d)
+        }
+        FaultModel::PermanentSm { .. } | FaultModel::SchedulerMisroute { .. } => false,
+    }
+}
+
+/// The synthesized [`TrialObservables`] of a trivially-skipped trial (see
+/// [`trivially_not_activated`]): the run ends at the fault-free makespan,
+/// nothing activated, nothing was cut, and — since no simulation ran — no
+/// snapshot restores were performed (checkpointed engines honestly report
+/// the replay work they *saved*).
+fn trivial_observables(model: FaultModel, fault_free_makespan: u64) -> TrialObservables {
+    TrialObservables {
+        end_cycle: fault_free_makespan,
+        arm_cycle: model.arm_cycle(),
+        activated: false,
+        deadline_cut: false,
+        restores: 0,
+        restore_skipped_cycles: 0,
+    }
+}
+
 /// Order-independent accumulator of trial outcomes; summing per-worker
 /// accumulators is the campaign's deterministic reduction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -804,6 +856,36 @@ impl CampaignRunner {
         }
         Ok((outcome, obs))
     }
+
+    /// [`CampaignRunner::run_trial_observed`] behind the trivial-trial fast
+    /// path: a model that [`trivially_not_activated`] proves inert for
+    /// `fault_free_makespan` classifies [`TrialOutcome::NotActivated`] with
+    /// synthesized observables and **no simulation at all** (no device
+    /// reset, no replica runs, no replay); every other model runs the full
+    /// trial. Campaign engines call this with the makespan of their
+    /// reference pass — outcome and observables are bit-identical to the
+    /// simulated trial of the same model.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignRunner::run_trial_observed`].
+    pub fn run_trial_observed_with_makespan(
+        &mut self,
+        mode: &RedundancyMode,
+        workload: &dyn RedundantWorkload,
+        model: FaultModel,
+        deadline: Option<u64>,
+        reference: Option<&ReferenceRun>,
+        fault_free_makespan: u64,
+    ) -> Result<(TrialOutcome, TrialObservables), RedundancyError> {
+        if trivially_not_activated(model, fault_free_makespan, deadline) {
+            return Ok((
+                TrialOutcome::NotActivated,
+                trivial_observables(model, fault_free_makespan),
+            ));
+        }
+        self.run_trial_observed(mode, workload, model, deadline, reference)
+    }
 }
 
 /// Runs one injection trial on a freshly constructed device; returns the
@@ -928,6 +1010,10 @@ pub fn run_campaign_serial(
     let models = draw_models(cfg, spec, window_end);
     let mut counts = OutcomeCounts::default();
     for model in models {
+        if trivially_not_activated(model, window_end, deadline) {
+            counts.add(TrialOutcome::NotActivated);
+            continue;
+        }
         let mut runner = CampaignRunner::new(cfg);
         counts.add(match &reference {
             Some(r) => runner.run_trial_checkpointed(mode, workload, model, deadline, r)?,
@@ -998,8 +1084,9 @@ fn run_campaign_engine(
         let mut counts = OutcomeCounts::default();
         let mut telemetry = CampaignTelemetry::default();
         for model in models {
-            let (outcome, obs) =
-                runner.run_trial_observed(mode, workload, model, deadline, reference)?;
+            let (outcome, obs) = runner.run_trial_observed_with_makespan(
+                mode, workload, model, deadline, reference, window_end,
+            )?;
             counts.add(outcome);
             telemetry.record(outcome, obs);
         }
@@ -1033,8 +1120,9 @@ fn run_campaign_engine(
                             if abort.load(Ordering::Relaxed) {
                                 break 'claims;
                             }
-                            let trial = runner
-                                .run_trial_observed(mode, workload, models[i], deadline, reference);
+                            let trial = runner.run_trial_observed_with_makespan(
+                                mode, workload, models[i], deadline, reference, window_end,
+                            );
                             match trial {
                                 Ok((outcome, obs)) => {
                                     counts.add(outcome);

@@ -199,9 +199,10 @@ impl Benchmark for Backprop {
     }
 
     /// Fixed two-layer pass: corrupted runs either finish near the
-    /// fault-free makespan or run away on a flipped loop bound.
+    /// fault-free makespan or run away on a flipped loop bound. Mined
+    /// corrupted-but-terminating tail is short, so the mined budget holds.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

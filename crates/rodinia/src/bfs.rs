@@ -218,9 +218,10 @@ impl Benchmark for Bfs {
     }
 
     /// Frontier expansion is data-dependent: a corrupted frontier can
-    /// add extra whole-graph passes, comfortably inside the default budget.
+    /// add extra whole-graph passes, but the mined
+    /// corrupted-but-terminating tail stays well inside the mined budget.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

@@ -262,9 +262,10 @@ impl Benchmark for Cfd {
         }
     }
 
-    /// Fixed-step explicit solver; per-step cost is data-independent.
+    /// Fixed-step explicit solver; per-step cost is data-independent and
+    /// the mined corrupted-but-terminating tail is short.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

@@ -206,9 +206,9 @@ impl Benchmark for Dwt2d {
     }
 
     /// The level count is fixed; corrupted coefficients cannot
-    /// lengthen a pass.
+    /// lengthen a pass, so the mined budget holds.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

@@ -170,9 +170,10 @@ impl Benchmark for Gaussian {
         Tolerance::approx()
     }
 
-    /// Elimination rounds are fixed by the matrix size.
+    /// Elimination rounds are fixed by the matrix size; the mined
+    /// corrupted-but-terminating tail is short.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

@@ -204,9 +204,9 @@ impl Benchmark for Hotspot {
     }
 
     /// Fixed stencil iterations; corrupted temperatures cannot
-    /// extend them.
+    /// extend them, so the mined budget holds.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

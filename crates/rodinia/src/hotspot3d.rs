@@ -210,9 +210,9 @@ impl Benchmark for Hotspot3d {
     }
 
     /// Fixed 3D stencil iterations; corrupted temperatures cannot
-    /// extend them.
+    /// extend them, so the mined budget holds.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

@@ -246,11 +246,12 @@ impl Benchmark for Leukocyte {
     }
 
     /// The droop-runaway workload: a sign-flipped loop counter once
-    /// livelocked whole campaigns here. The default budget cuts the
+    /// livelocked whole campaigns here. The mined budget cuts the
     /// ~2³¹-iteration runaway promptly while clearing every legitimate
-    /// perturbed run (regression-fenced in tests/campaign_matrix.rs).
+    /// perturbed run (regression-fenced in tests/campaign_matrix.rs; the
+    /// mined corrupted-but-terminating tail is short).
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

@@ -124,9 +124,9 @@ impl Benchmark for Nn {
     }
 
     /// One short, launch-latency-dominated kernel; the deadline's fixed
-    /// slack dominates the budget.
+    /// slack dominates the budget, so the mined multiplier is safe.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

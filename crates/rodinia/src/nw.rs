@@ -176,7 +176,10 @@ impl Benchmark for Nw {
         Tolerance::Exact
     }
 
-    /// Anti-diagonal wavefront with a fixed number of diagonals.
+    /// Anti-diagonal wavefront with a fixed number of diagonals, but a
+    /// corrupted wavefront can replay whole passes: the mined
+    /// corrupted-but-terminating p99.9 is 4.59× the fault-free makespan,
+    /// so `nw` keeps the flat default budget rather than the mined 3×.
     fn ftti_multiplier(&self) -> u64 {
         higpu_workloads::DEFAULT_FTTI_MULTIPLIER
     }

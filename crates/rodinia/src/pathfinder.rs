@@ -132,9 +132,10 @@ impl Benchmark for Pathfinder {
         Tolerance::Exact
     }
 
-    /// Fixed per-row sweeps.
+    /// Fixed per-row sweeps; the mined corrupted-but-terminating tail is
+    /// short.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

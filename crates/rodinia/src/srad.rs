@@ -315,9 +315,10 @@ impl Benchmark for Srad {
         }
     }
 
-    /// Fixed diffusion iterations.
+    /// Fixed diffusion iterations; the mined corrupted-but-terminating
+    /// tail is short.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

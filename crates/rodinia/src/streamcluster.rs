@@ -154,9 +154,10 @@ impl Benchmark for Streamcluster {
         Tolerance::approx()
     }
 
-    /// Fixed candidate-evaluation passes.
+    /// Fixed candidate-evaluation passes; the mined
+    /// corrupted-but-terminating tail is short.
     fn ftti_multiplier(&self) -> u64 {
-        higpu_workloads::DEFAULT_FTTI_MULTIPLIER
+        higpu_workloads::MINED_FTTI_MULTIPLIER
     }
 }
 

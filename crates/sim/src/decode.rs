@@ -1,0 +1,691 @@
+//! Pre-decoded instruction representation.
+//!
+//! [`crate::exec::step_warp`] used to interpret [`Op`] directly, re-resolving
+//! every operand on every *dynamic* instruction: `Src::Reg`/`Src::Imm`
+//! dispatch, register-index-to-row-offset multiplies, lane-varying vs
+//! warp-uniform special classification. All of that is a pure function of the
+//! *static* instruction, so [`decode`] runs it once per program (eagerly, at
+//! [`crate::program::Program::new`] time) and the interpreter loop consumes
+//! the flattened [`DOp`] stream instead:
+//!
+//! * `Src::Reg` vs `Src::Imm` becomes distinct opcodes for the 2-source
+//!   families (`IAluRR`/`IAluRI`, …) and a pre-split [`DSrc`] for the
+//!   3-source ones.
+//! * Register operands are stored as precomputed row base offsets
+//!   (`reg * 32`) into the `regs[reg * 32 + lane]` file; the register index
+//!   is recoverable as `base >> 5` for the uniformity bitmap.
+//! * [`SpecialReg`] reads are pre-classified lane-varying vs warp-uniform.
+//! * Load/store byte offsets are pre-converted to the wrapping `u32` the
+//!   address arithmetic uses.
+//!
+//! Decoding is semantics-preserving by construction: every [`DOp`] variant
+//! corresponds to exactly one [`Op`] shape and carries the same payload,
+//! just pre-resolved. The decoded stream is derived state — it is rebuilt,
+//! never serialized, and two equal programs decode equally (so `Program`'s
+//! derived `PartialEq` stays consistent).
+
+use crate::isa::{CmpOp, ExecUnit, FloatOp, IntOp, Op, SfuOp, Space, SpecialReg, Src};
+
+/// A pre-resolved source operand of a 3-source instruction: a register row
+/// base offset or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DSrc {
+    /// Register operand, stored as its row base offset (`reg * 32`).
+    R(u32),
+    /// Immediate operand (raw 32-bit pattern).
+    I(u32),
+}
+
+/// One decoded instruction. Register fields (`d`, `a`, `v`, `addr`) hold row
+/// base offsets (`reg * 32`), not register indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DOp {
+    /// `d = reg a`.
+    MovR {
+        /// Destination row base.
+        d: u32,
+        /// Source row base.
+        a: u32,
+    },
+    /// `d = imm`.
+    MovI {
+        /// Destination row base.
+        d: u32,
+        /// Immediate.
+        imm: u32,
+    },
+    /// Lane-varying special read (`tid.{x,y,z}`, `laneid`).
+    SpecialLane {
+        /// Destination row base.
+        d: u32,
+        /// Which hardware value to read.
+        s: SpecialReg,
+    },
+    /// Warp-uniform special read (block/grid geometry, SM id).
+    SpecialUniform {
+        /// Destination row base.
+        d: u32,
+        /// Which hardware value to read.
+        s: SpecialReg,
+    },
+    /// `d = params[idx]`.
+    Param {
+        /// Destination row base.
+        d: u32,
+        /// Parameter index.
+        idx: u8,
+    },
+    /// Integer binary op, register-register.
+    IAluRR {
+        /// Operation.
+        op: IntOp,
+        /// Destination row base.
+        d: u32,
+        /// First source row base.
+        a: u32,
+        /// Second source row base.
+        b: u32,
+    },
+    /// Integer binary op, register-immediate.
+    IAluRI {
+        /// Operation.
+        op: IntOp,
+        /// Destination row base.
+        d: u32,
+        /// First source row base.
+        a: u32,
+        /// Immediate second source.
+        imm: u32,
+    },
+    /// `d = a * b + c`.
+    IMad {
+        /// Destination row base.
+        d: u32,
+        /// Multiplicand row base.
+        a: u32,
+        /// Multiplier.
+        b: DSrc,
+        /// Addend.
+        c: DSrc,
+    },
+    /// Float binary op, register-register.
+    FAluRR {
+        /// Operation.
+        op: FloatOp,
+        /// Destination row base.
+        d: u32,
+        /// First source row base.
+        a: u32,
+        /// Second source row base.
+        b: u32,
+    },
+    /// Float binary op, register-immediate.
+    FAluRI {
+        /// Operation.
+        op: FloatOp,
+        /// Destination row base.
+        d: u32,
+        /// First source row base.
+        a: u32,
+        /// Immediate second source.
+        imm: u32,
+    },
+    /// Fused multiply-add `d = a * b + c`.
+    FFma {
+        /// Destination row base.
+        d: u32,
+        /// Multiplicand row base.
+        a: u32,
+        /// Multiplier.
+        b: DSrc,
+        /// Addend.
+        c: DSrc,
+    },
+    /// Unary SFU op `d = op(a)`.
+    FSfu {
+        /// Operation.
+        op: SfuOp,
+        /// Destination row base.
+        d: u32,
+        /// Source row base.
+        a: u32,
+    },
+    /// Integer-to-float conversion.
+    I2F {
+        /// Destination row base.
+        d: u32,
+        /// Source row base.
+        a: u32,
+    },
+    /// Float-to-integer conversion.
+    F2I {
+        /// Destination row base.
+        d: u32,
+        /// Source row base.
+        a: u32,
+    },
+    /// Integer compare, register-register.
+    ISetpRR {
+        /// Destination predicate.
+        p: u8,
+        /// Comparison.
+        cmp: CmpOp,
+        /// First source row base.
+        a: u32,
+        /// Second source row base.
+        b: u32,
+        /// Compare as unsigned.
+        unsigned: bool,
+    },
+    /// Integer compare, register-immediate.
+    ISetpRI {
+        /// Destination predicate.
+        p: u8,
+        /// Comparison.
+        cmp: CmpOp,
+        /// First source row base.
+        a: u32,
+        /// Immediate second source.
+        imm: u32,
+        /// Compare as unsigned.
+        unsigned: bool,
+    },
+    /// Float compare, register-register.
+    FSetpRR {
+        /// Destination predicate.
+        p: u8,
+        /// Comparison.
+        cmp: CmpOp,
+        /// First source row base.
+        a: u32,
+        /// Second source row base.
+        b: u32,
+    },
+    /// Float compare, register-immediate.
+    FSetpRI {
+        /// Destination predicate.
+        p: u8,
+        /// Comparison.
+        cmp: CmpOp,
+        /// First source row base.
+        a: u32,
+        /// Immediate second source.
+        imm: u32,
+    },
+    /// Predicated select `d = p ? a : b`.
+    Selp {
+        /// Destination row base.
+        d: u32,
+        /// Value when the predicate is true.
+        a: DSrc,
+        /// Value when the predicate is false.
+        b: DSrc,
+        /// Selector predicate.
+        p: u8,
+    },
+    /// Global load `d = global[a + offset]`.
+    LdGlobal {
+        /// Destination row base.
+        d: u32,
+        /// Address row base.
+        a: u32,
+        /// Byte offset (pre-converted to wrapping `u32`).
+        offset: u32,
+    },
+    /// Shared load `d = shared[a + offset]`.
+    LdShared {
+        /// Destination row base.
+        d: u32,
+        /// Address row base.
+        a: u32,
+        /// Byte offset (pre-converted to wrapping `u32`).
+        offset: u32,
+    },
+    /// Global store `global[a + offset] = v`.
+    StGlobal {
+        /// Address row base.
+        a: u32,
+        /// Byte offset (pre-converted to wrapping `u32`).
+        offset: u32,
+        /// Value row base.
+        v: u32,
+    },
+    /// Shared store `shared[a + offset] = v`.
+    StShared {
+        /// Address row base.
+        a: u32,
+        /// Byte offset (pre-converted to wrapping `u32`).
+        offset: u32,
+        /// Value row base.
+        v: u32,
+    },
+    /// Global atomic add (`float` selects f32 vs wrapping-i32 addition);
+    /// `d` receives the old value.
+    AtomAdd {
+        /// Destination row base (old value).
+        d: u32,
+        /// Address row base.
+        a: u32,
+        /// Byte offset (pre-converted to wrapping `u32`).
+        offset: u32,
+        /// Addend row base.
+        v: u32,
+        /// f32 addition instead of wrapping integer addition.
+        float: bool,
+    },
+    /// Unconditional branch.
+    Bra {
+        /// Target PC.
+        target: u32,
+    },
+    /// Potentially divergent conditional branch.
+    BraCond {
+        /// Branch predicate.
+        p: u8,
+        /// Branch when the predicate is false instead of true.
+        negate: bool,
+        /// Target PC.
+        target: u32,
+        /// Reconvergence PC.
+        reconv: u32,
+    },
+    /// Block-wide barrier.
+    Bar,
+    /// Terminate the executing lanes.
+    Exit,
+    /// No operation.
+    Nop,
+}
+
+impl DOp {
+    /// The functional unit this instruction issues to (mirrors
+    /// [`Op::unit`]; the mapping is fenced by [`tests::decode_preserves_unit`]).
+    #[inline]
+    pub fn unit(&self) -> ExecUnit {
+        match self {
+            DOp::LdGlobal { .. } | DOp::StGlobal { .. } | DOp::AtomAdd { .. } => ExecUnit::Mem,
+            DOp::LdShared { .. } | DOp::StShared { .. } => ExecUnit::SharedMem,
+            DOp::FSfu { .. } => ExecUnit::Sfu,
+            DOp::FAluRR {
+                op: FloatOp::Div, ..
+            }
+            | DOp::FAluRI {
+                op: FloatOp::Div, ..
+            } => ExecUnit::Sfu,
+            DOp::Bra { .. } | DOp::BraCond { .. } | DOp::Bar | DOp::Exit | DOp::Nop => {
+                ExecUnit::Ctrl
+            }
+            _ => ExecUnit::Alu,
+        }
+    }
+}
+
+/// Row base offset of a register: the index of lane 0 in the
+/// `regs[reg * 32 + lane]` file.
+#[inline]
+fn rb(r: crate::isa::Reg) -> u32 {
+    u32::from(r.0) * 32
+}
+
+#[inline]
+fn dsrc(s: Src) -> DSrc {
+    match s {
+        Src::Reg(r) => DSrc::R(rb(r)),
+        Src::Imm(v) => DSrc::I(v),
+    }
+}
+
+/// Decodes one instruction.
+pub fn decode_op(op: Op) -> DOp {
+    match op {
+        Op::Mov { d, a } => match a {
+            Src::Reg(r) => DOp::MovR { d: rb(d), a: rb(r) },
+            Src::Imm(v) => DOp::MovI { d: rb(d), imm: v },
+        },
+        Op::Special { d, s } => match s {
+            // Lane-varying values need the per-lane decomposition; everything
+            // else is identical across the warp and splats.
+            SpecialReg::TidX | SpecialReg::TidY | SpecialReg::TidZ | SpecialReg::LaneId => {
+                DOp::SpecialLane { d: rb(d), s }
+            }
+            _ => DOp::SpecialUniform { d: rb(d), s },
+        },
+        Op::Param { d, idx } => DOp::Param { d: rb(d), idx },
+        Op::IAlu { op, d, a, b } => match b {
+            Src::Reg(r) => DOp::IAluRR {
+                op,
+                d: rb(d),
+                a: rb(a),
+                b: rb(r),
+            },
+            Src::Imm(v) => DOp::IAluRI {
+                op,
+                d: rb(d),
+                a: rb(a),
+                imm: v,
+            },
+        },
+        Op::IMad { d, a, b, c } => DOp::IMad {
+            d: rb(d),
+            a: rb(a),
+            b: dsrc(b),
+            c: dsrc(c),
+        },
+        Op::FAlu { op, d, a, b } => match b {
+            Src::Reg(r) => DOp::FAluRR {
+                op,
+                d: rb(d),
+                a: rb(a),
+                b: rb(r),
+            },
+            Src::Imm(v) => DOp::FAluRI {
+                op,
+                d: rb(d),
+                a: rb(a),
+                imm: v,
+            },
+        },
+        Op::FFma { d, a, b, c } => DOp::FFma {
+            d: rb(d),
+            a: rb(a),
+            b: dsrc(b),
+            c: dsrc(c),
+        },
+        Op::FSfu { op, d, a } => DOp::FSfu {
+            op,
+            d: rb(d),
+            a: rb(a),
+        },
+        Op::I2F { d, a } => DOp::I2F { d: rb(d), a: rb(a) },
+        Op::F2I { d, a } => DOp::F2I { d: rb(d), a: rb(a) },
+        Op::ISetp {
+            p,
+            cmp,
+            a,
+            b,
+            unsigned,
+        } => match b {
+            Src::Reg(r) => DOp::ISetpRR {
+                p: p.0,
+                cmp,
+                a: rb(a),
+                b: rb(r),
+                unsigned,
+            },
+            Src::Imm(v) => DOp::ISetpRI {
+                p: p.0,
+                cmp,
+                a: rb(a),
+                imm: v,
+                unsigned,
+            },
+        },
+        Op::FSetp { p, cmp, a, b } => match b {
+            Src::Reg(r) => DOp::FSetpRR {
+                p: p.0,
+                cmp,
+                a: rb(a),
+                b: rb(r),
+            },
+            Src::Imm(v) => DOp::FSetpRI {
+                p: p.0,
+                cmp,
+                a: rb(a),
+                imm: v,
+            },
+        },
+        Op::Selp { d, a, b, p } => DOp::Selp {
+            d: rb(d),
+            a: dsrc(a),
+            b: dsrc(b),
+            p: p.0,
+        },
+        Op::Ld {
+            space,
+            d,
+            addr,
+            offset,
+        } => match space {
+            Space::Global => DOp::LdGlobal {
+                d: rb(d),
+                a: rb(addr),
+                offset: offset as u32,
+            },
+            Space::Shared => DOp::LdShared {
+                d: rb(d),
+                a: rb(addr),
+                offset: offset as u32,
+            },
+        },
+        Op::St {
+            space,
+            addr,
+            offset,
+            v,
+        } => match space {
+            Space::Global => DOp::StGlobal {
+                a: rb(addr),
+                offset: offset as u32,
+                v: rb(v),
+            },
+            Space::Shared => DOp::StShared {
+                a: rb(addr),
+                offset: offset as u32,
+                v: rb(v),
+            },
+        },
+        Op::AtomAdd { d, addr, offset, v } => DOp::AtomAdd {
+            d: rb(d),
+            a: rb(addr),
+            offset: offset as u32,
+            v: rb(v),
+            float: false,
+        },
+        Op::AtomAddF { d, addr, offset, v } => DOp::AtomAdd {
+            d: rb(d),
+            a: rb(addr),
+            offset: offset as u32,
+            v: rb(v),
+            float: true,
+        },
+        Op::Bra { target } => DOp::Bra { target },
+        Op::BraCond {
+            p,
+            negate,
+            target,
+            reconv,
+        } => DOp::BraCond {
+            p: p.0,
+            negate,
+            target,
+            reconv,
+        },
+        Op::Bar => DOp::Bar,
+        Op::Exit => DOp::Exit,
+        Op::Nop => DOp::Nop,
+    }
+}
+
+/// Decodes a whole instruction stream.
+pub fn decode(ops: &[Op]) -> Vec<DOp> {
+    ops.iter().map(|&op| decode_op(op)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Pred, Reg};
+
+    #[test]
+    fn decode_splits_src_variants_and_precomputes_bases() {
+        let d = decode_op(Op::IAlu {
+            op: IntOp::Add,
+            d: Reg(3),
+            a: Reg(1),
+            b: Src::Imm(7),
+        });
+        assert_eq!(
+            d,
+            DOp::IAluRI {
+                op: IntOp::Add,
+                d: 96,
+                a: 32,
+                imm: 7
+            }
+        );
+        let d = decode_op(Op::IAlu {
+            op: IntOp::Xor,
+            d: Reg(0),
+            a: Reg(2),
+            b: Src::Reg(Reg(4)),
+        });
+        assert_eq!(
+            d,
+            DOp::IAluRR {
+                op: IntOp::Xor,
+                d: 0,
+                a: 64,
+                b: 128
+            }
+        );
+    }
+
+    #[test]
+    fn decode_classifies_specials() {
+        let lane = decode_op(Op::Special {
+            d: Reg(0),
+            s: SpecialReg::TidX,
+        });
+        assert!(matches!(lane, DOp::SpecialLane { .. }));
+        let unif = decode_op(Op::Special {
+            d: Reg(0),
+            s: SpecialReg::CtaidX,
+        });
+        assert!(matches!(unif, DOp::SpecialUniform { .. }));
+    }
+
+    #[test]
+    fn decode_preserves_negative_offsets_as_wrapping_u32() {
+        let d = decode_op(Op::Ld {
+            space: Space::Global,
+            d: Reg(0),
+            addr: Reg(1),
+            offset: -8,
+        });
+        assert_eq!(
+            d,
+            DOp::LdGlobal {
+                d: 0,
+                a: 32,
+                offset: (-8i32) as u32
+            }
+        );
+    }
+
+    #[test]
+    fn decode_preserves_unit() {
+        // Every shape the `Op::unit` classifier distinguishes.
+        let cases = vec![
+            Op::Ld {
+                space: Space::Global,
+                d: Reg(0),
+                addr: Reg(1),
+                offset: 0,
+            },
+            Op::Ld {
+                space: Space::Shared,
+                d: Reg(0),
+                addr: Reg(1),
+                offset: 0,
+            },
+            Op::St {
+                space: Space::Global,
+                addr: Reg(1),
+                offset: 0,
+                v: Reg(0),
+            },
+            Op::St {
+                space: Space::Shared,
+                addr: Reg(1),
+                offset: 0,
+                v: Reg(0),
+            },
+            Op::AtomAdd {
+                d: Reg(0),
+                addr: Reg(1),
+                offset: 0,
+                v: Reg(2),
+            },
+            Op::AtomAddF {
+                d: Reg(0),
+                addr: Reg(1),
+                offset: 0,
+                v: Reg(2),
+            },
+            Op::FSfu {
+                op: SfuOp::Sqrt,
+                d: Reg(0),
+                a: Reg(1),
+            },
+            Op::FAlu {
+                op: FloatOp::Div,
+                d: Reg(0),
+                a: Reg(1),
+                b: Src::Imm(0),
+            },
+            Op::FAlu {
+                op: FloatOp::Div,
+                d: Reg(0),
+                a: Reg(1),
+                b: Src::Reg(Reg(2)),
+            },
+            Op::FAlu {
+                op: FloatOp::Add,
+                d: Reg(0),
+                a: Reg(1),
+                b: Src::Imm(0),
+            },
+            Op::IAlu {
+                op: IntOp::Add,
+                d: Reg(0),
+                a: Reg(1),
+                b: Src::Imm(0),
+            },
+            Op::Mov {
+                d: Reg(0),
+                a: Src::Imm(0),
+            },
+            Op::Special {
+                d: Reg(0),
+                s: SpecialReg::TidX,
+            },
+            Op::Param { d: Reg(0), idx: 0 },
+            Op::Selp {
+                d: Reg(0),
+                a: Src::Imm(0),
+                b: Src::Imm(1),
+                p: Pred(0),
+            },
+            Op::ISetp {
+                p: Pred(0),
+                cmp: CmpOp::Eq,
+                a: Reg(0),
+                b: Src::Imm(0),
+                unsigned: false,
+            },
+            Op::Bra { target: 0 },
+            Op::BraCond {
+                p: Pred(0),
+                negate: false,
+                target: 0,
+                reconv: 1,
+            },
+            Op::Bar,
+            Op::Exit,
+            Op::Nop,
+        ];
+        for op in cases {
+            assert_eq!(decode_op(op).unit(), op.unit(), "unit mismatch for {op:?}");
+        }
+    }
+}

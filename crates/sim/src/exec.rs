@@ -1,15 +1,43 @@
 //! Functional + timing execution of one warp instruction.
 //!
-//! [`step_warp`] interprets the instruction at the warp's current PC for all
-//! active lanes, applies fault-injection hooks to every produced value, and
-//! reports a [`StepEffect`] that the SM turns into issue latency.
+//! [`step_warp`] interprets the pre-decoded instruction (see
+//! [`crate::decode`]) at the warp's current PC for all active lanes, applies
+//! fault-injection hooks to every produced value, and reports a
+//! [`StepEffect`] that the SM turns into issue latency.
+//!
+//! # Fast paths
+//!
+//! Three families of fast paths cut the per-instruction cost without
+//! changing a single architecturally visible bit:
+//!
+//! * **Uniform-value scalarization** — the warp tracks a bitmap of registers
+//!   whose 32 lanes are known-identical ([`Warp::uniform`]). An operation
+//!   whose sources are all uniform computes once and splats, instead of
+//!   running the 32-wide row loop. Loads from a uniform address read one
+//!   word; stores of a uniform value to a uniform address write one word.
+//! * **Full-mask writes** — when `active == u32::MAX` the destination row
+//!   is written directly instead of through the select-merge loop.
+//! * **Stride-1 coalesced copies** — a full-mask load/store whose 32 lane
+//!   addresses are word-aligned, stride-4 and fully in bounds becomes one
+//!   row copy against the word-storage image
+//!   ([`crate::mem::image::contiguous_row`]).
+//!
+//! Every fast path that produces register or memory values is gated on the
+//! fault hook being **unarmed**: corruption hooks must observe exactly the
+//! per-lane materialized values the masked loop produces, so an armed hook
+//! forces the slow path for that instruction. Predicate writes are never
+//! corrupted (matching the masked loop), so uniform compares stay scalar
+//! even under an armed hook. Timing observables are preserved on all paths:
+//! coalesced transactions, OOB accounting (one count per active lane) and
+//! the dirty high-water mark are computed exactly as the masked loop would.
 
 use crate::block::BlockDims;
+use crate::decode::{DOp, DSrc};
 use crate::fault::{FaultCtx, FaultHook};
-use crate::isa::{ExecUnit, FloatOp, IntOp, Op, SfuOp, Space, SpecialReg, Src};
+use crate::isa::{ExecUnit, FloatOp, IntOp, SfuOp, SpecialReg};
 use crate::kernel::KernelId;
-use crate::mem::coalesce::{coalesce_into, TxBuf};
-use crate::mem::image::{load_word, store_word};
+use crate::mem::coalesce::{coalesce_into, Transaction, TxBuf, SECTOR_BYTES};
+use crate::mem::image::{contiguous_row, load_word, store_word};
 use crate::warp::{StackEntry, Warp, WarpState};
 
 /// Per-lane target addresses of an atomic instruction (active lanes only),
@@ -92,35 +120,126 @@ fn f(bits: u32) -> f32 {
     f32::from_bits(bits)
 }
 
-/// Copies register row `r` (all 32 lanes) into a stack array. Working on
-/// whole rows lets the ALU paths run fixed-trip, branch-free lane loops that
-/// the compiler auto-vectorizes, instead of a bounds-checked indexed access
-/// per lane behind an active-mask branch.
 #[inline]
-fn reg_row(warp: &Warp, r: u16) -> [u32; 32] {
-    let base = usize::from(r) * 32;
+fn b(v: f32) -> u32 {
+    v.to_bits()
+}
+
+/// Copies the register row at base offset `base` (all 32 lanes) into a stack
+/// array. Working on whole rows lets the ALU paths run fixed-trip,
+/// branch-free lane loops that the compiler auto-vectorizes, instead of a
+/// bounds-checked indexed access per lane behind an active-mask branch.
+/// (Measured: the owned copy beats returning `&[u32; 32]` — with the borrow
+/// the optimizer loses the no-alias guarantee against the destination row
+/// and stops vectorizing the lane loops.)
+#[inline]
+fn reg_row(warp: &Warp, base: u32) -> [u32; 32] {
+    let base = base as usize;
     warp.regs[base..base + 32]
         .try_into()
         .expect("register row within file")
 }
 
-/// Materializes an operand as a full row: a register row copy or an
-/// immediate splat.
+/// Materializes a pre-decoded operand as a full row: a register row copy or
+/// an immediate splat.
 #[inline]
-fn src_row(warp: &Warp, s: Src) -> [u32; 32] {
+fn dsrc_row(warp: &Warp, s: DSrc) -> [u32; 32] {
     match s {
-        Src::Reg(r) => reg_row(warp, r.0),
-        Src::Imm(v) => [v; 32],
+        DSrc::R(base) => reg_row(warp, base),
+        DSrc::I(v) => [v; 32],
     }
 }
 
-/// Writes `vals` into register row `d` for `active` lanes only. The
-/// select-style merge (unconditional store of a conditionally chosen value)
-/// keeps the loop branchless; inactive lanes keep their old contents
+/// Which access shape a global load/store fast-path decision established,
+/// so the transaction emission can skip the generic coalescer's lane scans
+/// when the shape already pins the exact sector set.
+#[derive(Clone, Copy, PartialEq)]
+enum MemPath {
+    /// Arbitrary (or partially masked) lane addresses: run the coalescer.
+    Gather,
+    /// Every active lane at one address: a single sector transaction.
+    Uniform,
+    /// Full-mask word-aligned stride-4 row starting at `addrs[0]`.
+    Row,
+}
+
+/// Emits the transactions of a full-mask stride-1 row access directly: the
+/// 32 word accesses starting at word-aligned `addr0` touch exactly the
+/// sectors spanning `addr0..addr0 + 128`, each of them hit — the same
+/// sorted, de-duplicated set the generic coalescer produces.
+#[inline]
+fn row_sectors(addr0: u32, write: bool, out: &mut TxBuf) {
+    out.clear();
+    let lo = addr0 / SECTOR_BYTES;
+    let hi = (addr0 + 124) / SECTOR_BYTES;
+    for s in lo..=hi {
+        out.push(Transaction {
+            addr: s * SECTOR_BYTES,
+            write,
+        });
+    }
+}
+
+/// Emits the single transaction of a uniform-address access (every active
+/// lane inside one sector; the active mask is non-empty by the step_warp
+/// entry invariant).
+#[inline]
+fn uniform_sector(addr: u32, write: bool, out: &mut TxBuf) {
+    out.clear();
+    out.push(Transaction {
+        addr: addr / SECTOR_BYTES * SECTOR_BYTES,
+        write,
+    });
+}
+
+/// True when the register at row base `base` is tracked warp-uniform.
+#[inline]
+fn is_uniform(warp: &Warp, base: u32) -> bool {
+    warp.is_uniform((base >> 5) as u16)
+}
+
+/// True when the operand is lane-invariant: an immediate, or a register
+/// tracked warp-uniform.
+#[inline]
+fn dsrc_uniform(warp: &Warp, s: DSrc) -> bool {
+    match s {
+        DSrc::R(base) => is_uniform(warp, base),
+        DSrc::I(_) => true,
+    }
+}
+
+/// The single value of a uniform register (lane 0 — identical in all lanes
+/// by the [`Warp::uniform`] invariant).
+#[inline]
+fn scalar(warp: &Warp, base: u32) -> u32 {
+    warp.regs[base as usize]
+}
+
+/// The single value of a lane-invariant operand.
+#[inline]
+fn dsrc_scalar(warp: &Warp, s: DSrc) -> u32 {
+    match s {
+        DSrc::R(base) => scalar(warp, base),
+        DSrc::I(v) => v,
+    }
+}
+
+/// Full-mask row write: every lane takes `vals`. Clears the uniformity
+/// claim (callers that know the row is a splat use [`scalar_write`]).
+#[inline]
+fn write_row(warp: &mut Warp, dbase: u32, vals: &[u32; 32]) {
+    let base = dbase as usize;
+    warp.regs[base..base + 32].copy_from_slice(vals);
+    warp.clear_uniform((dbase >> 5) as u16);
+}
+
+/// Writes `vals` into the register row at `dbase` for `active` lanes only.
+/// The select-style merge (unconditional store of a conditionally chosen
+/// value) keeps the loop branchless; inactive lanes keep their old contents
 /// bit-for-bit, exactly like the per-lane masked loop it replaces.
 #[inline]
-fn merge_row(warp: &mut Warp, d: u16, active: u32, vals: &[u32; 32]) {
-    let base = usize::from(d) * 32;
+fn merge_row(warp: &mut Warp, dbase: u32, active: u32, vals: &[u32; 32]) {
+    let base = dbase as usize;
     let row = &mut warp.regs[base..base + 32];
     for (lane, slot) in row.iter_mut().enumerate() {
         let keep = *slot;
@@ -130,11 +249,29 @@ fn merge_row(warp: &mut Warp, d: u16, active: u32, vals: &[u32; 32]) {
             keep
         };
     }
+    warp.clear_uniform((dbase >> 5) as u16);
 }
 
+/// Writes one scalar result for the active lanes: a full-mask write splats
+/// all 32 lanes and records the destination as uniform; a partial mask
+/// writes the active lanes and conservatively drops the claim (inactive
+/// lanes may hold anything). Only valid on the unarmed path — a hook could
+/// corrupt each lane differently.
 #[inline]
-fn b(v: f32) -> u32 {
-    v.to_bits()
+fn scalar_write(warp: &mut Warp, dbase: u32, active: u32, v: u32) {
+    let base = dbase as usize;
+    if active == u32::MAX {
+        warp.regs[base..base + 32].fill(v);
+        warp.mark_uniform((dbase >> 5) as u16);
+    } else {
+        let row = &mut warp.regs[base..base + 32];
+        for (lane, slot) in row.iter_mut().enumerate() {
+            if active & (1 << lane) != 0 {
+                *slot = v;
+            }
+        }
+        warp.clear_uniform((dbase >> 5) as u16);
+    }
 }
 
 fn eval_int(op: IntOp, a: u32, bb: u32) -> u32 {
@@ -216,7 +353,8 @@ fn special_value(s: SpecialReg, dims: &BlockDims, sm_id: usize, thread_linear: u
 }
 
 /// Executes one instruction of `warp`. The warp must be settled (see
-/// [`Warp::settle`]) and have a non-empty active mask.
+/// [`Warp::settle`]) and have a non-empty active mask. `ops` is the
+/// program's pre-decoded stream ([`crate::program::Program::decoded`]).
 ///
 /// Returns the [`StepEffect`]; control-flow bookkeeping (PC update,
 /// divergence) is fully handled here. The SM is responsible for translating
@@ -226,7 +364,7 @@ fn special_value(s: SpecialReg, dims: &BlockDims, sm_id: usize, thread_linear: u
 ///
 /// Panics (debug builds) if invoked on a warp with an empty active mask or
 /// when the PC escapes the program, both of which indicate simulator bugs.
-pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffect {
+pub fn step_warp(warp: &mut Warp, ops: &[DOp], ctx: &mut ExecCtx<'_>) -> StepEffect {
     let top = *warp.stack.last().expect("running warp has a stack");
     let active = top.mask & warp.live;
     debug_assert!(active != 0, "step_warp on an inactive warp");
@@ -255,6 +393,9 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
         Some(c) => ctx.fault.armed(c),
         None => false,
     };
+    // Full-mask writes skip the select-merge; combined with `!armed` they
+    // also unlock the splat/scalar fast paths.
+    let full = active == u32::MAX;
 
     /// Applies the fault hook to a produced value only while armed.
     macro_rules! corrupt {
@@ -282,8 +423,9 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
     /// ALU pattern: compute the value for all 32 lanes unconditionally (the
     /// fixed-trip loop vectorizes; inactive-lane results are discarded by the
     /// merge), apply the fault hook to active lanes only when armed, then
-    /// masked-merge into the destination row. Active lanes see exactly the
-    /// per-lane sequence the masked loop produced: compute, corrupt, write.
+    /// write the destination row — directly under a full mask, masked-merge
+    /// otherwise. Active lanes see exactly the per-lane sequence the masked
+    /// loop produced: compute, corrupt, write.
     macro_rules! alu {
         ($d:expr, |$lane:ident| $v:expr) => {{
             let mut out = [0u32; 32];
@@ -295,7 +437,11 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                     out[lane] = corrupt!(lane, out[lane]);
                 });
             }
-            merge_row(warp, $d, active, &out);
+            if full {
+                write_row(warp, $d, &out);
+            } else {
+                merge_row(warp, $d, active, &out);
+            }
         }};
     }
 
@@ -313,166 +459,368 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
         }};
     }
 
+    /// Scalar predicate-setter: all active lanes share one outcome (uniform
+    /// sources), so evaluate the comparison once. Valid even under an armed
+    /// hook because predicates are never corrupted.
+    macro_rules! setp_scalar {
+        ($p:expr, $cond:expr) => {{
+            let bits = if $cond { u32::MAX } else { 0 };
+            let pw = &mut warp.preds[usize::from($p)];
+            *pw = (*pw & !active) | (bits & active);
+        }};
+    }
+
+    /// Load pattern shared by global and shared space: uniform-address
+    /// scalar load, stride-1 row copy, or the per-lane masked loop. OOB
+    /// accounting matches the masked loop on every path (one count per
+    /// active lane; the row copy is in-bounds by construction).
+    macro_rules! load_slow {
+        ($mem:expr, $d:expr, $addrs:expr) => {{
+            for_lanes!(|lane| {
+                let v = load_word($mem, $addrs[lane], ctx.oob_accesses);
+                let v = corrupt!(lane, v);
+                warp.regs[$d as usize + lane] = v;
+            });
+            warp.clear_uniform(($d >> 5) as u16);
+        }};
+    }
+    macro_rules! load {
+        ($mem:expr, $d:expr, $addrs:expr, $abase:expr) => {{
+            if !armed && is_uniform(warp, $abase) {
+                let before = *ctx.oob_accesses;
+                let v = load_word($mem, $addrs[0], ctx.oob_accesses);
+                if *ctx.oob_accesses != before {
+                    // The masked loop counts one OOB access per active lane.
+                    *ctx.oob_accesses += u64::from(active.count_ones()) - 1;
+                }
+                scalar_write(warp, $d, active, v);
+                MemPath::Uniform
+            } else if !armed && full {
+                match contiguous_row(&$addrs, $mem.len()) {
+                    Some(base) => {
+                        let dbase = $d as usize;
+                        warp.regs[dbase..dbase + 32].copy_from_slice(&$mem[base..base + 32]);
+                        warp.clear_uniform(($d >> 5) as u16);
+                        MemPath::Row
+                    }
+                    None => {
+                        load_slow!($mem, $d, $addrs);
+                        MemPath::Gather
+                    }
+                }
+            } else {
+                load_slow!($mem, $d, $addrs);
+                MemPath::Gather
+            }
+        }};
+    }
+
     // Default PC advance; control flow overrides it.
     let mut next_pc = pc + 1;
     let mut effect = StepEffect::Compute(op.unit());
 
     match op {
-        Op::Mov { d, a } => {
-            let ra = src_row(warp, a);
-            alu!(d.0, |lane| ra[lane]);
-        }
-        Op::Special { d, s } => {
-            let warp_base = (warp.warp_idx * 32) as u32;
-            match s {
-                // Lane-varying registers need the per-lane decomposition …
-                SpecialReg::TidX | SpecialReg::TidY | SpecialReg::TidZ | SpecialReg::LaneId => {
-                    alu!(d.0, |lane| special_value(
-                        s,
-                        &ctx.dims,
-                        ctx.sm_id,
-                        warp_base + lane as u32
-                    ));
-                }
-                // … every other special is warp-uniform: evaluate once, splat.
-                _ => {
-                    let v0 = special_value(s, &ctx.dims, ctx.sm_id, warp_base);
-                    alu!(d.0, |_lane| v0);
-                }
+        DOp::MovR { d, a } => {
+            if !armed && is_uniform(warp, a) {
+                let v = scalar(warp, a);
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                alu!(d, |lane| ra[lane]);
             }
         }
-        Op::Param { d, idx } => {
+        DOp::MovI { d, imm } => {
+            if !armed {
+                scalar_write(warp, d, active, imm);
+            } else {
+                alu!(d, |_lane| imm);
+            }
+        }
+        DOp::SpecialLane { d, s } => {
+            let warp_base = (warp.warp_idx * 32) as u32;
+            alu!(d, |lane| special_value(
+                s,
+                &ctx.dims,
+                ctx.sm_id,
+                warp_base + lane as u32
+            ));
+        }
+        DOp::SpecialUniform { d, s } => {
+            let warp_base = (warp.warp_idx * 32) as u32;
+            let v0 = special_value(s, &ctx.dims, ctx.sm_id, warp_base);
+            if !armed {
+                scalar_write(warp, d, active, v0);
+            } else {
+                alu!(d, |_lane| v0);
+            }
+        }
+        DOp::Param { d, idx } => {
             let v0 = ctx.params.get(usize::from(idx)).copied().unwrap_or(0);
-            alu!(d.0, |_lane| v0);
+            if !armed {
+                scalar_write(warp, d, active, v0);
+            } else {
+                alu!(d, |_lane| v0);
+            }
         }
-        Op::IAlu { op: iop, d, a, b } => {
-            let ra = reg_row(warp, a.0);
-            let rb = src_row(warp, b);
-            alu!(d.0, |lane| eval_int(iop, ra[lane], rb[lane]));
+        DOp::IAluRR { op: iop, d, a, b } => {
+            if !armed && is_uniform(warp, a) && is_uniform(warp, b) {
+                let v = eval_int(iop, scalar(warp, a), scalar(warp, b));
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                let rb = reg_row(warp, b);
+                alu!(d, |lane| eval_int(iop, ra[lane], rb[lane]));
+            }
         }
-        Op::IMad { d, a, b, c } => {
-            let ra = reg_row(warp, a.0);
-            let rb = src_row(warp, b);
-            let rc = src_row(warp, c);
-            alu!(d.0, |lane| ra[lane]
-                .wrapping_mul(rb[lane])
-                .wrapping_add(rc[lane]));
+        DOp::IAluRI { op: iop, d, a, imm } => {
+            if !armed && is_uniform(warp, a) {
+                let v = eval_int(iop, scalar(warp, a), imm);
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                alu!(d, |lane| eval_int(iop, ra[lane], imm));
+            }
         }
-        Op::FAlu { op: fop, d, a, b } => {
-            let ra = reg_row(warp, a.0);
-            let rb = src_row(warp, b);
-            alu!(d.0, |lane| eval_float(fop, ra[lane], rb[lane]));
+        DOp::IMad { d, a, b: sb, c: sc } => {
+            if !armed && is_uniform(warp, a) && dsrc_uniform(warp, sb) && dsrc_uniform(warp, sc) {
+                let v = scalar(warp, a)
+                    .wrapping_mul(dsrc_scalar(warp, sb))
+                    .wrapping_add(dsrc_scalar(warp, sc));
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                let rb = dsrc_row(warp, sb);
+                let rc = dsrc_row(warp, sc);
+                alu!(d, |lane| ra[lane]
+                    .wrapping_mul(rb[lane])
+                    .wrapping_add(rc[lane]));
+            }
         }
-        Op::FFma { d, a, b: sb, c: sc } => {
-            let ra = reg_row(warp, a.0);
-            let rb = src_row(warp, sb);
-            let rc = src_row(warp, sc);
-            alu!(d.0, |lane| b(f(ra[lane]).mul_add(f(rb[lane]), f(rc[lane]))));
+        DOp::FAluRR { op: fop, d, a, b } => {
+            if !armed && is_uniform(warp, a) && is_uniform(warp, b) {
+                let v = eval_float(fop, scalar(warp, a), scalar(warp, b));
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                let rb = reg_row(warp, b);
+                alu!(d, |lane| eval_float(fop, ra[lane], rb[lane]));
+            }
         }
-        Op::FSfu { op: sop, d, a } => {
-            // SFU ops go through libm; evaluating inactive lanes would waste
-            // far more than the branch saves, so this stays a masked loop.
-            for_lanes!(|lane| {
-                let va = warp.reg(a.0, lane);
-                let v = corrupt!(lane, eval_sfu(sop, va));
-                warp.set_reg(d.0, lane, v);
-            });
+        DOp::FAluRI { op: fop, d, a, imm } => {
+            if !armed && is_uniform(warp, a) {
+                let v = eval_float(fop, scalar(warp, a), imm);
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                alu!(d, |lane| eval_float(fop, ra[lane], imm));
+            }
         }
-        Op::I2F { d, a } => {
-            let ra = reg_row(warp, a.0);
-            alu!(d.0, |lane| b(ra[lane] as i32 as f32));
+        DOp::FFma { d, a, b: sb, c: sc } => {
+            if !armed && is_uniform(warp, a) && dsrc_uniform(warp, sb) && dsrc_uniform(warp, sc) {
+                let v =
+                    b(f(scalar(warp, a))
+                        .mul_add(f(dsrc_scalar(warp, sb)), f(dsrc_scalar(warp, sc))));
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                let rb = dsrc_row(warp, sb);
+                let rc = dsrc_row(warp, sc);
+                alu!(d, |lane| b(f(ra[lane]).mul_add(f(rb[lane]), f(rc[lane]))));
+            }
         }
-        Op::F2I { d, a } => {
-            let ra = reg_row(warp, a.0);
-            alu!(d.0, |lane| {
-                let fa = f(ra[lane]);
-                if fa.is_nan() {
-                    0
-                } else {
-                    fa as i32 as u32
-                }
-            });
+        DOp::FSfu { op: sop, d, a } => {
+            if !armed && is_uniform(warp, a) {
+                let v = eval_sfu(sop, scalar(warp, a));
+                scalar_write(warp, d, active, v);
+            } else {
+                // SFU ops go through libm; evaluating inactive lanes would
+                // waste far more than the branch saves, so this stays a
+                // masked loop.
+                for_lanes!(|lane| {
+                    let va = warp.regs[a as usize + lane];
+                    let v = corrupt!(lane, eval_sfu(sop, va));
+                    warp.regs[d as usize + lane] = v;
+                });
+                warp.clear_uniform((d >> 5) as u16);
+            }
         }
-        Op::ISetp {
+        DOp::I2F { d, a } => {
+            if !armed && is_uniform(warp, a) {
+                let v = b(scalar(warp, a) as i32 as f32);
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                alu!(d, |lane| b(ra[lane] as i32 as f32));
+            }
+        }
+        DOp::F2I { d, a } => {
+            if !armed && is_uniform(warp, a) {
+                let fa = f(scalar(warp, a));
+                let v = if fa.is_nan() { 0 } else { fa as i32 as u32 };
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = reg_row(warp, a);
+                alu!(d, |lane| {
+                    let fa = f(ra[lane]);
+                    if fa.is_nan() {
+                        0
+                    } else {
+                        fa as i32 as u32
+                    }
+                });
+            }
+        }
+        DOp::ISetpRR {
             p,
             cmp,
             a,
             b: sb,
             unsigned,
         } => {
-            let ra = reg_row(warp, a.0);
-            let rb = src_row(warp, sb);
-            setp!(p.0, |lane| if unsigned {
-                cmp.eval_u32(ra[lane], rb[lane])
+            if is_uniform(warp, a) && is_uniform(warp, sb) {
+                let (va, vb) = (scalar(warp, a), scalar(warp, sb));
+                setp_scalar!(
+                    p,
+                    if unsigned {
+                        cmp.eval_u32(va, vb)
+                    } else {
+                        cmp.eval_i32(va as i32, vb as i32)
+                    }
+                );
             } else {
-                cmp.eval_i32(ra[lane] as i32, rb[lane] as i32)
-            });
+                let ra = reg_row(warp, a);
+                let rb = reg_row(warp, sb);
+                setp!(p, |lane| if unsigned {
+                    cmp.eval_u32(ra[lane], rb[lane])
+                } else {
+                    cmp.eval_i32(ra[lane] as i32, rb[lane] as i32)
+                });
+            }
         }
-        Op::FSetp { p, cmp, a, b: sb } => {
-            let ra = reg_row(warp, a.0);
-            let rb = src_row(warp, sb);
-            setp!(p.0, |lane| cmp.eval_f32(f(ra[lane]), f(rb[lane])));
-        }
-        Op::Selp { d, a, b: sb, p } => {
-            let ra = src_row(warp, a);
-            let rb = src_row(warp, sb);
-            let pm = warp.preds[usize::from(p.0)];
-            alu!(d.0, |lane| if pm & (1 << lane) != 0 {
-                ra[lane]
-            } else {
-                rb[lane]
-            });
-        }
-        Op::Ld {
-            space,
-            d,
-            addr,
-            offset,
+        DOp::ISetpRI {
+            p,
+            cmp,
+            a,
+            imm,
+            unsigned,
         } => {
+            if is_uniform(warp, a) {
+                let va = scalar(warp, a);
+                setp_scalar!(
+                    p,
+                    if unsigned {
+                        cmp.eval_u32(va, imm)
+                    } else {
+                        cmp.eval_i32(va as i32, imm as i32)
+                    }
+                );
+            } else {
+                let ra = reg_row(warp, a);
+                setp!(p, |lane| if unsigned {
+                    cmp.eval_u32(ra[lane], imm)
+                } else {
+                    cmp.eval_i32(ra[lane] as i32, imm as i32)
+                });
+            }
+        }
+        DOp::FSetpRR { p, cmp, a, b: sb } => {
+            if is_uniform(warp, a) && is_uniform(warp, sb) {
+                setp_scalar!(p, cmp.eval_f32(f(scalar(warp, a)), f(scalar(warp, sb))));
+            } else {
+                let ra = reg_row(warp, a);
+                let rb = reg_row(warp, sb);
+                setp!(p, |lane| cmp.eval_f32(f(ra[lane]), f(rb[lane])));
+            }
+        }
+        DOp::FSetpRI { p, cmp, a, imm } => {
+            if is_uniform(warp, a) {
+                setp_scalar!(p, cmp.eval_f32(f(scalar(warp, a)), f(imm)));
+            } else {
+                let ra = reg_row(warp, a);
+                setp!(p, |lane| cmp.eval_f32(f(ra[lane]), f(imm)));
+            }
+        }
+        DOp::Selp { d, a: sa, b: sb, p } => {
+            let pm = warp.preds[usize::from(p)];
+            let sel = pm & active;
+            if !armed
+                && dsrc_uniform(warp, sa)
+                && dsrc_uniform(warp, sb)
+                && (sel == 0 || sel == active)
+            {
+                let v = if sel == active {
+                    dsrc_scalar(warp, sa)
+                } else {
+                    dsrc_scalar(warp, sb)
+                };
+                scalar_write(warp, d, active, v);
+            } else {
+                let ra = dsrc_row(warp, sa);
+                let rb = dsrc_row(warp, sb);
+                alu!(d, |lane| if pm & (1 << lane) != 0 {
+                    ra[lane]
+                } else {
+                    rb[lane]
+                });
+            }
+        }
+        DOp::LdGlobal { d, a, offset } => {
             // Unconditional row compute: only active lanes are ever read
             // back (loads and the coalescer both apply `active`).
-            let ra = reg_row(warp, addr.0);
+            let ra = reg_row(warp, a);
             let mut addrs = [0u32; 32];
-            for lane in 0..32usize {
-                addrs[lane] = ra[lane].wrapping_add(offset as u32);
+            for (lane, slot) in addrs.iter_mut().enumerate() {
+                *slot = ra[lane].wrapping_add(offset);
             }
-            match space {
-                Space::Global => {
-                    for_lanes!(|lane| {
-                        let v = load_word(ctx.global_mem, addrs[lane], ctx.oob_accesses);
-                        let v = corrupt!(lane, v);
-                        warp.set_reg(d.0, lane, v);
-                    });
-                    coalesce_into(&addrs, active, false, ctx.txs);
-                    effect = StepEffect::GlobalMem;
-                }
-                Space::Shared => {
-                    for_lanes!(|lane| {
-                        let v = load_word(ctx.shared_mem, addrs[lane], ctx.oob_accesses);
-                        let v = corrupt!(lane, v);
-                        warp.set_reg(d.0, lane, v);
-                    });
-                    effect = StepEffect::SharedMem;
-                }
+            match load!(ctx.global_mem, d, addrs, a) {
+                MemPath::Uniform => uniform_sector(addrs[0], false, ctx.txs),
+                MemPath::Row => row_sectors(addrs[0], false, ctx.txs),
+                MemPath::Gather => coalesce_into(&addrs, active, false, ctx.txs),
             }
+            effect = StepEffect::GlobalMem;
         }
-        Op::St {
-            space,
-            addr,
-            offset,
-            v,
-        } => {
-            let ra = reg_row(warp, addr.0);
+        DOp::LdShared { d, a, offset } => {
+            let ra = reg_row(warp, a);
             let mut addrs = [0u32; 32];
-            for lane in 0..32usize {
-                addrs[lane] = ra[lane].wrapping_add(offset as u32);
+            for (lane, slot) in addrs.iter_mut().enumerate() {
+                *slot = ra[lane].wrapping_add(offset);
             }
-            match space {
-                Space::Global => {
+            let _ = load!(ctx.shared_mem, d, addrs, a);
+            effect = StepEffect::SharedMem;
+        }
+        DOp::StGlobal { a, offset, v } => {
+            let ra = reg_row(warp, a);
+            let mut addrs = [0u32; 32];
+            for (lane, slot) in addrs.iter_mut().enumerate() {
+                *slot = ra[lane].wrapping_add(offset);
+            }
+            let path = if !armed && is_uniform(warp, a) && is_uniform(warp, v) {
+                // Every active lane stores the same value to the same
+                // address: one word write has the identical net effect.
+                let val = scalar(warp, v);
+                if store_word(ctx.global_mem, addrs[0], val, ctx.oob_accesses) {
+                    *ctx.global_dirty = (*ctx.global_dirty).max(addrs[0] + 4);
+                } else {
+                    // Each active lane of the masked loop would count one
+                    // dropped store; `store_word` counted the first.
+                    *ctx.oob_accesses += u64::from(active.count_ones()) - 1;
+                }
+                MemPath::Uniform
+            } else {
+                let mut path = MemPath::Gather;
+                if !armed && full {
+                    if let Some(base) = contiguous_row(&addrs, ctx.global_mem.len()) {
+                        let vr = reg_row(warp, v);
+                        ctx.global_mem[base..base + 32].copy_from_slice(&vr);
+                        *ctx.global_dirty = (*ctx.global_dirty).max(addrs[31] + 4);
+                        path = MemPath::Row;
+                    }
+                }
+                if path == MemPath::Gather {
                     let mut hi = 0u32;
                     let mut wrote = false;
                     for_lanes!(|lane| {
-                        let val = warp.reg(v.0, lane);
+                        let val = warp.regs[v as usize + lane];
                         let val = corrupt!(lane, val);
                         if store_word(ctx.global_mem, addrs[lane], val, ctx.oob_accesses) {
                             hi = hi.max(addrs[lane]);
@@ -482,57 +830,93 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                     if wrote {
                         *ctx.global_dirty = (*ctx.global_dirty).max(hi + 4);
                     }
-                    coalesce_into(&addrs, active, true, ctx.txs);
-                    effect = StepEffect::GlobalMem;
                 }
-                Space::Shared => {
+                path
+            };
+            match path {
+                MemPath::Uniform => uniform_sector(addrs[0], true, ctx.txs),
+                MemPath::Row => row_sectors(addrs[0], true, ctx.txs),
+                MemPath::Gather => coalesce_into(&addrs, active, true, ctx.txs),
+            }
+            effect = StepEffect::GlobalMem;
+        }
+        DOp::StShared { a, offset, v } => {
+            let ra = reg_row(warp, a);
+            let mut addrs = [0u32; 32];
+            for (lane, slot) in addrs.iter_mut().enumerate() {
+                *slot = ra[lane].wrapping_add(offset);
+            }
+            if !armed && is_uniform(warp, a) && is_uniform(warp, v) {
+                let val = scalar(warp, v);
+                if !store_word(ctx.shared_mem, addrs[0], val, ctx.oob_accesses) {
+                    *ctx.oob_accesses += u64::from(active.count_ones()) - 1;
+                }
+            } else {
+                let mut fast = false;
+                if !armed && full {
+                    if let Some(base) = contiguous_row(&addrs, ctx.shared_mem.len()) {
+                        let vr = reg_row(warp, v);
+                        ctx.shared_mem[base..base + 32].copy_from_slice(&vr);
+                        fast = true;
+                    }
+                }
+                if !fast {
                     for_lanes!(|lane| {
-                        let val = warp.reg(v.0, lane);
+                        let val = warp.regs[v as usize + lane];
                         let val = corrupt!(lane, val);
                         store_word(ctx.shared_mem, addrs[lane], val, ctx.oob_accesses);
                     });
-                    effect = StepEffect::SharedMem;
                 }
             }
+            effect = StepEffect::SharedMem;
         }
-        Op::AtomAdd { d, addr, offset, v } | Op::AtomAddF { d, addr, offset, v } => {
-            let float = matches!(op, Op::AtomAddF { .. });
+        DOp::AtomAdd {
+            d,
+            a,
+            offset,
+            v,
+            float,
+        } => {
+            // Atomics stay per-lane on every path: lanes interact through
+            // memory (each sees the previous lane's store), so there is no
+            // uniform shortcut that preserves the old-value results.
             ctx.atom_addrs.clear();
             let mut hi = 0u32;
             let mut wrote = false;
             for_lanes!(|lane| {
-                let a = warp.reg(addr.0, lane).wrapping_add(offset as u32);
-                ctx.atom_addrs.push(a);
-                let old = load_word(ctx.global_mem, a, ctx.oob_accesses);
-                let add = warp.reg(v.0, lane);
+                let addr = warp.regs[a as usize + lane].wrapping_add(offset);
+                ctx.atom_addrs.push(addr);
+                let old = load_word(ctx.global_mem, addr, ctx.oob_accesses);
+                let add = warp.regs[v as usize + lane];
                 let new = if float {
                     b(f(old) + f(add))
                 } else {
                     old.wrapping_add(add)
                 };
                 let new = corrupt!(lane, new);
-                if store_word(ctx.global_mem, a, new, ctx.oob_accesses) {
-                    hi = hi.max(a);
+                if store_word(ctx.global_mem, addr, new, ctx.oob_accesses) {
+                    hi = hi.max(addr);
                     wrote = true;
                 }
                 let old = corrupt!(lane, old);
-                warp.set_reg(d.0, lane, old);
+                warp.regs[d as usize + lane] = old;
             });
+            warp.clear_uniform((d >> 5) as u16);
             if wrote {
                 *ctx.global_dirty = (*ctx.global_dirty).max(hi + 4);
             }
             effect = StepEffect::Atomic;
         }
-        Op::Bra { target } => {
+        DOp::Bra { target } => {
             next_pc = target;
         }
-        Op::BraCond {
+        DOp::BraCond {
             p,
             negate,
             target,
             reconv,
         } => {
-            let taken = warp.pred_mask(p.0, negate, active);
+            let taken = warp.pred_mask(p, negate, active);
             if taken == active {
                 next_pc = target;
             } else if taken == 0 {
@@ -561,7 +945,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
                 return StepEffect::Finished;
             }
         }
-        Op::Bar => {
+        DOp::Bar => {
             debug_assert_eq!(
                 active, warp.live,
                 "barrier executed under divergence (kernel bug)"
@@ -570,7 +954,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             warp.state = WarpState::AtBarrier;
             return StepEffect::Barrier;
         }
-        Op::Exit => {
+        DOp::Exit => {
             warp.retire_lanes(active);
             if warp.settle() {
                 return StepEffect::Compute(ExecUnit::Ctrl);
@@ -578,7 +962,7 @@ pub fn step_warp(warp: &mut Warp, ops: &[Op], ctx: &mut ExecCtx<'_>) -> StepEffe
             warp.state = WarpState::Finished;
             return StepEffect::Finished;
         }
-        Op::Nop => {}
+        DOp::Nop => {}
     }
 
     warp.stack.last_mut().expect("stack").pc = next_pc;
@@ -635,7 +1019,7 @@ mod tests {
                 txs: &mut txs,
                 atom_addrs: &mut atom_addrs,
             };
-            let eff = step_warp(&mut warp, prog.instrs(), &mut ctx);
+            let eff = step_warp(&mut warp, prog.decoded(), &mut ctx);
             if eff == StepEffect::Finished {
                 break;
             }
@@ -833,12 +1217,85 @@ mod tests {
                 txs: &mut txs,
                 atom_addrs: &mut atom_addrs,
             };
-            if step_warp(&mut warp, prog.instrs(), &mut ctx) == StepEffect::Finished {
+            if step_warp(&mut warp, prog.decoded(), &mut ctx) == StepEffect::Finished {
                 break;
             }
         }
         assert_eq!(oob, 1);
         assert_eq!(warp.reg(keep.0, 0), 0xdead_beef);
+    }
+
+    #[test]
+    fn uniform_oob_load_counts_every_active_lane() {
+        // A full warp loading from one shared out-of-bounds address takes
+        // the uniform-address fast path, which must still count 32 OOB
+        // accesses (one per active lane) and poison the destination.
+        let mut b = KernelBuilder::new("t");
+        let addr = b.mov(0x1000u32);
+        let v = b.ldg(addr, 0);
+        let keep = b.reg();
+        b.mov_to(keep, v);
+        let prog = b.build().expect("valid");
+
+        let mut warp = Warp::new(0, u32::MAX, prog.regs_per_thread(), 0);
+        let mut shared = vec![0u32; 4];
+        let mut global = vec![0u32; 4];
+        let mut oob = 0u64;
+        let mut dirty = 0u32;
+        let mut hook = NoFaults;
+        let mut txs = TxBuf::new();
+        let mut atom_addrs = LaneAddrs::new();
+        loop {
+            let mut ctx = ExecCtx {
+                global_mem: &mut global,
+                shared_mem: &mut shared,
+                params: &[],
+                dims: dims(),
+                sm_id: 0,
+                cycle: 0,
+                kernel: KernelId(0),
+                block: 0,
+                fault: &mut hook,
+                fault_enabled: true,
+                oob_accesses: &mut oob,
+                global_dirty: &mut dirty,
+                txs: &mut txs,
+                atom_addrs: &mut atom_addrs,
+            };
+            if step_warp(&mut warp, prog.decoded(), &mut ctx) == StepEffect::Finished {
+                break;
+            }
+        }
+        assert_eq!(oob, 32, "one OOB count per active lane");
+        for lane in 0..32 {
+            assert_eq!(warp.reg(keep.0, lane), 0xdead_beef, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn uniformity_tracks_splats_and_lane_varying_results() {
+        let mut b = KernelBuilder::new("t");
+        let tid = b.special(SpecialReg::TidX); // lane-varying
+        let ctaid = b.special(SpecialReg::CtaidX); // uniform
+        let k = b.mov(41u32); // uniform
+        let u = b.iadd(ctaid, k); // uniform + uniform -> uniform
+        let m = b.iadd(tid, k); // varying + uniform -> varying
+        let prog = b.build().expect("valid");
+        let w = run_to_completion(&prog, &mut [], &[]);
+        assert!(!w.is_uniform(tid.0), "tid varies per lane");
+        assert!(w.is_uniform(ctaid.0), "ctaid splats");
+        assert!(w.is_uniform(k.0), "immediate mov splats");
+        assert!(w.is_uniform(u.0), "uniform arithmetic stays uniform");
+        assert!(!w.is_uniform(m.0), "mixed arithmetic is conservative");
+        // The claim is sound: every tracked row really is identical.
+        for r in 0..prog.regs_per_thread() {
+            if w.is_uniform(r) {
+                let v0 = w.reg(r, 0);
+                for lane in 1..32 {
+                    assert_eq!(w.reg(r, lane), v0, "uniform r{r} differs at {lane}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -876,7 +1333,7 @@ mod tests {
                 txs: &mut txs,
                 atom_addrs: &mut atom_addrs,
             };
-            match step_warp(&mut warp, prog.instrs(), &mut ctx) {
+            match step_warp(&mut warp, prog.decoded(), &mut ctx) {
                 StepEffect::Finished => break,
                 StepEffect::GlobalMem => saw_mem = Some(*ctx.txs),
                 _ => {}

@@ -48,6 +48,15 @@ pub trait FaultHook {
     /// `corrupt_value` keep their pre-fast-path behaviour. Overriding
     /// implementations must guarantee that `corrupt_value` is the identity
     /// whenever `armed` returns `false`.
+    ///
+    /// Beyond skipping corruption calls, `armed` also gates the
+    /// interpreter's value fast paths (uniform scalarization, full-mask row
+    /// writes, coalesced row copies — see [`crate::exec`]): while a hook is
+    /// armed, every instruction runs the per-lane masked loop so the hook
+    /// observes exactly the materialized lane values. `armed` takes `&self`
+    /// and must be a pure query — it is the *only* hook method that may be
+    /// called for an instruction (fast paths make no further calls when it
+    /// returns `false`), so it must not carry observable side effects.
     fn armed(&self, _ctx: &FaultCtx) -> bool {
         true
     }

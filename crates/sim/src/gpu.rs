@@ -307,6 +307,13 @@ pub struct Gpu {
     /// arrival matures, debited per dispatched block
     /// (`debug_assert`-checked against the exhaustive sum every advance).
     arrived_pending: u32,
+    /// Count of launched-but-unfinished kernels, maintained across every
+    /// launch/complete/cancel/restore transition so [`Gpu::is_idle`] — on
+    /// the event core's hot path twice per visited cycle — is one compare
+    /// instead of an O(kernels) scan (a many-launch run keeps dozens of
+    /// finished kernels in the table). `debug_assert`-checked against the
+    /// exhaustive scan on every [`Gpu::is_idle`] call.
+    live_kernels: usize,
     /// Scratch: SMs due to issue at the current cycle (sorted ascending to
     /// reproduce the stepping core's SM visit order).
     due_sms: Vec<usize>,
@@ -315,6 +322,14 @@ pub struct Gpu {
     /// Scratch: per-SM wake times snapshotted around scheduling rounds to
     /// detect admissions that change an SM's wake-up.
     wake_snapshot: Vec<u64>,
+    /// Flat mirror of every SM's [`Sm::next_ready_at`], rebuilt on entry to
+    /// the flat event core and refreshed after each issue / scheduling
+    /// round. The per-visit due-SM scan reads this one contiguous row
+    /// instead of chasing a cache line into each (large) [`Sm`] struct —
+    /// most visits wake only one or two of the SMs but must compare all of
+    /// them. `debug_assert`-checked against the authoritative per-SM cache
+    /// at every read.
+    flat_wakes: Vec<u64>,
 }
 
 impl fmt::Debug for Gpu {
@@ -380,9 +395,11 @@ impl Gpu {
             sm_wake: TimeQ::new(),
             arrivals: BinaryHeap::new(),
             arrived_pending: 0,
+            live_kernels: 0,
             due_sms: Vec::new(),
             due_flags: vec![false; cfg.num_sms],
             wake_snapshot: Vec::new(),
+            flat_wakes: Vec::new(),
             cfg,
         }
     }
@@ -519,6 +536,7 @@ impl Gpu {
         self.quarantined.clone_from(&snap.quarantined);
         self.memsys.clone_from(&snap.memsys);
         self.kernels.clone_from(&snap.kernels);
+        self.live_kernels = self.kernels.iter().filter(|k| !k.is_finished()).count();
         self.trace.clone_from(&snap.trace);
         for (sm, st) in self.sms.iter_mut().zip(&snap.sms) {
             sm.restore_state(st);
@@ -652,9 +670,16 @@ impl Gpu {
         self.quarantined.iter().filter(|q| !**q).count()
     }
 
-    /// True when every launched kernel has finished.
+    /// True when every launched kernel has finished. O(1): answered from
+    /// the live-kernel counter, cross-checked against the exhaustive scan
+    /// in debug builds.
     pub fn is_idle(&self) -> bool {
-        self.kernels.iter().all(KernelRuntime::is_finished)
+        debug_assert_eq!(
+            self.live_kernels == 0,
+            self.kernels.iter().all(KernelRuntime::is_finished),
+            "live-kernel counter diverged from the launch table"
+        );
+        self.live_kernels == 0
     }
 
     // ---- device memory ------------------------------------------------------
@@ -749,6 +774,7 @@ impl Gpu {
             sm.reset();
         }
         self.kernels.clear();
+        self.live_kernels = 0;
         self.policy.reset();
         self.clear_fault_hook();
         self.quarantined.fill(false);
@@ -784,6 +810,7 @@ impl Gpu {
             sm.discard_blocks();
         }
         self.kernels.clear();
+        self.live_kernels = 0;
         self.reset().expect("all in-flight work was discarded");
     }
 
@@ -804,6 +831,7 @@ impl Gpu {
             sm.discard_blocks();
         }
         self.kernels.clear();
+        self.live_kernels = 0;
         self.cycle_limit = None;
         self.sched_dirty = false;
     }
@@ -826,6 +854,7 @@ impl Gpu {
             sm.discard_blocks_of(kernels);
         }
         self.kernels.retain(|k| !kernels.contains(&k.id));
+        self.live_kernels = self.kernels.iter().filter(|k| !k.is_finished()).count();
         // Freed partition capacity may admit other kernels' pending blocks.
         self.sched_dirty = true;
     }
@@ -974,6 +1003,9 @@ impl Gpu {
             blocks_done: 0,
             record,
         });
+        if !self.kernels.last().expect("just pushed").is_finished() {
+            self.live_kernels += 1;
+        }
         self.sched_dirty = true;
         self.emit(EventKind::KernelLaunch, self.cycle, NO_SM, id.0, arrival);
         Ok(id)
@@ -1126,6 +1158,7 @@ impl Gpu {
             k.blocks_done += 1;
             if k.is_finished() {
                 self.trace.kernels[k.record].completion = Some(c.end);
+                self.live_kernels -= 1;
                 finished = true;
             }
         }
@@ -1382,6 +1415,9 @@ impl Gpu {
             }
         }
         self.arrived_pending = self.pending_blocks();
+        self.flat_wakes.clear();
+        self.flat_wakes
+            .extend(self.sms.iter().map(Sm::next_ready_at));
 
         let mut completions = std::mem::take(&mut self.sched.completions);
         while !self.is_idle() {
@@ -1412,6 +1448,10 @@ impl Gpu {
             if self.sched_dirty {
                 self.sched_dirty = false;
                 self.run_scheduler();
+                // Admissions may have changed SM wake-ups; re-mirror them.
+                self.flat_wakes.clear();
+                self.flat_wakes
+                    .extend(self.sms.iter().map(Sm::next_ready_at));
             }
 
             // Issue on every due SM in ascending id order, folding the
@@ -1429,8 +1469,14 @@ impl Gpu {
             // keeps the event core from trailing the stepping core.
             completions.clear();
             let mut next = u64::MAX;
-            for sm in &mut self.sms {
-                let wake = sm.next_ready_at();
+            for (sm, wc) in self.sms.iter_mut().zip(&mut self.flat_wakes) {
+                let wake = *wc;
+                debug_assert_eq!(
+                    wake,
+                    sm.next_ready_at(),
+                    "flat wake mirror diverged from an SM at cycle {}",
+                    self.cycle
+                );
                 if wake > self.cycle {
                     next = next.min(wake);
                     continue;
@@ -1444,7 +1490,8 @@ impl Gpu {
                     self.fault_enabled,
                     &mut completions,
                 );
-                next = next.min(sm.next_ready_at());
+                *wc = sm.next_ready_at();
+                next = next.min(*wc);
             }
             for c in completions.drain(..) {
                 self.process_completion(c);
@@ -1472,12 +1519,10 @@ impl Gpu {
                 // Quiescent but unfinished — same last-chance round and
                 // stall report as the stepping core.
                 self.run_scheduler();
-                let ready = self
-                    .sms
-                    .iter()
-                    .map(Sm::next_ready_at)
-                    .min()
-                    .unwrap_or(u64::MAX);
+                self.flat_wakes.clear();
+                self.flat_wakes
+                    .extend(self.sms.iter().map(Sm::next_ready_at));
+                let ready = self.flat_wakes.iter().copied().min().unwrap_or(u64::MAX);
                 if ready == u64::MAX {
                     self.sched.completions = completions;
                     return Err(SimError::Stalled {

@@ -56,6 +56,7 @@
 pub mod block;
 pub mod builder;
 pub mod config;
+pub mod decode;
 pub mod disasm;
 pub mod exec;
 pub mod fault;

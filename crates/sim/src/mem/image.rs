@@ -93,6 +93,34 @@ fn store_straddle(mem: &mut [u32], addr: u32, v: u32, oob: &mut u64) -> bool {
     true
 }
 
+/// Detects a fully coalesced warp access: 32 word-aligned, stride-4,
+/// strictly ascending byte addresses that all fall inside the image.
+/// Returns the word index of lane 0, i.e. `mem[base..base + 32]` is exactly
+/// the 32 words the per-lane loop would touch, in lane order.
+///
+/// The interpreter uses this to replace 32 scattered [`load_word`]/
+/// [`store_word`] calls with one row copy. The in-bounds requirement is part
+/// of the contract: any lane out of bounds must fall back to the per-lane
+/// path so poison values and the out-of-bounds count stay bit-identical.
+#[inline]
+pub fn contiguous_row(addrs: &[u32; 32], words: usize) -> Option<usize> {
+    let a0 = addrs[0];
+    // Alignment, and no u32 wraparound over the 128-byte span.
+    if a0 & 3 != 0 || a0.checked_add(4 * 31).is_none() {
+        return None;
+    }
+    let base = (a0 >> 2) as usize;
+    if base + 32 > words {
+        return None;
+    }
+    for (lane, &a) in addrs.iter().enumerate().skip(1) {
+        if a != a0 + 4 * lane as u32 {
+            return None;
+        }
+    }
+    Some(base)
+}
+
 /// Reads the byte at byte address `addr` (host-side raw access; panics when
 /// out of bounds, like indexing a byte array would).
 pub fn get_byte(mem: &[u32], addr: usize) -> u8 {
@@ -179,6 +207,38 @@ mod tests {
         }
         assert_eq!(mem[0], 0x0000_2211);
         assert_eq!(mem[1], 0x7700_5500);
+    }
+
+    #[test]
+    fn contiguous_row_accepts_only_aligned_full_stride1_spans() {
+        let mut addrs = [0u32; 32];
+        for (lane, a) in addrs.iter_mut().enumerate() {
+            *a = 256 + 4 * lane as u32;
+        }
+        assert_eq!(contiguous_row(&addrs, 1024), Some(64));
+        // Tail lane out of bounds.
+        assert_eq!(contiguous_row(&addrs, 64 + 31), None);
+        // Exactly in bounds.
+        assert_eq!(contiguous_row(&addrs, 64 + 32), Some(64));
+        // Misaligned base.
+        let mut mis = addrs;
+        for a in &mut mis {
+            *a += 2;
+        }
+        assert_eq!(contiguous_row(&mis, 1024), None);
+        // One lane off-stride.
+        let mut gap = addrs;
+        gap[17] += 4;
+        assert_eq!(contiguous_row(&gap, 1024), None);
+        // Uniform (all-same) addresses are not stride-1.
+        let same = [256u32; 32];
+        assert_eq!(contiguous_row(&same, 1024), None);
+        // Wraparound near the top of the address space.
+        let mut wrap = [0u32; 32];
+        for (lane, a) in wrap.iter_mut().enumerate() {
+            *a = (u32::MAX - 63).wrapping_add(4 * lane as u32) & !3;
+        }
+        assert_eq!(contiguous_row(&wrap, usize::MAX), None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! A compiled kernel program: a flat instruction list with resolved branch
 //! targets and a declared register footprint.
 
+use crate::decode::{decode, DOp};
 use crate::isa::Op;
 use std::fmt;
 use std::sync::Arc;
@@ -55,6 +56,10 @@ impl std::error::Error for ProgramError {}
 pub struct Program {
     name: String,
     instrs: Vec<Op>,
+    /// Pre-decoded mirror of `instrs` (see [`crate::decode`]): built once at
+    /// construction so the interpreter never re-resolves operands per dynamic
+    /// instruction. Derived state — always `decode(&instrs)`.
+    decoded: Vec<DOp>,
     regs_per_thread: u16,
 }
 
@@ -74,9 +79,11 @@ impl Program {
         instrs: Vec<Op>,
         regs_per_thread: u16,
     ) -> Result<Self, ProgramError> {
+        let decoded = decode(&instrs);
         let p = Self {
             name: name.into(),
             instrs,
+            decoded,
             regs_per_thread,
         };
         p.validate()?;
@@ -138,6 +145,12 @@ impl Program {
     /// The instruction stream.
     pub fn instrs(&self) -> &[Op] {
         &self.instrs
+    }
+
+    /// The pre-decoded instruction stream the interpreter executes
+    /// (index-aligned with [`Program::instrs`]).
+    pub fn decoded(&self) -> &[DOp] {
+        &self.decoded
     }
 
     /// Number of instructions.

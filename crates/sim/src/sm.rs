@@ -576,7 +576,7 @@ impl Sm {
                     txs: &mut *txs,
                     atom_addrs: &mut *atom_addrs,
                 };
-                step_warp(warp, program.instrs(), &mut ctx)
+                step_warp(warp, program.decoded(), &mut ctx)
             };
             self.oob_accesses += oob;
             issued += 1;

@@ -45,6 +45,14 @@ pub struct Warp {
     pub state: WarpState,
     /// Dynamic instruction count (for statistics).
     pub instrs: u64,
+    /// Uniformity bitmap: bit `r` set means register `r` is *known* to hold
+    /// the same value in all 32 lanes (registers ≥ 64 are never tracked).
+    /// Purely an acceleration overlay over the materialized register file —
+    /// the interpreter may compute uniform operations once and splat — so
+    /// the only invariant is soundness: a set bit implies the 32 lanes are
+    /// bit-identical; a clear bit implies nothing. Travels with the warp
+    /// through `Clone` (device snapshots) like every other derived field.
+    pub uniform: u64,
 }
 
 impl Warp {
@@ -71,6 +79,12 @@ impl Warp {
             ready_at,
             state: WarpState::Ready,
             instrs: 0,
+            // Freshly allocated registers are all zero, hence uniform.
+            uniform: if nregs >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << nregs) - 1
+            },
         }
     }
 
@@ -136,10 +150,35 @@ impl Warp {
         self.regs[usize::from(r) * 32 + lane]
     }
 
-    /// Writes register `r` of `lane`.
+    /// Writes register `r` of `lane`. Conservatively clears the uniformity
+    /// bit: a single-lane write may break the all-lanes-identical invariant.
     #[inline]
     pub fn set_reg(&mut self, r: u16, lane: usize, v: u32) {
         self.regs[usize::from(r) * 32 + lane] = v;
+        self.clear_uniform(r);
+    }
+
+    /// True when register `r` is tracked as warp-uniform (see [`Warp::uniform`]).
+    #[inline]
+    pub fn is_uniform(&self, r: u16) -> bool {
+        r < 64 && self.uniform & (1u64 << r) != 0
+    }
+
+    /// Marks register `r` as warp-uniform. The caller guarantees all 32
+    /// lanes of `r` hold the same value.
+    #[inline]
+    pub fn mark_uniform(&mut self, r: u16) {
+        if r < 64 {
+            self.uniform |= 1u64 << r;
+        }
+    }
+
+    /// Drops the uniformity claim for register `r` (always sound).
+    #[inline]
+    pub fn clear_uniform(&mut self, r: u16) {
+        if r < 64 {
+            self.uniform &= !(1u64 << r);
+        }
     }
 
     /// Reads predicate `p` of `lane`.
@@ -225,6 +264,25 @@ mod tests {
         assert!(w.pred(2, 5));
         w.set_pred(2, 5, false);
         assert!(!w.pred(2, 5));
+    }
+
+    #[test]
+    fn uniformity_bitmap_starts_full_and_clears_on_lane_writes() {
+        let mut w = Warp::new(0, u32::MAX, 8, 0);
+        assert!(w.is_uniform(3), "zeroed registers start uniform");
+        w.set_reg(3, 7, 42);
+        assert!(!w.is_uniform(3), "a lane write drops the claim");
+        for lane in 0..32 {
+            w.set_reg(3, lane, 42);
+        }
+        w.mark_uniform(3);
+        assert!(w.is_uniform(3));
+
+        // Registers beyond the 64-bit map are never tracked.
+        let big = Warp::new(0, u32::MAX, 80, 0);
+        assert!(big.is_uniform(63));
+        assert!(!big.is_uniform(64));
+        assert!(!big.is_uniform(79));
     }
 
     #[test]

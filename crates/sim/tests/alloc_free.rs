@@ -109,7 +109,7 @@ fn no_fault_hot_path_is_allocation_free() {
             txs: &mut txs,
             atom_addrs: &mut atom_addrs,
         };
-        let effect = step_warp(&mut warp, prog.instrs(), &mut ctx);
+        let effect = step_warp(&mut warp, prog.decoded(), &mut ctx);
         // Consume memory effects the way the SM does (slice views only).
         match effect {
             StepEffect::GlobalMem => {

@@ -80,16 +80,38 @@ fn spin_kernel() -> std::sync::Arc<higpu_sim::program::Program> {
     b.build().expect("valid").into_shared()
 }
 
+/// A kernel whose inner loop is dominated by *uniform* work — scalar
+/// constants, loop-counter arithmetic, a single shared load address — so
+/// the counted window runs through the uniform-scalarization fast paths
+/// (bitmap updates, splat row writes, single-sector memory traffic) of the
+/// pre-decoded interpreter rather than the per-lane loops.
+fn uniform_spin_kernel() -> std::sync::Arc<higpu_sim::program::Program> {
+    let mut b = KernelBuilder::new("uniform_spin");
+    let base = b.param(0);
+    let zero = b.mov(0u32);
+    let addr = b.addr_w(base, zero);
+    b.for_range(0u32, 512u32, 1u32, |b, i| {
+        let v = b.ldg(addr, 0);
+        let s = b.iadd(v, i);
+        let s2 = b.imul(s, 3u32);
+        let s3 = b.ixor(s2, 0x5a5a_5a5au32);
+        b.stg(addr, 0, s3);
+    });
+    b.build().expect("valid").into_shared()
+}
+
 /// Drives one SM's issue loop directly (the way the device cores do) and
 /// returns the instructions issued inside the counted window alongside the
 /// allocations observed there.
-fn measure(policy: WarpSchedPolicy) -> (u64, u64) {
+fn measure(
+    policy: WarpSchedPolicy,
+    prog: std::sync::Arc<higpu_sim::program::Program>,
+) -> (u64, u64) {
     let cfg = GpuConfig {
         warp_scheduler: policy,
         ..GpuConfig::tiny_2sm()
     };
     let mut sm = Sm::new(0, &cfg);
-    let prog = spin_kernel();
     let regs = prog.regs_per_thread();
     // Two 64-thread blocks: two warps per block keeps both pickers'
     // block-and-warp rotation logic exercised.
@@ -148,9 +170,14 @@ fn measure(policy: WarpSchedPolicy) -> (u64, u64) {
     }
 
     // Counted window: thousands of issue slots, zero allocations allowed.
+    // Re-reading the pre-decoded stream inside the window pins decode as a
+    // build-time cost: the interpreter's `DOp` path must never re-decode
+    // (or otherwise allocate) in steady state.
     let issued_before = sm.stats().instrs_issued;
     let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut decoded_len = 0usize;
     for _ in 0..4096 {
+        decoded_len = decoded_len.max(prog.decoded().len());
         sm.issue(
             now,
             &mut global,
@@ -164,25 +191,34 @@ fn measure(policy: WarpSchedPolicy) -> (u64, u64) {
             panic!("spin kernel retired inside the counted window — lengthen the loop");
         }
     }
+    assert!(decoded_len > 0, "decoded stream must be non-empty");
     let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     let issued = sm.stats().instrs_issued - issued_before;
     (issued, allocs)
 }
 
-// One test, both policies: the counting allocator is process-global, so
-// two concurrently running tests would see each other's allocations.
+// One test, both policies and both instruction mixes: the counting
+// allocator is process-global, so two concurrently running tests would see
+// each other's allocations. The divergent spin kernel drives the per-lane
+// paths; the uniform spin kernel drives the scalarization fast paths —
+// both must stay allocation-free after warm-up.
 #[test]
 fn issue_path_is_allocation_free_under_both_policies() {
     COUNTING.with(|c| c.set(true));
-    for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr] {
-        let (issued, allocs) = measure(policy);
-        assert!(
-            issued > 1000,
-            "{policy:?}: window must issue real work (got {issued})"
-        );
-        assert_eq!(
-            allocs, 0,
-            "{policy:?} issued {issued} instructions with {allocs} allocations"
-        );
+    for (label, prog) in [
+        ("divergent", spin_kernel()),
+        ("uniform", uniform_spin_kernel()),
+    ] {
+        for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr] {
+            let (issued, allocs) = measure(policy, prog.clone());
+            assert!(
+                issued > 1000,
+                "{label}/{policy:?}: window must issue real work (got {issued})"
+            );
+            assert_eq!(
+                allocs, 0,
+                "{label}/{policy:?} issued {issued} instructions with {allocs} allocations"
+            );
+        }
     }
 }

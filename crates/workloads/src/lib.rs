@@ -46,4 +46,5 @@ pub use session::{BufId, GpuSession, RedundantSession, SParam, SessionError, Sol
 pub use stage::{StageInputs, StageProgram, WorkloadStage};
 pub use workload::{
     f32s_to_words, verify_words, Tolerance, VerifyError, Workload, DEFAULT_FTTI_MULTIPLIER,
+    MINED_FTTI_MULTIPLIER,
 };

@@ -127,8 +127,9 @@ impl Workload for IteratedFma {
     fn ftti_multiplier(&self) -> u64 {
         // Fixed trip counts, no data-dependent control flow: corrupted runs
         // either terminate near the fault-free makespan or run away on a
-        // flipped loop counter — the default budget separates the two.
-        crate::workload::DEFAULT_FTTI_MULTIPLIER
+        // flipped loop counter — the mined budget separates the two just as
+        // cleanly as the default did.
+        crate::workload::MINED_FTTI_MULTIPLIER
     }
 }
 
